@@ -1,0 +1,52 @@
+//! Static-analysis cost: compiling and instrumenting the whole guest
+//! corpus (lexer → parser → type checker → codegen → CFG/dominators/
+//! loops → call graph SCC → recursive-type detection → rewriting).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use algoprof_programs::{insertion_sort_program, table1_programs, SortWorkload};
+use algoprof_vm::{compile, InstrumentOptions};
+
+fn bench_analysis(c: &mut Criterion) {
+    let sources: Vec<String> = table1_programs()
+        .into_iter()
+        .map(|p| p.source)
+        .chain(std::iter::once(insertion_sort_program(
+            SortWorkload::Random,
+            100,
+            10,
+            3,
+        )))
+        .collect();
+
+    let mut group = c.benchmark_group("analysis");
+
+    group.bench_function("compile_corpus", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for src in &sources {
+                total += compile(src).expect("compiles").functions.len();
+            }
+            total
+        })
+    });
+
+    let compiled: Vec<_> = sources
+        .iter()
+        .map(|s| compile(s).expect("compiles"))
+        .collect();
+    group.bench_function("instrument_corpus", |b| {
+        b.iter(|| {
+            let mut loops = 0usize;
+            for p in &compiled {
+                loops += p.instrument(&InstrumentOptions::default()).loops.len();
+            }
+            loops
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Ablation: cost of the §2.4 snapshot-equivalence criteria during
+//! profiling (SomeElements is the default; AllElements compares full
+//! snapshots; SameType scans the registry).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use algoprof::{AlgoProf, AlgoProfOptions, EquivalenceCriterion};
+use algoprof_programs::{insertion_sort_program, SortWorkload};
+use algoprof_vm::{compile, InstrumentOptions, Interp};
+
+fn bench_criteria(c: &mut Criterion) {
+    let src = insertion_sort_program(SortWorkload::Random, 41, 10, 1);
+    let program = compile(&src)
+        .expect("compiles")
+        .instrument(&InstrumentOptions::default());
+
+    let mut group = c.benchmark_group("equivalence_criterion");
+    for (name, criterion) in [
+        ("some_elements", EquivalenceCriterion::SomeElements),
+        ("all_elements", EquivalenceCriterion::AllElements),
+        ("same_type", EquivalenceCriterion::SameType),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut profiler = AlgoProf::with_options(AlgoProfOptions {
+                    criterion,
+                    ..AlgoProfOptions::default()
+                });
+                Interp::new(&program).run(&mut profiler).expect("runs");
+                profiler.finish(&program).registry().inputs().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_criteria);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 1 as a Criterion benchmark: end-to-end algorithmic profiling
+//! of the insertion-sort sweep for each workload, verifying the fitted
+//! model class on every iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use algoprof_fit::Model;
+use algoprof_programs::{insertion_sort_program, SortWorkload};
+use algoprof_vm::{compile, InstrumentOptions, Interp};
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_sort");
+    for (name, workload, expected) in [
+        ("random", SortWorkload::Random, Model::Quadratic),
+        ("sorted", SortWorkload::Sorted, Model::Linear),
+        ("reversed", SortWorkload::Reversed, Model::Quadratic),
+    ] {
+        let src = insertion_sort_program(workload, 41, 10, 1);
+        let program = compile(&src)
+            .expect("compiles")
+            .instrument(&InstrumentOptions::default());
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut profiler = algoprof::AlgoProf::new();
+                Interp::new(&program).run(&mut profiler).expect("runs");
+                let profile = profiler.finish(&program);
+                let algo = profile
+                    .algorithm_by_root_name("List.sort:loop0")
+                    .expect("sort algorithm");
+                let fit = profile
+                    .fit_invocation_steps(algo.id)
+                    .expect("enough points");
+                assert_eq!(fit.model, expected);
+                fit.coeff
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

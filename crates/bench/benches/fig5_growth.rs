@@ -1,0 +1,41 @@
+//! Figure 5 as a Criterion benchmark: profiling the array-backed list
+//! under both growth policies, verifying the crossover (quadratic vs
+//! linear) on every iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use algoprof_fit::Model;
+use algoprof_programs::{array_list_program, GrowthPolicy};
+use algoprof_vm::{compile, InstrumentOptions, Interp};
+
+fn bench_fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_growth");
+    for (name, policy, expected) in [
+        ("grow_by_1", GrowthPolicy::ByOne, Model::Quadratic),
+        ("doubling", GrowthPolicy::Doubling, Model::Linear),
+    ] {
+        let src = array_list_program(policy, 65, 8, 1);
+        let program = compile(&src)
+            .expect("compiles")
+            .instrument(&InstrumentOptions::default());
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut profiler = algoprof::AlgoProf::new();
+                Interp::new(&program).run(&mut profiler).expect("runs");
+                let profile = profiler.finish(&program);
+                let algo = profile
+                    .algorithm_by_root_name("Main.testForSize:loop0")
+                    .expect("append algorithm");
+                let fit = profile
+                    .fit_invocation_steps(algo.id)
+                    .expect("enough points");
+                assert_eq!(fit.model, expected);
+                fit.coeff
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig5);
+criterion_main!(benches);

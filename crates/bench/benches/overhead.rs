@@ -1,0 +1,67 @@
+//! Criterion benchmark: interpretation overhead of each profiling level
+//! (paper §5's overhead discussion, measured rigorously).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use algoprof::AlgoProf;
+use algoprof_cct::CctProfiler;
+use algoprof_programs::{insertion_sort_program, SortWorkload};
+use algoprof_vm::instrument::{InstrumentOptions, MethodInstrumentation};
+use algoprof_vm::{compile, CompiledProgram, Interp, NoopProfiler};
+
+fn programs() -> (CompiledProgram, CompiledProgram, CompiledProgram) {
+    let src = insertion_sort_program(SortWorkload::Random, 41, 10, 1);
+    let plain = compile(&src).expect("compiles");
+    let instrumented = plain.instrument(&InstrumentOptions::default());
+    let cct = plain.instrument(&InstrumentOptions {
+        methods: MethodInstrumentation::All,
+        ..InstrumentOptions::default()
+    });
+    (plain, instrumented, cct)
+}
+
+fn bench_overhead(c: &mut Criterion) {
+    let (plain, instrumented, cct_program) = programs();
+    let mut group = c.benchmark_group("overhead");
+
+    group.bench_function("uninstrumented", |b| {
+        b.iter(|| {
+            Interp::new(&plain)
+                .run(&mut NoopProfiler)
+                .expect("runs")
+                .instructions
+        })
+    });
+
+    group.bench_function("instrumented_noop", |b| {
+        b.iter(|| {
+            Interp::new(&instrumented)
+                .run(&mut NoopProfiler)
+                .expect("runs")
+                .instructions
+        })
+    });
+
+    group.bench_function("cct_profiler", |b| {
+        b.iter(|| {
+            let mut profiler = CctProfiler::new();
+            Interp::new(&cct_program).run(&mut profiler).expect("runs");
+            profiler.finish(&cct_program).nodes().len()
+        })
+    });
+
+    group.bench_function("algoprof", |b| {
+        b.iter(|| {
+            let mut profiler = AlgoProf::new();
+            Interp::new(&instrumented)
+                .run(&mut profiler)
+                .expect("runs");
+            profiler.finish(&instrumented).algorithms().len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_overhead);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Ablation: array sizing strategies (§3.4) — capacity vs
+//! unique-element counting — on the array-heavy Listing-6 workload.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use algoprof::{AlgoProf, AlgoProfOptions, ArraySizeStrategy};
+use algoprof_programs::{array_list_program, GrowthPolicy};
+use algoprof_vm::{compile, InstrumentOptions, Interp};
+
+fn bench_sizing(c: &mut Criterion) {
+    let src = array_list_program(GrowthPolicy::Doubling, 65, 8, 1);
+    let program = compile(&src)
+        .expect("compiles")
+        .instrument(&InstrumentOptions::default());
+
+    let mut group = c.benchmark_group("array_sizing");
+    for (name, strategy) in [
+        ("capacity", ArraySizeStrategy::Capacity),
+        ("unique_elements", ArraySizeStrategy::UniqueElements),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut profiler = AlgoProf::with_options(AlgoProfOptions {
+                    array_strategy: strategy,
+                    ..AlgoProfOptions::default()
+                });
+                Interp::new(&program).run(&mut profiler).expect("runs");
+                profiler.finish(&program).algorithms().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sizing);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Ablation: the paper's `remeasureInputs` first/last snapshot
+//! optimization vs snapshotting at every access (§3.4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use algoprof::{AlgoProf, AlgoProfOptions, SnapshotPolicy};
+use algoprof_programs::{insertion_sort_program, SortWorkload};
+use algoprof_vm::{compile, InstrumentOptions, Interp};
+
+fn bench_snapshot_policies(c: &mut Criterion) {
+    let src = insertion_sort_program(SortWorkload::Random, 41, 10, 1);
+    let program = compile(&src)
+        .expect("compiles")
+        .instrument(&InstrumentOptions::default());
+
+    let mut group = c.benchmark_group("snapshot_policy");
+    for (name, policy) in [
+        ("first_and_last", SnapshotPolicy::FirstAndLast),
+        ("every_access", SnapshotPolicy::EveryAccess),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut profiler = AlgoProf::with_options(AlgoProfOptions {
+                    snapshot_policy: policy,
+                    ..AlgoProfOptions::default()
+                });
+                Interp::new(&program).run(&mut profiler).expect("runs");
+                profiler.finish(&program).algorithms().len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_snapshot_policies);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 1 — cost functions of insertion sort.
+//!
+//! Runs the paper's running example (Listing 1 + Listing 2 harness) under
+//! the algorithmic profiler for three workloads and prints the
+//! ⟨list length, algorithmic steps⟩ series the figure plots, with the
+//! automatically fitted cost functions:
+//!
+//! * (a) random input  → steps ≈ 0.25·n²,
+//! * (b) sorted input  → steps ≈ n,
+//! * (c) reversed input → steps ≈ 0.5·n².
+
+use algoprof_bench::{report_algorithm, SweepArgs};
+use algoprof_programs::{insertion_sort_program, SortWorkload};
+
+fn main() {
+    let args = SweepArgs::parse(121, 10, 3);
+    println!("Figure 1: insertion sort cost functions");
+    println!(
+        "(sizes 0..{} step {}, {} runs per size)\n",
+        args.max_size, args.step, args.reps
+    );
+
+    for (panel, workload) in [
+        ("a", SortWorkload::Random),
+        ("b", SortWorkload::Sorted),
+        ("c", SortWorkload::Reversed),
+    ] {
+        let src = insertion_sort_program(workload, args.max_size, args.step, args.reps);
+        let profile = algoprof::profile_source(&src).expect("running example profiles");
+        println!("--- Figure 1({panel}): {workload} input ---");
+        report_algorithm(&profile, "List.sort:loop0", "List.sort");
+        println!();
+    }
+}

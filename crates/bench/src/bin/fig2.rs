@@ -1,0 +1,43 @@
+//! Figure 2 — the traditional profile the paper contrasts with.
+//!
+//! Runs the same running example under the calling-context-tree baseline
+//! profiler and prints the CCT with call counts and inclusive/exclusive
+//! "time" (interpreted instructions). The expected shape: `List.append`
+//! and the `Node` constructor are the most frequently called methods,
+//! and `List.sort` is the hottest by exclusive time.
+
+use algoprof_bench::SweepArgs;
+use algoprof_cct::CctProfiler;
+use algoprof_programs::{insertion_sort_program, SortWorkload};
+use algoprof_vm::instrument::{InstrumentOptions, MethodInstrumentation};
+use algoprof_vm::{compile, Interp};
+
+fn main() {
+    let args = SweepArgs::parse(61, 10, 2);
+    println!("Figure 2: traditional calling-context-tree profile");
+    println!(
+        "(sizes 0..{} step {}, {} runs per size)\n",
+        args.max_size, args.step, args.reps
+    );
+
+    let src = insertion_sort_program(SortWorkload::Random, args.max_size, args.step, args.reps);
+    let opts = InstrumentOptions {
+        methods: MethodInstrumentation::All,
+        ..InstrumentOptions::default()
+    };
+    let program = compile(&src).expect("compiles").instrument(&opts);
+    let mut cct = CctProfiler::new();
+    Interp::new(&program).run(&mut cct).expect("runs");
+    let profile = cct.finish(&program);
+
+    println!("{}", profile.render_text());
+
+    println!("most-called methods:");
+    for (name, calls) in profile.most_called_methods().into_iter().take(6) {
+        println!("  {name:30} {calls:>10} calls");
+    }
+    println!("\nhottest methods (exclusive instructions):");
+    for (name, excl) in profile.hottest_methods().into_iter().take(6) {
+        println!("  {name:30} {excl:>10}");
+    }
+}

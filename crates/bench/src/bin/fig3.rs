@@ -1,0 +1,32 @@
+//! Figure 3 — the algorithmic profile (repetition tree) of the running
+//! example.
+//!
+//! Prints the dynamic loop/recursion nesting tree with each node's
+//! algorithm, the automatic classifications ("Construction / Modification
+//! of a Node-based recursive structure", "Data-structure-less"), and the
+//! fitted cost function — the paper's headline annotation is
+//! `steps = 0.25·size²` for the sort on random inputs.
+
+use algoprof_bench::SweepArgs;
+use algoprof_programs::{insertion_sort_program, SortWorkload};
+
+fn main() {
+    let args = SweepArgs::parse(121, 10, 3);
+    println!("Figure 3: repetition tree of the running example\n");
+
+    let src = insertion_sort_program(SortWorkload::Random, args.max_size, args.step, args.reps);
+    let profile = algoprof::profile_source(&src).expect("running example profiles");
+    println!("{}", profile.render_text());
+
+    if let Some(algo) = profile.algorithm_by_root_name("List.sort:loop0") {
+        if let Some(fit) = profile.fit_invocation_steps(algo.id) {
+            println!(
+                "paper annotation: steps = 0.25*size^2; measured: {} (coefficient {:.4})",
+                fit, fit.coeff
+            );
+        }
+        if let Some(p) = profile.fit_invocation_power_law(algo.id) {
+            println!("empirical order of growth: {p}");
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Figure 4 — repetition tree for growing an array-backed list.
+//!
+//! Three repetition nodes in two algorithms: the harness loop running
+//! `testForSize` (data-structure-less), and the append loop fused with
+//! the inner grow loop (one algorithm, since both access the backing
+//! array).
+
+use algoprof_bench::SweepArgs;
+use algoprof_programs::{array_list_program, GrowthPolicy};
+
+fn main() {
+    let args = SweepArgs::parse(65, 8, 1);
+    println!("Figure 4: repetition tree for the growing array-backed list\n");
+
+    for policy in [GrowthPolicy::ByOne, GrowthPolicy::Doubling] {
+        let src = array_list_program(policy, args.max_size, args.step, args.reps);
+        let profile = algoprof::profile_source(&src).expect("profiles");
+        println!("--- {policy} ---");
+        println!("{}", profile.render_text());
+
+        // The figure's key fact: the append loop and the grow loop form
+        // one algorithm.
+        let append = profile.algorithm_by_root_name("Main.testForSize:loop0");
+        match append {
+            Some(a) => {
+                let fused = a
+                    .members
+                    .iter()
+                    .any(|&m| profile.node_name(m).contains("growIfFull"));
+                println!(
+                    "append+grow fused into one algorithm: {}\n",
+                    if fused { "yes" } else { "NO (unexpected)" }
+                );
+            }
+            None => println!("append algorithm not found (unexpected)\n"),
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Shared plumbing for the figure/table regeneration binaries.
+//!
+//! Every binary accepts `--max-size N`, `--step N`, and `--reps N` to
+//! scale its workload sweep (defaults chosen so a debug build finishes in
+//! seconds; release builds can afford the paper's full 0..1000 sweep).
+
+use std::time::Instant;
+
+use algoprof::{AlgorithmicProfile, CostMetric};
+use algoprof_fit::{best_fit, Fit};
+
+/// Sweep parameters parsed from the command line.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepArgs {
+    /// Exclusive upper bound on the input size.
+    pub max_size: usize,
+    /// Size increment.
+    pub step: usize,
+    /// Repetitions per size.
+    pub reps: usize,
+}
+
+impl SweepArgs {
+    /// Parses `--max-size`, `--step`, `--reps` from `std::env::args`,
+    /// falling back to the given defaults.
+    pub fn parse(default_max: usize, default_step: usize, default_reps: usize) -> SweepArgs {
+        let mut out = SweepArgs {
+            max_size: default_max,
+            step: default_step,
+            reps: default_reps,
+        };
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i + 1 < args.len() {
+            match args[i].as_str() {
+                "--max-size" => out.max_size = args[i + 1].parse().unwrap_or(out.max_size),
+                "--step" => out.step = args[i + 1].parse().unwrap_or(out.step),
+                "--reps" => out.reps = args[i + 1].parse().unwrap_or(out.reps),
+                _ => {
+                    i += 1;
+                    continue;
+                }
+            }
+            i += 2;
+        }
+        out
+    }
+}
+
+/// Prints a ⟨size, cost⟩ series as aligned columns with its best fit.
+pub fn print_series(title: &str, series: &[(f64, f64)]) -> Option<Fit> {
+    println!("  {title}:");
+    println!("    {:>8} {:>14}", "size", "cost");
+    for (s, c) in series {
+        println!("    {s:>8} {c:>14}");
+    }
+    let fit = best_fit(series);
+    match &fit {
+        Some(f) => println!("    fit: {f}   [{}]", f.model.big_o()),
+        None => println!("    fit: (not enough points)"),
+    }
+    fit
+}
+
+/// Extracts and prints the steps-vs-size series for the algorithm rooted
+/// at `root_needle`.
+pub fn report_algorithm(
+    profile: &AlgorithmicProfile,
+    root_needle: &str,
+    title: &str,
+) -> Option<Fit> {
+    let algo = profile.algorithm_by_root_name(root_needle)?;
+    let series = profile.invocation_series(algo.id, CostMetric::Steps);
+    println!("algorithm {title} ({}):", profile.describe_algorithm(algo.id));
+    print_series("steps vs input size", &series)
+}
+
+/// Wall-clock helper for the overhead study.
+pub fn time_it<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_args_defaults() {
+        let a = SweepArgs::parse(100, 10, 3);
+        assert_eq!(a.max_size, 100);
+        assert_eq!(a.step, 10);
+        assert_eq!(a.reps, 3);
+    }
+
+    #[test]
+    fn print_series_fits_linear() {
+        let series: Vec<(f64, f64)> = (1..20).map(|i| (i as f64, 2.0 * i as f64)).collect();
+        let fit = print_series("test", &series).expect("fits");
+        assert_eq!(fit.model, algoprof_fit::Model::Linear);
+    }
+
+    #[test]
+    fn time_it_returns_value() {
+        let (v, secs) = time_it(|| 21 * 2);
+        assert_eq!(v, 42);
+        assert!(secs >= 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! `algoprof` — command-line algorithmic profiler for jay programs.
+//!
+//! ```text
+//! algoprof [OPTIONS] <program.jay>
+//!
+//! OPTIONS:
+//!   --criterion <some|all|array|type>   snapshot equivalence criterion
+//!   --sizing <capacity|unique>          array sizing strategy
+//!   --snapshots <firstlast|every>       snapshot policy
+//!   --grouping <input|indexflow|method> algorithm grouping strategy
+//!   --input <v1,v2,...>                 values for readInput()
+//!   --csv <root-name-needle>            print the steps CSV for one algorithm
+//!   --html <file.html>                  write a self-contained HTML report
+//! ```
+
+use std::process::ExitCode;
+
+use algoprof::{
+    AlgoProfOptions, ArraySizeStrategy, CostMetric, EquivalenceCriterion, GroupingStrategy,
+    SnapshotPolicy,
+};
+use algoprof_vm::InstrumentOptions;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: algoprof [--criterion some|all|array|type] [--sizing capacity|unique] \
+             [--snapshots firstlast|every] [--grouping input|indexflow|method] \
+             [--input v1,v2,...] [--csv <needle>] <program.jay>"
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut opts = AlgoProfOptions::default();
+    let mut input: Vec<i64> = Vec::new();
+    let mut csv: Option<String> = None;
+    let mut html: Option<String> = None;
+    let mut path: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--criterion" => {
+                i += 1;
+                opts.criterion = match args.get(i).map(String::as_str) {
+                    Some("some") => EquivalenceCriterion::SomeElements,
+                    Some("all") => EquivalenceCriterion::AllElements,
+                    Some("array") => EquivalenceCriterion::SameArray,
+                    Some("type") => EquivalenceCriterion::SameType,
+                    other => {
+                        eprintln!("unknown criterion {other:?}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--sizing" => {
+                i += 1;
+                opts.array_strategy = match args.get(i).map(String::as_str) {
+                    Some("capacity") => ArraySizeStrategy::Capacity,
+                    Some("unique") => ArraySizeStrategy::UniqueElements,
+                    other => {
+                        eprintln!("unknown sizing {other:?}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--grouping" => {
+                i += 1;
+                opts.grouping = match args.get(i).map(String::as_str) {
+                    Some("input") => GroupingStrategy::SharedInput,
+                    Some("indexflow") => GroupingStrategy::SharedInputOrIndexFlow,
+                    Some("method") => GroupingStrategy::SameMethod,
+                    other => {
+                        eprintln!("unknown grouping {other:?}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--snapshots" => {
+                i += 1;
+                opts.snapshot_policy = match args.get(i).map(String::as_str) {
+                    Some("firstlast") => SnapshotPolicy::FirstAndLast,
+                    Some("every") => SnapshotPolicy::EveryAccess,
+                    other => {
+                        eprintln!("unknown snapshot policy {other:?}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--input" => {
+                i += 1;
+                match args.get(i) {
+                    Some(list) => {
+                        for part in list.split(',').filter(|p| !p.is_empty()) {
+                            match part.trim().parse() {
+                                Ok(v) => input.push(v),
+                                Err(_) => {
+                                    eprintln!("invalid input value {part:?}");
+                                    return ExitCode::FAILURE;
+                                }
+                            }
+                        }
+                    }
+                    None => {
+                        eprintln!("--input requires a value list");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--csv" => {
+                i += 1;
+                csv = args.get(i).cloned();
+            }
+            "--html" => {
+                i += 1;
+                html = args.get(i).cloned();
+            }
+            other => {
+                if path.is_some() {
+                    eprintln!("unexpected argument {other:?}");
+                    return ExitCode::FAILURE;
+                }
+                path = Some(other.to_owned());
+            }
+        }
+        i += 1;
+    }
+
+    let Some(path) = path else {
+        eprintln!("no program file given");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let profile =
+        match algoprof::profile_source_with(&source, &InstrumentOptions::default(), opts, &input)
+        {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+
+    if let Some(html_path) = html {
+        if let Err(e) = std::fs::write(&html_path, algoprof::render_html(&profile)) {
+            eprintln!("cannot write {html_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote {html_path}");
+        return ExitCode::SUCCESS;
+    }
+
+    match csv {
+        Some(needle) => match profile.algorithm_by_root_name(&needle) {
+            Some(algo) => {
+                println!("size,steps");
+                for (s, c) in profile.invocation_series(algo.id, CostMetric::Steps) {
+                    println!("{s},{c}");
+                }
+            }
+            None => {
+                eprintln!("no algorithm whose root matches {needle:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => print!("{}", profile.render_text()),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,249 @@
+//! Algorithm classification (paper §2.8).
+//!
+//! Each algorithm is classified *per input*: Construction when it
+//! allocates elements of the input's recursive type, else Modification
+//! when it writes the structure, else Traversal; plus Input/Output for
+//! external streams. Algorithms with no measurable input are
+//! data-structure-less.
+
+use std::fmt;
+
+use crate::algorithms::Algorithm;
+use crate::cost::CostMap;
+use crate::inputs::{InputId, InputKind, InputRegistry};
+
+/// The paper's algorithm kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgorithmClass {
+    /// Read-only traversal of a structure or array.
+    Traversal,
+    /// Updates links/elements without creating new elements.
+    Modification,
+    /// Allocates elements of the recursive type.
+    Construction,
+    /// Consumes external input.
+    Input,
+    /// Produces external output.
+    Output,
+    /// No measurable input.
+    DataStructureLess,
+}
+
+impl fmt::Display for AlgorithmClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            AlgorithmClass::Traversal => "Traversal",
+            AlgorithmClass::Modification => "Modification",
+            AlgorithmClass::Construction => "Construction",
+            AlgorithmClass::Input => "Input",
+            AlgorithmClass::Output => "Output",
+            AlgorithmClass::DataStructureLess => "Data-structure-less",
+        })
+    }
+}
+
+/// One classification entry: how the algorithm relates to one input
+/// (`input` is `None` only for [`AlgorithmClass::DataStructureLess`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Classification {
+    /// The classified input, if any.
+    pub input: Option<InputId>,
+    /// The kind of algorithm with respect to that input.
+    pub class: AlgorithmClass,
+}
+
+/// Classifies `algorithm` against every input it accesses.
+///
+/// Construction, modification, and traversal are mutually exclusive *per
+/// input* (paper §2.8): creation wins over modification, which wins over
+/// traversal.
+pub fn classify(algorithm: &Algorithm, registry: &InputRegistry) -> Vec<Classification> {
+    let mut out = Vec::new();
+    let total = &algorithm.total_costs;
+    for &input in &algorithm.inputs {
+        let info = registry.input(input);
+        let class = match &info.kind {
+            InputKind::Structure => {
+                if creates_elements_of(total, registry, input) {
+                    AlgorithmClass::Construction
+                } else if total.writes_of(input) > 0 {
+                    AlgorithmClass::Modification
+                } else {
+                    AlgorithmClass::Traversal
+                }
+            }
+            InputKind::Array(_) => {
+                if total.writes_of(input) > 0 {
+                    AlgorithmClass::Modification
+                } else {
+                    AlgorithmClass::Traversal
+                }
+            }
+            InputKind::ExternalInput => AlgorithmClass::Input,
+            InputKind::ExternalOutput => AlgorithmClass::Output,
+        };
+        out.push(Classification {
+            input: Some(input),
+            class,
+        });
+    }
+    if out.is_empty() {
+        out.push(Classification {
+            input: None,
+            class: AlgorithmClass::DataStructureLess,
+        });
+    }
+    out
+}
+
+/// Whether the algorithm allocated objects of any class that belongs to
+/// `input`'s structure.
+fn creates_elements_of(total: &CostMap, registry: &InputRegistry, input: InputId) -> bool {
+    let classes = &registry.input(input).classes;
+    total
+        .created_classes()
+        .iter()
+        .any(|c| classes.contains_key(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::{AlgorithmId, DataPoint};
+    use crate::cost::{AccessOp, CostKey};
+    use crate::reptree::NodeId;
+    use crate::snapshot::{ElemKey, Snapshot, SnapshotKind};
+    use algoprof_vm::ClassId;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn registry_with_structure() -> (InputRegistry, InputId) {
+        let mut reg = InputRegistry::default();
+        let mut keys = BTreeSet::new();
+        keys.insert(ElemKey::Obj(algoprof_vm::heap::ObjRef(0)));
+        let mut classes = BTreeMap::new();
+        classes.insert(ClassId(2), 1);
+        let id = reg.identify(
+            Snapshot {
+                keys,
+                kind: SnapshotKind::Structure { classes },
+                size: 1,
+                unique_size: 1,
+                refs_traversed: 0,
+            },
+            &[],
+        );
+        (reg, id)
+    }
+
+    fn algo_with_costs(input: Option<InputId>, costs: CostMap) -> Algorithm {
+        Algorithm {
+            id: AlgorithmId(0),
+            root: NodeId(1),
+            members: vec![NodeId(1)],
+            inputs: input.into_iter().collect(),
+            points: vec![DataPoint {
+                root_invocation: 0,
+                costs: costs.clone(),
+                input_sizes: BTreeMap::new(),
+            }],
+            total_costs: costs,
+        }
+    }
+
+    #[test]
+    fn read_only_is_traversal() {
+        let (reg, input) = registry_with_structure();
+        let mut costs = CostMap::new();
+        costs.add(
+            CostKey::StructAccess {
+                input,
+                op: AccessOp::Read,
+            },
+            10,
+        );
+        let algo = algo_with_costs(Some(input), costs);
+        let c = classify(&algo, &reg);
+        assert_eq!(c[0].class, AlgorithmClass::Traversal);
+    }
+
+    #[test]
+    fn writes_make_modification() {
+        let (reg, input) = registry_with_structure();
+        let mut costs = CostMap::new();
+        costs.add(
+            CostKey::StructAccess {
+                input,
+                op: AccessOp::Write,
+            },
+            3,
+        );
+        let algo = algo_with_costs(Some(input), costs);
+        assert_eq!(classify(&algo, &reg)[0].class, AlgorithmClass::Modification);
+    }
+
+    #[test]
+    fn creation_of_structure_class_wins_over_writes() {
+        let (reg, input) = registry_with_structure();
+        let mut costs = CostMap::new();
+        costs.add(
+            CostKey::StructAccess {
+                input,
+                op: AccessOp::Write,
+            },
+            5,
+        );
+        costs.add(CostKey::Creation { class: ClassId(2) }, 5);
+        let algo = algo_with_costs(Some(input), costs);
+        assert_eq!(classify(&algo, &reg)[0].class, AlgorithmClass::Construction);
+    }
+
+    #[test]
+    fn creation_of_unrelated_class_does_not_make_construction() {
+        let (reg, input) = registry_with_structure();
+        let mut costs = CostMap::new();
+        costs.add(
+            CostKey::StructAccess {
+                input,
+                op: AccessOp::Write,
+            },
+            5,
+        );
+        costs.add(CostKey::Creation { class: ClassId(9) }, 5);
+        let algo = algo_with_costs(Some(input), costs);
+        assert_eq!(classify(&algo, &reg)[0].class, AlgorithmClass::Modification);
+    }
+
+    #[test]
+    fn no_inputs_is_data_structure_less() {
+        let (reg, _) = registry_with_structure();
+        let algo = algo_with_costs(None, CostMap::new());
+        let c = classify(&algo, &reg);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].class, AlgorithmClass::DataStructureLess);
+        assert_eq!(c[0].input, None);
+    }
+
+    #[test]
+    fn external_streams_classify_as_io() {
+        let mut reg = InputRegistry::default();
+        let i = reg.external_input();
+        let o = reg.external_output();
+        let mut costs = CostMap::new();
+        costs.bump(CostKey::InputRead);
+        costs.bump(CostKey::OutputWrite);
+        let mut algo = algo_with_costs(Some(i), costs);
+        algo.inputs.push(o);
+        let c = classify(&algo, &reg);
+        assert!(c.iter().any(|x| x.class == AlgorithmClass::Input));
+        assert!(c.iter().any(|x| x.class == AlgorithmClass::Output));
+    }
+
+    #[test]
+    fn class_display_names() {
+        assert_eq!(AlgorithmClass::Construction.to_string(), "Construction");
+        assert_eq!(
+            AlgorithmClass::DataStructureLess.to_string(),
+            "Data-structure-less"
+        );
+    }
+}

@@ -1,0 +1,441 @@
+//! Input identification (paper §2.3–§2.4, §3.4).
+//!
+//! An algorithm's *inputs* are the data structures, arrays, and external
+//! streams it accesses. Structures evolve while a program runs, so the
+//! registry resolves each new snapshot to an [`InputId`] using an
+//! [`EquivalenceCriterion`]:
+//!
+//! * reference keys (objects, arrays) are globally unique in the guest
+//!   heap, so a reverse map resolves re-accesses in O(1);
+//! * primitive-value keys (int-array contents) are only matched against
+//!   *candidate* inputs supplied by the caller — the inputs observed by
+//!   the currently active repetition chain — which keeps the paper's
+//!   "Some Elements Identical" behaviour for reallocated arrays without
+//!   accidentally merging unrelated arrays that happen to share values.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use algoprof_vm::bytecode::ElemKind;
+use algoprof_vm::{ClassId, CompiledProgram};
+
+use crate::snapshot::{ArraySizeStrategy, ElemKey, EquivalenceCriterion, Snapshot, SnapshotKind};
+
+/// Identifies one input of one or more algorithms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InputId(pub u32);
+
+impl InputId {
+    /// The id as a usize index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for InputId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "input#{}", self.0)
+    }
+}
+
+/// What kind of input this is.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InputKind {
+    /// A recursive data structure.
+    Structure,
+    /// An array (element kind of the root array).
+    Array(ElemKind),
+    /// The external input stream (`readInput()`).
+    ExternalInput,
+    /// The external output stream (`print()`).
+    ExternalOutput,
+}
+
+/// Everything known about one input.
+#[derive(Debug, Clone)]
+pub struct InputInfo {
+    /// The input's id.
+    pub id: InputId,
+    /// Structure / array / external.
+    pub kind: InputKind,
+    /// Classes of elements ever observed (with the largest per-class
+    /// count seen in one snapshot).
+    pub classes: BTreeMap<ClassId, usize>,
+    /// Largest size ever observed.
+    pub max_size: usize,
+    /// Size of the most recent snapshot.
+    pub last_size: usize,
+    /// Most recent snapshot (identity keys for AllElements matching).
+    pub last_snapshot: Option<Snapshot>,
+}
+
+impl InputInfo {
+    /// A human-readable description, e.g. `Node-based recursive
+    /// structure` or `int array`.
+    pub fn describe(&self, program: &CompiledProgram) -> String {
+        match &self.kind {
+            InputKind::Structure => {
+                let names: Vec<&str> = self
+                    .classes
+                    .keys()
+                    .map(|&c| program.class(c).name.as_str())
+                    .collect();
+                if names.is_empty() {
+                    "recursive structure".to_owned()
+                } else {
+                    format!("{}-based recursive structure", names.join("/"))
+                }
+            }
+            InputKind::Array(ElemKind::Int) => "int array".to_owned(),
+            InputKind::Array(ElemKind::Bool) => "boolean array".to_owned(),
+            InputKind::Array(ElemKind::Ref) => "reference array".to_owned(),
+            InputKind::ExternalInput => "external input".to_owned(),
+            InputKind::ExternalOutput => "external output".to_owned(),
+        }
+    }
+}
+
+/// The global input table plus the reverse map from heap references to
+/// inputs.
+#[derive(Debug, Clone)]
+pub struct InputRegistry {
+    inputs: Vec<InputInfo>,
+    ref_map: HashMap<ElemKey, InputId>,
+    criterion: EquivalenceCriterion,
+    array_strategy: ArraySizeStrategy,
+}
+
+impl InputRegistry {
+    /// Creates an empty registry with the given matching configuration.
+    pub fn new(criterion: EquivalenceCriterion, array_strategy: ArraySizeStrategy) -> Self {
+        InputRegistry {
+            inputs: Vec::new(),
+            ref_map: HashMap::new(),
+            criterion,
+            array_strategy,
+        }
+    }
+
+    /// The configured array sizing strategy.
+    pub fn array_strategy(&self) -> ArraySizeStrategy {
+        self.array_strategy
+    }
+
+    /// All inputs registered so far.
+    pub fn inputs(&self) -> &[InputInfo] {
+        &self.inputs
+    }
+
+    /// The info for `id`.
+    pub fn input(&self, id: InputId) -> &InputInfo {
+        &self.inputs[id.index()]
+    }
+
+    /// Fast path: resolves a heap reference key previously seen in a
+    /// snapshot.
+    pub fn resolve_ref(&self, key: ElemKey) -> Option<InputId> {
+        self.ref_map.get(&key).copied()
+    }
+
+    /// Resolves `snap` to an existing or fresh input. `candidates` are the
+    /// inputs accessed by the active repetition chain, used for matching
+    /// that cannot rely on reference identity (primitive arrays,
+    /// AllElements, SameType).
+    pub fn identify(&mut self, snap: Snapshot, candidates: &[InputId]) -> InputId {
+        let found = self.match_existing(&snap, candidates);
+        match found {
+            Some(id) => {
+                self.record_snapshot(id, snap);
+                id
+            }
+            None => self.register(snap),
+        }
+    }
+
+    fn match_existing(&self, snap: &Snapshot, candidates: &[InputId]) -> Option<InputId> {
+        match self.criterion {
+            EquivalenceCriterion::SomeElements => {
+                // Reference identity first.
+                for key in snap.ref_keys() {
+                    if let Some(&id) = self.ref_map.get(&key) {
+                        return Some(id);
+                    }
+                }
+                // Value overlap against the active candidates only.
+                for &cand in candidates {
+                    if let Some(last) = &self.inputs[cand.index()].last_snapshot {
+                        if snap.equivalent(last, EquivalenceCriterion::SomeElements) {
+                            return Some(cand);
+                        }
+                    }
+                }
+                None
+            }
+            EquivalenceCriterion::AllElements => {
+                let mut seen: Vec<InputId> = candidates.to_vec();
+                for key in snap.ref_keys() {
+                    if let Some(&id) = self.ref_map.get(&key) {
+                        seen.push(id);
+                    }
+                }
+                seen.sort_unstable();
+                seen.dedup();
+                seen.into_iter().find(|&id| {
+                    self.inputs[id.index()]
+                        .last_snapshot
+                        .as_ref()
+                        .is_some_and(|last| snap.equivalent(last, EquivalenceCriterion::AllElements))
+                })
+            }
+            EquivalenceCriterion::SameArray => match &snap.kind {
+                SnapshotKind::Array { .. } => {
+                    let root = snap.keys.iter().find_map(|k| match k {
+                        ElemKey::Arr(a) => Some(ElemKey::Arr(*a)),
+                        _ => None,
+                    })?;
+                    self.ref_map.get(&root).copied()
+                }
+                // The paper notes SameArray only works for arrays;
+                // structures fall back to reference overlap.
+                SnapshotKind::Structure { .. } => snap
+                    .ref_keys()
+                    .find_map(|key| self.ref_map.get(&key).copied()),
+            },
+            EquivalenceCriterion::SameType => self
+                .inputs
+                .iter()
+                .find(|i| {
+                    i.last_snapshot
+                        .as_ref()
+                        .is_some_and(|last| snap.equivalent(last, EquivalenceCriterion::SameType))
+                })
+                .map(|i| i.id),
+        }
+    }
+
+    fn register(&mut self, snap: Snapshot) -> InputId {
+        let id = InputId(self.inputs.len() as u32);
+        let kind = match &snap.kind {
+            SnapshotKind::Structure { .. } => InputKind::Structure,
+            SnapshotKind::Array { elem } => InputKind::Array(*elem),
+        };
+        self.inputs.push(InputInfo {
+            id,
+            kind,
+            classes: BTreeMap::new(),
+            max_size: 0,
+            last_size: 0,
+            last_snapshot: None,
+        });
+        self.record_snapshot(id, snap);
+        id
+    }
+
+    /// Records a fresh snapshot of input `id`: updates sizes, class info,
+    /// and the reverse reference map.
+    ///
+    /// Structure snapshots claim all their reference keys in the map;
+    /// array snapshots claim only array keys. Objects stored *in* an
+    /// array are elements, not parts of it — a field access on such an
+    /// object must resolve to the object's own structure, so arrays may
+    /// not shadow object keys (element overlap for arrays is still
+    /// matched through the candidate path, which compares full
+    /// snapshots).
+    pub fn record_snapshot(&mut self, id: InputId, snap: Snapshot) {
+        let arrays_only = matches!(snap.kind, SnapshotKind::Array { .. });
+        for key in snap.ref_keys() {
+            if arrays_only && !matches!(key, ElemKey::Arr(_)) {
+                continue;
+            }
+            self.ref_map.insert(key, id);
+        }
+        let size = snap.size_under(self.array_strategy);
+        let info = &mut self.inputs[id.index()];
+        if let SnapshotKind::Structure { classes } = &snap.kind {
+            for (&c, &n) in classes {
+                let e = info.classes.entry(c).or_insert(0);
+                *e = (*e).max(n);
+            }
+        }
+        info.last_size = size;
+        info.max_size = info.max_size.max(size);
+        info.last_snapshot = Some(snap);
+    }
+
+    /// Registers (or returns) the singleton external-input stream.
+    pub fn external_input(&mut self) -> InputId {
+        self.external(InputKind::ExternalInput)
+    }
+
+    /// Registers (or returns) the singleton external-output stream.
+    pub fn external_output(&mut self) -> InputId {
+        self.external(InputKind::ExternalOutput)
+    }
+
+    fn external(&mut self, kind: InputKind) -> InputId {
+        if let Some(i) = self.inputs.iter().find(|i| i.kind == kind) {
+            return i.id;
+        }
+        let id = InputId(self.inputs.len() as u32);
+        self.inputs.push(InputInfo {
+            id,
+            kind,
+            classes: BTreeMap::new(),
+            max_size: 0,
+            last_size: 0,
+            last_snapshot: None,
+        });
+        id
+    }
+
+    /// Bumps the observed size of an external stream (1 per read/write).
+    pub fn bump_external(&mut self, id: InputId) {
+        let info = &mut self.inputs[id.index()];
+        info.last_size += 1;
+        info.max_size = info.max_size.max(info.last_size);
+    }
+}
+
+impl Default for InputRegistry {
+    fn default() -> Self {
+        InputRegistry::new(
+            EquivalenceCriterion::default(),
+            ArraySizeStrategy::default(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    use algoprof_vm::heap::{ArrRef, ObjRef};
+
+    fn struct_snap(objs: &[u32], class: u32) -> Snapshot {
+        let mut keys = BTreeSet::new();
+        let mut classes = BTreeMap::new();
+        for &o in objs {
+            keys.insert(ElemKey::Obj(ObjRef(o)));
+        }
+        classes.insert(ClassId(class), objs.len());
+        Snapshot {
+            keys,
+            kind: SnapshotKind::Structure { classes },
+            size: objs.len(),
+            unique_size: objs.len(),
+            refs_traversed: 0,
+        }
+    }
+
+    fn int_array_snap(arr: u32, values: &[i64]) -> Snapshot {
+        let mut keys = BTreeSet::new();
+        keys.insert(ElemKey::Arr(ArrRef(arr)));
+        for &v in values {
+            keys.insert(ElemKey::Int(v));
+        }
+        Snapshot {
+            keys,
+            kind: SnapshotKind::Array {
+                elem: ElemKind::Int,
+            },
+            size: values.len(),
+            unique_size: values.iter().collect::<BTreeSet<_>>().len(),
+            refs_traversed: 0,
+        }
+    }
+
+    #[test]
+    fn overlapping_structure_snapshots_are_one_input() {
+        let mut reg = InputRegistry::default();
+        let a = reg.identify(struct_snap(&[1, 2, 3], 0), &[]);
+        let b = reg.identify(struct_snap(&[3, 4], 0), &[]);
+        assert_eq!(a, b);
+        assert_eq!(reg.input(a).max_size, 3);
+    }
+
+    #[test]
+    fn disjoint_structures_are_distinct_inputs() {
+        let mut reg = InputRegistry::default();
+        let a = reg.identify(struct_snap(&[1, 2], 0), &[]);
+        let b = reg.identify(struct_snap(&[5, 6], 0), &[]);
+        assert_ne!(a, b);
+        assert_eq!(reg.inputs().len(), 2);
+    }
+
+    #[test]
+    fn growing_structure_updates_max_size() {
+        let mut reg = InputRegistry::default();
+        let a = reg.identify(struct_snap(&[1], 0), &[]);
+        reg.identify(struct_snap(&[1, 2, 3, 4], 0), &[]);
+        reg.identify(struct_snap(&[4], 0), &[]);
+        assert_eq!(reg.input(a).max_size, 4);
+        assert_eq!(reg.input(a).last_size, 1);
+    }
+
+    #[test]
+    fn int_arrays_merge_only_via_candidates() {
+        let mut reg = InputRegistry::default();
+        let a = reg.identify(int_array_snap(0, &[1, 2, 3]), &[]);
+        // Overlapping values but NOT a candidate: new input.
+        let b = reg.identify(int_array_snap(1, &[2, 3, 4]), &[]);
+        assert_ne!(a, b);
+        // Overlapping values and a candidate (the reallocation case):
+        // same input.
+        let c = reg.identify(int_array_snap(2, &[2, 3, 4, 5]), &[b]);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn ref_identity_survives_without_candidates() {
+        let mut reg = InputRegistry::default();
+        let a = reg.identify(int_array_snap(7, &[9]), &[]);
+        // Re-access of the same array is a ref-map hit even with no
+        // candidates.
+        let b = reg.identify(int_array_snap(7, &[9, 10]), &[]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn all_elements_criterion_requires_exact_match() {
+        let mut reg = InputRegistry::new(
+            EquivalenceCriterion::AllElements,
+            ArraySizeStrategy::Capacity,
+        );
+        let a = reg.identify(struct_snap(&[1, 2], 0), &[]);
+        // Overlap but not equality: a fresh input under AllElements.
+        let b = reg.identify(struct_snap(&[1, 2, 3], 0), &[]);
+        assert_ne!(a, b);
+        let c = reg.identify(struct_snap(&[1, 2, 3], 0), &[]);
+        assert_eq!(b, c);
+    }
+
+    #[test]
+    fn same_type_criterion_merges_disconnected_instances() {
+        let mut reg = InputRegistry::new(
+            EquivalenceCriterion::SameType,
+            ArraySizeStrategy::Capacity,
+        );
+        let a = reg.identify(struct_snap(&[1], 0), &[]);
+        let b = reg.identify(struct_snap(&[9], 0), &[]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn external_streams_are_singletons() {
+        let mut reg = InputRegistry::default();
+        let i1 = reg.external_input();
+        let i2 = reg.external_input();
+        let o = reg.external_output();
+        assert_eq!(i1, i2);
+        assert_ne!(i1, o);
+        reg.bump_external(i1);
+        reg.bump_external(i1);
+        assert_eq!(reg.input(i1).max_size, 2);
+    }
+
+    #[test]
+    fn input_id_display() {
+        assert_eq!(InputId(3).to_string(), "input#3");
+    }
+}

@@ -1,0 +1,445 @@
+//! The AlgoProf dynamic analysis (paper §3.2–§3.4).
+//!
+//! `AlgoProf` consumes the VM's instrumentation events and incrementally
+//! builds a repetition tree, following the paper's pseudocode:
+//!
+//! * **loop entry** — `tn = tn.getOrCreateChild(loop)`, push shadow;
+//! * **loop back edge** — `tn.cost{STEP}++`;
+//! * **loop exit** — `remeasureInputs(); finalizeRepetition(tn)`, pop;
+//! * **method entry** — fold recursion: jump to a header found on the
+//!   path to the root (counting a step) or create a recursion child;
+//! * **method exit** — when the recursion depth returns to zero,
+//!   remeasure and finalize;
+//! * **field/array accesses** — identify the input (reverse reference
+//!   map, then snapshot + equivalence criterion), count the access, and
+//!   track per-invocation sizes with the paper's first-access /
+//!   exit-remeasurement snapshot optimization.
+
+use algoprof_vm::{CompiledProgram, FieldId, FuncId, Heap, LoopId, ProfilerHooks, Value};
+
+use crate::cost::{AccessOp, CostKey};
+use crate::inputs::{InputId, InputRegistry};
+use crate::profile::AlgorithmicProfile;
+use crate::reptree::{ActiveObservation, NodeId, RepKind, RepTree};
+use crate::snapshot::{
+    snapshot_array, snapshot_structure, ArraySizeStrategy, ElemKey, EquivalenceCriterion, Snapshot,
+};
+
+/// When structure snapshots are taken (paper §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotPolicy {
+    /// Snapshot at a repetition's first access of each input and once
+    /// more at repetition exit (`remeasureInputs`) — AlgoProf's
+    /// optimization.
+    #[default]
+    FirstAndLast,
+    /// Snapshot at every access (precise but expensive; kept for the
+    /// ablation benchmarks).
+    EveryAccess,
+}
+
+/// Configuration of the algorithmic profiler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlgoProfOptions {
+    /// Snapshot-equivalence criterion for input identity.
+    pub criterion: EquivalenceCriterion,
+    /// Array sizing strategy.
+    pub array_strategy: ArraySizeStrategy,
+    /// Snapshot frequency.
+    pub snapshot_policy: SnapshotPolicy,
+    /// How repetitions group into algorithms.
+    pub grouping: crate::algorithms::GroupingStrategy,
+}
+
+/// The algorithmic profiler. Feed it to
+/// [`Interp::run`](algoprof_vm::Interp::run) against an *instrumented*
+/// program, then call [`AlgoProf::finish`] to obtain the profile.
+///
+/// # Example
+///
+/// ```
+/// use algoprof_vm::{compile, InstrumentOptions, Interp};
+/// use algoprof::AlgoProf;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = r#"
+///     class Main {
+///         static int main() {
+///             int s = 0;
+///             for (int i = 0; i < 10; i = i + 1) { s = s + i; }
+///             return s;
+///         }
+///     }
+/// "#;
+/// let program = compile(src)?.instrument(&InstrumentOptions::default());
+/// let mut prof = AlgoProf::new();
+/// Interp::new(&program).run(&mut prof)?;
+/// let profile = prof.finish(&program);
+/// // Two algorithms: the program root and the loop.
+/// assert_eq!(profile.algorithms().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AlgoProf {
+    opts: AlgoProfOptions,
+    tree: RepTree,
+    registry: InputRegistry,
+    tn: NodeId,
+    shadow: Vec<NodeId>,
+}
+
+impl AlgoProf {
+    /// Creates a profiler with default options (SomeElements equivalence,
+    /// capacity array sizing, first/last snapshots).
+    pub fn new() -> Self {
+        AlgoProf::with_options(AlgoProfOptions::default())
+    }
+
+    /// Creates a profiler with explicit options.
+    pub fn with_options(opts: AlgoProfOptions) -> Self {
+        let tree = RepTree::new();
+        let tn = tree.root();
+        AlgoProf {
+            opts,
+            tree,
+            registry: InputRegistry::new(opts.criterion, opts.array_strategy),
+            tn,
+            shadow: Vec::new(),
+        }
+    }
+
+    /// The repetition tree built so far.
+    pub fn tree(&self) -> &RepTree {
+        &self.tree
+    }
+
+    /// The input registry built so far.
+    pub fn registry(&self) -> &InputRegistry {
+        &self.registry
+    }
+
+    /// Finalizes all open invocations and produces the profile.
+    ///
+    /// Call this after the interpreter run completed successfully; a
+    /// failed run leaves partially-attributed data.
+    pub fn finish(mut self, program: &CompiledProgram) -> AlgorithmicProfile {
+        // Close any repetitions left open (the root always is; more remain
+        // only after an aborted run).
+        self.tree.finalize_all();
+        AlgorithmicProfile::build_with(self.tree, self.registry, program, self.opts.grouping)
+    }
+
+    // ------------------------------------------------------------ helpers
+
+    fn parent_link(&self) -> (NodeId, usize) {
+        let ordinal = self
+            .tree
+            .current_ordinal(self.tn)
+            .expect("the current node has an active invocation");
+        (self.tn, ordinal)
+    }
+
+    /// Inputs observed by any invocation active on the current chain —
+    /// the candidate set for value-based snapshot matching.
+    fn chain_candidates(&self) -> Vec<InputId> {
+        let mut out = Vec::new();
+        for node in self.tree.path_to_root(self.tn) {
+            for activation in &self.tree.node(node).active {
+                out.extend(activation.inputs.keys().copied());
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn measure(&self, program: &CompiledProgram, heap: &Heap, r: Value) -> Option<Snapshot> {
+        match r {
+            Value::Obj(o) => Some(snapshot_structure(program, heap, o)),
+            Value::Arr(a) => Some(snapshot_array(heap, a)),
+            _ => None,
+        }
+    }
+
+    /// Resolves the input accessed through reference `r`, taking a
+    /// snapshot only when needed. Returns the input and the size if one
+    /// was measured.
+    fn resolve_input(
+        &mut self,
+        program: &CompiledProgram,
+        heap: &Heap,
+        r: Value,
+    ) -> Option<(InputId, Option<usize>)> {
+        let key = match r {
+            Value::Obj(o) => ElemKey::Obj(o),
+            Value::Arr(a) => ElemKey::Arr(a),
+            _ => return None,
+        };
+        if let Some(id) = self.registry.resolve_ref(key) {
+            return Some((id, None));
+        }
+        // Unknown reference. Under the first/last policy, attribute
+        // mid-construction references to the invocation's open input
+        // without traversing (the paper's "memorize the one accessed
+        // reference" trick) — but only for structures; arrays are always
+        // identified.
+        if self.opts.snapshot_policy == SnapshotPolicy::FirstAndLast && matches!(r, Value::Obj(_)) {
+            if let Some(open) = self
+                .tree
+                .node(self.tn)
+                .current()
+                .and_then(|c| c.open_input)
+            {
+                return Some((open, None));
+            }
+        }
+        let snap = self.measure(program, heap, r)?;
+        let size = snap.size_under(self.registry.array_strategy());
+        let candidates = self.chain_candidates();
+        let id = self.registry.identify(snap, &candidates);
+        Some((id, Some(size)))
+    }
+
+    /// Records an access observation of `input` through `r` on the
+    /// current node's active invocation.
+    fn observe(
+        &mut self,
+        program: &CompiledProgram,
+        heap: &Heap,
+        input: InputId,
+        r: Value,
+        measured: Option<usize>,
+    ) {
+        let every_access = self.opts.snapshot_policy == SnapshotPolicy::EveryAccess;
+        let exists = self
+            .tree
+            .node(self.tn)
+            .current()
+            .is_some_and(|c| c.inputs.contains_key(&input));
+
+        // First access in this invocation (or every access, under that
+        // policy): measure from the accessed reference and refresh the
+        // registry.
+        let size = if !exists || every_access {
+            match measured {
+                Some(s) => Some(s),
+                None => self.measure(program, heap, r).map(|snap| {
+                    let s = snap.size_under(self.registry.array_strategy());
+                    self.registry.record_snapshot(input, snap);
+                    s
+                }),
+            }
+        } else {
+            None
+        };
+
+        let node = self.tree.node_mut(self.tn);
+        let cur = node
+            .current_mut()
+            .expect("the current node has an active invocation");
+        let obs = cur.inputs.entry(input).or_insert_with(|| {
+            let s = size.unwrap_or(0);
+            ActiveObservation {
+                first_size: s,
+                exit_size: s,
+                max_size: s,
+                last_ref: None,
+            }
+        });
+        obs.last_ref = Some(r);
+        if let Some(s) = size {
+            obs.max_size = obs.max_size.max(s);
+            obs.exit_size = s;
+        }
+        // Only *structure* accesses set the open input: unresolved object
+        // references fall back to it mid-construction. Array accesses must
+        // not capture it, or freshly allocated helper arrays would swallow
+        // subsequent unknown objects.
+        if matches!(r, Value::Obj(_)) {
+            cur.open_input = Some(input);
+        }
+    }
+
+    /// The paper's `remeasureInputs`: re-snapshot every input of the
+    /// terminating invocation from the last reference accessed.
+    fn remeasure_inputs(&mut self, program: &CompiledProgram, heap: &Heap) {
+        let entries: Vec<(InputId, Value)> = match self.tree.node(self.tn).current() {
+            Some(cur) => cur
+                .inputs
+                .iter()
+                .filter_map(|(&id, obs)| obs.last_ref.map(|r| (id, r)))
+                .collect(),
+            None => return,
+        };
+        for (id, r) in entries {
+            if let Some(snap) = self.measure(program, heap, r) {
+                let size = snap.size_under(self.registry.array_strategy());
+                self.registry.record_snapshot(id, snap);
+                let node = self.tree.node_mut(self.tn);
+                if let Some(obs) = node
+                    .current_mut()
+                    .and_then(|c| c.inputs.get_mut(&id))
+                {
+                    obs.exit_size = size;
+                    obs.max_size = obs.max_size.max(size);
+                }
+            }
+        }
+    }
+
+    fn bump(&mut self, key: CostKey) {
+        let node = self.tree.node_mut(self.tn);
+        if let Some(cur) = node.current_mut() {
+            cur.costs.bump(key);
+        }
+    }
+
+    fn on_access(
+        &mut self,
+        r: Value,
+        op: AccessOp,
+        is_array: bool,
+        class: Option<algoprof_vm::ClassId>,
+        program: &CompiledProgram,
+        heap: &Heap,
+    ) {
+        let Some((input, measured)) = self.resolve_input(program, heap, r) else {
+            return;
+        };
+        if is_array {
+            self.bump(CostKey::ArrayAccess { input, op });
+        } else {
+            self.bump(CostKey::StructAccess { input, op });
+            if let Some(class) = class {
+                self.bump(CostKey::StructAccessByType { input, class, op });
+            }
+        }
+        self.observe(program, heap, input, r, measured);
+    }
+}
+
+impl Default for AlgoProf {
+    fn default() -> Self {
+        AlgoProf::new()
+    }
+}
+
+impl ProfilerHooks for AlgoProf {
+    fn on_loop_entry(&mut self, l: LoopId, _program: &CompiledProgram, _heap: &Heap) {
+        let link = self.parent_link();
+        let child = self.tree.get_or_create_child(self.tn, RepKind::Loop(l));
+        self.shadow.push(self.tn);
+        self.tn = child;
+        self.tree.start_invocation(child, Some(link));
+    }
+
+    fn on_loop_back_edge(&mut self, _l: LoopId, _program: &CompiledProgram, _heap: &Heap) {
+        self.bump(CostKey::Step);
+    }
+
+    fn on_loop_exit(&mut self, _l: LoopId, program: &CompiledProgram, heap: &Heap) {
+        self.remeasure_inputs(program, heap);
+        self.tree.finalize_invocation(self.tn);
+        self.tn = self
+            .shadow
+            .pop()
+            .expect("loop exit balances a loop entry");
+    }
+
+    fn on_method_entry(&mut self, m: FuncId, _program: &CompiledProgram, _heap: &Heap) {
+        if let Some(header) = self.tree.find_on_path_to_root(self.tn, m) {
+            self.shadow.push(self.tn);
+            self.tn = header;
+            self.bump(CostKey::Step);
+            self.tree.node_mut(header).recursion_depth += 1;
+        } else {
+            let link = self.parent_link();
+            let child = self.tree.get_or_create_child(self.tn, RepKind::Recursion(m));
+            self.shadow.push(self.tn);
+            self.tn = child;
+            if self.tree.node(child).recursion_depth == 0 {
+                self.tree.start_invocation(child, Some(link));
+            }
+            self.tree.node_mut(child).recursion_depth += 1;
+        }
+    }
+
+    fn on_method_exit(&mut self, _m: FuncId, program: &CompiledProgram, heap: &Heap) {
+        let node = self.tree.node_mut(self.tn);
+        node.recursion_depth = node.recursion_depth.saturating_sub(1);
+        if node.recursion_depth == 0 {
+            self.remeasure_inputs(program, heap);
+            self.tree.finalize_invocation(self.tn);
+        }
+        self.tn = self
+            .shadow
+            .pop()
+            .expect("method exit balances a method entry");
+    }
+
+    fn on_field_get(&mut self, obj: Value, _field: FieldId, program: &CompiledProgram, heap: &Heap) {
+        let class = match obj {
+            Value::Obj(o) => Some(heap.object(o).class),
+            _ => None,
+        };
+        self.on_access(obj, AccessOp::Read, false, class, program, heap);
+    }
+
+    fn on_field_put(&mut self, obj: Value, _field: FieldId, program: &CompiledProgram, heap: &Heap) {
+        let class = match obj {
+            Value::Obj(o) => Some(heap.object(o).class),
+            _ => None,
+        };
+        self.on_access(obj, AccessOp::Write, false, class, program, heap);
+    }
+
+    fn on_array_load(&mut self, arr: Value, program: &CompiledProgram, heap: &Heap) {
+        self.on_access(arr, AccessOp::Read, true, None, program, heap);
+    }
+
+    fn on_array_store(&mut self, arr: Value, program: &CompiledProgram, heap: &Heap) {
+        self.on_access(arr, AccessOp::Write, true, None, program, heap);
+    }
+
+    fn on_alloc(&mut self, obj: Value, _program: &CompiledProgram, heap: &Heap) {
+        if let Value::Obj(o) = obj {
+            let class = heap.object(o).class;
+            self.bump(CostKey::Creation { class });
+        }
+    }
+
+    fn on_input_read(&mut self, _program: &CompiledProgram, _heap: &Heap) {
+        let id = self.registry.external_input();
+        self.bump(CostKey::InputRead);
+        self.registry.bump_external(id);
+        let node = self.tree.node_mut(self.tn);
+        if let Some(cur) = node.current_mut() {
+            let obs = cur.inputs.entry(id).or_insert(ActiveObservation {
+                first_size: 0,
+                exit_size: 0,
+                max_size: 0,
+                last_ref: None,
+            });
+            obs.max_size += 1;
+            obs.exit_size = obs.max_size;
+        }
+    }
+
+    fn on_output_write(&mut self, _program: &CompiledProgram, _heap: &Heap) {
+        let id = self.registry.external_output();
+        self.bump(CostKey::OutputWrite);
+        self.registry.bump_external(id);
+        let node = self.tree.node_mut(self.tn);
+        if let Some(cur) = node.current_mut() {
+            let obs = cur.inputs.entry(id).or_insert(ActiveObservation {
+                first_size: 0,
+                exit_size: 0,
+                max_size: 0,
+                last_ref: None,
+            });
+            obs.max_size += 1;
+            obs.exit_size = obs.max_size;
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Textual rendering of algorithmic profiles (Figure 3 / Figure 4 style).
+
+use std::fmt::Write as _;
+
+use crate::algorithms::AlgorithmId;
+use crate::profile::{AlgorithmicProfile, CostMetric};
+use crate::reptree::NodeId;
+
+/// Renders the repetition tree with per-node invocation/step statistics,
+/// followed by one summary block per algorithm (classification, input
+/// size range, and the automatically fitted cost function).
+pub fn render(profile: &AlgorithmicProfile) -> String {
+    let mut out = String::new();
+    out.push_str("Repetition tree\n");
+    render_node(profile, profile.tree().root(), "", true, &mut out);
+    out.push('\n');
+
+    for algo in profile.algorithms() {
+        let _ = writeln!(
+            out,
+            "[{}] root={} members={}",
+            algo.id,
+            profile.node_name(algo.root),
+            algo.members.len()
+        );
+        let _ = writeln!(out, "  kind: {}", profile.describe_algorithm(algo.id));
+        let _ = writeln!(out, "  invocations: {}", algo.invocation_count());
+        let _ = writeln!(out, "  total steps: {}", algo.total_costs.steps());
+        if let Some(input) = profile.primary_input(algo.id) {
+            let series = profile.invocation_series(algo.id, CostMetric::Steps);
+            if !series.is_empty() {
+                let min = series.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+                let max = series.iter().map(|p| p.0).fold(0.0f64, f64::max);
+                let _ = writeln!(
+                    out,
+                    "  input: {} (sizes {}..{}, {} points)",
+                    profile.input_description(input),
+                    min,
+                    max,
+                    series.len()
+                );
+                // Per-element-type access breakdown (only interesting for
+                // structures with several classes, e.g. Vertex/Edge).
+                let by_type = profile.accesses_by_type(algo.id, input);
+                if by_type.len() > 1 {
+                    for (class, reads, writes) in by_type {
+                        let _ = writeln!(
+                            out,
+                            "    cost{{{class}}}: GET={reads} PUT={writes}"
+                        );
+                    }
+                }
+                if let Some(fit) = profile.fit_invocation_steps(algo.id) {
+                    let _ = writeln!(out, "  fitted: {fit}");
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn render_node(
+    profile: &AlgorithmicProfile,
+    node: NodeId,
+    prefix: &str,
+    is_last: bool,
+    out: &mut String,
+) {
+    let n = profile.tree().node(node);
+    let connector = if prefix.is_empty() {
+        ""
+    } else if is_last {
+        "`- "
+    } else {
+        "|- "
+    };
+    let algo = algorithm_of(profile, node);
+    let _ = writeln!(
+        out,
+        "{prefix}{connector}{} [{}] invocations={} steps={}",
+        profile.node_name(node),
+        algo.map(|a| a.to_string()).unwrap_or_default(),
+        n.invocations.len(),
+        n.total_steps()
+    );
+    let child_prefix = if prefix.is_empty() {
+        "  ".to_owned()
+    } else {
+        format!("{prefix}{}", if is_last { "   " } else { "|  " })
+    };
+    let k = n.children.len();
+    for (i, &c) in n.children.iter().enumerate() {
+        render_node(profile, c, &child_prefix, i + 1 == k, out);
+    }
+}
+
+fn algorithm_of(profile: &AlgorithmicProfile, node: NodeId) -> Option<AlgorithmId> {
+    profile
+        .algorithms()
+        .iter()
+        .find(|a| a.members.contains(&node))
+        .map(|a| a.id)
+}

@@ -1,0 +1,125 @@
+//! One-call convenience: compile, instrument, execute, and profile a jay
+//! source program.
+
+use std::fmt;
+
+use algoprof_vm::{compile, CompileError, InstrumentOptions, Interp, RuntimeError};
+
+use crate::profile::AlgorithmicProfile;
+use crate::profiler::{AlgoProf, AlgoProfOptions};
+
+/// Why [`profile_source`] failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProfileError {
+    /// The guest program did not compile.
+    Compile(CompileError),
+    /// The guest program failed at run time.
+    Runtime(RuntimeError),
+}
+
+impl fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProfileError::Compile(e) => write!(f, "guest compilation failed: {e}"),
+            ProfileError::Runtime(e) => write!(f, "guest execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProfileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProfileError::Compile(e) => Some(e),
+            ProfileError::Runtime(e) => Some(e),
+        }
+    }
+}
+
+impl From<CompileError> for ProfileError {
+    fn from(e: CompileError) -> Self {
+        ProfileError::Compile(e)
+    }
+}
+
+impl From<RuntimeError> for ProfileError {
+    fn from(e: RuntimeError) -> Self {
+        ProfileError::Runtime(e)
+    }
+}
+
+/// Compiles `source`, instruments it with the default options, runs it,
+/// and returns its algorithmic profile.
+///
+/// # Errors
+///
+/// Returns [`ProfileError`] when the guest program fails to compile or
+/// its execution raises an uncaught error.
+///
+/// # Example
+///
+/// ```
+/// let profile = algoprof::profile_source(
+///     "class Main { static int main() {
+///          int s = 0;
+///          for (int i = 0; i < 5; i = i + 1) { s = s + i; }
+///          return s;
+///      } }",
+/// )?;
+/// assert_eq!(profile.algorithms().len(), 2);
+/// # Ok::<(), algoprof::ProfileError>(())
+/// ```
+pub fn profile_source(source: &str) -> Result<AlgorithmicProfile, ProfileError> {
+    profile_source_with(
+        source,
+        &InstrumentOptions::default(),
+        AlgoProfOptions::default(),
+        &[],
+    )
+}
+
+/// Like [`profile_source`] with explicit instrumentation and profiler
+/// options plus guest input values.
+///
+/// # Errors
+///
+/// Same as [`profile_source`].
+pub fn profile_source_with(
+    source: &str,
+    instrument: &InstrumentOptions,
+    options: AlgoProfOptions,
+    input: &[i64],
+) -> Result<AlgorithmicProfile, ProfileError> {
+    let program = compile(source)?.instrument(instrument);
+    let mut profiler = AlgoProf::with_options(options);
+    Interp::new(&program)
+        .with_input(input.to_vec())
+        .run(&mut profiler)?;
+    Ok(profiler.finish(&program))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_source_smoke() {
+        let p = profile_source(
+            "class Main { static int main() { int s = 0; for (int i = 0; i < 3; i = i + 1) { s = s + 1; } return s; } }",
+        )
+        .expect("profiles");
+        assert_eq!(p.algorithms().len(), 2);
+    }
+
+    #[test]
+    fn compile_error_is_reported() {
+        let e = profile_source("class Main {").unwrap_err();
+        assert!(matches!(e, ProfileError::Compile(_)));
+        assert!(e.to_string().contains("compilation"));
+    }
+
+    #[test]
+    fn runtime_error_is_reported() {
+        let e = profile_source("class Main { static int main() { throw 3; } }").unwrap_err();
+        assert!(matches!(e, ProfileError::Runtime(_)));
+    }
+}

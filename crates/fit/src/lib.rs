@@ -1,0 +1,43 @@
+//! Empirical cost-function inference for algorithmic profiles.
+//!
+//! The PLDI'12 paper plots ⟨input size, cost⟩ points and fits cost
+//! functions *by hand* with a statistics package (§2.7, §3.5), deferring
+//! automation to the empirical-algorithmics literature. This crate
+//! implements that missing step with the standard approach from that
+//! literature: least-squares regression over a basis of complexity model
+//! candidates plus a log–log power-law fit, with BIC-style model
+//! selection.
+//!
+//! # Example
+//!
+//! ```
+//! use algoprof_fit::{best_fit, Model};
+//!
+//! // steps ≈ 0.25·n²  (insertion sort on random input)
+//! let points: Vec<(f64, f64)> = (1..100)
+//!     .map(|n| (n as f64, 0.25 * (n as f64) * (n as f64)))
+//!     .collect();
+//! let fit = best_fit(&points).expect("enough points");
+//! assert_eq!(fit.model, Model::Quadratic);
+//! assert!((fit.coeff - 0.25).abs() < 1e-6);
+//! ```
+
+pub mod models;
+pub mod regression;
+pub mod streaming;
+
+pub use models::{Fit, Model, PowerFit};
+pub use regression::{best_fit, fit_all, fit_model, fit_power_law};
+pub use streaming::StreamingFit;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_level_example_holds() {
+        let points: Vec<(f64, f64)> = (1..50).map(|n| (n as f64, 3.0 * n as f64)).collect();
+        let fit = best_fit(&points).expect("fits");
+        assert_eq!(fit.model, Model::Linear);
+    }
+}

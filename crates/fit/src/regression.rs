@@ -1,0 +1,247 @@
+//! Least-squares fitting and model selection.
+
+use crate::models::{Fit, Model, PowerFit};
+
+/// Fits `cost ≈ coeff · g(n) + intercept` for one `model` by ordinary
+/// least squares over the transformed predictor `x = g(n)`.
+///
+/// Returns `None` when fewer than two points are given or the predictor
+/// is degenerate (all `g(n)` equal, for non-constant models).
+pub fn fit_model(points: &[(f64, f64)], model: Model) -> Option<Fit> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let xs: Vec<f64> = points.iter().map(|&(sz, _)| model.basis(sz)).collect();
+    let ys: Vec<f64> = points.iter().map(|&(_, c)| c).collect();
+
+    let (coeff, intercept) = if model == Model::Constant {
+        (mean(&ys), 0.0)
+    } else {
+        let mx = mean(&xs);
+        let my = mean(&ys);
+        let sxx: f64 = xs.iter().map(|x| (x - mx) * (x - mx)).sum();
+        if sxx < 1e-12 {
+            return None;
+        }
+        let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let slope = sxy / sxx;
+        (slope, my - slope * mx)
+    };
+
+    let residuals: Vec<f64> = xs
+        .iter()
+        .zip(&ys)
+        .map(|(x, y)| y - (coeff * x + intercept))
+        .collect();
+    let rss: f64 = residuals.iter().map(|r| r * r).sum();
+    let my = mean(&ys);
+    let tss: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
+    let r2 = if tss < 1e-12 {
+        if rss < 1e-9 {
+            1.0
+        } else {
+            0.0
+        }
+    } else {
+        1.0 - rss / tss
+    };
+    let rmse = (rss / n as f64).sqrt();
+    let p = model.parameter_count() as f64;
+    // BIC with an epsilon so perfect fits do not take ln(0).
+    let bic = n as f64 * ((rss / n as f64).max(1e-12)).ln() + p * (n as f64).ln();
+
+    Some(Fit {
+        model,
+        coeff,
+        intercept,
+        r2,
+        rmse,
+        bic,
+        n_points: n,
+    })
+}
+
+/// Fits every candidate in [`Model::ALL`], dropping degenerate fits.
+pub fn fit_all(points: &[(f64, f64)]) -> Vec<Fit> {
+    Model::ALL
+        .iter()
+        .filter_map(|&m| fit_model(points, m))
+        .collect()
+}
+
+/// Fits all candidates and selects the one with the lowest BIC.
+///
+/// Negative fitted coefficients on non-constant models are rejected (a
+/// cost cannot decrease in its input size asymptotically), falling back
+/// to the next-best candidate.
+pub fn best_fit(points: &[(f64, f64)]) -> Option<Fit> {
+    let mut fits = fit_all(points);
+    fits.sort_by(|a, b| a.bic.partial_cmp(&b.bic).unwrap_or(std::cmp::Ordering::Equal));
+    fits.into_iter()
+        .find(|f| f.model == Model::Constant || f.coeff >= 0.0)
+}
+
+/// Fits `cost ≈ coeff · n^exponent` by linear regression in log–log
+/// space, using only points with `n > 0` and `cost > 0`.
+///
+/// Returns `None` with fewer than three usable points or a degenerate
+/// predictor.
+pub fn fit_power_law(points: &[(f64, f64)]) -> Option<PowerFit> {
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .filter(|&&(n, c)| n > 0.0 && c > 0.0)
+        .map(|&(n, c)| (n.ln(), c.ln()))
+        .collect();
+    let m = logs.len();
+    if m < 3 {
+        return None;
+    }
+    let mx = mean_by(&logs, |p| p.0);
+    let my = mean_by(&logs, |p| p.1);
+    let sxx: f64 = logs.iter().map(|(x, _)| (x - mx) * (x - mx)).sum();
+    if sxx < 1e-12 {
+        return None;
+    }
+    let sxy: f64 = logs.iter().map(|(x, y)| (x - mx) * (y - my)).sum();
+    let exponent = sxy / sxx;
+    let intercept = my - exponent * mx;
+    let rss: f64 = logs
+        .iter()
+        .map(|(x, y)| {
+            let e = y - (exponent * x + intercept);
+            e * e
+        })
+        .sum();
+    let tss: f64 = logs.iter().map(|(_, y)| (y - my) * (y - my)).sum();
+    let r2 = if tss < 1e-12 {
+        1.0
+    } else {
+        1.0 - rss / tss
+    };
+    Some(PowerFit {
+        coeff: intercept.exp(),
+        exponent,
+        r2,
+        n_points: m,
+    })
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+fn mean_by<T>(xs: &[T], f: impl Fn(&T) -> f64) -> f64 {
+    xs.iter().map(f).sum::<f64>() / xs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series(f: impl Fn(f64) -> f64, lo: usize, hi: usize) -> Vec<(f64, f64)> {
+        (lo..hi).map(|n| (n as f64, f(n as f64))).collect()
+    }
+
+    #[test]
+    fn recovers_quadratic_coefficient() {
+        let pts = series(|n| 0.25 * n * n, 1, 200);
+        let fit = best_fit(&pts).expect("fits");
+        assert_eq!(fit.model, Model::Quadratic);
+        assert!((fit.coeff - 0.25).abs() < 1e-9, "coeff = {}", fit.coeff);
+        assert!(fit.r2 > 0.9999);
+    }
+
+    #[test]
+    fn recovers_linear() {
+        let pts = series(|n| 3.0 * n + 7.0, 1, 100);
+        let fit = best_fit(&pts).expect("fits");
+        assert_eq!(fit.model, Model::Linear);
+        assert!((fit.coeff - 3.0).abs() < 1e-9);
+        assert!((fit.intercept - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recovers_constant() {
+        let pts = series(|_| 42.0, 1, 50);
+        let fit = best_fit(&pts).expect("fits");
+        assert_eq!(fit.model, Model::Constant);
+        assert!((fit.predict(1000.0) - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_linearithmic_not_linear() {
+        let pts = series(|n| 2.0 * n * n.log2(), 2, 4000);
+        let fit = best_fit(&pts).expect("fits");
+        assert_eq!(fit.model, Model::Linearithmic);
+    }
+
+    #[test]
+    fn recovers_cubic() {
+        let pts = series(|n| 0.1 * n * n * n, 1, 100);
+        let fit = best_fit(&pts).expect("fits");
+        assert_eq!(fit.model, Model::Cubic);
+    }
+
+    #[test]
+    fn tolerates_noise() {
+        // Deterministic pseudo-noise around 0.5*n^2.
+        let pts: Vec<(f64, f64)> = (1..300)
+            .map(|n| {
+                let nf = n as f64;
+                let noise = ((n * 2654435761u64 as usize) % 100) as f64 / 100.0 - 0.5;
+                (nf, 0.5 * nf * nf * (1.0 + 0.02 * noise))
+            })
+            .collect();
+        let fit = best_fit(&pts).expect("fits");
+        assert_eq!(fit.model, Model::Quadratic);
+        assert!((fit.coeff - 0.5).abs() < 0.01);
+    }
+
+    #[test]
+    fn power_law_recovers_exponent() {
+        let pts = series(|n| 1.5 * n.powf(2.0), 1, 100);
+        let p = fit_power_law(&pts).expect("fits");
+        assert!((p.exponent - 2.0).abs() < 1e-6);
+        assert!((p.coeff - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_law_ignores_zero_points() {
+        let mut pts = series(|n| n, 1, 50);
+        pts.push((0.0, 0.0));
+        let p = fit_power_law(&pts).expect("fits");
+        assert!((p.exponent - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn too_few_points_is_none() {
+        assert!(fit_model(&[(1.0, 1.0)], Model::Linear).is_none());
+        assert!(fit_power_law(&[(1.0, 1.0), (2.0, 2.0)]).is_none());
+        assert!(best_fit(&[]).is_none());
+    }
+
+    #[test]
+    fn degenerate_predictor_is_none() {
+        let pts = vec![(5.0, 1.0), (5.0, 2.0), (5.0, 3.0)];
+        assert!(fit_model(&pts, Model::Linear).is_none());
+        // Constant still fits.
+        assert!(fit_model(&pts, Model::Constant).is_some());
+    }
+
+    #[test]
+    fn fit_all_returns_multiple_candidates() {
+        let pts = series(|n| n * n, 1, 50);
+        let fits = fit_all(&pts);
+        assert!(fits.len() >= 5);
+    }
+
+    #[test]
+    fn negative_slope_prefers_constant() {
+        // Decreasing data: non-constant fits have negative coefficients
+        // and are rejected, leaving the constant model.
+        let pts = series(|n| 100.0 - n, 1, 50);
+        let fit = best_fit(&pts).expect("fits");
+        assert_eq!(fit.model, Model::Constant);
+    }
+}

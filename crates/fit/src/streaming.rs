@@ -1,0 +1,272 @@
+//! Online cost-function inference.
+//!
+//! The paper (§3.3) notes that keeping every invocation's ⟨size, cost⟩
+//! point "can lead to large memory requirements", and suggests that "an
+//! optimized version of a profiler could try to infer the cost function
+//! online, and discard the individual data points". This module
+//! implements that optimization: [`StreamingFit`] maintains O(1)
+//! sufficient statistics per candidate model and produces exactly the
+//! same least-squares fits as the batch API, without storing points.
+
+use crate::models::{Fit, Model};
+
+/// Per-model running sums for ordinary least squares over `x = g(n)`.
+#[derive(Debug, Clone, Copy, Default)]
+struct Sums {
+    n: f64,
+    sx: f64,
+    sy: f64,
+    sxx: f64,
+    sxy: f64,
+    syy: f64,
+}
+
+impl Sums {
+    fn push(&mut self, x: f64, y: f64) {
+        self.n += 1.0;
+        self.sx += x;
+        self.sy += y;
+        self.sxx += x * x;
+        self.sxy += x * y;
+        self.syy += y * y;
+    }
+
+    fn merge(&mut self, other: &Sums) {
+        self.n += other.n;
+        self.sx += other.sx;
+        self.sy += other.sy;
+        self.sxx += other.sxx;
+        self.sxy += other.sxy;
+        self.syy += other.syy;
+    }
+}
+
+/// Incremental fitter over all candidate [`Model`]s.
+///
+/// # Example
+///
+/// ```
+/// use algoprof_fit::{Model, StreamingFit};
+///
+/// let mut fit = StreamingFit::new();
+/// for n in 1..200 {
+///     let nf = n as f64;
+///     fit.push(nf, 0.25 * nf * nf);
+/// }
+/// let best = fit.best_fit().expect("enough points");
+/// assert_eq!(best.model, Model::Quadratic);
+/// assert!((best.coeff - 0.25).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct StreamingFit {
+    sums: [Sums; Model::ALL.len()],
+}
+
+impl StreamingFit {
+    /// Creates an empty fitter.
+    pub fn new() -> Self {
+        StreamingFit::default()
+    }
+
+    /// Number of points observed.
+    pub fn len(&self) -> usize {
+        self.sums[0].n as usize
+    }
+
+    /// Whether no point has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Feeds one ⟨size, cost⟩ observation; O(1) time and memory.
+    pub fn push(&mut self, size: f64, cost: f64) {
+        for (i, model) in Model::ALL.iter().enumerate() {
+            self.sums[i].push(model.basis(size), cost);
+        }
+    }
+
+    /// Merges another fitter's observations (e.g. across runs).
+    pub fn merge(&mut self, other: &StreamingFit) {
+        for (a, b) in self.sums.iter_mut().zip(&other.sums) {
+            a.merge(b);
+        }
+    }
+
+    /// The least-squares fit for one model, identical to
+    /// [`crate::fit_model`] on the same points.
+    pub fn fit_model(&self, model: Model) -> Option<Fit> {
+        let idx = Model::ALL.iter().position(|&m| m == model)?;
+        let s = &self.sums[idx];
+        let n = s.n;
+        if n < 2.0 {
+            return None;
+        }
+        let my = s.sy / n;
+        let tss = s.syy - n * my * my;
+
+        let (coeff, intercept) = if model == Model::Constant {
+            (my, 0.0)
+        } else {
+            let mx = s.sx / n;
+            let sxx = s.sxx - n * mx * mx;
+            if sxx < 1e-12 {
+                return None;
+            }
+            let sxy = s.sxy - n * mx * my;
+            let slope = sxy / sxx;
+            (slope, my - slope * mx)
+        };
+
+        // RSS from sufficient statistics:
+        //   Σ(y − a·x − b)² = Σy² − 2aΣxy − 2bΣy + a²Σx² + 2abΣx + nb².
+        let (a, b) = (coeff, intercept);
+        let (sx, sxx_raw, sxy_raw) = if model == Model::Constant {
+            (s.n, s.n, s.sy) // g(n)=1 ⇒ x=1 for every point
+        } else {
+            (s.sx, s.sxx, s.sxy)
+        };
+        let rss = (s.syy - 2.0 * a * sxy_raw - 2.0 * b * s.sy + a * a * sxx_raw
+            + 2.0 * a * b * sx
+            + n * b * b)
+            .max(0.0);
+
+        let r2 = if tss < 1e-12 {
+            if rss < 1e-9 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            1.0 - rss / tss
+        };
+        let rmse = (rss / n).sqrt();
+        let p = model.parameter_count() as f64;
+        let bic = n * ((rss / n).max(1e-12)).ln() + p * n.ln();
+
+        Some(Fit {
+            model,
+            coeff,
+            intercept,
+            r2,
+            rmse,
+            bic,
+            n_points: n as usize,
+        })
+    }
+
+    /// The best model by BIC (rejecting negative-slope non-constant
+    /// fits), identical to [`crate::best_fit`] on the same points.
+    pub fn best_fit(&self) -> Option<Fit> {
+        let mut fits: Vec<Fit> = Model::ALL
+            .iter()
+            .filter_map(|&m| self.fit_model(m))
+            .collect();
+        fits.sort_by(|a, b| {
+            a.bic
+                .partial_cmp(&b.bic)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        fits.into_iter()
+            .find(|f| f.model == Model::Constant || f.coeff >= 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regression;
+
+    fn series(f: impl Fn(f64) -> f64, lo: usize, hi: usize) -> Vec<(f64, f64)> {
+        (lo..hi).map(|n| (n as f64, f(n as f64))).collect()
+    }
+
+    fn assert_close(a: f64, b: f64, tol: f64, what: &str) {
+        assert!((a - b).abs() <= tol, "{what}: {a} vs {b}");
+    }
+
+    /// Streaming and batch must agree on every model for several shapes.
+    #[test]
+    fn agrees_with_batch_fitting() {
+        let shapes: Vec<Vec<(f64, f64)>> = vec![
+            series(|n| 0.25 * n * n, 1, 150),
+            series(|n| 3.0 * n + 7.0, 1, 100),
+            series(|_| 42.0, 1, 50),
+            series(|n| 2.0 * n * n.log2() + 5.0, 2, 300),
+            series(|n| 0.1 * n * n * n, 1, 60),
+        ];
+        for pts in shapes {
+            let mut stream = StreamingFit::new();
+            for &(x, y) in &pts {
+                stream.push(x, y);
+            }
+            for model in Model::ALL {
+                let batch = regression::fit_model(&pts, model);
+                let online = stream.fit_model(model);
+                match (batch, online) {
+                    (None, None) => {}
+                    (Some(b), Some(o)) => {
+                        assert_eq!(b.model, o.model);
+                        assert_close(b.coeff, o.coeff, 1e-6 * (1.0 + b.coeff.abs()), "coeff");
+                        assert_close(
+                            b.intercept,
+                            o.intercept,
+                            1e-5 * (1.0 + b.intercept.abs()),
+                            "intercept",
+                        );
+                        assert_close(b.r2, o.r2, 1e-6, "r2");
+                    }
+                    (b, o) => panic!("batch {b:?} vs streaming {o:?}"),
+                }
+            }
+            let b = regression::best_fit(&pts).expect("batch best");
+            let o = stream.best_fit().expect("streaming best");
+            assert_eq!(b.model, o.model, "model selection agrees");
+        }
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let pts = series(|n| 1.5 * n * n, 1, 120);
+        let (left, right) = pts.split_at(60);
+        let mut a = StreamingFit::new();
+        let mut b = StreamingFit::new();
+        for &(x, y) in left {
+            a.push(x, y);
+        }
+        for &(x, y) in right {
+            b.push(x, y);
+        }
+        a.merge(&b);
+        let merged = a.best_fit().expect("fits");
+        let mut whole = StreamingFit::new();
+        for &(x, y) in &pts {
+            whole.push(x, y);
+        }
+        let single = whole.best_fit().expect("fits");
+        assert_eq!(merged.model, single.model);
+        assert!((merged.coeff - single.coeff).abs() < 1e-9);
+        assert_eq!(a.len(), 119);
+    }
+
+    #[test]
+    fn memory_is_constant() {
+        // The whole point: size does not depend on the number of points.
+        assert_eq!(
+            std::mem::size_of::<StreamingFit>(),
+            std::mem::size_of::<[Sums; Model::ALL.len()]>()
+        );
+        let mut s = StreamingFit::new();
+        assert!(s.is_empty());
+        for n in 1..10_000 {
+            s.push(n as f64, n as f64);
+        }
+        assert_eq!(s.len(), 9_999);
+    }
+
+    #[test]
+    fn too_few_points_is_none() {
+        let mut s = StreamingFit::new();
+        s.push(1.0, 1.0);
+        assert!(s.best_fit().is_none());
+    }
+}

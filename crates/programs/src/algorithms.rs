@@ -1,0 +1,383 @@
+//! A small classic-algorithms corpus beyond the paper's listings,
+//! exercising the cost-model classes the running example does not reach:
+//! logarithmic (binary search), linearithmic (merge sort), and a second
+//! quadratic shape (bubble sort, whose outer loop — unlike Listing 5 —
+//! does access the array and therefore groups).
+
+/// Binary search over a sorted array: the search loop performs
+/// ⌈log₂ n⌉ steps per invocation.
+///
+/// Sizes double from 16 to `max_size` (inclusive); `searches` random
+/// probes per size.
+pub fn binary_search_program(max_size: usize, searches: usize) -> String {
+    format!(
+        r#"
+class Main {{
+    static int main() {{
+        for (int size = 16; size <= {max_size}; size = size * 2) {{
+            int[] a = build(size);
+            Random r = new Random(size);
+            for (int q = 0; q < {searches}; q = q + 1) {{
+                int idx = search(a, r.nextInt(size * 2));
+            }}
+        }}
+        return 0;
+    }}
+
+    static int[] build(int size) {{
+        int[] a = new int[size];
+        for (int i = 0; i < a.length; i = i + 1) {{ a[i] = i * 2; }}
+        return a;
+    }}
+
+    static int search(int[] a, int needle) {{
+        int lo = 0;
+        int hi = a.length;
+        while (lo < hi) {{
+            int mid = (lo + hi) / 2;
+            if (a[mid] == needle) {{ return mid; }}
+            if (a[mid] < needle) {{ lo = mid + 1; }} else {{ hi = mid; }}
+        }}
+        return 0 - 1;
+    }}
+}}
+{rand}
+"#,
+        rand = crate::listings::GUEST_RANDOM
+    )
+}
+
+/// Bottom-up linked-list merge sort: Θ(n log n) algorithmic steps. The
+/// split loop and the merge loop are children of the `sort` recursion and
+/// access the same structure, so the whole sort fuses into one algorithm.
+pub fn merge_sort_program(max_size: usize, step: usize, reps: usize) -> String {
+    format!(
+        r#"
+class Main {{
+    static int main() {{
+        for (int size = 4; size < {max_size}; size = size + {step}) {{
+            for (int rep = 0; rep < {reps}; rep = rep + 1) {{
+                MNode list = build(size);
+                MNode sorted = sort(list);
+            }}
+        }}
+        return 0;
+    }}
+
+    static MNode build(int size) {{
+        Random r = new Random(size + 13);
+        MNode head = null;
+        for (int i = 0; i < size; i = i + 1) {{
+            MNode n = new MNode(r.nextInt(10000));
+            n.next = head;
+            head = n;
+        }}
+        return head;
+    }}
+
+    static MNode sort(MNode list) {{
+        if (list == null) {{ return null; }}
+        if (list.next == null) {{ return list; }}
+        // Split with slow/fast pointers.
+        MNode slow = list;
+        MNode fast = list.next;
+        while (fast != null && fast.next != null) {{
+            slow = slow.next;
+            fast = fast.next.next;
+        }}
+        MNode second = slow.next;
+        slow.next = null;
+        return merge(sort(list), sort(second));
+    }}
+
+    static MNode merge(MNode a, MNode b) {{
+        MNode head = null;
+        MNode tail = null;
+        while (a != null || b != null) {{
+            MNode pick = null;
+            if (a == null) {{
+                pick = b;
+                b = b.next;
+            }} else {{
+                if (b == null) {{
+                    pick = a;
+                    a = a.next;
+                }} else {{
+                    if (a.value <= b.value) {{
+                        pick = a;
+                        a = a.next;
+                    }} else {{
+                        pick = b;
+                        b = b.next;
+                    }}
+                }}
+            }}
+            pick.next = null;
+            if (tail == null) {{
+                head = pick;
+                tail = pick;
+            }} else {{
+                tail.next = pick;
+                tail = pick;
+            }}
+        }}
+        return head;
+    }}
+}}
+
+class MNode {{
+    MNode next;
+    int value;
+    MNode(int v) {{ this.value = v; }}
+}}
+{rand}
+"#,
+        rand = crate::listings::GUEST_RANDOM
+    )
+}
+
+/// Bubble sort over an int array: Θ(n²) steps, and — in contrast to
+/// Listing 5 — the *outer* loop reads the array too (`a[j]` comparisons
+/// happen in the inner loop, but the outer loop's swap flag check reads
+/// elements), so the nest groups into one algorithm.
+pub fn bubble_sort_program(max_size: usize, step: usize, reps: usize) -> String {
+    format!(
+        r#"
+class Main {{
+    static int main() {{
+        for (int size = 4; size < {max_size}; size = size + {step}) {{
+            for (int rep = 0; rep < {reps}; rep = rep + 1) {{
+                int[] a = build(size);
+                sort(a);
+            }}
+        }}
+        return 0;
+    }}
+
+    static int[] build(int size) {{
+        Random r = new Random(size + 99);
+        int[] a = new int[size];
+        for (int i = 0; i < a.length; i = i + 1) {{ a[i] = r.nextInt(10000); }}
+        return a;
+    }}
+
+    static void sort(int[] a) {{
+        for (int end = a.length; end > 1; end = end - 1) {{
+            // The outer loop itself touches the array, so the nest groups
+            // (contrast with Listing 5).
+            int last = a[end - 1];
+            for (int j = 0; j + 1 < end; j = j + 1) {{
+                if (a[j] > a[j + 1]) {{
+                    int tmp = a[j];
+                    a[j] = a[j + 1];
+                    a[j + 1] = tmp;
+                }}
+            }}
+        }}
+    }}
+}}
+{rand}
+"#,
+        rand = crate::listings::GUEST_RANDOM
+    )
+}
+
+/// Square matrix multiplication: Θ(n³) steps in the matrix dimension
+/// (n² + n³ combined when the nest is fused — the inner loop accumulates
+/// into the result row, so all three loops access the result matrix and
+/// group under the shared-input heuristic).
+pub fn matmul_program(max_dim: usize, step: usize) -> String {
+    format!(
+        r#"
+class Main {{
+    static int main() {{
+        for (int n = 2; n <= {max_dim}; n = n + {step}) {{
+            int[][] a = build(n, 3);
+            int[][] b = build(n, 5);
+            int[][] c = multiply(a, b);
+        }}
+        return 0;
+    }}
+
+    static int[][] build(int n, int seed) {{
+        int[][] m = new int[n][];
+        for (int i = 0; i < m.length; i = i + 1) {{ m[i] = new int[n]; }}
+        for (int i = 0; i < n; i = i + 1) {{
+            for (int j = 0; j < n; j = j + 1) {{
+                m[i][j] = (i * seed + j) % 7;
+            }}
+        }}
+        return m;
+    }}
+
+    static int[][] multiply(int[][] a, int[][] b) {{
+        int n = a.length;
+        int[][] c = new int[n][];
+        for (int i = 0; i < c.length; i = i + 1) {{ c[i] = new int[n]; }}
+        for (int i = 0; i < n; i = i + 1) {{
+            int[] arow = a[i];
+            int[] crow = c[i];
+            for (int j = 0; j < n; j = j + 1) {{
+                crow[j] = 0;
+                for (int k = 0; k < n; k = k + 1) {{
+                    crow[j] = crow[j] + arow[k] * b[k][j];
+                }}
+            }}
+        }}
+        return c;
+    }}
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algoprof_vm::{compile, Interp, NoopProfiler};
+
+    fn runs(src: &str) {
+        let p = compile(src).expect("compiles");
+        Interp::new(&p)
+            .with_fuel(200_000_000)
+            .run(&mut NoopProfiler)
+            .expect("runs");
+    }
+
+    #[test]
+    fn corpus_compiles_and_runs() {
+        runs(&binary_search_program(128, 4));
+        runs(&merge_sort_program(64, 8, 1));
+        runs(&bubble_sort_program(48, 8, 1));
+        runs(&matmul_program(12, 2));
+    }
+
+    #[test]
+    fn matmul_multiplies_correctly() {
+        let src = r#"
+class Main {
+    static int main() {
+        // [[1,2],[3,4]] * [[5,6],[7,8]] = [[19,22],[43,50]]
+        int[][] a = new int[][] { new int[] {1, 2}, new int[] {3, 4} };
+        int[][] b = new int[][] { new int[] {5, 6}, new int[] {7, 8} };
+        int[][] c = new int[][] { new int[2], new int[2] };
+        for (int i = 0; i < 2; i = i + 1) {
+            for (int j = 0; j < 2; j = j + 1) {
+                for (int k = 0; k < 2; k = k + 1) {
+                    c[i][j] = c[i][j] + a[i][k] * b[k][j];
+                }
+            }
+        }
+        if (c[0][0] != 19) { return 0; }
+        if (c[0][1] != 22) { return 0; }
+        if (c[1][0] != 43) { return 0; }
+        if (c[1][1] != 50) { return 0; }
+        return 1;
+    }
+}
+"#;
+        let p = compile(src).expect("compiles");
+        let r = Interp::new(&p).run(&mut NoopProfiler).expect("runs");
+        assert_eq!(r.return_value.as_int(), Some(1));
+    }
+
+    #[test]
+    fn merge_sort_sorts() {
+        let src = format!(
+            r#"
+class Main {{
+    static int main() {{
+        MNode list = null;
+        Random r = new Random(5);
+        for (int i = 0; i < 100; i = i + 1) {{
+            MNode n = new MNode(r.nextInt(500));
+            n.next = list;
+            list = n;
+        }}
+        MNode sorted = sort(list);
+        int len = 0;
+        MNode cur = sorted;
+        while (cur != null) {{
+            if (cur.next != null && cur.value > cur.next.value) {{ return 0; }}
+            len = len + 1;
+            cur = cur.next;
+        }}
+        if (len != 100) {{ return 0; }}
+        return 1;
+    }}
+    static MNode sort(MNode list) {{
+        if (list == null) {{ return null; }}
+        if (list.next == null) {{ return list; }}
+        MNode slow = list;
+        MNode fast = list.next;
+        while (fast != null && fast.next != null) {{
+            slow = slow.next;
+            fast = fast.next.next;
+        }}
+        MNode second = slow.next;
+        slow.next = null;
+        return merge(sort(list), sort(second));
+    }}
+    static MNode merge(MNode a, MNode b) {{
+        MNode head = null;
+        MNode tail = null;
+        while (a != null || b != null) {{
+            MNode pick = null;
+            if (a == null) {{ pick = b; b = b.next; }}
+            else {{
+                if (b == null) {{ pick = a; a = a.next; }}
+                else {{
+                    if (a.value <= b.value) {{ pick = a; a = a.next; }}
+                    else {{ pick = b; b = b.next; }}
+                }}
+            }}
+            pick.next = null;
+            if (tail == null) {{ head = pick; tail = pick; }}
+            else {{ tail.next = pick; tail = pick; }}
+        }}
+        return head;
+    }}
+}}
+class MNode {{ MNode next; int value; MNode(int v) {{ this.value = v; }} }}
+{}
+"#,
+            crate::listings::GUEST_RANDOM
+        );
+        let p = compile(&src).expect("compiles");
+        let r = Interp::new(&p).run(&mut NoopProfiler).expect("runs");
+        assert_eq!(r.return_value.as_int(), Some(1));
+    }
+
+    #[test]
+    fn bubble_sort_sorts() {
+        let src = format!(
+            r#"
+class Main {{
+    static int main() {{
+        Random r = new Random(7);
+        int[] a = new int[60];
+        for (int i = 0; i < a.length; i = i + 1) {{ a[i] = r.nextInt(1000); }}
+        for (int end = a.length; end > 1; end = end - 1) {{
+            for (int j = 0; j + 1 < end; j = j + 1) {{
+                if (a[j] > a[j + 1]) {{
+                    int tmp = a[j];
+                    a[j] = a[j + 1];
+                    a[j + 1] = tmp;
+                }}
+            }}
+        }}
+        for (int i = 0; i + 1 < a.length; i = i + 1) {{
+            if (a[i] > a[i + 1]) {{ return 0; }}
+        }}
+        return 1;
+    }}
+}}
+{}
+"#,
+            crate::listings::GUEST_RANDOM
+        );
+        let p = compile(&src).expect("compiles");
+        let r = Interp::new(&p).run(&mut NoopProfiler).expect("runs");
+        assert_eq!(r.return_value.as_int(), Some(1));
+    }
+}

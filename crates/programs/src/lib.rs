@@ -1,0 +1,16 @@
+//! Guest-program corpus for the AlgoProf reproduction: every listing from
+//! the paper plus the 18 Table-1 data-structure programs, all written in
+//! the jay guest language.
+
+pub mod algorithms;
+pub mod casestudy;
+pub mod listings;
+pub mod table1;
+
+pub use algorithms::{binary_search_program, bubble_sort_program, matmul_program, merge_sort_program};
+pub use casestudy::catalog_program;
+pub use listings::{
+    array_list_program, functional_sort_program, insertion_sort_program, GrowthPolicy,
+    SortWorkload, GUEST_RANDOM, LISTING1_LIST, LISTING3, LISTING4, LISTING5,
+};
+pub use table1::{table1_programs, Grouping, Table1Outcome, Table1Program};

@@ -1,0 +1,571 @@
+//! The paper's code listings, ported line-for-line to the jay guest
+//! language.
+//!
+//! * [`insertion_sort_program`] — Listing 1 (doubly-linked-list insertion
+//!   sort) driven by Listing 2's harness, parameterized by workload
+//!   (random / sorted / reverse-sorted lists, for Figure 1 a–c).
+//! * [`functional_sort_program`] — the §4.3 paradigm-agnosticism study: a
+//!   recursive insertion sort over an immutable list.
+//! * [`array_list_program`] — Listing 6: an array-backed list growing by
+//!   one element (naive) or by doubling (ideal), for Figures 4 and 5.
+//! * [`LISTING3`], [`LISTING4`], [`LISTING5`] — the small illustrative
+//!   listings.
+
+use std::fmt;
+
+/// Input orderings for the insertion-sort harness (Figure 1 a–c).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortWorkload {
+    /// Uniformly random values (Figure 1a): expected steps ≈ 0.25·n².
+    Random,
+    /// Already sorted input (Figure 1b): steps ≈ n.
+    Sorted,
+    /// Reverse-sorted input (Figure 1c): steps ≈ 0.5·n².
+    Reversed,
+}
+
+impl fmt::Display for SortWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SortWorkload::Random => "random",
+            SortWorkload::Sorted => "sorted",
+            SortWorkload::Reversed => "reversed",
+        })
+    }
+}
+
+/// The `List`/`Node` classes of Listing 1, verbatim modulo syntax.
+pub const LISTING1_LIST: &str = r#"
+class List {
+    Node head;
+    Node tail;
+
+    // Ported from Listing 1 with one change: the paper's pre-loop
+    // shortcut (`firstUnsorted = head.next` after an emptiness check)
+    // reads `Node.next` *outside* the loops, which would attribute a
+    // structure access to the enclosing harness loop and fuse it with
+    // the sort algorithm. Starting at `head` (whose first iteration is a
+    // no-op) keeps every Node access inside the repetition, matching the
+    // attribution shown in the paper's Figure 3.
+    void sort() {
+        Node firstUnsorted = head;
+        while (firstUnsorted != null) {
+            Node target = firstUnsorted;
+            Node nextUnsorted = firstUnsorted.next;
+            while (target.prev != null && target.prev.value > target.value) {
+                Node candidate = target.prev;
+                Node pred = candidate.prev;
+                Node succ = target.next;
+                if (pred != null) {
+                    pred.next = target;
+                } else {
+                    head = target;
+                }
+                target.prev = pred;
+                if (succ != null) {
+                    succ.prev = candidate;
+                } else {
+                    tail = candidate;
+                }
+                candidate.next = succ;
+                target.next = candidate;
+                candidate.prev = target;
+            }
+            firstUnsorted = nextUnsorted;
+        }
+    }
+
+    void append(int value) {
+        Node node = new Node(value);
+        if (tail == null) {
+            tail = node;
+            head = tail;
+        } else {
+            tail.next = node;
+            node.prev = tail;
+            tail = tail.next;
+        }
+    }
+}
+
+class Node {
+    Node prev;
+    Node next;
+    int value;
+    Node(int value) { this.value = value; }
+}
+"#;
+
+/// A deterministic linear-congruential generator, implemented *in the
+/// guest language* so the profiled program is self-contained (the paper's
+/// harness uses `java.util.Random`).
+pub const GUEST_RANDOM: &str = r#"
+class Random {
+    int seed;
+    Random(int seed) { this.seed = seed * 2 + 1; }
+    int nextInt(int bound) {
+        seed = (seed * 1103515245 + 12345) % 2147483648;
+        if (seed < 0) { seed = 0 - seed; }
+        if (bound <= 0) { return 0; }
+        return seed % bound;
+    }
+}
+"#;
+
+/// The full running example: Listing 2's harness (sweeping list sizes)
+/// over Listing 1's sort.
+///
+/// `max_size` and `step` control the size sweep `0, step, 2·step, ... <
+/// max_size`; `reps` repeats each size (the paper uses 0..1000 ×10; that
+/// is feasible but slow under full profiling, so benchmarks default to a
+/// smaller sweep with identical shape).
+pub fn insertion_sort_program(
+    workload: SortWorkload,
+    max_size: usize,
+    step: usize,
+    reps: usize,
+) -> String {
+    let construct = match workload {
+        SortWorkload::Random => {
+            "Random r = new Random(size + 7);
+            for (int i = 0; i < size; i = i + 1) {
+                list.append(r.nextInt(size));
+            }"
+        }
+        SortWorkload::Sorted => {
+            "for (int i = 0; i < size; i = i + 1) {
+                list.append(i);
+            }"
+        }
+        SortWorkload::Reversed => {
+            "for (int i = 0; i < size; i = i + 1) {
+                list.append(size - i);
+            }"
+        }
+    };
+    format!(
+        r#"
+class Main {{
+    static int main() {{
+        measure();
+        return 0;
+    }}
+
+    static void measure() {{
+        for (int size = 0; size < {max_size}; size = size + {step}) {{
+            for (int rep = 0; rep < {reps}; rep = rep + 1) {{
+                List list = new List();
+                constructList(list, size);
+                sort(list);
+            }}
+        }}
+    }}
+
+    static void constructList(List list, int size) {{
+        {construct}
+    }}
+
+    static void sort(List list) {{
+        list.sort();
+    }}
+}}
+{LISTING1_LIST}
+{GUEST_RANDOM}
+"#
+    )
+}
+
+/// §4.3: a functional, recursive insertion sort over an immutable list.
+/// The implementation looks entirely different from Listing 1, yet its
+/// algorithmic profile must agree (same repetition structure, same
+/// complexity).
+pub fn functional_sort_program(
+    workload: SortWorkload,
+    max_size: usize,
+    step: usize,
+    reps: usize,
+) -> String {
+    let construct = match workload {
+        SortWorkload::Random => {
+            "Random r = new Random(size + 7);
+            FNode list = null;
+            for (int i = 0; i < size; i = i + 1) {
+                list = FList.cons(r.nextInt(size), list);
+            }
+            return list;"
+        }
+        SortWorkload::Sorted => {
+            "FNode list = null;
+            for (int i = 0; i < size; i = i + 1) {
+                list = FList.cons(size - i, list);
+            }
+            return list;"
+        }
+        SortWorkload::Reversed => {
+            "FNode list = null;
+            for (int i = 0; i < size; i = i + 1) {
+                list = FList.cons(i, list);
+            }
+            return list;"
+        }
+    };
+    format!(
+        r#"
+class Main {{
+    static int main() {{
+        for (int size = 0; size < {max_size}; size = size + {step}) {{
+            for (int rep = 0; rep < {reps}; rep = rep + 1) {{
+                FNode list = construct(size);
+                FNode sorted = FList.sort(list);
+            }}
+        }}
+        return 0;
+    }}
+
+    static FNode construct(int size) {{
+        {construct}
+    }}
+}}
+
+class FNode {{
+    int value;
+    FNode next;
+    FNode(int value, FNode next) {{ this.value = value; this.next = next; }}
+}}
+
+class FList {{
+    static FNode cons(int value, FNode next) {{
+        return new FNode(value, next);
+    }}
+
+    // Insertion sort: sort the tail recursively, then insert the head.
+    static FNode sort(FNode list) {{
+        if (list == null) {{ return null; }}
+        return insert(list.value, sort(list.next));
+    }}
+
+    // Rebuild the prefix until the insertion point (immutable insert).
+    static FNode insert(int value, FNode sorted) {{
+        if (sorted == null) {{ return new FNode(value, null); }}
+        if (value <= sorted.value) {{ return new FNode(value, sorted); }}
+        return new FNode(sorted.value, insert(value, sorted.next));
+    }}
+}}
+{GUEST_RANDOM}
+"#
+    )
+}
+
+/// How the array-backed list of Listing 6 grows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrowthPolicy {
+    /// `new array[length + 1]` — the naive quadratic version.
+    ByOne,
+    /// `new array[length * 2]` — the ideal linear version.
+    Doubling,
+}
+
+impl fmt::Display for GrowthPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            GrowthPolicy::ByOne => "grow-by-1",
+            GrowthPolicy::Doubling => "doubling",
+        })
+    }
+}
+
+/// Listing 6: appending `size` elements to a dynamically growing
+/// array-backed list, swept over sizes as in Figure 5. Payloads are
+/// objects (the paper appends strings), so snapshot identity across
+/// reallocation flows through the element references.
+pub fn array_list_program(
+    policy: GrowthPolicy,
+    max_size: usize,
+    step: usize,
+    reps: usize,
+) -> String {
+    let grow = match policy {
+        GrowthPolicy::ByOne => "Object[] newArray = new Object[array.length + 1];",
+        GrowthPolicy::Doubling => "Object[] newArray = new Object[array.length * 2];",
+    };
+    format!(
+        r#"
+class Main {{
+    static int main() {{
+        for (int size = 1; size < {max_size}; size = size + {step}) {{
+            for (int rep = 0; rep < {reps}; rep = rep + 1) {{
+                testForSize(size);
+            }}
+        }}
+        return 0;
+    }}
+
+    static void testForSize(int size) {{
+        ArrayList list = new ArrayList();
+        for (int i = 0; i < size; i = i + 1) {{
+            list.append(new Item(i));
+        }}
+    }}
+}}
+
+class ArrayList {{
+    Object[] array;
+    int size;
+
+    ArrayList() {{
+        array = new Object[1];
+        size = 0;
+    }}
+
+    void append(Object value) {{
+        growIfFull();
+        array[size] = value;
+        size = size + 1;
+    }}
+
+    void growIfFull() {{
+        if (size == array.length) {{
+            {grow}
+            for (int i = 0; i < array.length; i = i + 1) {{
+                newArray[i] = array[i];
+            }}
+            array = newArray;
+        }}
+    }}
+}}
+
+class Item {{
+    int v;
+    Item(int v) {{ this.v = v; }}
+}}
+"#
+    )
+}
+
+/// Listing 3: the triangular loop nest used to explain cost combination
+/// (outer 3 iterations + inner 0+1+2 = 6 algorithmic steps).
+pub const LISTING3: &str = r#"
+class Main {
+    static int main() {
+        int s = 0;
+        for (int o = 0; o < 3; o = o + 1) {
+            for (int i = 0; i < o; i = i + 1) {
+                s = s + 1;
+            }
+        }
+        return s;
+    }
+}
+"#;
+
+/// Listing 4: constructions whose first access cannot see the whole
+/// structure — the motivation for re-measuring inputs at repetition exit.
+pub const LISTING4: &str = r#"
+class Main {
+    static int main() {
+        LNode byLoop = constructListWithLoop(25);
+        LNode byRec = constructListWithRecursion(25);
+        constructPartiallyUsedArray();
+        return 0;
+    }
+
+    static LNode constructListWithLoop(int size) {
+        LNode list = null;
+        for (int i = 0; i < size; i = i + 1) {
+            LNode head = new LNode();
+            // first PUTFIELD: reachable structure size 1
+            head.next = list;
+            list = head;
+        }
+        return list;
+    }
+
+    static LNode constructListWithRecursion(int size) {
+        if (size == 0) { return null; }
+        LNode list = constructListWithRecursion(size - 1);
+        LNode head = new LNode();
+        // first PUTFIELD: reachable structure size 1
+        head.next = list;
+        return head;
+    }
+
+    static void constructPartiallyUsedArray() {
+        int[] values = new int[1000];
+        for (int i = 0; i < 10; i = i + 1) {
+            // first IASTORE: array "size" 1
+            values[i] = i * 2;
+        }
+    }
+}
+
+class LNode {
+    LNode next;
+}
+"#;
+
+/// Listing 5: the 2-d array loop nest that AlgoProf fails to group — the
+/// outer loop performs no array access itself, so the two loops become
+/// separate algorithms (the `-` rows of Table 1).
+pub const LISTING5: &str = r#"
+class Main {
+    static int main() {
+        int[][] array = new int[][] {
+            new int[8], new int[8], new int[8], new int[8]
+        };
+        for (int i = 0; i < array.length; i = i + 1) {
+            // no access to array[i] here
+            for (int j = 0; j < array[i].length; j = j + 1) {
+                array[i][j] = i * j;
+            }
+        }
+        return array[3][7];
+    }
+}
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algoprof_vm::{compile, Interp, NoopProfiler};
+
+    fn runs(src: &str) {
+        let p = compile(src).expect("compiles");
+        Interp::new(&p)
+            .with_fuel(200_000_000)
+            .run(&mut NoopProfiler)
+            .expect("runs");
+    }
+
+    #[test]
+    fn insertion_sort_programs_compile_and_run() {
+        for w in [
+            SortWorkload::Random,
+            SortWorkload::Sorted,
+            SortWorkload::Reversed,
+        ] {
+            runs(&insertion_sort_program(w, 40, 10, 2));
+        }
+    }
+
+    #[test]
+    fn insertion_sort_actually_sorts() {
+        // A variant that checks sortedness and prints a verdict.
+        let src = format!(
+            r#"
+class Main {{
+    static int main() {{
+        List list = new List();
+        Random r = new Random(3);
+        for (int i = 0; i < 100; i = i + 1) {{ list.append(r.nextInt(50)); }}
+        list.sort();
+        Node cur = list.head;
+        while (cur != null && cur.next != null) {{
+            if (cur.value > cur.next.value) {{ return 0; }}
+            cur = cur.next;
+        }}
+        return 1;
+    }}
+}}
+{LISTING1_LIST}
+{GUEST_RANDOM}
+"#
+        );
+        let p = compile(&src).expect("compiles");
+        let r = Interp::new(&p).run(&mut NoopProfiler).expect("runs");
+        assert_eq!(r.return_value.as_int(), Some(1), "list must end up sorted");
+    }
+
+    #[test]
+    fn functional_sort_sorts() {
+        let src = format!(
+            r#"
+class Main {{
+    static int main() {{
+        Random r = new Random(5);
+        FNode list = null;
+        for (int i = 0; i < 80; i = i + 1) {{ list = FList.cons(r.nextInt(40), list); }}
+        FNode sorted = FList.sort(list);
+        FNode cur = sorted;
+        int len = 0;
+        while (cur != null) {{
+            if (cur.next != null && cur.value > cur.next.value) {{ return 0; }}
+            len = len + 1;
+            cur = cur.next;
+        }}
+        if (len != 80) {{ return 0; }}
+        return 1;
+    }}
+}}
+
+class FNode {{
+    int value;
+    FNode next;
+    FNode(int value, FNode next) {{ this.value = value; this.next = next; }}
+}}
+
+class FList {{
+    static FNode cons(int value, FNode next) {{ return new FNode(value, next); }}
+    static FNode sort(FNode list) {{
+        if (list == null) {{ return null; }}
+        return insert(list.value, sort(list.next));
+    }}
+    static FNode insert(int value, FNode sorted) {{
+        if (sorted == null) {{ return new FNode(value, null); }}
+        if (value <= sorted.value) {{ return new FNode(value, sorted); }}
+        return new FNode(sorted.value, insert(value, sorted.next));
+    }}
+}}
+{GUEST_RANDOM}
+"#
+        );
+        let p = compile(&src).expect("compiles");
+        let r = Interp::new(&p).run(&mut NoopProfiler).expect("runs");
+        assert_eq!(r.return_value.as_int(), Some(1));
+    }
+
+    #[test]
+    fn functional_sort_program_compiles_and_runs() {
+        runs(&functional_sort_program(SortWorkload::Random, 30, 10, 1));
+    }
+
+    #[test]
+    fn array_list_programs_run() {
+        runs(&array_list_program(GrowthPolicy::ByOne, 40, 10, 1));
+        runs(&array_list_program(GrowthPolicy::Doubling, 40, 10, 1));
+    }
+
+    #[test]
+    fn listing3_computes_three() {
+        let p = compile(LISTING3).expect("compiles");
+        let r = Interp::new(&p).run(&mut NoopProfiler).expect("runs");
+        assert_eq!(r.return_value.as_int(), Some(3), "0+1+2 inner iterations");
+    }
+
+    #[test]
+    fn listing4_and_5_run() {
+        runs(LISTING4);
+        runs(LISTING5);
+    }
+
+    #[test]
+    fn guest_random_is_deterministic_and_bounded() {
+        let src = format!(
+            r#"
+class Main {{
+    static int main() {{
+        Random r = new Random(42);
+        for (int i = 0; i < 1000; i = i + 1) {{
+            int v = r.nextInt(17);
+            if (v < 0 || v >= 17) {{ return 0; }}
+        }}
+        return 1;
+    }}
+}}
+{GUEST_RANDOM}
+"#
+        );
+        let p = compile(&src).expect("compiles");
+        let r = Interp::new(&p).run(&mut NoopProfiler).expect("runs");
+        assert_eq!(r.return_value.as_int(), Some(1));
+    }
+}

@@ -1,0 +1,983 @@
+//! The 18 Table-1 data-structure example programs (paper §4.1).
+//!
+//! Each program implements several algorithms over one data structure:
+//! building it, traversing it iteratively, and traversing it recursively.
+//! The table's columns are reproduced as machine-checkable expectations:
+//!
+//! * **I** — were the intended inputs detected?
+//! * **S** — was the input size measured correctly?
+//! * **G** — were the loops that intuitively form one algorithm grouped
+//!   (`x`), grouped but fragile (`*`), or not grouped (`-`)?
+
+use algoprof::{AlgorithmicProfile, ProfileError};
+
+/// The paper's three grouping verdicts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grouping {
+    /// `x` — robustly grouped.
+    Grouped,
+    /// `*` — grouped here, but a small implementation change would break
+    /// it (single-loop algorithms over arrays).
+    Fragile,
+    /// `-` — not grouped (array loop nests whose outer loop performs no
+    /// array access).
+    NotGrouped,
+}
+
+impl Grouping {
+    /// The table's mark for this verdict.
+    pub fn mark(self) -> &'static str {
+        match self {
+            Grouping::Grouped => "x",
+            Grouping::Fragile => "*",
+            Grouping::NotGrouped => "-",
+        }
+    }
+
+    /// Whether the verdict means "ended up in one algorithm".
+    pub fn is_grouped(self) -> bool {
+        !matches!(self, Grouping::NotGrouped)
+    }
+}
+
+/// One Table-1 row: a program plus its expected outcomes.
+#[derive(Debug, Clone)]
+pub struct Table1Program {
+    /// Row label, e.g. `list linked directed G`.
+    pub name: &'static str,
+    /// Column "Struct".
+    pub structure: &'static str,
+    /// Column "Impl.".
+    pub implementation: &'static str,
+    /// Column "Linkage".
+    pub linkage: &'static str,
+    /// Column "T": `B` hard-coded, `I` inheritance, `G` generics.
+    pub typing: char,
+    /// Column "Rem.".
+    pub remark: &'static str,
+    /// The jay source.
+    pub source: String,
+    /// Substring expected in the detected input's description.
+    pub expected_input: &'static str,
+    /// Inclusive bounds on the detected input's maximum size.
+    pub expected_size: (usize, usize),
+    /// Node-name needles that intuitively belong to ONE algorithm.
+    pub needles: Vec<&'static str>,
+    /// The paper's G column for this row.
+    pub expected_grouping: Grouping,
+}
+
+/// Outcome of checking one program's profile against its expectations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Table1Outcome {
+    /// I column: input detected with the expected description.
+    pub inputs_detected: bool,
+    /// S column: measured max size within the expected bounds.
+    pub size_correct: bool,
+    /// Observed grouping: were all needles in one algorithm?
+    pub observed_grouped: bool,
+    /// Whether the observed grouping matches the paper's G column.
+    pub grouping_matches_paper: bool,
+    /// The measured size (for reporting).
+    pub measured_size: usize,
+}
+
+impl Table1Program {
+    /// Profiles the program with default options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates guest compile/run failures.
+    pub fn profile(&self) -> Result<AlgorithmicProfile, ProfileError> {
+        algoprof::profile_source(&self.source)
+    }
+
+    /// Checks a profile against this row's expectations.
+    pub fn evaluate(&self, profile: &AlgorithmicProfile) -> Table1Outcome {
+        // Anchor the I/S checks on the first needle whose algorithm has a
+        // measurable input (for ungrouped nests only the inner loop does).
+        let mut anchor_input = None;
+        for needle in &self.needles {
+            let found = profile.algorithms().iter().find(|a| {
+                a.members
+                    .iter()
+                    .any(|&m| profile.node_name(m).contains(needle))
+            });
+            if let Some(a) = found {
+                if let Some(input) = profile.primary_input(a.id) {
+                    anchor_input = Some(input);
+                    break;
+                }
+            }
+        }
+
+        let (inputs_detected, size_correct, measured_size) = match anchor_input {
+            Some(input) => {
+                let desc_ok = profile
+                    .input_description(input)
+                    .contains(self.expected_input);
+                let size = profile.registry().input(input).max_size;
+                let (lo, hi) = self.expected_size;
+                (desc_ok, size >= lo && size <= hi, size)
+            }
+            None => (false, false, 0),
+        };
+
+        // Grouping: all needles must land in the same algorithm.
+        let mut algo_ids = Vec::new();
+        for needle in &self.needles {
+            let found = profile.algorithms().iter().find(|a| {
+                a.members
+                    .iter()
+                    .any(|&m| profile.node_name(m).contains(needle))
+            });
+            algo_ids.push(found.map(|a| a.id));
+        }
+        let observed_grouped = algo_ids.iter().all(|x| x.is_some())
+            && algo_ids.windows(2).all(|w| w[0] == w[1]);
+        let grouping_matches_paper = observed_grouped == self.expected_grouping.is_grouped();
+
+        Table1Outcome {
+            inputs_detected,
+            size_correct,
+            observed_grouped,
+            grouping_matches_paper,
+            measured_size,
+        }
+    }
+}
+
+/// Shared size-sweep harness: runs `run(size)` for sizes 8, 16, 24.
+fn harness(body: &str, classes: &str) -> String {
+    format!(
+        r#"
+class Main {{
+    static int main() {{
+        for (int size = 8; size <= 24; size = size + 8) {{
+            run(size);
+        }}
+        return 0;
+    }}
+
+{body}
+}}
+{classes}
+"#
+    )
+}
+
+fn array_list_source(elem_decl: &str, grow: &str, append_arg: &str, classes: &str) -> String {
+    harness(
+        &format!(
+            r#"
+    static void run(int size) {{
+        ArrayList list = new ArrayList();
+        fill(list, size);
+    }}
+
+    static void fill(ArrayList list, int size) {{
+        for (int i = 0; i < size; i = i + 1) {{
+            list.append({append_arg});
+        }}
+    }}
+"#
+        ),
+        &format!(
+            r#"
+class ArrayList {{
+    {elem_decl}[] array;
+    int size;
+
+    ArrayList() {{
+        array = new {elem_decl}[1];
+        size = 0;
+    }}
+
+    void append({elem_decl} v) {{
+        growIfFull();
+        array[size] = v;
+        size = size + 1;
+    }}
+
+    void growIfFull() {{
+        if (size == array.length) {{
+            {elem_decl}[] newArray = new {elem_decl}[{grow}];
+            for (int i = 0; i < array.length; i = i + 1) {{
+                newArray[i] = array[i];
+            }}
+            array = newArray;
+        }}
+    }}
+}}
+{classes}
+"#
+        ),
+    )
+}
+
+/// Builds all 18 Table-1 programs in the paper's row order.
+#[allow(clippy::vec_init_then_push)] // 18 rows with commentary read best sequentially
+pub fn table1_programs() -> Vec<Table1Program> {
+    let mut rows = Vec::new();
+
+    // Row 1: array array B 1d.
+    rows.push(Table1Program {
+        name: "array array B 1d",
+        structure: "array",
+        implementation: "array",
+        linkage: "NA",
+        typing: 'B',
+        remark: "1d",
+        source: harness(
+            r#"
+    static void run(int size) {
+        int[] a = build(size);
+        int s1 = sumIter(a);
+        int s2 = sumRec(a, 0);
+    }
+
+    static int[] build(int size) {
+        int[] a = new int[size];
+        for (int i = 0; i < a.length; i = i + 1) { a[i] = i * 3 + 1; }
+        return a;
+    }
+
+    static int sumIter(int[] a) {
+        int s = 0;
+        for (int i = 0; i < a.length; i = i + 1) { s = s + a[i]; }
+        return s;
+    }
+
+    static int sumRec(int[] a, int i) {
+        if (i >= a.length) { return 0; }
+        return a[i] + sumRec(a, i + 1);
+    }
+"#,
+            "",
+        ),
+        expected_input: "int array",
+        expected_size: (24, 24),
+        needles: vec!["Main.sumIter:loop"],
+        expected_grouping: Grouping::Fragile,
+    });
+
+    // Row 2: array array B 2d — the sum nest must NOT group.
+    rows.push(Table1Program {
+        name: "array array B 2d",
+        structure: "array",
+        implementation: "array",
+        linkage: "NA",
+        typing: 'B',
+        remark: "2d",
+        source: harness(
+            r#"
+    static void run(int size) {
+        int[][] m = build(size);
+        int s = sum(m);
+    }
+
+    static int[][] build(int size) {
+        int[][] m = new int[size][];
+        for (int i = 0; i < m.length; i = i + 1) { m[i] = new int[size]; }
+        for (int i = 0; i < m.length; i = i + 1) {
+            for (int j = 0; j < size; j = j + 1) { m[i][j] = i + j; }
+        }
+        return m;
+    }
+
+    static int sum(int[][] m) {
+        int s = 0;
+        for (int i = 0; i < m.length; i = i + 1) {
+            // no access to m[i] here
+            for (int j = 0; j < m[i].length; j = j + 1) { s = s + m[i][j]; }
+        }
+        return s;
+    }
+"#,
+            "",
+        ),
+        expected_input: "array",
+        expected_size: (600, 600),
+        needles: vec!["Main.sum:loop0", "Main.sum:loop1"],
+        expected_grouping: Grouping::NotGrouped,
+    });
+
+    // Rows 3–6: array-backed lists.
+    rows.push(Table1Program {
+        name: "list array B double",
+        structure: "list",
+        implementation: "array",
+        linkage: "NA",
+        typing: 'B',
+        remark: "double",
+        source: array_list_source("int", "array.length * 2", "i * 2 + 1", ""),
+        expected_input: "int array",
+        expected_size: (24, 32),
+        needles: vec!["Main.fill:loop", "ArrayList.growIfFull:loop"],
+        expected_grouping: Grouping::Fragile,
+    });
+    rows.push(Table1Program {
+        name: "list array B grow-by-1",
+        structure: "list",
+        implementation: "array",
+        linkage: "NA",
+        typing: 'B',
+        remark: "grow by 1",
+        source: array_list_source("int", "array.length + 1", "i * 2 + 1", ""),
+        expected_input: "int array",
+        expected_size: (24, 24),
+        needles: vec!["Main.fill:loop", "ArrayList.growIfFull:loop"],
+        expected_grouping: Grouping::Fragile,
+    });
+    rows.push(Table1Program {
+        name: "list array G grow-by-1",
+        structure: "list",
+        implementation: "array",
+        linkage: "NA",
+        typing: 'G',
+        remark: "grow by 1",
+        source: harness(
+            r#"
+    static void run(int size) {
+        GArrayList<Item> list = new GArrayList<Item>();
+        fill(list, size);
+    }
+
+    static void fill(GArrayList<Item> list, int size) {
+        for (int i = 0; i < size; i = i + 1) {
+            list.append(new Item(i));
+        }
+    }
+"#,
+            r#"
+class GArrayList<T> {
+    Object[] array;
+    int size;
+
+    GArrayList() {
+        array = new Object[1];
+        size = 0;
+    }
+
+    void append(T v) {
+        growIfFull();
+        array[size] = v;
+        size = size + 1;
+    }
+
+    T get(int i) { return (T) array[i]; }
+
+    void growIfFull() {
+        if (size == array.length) {
+            Object[] newArray = new Object[array.length + 1];
+            for (int i = 0; i < array.length; i = i + 1) {
+                newArray[i] = array[i];
+            }
+            array = newArray;
+        }
+    }
+}
+
+class Item {
+    int v;
+    Item(int v) { this.v = v; }
+}
+"#,
+        ),
+        expected_input: "reference array",
+        expected_size: (24, 24),
+        needles: vec!["Main.fill:loop", "GArrayList.growIfFull:loop"],
+        expected_grouping: Grouping::Fragile,
+    });
+    rows.push(Table1Program {
+        name: "list array I grow-by-1",
+        structure: "list",
+        implementation: "array",
+        linkage: "NA",
+        typing: 'I',
+        remark: "grow by 1",
+        source: array_list_source(
+            "Payload",
+            "array.length + 1",
+            "new IntPayload(i)",
+            r#"
+class Payload { }
+class IntPayload extends Payload {
+    int v;
+    IntPayload(int v) { this.v = v; }
+}
+"#,
+        ),
+        expected_input: "reference array",
+        expected_size: (24, 24),
+        needles: vec!["Main.fill:loop", "ArrayList.growIfFull:loop"],
+        expected_grouping: Grouping::Fragile,
+    });
+
+    // Rows 7–9: linked lists B/G/I.
+    let linked_list_body = r#"
+    static void run(int size) {
+        LinkedList list = new LinkedList();
+        fill(list, size);
+        int s1 = sumIter(list);
+        int s2 = sumRec(list.head);
+    }
+
+    static void fill(LinkedList list, int size) {
+        for (int i = 0; i < size; i = i + 1) { list.append(i); }
+    }
+
+    static int sumIter(LinkedList list) {
+        int s = 0;
+        LNode cur = list.head;
+        while (cur != null) { s = s + cur.value; cur = cur.next; }
+        return s;
+    }
+
+    static int sumRec(LNode n) {
+        if (n == null) { return 0; }
+        return n.value + sumRec(n.next);
+    }
+"#;
+    rows.push(Table1Program {
+        name: "list linked directed B",
+        structure: "list",
+        implementation: "linked",
+        linkage: "directed",
+        typing: 'B',
+        remark: "",
+        source: harness(
+            linked_list_body,
+            r#"
+class LinkedList {
+    LNode head;
+    LNode tail;
+    void append(int v) {
+        LNode n = new LNode(v);
+        if (head == null) { head = n; tail = n; } else { tail.next = n; tail = n; }
+    }
+}
+class LNode {
+    LNode next;
+    int value;
+    LNode(int v) { this.value = v; }
+}
+"#,
+        ),
+        expected_input: "LNode",
+        expected_size: (24, 24),
+        needles: vec!["Main.sumIter:loop"],
+        expected_grouping: Grouping::Grouped,
+    });
+    rows.push(Table1Program {
+        name: "list linked directed G",
+        structure: "list",
+        implementation: "linked",
+        linkage: "directed",
+        typing: 'G',
+        remark: "",
+        source: harness(
+            r#"
+    static void run(int size) {
+        GNode<Item> head = null;
+        for (int i = 0; i < size; i = i + 1) {
+            GNode<Item> n = new GNode<Item>(new Item(i));
+            n.next = head;
+            head = n;
+        }
+        int s1 = sumIter(head);
+        int s2 = sumRec(head);
+    }
+
+    static int sumIter(GNode<Item> head) {
+        int s = 0;
+        GNode<Item> cur = head;
+        while (cur != null) { s = s + cur.value.v; cur = cur.next; }
+        return s;
+    }
+
+    static int sumRec(GNode<Item> n) {
+        if (n == null) { return 0; }
+        return n.value.v + sumRec(n.next);
+    }
+"#,
+            r#"
+class GNode<T> {
+    GNode<T> next;
+    T value;
+    GNode(T value) { this.value = value; }
+}
+class Item {
+    int v;
+    Item(int v) { this.v = v; }
+}
+"#,
+        ),
+        expected_input: "GNode",
+        expected_size: (24, 24),
+        needles: vec!["Main.sumIter:loop"],
+        expected_grouping: Grouping::Grouped,
+    });
+    rows.push(Table1Program {
+        name: "list linked directed I",
+        structure: "list",
+        implementation: "linked",
+        linkage: "directed",
+        typing: 'I',
+        remark: "",
+        source: harness(
+            r#"
+    static void run(int size) {
+        INode head = null;
+        for (int i = 0; i < size; i = i + 1) {
+            INode n = new INode(new IntPayload(i));
+            n.next = head;
+            head = n;
+        }
+        int s = sumIter(head);
+        int r = sumRec(head);
+    }
+
+    static int sumIter(INode head) {
+        int s = 0;
+        INode cur = head;
+        while (cur != null) {
+            if (cur.value instanceof IntPayload) { s = s + ((IntPayload) cur.value).v; }
+            cur = cur.next;
+        }
+        return s;
+    }
+
+    static int sumRec(INode n) {
+        if (n == null) { return 0; }
+        int v = 0;
+        if (n.value instanceof IntPayload) { v = ((IntPayload) n.value).v; }
+        return v + sumRec(n.next);
+    }
+"#,
+            r#"
+class INode {
+    INode next;
+    Payload value;
+    INode(Payload value) { this.value = value; }
+}
+class Payload { }
+class IntPayload extends Payload {
+    int v;
+    IntPayload(int v) { this.v = v; }
+}
+"#,
+        ),
+        expected_input: "INode",
+        expected_size: (24, 24),
+        needles: vec!["Main.sumIter:loop"],
+        expected_grouping: Grouping::Grouped,
+    });
+
+    // Row 10: array-backed binary tree (heap layout).
+    rows.push(Table1Program {
+        name: "tree array B binary",
+        structure: "tree",
+        implementation: "array",
+        linkage: "NA",
+        typing: 'B',
+        remark: "binary",
+        source: harness(
+            r#"
+    static void run(int size) {
+        int[] tree = build(size);
+        int s = sumRec(tree, 0);
+    }
+
+    static int[] build(int size) {
+        int[] t = new int[size];
+        for (int i = 0; i < t.length; i = i + 1) { t[i] = i + 1; }
+        return t;
+    }
+
+    static int sumRec(int[] t, int i) {
+        if (i >= t.length) { return 0; }
+        return t[i] + sumRec(t, 2 * i + 1) + sumRec(t, 2 * i + 2);
+    }
+"#,
+            "",
+        ),
+        expected_input: "int array",
+        expected_size: (24, 24),
+        needles: vec!["Main.sumRec (recursion)"],
+        expected_grouping: Grouping::Fragile,
+    });
+
+    // Rows 11–12: linked binary trees (directed, bidirectional).
+    let bst_body = |with_parent: bool| {
+        let set_parent = if with_parent {
+            "if (root.left != null) { root.left.parent = root; }
+            if (root.right != null) { root.right.parent = root; }"
+        } else {
+            ""
+        };
+        harness(
+            &format!(
+                r#"
+    static void run(int size) {{
+        TNode root = null;
+        Random r = new Random(size);
+        for (int i = 0; i < size; i = i + 1) {{
+            root = insert(root, r.nextInt(1000));
+        }}
+        int s = sum(root);
+    }}
+
+    static TNode insert(TNode root, int v) {{
+        if (root == null) {{ return new TNode(v); }}
+        if (v < root.value) {{
+            root.left = insert(root.left, v);
+        }} else {{
+            root.right = insert(root.right, v);
+        }}
+        {set_parent}
+        return root;
+    }}
+
+    static int sum(TNode n) {{
+        if (n == null) {{ return 0; }}
+        return n.value + sum(n.left) + sum(n.right);
+    }}
+"#
+            ),
+            &format!(
+                r#"
+class TNode {{
+    TNode left;
+    TNode right;
+    {parent}
+    int value;
+    TNode(int v) {{ this.value = v; }}
+}}
+{rand}
+"#,
+                parent = if with_parent { "TNode parent;" } else { "" },
+                rand = crate::listings::GUEST_RANDOM,
+            ),
+        )
+    };
+    rows.push(Table1Program {
+        name: "tree linked directed B binary",
+        structure: "tree",
+        implementation: "linked",
+        linkage: "directed",
+        typing: 'B',
+        remark: "binary",
+        source: bst_body(false),
+        expected_input: "TNode",
+        expected_size: (24, 24),
+        needles: vec!["Main.sum (recursion)"],
+        expected_grouping: Grouping::Grouped,
+    });
+    rows.push(Table1Program {
+        name: "tree linked bidi B binary",
+        structure: "tree",
+        implementation: "linked",
+        linkage: "bidi",
+        typing: 'B',
+        remark: "binary",
+        source: bst_body(true),
+        expected_input: "TNode",
+        expected_size: (24, 24),
+        needles: vec!["Main.sum (recursion)"],
+        expected_grouping: Grouping::Grouped,
+    });
+
+    // Rows 13–14: n-ary trees; the traversal is a recursion with a nested
+    // loop over the children array — the strong grouping test.
+    let nary_body = |with_parent: bool| {
+        let set_parent = if with_parent {
+            "kids[i].parent = n;"
+        } else {
+            ""
+        };
+        harness(
+            &format!(
+                r#"
+    static void run(int size) {{
+        NNode root = new NNode(0);
+        int made = fill(root, 1, size);
+        int s = sum(root);
+    }}
+
+    static int fill(NNode n, int next, int max) {{
+        NNode[] kids = n.children;
+        for (int i = 0; i < kids.length; i = i + 1) {{
+            if (next < max) {{
+                kids[i] = new NNode(next);
+                {set_parent}
+                next = next + 1;
+            }}
+        }}
+        for (int i = 0; i < kids.length; i = i + 1) {{
+            if (kids[i] != null) {{
+                next = fill(kids[i], next, max);
+            }}
+        }}
+        return next;
+    }}
+
+    static int sum(NNode n) {{
+        int s = n.value;
+        NNode[] kids = n.children;
+        for (int i = 0; i < kids.length; i = i + 1) {{
+            if (kids[i] != null) {{
+                s = s + sum(kids[i]);
+            }}
+        }}
+        return s;
+    }}
+"#
+            ),
+            &format!(
+                r#"
+class NNode {{
+    NNode[] children;
+    {parent}
+    int value;
+    NNode(int v) {{
+        this.value = v;
+        this.children = new NNode[3];
+    }}
+}}
+"#,
+                parent = if with_parent { "NNode parent;" } else { "" },
+            ),
+        )
+    };
+    rows.push(Table1Program {
+        name: "tree linked directed B n-ary",
+        structure: "tree",
+        implementation: "linked",
+        linkage: "directed",
+        typing: 'B',
+        remark: "n-ary",
+        source: nary_body(false),
+        expected_input: "NNode",
+        expected_size: (24, 24),
+        needles: vec!["Main.sum (recursion)", "Main.sum:loop"],
+        expected_grouping: Grouping::Grouped,
+    });
+    rows.push(Table1Program {
+        name: "tree linked bidi B n-ary",
+        structure: "tree",
+        implementation: "linked",
+        linkage: "bidi",
+        typing: 'B',
+        remark: "n-ary",
+        source: nary_body(true),
+        expected_input: "NNode",
+        expected_size: (24, 24),
+        needles: vec!["Main.sum (recursion)", "Main.sum:loop"],
+        expected_grouping: Grouping::Grouped,
+    });
+
+    // Row 15: graph as a 2-d adjacency matrix — the other NotGrouped row.
+    rows.push(Table1Program {
+        name: "graph array directed B 2d",
+        structure: "graph",
+        implementation: "array",
+        linkage: "directed",
+        typing: 'B',
+        remark: "2d",
+        source: harness(
+            r#"
+    static void run(int size) {
+        int[][] adj = build(size);
+        int e = countEdges(adj);
+    }
+
+    static int[][] build(int size) {
+        int[][] adj = new int[size][];
+        for (int i = 0; i < adj.length; i = i + 1) { adj[i] = new int[size]; }
+        for (int i = 0; i < size; i = i + 1) {
+            adj[i][(i + 1) % size] = 1;
+            adj[i][(i * 7 + 3) % size] = 1;
+        }
+        return adj;
+    }
+
+    static int countEdges(int[][] adj) {
+        int s = 0;
+        for (int i = 0; i < adj.length; i = i + 1) {
+            // no access to adj[i] here
+            for (int j = 0; j < adj[i].length; j = j + 1) { s = s + adj[i][j]; }
+        }
+        return s;
+    }
+"#,
+            "",
+        ),
+        expected_input: "array",
+        expected_size: (600, 600),
+        needles: vec!["Main.countEdges:loop0", "Main.countEdges:loop1"],
+        expected_grouping: Grouping::NotGrouped,
+    });
+
+    // Rows 16–18: linked graphs. DFS recursion + neighbor loop.
+    let graph_body = |vertex_class: &str, link: &str| {
+        harness(
+            &format!(
+                r#"
+    static void run(int size) {{
+        Vertex first = build(size);
+        int reached = dfs(first, size);
+    }}
+
+    static Vertex build(int size) {{
+        Vertex first = new Vertex(0);
+        Vertex prev = first;
+        for (int i = 1; i < size; i = i + 1) {{
+            Vertex v = new Vertex(i);
+            {link}
+            prev = v;
+            if (i == size - 1) {{
+                // Close the ring (inside the loop so the access is
+                // attributed to the construction repetition).
+                v.out[0] = first;
+            }}
+        }}
+        return first;
+    }}
+
+    static int dfs(Vertex v, int mark) {{
+        if (v == null) {{ return 0; }}
+        if (v.visited == mark) {{ return 0; }}
+        v.visited = mark;
+        Vertex[] out = v.out;
+        int s = 1;
+        for (int i = 0; i < out.length; i = i + 1) {{
+            s = s + dfs(out[i], mark);
+        }}
+        return s;
+    }}
+"#
+            ),
+            vertex_class,
+        )
+    };
+    rows.push(Table1Program {
+        name: "graph linked directed B",
+        structure: "graph",
+        implementation: "linked",
+        linkage: "directed",
+        typing: 'B',
+        remark: "",
+        source: graph_body(
+            r#"
+class Vertex {
+    Vertex[] out;
+    int id;
+    int visited;
+    Vertex(int id) {
+        this.id = id;
+        this.out = new Vertex[2];
+    }
+}
+"#,
+            "prev.out[0] = v; prev.out[1] = v;",
+        ),
+        expected_input: "Vertex",
+        expected_size: (24, 24),
+        needles: vec!["Main.dfs (recursion)", "Main.dfs:loop"],
+        expected_grouping: Grouping::Grouped,
+    });
+    rows.push(Table1Program {
+        name: "graph linked bidi B",
+        structure: "graph",
+        implementation: "linked",
+        linkage: "bidi",
+        typing: 'B',
+        remark: "",
+        source: graph_body(
+            r#"
+class Vertex {
+    Vertex[] out;
+    Vertex[] in;
+    int id;
+    int visited;
+    Vertex(int id) {
+        this.id = id;
+        this.out = new Vertex[2];
+        this.in = new Vertex[2];
+    }
+}
+"#,
+            "prev.out[0] = v; v.in[0] = prev;",
+        ),
+        expected_input: "Vertex",
+        expected_size: (24, 24),
+        needles: vec!["Main.dfs (recursion)", "Main.dfs:loop"],
+        expected_grouping: Grouping::Grouped,
+    });
+    rows.push(Table1Program {
+        name: "graph linked undirected B",
+        structure: "graph",
+        implementation: "linked",
+        linkage: "unidirected",
+        typing: 'B',
+        remark: "",
+        source: graph_body(
+            r#"
+class Vertex {
+    Vertex[] out;
+    int id;
+    int visited;
+    Vertex(int id) {
+        this.id = id;
+        this.out = new Vertex[2];
+    }
+}
+"#,
+            "prev.out[0] = v; v.out[1] = prev;",
+        ),
+        expected_input: "Vertex",
+        expected_size: (24, 24),
+        needles: vec!["Main.dfs (recursion)", "Main.dfs:loop"],
+        expected_grouping: Grouping::Grouped,
+    });
+
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn there_are_18_programs() {
+        assert_eq!(table1_programs().len(), 18);
+    }
+
+    #[test]
+    fn all_programs_compile_and_run() {
+        for p in table1_programs() {
+            let result = algoprof_vm::compile(&p.source);
+            let program = match result {
+                Ok(prog) => prog,
+                Err(e) => panic!("{} failed to compile: {e}", p.name),
+            };
+            algoprof_vm::Interp::new(&program)
+                .with_fuel(50_000_000)
+                .run(&mut algoprof_vm::NoopProfiler)
+                .unwrap_or_else(|e| panic!("{} failed to run: {e}", p.name));
+        }
+    }
+
+    #[test]
+    fn grouping_marks_render() {
+        assert_eq!(Grouping::Grouped.mark(), "x");
+        assert_eq!(Grouping::Fragile.mark(), "*");
+        assert_eq!(Grouping::NotGrouped.mark(), "-");
+        assert!(Grouping::Fragile.is_grouped());
+        assert!(!Grouping::NotGrouped.is_grouped());
+    }
+
+    // Full I/S/G checks are in tests/table1.rs (integration) and the
+    // table1 bench binary; these unit tests keep the corpus compiling.
+}

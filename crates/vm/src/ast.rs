@@ -1,0 +1,455 @@
+//! Abstract syntax tree for the jay guest language.
+//!
+//! The surface language is a compact Java subset: classes with fields and
+//! methods, single inheritance, constructors, class-level type parameters
+//! (erased, as in Java), `int`/`boolean` primitives, reference types,
+//! one- and multi-dimensional arrays, and structured control flow including
+//! `try`/`catch`/`throw`.
+
+use crate::error::Span;
+
+/// A whole compilation unit: a list of class declarations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// All classes in declaration order.
+    pub classes: Vec<ClassDecl>,
+}
+
+/// A class declaration, e.g. `class Node<T> extends Base { ... }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Type parameter names (erased to `Object` at compile time).
+    pub type_params: Vec<String>,
+    /// Optional superclass reference.
+    pub superclass: Option<TypeExpr>,
+    /// Instance fields.
+    pub fields: Vec<FieldDecl>,
+    /// Methods and constructors.
+    pub methods: Vec<MethodDecl>,
+    /// Source location of the declaration header.
+    pub span: Span,
+}
+
+/// An instance field declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A method or constructor declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodDecl {
+    /// Method name; equals the class name for constructors.
+    pub name: String,
+    /// Whether declared `static`.
+    pub is_static: bool,
+    /// Whether this is a constructor (no return type in the source).
+    pub is_ctor: bool,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Declared return type (`void` for constructors).
+    pub ret: TypeExpr,
+    /// Method body.
+    pub body: Block,
+    /// Source location of the signature.
+    pub span: Span,
+}
+
+/// A formal parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Declared type.
+    pub ty: TypeExpr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A syntactic type, prior to resolution and erasure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeExpr {
+    /// `int`.
+    Int,
+    /// `boolean`.
+    Bool,
+    /// `void` (return types only).
+    Void,
+    /// A named class reference with optional type arguments, or a type
+    /// variable; resolution decides which. `Object` is the built-in top
+    /// reference type.
+    Named(String, Vec<TypeExpr>),
+    /// An array type `T[]`.
+    Array(Box<TypeExpr>),
+}
+
+impl TypeExpr {
+    /// Convenience constructor for a non-generic named type.
+    pub fn named(name: &str) -> TypeExpr {
+        TypeExpr::Named(name.to_owned(), Vec::new())
+    }
+}
+
+/// A `{ ... }` statement block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Source location.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `T x = e;` or `T x;`
+    VarDecl {
+        /// Declared type.
+        ty: TypeExpr,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `target = value;` where target is a local, field, or array element.
+    Assign {
+        /// Assignment target (must be an l-value).
+        target: Expr,
+        /// Right-hand side.
+        value: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `if (cond) then else els`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Block,
+        /// Optional else branch.
+        els: Option<Block>,
+        /// Source location.
+        span: Span,
+    },
+    /// `while (cond) body`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+        /// Source location.
+        span: Span,
+    },
+    /// `for (init; cond; update) body`. `init` and `update` are statements
+    /// without trailing semicolons; either may be absent.
+    For {
+        /// Optional initializer (variable declaration or assignment).
+        init: Option<Box<Stmt>>,
+        /// Optional condition (defaults to `true`).
+        cond: Option<Expr>,
+        /// Optional update statement.
+        update: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Block,
+        /// Source location.
+        span: Span,
+    },
+    /// `return;` or `return e;`
+    Return {
+        /// Optional return value.
+        value: Option<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// An expression evaluated for its side effects (a call).
+    ExprStmt {
+        /// The expression.
+        expr: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// A nested block.
+    Block(Block),
+    /// `break;`
+    Break {
+        /// Source location.
+        span: Span,
+    },
+    /// `continue;`
+    Continue {
+        /// Source location.
+        span: Span,
+    },
+    /// `throw e;` — raises a guest exception carrying `e`.
+    Throw {
+        /// Thrown value.
+        value: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `try { ... } catch (T name) { ... }`.
+    Try {
+        /// Protected block.
+        body: Block,
+        /// Name binding the caught value inside the handler.
+        catch_name: String,
+        /// Declared type of the caught value.
+        catch_ty: TypeExpr,
+        /// Handler block.
+        handler: Block,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Stmt {
+    /// Returns the source span of this statement.
+    pub fn span(&self) -> Span {
+        match self {
+            Stmt::VarDecl { span, .. }
+            | Stmt::Assign { span, .. }
+            | Stmt::If { span, .. }
+            | Stmt::While { span, .. }
+            | Stmt::For { span, .. }
+            | Stmt::Return { span, .. }
+            | Stmt::ExprStmt { span, .. }
+            | Stmt::Break { span }
+            | Stmt::Continue { span }
+            | Stmt::Throw { span, .. }
+            | Stmt::Try { span, .. } => *span,
+            Stmt::Block(b) => b.span,
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64, Span),
+    /// Boolean literal.
+    BoolLit(bool, Span),
+    /// `null`.
+    Null(Span),
+    /// `this`.
+    This(Span),
+    /// A named variable (local or parameter).
+    Var(String, Span),
+    /// `obj.field`.
+    Field {
+        /// Receiver.
+        obj: Box<Expr>,
+        /// Field name.
+        name: String,
+        /// Source location.
+        span: Span,
+    },
+    /// `arr[idx]`.
+    Index {
+        /// Array expression.
+        arr: Box<Expr>,
+        /// Index expression.
+        idx: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `arr.length`.
+    Length {
+        /// Array expression.
+        arr: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// An instance method call `obj.m(args)`.
+    Call {
+        /// Receiver.
+        obj: Box<Expr>,
+        /// Method name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// A static call `Class.m(args)` or an unqualified call `m(args)`
+    /// resolved within the enclosing class (or to a builtin).
+    StaticCall {
+        /// Class name qualifier, if written.
+        class: Option<String>,
+        /// Method name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `new C<T>(args)`.
+    New {
+        /// Instantiated class type.
+        ty: TypeExpr,
+        /// Constructor arguments.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `new T[len]` (possibly with further `[]` dimensions on `T`).
+    NewArray {
+        /// Element type.
+        elem: TypeExpr,
+        /// Length expression.
+        len: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `new T[] { e1, e2, ... }`.
+    ArrayLit {
+        /// Element type.
+        elem: TypeExpr,
+        /// Element expressions.
+        elems: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `(T) e` checked cast.
+    Cast {
+        /// Target type.
+        ty: TypeExpr,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `e instanceof T`.
+    InstanceOf {
+        /// Operand.
+        expr: Box<Expr>,
+        /// Tested type.
+        ty: TypeExpr,
+        /// Source location.
+        span: Span,
+    },
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
+}
+
+impl Expr {
+    /// Returns the source span of this expression.
+    pub fn span(&self) -> Span {
+        match self {
+            Expr::IntLit(_, s)
+            | Expr::BoolLit(_, s)
+            | Expr::Null(s)
+            | Expr::This(s)
+            | Expr::Var(_, s) => *s,
+            Expr::Field { span, .. }
+            | Expr::Index { span, .. }
+            | Expr::Length { span, .. }
+            | Expr::Call { span, .. }
+            | Expr::StaticCall { span, .. }
+            | Expr::New { span, .. }
+            | Expr::NewArray { span, .. }
+            | Expr::ArrayLit { span, .. }
+            | Expr::Cast { span, .. }
+            | Expr::InstanceOf { span, .. }
+            | Expr::Unary { span, .. }
+            | Expr::Binary { span, .. } => *span,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stmt_span_is_accessible_for_all_variants() {
+        let span = Span::new(1, 2, 3);
+        let block = Block {
+            stmts: vec![],
+            span,
+        };
+        let stmts = vec![
+            Stmt::Break { span },
+            Stmt::Continue { span },
+            Stmt::Block(block.clone()),
+            Stmt::Return { value: None, span },
+        ];
+        for s in stmts {
+            assert_eq!(s.span().line, 3);
+        }
+    }
+
+    #[test]
+    fn expr_span_is_accessible() {
+        let span = Span::new(0, 1, 7);
+        assert_eq!(Expr::IntLit(1, span).span().line, 7);
+        assert_eq!(Expr::Null(span).span().line, 7);
+    }
+}

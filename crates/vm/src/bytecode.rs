@@ -1,0 +1,425 @@
+//! Bytecode instruction set and compiled-program tables for the jay VM.
+
+use std::fmt;
+
+use crate::hir::CatchKind;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the id as a usize index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}#{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifies a class in [`CompiledProgram::classes`].
+    ClassId
+);
+id_type!(
+    /// Identifies a declared instance field in [`CompiledProgram::fields`].
+    FieldId
+);
+id_type!(
+    /// Identifies a function (method or constructor) in
+    /// [`CompiledProgram::functions`].
+    FuncId
+);
+id_type!(
+    /// Identifies a natural loop registered by the instrumentation pass in
+    /// [`CompiledProgram::loops`].
+    LoopId
+);
+
+/// The erased element kind of an array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElemKind {
+    /// `int[]`.
+    Int,
+    /// `boolean[]`.
+    Bool,
+    /// Any reference array (`T[]`, `Object[]`, `T[][]`, ...).
+    Ref,
+}
+
+/// The erased declared type of a field, used by the recursive-data-type
+/// analysis to build the type reference graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErasedType {
+    /// `int`.
+    Int,
+    /// `boolean`.
+    Bool,
+    /// A class reference; `None` is the built-in `Object` top type (also
+    /// the erasure of type variables).
+    Ref(Option<ClassId>),
+    /// An array of the given element type.
+    Array(Box<ErasedType>),
+}
+
+impl ErasedType {
+    /// Returns the class this type ultimately refers to, looking through
+    /// arrays: `Node[][]` refers to `Node`.
+    pub fn referent_class(&self) -> Option<ClassId> {
+        match self {
+            ErasedType::Ref(c) => *c,
+            ErasedType::Array(inner) => inner.referent_class(),
+            _ => None,
+        }
+    }
+
+    /// Whether this type is an array at the top level.
+    pub fn is_array(&self) -> bool {
+        matches!(self, ErasedType::Array(_))
+    }
+}
+
+/// One bytecode instruction. Jump targets are absolute instruction indices
+/// within the owning function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Instr {
+    /// Push an integer constant.
+    ConstInt(i64),
+    /// Push a boolean constant.
+    ConstBool(bool),
+    /// Push `null`.
+    ConstNull,
+    /// Push the value of a local slot.
+    LoadLocal(u16),
+    /// Pop into a local slot.
+    StoreLocal(u16),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Discard the top of stack.
+    Pop,
+    /// Integer addition (wrapping).
+    Add,
+    /// Integer subtraction (wrapping).
+    Sub,
+    /// Integer multiplication (wrapping).
+    Mul,
+    /// Integer division; raises a guest-visible error on zero.
+    Div,
+    /// Integer remainder; raises on zero.
+    Rem,
+    /// Integer negation.
+    Neg,
+    /// Boolean negation.
+    Not,
+    /// `<` on ints.
+    CmpLt,
+    /// `<=` on ints.
+    CmpLe,
+    /// `>` on ints.
+    CmpGt,
+    /// `>=` on ints.
+    CmpGe,
+    /// `==` on ints, booleans, or references.
+    CmpEq,
+    /// `!=` on ints, booleans, or references.
+    CmpNe,
+    /// Unconditional jump.
+    Jump(usize),
+    /// Pop a boolean; jump when false.
+    JumpIfFalse(usize),
+    /// Pop a boolean; jump when true.
+    JumpIfTrue(usize),
+    /// Allocate an instance of the class with zeroed fields; push the
+    /// reference. Emits an allocation event when the class is
+    /// alloc-instrumented.
+    New(ClassId),
+    /// Pop an object reference; push the field value. Emits a structure
+    /// read event when the field is instrumented.
+    GetField(FieldId),
+    /// Pop value then object reference; store into the field. Emits a
+    /// structure write event when the field is instrumented.
+    PutField(FieldId),
+    /// Pop a length; allocate an array of the element kind.
+    NewArray(ElemKind),
+    /// Pop index then array; push the element.
+    ALoad,
+    /// Pop value, index, then array; store the element.
+    AStore,
+    /// Pop an array; push its length.
+    ArrayLen,
+    /// Call a static function.
+    CallStatic(FuncId),
+    /// Call an instance method with virtual dispatch on the receiver
+    /// (deepest stack argument).
+    CallVirtual(FuncId),
+    /// Call an instance method without dispatch (constructors).
+    CallDirect(FuncId),
+    /// Return `void`.
+    Ret,
+    /// Pop and return a value.
+    RetVal,
+    /// Pop a value and raise it as a guest exception.
+    Throw,
+    /// Pop a reference; push it back if it matches, else raise a
+    /// class-cast error.
+    CheckCast(CatchKind),
+    /// Pop a value; push whether it matches.
+    InstanceOfOp(CatchKind),
+    /// Read one value from the host-supplied input (input-read event).
+    ReadInput,
+    /// Pop a value and append it to the run output (output-write event).
+    Print,
+    /// Instrumentation: control enters the loop from outside.
+    ProfLoopEntry(LoopId),
+    /// Instrumentation: a loop back edge is traversed (one algorithmic
+    /// step).
+    ProfLoopBack(LoopId),
+    /// Instrumentation: control leaves the loop.
+    ProfLoopExit(LoopId),
+}
+
+impl Instr {
+    /// Whether this instruction unconditionally transfers control (ends a
+    /// basic block with no fall-through).
+    pub fn is_terminator(&self) -> bool {
+        matches!(
+            self,
+            Instr::Jump(_) | Instr::Ret | Instr::RetVal | Instr::Throw
+        )
+    }
+
+    /// The branch targets of this instruction, if any.
+    pub fn targets(&self) -> Option<usize> {
+        match self {
+            Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+/// An exception-table entry: when a guest exception unwinds past an
+/// instruction in `start..end` and the thrown value matches `catch`, the
+/// value is bound to `catch_slot` and control transfers to `target`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handler {
+    /// First protected instruction index.
+    pub start: usize,
+    /// One past the last protected instruction index.
+    pub end: usize,
+    /// Handler entry point.
+    pub target: usize,
+    /// Matching rule.
+    pub catch: CatchKind,
+    /// Local slot receiving the caught value.
+    pub catch_slot: u16,
+    /// Number of instrumented loops active at the handler entry; the
+    /// interpreter pops loop-exit events down to this depth while
+    /// unwinding. Filled in by the instrumentation pass.
+    pub active_loops: u16,
+}
+
+/// A compiled function (method or constructor).
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// Qualified name, e.g. `List.sort`.
+    pub name: String,
+    /// Declaring class.
+    pub class: ClassId,
+    /// Whether static.
+    pub is_static: bool,
+    /// Whether a constructor.
+    pub is_ctor: bool,
+    /// Parameter count including `this` for instance methods.
+    pub n_params: u16,
+    /// Total local slot count.
+    pub n_locals: u16,
+    /// Virtual-dispatch slot, for instance methods.
+    pub vslot: Option<u16>,
+    /// Instruction stream.
+    pub code: Vec<Instr>,
+    /// Source line per instruction (parallel to `code`).
+    pub lines: Vec<u32>,
+    /// Exception table, checked in order.
+    pub handlers: Vec<Handler>,
+    /// Whether the interpreter reports entry/exit events for this function
+    /// (set by the instrumentation pass for potential recursion headers).
+    pub track_entry_exit: bool,
+    /// Source line of the declaration.
+    pub decl_line: u32,
+}
+
+/// Information about a class.
+#[derive(Debug, Clone)]
+pub struct ClassInfo {
+    /// Class name.
+    pub name: String,
+    /// Direct superclass, if any.
+    pub superclass: Option<ClassId>,
+    /// Field layout: slot index -> field id, inherited fields first.
+    pub field_layout: Vec<FieldId>,
+    /// Virtual dispatch table: vslot -> implementing function.
+    pub vtable: Vec<FuncId>,
+    /// Constructor, if declared.
+    pub ctor: Option<FuncId>,
+    /// Whether the class participates in a recursive type cycle (set by
+    /// the recursive-type analysis during instrumentation).
+    pub is_recursive: bool,
+    /// Whether `new` of this class reports an allocation event.
+    pub track_alloc: bool,
+}
+
+/// Information about a declared instance field.
+#[derive(Debug, Clone)]
+pub struct FieldInfo {
+    /// Field name.
+    pub name: String,
+    /// Declaring class.
+    pub class: ClassId,
+    /// Slot in the object layout of the declaring class (and subclasses).
+    pub slot: u16,
+    /// Erased declared type.
+    pub ty: ErasedType,
+    /// Whether the field participates in a recursive type cycle.
+    pub is_recursive: bool,
+    /// Whether get/put of this field reports structure access events.
+    pub track_access: bool,
+}
+
+/// A natural loop registered by the instrumentation pass.
+#[derive(Debug, Clone)]
+pub struct LoopInfo {
+    /// The loop's id (index in [`CompiledProgram::loops`]).
+    pub id: LoopId,
+    /// Function containing the loop.
+    pub func: FuncId,
+    /// Ordinal of the loop within its function, in header order.
+    pub ordinal: u32,
+    /// Source line of the loop header.
+    pub line: u32,
+    /// Id of the innermost enclosing loop in the same function, if any.
+    pub parent: Option<LoopId>,
+    /// Human-readable name, e.g. `List.sort:loop1@L9`.
+    pub name: String,
+}
+
+/// A fully compiled (and possibly instrumented) jay program.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// Class table.
+    pub classes: Vec<ClassInfo>,
+    /// Global field table.
+    pub fields: Vec<FieldInfo>,
+    /// Function table.
+    pub functions: Vec<Function>,
+    /// Loops found by the instrumentation pass (empty before
+    /// instrumentation).
+    pub loops: Vec<LoopInfo>,
+    /// The `Main.main` entry point.
+    pub entry: FuncId,
+    /// Whether array load/store events are reported.
+    pub track_arrays: bool,
+    /// Whether `readInput`/`print` events are reported.
+    pub track_io: bool,
+    /// Whether [`crate::instrument::InstrumentOptions`] have been applied.
+    pub instrumented: bool,
+    /// Raw index-dataflow grouping hints from [`crate::indexflow`]
+    /// (function + pre-order loop ordinals).
+    pub index_hints: Vec<crate::indexflow::IndexHint>,
+    /// The same hints resolved to registered loops (filled by the
+    /// instrumentation pass): `(outer, inner)` means the outer loop
+    /// drives an index used by the inner loop's array accesses.
+    pub loop_hints: Vec<(LoopId, LoopId)>,
+}
+
+impl CompiledProgram {
+    /// Returns the class info for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range (ids come from this program's own
+    /// tables, so that indicates a bug).
+    pub fn class(&self, id: ClassId) -> &ClassInfo {
+        &self.classes[id.index()]
+    }
+
+    /// Returns the field info for `id`.
+    pub fn field(&self, id: FieldId) -> &FieldInfo {
+        &self.fields[id.index()]
+    }
+
+    /// Returns the function for `id`.
+    pub fn func(&self, id: FuncId) -> &Function {
+        &self.functions[id.index()]
+    }
+
+    /// Returns the loop info for `id`.
+    pub fn loop_info(&self, id: LoopId) -> &LoopInfo {
+        &self.loops[id.index()]
+    }
+
+    /// Finds a class by name.
+    pub fn class_by_name(&self, name: &str) -> Option<ClassId> {
+        self.classes
+            .iter()
+            .position(|c| c.name == name)
+            .map(|i| ClassId(i as u32))
+    }
+
+    /// Finds a function by qualified name (`Class.method`).
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(|i| FuncId(i as u32))
+    }
+
+    /// Whether `sub` is `sup` or a subclass of it.
+    pub fn is_subclass(&self, sub: ClassId, sup: ClassId) -> bool {
+        let mut cur = Some(sub);
+        while let Some(c) = cur {
+            if c == sup {
+                return true;
+            }
+            cur = self.class(c).superclass;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display_and_index() {
+        assert_eq!(ClassId(3).index(), 3);
+        assert_eq!(FuncId(7).to_string(), "FuncId#7");
+    }
+
+    #[test]
+    fn erased_type_referent_looks_through_arrays() {
+        let t = ErasedType::Array(Box::new(ErasedType::Array(Box::new(ErasedType::Ref(
+            Some(ClassId(5)),
+        )))));
+        assert_eq!(t.referent_class(), Some(ClassId(5)));
+        assert!(t.is_array());
+        assert_eq!(ErasedType::Int.referent_class(), None);
+    }
+
+    #[test]
+    fn instr_terminator_and_targets() {
+        assert!(Instr::Jump(3).is_terminator());
+        assert!(Instr::Ret.is_terminator());
+        assert!(!Instr::JumpIfFalse(3).is_terminator());
+        assert_eq!(Instr::JumpIfTrue(9).targets(), Some(9));
+        assert_eq!(Instr::Add.targets(), None);
+    }
+}

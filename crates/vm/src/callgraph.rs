@@ -1,0 +1,239 @@
+//! Static call-graph construction and recursion detection.
+//!
+//! Following the paper's reference to recursion-header analysis
+//! (Zaparanuks & Hauswirth, ECOOP'11), AlgoProf limits method entry/exit
+//! instrumentation to methods that may participate in recursive call
+//! cycles. We build a call graph using class-hierarchy analysis for
+//! virtual call sites (a virtual call may target any override in a
+//! subclass of the static receiver) and find the strongly connected
+//! components with Tarjan's algorithm; any function in a non-trivial SCC
+//! or with a self edge is potentially recursive.
+
+use crate::bytecode::{CompiledProgram, FuncId, Instr};
+
+/// Tarjan's strongly-connected-components algorithm (iterative).
+///
+/// Returns a component id per node; ids are assigned in reverse
+/// topological order of the condensation.
+pub fn tarjan_scc(n: usize, adj: &[Vec<usize>]) -> Vec<usize> {
+    const UNDEF: usize = usize::MAX;
+    let mut index = vec![UNDEF; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![UNDEF; n];
+    let mut next_index = 0usize;
+    let mut next_comp = 0usize;
+
+    // Explicit DFS: frames of (node, next child position).
+    let mut call_stack: Vec<(usize, usize)> = Vec::new();
+    for start in 0..n {
+        if index[start] != UNDEF {
+            continue;
+        }
+        call_stack.push((start, 0));
+        index[start] = next_index;
+        low[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&mut (v, ref mut child)) = call_stack.last_mut() {
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == UNDEF {
+                    index[w] = next_index;
+                    low[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    call_stack.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("SCC stack is nonempty");
+                        on_stack[w] = false;
+                        comp[w] = next_comp;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    next_comp += 1;
+                }
+                call_stack.pop();
+                if let Some(&(parent, _)) = call_stack.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// The static call graph of a compiled program.
+#[derive(Debug, Clone)]
+pub struct CallGraph {
+    /// Adjacency list: callee function indices per caller.
+    pub callees: Vec<Vec<usize>>,
+    /// SCC component id per function.
+    pub scc: Vec<usize>,
+    /// Whether each function may participate in recursion (non-trivial SCC
+    /// or self edge).
+    pub potentially_recursive: Vec<bool>,
+}
+
+impl CallGraph {
+    /// Builds the call graph of `program` with class-hierarchy analysis
+    /// for virtual sites.
+    pub fn build(program: &CompiledProgram) -> CallGraph {
+        let n = program.functions.len();
+        let mut callees: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (caller, func) in program.functions.iter().enumerate() {
+            for instr in &func.code {
+                match instr {
+                    Instr::CallStatic(m) | Instr::CallDirect(m) => {
+                        callees[caller].push(m.index());
+                    }
+                    Instr::CallVirtual(m) => {
+                        for target in cha_targets(program, *m) {
+                            callees[caller].push(target.index());
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            callees[caller].sort_unstable();
+            callees[caller].dedup();
+        }
+
+        let scc = tarjan_scc(n, &callees);
+        let mut comp_size = vec![0usize; n];
+        for &c in &scc {
+            comp_size[c] += 1;
+        }
+        let potentially_recursive = (0..n)
+            .map(|f| comp_size[scc[f]] > 1 || callees[f].contains(&f))
+            .collect();
+
+        CallGraph {
+            callees,
+            scc,
+            potentially_recursive,
+        }
+    }
+}
+
+/// Possible targets of a virtual call to declaration `m` under
+/// class-hierarchy analysis: the implementation in every subclass of the
+/// declaring class (including itself).
+fn cha_targets(program: &CompiledProgram, m: FuncId) -> Vec<FuncId> {
+    let decl = program.func(m);
+    let vslot = match decl.vslot {
+        Some(s) => s as usize,
+        None => return vec![m],
+    };
+    let mut out = Vec::new();
+    for (c, class) in program.classes.iter().enumerate() {
+        if program.is_subclass(crate::bytecode::ClassId(c as u32), decl.class) {
+            if let Some(&target) = class.vtable.get(vslot) {
+                out.push(target);
+            }
+        }
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+
+    fn graph(src: &str) -> (CompiledProgram, CallGraph) {
+        let p = compile(src).expect("compiles");
+        let g = CallGraph::build(&p);
+        (p, g)
+    }
+
+    fn is_rec(p: &CompiledProgram, g: &CallGraph, name: &str) -> bool {
+        g.potentially_recursive[p.func_by_name(name).expect("function exists").index()]
+    }
+
+    #[test]
+    fn scc_on_simple_cycle() {
+        // 0 -> 1 -> 2 -> 0, 3 isolated
+        let adj = vec![vec![1], vec![2], vec![0], vec![]];
+        let comp = tarjan_scc(4, &adj);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_ne!(comp[0], comp[3]);
+    }
+
+    #[test]
+    fn scc_handles_self_loop_and_chain() {
+        let adj = vec![vec![0, 1], vec![2], vec![]];
+        let comp = tarjan_scc(3, &adj);
+        assert_ne!(comp[0], comp[1]);
+        assert_ne!(comp[1], comp[2]);
+    }
+
+    #[test]
+    fn direct_recursion_detected() {
+        let (p, g) = graph(
+            r#"class Main {
+                static int main() { return fact(5); }
+                static int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }
+            }"#,
+        );
+        assert!(is_rec(&p, &g, "Main.fact"));
+        assert!(!is_rec(&p, &g, "Main.main"));
+    }
+
+    #[test]
+    fn mutual_recursion_detected() {
+        let (p, g) = graph(
+            r#"class Main {
+                static int main() { return even(8); }
+                static int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+                static int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+            }"#,
+        );
+        assert!(is_rec(&p, &g, "Main.even"));
+        assert!(is_rec(&p, &g, "Main.odd"));
+        assert!(!is_rec(&p, &g, "Main.main"));
+    }
+
+    #[test]
+    fn virtual_recursion_through_override() {
+        // Base.walk calls next.walk() virtually; CHA must see the cycle.
+        let (p, g) = graph(
+            r#"class Main { static int main() { return 0; } }
+            class Base {
+                Base next;
+                int walk() { if (next == null) { return 0; } return 1 + next.walk(); }
+            }
+            class Sub extends Base {
+                int walk() { return 7; }
+            }"#,
+        );
+        assert!(is_rec(&p, &g, "Base.walk"));
+    }
+
+    #[test]
+    fn non_recursive_helpers_not_flagged() {
+        let (p, g) = graph(
+            r#"class Main {
+                static int main() { return a(); }
+                static int a() { return b(); }
+                static int b() { return 3; }
+            }"#,
+        );
+        assert!(!is_rec(&p, &g, "Main.a"));
+        assert!(!is_rec(&p, &g, "Main.b"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Bytecode disassembler: human-readable dumps of compiled programs,
+//! with symbolic names for classes, fields, functions, and loops.
+
+use std::fmt::Write as _;
+
+use crate::bytecode::{CompiledProgram, FuncId, Instr};
+use crate::hir::CatchKind;
+
+/// Disassembles one function.
+pub fn disassemble_function(program: &CompiledProgram, func: FuncId) -> String {
+    let f = program.func(func);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fn {} (params={}, locals={}{}{})",
+        f.name,
+        f.n_params,
+        f.n_locals,
+        if f.is_static { ", static" } else { "" },
+        if f.track_entry_exit { ", tracked" } else { "" },
+    );
+    for (pc, instr) in f.code.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  {pc:4}  {:<40} ; line {}",
+            render_instr(program, instr),
+            f.lines[pc]
+        );
+    }
+    for h in &f.handlers {
+        let _ = writeln!(
+            out,
+            "  handler {}..{} -> {} catch {} slot {} (loops {})",
+            h.start,
+            h.end,
+            h.target,
+            render_catch(program, h.catch),
+            h.catch_slot,
+            h.active_loops
+        );
+    }
+    out
+}
+
+/// Disassembles the whole program: classes, fields, loops, functions.
+pub fn disassemble(program: &CompiledProgram) -> String {
+    let mut out = String::new();
+    for (i, class) in program.classes.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "class {} (#{}){}{}",
+            class.name,
+            i,
+            match class.superclass {
+                Some(s) => format!(" extends {}", program.class(s).name),
+                None => String::new(),
+            },
+            if class.is_recursive { " [recursive]" } else { "" },
+        );
+        for &fid in &class.field_layout {
+            let field = program.field(fid);
+            let _ = writeln!(
+                out,
+                "  .field {} slot {}{}",
+                field.name,
+                field.slot,
+                if field.is_recursive { " [recursive link]" } else { "" },
+            );
+        }
+    }
+    for l in &program.loops {
+        let _ = writeln!(out, "loop {} = {}", l.id, l.name);
+    }
+    for i in 0..program.functions.len() {
+        out.push('\n');
+        out.push_str(&disassemble_function(program, FuncId(i as u32)));
+    }
+    out
+}
+
+fn render_catch(program: &CompiledProgram, kind: CatchKind) -> String {
+    match kind {
+        CatchKind::Int => "int".to_owned(),
+        CatchKind::Bool => "boolean".to_owned(),
+        CatchKind::AnyRef => "Object".to_owned(),
+        CatchKind::Array => "array".to_owned(),
+        CatchKind::Class(c) => program.class(c).name.clone(),
+    }
+}
+
+fn render_instr(program: &CompiledProgram, instr: &Instr) -> String {
+    match instr {
+        Instr::ConstInt(v) => format!("const_int {v}"),
+        Instr::ConstBool(v) => format!("const_bool {v}"),
+        Instr::ConstNull => "const_null".to_owned(),
+        Instr::LoadLocal(s) => format!("load {s}"),
+        Instr::StoreLocal(s) => format!("store {s}"),
+        Instr::Dup => "dup".to_owned(),
+        Instr::Pop => "pop".to_owned(),
+        Instr::Add => "add".to_owned(),
+        Instr::Sub => "sub".to_owned(),
+        Instr::Mul => "mul".to_owned(),
+        Instr::Div => "div".to_owned(),
+        Instr::Rem => "rem".to_owned(),
+        Instr::Neg => "neg".to_owned(),
+        Instr::Not => "not".to_owned(),
+        Instr::CmpLt => "cmp_lt".to_owned(),
+        Instr::CmpLe => "cmp_le".to_owned(),
+        Instr::CmpGt => "cmp_gt".to_owned(),
+        Instr::CmpGe => "cmp_ge".to_owned(),
+        Instr::CmpEq => "cmp_eq".to_owned(),
+        Instr::CmpNe => "cmp_ne".to_owned(),
+        Instr::Jump(t) => format!("jump {t}"),
+        Instr::JumpIfFalse(t) => format!("jump_if_false {t}"),
+        Instr::JumpIfTrue(t) => format!("jump_if_true {t}"),
+        Instr::New(c) => format!("new {}", program.class(*c).name),
+        Instr::GetField(f) => format!("getfield {}", qualified_field(program, *f)),
+        Instr::PutField(f) => format!("putfield {}", qualified_field(program, *f)),
+        Instr::NewArray(k) => format!("newarray {k:?}"),
+        Instr::ALoad => "aload".to_owned(),
+        Instr::AStore => "astore".to_owned(),
+        Instr::ArrayLen => "arraylen".to_owned(),
+        Instr::CallStatic(m) => format!("call_static {}", program.func(*m).name),
+        Instr::CallVirtual(m) => format!("call_virtual {}", program.func(*m).name),
+        Instr::CallDirect(m) => format!("call_direct {}", program.func(*m).name),
+        Instr::Ret => "ret".to_owned(),
+        Instr::RetVal => "ret_val".to_owned(),
+        Instr::Throw => "throw".to_owned(),
+        Instr::CheckCast(k) => format!("checkcast {}", render_catch(program, *k)),
+        Instr::InstanceOfOp(k) => format!("instanceof {}", render_catch(program, *k)),
+        Instr::ReadInput => "read_input".to_owned(),
+        Instr::Print => "print".to_owned(),
+        Instr::ProfLoopEntry(l) => format!("prof_loop_entry {l}"),
+        Instr::ProfLoopBack(l) => format!("prof_loop_back {l}"),
+        Instr::ProfLoopExit(l) => format!("prof_loop_exit {l}"),
+    }
+}
+
+fn qualified_field(program: &CompiledProgram, f: crate::bytecode::FieldId) -> String {
+    let field = program.field(f);
+    format!("{}.{}", program.class(field.class).name, field.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::instrument::InstrumentOptions;
+
+    #[test]
+    fn disassembly_names_symbols() {
+        let p = compile(
+            r#"class Main {
+                static int main() {
+                    Node n = new Node(3);
+                    return n.v;
+                }
+            }
+            class Node { Node next; int v; Node(int v) { this.v = v; } }"#,
+        )
+        .expect("compiles")
+        .instrument(&InstrumentOptions::default());
+        let text = disassemble(&p);
+        assert!(text.contains("class Node"));
+        assert!(text.contains("[recursive]"));
+        assert!(text.contains(".field next"));
+        assert!(text.contains("new Node"));
+        assert!(text.contains("getfield Node.v"));
+        assert!(text.contains("fn Main.main"));
+    }
+
+    #[test]
+    fn instrumented_loops_appear() {
+        let p = compile(
+            "class Main { static int main() { int s = 0; for (int i = 0; i < 4; i = i + 1) { s = s + 1; } return s; } }",
+        )
+        .expect("compiles")
+        .instrument(&InstrumentOptions::default());
+        let text = disassemble(&p);
+        assert!(text.contains("prof_loop_entry"));
+        assert!(text.contains("prof_loop_back"));
+        assert!(text.contains("prof_loop_exit"));
+        assert!(text.contains("loop LoopId#0"));
+    }
+
+    #[test]
+    fn every_instruction_renders_nonempty() {
+        let p = compile(
+            r#"class Main {
+                static int main() {
+                    try {
+                        int[] a = new int[2];
+                        a[0] = readInput();
+                        print(a[0]);
+                        Object o = new Main();
+                        if (o instanceof Main) { throw a.length; }
+                    } catch (int e) { return e; }
+                    return 0;
+                }
+            }"#,
+        )
+        .expect("compiles");
+        let text = disassemble(&p);
+        for line in text.lines() {
+            assert!(!line.trim().is_empty() || line.is_empty());
+        }
+        assert!(text.contains("checkcast") || text.contains("instanceof"));
+        assert!(text.contains("handler"));
+    }
+}

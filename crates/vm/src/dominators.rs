@@ -1,0 +1,165 @@
+//! Dominator analysis (Cooper–Harvey–Kennedy iterative algorithm).
+//!
+//! Used by the natural-loop detection that drives AlgoProf's loop
+//! instrumentation: an edge `s → h` is a loop back edge exactly when `h`
+//! dominates `s`.
+
+use crate::cfg::Cfg;
+
+/// Immediate-dominator tree for a [`Cfg`].
+#[derive(Debug, Clone)]
+pub struct Dominators {
+    /// `idom[b]` is the immediate dominator of block `b`; the entry block
+    /// is its own idom; unreachable blocks have `usize::MAX`.
+    idom: Vec<usize>,
+}
+
+impl Dominators {
+    /// Computes dominators of `cfg` ("A Simple, Fast Dominance Algorithm",
+    /// Cooper, Harvey & Kennedy).
+    pub fn compute(cfg: &Cfg) -> Dominators {
+        let n = cfg.len();
+        const UNDEF: usize = usize::MAX;
+        let mut idom = vec![UNDEF; n];
+        if n == 0 {
+            return Dominators { idom };
+        }
+        idom[0] = 0;
+
+        let rpo = cfg.reverse_postorder();
+        // Position of each block in RPO for intersection ordering.
+        let mut rpo_pos = vec![UNDEF; n];
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_pos[b] = i;
+        }
+
+        let intersect = |idom: &[usize], rpo_pos: &[usize], mut a: usize, mut b: usize| {
+            while a != b {
+                while rpo_pos[a] > rpo_pos[b] {
+                    a = idom[a];
+                }
+                while rpo_pos[b] > rpo_pos[a] {
+                    b = idom[b];
+                }
+            }
+            a
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // Skip unreachable blocks (appended at the RPO tail without
+                // a processed predecessor).
+                let mut new_idom = UNDEF;
+                for &p in &cfg.blocks[b].preds {
+                    if idom[p] != UNDEF {
+                        new_idom = if new_idom == UNDEF {
+                            p
+                        } else {
+                            intersect(&idom, &rpo_pos, new_idom, p)
+                        };
+                    }
+                }
+                if new_idom != UNDEF && idom[b] != new_idom {
+                    idom[b] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        Dominators { idom }
+    }
+
+    /// Returns the immediate dominator of `b` (the entry dominates
+    /// itself); `None` for unreachable blocks.
+    pub fn idom(&self, b: usize) -> Option<usize> {
+        match self.idom.get(b) {
+            Some(&d) if d != usize::MAX => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(d) if d != cur => cur = d,
+                _ => return false,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use crate::compile::compile;
+
+    fn doms(src: &str) -> (Cfg, Dominators) {
+        let p = compile(src).expect("compiles");
+        let f = p.func(p.entry);
+        let cfg = Cfg::build(f);
+        let d = Dominators::compute(&cfg);
+        (cfg, d)
+    }
+
+    #[test]
+    fn entry_dominates_everything_reachable() {
+        let (cfg, d) = doms(
+            "class Main { static int main() { int s = 0; for (int i = 0; i < 9; i = i + 1) { if (i > 2) { s = s + 1; } else { s = s + 2; } } return s; } }",
+        );
+        for b in 0..cfg.len() {
+            if d.idom(b).is_some() {
+                assert!(d.dominates(0, b), "entry must dominate block {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn branch_sides_do_not_dominate_join() {
+        let (cfg, d) = doms(
+            "class Main { static int main() { int a = 1; if (a > 0) { a = 2; } else { a = 3; } return a; } }",
+        );
+        // The join block (containing return) is the last block.
+        let join = cfg.len() - 1;
+        // Find then/else blocks: successors of entry.
+        let succs: Vec<usize> = cfg.blocks[0].succs.iter().map(|&(t, _)| t).collect();
+        for s in succs {
+            if s != join {
+                assert!(!d.dominates(s, join), "branch side {s} must not dominate join");
+            }
+        }
+        assert!(d.dominates(0, join));
+    }
+
+    #[test]
+    fn loop_header_dominates_body() {
+        let (cfg, d) = doms(
+            "class Main { static int main() { int i = 0; while (i < 5) { i = i + 1; } return i; } }",
+        );
+        // The back edge source must be dominated by its target.
+        let mut found = false;
+        for (b, blk) in cfg.blocks.iter().enumerate() {
+            for &(t, _) in &blk.succs {
+                if d.dominates(t, b) && t != b {
+                    found = true;
+                }
+            }
+        }
+        assert!(found, "expected a dominated back edge");
+    }
+
+    #[test]
+    fn dominance_is_reflexive() {
+        let (cfg, d) = doms("class Main { static int main() { return 0; } }");
+        for b in 0..cfg.len() {
+            assert!(d.dominates(b, b));
+        }
+    }
+}

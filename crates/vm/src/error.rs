@@ -1,0 +1,194 @@
+//! Compile-time and run-time error types for the jay VM.
+
+use std::fmt;
+
+/// A half-open byte range into the source text, with a 1-based line number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+}
+
+impl Span {
+    /// Creates a span covering `start..end` on `line`.
+    pub fn new(start: usize, end: usize, line: u32) -> Self {
+        Span { start, end, line }
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}", self.line)
+    }
+}
+
+/// An error produced while lexing, parsing, type checking, or compiling a
+/// jay program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Which phase rejected the program.
+    pub phase: Phase,
+    /// Human-readable description (lowercase, no trailing punctuation).
+    pub message: String,
+    /// Source location of the offending construct, if known.
+    pub span: Option<Span>,
+}
+
+/// Compilation phases, used to tag [`CompileError`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Tokenization.
+    Lex,
+    /// Syntax analysis.
+    Parse,
+    /// Semantic analysis.
+    TypeCheck,
+    /// Bytecode generation.
+    Codegen,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Phase::Lex => "lex",
+            Phase::Parse => "parse",
+            Phase::TypeCheck => "type",
+            Phase::Codegen => "codegen",
+        };
+        f.write_str(name)
+    }
+}
+
+impl CompileError {
+    /// Creates an error in `phase` at `span`.
+    pub fn new(phase: Phase, message: impl Into<String>, span: Option<Span>) -> Self {
+        CompileError {
+            phase,
+            message: message.into(),
+            span,
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.span {
+            Some(span) => write!(f, "{} error at {}: {}", self.phase, span, self.message),
+            None => write!(f, "{} error: {}", self.phase, self.message),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// An error raised while interpreting a compiled jay program.
+///
+/// Guest-level exceptions that are caught by a guest `try`/`catch` never
+/// surface as `RuntimeError`; only uncaught conditions do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// A reference operation was applied to `null`.
+    NullDeref { line: u32 },
+    /// An array index was negative or past the end.
+    IndexOutOfBounds { index: i64, len: usize, line: u32 },
+    /// An allocation requested a negative array length.
+    NegativeArrayLength { len: i64, line: u32 },
+    /// Integer division or remainder by zero.
+    DivisionByZero { line: u32 },
+    /// A checked cast failed at run time.
+    ClassCast { line: u32 },
+    /// A guest `throw` propagated out of `main` uncaught.
+    UncaughtException { value: String, line: u32 },
+    /// `readInput()` was called with no host input remaining.
+    InputExhausted { line: u32 },
+    /// The configured fuel (instruction budget) was exhausted.
+    OutOfFuel,
+    /// The call stack exceeded its configured limit.
+    StackOverflow { depth: usize },
+    /// Internal invariant violation; indicates a compiler or VM bug.
+    Internal(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::NullDeref { line } => write!(f, "null dereference at line {line}"),
+            RuntimeError::IndexOutOfBounds { index, len, line } => {
+                write!(f, "index {index} out of bounds for length {len} at line {line}")
+            }
+            RuntimeError::NegativeArrayLength { len, line } => {
+                write!(f, "negative array length {len} at line {line}")
+            }
+            RuntimeError::DivisionByZero { line } => write!(f, "division by zero at line {line}"),
+            RuntimeError::ClassCast { line } => write!(f, "class cast failure at line {line}"),
+            RuntimeError::UncaughtException { value, line } => {
+                write!(f, "uncaught exception {value} thrown at line {line}")
+            }
+            RuntimeError::InputExhausted { line } => {
+                write!(f, "readInput() exhausted host input at line {line}")
+            }
+            RuntimeError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            RuntimeError::StackOverflow { depth } => {
+                write!(f, "call stack overflow at depth {depth}")
+            }
+            RuntimeError::Internal(msg) => write!(f, "internal VM error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(3, 7, 2);
+        let b = Span::new(10, 12, 4);
+        let merged = a.merge(b);
+        assert_eq!(merged.start, 3);
+        assert_eq!(merged.end, 12);
+        assert_eq!(merged.line, 2);
+    }
+
+    #[test]
+    fn compile_error_display_includes_phase_and_line() {
+        let err = CompileError::new(Phase::Parse, "expected ';'", Some(Span::new(0, 1, 9)));
+        let text = err.to_string();
+        assert!(text.contains("parse"));
+        assert!(text.contains("line 9"));
+    }
+
+    #[test]
+    fn runtime_error_display_is_nonempty() {
+        let errs: Vec<RuntimeError> = vec![
+            RuntimeError::NullDeref { line: 1 },
+            RuntimeError::IndexOutOfBounds { index: -1, len: 0, line: 2 },
+            RuntimeError::NegativeArrayLength { len: -5, line: 3 },
+            RuntimeError::DivisionByZero { line: 4 },
+            RuntimeError::ClassCast { line: 5 },
+            RuntimeError::UncaughtException { value: "7".into(), line: 6 },
+            RuntimeError::InputExhausted { line: 7 },
+            RuntimeError::OutOfFuel,
+            RuntimeError::StackOverflow { depth: 10_000 },
+            RuntimeError::Internal("bad".into()),
+        ];
+        for err in errs {
+            assert!(!err.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Runtime values and the guest heap.
+//!
+//! The heap is an arena of objects and arrays addressed by dense indices.
+//! Nothing is ever garbage collected (profiled runs are bounded), which
+//! keeps object identities stable — a property AlgoProf's snapshot
+//! equivalence criteria rely on.
+
+use std::fmt;
+
+use crate::bytecode::{ClassId, CompiledProgram, ElemKind, FieldId};
+
+/// A reference to a heap object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjRef(pub u32);
+
+/// A reference to a heap array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ArrRef(pub u32);
+
+/// A runtime value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// An `int`.
+    Int(i64),
+    /// A `boolean`.
+    Bool(bool),
+    /// The null reference.
+    Null,
+    /// An object reference.
+    Obj(ObjRef),
+    /// An array reference.
+    Arr(ArrRef),
+}
+
+impl Value {
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a `Bool`.
+    pub fn as_bool(self) -> Option<bool> {
+        match self {
+            Value::Bool(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Whether this value is a reference (object, array, or null).
+    pub fn is_ref(self) -> bool {
+        matches!(self, Value::Null | Value::Obj(_) | Value::Arr(_))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Bool(v) => write!(f, "{v}"),
+            Value::Null => write!(f, "null"),
+            Value::Obj(o) => write!(f, "obj@{}", o.0),
+            Value::Arr(a) => write!(f, "arr@{}", a.0),
+        }
+    }
+}
+
+/// A heap-allocated object: its class plus one slot per field in the class
+/// layout.
+#[derive(Debug, Clone)]
+pub struct Object {
+    /// The exact runtime class.
+    pub class: ClassId,
+    /// Field slots, ordered per [`crate::bytecode::ClassInfo::field_layout`].
+    pub fields: Vec<Value>,
+}
+
+/// A heap-allocated array.
+#[derive(Debug, Clone)]
+pub struct ArrayObj {
+    /// Element kind.
+    pub elem: ElemKind,
+    /// Element values (`Int(0)`, `Bool(false)`, or `Null` initialized).
+    pub elems: Vec<Value>,
+}
+
+/// The guest heap.
+#[derive(Debug, Default, Clone)]
+pub struct Heap {
+    objects: Vec<Object>,
+    arrays: Vec<ArrayObj>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Heap::default()
+    }
+
+    /// Number of objects ever allocated.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Number of arrays ever allocated.
+    pub fn array_count(&self) -> usize {
+        self.arrays.len()
+    }
+
+    /// Allocates an object of `class` with `n_fields` null-initialized
+    /// slots. Prefer [`Heap::alloc_object_with`] when the field layout's
+    /// default values are known (int fields must start at `0`).
+    pub fn alloc_object(&mut self, class: ClassId, n_fields: usize) -> ObjRef {
+        self.alloc_object_with(class, vec![Value::Null; n_fields])
+    }
+
+    /// Allocates an object of `class` with the given initial field values.
+    pub fn alloc_object_with(&mut self, class: ClassId, fields: Vec<Value>) -> ObjRef {
+        let r = ObjRef(self.objects.len() as u32);
+        self.objects.push(Object { class, fields });
+        r
+    }
+
+    /// Allocates an array of `len` elements of `elem` kind.
+    pub fn alloc_array(&mut self, elem: ElemKind, len: usize) -> ArrRef {
+        let init = match elem {
+            ElemKind::Int => Value::Int(0),
+            ElemKind::Bool => Value::Bool(false),
+            ElemKind::Ref => Value::Null,
+        };
+        let r = ArrRef(self.arrays.len() as u32);
+        self.arrays.push(ArrayObj {
+            elem,
+            elems: vec![init; len],
+        });
+        r
+    }
+
+    /// Returns the object behind `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r` was not produced by this heap (a VM bug).
+    pub fn object(&self, r: ObjRef) -> &Object {
+        &self.objects[r.0 as usize]
+    }
+
+    /// Mutable access to the object behind `r`.
+    pub fn object_mut(&mut self, r: ObjRef) -> &mut Object {
+        &mut self.objects[r.0 as usize]
+    }
+
+    /// Returns the array behind `r`.
+    pub fn array(&self, r: ArrRef) -> &ArrayObj {
+        &self.arrays[r.0 as usize]
+    }
+
+    /// Mutable access to the array behind `r`.
+    pub fn array_mut(&mut self, r: ArrRef) -> &mut ArrayObj {
+        &mut self.arrays[r.0 as usize]
+    }
+
+    /// Traverses the recursive data structure reachable from `start`,
+    /// following only fields marked recursive in `program` (and the
+    /// contents of arrays held in such fields, as the paper prescribes for
+    /// structures like n-ary tree nodes with `Node[] children`).
+    ///
+    /// Returns the visit in discovery (BFS) order. `start` itself is
+    /// included when it is an object of a recursive class or an array.
+    pub fn traverse_structure(&self, program: &CompiledProgram, start: Value) -> Traversal {
+        let mut t = Traversal::default();
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            match v {
+                Value::Obj(o) => {
+                    if t.objects.contains(&o) {
+                        continue;
+                    }
+                    let obj = self.object(o);
+                    if !program.class(obj.class).is_recursive {
+                        continue;
+                    }
+                    t.objects.push(o);
+                    // Follow recursive fields only (by layout slot).
+                    for (slot, &fid) in program.class(obj.class).field_layout.iter().enumerate() {
+                        if program.field(fid).is_recursive {
+                            queue.push_back(obj.fields[slot]);
+                        }
+                    }
+                }
+                Value::Arr(a) => {
+                    if t.arrays.contains(&a) {
+                        continue;
+                    }
+                    t.arrays.push(a);
+                    let arr = self.array(a);
+                    if arr.elem == ElemKind::Ref {
+                        for &e in &arr.elems {
+                            if !matches!(e, Value::Null) {
+                                t.refs_traversed += 1;
+                            }
+                            queue.push_back(e);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        t
+    }
+}
+
+/// The result of a recursive-structure traversal.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Traversal {
+    /// Objects visited, in BFS order.
+    pub objects: Vec<ObjRef>,
+    /// Arrays visited (arrays referenced from recursive fields), in BFS
+    /// order.
+    pub arrays: Vec<ArrRef>,
+    /// Count of non-null references traversed inside arrays.
+    pub refs_traversed: usize,
+}
+
+impl Traversal {
+    /// Total number of objects in the structure.
+    pub fn object_count(&self) -> usize {
+        self.objects.len()
+    }
+}
+
+/// Convenience: reads the field `fid` of `obj` given the program's layout.
+pub fn read_field(heap: &Heap, program: &CompiledProgram, obj: ObjRef, fid: FieldId) -> Value {
+    let slot = program.field(fid).slot as usize;
+    heap.object(obj).fields[slot]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Null.as_int(), None);
+        assert!(Value::Null.is_ref());
+        assert!(!Value::Int(0).is_ref());
+    }
+
+    #[test]
+    fn alloc_and_access() {
+        let mut heap = Heap::new();
+        let o = heap.alloc_object(ClassId(0), 2);
+        let a = heap.alloc_array(ElemKind::Int, 3);
+        heap.object_mut(o).fields[1] = Value::Int(5);
+        heap.array_mut(a).elems[2] = Value::Int(9);
+        assert_eq!(heap.object(o).fields[1], Value::Int(5));
+        assert_eq!(heap.array(a).elems, vec![Value::Int(0), Value::Int(0), Value::Int(9)]);
+        assert_eq!(heap.object_count(), 1);
+        assert_eq!(heap.array_count(), 1);
+    }
+
+    #[test]
+    fn array_default_initialization() {
+        let mut heap = Heap::new();
+        let b = heap.alloc_array(ElemKind::Bool, 1);
+        let r = heap.alloc_array(ElemKind::Ref, 1);
+        assert_eq!(heap.array(b).elems[0], Value::Bool(false));
+        assert_eq!(heap.array(r).elems[0], Value::Null);
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::Int(-3).to_string(), "-3");
+        assert_eq!(Value::Null.to_string(), "null");
+        assert_eq!(Value::Obj(ObjRef(2)).to_string(), "obj@2");
+    }
+}

@@ -1,0 +1,1174 @@
+//! The jay bytecode interpreter with profiling event hooks.
+//!
+//! The interpreter is generic over a [`ProfilerHooks`] sink (static
+//! dispatch, so an uninstrumented run with [`NoopProfiler`] pays nothing
+//! for the hooks). Events are emitted exactly as the paper's §3.2
+//! dynamic-analysis pseudocode expects:
+//!
+//! * loop entry / back edge / exit from the inserted pseudo-instructions,
+//! * method entry / exit for functions flagged by the instrumentation
+//!   pass (including exits forced by `return` or exception unwinding
+//!   while loops are active — the interpreter synthesizes the missing
+//!   loop-exit events innermost-first),
+//! * field/array accesses, allocations, and I/O according to the
+//!   program's instrumentation flags.
+
+use crate::bytecode::{CompiledProgram, FieldId, FuncId, Instr, LoopId};
+use crate::error::RuntimeError;
+use crate::heap::{Heap, Value};
+use crate::hir::CatchKind;
+
+/// Receives instrumentation events from the interpreter.
+///
+/// All methods have empty default implementations; implement only what a
+/// profiler needs. The `heap` reference allows profilers to traverse data
+/// structures at event time (AlgoProf's input identification does).
+#[allow(unused_variables)]
+pub trait ProfilerHooks {
+    /// An instrumented function was entered (frame already pushed).
+    fn on_method_entry(&mut self, func: FuncId, program: &CompiledProgram, heap: &Heap) {}
+    /// An instrumented function is about to return or unwind.
+    fn on_method_exit(&mut self, func: FuncId, program: &CompiledProgram, heap: &Heap) {}
+    /// Control entered a loop from outside.
+    fn on_loop_entry(&mut self, l: LoopId, program: &CompiledProgram, heap: &Heap) {}
+    /// A loop back edge was traversed (one algorithmic step).
+    fn on_loop_back_edge(&mut self, l: LoopId, program: &CompiledProgram, heap: &Heap) {}
+    /// Control left a loop (normally or exceptionally).
+    fn on_loop_exit(&mut self, l: LoopId, program: &CompiledProgram, heap: &Heap) {}
+    /// An instrumented reference field was read on `obj`.
+    fn on_field_get(&mut self, obj: Value, field: FieldId, program: &CompiledProgram, heap: &Heap) {
+    }
+    /// An instrumented reference field was written on `obj` (after the
+    /// write is visible in `heap`).
+    fn on_field_put(&mut self, obj: Value, field: FieldId, program: &CompiledProgram, heap: &Heap) {
+    }
+    /// An array element was loaded from `arr`.
+    fn on_array_load(&mut self, arr: Value, program: &CompiledProgram, heap: &Heap) {}
+    /// An array element was stored into `arr` (after the write).
+    fn on_array_store(&mut self, arr: Value, program: &CompiledProgram, heap: &Heap) {}
+    /// An instance of an instrumented (recursive) class was allocated.
+    fn on_alloc(&mut self, obj: Value, program: &CompiledProgram, heap: &Heap) {}
+    /// `readInput()` consumed one external value.
+    fn on_input_read(&mut self, program: &CompiledProgram, heap: &Heap) {}
+    /// `print(x)` produced one external value.
+    fn on_output_write(&mut self, program: &CompiledProgram, heap: &Heap) {}
+    /// One bytecode instruction was dispatched (a deterministic time
+    /// proxy for traditional profilers).
+    fn on_instruction(&mut self, func: FuncId) {}
+}
+
+/// A profiler that ignores every event.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopProfiler;
+
+impl ProfilerHooks for NoopProfiler {}
+
+/// The outcome of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Value returned by `Main.main` ([`Value::Null`] for `void`).
+    pub return_value: Value,
+    /// Values printed by the guest, in order.
+    pub output: Vec<i64>,
+    /// Total bytecode instructions dispatched.
+    pub instructions: u64,
+}
+
+/// One activation record.
+#[derive(Debug)]
+struct Frame {
+    func: FuncId,
+    pc: usize,
+    locals: Vec<Value>,
+    stack: Vec<Value>,
+    active_loops: Vec<LoopId>,
+    tracked: bool,
+}
+
+/// The jay interpreter.
+///
+/// # Example
+///
+/// ```
+/// use algoprof_vm::{compile, Interp, NoopProfiler};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = compile("class Main { static int main() { return 6 * 7; } }")?;
+/// let result = Interp::new(&program).run(&mut NoopProfiler)?;
+/// assert_eq!(result.return_value.as_int(), Some(42));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Interp<'p> {
+    program: &'p CompiledProgram,
+    heap: Heap,
+    input: Vec<i64>,
+    input_pos: usize,
+    output: Vec<i64>,
+    fuel: Option<u64>,
+    max_frames: usize,
+    instructions: u64,
+}
+
+impl<'p> Interp<'p> {
+    /// Creates an interpreter for `program` with no input, unlimited fuel,
+    /// and a 100 000-frame stack limit.
+    pub fn new(program: &'p CompiledProgram) -> Self {
+        Interp {
+            program,
+            heap: Heap::new(),
+            input: Vec::new(),
+            input_pos: 0,
+            output: Vec::new(),
+            fuel: None,
+            max_frames: 100_000,
+            instructions: 0,
+        }
+    }
+
+    /// Supplies values for `readInput()`.
+    pub fn with_input(mut self, input: Vec<i64>) -> Self {
+        self.input = input;
+        self
+    }
+
+    /// Limits the run to `fuel` instructions (guards runaway guests).
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = Some(fuel);
+        self
+    }
+
+    /// Limits the guest call-stack depth.
+    pub fn with_max_frames(mut self, max_frames: usize) -> Self {
+        self.max_frames = max_frames;
+        self
+    }
+
+    /// Read-only view of the guest heap (useful after a run).
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Executes `Main.main` to completion, reporting events to `profiler`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError`] on uncaught guest exceptions, VM-level
+    /// faults (null dereference, bounds, division by zero, bad casts),
+    /// fuel or stack exhaustion. Profiler state after an error is
+    /// partial; discard it.
+    pub fn run<P: ProfilerHooks>(&mut self, profiler: &mut P) -> Result<RunResult, RuntimeError> {
+        let entry = self.program.entry;
+        let mut frames: Vec<Frame> = Vec::new();
+        self.push_frame(&mut frames, entry, &[], profiler)?;
+
+        let return_value = self.execute(&mut frames, profiler)?;
+        Ok(RunResult {
+            return_value,
+            output: std::mem::take(&mut self.output),
+            instructions: self.instructions,
+        })
+    }
+
+    fn push_frame<P: ProfilerHooks>(
+        &mut self,
+        frames: &mut Vec<Frame>,
+        func: FuncId,
+        args: &[Value],
+        profiler: &mut P,
+    ) -> Result<(), RuntimeError> {
+        if frames.len() >= self.max_frames {
+            return Err(RuntimeError::StackOverflow {
+                depth: frames.len(),
+            });
+        }
+        let f = self.program.func(func);
+        let mut locals = vec![Value::Null; f.n_locals as usize];
+        locals[..args.len()].copy_from_slice(args);
+        let tracked = f.track_entry_exit;
+        frames.push(Frame {
+            func,
+            pc: 0,
+            locals,
+            stack: Vec::with_capacity(8),
+            active_loops: Vec::new(),
+            tracked,
+        });
+        if tracked {
+            profiler.on_method_entry(func, self.program, &self.heap);
+        }
+        Ok(())
+    }
+
+    /// Emits pending loop exits and the method-exit event for the top
+    /// frame, then pops it.
+    fn pop_frame<P: ProfilerHooks>(&mut self, frames: &mut Vec<Frame>, profiler: &mut P) {
+        let frame = frames.pop().expect("pop_frame requires a frame");
+        for &l in frame.active_loops.iter().rev() {
+            profiler.on_loop_exit(l, self.program, &self.heap);
+        }
+        if frame.tracked {
+            profiler.on_method_exit(frame.func, self.program, &self.heap);
+        }
+    }
+
+    fn execute<P: ProfilerHooks>(
+        &mut self,
+        frames: &mut Vec<Frame>,
+        profiler: &mut P,
+    ) -> Result<Value, RuntimeError> {
+        macro_rules! top {
+            () => {
+                frames.last_mut().expect("there is a current frame")
+            };
+        }
+
+        loop {
+            if let Some(fuel) = self.fuel {
+                if self.instructions >= fuel {
+                    return Err(RuntimeError::OutOfFuel);
+                }
+            }
+
+            let func_id = top!().func;
+            let func = self.program.func(func_id);
+            let pc = top!().pc;
+            if pc >= func.code.len() {
+                return Err(RuntimeError::Internal(format!(
+                    "pc {pc} ran past the end of {}",
+                    func.name
+                )));
+            }
+            let instr = func.code[pc];
+            let line = func.lines[pc];
+            self.instructions += 1;
+            profiler.on_instruction(func_id);
+            top!().pc = pc + 1;
+
+            match instr {
+                Instr::ConstInt(v) => top!().stack.push(Value::Int(v)),
+                Instr::ConstBool(v) => top!().stack.push(Value::Bool(v)),
+                Instr::ConstNull => top!().stack.push(Value::Null),
+                Instr::LoadLocal(slot) => {
+                    let v = top!().locals[slot as usize];
+                    top!().stack.push(v);
+                }
+                Instr::StoreLocal(slot) => {
+                    let v = pop(top!())?;
+                    top!().locals[slot as usize] = v;
+                }
+                Instr::Dup => {
+                    let v = *top!()
+                        .stack
+                        .last()
+                        .ok_or_else(|| RuntimeError::Internal("dup on empty stack".into()))?;
+                    top!().stack.push(v);
+                }
+                Instr::Pop => {
+                    pop(top!())?;
+                }
+                Instr::Add | Instr::Sub | Instr::Mul => {
+                    let b = pop_int(top!())?;
+                    let a = pop_int(top!())?;
+                    let r = match instr {
+                        Instr::Add => a.wrapping_add(b),
+                        Instr::Sub => a.wrapping_sub(b),
+                        _ => a.wrapping_mul(b),
+                    };
+                    top!().stack.push(Value::Int(r));
+                }
+                Instr::Div | Instr::Rem => {
+                    let b = pop_int(top!())?;
+                    let a = pop_int(top!())?;
+                    if b == 0 {
+                        return Err(RuntimeError::DivisionByZero { line });
+                    }
+                    let r = if matches!(instr, Instr::Div) {
+                        a.wrapping_div(b)
+                    } else {
+                        a.wrapping_rem(b)
+                    };
+                    top!().stack.push(Value::Int(r));
+                }
+                Instr::Neg => {
+                    let a = pop_int(top!())?;
+                    top!().stack.push(Value::Int(a.wrapping_neg()));
+                }
+                Instr::Not => {
+                    let a = pop_bool(top!())?;
+                    top!().stack.push(Value::Bool(!a));
+                }
+                Instr::CmpLt | Instr::CmpLe | Instr::CmpGt | Instr::CmpGe => {
+                    let b = pop_int(top!())?;
+                    let a = pop_int(top!())?;
+                    let r = match instr {
+                        Instr::CmpLt => a < b,
+                        Instr::CmpLe => a <= b,
+                        Instr::CmpGt => a > b,
+                        _ => a >= b,
+                    };
+                    top!().stack.push(Value::Bool(r));
+                }
+                Instr::CmpEq | Instr::CmpNe => {
+                    let b = pop(top!())?;
+                    let a = pop(top!())?;
+                    let eq = a == b;
+                    top!()
+                        .stack
+                        .push(Value::Bool(if matches!(instr, Instr::CmpEq) {
+                            eq
+                        } else {
+                            !eq
+                        }));
+                }
+                Instr::Jump(t) => top!().pc = t,
+                Instr::JumpIfFalse(t) => {
+                    if !pop_bool(top!())? {
+                        top!().pc = t;
+                    }
+                }
+                Instr::JumpIfTrue(t) => {
+                    if pop_bool(top!())? {
+                        top!().pc = t;
+                    }
+                }
+                Instr::New(cid) => {
+                    let fields = self
+                        .program
+                        .class(cid)
+                        .field_layout
+                        .iter()
+                        .map(|&fid| default_field_value(&self.program.field(fid).ty))
+                        .collect();
+                    let obj = self.heap.alloc_object_with(cid, fields);
+                    top!().stack.push(Value::Obj(obj));
+                    if self.program.class(cid).track_alloc {
+                        profiler.on_alloc(Value::Obj(obj), self.program, &self.heap);
+                    }
+                }
+                Instr::GetField(fid) => {
+                    let obj = pop(top!())?;
+                    let o = match obj {
+                        Value::Obj(o) => o,
+                        Value::Null => return Err(RuntimeError::NullDeref { line }),
+                        other => {
+                            return Err(RuntimeError::Internal(format!(
+                                "getfield on non-object {other}"
+                            )))
+                        }
+                    };
+                    let slot = self.program.field(fid).slot as usize;
+                    let v = self.heap.object(o).fields[slot];
+                    top!().stack.push(v);
+                    if self.program.field(fid).track_access {
+                        profiler.on_field_get(obj, fid, self.program, &self.heap);
+                    }
+                }
+                Instr::PutField(fid) => {
+                    let value = pop(top!())?;
+                    let obj = pop(top!())?;
+                    let o = match obj {
+                        Value::Obj(o) => o,
+                        Value::Null => return Err(RuntimeError::NullDeref { line }),
+                        other => {
+                            return Err(RuntimeError::Internal(format!(
+                                "putfield on non-object {other}"
+                            )))
+                        }
+                    };
+                    let slot = self.program.field(fid).slot as usize;
+                    self.heap.object_mut(o).fields[slot] = value;
+                    if self.program.field(fid).track_access {
+                        profiler.on_field_put(obj, fid, self.program, &self.heap);
+                    }
+                }
+                Instr::NewArray(elem) => {
+                    let len = pop_int(top!())?;
+                    if len < 0 {
+                        return Err(RuntimeError::NegativeArrayLength { len, line });
+                    }
+                    let arr = self.heap.alloc_array(elem, len as usize);
+                    top!().stack.push(Value::Arr(arr));
+                }
+                Instr::ALoad => {
+                    let idx = pop_int(top!())?;
+                    let arr = pop(top!())?;
+                    let a = as_array(arr, line)?;
+                    let len = self.heap.array(a).elems.len();
+                    if idx < 0 || idx as usize >= len {
+                        return Err(RuntimeError::IndexOutOfBounds {
+                            index: idx,
+                            len,
+                            line,
+                        });
+                    }
+                    let v = self.heap.array(a).elems[idx as usize];
+                    top!().stack.push(v);
+                    if self.program.track_arrays {
+                        profiler.on_array_load(arr, self.program, &self.heap);
+                    }
+                }
+                Instr::AStore => {
+                    let value = pop(top!())?;
+                    let idx = pop_int(top!())?;
+                    let arr = pop(top!())?;
+                    let a = as_array(arr, line)?;
+                    let len = self.heap.array(a).elems.len();
+                    if idx < 0 || idx as usize >= len {
+                        return Err(RuntimeError::IndexOutOfBounds {
+                            index: idx,
+                            len,
+                            line,
+                        });
+                    }
+                    self.heap.array_mut(a).elems[idx as usize] = value;
+                    if self.program.track_arrays {
+                        profiler.on_array_store(arr, self.program, &self.heap);
+                    }
+                }
+                Instr::ArrayLen => {
+                    let arr = pop(top!())?;
+                    let a = as_array(arr, line)?;
+                    let len = self.heap.array(a).elems.len();
+                    top!().stack.push(Value::Int(len as i64));
+                }
+                Instr::CallStatic(m) | Instr::CallDirect(m) => {
+                    let n_args = self.program.func(m).n_params as usize;
+                    let args = split_args(top!(), n_args)?;
+                    self.push_frame(frames, m, &args, profiler)?;
+                }
+                Instr::CallVirtual(m) => {
+                    let decl = self.program.func(m);
+                    let n_args = decl.n_params as usize;
+                    let args = split_args(top!(), n_args)?;
+                    let receiver = args[0];
+                    let o = match receiver {
+                        Value::Obj(o) => o,
+                        Value::Null => return Err(RuntimeError::NullDeref { line }),
+                        other => {
+                            return Err(RuntimeError::Internal(format!(
+                                "virtual call on non-object {other}"
+                            )))
+                        }
+                    };
+                    let vslot = decl.vslot.ok_or_else(|| {
+                        RuntimeError::Internal(format!("virtual call to {} without vslot", decl.name))
+                    })? as usize;
+                    let class = self.heap.object(o).class;
+                    let target = self.program.class(class).vtable[vslot];
+                    self.push_frame(frames, target, &args, profiler)?;
+                }
+                Instr::Ret | Instr::RetVal => {
+                    let value = if matches!(instr, Instr::RetVal) {
+                        pop(top!())?
+                    } else {
+                        Value::Null
+                    };
+                    self.pop_frame(frames, profiler);
+                    match frames.last_mut() {
+                        Some(caller) => {
+                            if matches!(instr, Instr::RetVal) {
+                                caller.stack.push(value);
+                            }
+                        }
+                        None => return Ok(value),
+                    }
+                }
+                Instr::Throw => {
+                    let value = pop(top!())?;
+                    self.unwind(frames, value, line, profiler)?;
+                }
+                Instr::CheckCast(kind) => {
+                    let v = *top!()
+                        .stack
+                        .last()
+                        .ok_or_else(|| RuntimeError::Internal("cast on empty stack".into()))?;
+                    // `null` passes every reference cast (as in Java).
+                    if !matches!(v, Value::Null) && !self.matches_kind(kind, v) {
+                        return Err(RuntimeError::ClassCast { line });
+                    }
+                }
+                Instr::InstanceOfOp(kind) => {
+                    let v = pop(top!())?;
+                    // `null instanceof T` is false (as in Java).
+                    let r = !matches!(v, Value::Null) && self.matches_kind(kind, v);
+                    top!().stack.push(Value::Bool(r));
+                }
+                Instr::ReadInput => {
+                    if self.input_pos >= self.input.len() {
+                        return Err(RuntimeError::InputExhausted { line });
+                    }
+                    let v = self.input[self.input_pos];
+                    self.input_pos += 1;
+                    top!().stack.push(Value::Int(v));
+                    if self.program.track_io {
+                        profiler.on_input_read(self.program, &self.heap);
+                    }
+                }
+                Instr::Print => {
+                    let v = pop_int(top!())?;
+                    self.output.push(v);
+                    if self.program.track_io {
+                        profiler.on_output_write(self.program, &self.heap);
+                    }
+                }
+                Instr::ProfLoopEntry(l) => {
+                    top!().active_loops.push(l);
+                    profiler.on_loop_entry(l, self.program, &self.heap);
+                }
+                Instr::ProfLoopBack(l) => {
+                    profiler.on_loop_back_edge(l, self.program, &self.heap);
+                }
+                Instr::ProfLoopExit(l) => {
+                    let popped = top!().active_loops.pop();
+                    if popped != Some(l) {
+                        return Err(RuntimeError::Internal(format!(
+                            "unbalanced loop exit: expected {popped:?}, got {l}"
+                        )));
+                    }
+                    profiler.on_loop_exit(l, self.program, &self.heap);
+                }
+            }
+        }
+    }
+
+    /// Unwinds `value` through the frame stack, emitting loop/method exit
+    /// events, until a matching handler is found.
+    fn unwind<P: ProfilerHooks>(
+        &mut self,
+        frames: &mut Vec<Frame>,
+        value: Value,
+        throw_line: u32,
+        profiler: &mut P,
+    ) -> Result<(), RuntimeError> {
+        loop {
+            let (func_id, pc) = match frames.last() {
+                Some(f) => (f.func, f.pc.saturating_sub(1)),
+                None => {
+                    return Err(RuntimeError::UncaughtException {
+                        value: value.to_string(),
+                        line: throw_line,
+                    })
+                }
+            };
+            let func = self.program.func(func_id);
+            let handler = func
+                .handlers
+                .iter()
+                .find(|h| pc >= h.start && pc < h.end && self.catch_matches(h.catch, value))
+                .copied();
+            match handler {
+                Some(h) => {
+                    let frame = frames.last_mut().expect("frame checked above");
+                    // Exit instrumented loops abandoned by the transfer.
+                    while frame.active_loops.len() > h.active_loops as usize {
+                        let l = frame
+                            .active_loops
+                            .pop()
+                            .expect("length checked in loop condition");
+                        profiler.on_loop_exit(l, self.program, &self.heap);
+                    }
+                    frame.stack.clear();
+                    frame.locals[h.catch_slot as usize] = value;
+                    frame.pc = h.target;
+                    return Ok(());
+                }
+                None => {
+                    self.pop_frame(frames, profiler);
+                }
+            }
+        }
+    }
+
+    fn catch_matches(&self, kind: CatchKind, value: Value) -> bool {
+        match kind {
+            CatchKind::Int => matches!(value, Value::Int(_)),
+            CatchKind::Bool => matches!(value, Value::Bool(_)),
+            CatchKind::AnyRef => value.is_ref(),
+            CatchKind::Array => matches!(value, Value::Arr(_)),
+            CatchKind::Class(c) => match value {
+                Value::Obj(o) => self.program.is_subclass(self.heap.object(o).class, c),
+                _ => false,
+            },
+        }
+    }
+
+    fn matches_kind(&self, kind: CatchKind, value: Value) -> bool {
+        self.catch_matches(kind, value)
+    }
+}
+
+fn default_field_value(ty: &crate::bytecode::ErasedType) -> Value {
+    match ty {
+        crate::bytecode::ErasedType::Int => Value::Int(0),
+        crate::bytecode::ErasedType::Bool => Value::Bool(false),
+        _ => Value::Null,
+    }
+}
+
+fn pop(frame: &mut Frame) -> Result<Value, RuntimeError> {
+    frame
+        .stack
+        .pop()
+        .ok_or_else(|| RuntimeError::Internal("operand stack underflow".into()))
+}
+
+fn pop_int(frame: &mut Frame) -> Result<i64, RuntimeError> {
+    match pop(frame)? {
+        Value::Int(v) => Ok(v),
+        other => Err(RuntimeError::Internal(format!("expected int, got {other}"))),
+    }
+}
+
+fn pop_bool(frame: &mut Frame) -> Result<bool, RuntimeError> {
+    match pop(frame)? {
+        Value::Bool(v) => Ok(v),
+        other => Err(RuntimeError::Internal(format!(
+            "expected bool, got {other}"
+        ))),
+    }
+}
+
+fn as_array(v: Value, line: u32) -> Result<crate::heap::ArrRef, RuntimeError> {
+    match v {
+        Value::Arr(a) => Ok(a),
+        Value::Null => Err(RuntimeError::NullDeref { line }),
+        other => Err(RuntimeError::Internal(format!(
+            "expected array, got {other}"
+        ))),
+    }
+}
+
+fn split_args(frame: &mut Frame, n: usize) -> Result<Vec<Value>, RuntimeError> {
+    if frame.stack.len() < n {
+        return Err(RuntimeError::Internal(
+            "operand stack underflow in call".into(),
+        ));
+    }
+    Ok(frame.stack.split_off(frame.stack.len() - n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::instrument::InstrumentOptions;
+
+    fn run(src: &str) -> RunResult {
+        let p = compile(src).expect("compiles");
+        Interp::new(&p).run(&mut NoopProfiler).expect("runs")
+    }
+
+    fn run_err(src: &str) -> RuntimeError {
+        let p = compile(src).expect("compiles");
+        Interp::new(&p).run(&mut NoopProfiler).expect_err("fails")
+    }
+
+    fn ret(src: &str) -> i64 {
+        run(src).return_value.as_int().expect("int result")
+    }
+
+    #[test]
+    fn arithmetic_and_precedence() {
+        assert_eq!(ret("class Main { static int main() { return 2 + 3 * 4 - 6 / 2; } }"), 11);
+        assert_eq!(ret("class Main { static int main() { return 17 % 5; } }"), 2);
+        assert_eq!(ret("class Main { static int main() { return -(3 - 8); } }"), 5);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        assert_eq!(
+            ret(
+                "class Main { static int main() {
+                    if (3 < 4 && 4 <= 4 && 5 > 4 && 5 >= 5 && 1 == 1 && 1 != 2) { return 1; }
+                    return 0;
+                } }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn short_circuit_avoids_rhs() {
+        // Division by zero on the rhs must not run.
+        assert_eq!(
+            ret(
+                "class Main { static int main() {
+                    int z = 0;
+                    if (false && 1 / z == 0) { return 1; }
+                    if (true || 1 / z == 0) { return 2; }
+                    return 3;
+                } }"
+            ),
+            2
+        );
+    }
+
+    #[test]
+    fn loops_compute() {
+        assert_eq!(
+            ret(
+                "class Main { static int main() {
+                    int s = 0;
+                    for (int i = 1; i <= 10; i = i + 1) { s = s + i; }
+                    return s;
+                } }"
+            ),
+            55
+        );
+    }
+
+    #[test]
+    fn break_and_continue() {
+        assert_eq!(
+            ret(
+                "class Main { static int main() {
+                    int s = 0;
+                    for (int i = 0; i < 100; i = i + 1) {
+                        if (i % 2 == 0) { continue; }
+                        if (i > 10) { break; }
+                        s = s + i;
+                    }
+                    return s;
+                } }"
+            ),
+            1 + 3 + 5 + 7 + 9
+        );
+    }
+
+    #[test]
+    fn objects_fields_and_methods() {
+        assert_eq!(
+            ret(
+                "class Main { static int main() {
+                    Counter c = new Counter();
+                    c.add(40);
+                    c.add(2);
+                    return c.total;
+                } }
+                class Counter {
+                    int total;
+                    void add(int x) { total = total + x; }
+                }"
+            ),
+            42
+        );
+    }
+
+    #[test]
+    fn constructors_run() {
+        assert_eq!(
+            ret(
+                "class Main { static int main() { return new Pair(40, 2).sum(); } }
+                class Pair {
+                    int a; int b;
+                    Pair(int a, int b) { this.a = a; this.b = b; }
+                    int sum() { return a + b; }
+                }"
+            ),
+            42
+        );
+    }
+
+    #[test]
+    fn virtual_dispatch_selects_override() {
+        assert_eq!(
+            ret(
+                "class Main { static int main() {
+                    Animal a = new Dog();
+                    Animal b = new Animal();
+                    return a.noise() * 10 + b.noise();
+                } }
+                class Animal { int noise() { return 1; } }
+                class Dog extends Animal { int noise() { return 2; } }"
+            ),
+            21
+        );
+    }
+
+    #[test]
+    fn recursion_works() {
+        assert_eq!(
+            ret(
+                "class Main { static int main() { return fact(10); }
+                 static int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); } }"
+            ),
+            3_628_800
+        );
+    }
+
+    #[test]
+    fn arrays_and_length() {
+        assert_eq!(
+            ret(
+                "class Main { static int main() {
+                    int[] a = new int[5];
+                    for (int i = 0; i < a.length; i = i + 1) { a[i] = i * i; }
+                    return a[4] + a.length;
+                } }"
+            ),
+            21
+        );
+    }
+
+    #[test]
+    fn multidim_arrays() {
+        assert_eq!(
+            ret(
+                "class Main { static int main() {
+                    int[][] tri = new int[][] { new int[0], new int[1], new int[2] };
+                    tri[2][1] = 9;
+                    return tri.length + tri[2][1];
+                } }"
+            ),
+            12
+        );
+    }
+
+    #[test]
+    fn linked_structures() {
+        assert_eq!(
+            ret(
+                "class Main { static int main() {
+                    Node head = null;
+                    for (int i = 0; i < 5; i = i + 1) {
+                        Node n = new Node(i);
+                        n.next = head;
+                        head = n;
+                    }
+                    int s = 0;
+                    Node cur = head;
+                    while (cur != null) { s = s + cur.value; cur = cur.next; }
+                    return s;
+                } }
+                class Node { Node next; int value; Node(int v) { this.value = v; } }"
+            ),
+            10
+        );
+    }
+
+    #[test]
+    fn generics_with_erasure_run() {
+        assert_eq!(
+            ret(
+                "class Main { static int main() {
+                    Box<Item> b = new Box<Item>();
+                    b.value = new Item(9);
+                    return b.get().v;
+                } }
+                class Box<T> { T value; T get() { return value; } }
+                class Item { int v; Item(int v) { this.v = v; } }"
+            ),
+            9
+        );
+    }
+
+    #[test]
+    fn cast_and_instanceof_runtime() {
+        assert_eq!(
+            ret(
+                "class Main { static int main() {
+                    Object o = new Item(5);
+                    int r = 0;
+                    if (o instanceof Item) { r = ((Item) o).v; }
+                    if (o instanceof Other) { r = 100; }
+                    return r;
+                } }
+                class Item { int v; Item(int v) { this.v = v; } }
+                class Other { }"
+            ),
+            5
+        );
+    }
+
+    #[test]
+    fn failed_cast_errors() {
+        let e = run_err(
+            "class Main { static int main() {
+                Object o = new A();
+                B b = (B) o;
+                return 0;
+            } }
+            class A { }
+            class B { int x; }",
+        );
+        assert!(matches!(e, RuntimeError::ClassCast { .. }));
+    }
+
+    #[test]
+    fn null_cast_passes() {
+        assert_eq!(
+            ret(
+                "class Main { static int main() {
+                    Object o = null;
+                    A a = (A) o;
+                    if (a == null) { return 7; }
+                    return 0;
+                } }
+                class A { }"
+            ),
+            7
+        );
+    }
+
+    #[test]
+    fn throw_and_catch_int() {
+        assert_eq!(
+            ret(
+                "class Main { static int main() {
+                    try { f(); } catch (int e) { return e; }
+                    return 0;
+                }
+                static void f() { throw 41 + 1; } }"
+            ),
+            42
+        );
+    }
+
+    #[test]
+    fn catch_rethrows_on_type_mismatch() {
+        assert_eq!(
+            ret(
+                "class Main { static int main() {
+                    try {
+                        try { throw 5; } catch (Object o) { return 100; }
+                    } catch (int e) { return e; }
+                    return 0;
+                } }"
+            ),
+            5
+        );
+    }
+
+    #[test]
+    fn catch_by_class_hierarchy() {
+        assert_eq!(
+            ret(
+                "class Main { static int main() {
+                    try { throw new Sub(); } catch (Base b) { return 1; }
+                    return 0;
+                } }
+                class Base { }
+                class Sub extends Base { }"
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn uncaught_exception_reported() {
+        let e = run_err("class Main { static int main() { throw 13; } }");
+        assert!(matches!(e, RuntimeError::UncaughtException { .. }));
+    }
+
+    #[test]
+    fn null_deref_and_bounds_errors() {
+        assert!(matches!(
+            run_err(
+                "class Main { static int main() { Node n = null; return n.v; } }
+                 class Node { int v; }"
+            ),
+            RuntimeError::NullDeref { .. }
+        ));
+        assert!(matches!(
+            run_err("class Main { static int main() { int[] a = new int[2]; return a[5]; } }"),
+            RuntimeError::IndexOutOfBounds { index: 5, len: 2, .. }
+        ));
+        assert!(matches!(
+            run_err("class Main { static int main() { int[] a = new int[0-1]; return 0; } }"),
+            RuntimeError::NegativeArrayLength { .. }
+        ));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        assert!(matches!(
+            run_err("class Main { static int main() { int z = 0; return 1 / z; } }"),
+            RuntimeError::DivisionByZero { .. }
+        ));
+    }
+
+    #[test]
+    fn fuel_limits_runaway_programs() {
+        let p = compile("class Main { static int main() { while (true) { } } }").expect("compiles");
+        let e = Interp::new(&p)
+            .with_fuel(10_000)
+            .run(&mut NoopProfiler)
+            .expect_err("must run out of fuel");
+        assert!(matches!(e, RuntimeError::OutOfFuel));
+    }
+
+    #[test]
+    fn stack_overflow_detected() {
+        let p = compile(
+            "class Main { static int main() { return f(0); }
+             static int f(int n) { return f(n + 1); } }",
+        )
+        .expect("compiles");
+        let e = Interp::new(&p)
+            .with_max_frames(500)
+            .run(&mut NoopProfiler)
+            .expect_err("must overflow");
+        assert!(matches!(e, RuntimeError::StackOverflow { .. }));
+    }
+
+    #[test]
+    fn io_builtins_roundtrip() {
+        let p = compile(
+            "class Main { static int main() {
+                int a = readInput();
+                int b = readInput();
+                print(a + b);
+                print(a * b);
+                return 0;
+            } }",
+        )
+        .expect("compiles");
+        let r = Interp::new(&p)
+            .with_input(vec![6, 7])
+            .run(&mut NoopProfiler)
+            .expect("runs");
+        assert_eq!(r.output, vec![13, 42]);
+    }
+
+    #[test]
+    fn input_exhaustion_errors() {
+        let e = run_err("class Main { static int main() { return readInput(); } }");
+        assert!(matches!(e, RuntimeError::InputExhausted { .. }));
+    }
+
+    /// Counts events to validate loop instrumentation balance at run time.
+    #[derive(Default)]
+    struct CountingProfiler {
+        entries: u64,
+        backs: u64,
+        exits: u64,
+        method_entries: u64,
+        method_exits: u64,
+    }
+
+    impl ProfilerHooks for CountingProfiler {
+        fn on_loop_entry(&mut self, _: LoopId, _: &CompiledProgram, _: &Heap) {
+            self.entries += 1;
+        }
+        fn on_loop_back_edge(&mut self, _: LoopId, _: &CompiledProgram, _: &Heap) {
+            self.backs += 1;
+        }
+        fn on_loop_exit(&mut self, _: LoopId, _: &CompiledProgram, _: &Heap) {
+            self.exits += 1;
+        }
+        fn on_method_entry(&mut self, _: FuncId, _: &CompiledProgram, _: &Heap) {
+            self.method_entries += 1;
+        }
+        fn on_method_exit(&mut self, _: FuncId, _: &CompiledProgram, _: &Heap) {
+            self.method_exits += 1;
+        }
+    }
+
+    fn run_counting(src: &str) -> CountingProfiler {
+        let p = compile(src)
+            .expect("compiles")
+            .instrument(&InstrumentOptions::default());
+        let mut prof = CountingProfiler::default();
+        Interp::new(&p).run(&mut prof).expect("runs");
+        prof
+    }
+
+    #[test]
+    fn loop_events_balance_simple() {
+        let prof = run_counting(
+            "class Main { static int main() {
+                int s = 0;
+                for (int i = 0; i < 7; i = i + 1) { s = s + i; }
+                return s;
+            } }",
+        );
+        assert_eq!(prof.entries, 1);
+        assert_eq!(prof.exits, 1);
+        assert_eq!(prof.backs, 7);
+    }
+
+    #[test]
+    fn loop_events_balance_nested() {
+        let prof = run_counting(
+            "class Main { static int main() {
+                int s = 0;
+                for (int o = 0; o < 3; o = o + 1) {
+                    for (int i = 0; i < o; i = i + 1) { s = s + 1; }
+                }
+                return s;
+            } }",
+        );
+        // Outer entered once, inner entered 3 times.
+        assert_eq!(prof.entries, 4);
+        assert_eq!(prof.exits, 4);
+        // Outer iterates 3x, inner 0+1+2.
+        assert_eq!(prof.backs, 6);
+    }
+
+    #[test]
+    fn return_inside_loop_emits_exits() {
+        let prof = run_counting(
+            "class Main { static int main() {
+                for (int i = 0; i < 100; i = i + 1) {
+                    if (i == 5) { return i; }
+                }
+                return 0;
+            } }",
+        );
+        assert_eq!(prof.entries, 1);
+        assert_eq!(prof.exits, 1);
+        assert_eq!(prof.backs, 5);
+    }
+
+    #[test]
+    fn exception_out_of_loop_emits_exits() {
+        let prof = run_counting(
+            "class Main { static int main() {
+                try {
+                    for (int i = 0; i < 100; i = i + 1) {
+                        if (i == 4) { throw i; }
+                    }
+                } catch (int e) { return e; }
+                return 0;
+            } }",
+        );
+        assert_eq!(prof.entries, 1);
+        assert_eq!(prof.exits, 1, "unwinding must synthesize the loop exit");
+        assert_eq!(prof.backs, 4);
+    }
+
+    #[test]
+    fn exception_across_frames_emits_method_exits() {
+        let prof = run_counting(
+            "class Main { static int main() {
+                try { return rec(3); } catch (int e) { return e; }
+            }
+            static int rec(int n) {
+                if (n == 0) { throw 99; }
+                return rec(n - 1);
+            } }",
+        );
+        // rec entered 4 times (n=3..0), all exited during unwinding.
+        assert_eq!(prof.method_entries, 4);
+        assert_eq!(prof.method_exits, 4);
+    }
+
+    #[test]
+    fn break_emits_single_exit() {
+        let prof = run_counting(
+            "class Main { static int main() {
+                int s = 0;
+                for (int i = 0; i < 100; i = i + 1) {
+                    if (i == 3) { break; }
+                    s = s + 1;
+                }
+                return s;
+            } }",
+        );
+        assert_eq!(prof.entries, 1);
+        assert_eq!(prof.exits, 1);
+        assert_eq!(prof.backs, 3);
+    }
+}

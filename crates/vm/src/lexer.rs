@@ -1,0 +1,398 @@
+//! Tokenizer for the jay guest language.
+
+use crate::error::{CompileError, Phase, Span};
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier such as `Main` or `firstUnsorted`.
+    Ident(String),
+    /// A decimal integer literal.
+    IntLit(i64),
+    // Keywords.
+    Class,
+    Extends,
+    Static,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    New,
+    Null,
+    True,
+    False,
+    This,
+    Int,
+    Bool,
+    Void,
+    Break,
+    Continue,
+    Throw,
+    Try,
+    Catch,
+    Instanceof,
+    // Punctuation and operators.
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    EqEq,
+    Ne,
+    AndAnd,
+    OrOr,
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Returns the keyword token for `word`, if `word` is a keyword.
+    fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "class" => TokenKind::Class,
+            "extends" => TokenKind::Extends,
+            "static" => TokenKind::Static,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "for" => TokenKind::For,
+            "return" => TokenKind::Return,
+            "new" => TokenKind::New,
+            "null" => TokenKind::Null,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "this" => TokenKind::This,
+            "int" => TokenKind::Int,
+            "boolean" | "bool" => TokenKind::Bool,
+            "void" => TokenKind::Void,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            "throw" => TokenKind::Throw,
+            "try" => TokenKind::Try,
+            "catch" => TokenKind::Catch,
+            "instanceof" => TokenKind::Instanceof,
+            _ => return None,
+        })
+    }
+}
+
+/// A token together with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Where it was lexed from.
+    pub span: Span,
+}
+
+/// Tokenizes `source`, skipping `//` line comments and `/* */` block
+/// comments.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unknown characters, unterminated block
+/// comments, or integer literals that overflow `i64`.
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let ch = self.peek()?;
+        self.pos += 1;
+        if ch == b'\n' {
+            self.line += 1;
+        }
+        Some(ch)
+    }
+
+    fn error(&self, message: impl Into<String>, start: usize, line: u32) -> CompileError {
+        CompileError::new(Phase::Lex, message, Some(Span::new(start, self.pos, line)))
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.tokens.push(Token {
+            kind,
+            span: Span::new(start, self.pos, line),
+        });
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, CompileError> {
+        while let Some(ch) = self.peek() {
+            let start = self.pos;
+            let line = self.line;
+            match ch {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == b'*' && self.peek() == Some(b'/') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(self.error("unterminated block comment", start, line));
+                    }
+                }
+                b'0'..=b'9' => {
+                    while matches!(self.peek(), Some(b'0'..=b'9')) {
+                        self.bump();
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos])
+                        .expect("digits are valid utf-8");
+                    let value: i64 = text
+                        .parse()
+                        .map_err(|_| self.error("integer literal overflows i64", start, line))?;
+                    self.push(TokenKind::IntLit(value), start, line);
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    while matches!(
+                        self.peek(),
+                        Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+                    ) {
+                        self.bump();
+                    }
+                    let text = std::str::from_utf8(&self.src[start..self.pos])
+                        .expect("identifier bytes are valid utf-8");
+                    let kind = TokenKind::keyword(text)
+                        .unwrap_or_else(|| TokenKind::Ident(text.to_owned()));
+                    self.push(kind, start, line);
+                }
+                _ => {
+                    self.bump();
+                    let kind = match ch {
+                        b'{' => TokenKind::LBrace,
+                        b'}' => TokenKind::RBrace,
+                        b'(' => TokenKind::LParen,
+                        b')' => TokenKind::RParen,
+                        b'[' => TokenKind::LBracket,
+                        b']' => TokenKind::RBracket,
+                        b';' => TokenKind::Semi,
+                        b',' => TokenKind::Comma,
+                        b'.' => TokenKind::Dot,
+                        b'+' => TokenKind::Plus,
+                        b'-' => TokenKind::Minus,
+                        b'*' => TokenKind::Star,
+                        b'/' => TokenKind::Slash,
+                        b'%' => TokenKind::Percent,
+                        b'=' => {
+                            if self.peek() == Some(b'=') {
+                                self.bump();
+                                TokenKind::EqEq
+                            } else {
+                                TokenKind::Assign
+                            }
+                        }
+                        b'<' => {
+                            if self.peek() == Some(b'=') {
+                                self.bump();
+                                TokenKind::Le
+                            } else {
+                                TokenKind::Lt
+                            }
+                        }
+                        b'>' => {
+                            if self.peek() == Some(b'=') {
+                                self.bump();
+                                TokenKind::Ge
+                            } else {
+                                TokenKind::Gt
+                            }
+                        }
+                        b'!' => {
+                            if self.peek() == Some(b'=') {
+                                self.bump();
+                                TokenKind::Ne
+                            } else {
+                                TokenKind::Bang
+                            }
+                        }
+                        b'&' => {
+                            if self.peek() == Some(b'&') {
+                                self.bump();
+                                TokenKind::AndAnd
+                            } else {
+                                return Err(self.error("expected '&&'", start, line));
+                            }
+                        }
+                        b'|' => {
+                            if self.peek() == Some(b'|') {
+                                self.bump();
+                                TokenKind::OrOr
+                            } else {
+                                return Err(self.error("expected '||'", start, line));
+                            }
+                        }
+                        other => {
+                            return Err(self.error(
+                                format!("unexpected character {:?}", other as char),
+                                start,
+                                line,
+                            ));
+                        }
+                    };
+                    self.push(kind, start, line);
+                }
+            }
+        }
+        let end = self.src.len();
+        self.tokens.push(Token {
+            kind: TokenKind::Eof,
+            span: Span::new(end, end, self.line),
+        });
+        Ok(self.tokens)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_identifiers() {
+        let toks = kinds("class Main extends Base");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Class,
+                TokenKind::Ident("Main".into()),
+                TokenKind::Extends,
+                TokenKind::Ident("Base".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(
+            kinds("0 42 1234567890"),
+            vec![
+                TokenKind::IntLit(0),
+                TokenKind::IntLit(42),
+                TokenKind::IntLit(1234567890),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn rejects_overflowing_literal() {
+        let err = lex("99999999999999999999").unwrap_err();
+        assert_eq!(err.phase, Phase::Lex);
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || ="),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::Ne,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Assign,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        let toks = kinds("a // comment\n b /* multi \n line */ c");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("a".into()),
+                TokenKind::Ident("b".into()),
+                TokenKind::Ident("c".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.span.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_is_error() {
+        assert!(lex("/* never closed").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("a # b").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn boolean_keyword_variants() {
+        assert_eq!(kinds("bool")[0], TokenKind::Bool);
+        assert_eq!(kinds("boolean")[0], TokenKind::Bool);
+    }
+}

@@ -1,0 +1,249 @@
+//! Natural-loop detection and loop-nesting analysis.
+//!
+//! A back edge is an edge `s → h` whose target `h` dominates its source.
+//! The natural loop of a back edge is `h` plus all blocks that reach `s`
+//! without passing through `h`. Loops sharing a header are merged, and
+//! nesting is derived from block-set containment. Structured jay programs
+//! always produce reducible CFGs; edges whose target does not dominate
+//! the source (possible only through exceptional edges) are ignored.
+
+use std::collections::BTreeSet;
+
+use crate::cfg::Cfg;
+use crate::dominators::Dominators;
+
+/// A natural loop in a function's CFG.
+#[derive(Debug, Clone)]
+pub struct NaturalLoop {
+    /// The header block (the single entry point of the loop).
+    pub header: usize,
+    /// All blocks in the loop, including the header.
+    pub blocks: BTreeSet<usize>,
+    /// Back-edge source blocks (edges `src → header`).
+    pub back_edge_sources: Vec<usize>,
+    /// Index (within the owning [`LoopForest`]) of the innermost strictly
+    /// containing loop.
+    pub parent: Option<usize>,
+    /// Nesting depth (0 for outermost loops).
+    pub depth: u32,
+}
+
+impl NaturalLoop {
+    /// Whether `block` belongs to this loop.
+    pub fn contains(&self, block: usize) -> bool {
+        self.blocks.contains(&block)
+    }
+}
+
+/// All natural loops of one function, ordered by header block index.
+#[derive(Debug, Clone, Default)]
+pub struct LoopForest {
+    /// The loops; `parent` fields index into this vector.
+    pub loops: Vec<NaturalLoop>,
+}
+
+impl LoopForest {
+    /// Detects the natural loops of `cfg`.
+    pub fn detect(cfg: &Cfg, doms: &Dominators) -> LoopForest {
+        // Collect back edges grouped by header.
+        let mut by_header: Vec<(usize, Vec<usize>)> = Vec::new();
+        for (b, blk) in cfg.blocks.iter().enumerate() {
+            for &(t, _) in &blk.succs {
+                if doms.idom(b).is_some() && doms.dominates(t, b) {
+                    match by_header.iter_mut().find(|(h, _)| *h == t) {
+                        Some((_, sources)) => sources.push(b),
+                        None => by_header.push((t, vec![b])),
+                    }
+                }
+            }
+        }
+        by_header.sort_by_key(|&(h, _)| h);
+
+        let mut loops = Vec::new();
+        for (header, sources) in by_header {
+            let mut blocks = BTreeSet::new();
+            blocks.insert(header);
+            // Backward reachability from each back-edge source, stopping at
+            // the header.
+            let mut stack: Vec<usize> = Vec::new();
+            for &s in &sources {
+                if blocks.insert(s) {
+                    stack.push(s);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in &cfg.blocks[b].preds {
+                    if blocks.insert(p) {
+                        stack.push(p);
+                    }
+                }
+            }
+            loops.push(NaturalLoop {
+                header,
+                blocks,
+                back_edge_sources: sources,
+                parent: None,
+                depth: 0,
+            });
+        }
+
+        // Nesting: the parent of L is the smallest loop strictly
+        // containing all of L's blocks.
+        let n = loops.len();
+        for i in 0..n {
+            let mut best: Option<usize> = None;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                if loops[i].header != loops[j].header
+                    && loops[i].blocks.is_subset(&loops[j].blocks)
+                {
+                    best = match best {
+                        None => Some(j),
+                        Some(b) if loops[j].blocks.len() < loops[b].blocks.len() => Some(j),
+                        other => other,
+                    };
+                }
+            }
+            loops[i].parent = best;
+        }
+        for i in 0..n {
+            let mut depth = 0;
+            let mut cur = loops[i].parent;
+            while let Some(p) = cur {
+                depth += 1;
+                cur = loops[p].parent;
+            }
+            loops[i].depth = depth;
+        }
+
+        LoopForest { loops }
+    }
+
+    /// Number of loops.
+    pub fn len(&self) -> usize {
+        self.loops.len()
+    }
+
+    /// Whether the function has no loops.
+    pub fn is_empty(&self) -> bool {
+        self.loops.is_empty()
+    }
+
+    /// Indices of the loops containing `block`, ordered outermost first.
+    pub fn loops_containing(&self, block: usize) -> Vec<usize> {
+        let mut out: Vec<usize> = (0..self.loops.len())
+            .filter(|&i| self.loops[i].contains(block))
+            .collect();
+        out.sort_by_key(|&i| self.loops[i].depth);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::dominators::Dominators;
+
+    fn forest(src: &str, name: &str) -> LoopForest {
+        let p = compile(src).expect("compiles");
+        let f = p.func(p.func_by_name(name).expect("function exists"));
+        let cfg = Cfg::build(f);
+        let doms = Dominators::compute(&cfg);
+        LoopForest::detect(&cfg, &doms)
+    }
+
+    #[test]
+    fn no_loops_in_straight_line() {
+        let f = forest("class Main { static int main() { return 1; } }", "Main.main");
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn single_while_is_one_loop() {
+        let f = forest(
+            "class Main { static int main() { int i = 0; while (i < 5) { i = i + 1; } return i; } }",
+            "Main.main",
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.loops[0].depth, 0);
+        assert!(f.loops[0].parent.is_none());
+    }
+
+    #[test]
+    fn nested_loops_have_parent_links() {
+        let f = forest(
+            r#"class Main { static int main() {
+                int s = 0;
+                for (int i = 0; i < 3; i = i + 1) {
+                    for (int j = 0; j < i; j = j + 1) { s = s + 1; }
+                }
+                return s;
+            } }"#,
+            "Main.main",
+        );
+        assert_eq!(f.len(), 2);
+        let outer = f.loops.iter().position(|l| l.depth == 0).expect("outer loop");
+        let inner = f.loops.iter().position(|l| l.depth == 1).expect("inner loop");
+        assert_eq!(f.loops[inner].parent, Some(outer));
+        assert!(f.loops[inner].blocks.is_subset(&f.loops[outer].blocks));
+    }
+
+    #[test]
+    fn sequential_loops_are_siblings() {
+        let f = forest(
+            r#"class Main { static int main() {
+                int s = 0;
+                for (int i = 0; i < 3; i = i + 1) { s = s + 1; }
+                for (int j = 0; j < 3; j = j + 1) { s = s + 1; }
+                return s;
+            } }"#,
+            "Main.main",
+        );
+        assert_eq!(f.len(), 2);
+        assert!(f.loops.iter().all(|l| l.parent.is_none()));
+    }
+
+    #[test]
+    fn loops_containing_orders_outermost_first() {
+        let f = forest(
+            r#"class Main { static int main() {
+                int s = 0;
+                while (s < 10) {
+                    while (s % 7 != 3) { s = s + 1; }
+                    s = s + 1;
+                }
+                return s;
+            } }"#,
+            "Main.main",
+        );
+        assert_eq!(f.len(), 2);
+        let inner = f.loops.iter().position(|l| l.depth == 1).expect("inner");
+        let header = f.loops[inner].header;
+        let containing = f.loops_containing(header);
+        assert_eq!(containing.len(), 2);
+        assert_eq!(f.loops[containing[0]].depth, 0);
+        assert_eq!(f.loops[containing[1]].depth, 1);
+    }
+
+    #[test]
+    fn triple_nesting_depths() {
+        let f = forest(
+            r#"class Main { static int main() {
+                int s = 0;
+                for (int a = 0; a < 2; a = a + 1)
+                    for (int b = 0; b < 2; b = b + 1)
+                        for (int c = 0; c < 2; c = c + 1)
+                            s = s + 1;
+                return s;
+            } }"#,
+            "Main.main",
+        );
+        assert_eq!(f.len(), 3);
+        let mut depths: Vec<u32> = f.loops.iter().map(|l| l.depth).collect();
+        depths.sort_unstable();
+        assert_eq!(depths, vec![0, 1, 2]);
+    }
+}

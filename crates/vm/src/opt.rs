@@ -1,0 +1,418 @@
+//! HIR optimization: constant folding and algebraic simplification.
+//!
+//! Applied between type checking and code generation when requested via
+//! [`crate::compile::compile_with_options`]. The pass is semantics-
+//! preserving *including* guest-visible faults: expressions that would
+//! trap at run time (division by zero, overflowing literals are already
+//! impossible) are left unfolded, and short-circuit operands with
+//! side effects are preserved.
+//!
+//! Folding interacts with profiling: it never removes loops, calls,
+//! allocations, or accesses — only pure scalar computation — so
+//! algorithmic profiles of optimized programs count the same steps and
+//! structure operations.
+
+use crate::ast::{BinOp, UnOp};
+use crate::hir::{HExpr, HFunction, HStmt};
+
+/// Statistics from one optimization run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Expressions replaced by constants.
+    pub folded: usize,
+    /// Algebraic identities applied (`x+0`, `x*1`, `x*0` with pure x, ...).
+    pub simplified: usize,
+    /// Branches with constant conditions whose dead arm was removed.
+    pub branches_resolved: usize,
+}
+
+/// Folds constants in every function body; returns statistics.
+pub fn fold_program(bodies: &mut [HFunction]) -> OptStats {
+    let mut stats = OptStats::default();
+    for f in bodies {
+        let body = std::mem::take(&mut f.body);
+        f.body = fold_stmts(body, &mut stats);
+    }
+    stats
+}
+
+fn fold_stmts(stmts: Vec<HStmt>, stats: &mut OptStats) -> Vec<HStmt> {
+    let mut out = Vec::with_capacity(stmts.len());
+    for stmt in stmts {
+        match stmt {
+            HStmt::Expr(e) => out.push(HStmt::Expr(fold_expr(e, stats))),
+            HStmt::StoreLocal { slot, value } => out.push(HStmt::StoreLocal {
+                slot,
+                value: fold_expr(value, stats),
+            }),
+            HStmt::StoreField {
+                obj,
+                field,
+                value,
+                line,
+            } => out.push(HStmt::StoreField {
+                obj: fold_expr(obj, stats),
+                field,
+                value: fold_expr(value, stats),
+                line,
+            }),
+            HStmt::StoreIndex {
+                arr,
+                idx,
+                value,
+                line,
+            } => out.push(HStmt::StoreIndex {
+                arr: fold_expr(arr, stats),
+                idx: fold_expr(idx, stats),
+                value: fold_expr(value, stats),
+                line,
+            }),
+            HStmt::If { cond, then, els } => {
+                let cond = fold_expr(cond, stats);
+                let then = fold_stmts(then, stats);
+                let els = fold_stmts(els, stats);
+                match cond {
+                    HExpr::Bool(true) => {
+                        stats.branches_resolved += 1;
+                        out.extend(then);
+                    }
+                    HExpr::Bool(false) => {
+                        stats.branches_resolved += 1;
+                        out.extend(els);
+                    }
+                    cond => out.push(HStmt::If { cond, then, els }),
+                }
+            }
+            HStmt::Loop {
+                cond,
+                body,
+                update,
+                line,
+            } => {
+                let cond = fold_expr(cond, stats);
+                // `while (false)` could be dropped entirely, but a loop is
+                // a profiling-visible repetition; keep it so instrumented
+                // and unoptimized runs agree on the repetition tree.
+                out.push(HStmt::Loop {
+                    cond,
+                    body: fold_stmts(body, stats),
+                    update: fold_stmts(update, stats),
+                    line,
+                });
+            }
+            HStmt::Return { value, line } => out.push(HStmt::Return {
+                value: value.map(|v| fold_expr(v, stats)),
+                line,
+            }),
+            HStmt::Throw { value, line } => out.push(HStmt::Throw {
+                value: fold_expr(value, stats),
+                line,
+            }),
+            HStmt::Try {
+                body,
+                catch,
+                catch_slot,
+                handler,
+            } => out.push(HStmt::Try {
+                body: fold_stmts(body, stats),
+                catch,
+                catch_slot,
+                handler: fold_stmts(handler, stats),
+            }),
+            other @ (HStmt::Break | HStmt::Continue) => out.push(other),
+        }
+    }
+    out
+}
+
+/// Whether evaluating `e` can have any guest-visible effect (calls,
+/// allocation, faults, I/O). Pure expressions may be deleted.
+fn is_pure(e: &HExpr) -> bool {
+    match e {
+        HExpr::Int(_) | HExpr::Bool(_) | HExpr::Null | HExpr::Local(_) => true,
+        HExpr::Unary { expr, .. } => is_pure(expr),
+        HExpr::Binary { op, lhs, rhs, .. } => {
+            // Division/remainder can trap.
+            !matches!(op, BinOp::Div | BinOp::Rem) && is_pure(lhs) && is_pure(rhs)
+        }
+        _ => false,
+    }
+}
+
+fn fold_expr(e: HExpr, stats: &mut OptStats) -> HExpr {
+    match e {
+        HExpr::Unary { op, expr } => {
+            let expr = fold_expr(*expr, stats);
+            match (op, &expr) {
+                (UnOp::Neg, HExpr::Int(v)) => {
+                    stats.folded += 1;
+                    HExpr::Int(v.wrapping_neg())
+                }
+                (UnOp::Not, HExpr::Bool(b)) => {
+                    stats.folded += 1;
+                    HExpr::Bool(!b)
+                }
+                _ => HExpr::Unary {
+                    op,
+                    expr: Box::new(expr),
+                },
+            }
+        }
+        HExpr::Binary { op, lhs, rhs, line } => {
+            let lhs = fold_expr(*lhs, stats);
+            let rhs = fold_expr(*rhs, stats);
+            fold_binary(op, lhs, rhs, line, stats)
+        }
+        HExpr::GetField { obj, field, line } => HExpr::GetField {
+            obj: Box::new(fold_expr(*obj, stats)),
+            field,
+            line,
+        },
+        HExpr::GetIndex { arr, idx, line } => HExpr::GetIndex {
+            arr: Box::new(fold_expr(*arr, stats)),
+            idx: Box::new(fold_expr(*idx, stats)),
+            line,
+        },
+        HExpr::ArrayLen { arr, line } => HExpr::ArrayLen {
+            arr: Box::new(fold_expr(*arr, stats)),
+            line,
+        },
+        HExpr::CallStatic { func, args, line } => HExpr::CallStatic {
+            func,
+            args: args.into_iter().map(|a| fold_expr(a, stats)).collect(),
+            line,
+        },
+        HExpr::CallVirtual { func, args, line } => HExpr::CallVirtual {
+            func,
+            args: args.into_iter().map(|a| fold_expr(a, stats)).collect(),
+            line,
+        },
+        HExpr::CallDirect { func, args, line } => HExpr::CallDirect {
+            func,
+            args: args.into_iter().map(|a| fold_expr(a, stats)).collect(),
+            line,
+        },
+        HExpr::NewObject {
+            class,
+            ctor,
+            args,
+            line,
+        } => HExpr::NewObject {
+            class,
+            ctor,
+            args: args.into_iter().map(|a| fold_expr(a, stats)).collect(),
+            line,
+        },
+        HExpr::NewArray { elem, len, line } => HExpr::NewArray {
+            elem,
+            len: Box::new(fold_expr(*len, stats)),
+            line,
+        },
+        HExpr::ArrayLit { elem, elems, line } => HExpr::ArrayLit {
+            elem,
+            elems: elems.into_iter().map(|a| fold_expr(a, stats)).collect(),
+            line,
+        },
+        HExpr::Cast { target, expr, line } => HExpr::Cast {
+            target,
+            expr: Box::new(fold_expr(*expr, stats)),
+            line,
+        },
+        HExpr::InstanceOf { target, expr, line } => HExpr::InstanceOf {
+            target,
+            expr: Box::new(fold_expr(*expr, stats)),
+            line,
+        },
+        HExpr::Print { arg, line } => HExpr::Print {
+            arg: Box::new(fold_expr(*arg, stats)),
+            line,
+        },
+        leaf => leaf,
+    }
+}
+
+fn fold_binary(op: BinOp, lhs: HExpr, rhs: HExpr, line: u32, stats: &mut OptStats) -> HExpr {
+    use HExpr::{Bool, Int};
+    // Constant arithmetic / comparisons (division only by nonzero).
+    if let (Int(a), Int(b)) = (&lhs, &rhs) {
+        let folded = match op {
+            BinOp::Add => Some(Int(a.wrapping_add(*b))),
+            BinOp::Sub => Some(Int(a.wrapping_sub(*b))),
+            BinOp::Mul => Some(Int(a.wrapping_mul(*b))),
+            BinOp::Div if *b != 0 => Some(Int(a.wrapping_div(*b))),
+            BinOp::Rem if *b != 0 => Some(Int(a.wrapping_rem(*b))),
+            BinOp::Lt => Some(Bool(a < b)),
+            BinOp::Le => Some(Bool(a <= b)),
+            BinOp::Gt => Some(Bool(a > b)),
+            BinOp::Ge => Some(Bool(a >= b)),
+            BinOp::Eq => Some(Bool(a == b)),
+            BinOp::Ne => Some(Bool(a != b)),
+            _ => None,
+        };
+        if let Some(v) = folded {
+            stats.folded += 1;
+            return v;
+        }
+    }
+    if let (Bool(a), Bool(b)) = (&lhs, &rhs) {
+        let folded = match op {
+            BinOp::And => Some(Bool(*a && *b)),
+            BinOp::Or => Some(Bool(*a || *b)),
+            BinOp::Eq => Some(Bool(a == b)),
+            BinOp::Ne => Some(Bool(a != b)),
+            _ => None,
+        };
+        if let Some(v) = folded {
+            stats.folded += 1;
+            return v;
+        }
+    }
+
+    // Algebraic identities; only drop the other operand when pure.
+    match (op, &lhs, &rhs) {
+        (BinOp::Add, Int(0), _) => {
+            stats.simplified += 1;
+            return rhs;
+        }
+        (BinOp::Add | BinOp::Sub, _, Int(0)) => {
+            stats.simplified += 1;
+            return lhs;
+        }
+        (BinOp::Mul, Int(1), _) => {
+            stats.simplified += 1;
+            return rhs;
+        }
+        (BinOp::Mul, _, Int(1)) | (BinOp::Div, _, Int(1)) => {
+            stats.simplified += 1;
+            return lhs;
+        }
+        (BinOp::Mul, Int(0), r) if is_pure(r) => {
+            stats.simplified += 1;
+            return Int(0);
+        }
+        (BinOp::Mul, l, Int(0)) if is_pure(l) => {
+            stats.simplified += 1;
+            return Int(0);
+        }
+        // Short-circuit identities: `true && x` = x, `false || x` = x;
+        // `false && x` / `true || x` also drop x, but only if pure.
+        (BinOp::And, Bool(true), _) | (BinOp::Or, Bool(false), _) => {
+            stats.simplified += 1;
+            return rhs;
+        }
+        (BinOp::And, Bool(false), r) if is_pure(r) => {
+            stats.simplified += 1;
+            return Bool(false);
+        }
+        (BinOp::Or, Bool(true), r) if is_pure(r) => {
+            stats.simplified += 1;
+            return Bool(true);
+        }
+        _ => {}
+    }
+
+    HExpr::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+        line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::compile::{compile, compile_with_options, CompileOptions};
+    use crate::{Interp, NoopProfiler};
+
+    fn run_both(src: &str) -> (i64, i64, usize) {
+        let plain = compile(src).expect("compiles");
+        let (optimized, stats) =
+            compile_with_options(src, &CompileOptions { fold_constants: true })
+                .expect("compiles optimized");
+        let a = Interp::new(&plain)
+            .run(&mut NoopProfiler)
+            .expect("plain runs")
+            .return_value
+            .as_int()
+            .expect("int");
+        let b = Interp::new(&optimized)
+            .run(&mut NoopProfiler)
+            .expect("optimized runs")
+            .return_value
+            .as_int()
+            .expect("int");
+        (a, b, stats.folded + stats.simplified + stats.branches_resolved)
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let (a, b, work) = run_both("class Main { static int main() { return 2 + 3 * 4 - 6 / 2; } }");
+        assert_eq!(a, b);
+        assert_eq!(a, 11);
+        assert!(work >= 3, "folded {work} expressions");
+    }
+
+    #[test]
+    fn resolves_constant_branches() {
+        let (a, b, work) = run_both(
+            "class Main { static int main() { if (1 < 2) { return 7; } return 8; } }",
+        );
+        assert_eq!(a, b);
+        assert_eq!(a, 7);
+        assert!(work >= 2);
+    }
+
+    #[test]
+    fn preserves_division_by_zero_fault() {
+        // `1 / 0` must remain a runtime fault, not a compile-time fold or
+        // a silent removal.
+        let src = "class Main { static int main() { if (readInput() == 0) { return 1 / 0; } return 0; } }";
+        let (optimized, _) = compile_with_options(src, &CompileOptions { fold_constants: true })
+            .expect("compiles");
+        let err = Interp::new(&optimized)
+            .with_input(vec![0])
+            .run(&mut NoopProfiler)
+            .expect_err("must trap");
+        assert!(matches!(err, crate::RuntimeError::DivisionByZero { .. }));
+    }
+
+    #[test]
+    fn preserves_side_effects_in_identities() {
+        // `0 * f()` must still call f (it prints).
+        let src = r#"class Main {
+            static int main() {
+                int x = 0 * f();
+                return x;
+            }
+            static int f() { print(9); return 5; }
+        }"#;
+        let (optimized, _) = compile_with_options(src, &CompileOptions { fold_constants: true })
+            .expect("compiles");
+        let r = Interp::new(&optimized)
+            .run(&mut NoopProfiler)
+            .expect("runs");
+        assert_eq!(r.output, vec![9], "the call's side effect survives");
+        assert_eq!(r.return_value.as_int(), Some(0));
+    }
+
+    #[test]
+    fn simplifies_identities() {
+        let (a, b, work) = run_both(
+            "class Main { static int main(){ int x = 21; return (x + 0) * 1 + 0 * 2; } }",
+        );
+        assert_eq!(a, b);
+        assert_eq!(a, 21);
+        assert!(work >= 3);
+    }
+
+    #[test]
+    fn keeps_loops_for_profiling() {
+        // `while (false)` bodies must keep their loop so repetition trees
+        // agree between optimized and unoptimized builds.
+        let src = "class Main { static int main() { while (false) { print(1); } return 0; } }";
+        let (optimized, _) = compile_with_options(src, &CompileOptions { fold_constants: true })
+            .expect("compiles");
+        let inst = optimized.instrument(&crate::InstrumentOptions::default());
+        assert_eq!(inst.loops.len(), 1, "the dead loop still registers");
+    }
+}

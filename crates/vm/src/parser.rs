@@ -1,0 +1,1025 @@
+//! Recursive-descent parser for the jay guest language.
+//!
+//! The grammar is a compact Java subset. Two classic ambiguities are
+//! resolved with bounded backtracking:
+//!
+//! * *declaration vs. expression statements* — at statement level the
+//!   parser first attempts `Type Ident (= Expr)? ;` and rolls back to an
+//!   expression statement if that fails;
+//! * *casts vs. parenthesized expressions* — `(T) e` is treated as a cast
+//!   only when `T` is syntactically a type and the following token can
+//!   begin an operand (identifier, literal, `(`, `this`, `null`, `new`);
+//!   `(x) - y` therefore parses as subtraction.
+
+use crate::ast::*;
+use crate::error::{CompileError, Phase, Span};
+use crate::lexer::{lex, Token, TokenKind};
+
+/// Parses `source` into an AST [`Program`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error encountered.
+pub fn parse(source: &str) -> Result<Program, CompileError> {
+    let tokens = lex(source)?;
+    Parser::new(tokens).program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn peek_at(&self, offset: usize) -> &TokenKind {
+        let idx = (self.pos + offset).min(self.tokens.len() - 1);
+        &self.tokens[idx].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.tokens[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind, what: &str) -> Result<Span, CompileError> {
+        if self.peek() == &kind {
+            let span = self.span();
+            self.bump();
+            Ok(span)
+        } else {
+            Err(self.error(format!("expected {what}, found {:?}", self.peek())))
+        }
+    }
+
+    fn error(&self, message: impl Into<String>) -> CompileError {
+        CompileError::new(Phase::Parse, message, Some(self.span()))
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), CompileError> {
+        let span = self.span();
+        match self.bump() {
+            TokenKind::Ident(name) => Ok((name, span)),
+            other => Err(CompileError::new(
+                Phase::Parse,
+                format!("expected {what}, found {other:?}"),
+                Some(span),
+            )),
+        }
+    }
+
+    // ---------------------------------------------------------------- items
+
+    fn program(mut self) -> Result<Program, CompileError> {
+        let mut classes = Vec::new();
+        while self.peek() != &TokenKind::Eof {
+            classes.push(self.class_decl()?);
+        }
+        Ok(Program { classes })
+    }
+
+    fn class_decl(&mut self) -> Result<ClassDecl, CompileError> {
+        let start = self.expect(TokenKind::Class, "'class'")?;
+        let (name, _) = self.ident("class name")?;
+        let mut type_params = Vec::new();
+        if self.eat(&TokenKind::Lt) {
+            loop {
+                let (tp, _) = self.ident("type parameter")?;
+                type_params.push(tp);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::Gt, "'>'")?;
+        }
+        let superclass = if self.eat(&TokenKind::Extends) {
+            Some(self.type_expr()?)
+        } else {
+            None
+        };
+        let header_span = start.merge(self.prev_span());
+        self.expect(TokenKind::LBrace, "'{'")?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            self.member(&name, &mut fields, &mut methods)?;
+        }
+        Ok(ClassDecl {
+            name,
+            type_params,
+            superclass,
+            fields,
+            methods,
+            span: header_span,
+        })
+    }
+
+    fn member(
+        &mut self,
+        class_name: &str,
+        fields: &mut Vec<FieldDecl>,
+        methods: &mut Vec<MethodDecl>,
+    ) -> Result<(), CompileError> {
+        let start = self.span();
+        let is_static = self.eat(&TokenKind::Static);
+
+        // Constructor: `ClassName ( ...`
+        if let TokenKind::Ident(name) = self.peek() {
+            if name == class_name && self.peek_at(1) == &TokenKind::LParen && !is_static {
+                let (name, _) = self.ident("constructor name")?;
+                let params = self.params()?;
+                let body = self.block()?;
+                methods.push(MethodDecl {
+                    name,
+                    is_static: false,
+                    is_ctor: true,
+                    params,
+                    ret: TypeExpr::Void,
+                    body,
+                    span: start,
+                });
+                return Ok(());
+            }
+        }
+
+        let ty = self.type_expr()?;
+        let (name, _) = self.ident("member name")?;
+        if self.peek() == &TokenKind::LParen {
+            let params = self.params()?;
+            let body = self.block()?;
+            methods.push(MethodDecl {
+                name,
+                is_static,
+                is_ctor: false,
+                params,
+                ret: ty,
+                body,
+                span: start,
+            });
+        } else {
+            if is_static {
+                return Err(self.error("static fields are not supported"));
+            }
+            self.expect(TokenKind::Semi, "';' after field declaration")?;
+            fields.push(FieldDecl {
+                name,
+                ty,
+                span: start,
+            });
+        }
+        Ok(())
+    }
+
+    fn params(&mut self) -> Result<Vec<Param>, CompileError> {
+        self.expect(TokenKind::LParen, "'('")?;
+        let mut params = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                let span = self.span();
+                let ty = self.type_expr()?;
+                let (name, _) = self.ident("parameter name")?;
+                params.push(Param { name, ty, span });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen, "')'")?;
+        }
+        Ok(params)
+    }
+
+    // ---------------------------------------------------------------- types
+
+    /// Parses a type. Fails (without rollback) when the tokens do not form
+    /// a type; callers that speculate must snapshot `self.pos`.
+    fn type_expr(&mut self) -> Result<TypeExpr, CompileError> {
+        let mut base = match self.peek().clone() {
+            TokenKind::Int => {
+                self.bump();
+                TypeExpr::Int
+            }
+            TokenKind::Bool => {
+                self.bump();
+                TypeExpr::Bool
+            }
+            TokenKind::Void => {
+                self.bump();
+                TypeExpr::Void
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                let mut args = Vec::new();
+                if self.peek() == &TokenKind::Lt && self.type_args_follow() {
+                    self.bump();
+                    loop {
+                        args.push(self.type_expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(TokenKind::Gt, "'>'")?;
+                }
+                TypeExpr::Named(name, args)
+            }
+            other => return Err(self.error(format!("expected type, found {other:?}"))),
+        };
+        while self.peek() == &TokenKind::LBracket && self.peek_at(1) == &TokenKind::RBracket {
+            self.bump();
+            self.bump();
+            base = TypeExpr::Array(Box::new(base));
+        }
+        Ok(base)
+    }
+
+    /// Lookahead check that a `<` begins a type argument list rather than a
+    /// comparison: scans for a matching `>` over type-ish tokens only.
+    fn type_args_follow(&self) -> bool {
+        let mut depth = 0usize;
+        let mut offset = 0usize;
+        loop {
+            match self.peek_at(offset) {
+                TokenKind::Lt => depth += 1,
+                TokenKind::Gt => {
+                    depth -= 1;
+                    if depth == 0 {
+                        return true;
+                    }
+                }
+                TokenKind::Ident(_)
+                | TokenKind::Comma
+                | TokenKind::Int
+                | TokenKind::Bool
+                | TokenKind::LBracket
+                | TokenKind::RBracket => {}
+                _ => return false,
+            }
+            offset += 1;
+            if offset > 32 {
+                return false;
+            }
+        }
+    }
+
+    // ----------------------------------------------------------- statements
+
+    fn block(&mut self) -> Result<Block, CompileError> {
+        let start = self.expect(TokenKind::LBrace, "'{'")?;
+        let mut stmts = Vec::new();
+        while !self.eat(&TokenKind::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(Block {
+            stmts,
+            span: start.merge(self.prev_span()),
+        })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.span();
+        match self.peek() {
+            TokenKind::LBrace => Ok(Stmt::Block(self.block()?)),
+            TokenKind::If => {
+                self.bump();
+                self.expect(TokenKind::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen, "')'")?;
+                let then = self.block_or_single()?;
+                let els = if self.eat(&TokenKind::Else) {
+                    Some(self.block_or_single()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then,
+                    els,
+                    span,
+                })
+            }
+            TokenKind::While => {
+                self.bump();
+                self.expect(TokenKind::LParen, "'('")?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen, "')'")?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::While { cond, body, span })
+            }
+            TokenKind::For => {
+                self.bump();
+                self.expect(TokenKind::LParen, "'('")?;
+                let init = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(TokenKind::Semi, "';' in for")?;
+                let cond = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi, "';' in for")?;
+                let update = if self.peek() == &TokenKind::RParen {
+                    None
+                } else {
+                    Some(Box::new(self.simple_stmt()?))
+                };
+                self.expect(TokenKind::RParen, "')'")?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    update,
+                    body,
+                    span,
+                })
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokenKind::Semi, "';' after return")?;
+                Ok(Stmt::Return { value, span })
+            }
+            TokenKind::Break => {
+                self.bump();
+                self.expect(TokenKind::Semi, "';' after break")?;
+                Ok(Stmt::Break { span })
+            }
+            TokenKind::Continue => {
+                self.bump();
+                self.expect(TokenKind::Semi, "';' after continue")?;
+                Ok(Stmt::Continue { span })
+            }
+            TokenKind::Throw => {
+                self.bump();
+                let value = self.expr()?;
+                self.expect(TokenKind::Semi, "';' after throw")?;
+                Ok(Stmt::Throw { value, span })
+            }
+            TokenKind::Try => {
+                self.bump();
+                let body = self.block()?;
+                self.expect(TokenKind::Catch, "'catch'")?;
+                self.expect(TokenKind::LParen, "'('")?;
+                let catch_ty = self.type_expr()?;
+                let (catch_name, _) = self.ident("catch variable")?;
+                self.expect(TokenKind::RParen, "')'")?;
+                let handler = self.block()?;
+                Ok(Stmt::Try {
+                    body,
+                    catch_name,
+                    catch_ty,
+                    handler,
+                    span,
+                })
+            }
+            _ => {
+                let stmt = self.simple_stmt()?;
+                self.expect(TokenKind::Semi, "';'")?;
+                Ok(stmt)
+            }
+        }
+    }
+
+    /// Wraps a single statement in a block when braces are omitted.
+    fn block_or_single(&mut self) -> Result<Block, CompileError> {
+        if self.peek() == &TokenKind::LBrace {
+            self.block()
+        } else {
+            let stmt = self.stmt()?;
+            let span = stmt.span();
+            Ok(Block {
+                stmts: vec![stmt],
+                span,
+            })
+        }
+    }
+
+    /// A declaration, assignment, or expression statement, without the
+    /// trailing semicolon (shared by `for` headers and plain statements).
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.span();
+        // Speculatively parse `Type Ident` as a declaration.
+        let snapshot = self.pos;
+        if let Ok(ty) = self.type_expr() {
+            if let TokenKind::Ident(_) = self.peek() {
+                let (name, _) = self.ident("variable name")?;
+                if matches!(self.peek(), TokenKind::Assign | TokenKind::Semi) {
+                    let init = if self.eat(&TokenKind::Assign) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
+                    return Ok(Stmt::VarDecl {
+                        ty,
+                        name,
+                        init,
+                        span,
+                    });
+                }
+            }
+        }
+        self.pos = snapshot;
+
+        let expr = self.expr()?;
+        if self.eat(&TokenKind::Assign) {
+            let value = self.expr()?;
+            match expr {
+                Expr::Var(..) | Expr::Field { .. } | Expr::Index { .. } => Ok(Stmt::Assign {
+                    target: expr,
+                    value,
+                    span,
+                }),
+                _ => Err(CompileError::new(
+                    Phase::Parse,
+                    "assignment target must be a variable, field, or array element",
+                    Some(span),
+                )),
+            }
+        } else {
+            Ok(Stmt::ExprStmt { expr, span })
+        }
+    }
+
+    // ---------------------------------------------------------- expressions
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &TokenKind::OrOr {
+            let span = self.span();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.equality_expr()?;
+        while self.peek() == &TokenKind::AndAnd {
+            let span = self.span();
+            self.bump();
+            let rhs = self.equality_expr()?;
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn equality_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.relational_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::EqEq => BinOp::Eq,
+                TokenKind::Ne => BinOp::Ne,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.relational_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn relational_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.additive_expr()?;
+        loop {
+            if self.peek() == &TokenKind::Instanceof {
+                let span = self.span();
+                self.bump();
+                let ty = self.type_expr()?;
+                lhs = Expr::InstanceOf {
+                    expr: Box::new(lhs),
+                    ty,
+                    span,
+                };
+                continue;
+            }
+            let op = match self.peek() {
+                TokenKind::Lt => BinOp::Lt,
+                TokenKind::Le => BinOp::Le,
+                TokenKind::Gt => BinOp::Gt,
+                TokenKind::Ge => BinOp::Ge,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.additive_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn additive_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.multiplicative_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.multiplicative_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            let span = self.span();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, CompileError> {
+        let span = self.span();
+        match self.peek() {
+            TokenKind::Minus => {
+                self.bump();
+                let expr = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(expr),
+                    span,
+                })
+            }
+            TokenKind::Bang => {
+                self.bump();
+                let expr = self.unary_expr()?;
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(expr),
+                    span,
+                })
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, CompileError> {
+        let mut expr = self.primary_expr()?;
+        loop {
+            let span = self.span();
+            if self.eat(&TokenKind::Dot) {
+                let (name, _) = self.ident("member name")?;
+                if self.peek() == &TokenKind::LParen {
+                    let args = self.args()?;
+                    expr = Expr::Call {
+                        obj: Box::new(expr),
+                        name,
+                        args,
+                        span,
+                    };
+                } else {
+                    expr = Expr::Field {
+                        obj: Box::new(expr),
+                        name,
+                        span,
+                    };
+                }
+            } else if self.peek() == &TokenKind::LBracket
+                && self.peek_at(1) != &TokenKind::RBracket
+            {
+                self.bump();
+                let idx = self.expr()?;
+                self.expect(TokenKind::RBracket, "']'")?;
+                expr = Expr::Index {
+                    arr: Box::new(expr),
+                    idx: Box::new(idx),
+                    span,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(expr)
+    }
+
+    fn args(&mut self) -> Result<Vec<Expr>, CompileError> {
+        self.expect(TokenKind::LParen, "'('")?;
+        let mut args = Vec::new();
+        if !self.eat(&TokenKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::RParen, "')'")?;
+        }
+        Ok(args)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, CompileError> {
+        let span = self.span();
+        match self.peek().clone() {
+            TokenKind::IntLit(v) => {
+                self.bump();
+                Ok(Expr::IntLit(v, span))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::BoolLit(true, span))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::BoolLit(false, span))
+            }
+            TokenKind::Null => {
+                self.bump();
+                Ok(Expr::Null(span))
+            }
+            TokenKind::This => {
+                self.bump();
+                Ok(Expr::This(span))
+            }
+            TokenKind::New => {
+                self.bump();
+                self.new_expr(span)
+            }
+            TokenKind::LParen => {
+                if let Some(cast) = self.try_cast(span)? {
+                    return Ok(cast);
+                }
+                self.bump();
+                let expr = self.expr()?;
+                self.expect(TokenKind::RParen, "')'")?;
+                Ok(expr)
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.peek() == &TokenKind::LParen {
+                    let args = self.args()?;
+                    Ok(Expr::StaticCall {
+                        class: None,
+                        name,
+                        args,
+                        span,
+                    })
+                } else {
+                    Ok(Expr::Var(name, span))
+                }
+            }
+            other => Err(self.error(format!("expected expression, found {other:?}"))),
+        }
+    }
+
+    /// Attempts to parse `(Type) operand`; returns `None` (with position
+    /// restored) when the parentheses do not contain a cast.
+    fn try_cast(&mut self, span: Span) -> Result<Option<Expr>, CompileError> {
+        let snapshot = self.pos;
+        self.bump(); // consume '('
+        let ty = match self.type_expr() {
+            Ok(ty) => ty,
+            Err(_) => {
+                self.pos = snapshot;
+                return Ok(None);
+            }
+        };
+        if self.peek() != &TokenKind::RParen {
+            self.pos = snapshot;
+            return Ok(None);
+        }
+        // Only commit if the cast is syntactically unambiguous: either the
+        // type cannot be an expression (primitive or array or generic), or
+        // the next token begins an operand.
+        let unambiguous_type =
+            !matches!(ty, TypeExpr::Named(_, ref args) if args.is_empty());
+        let operand_follows = matches!(
+            self.peek_at(1),
+            TokenKind::Ident(_)
+                | TokenKind::IntLit(_)
+                | TokenKind::True
+                | TokenKind::False
+                | TokenKind::Null
+                | TokenKind::This
+                | TokenKind::New
+                | TokenKind::LParen
+        );
+        if !unambiguous_type && !operand_follows {
+            self.pos = snapshot;
+            return Ok(None);
+        }
+        self.bump(); // consume ')'
+        let expr = self.unary_expr()?;
+        Ok(Some(Expr::Cast {
+            ty,
+            expr: Box::new(expr),
+            span,
+        }))
+    }
+
+    fn new_expr(&mut self, span: Span) -> Result<Expr, CompileError> {
+        let base = self.type_expr()?;
+        // `type_expr` greedily consumes `[]` pairs, so `new int[](...)`
+        // style literals arrive as Array(base) here.
+        if let TypeExpr::Array(elem) = base {
+            // `new T[] { ... }` array literal.
+            self.expect(TokenKind::LBrace, "'{' in array literal")?;
+            let mut elems = Vec::new();
+            if !self.eat(&TokenKind::RBrace) {
+                loop {
+                    elems.push(self.expr()?);
+                    if !self.eat(&TokenKind::Comma) {
+                        break;
+                    }
+                }
+                self.expect(TokenKind::RBrace, "'}'")?;
+            }
+            return Ok(Expr::ArrayLit {
+                elem: *elem,
+                elems,
+                span,
+            });
+        }
+        if self.peek() == &TokenKind::LBracket {
+            self.bump();
+            let len = self.expr()?;
+            self.expect(TokenKind::RBracket, "']'")?;
+            let mut elem = base;
+            while self.peek() == &TokenKind::LBracket && self.peek_at(1) == &TokenKind::RBracket {
+                self.bump();
+                self.bump();
+                elem = TypeExpr::Array(Box::new(elem));
+            }
+            return Ok(Expr::NewArray {
+                elem,
+                len: Box::new(len),
+                span,
+            });
+        }
+        let args = self.args()?;
+        Ok(Expr::New {
+            ty: base,
+            args,
+            span,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        parse(src).expect("parse succeeds")
+    }
+
+    #[test]
+    fn parses_empty_class() {
+        let p = parse_ok("class A {}");
+        assert_eq!(p.classes.len(), 1);
+        assert_eq!(p.classes[0].name, "A");
+    }
+
+    #[test]
+    fn parses_fields_methods_and_ctor() {
+        let p = parse_ok(
+            r#"
+            class Node {
+                Node next;
+                int value;
+                Node(int v) { this.value = v; }
+                int get() { return this.value; }
+                static Node of(int v) { return new Node(v); }
+            }
+        "#,
+        );
+        let c = &p.classes[0];
+        assert_eq!(c.fields.len(), 2);
+        assert_eq!(c.methods.len(), 3);
+        assert!(c.methods[0].is_ctor);
+        assert!(c.methods[2].is_static);
+    }
+
+    #[test]
+    fn parses_generics_and_inheritance() {
+        let p = parse_ok(
+            r#"
+            class Box<T> { T value; }
+            class IntBox extends Box<Item> { }
+            class Item { }
+        "#,
+        );
+        assert_eq!(p.classes[0].type_params, vec!["T".to_owned()]);
+        assert!(matches!(
+            p.classes[1].superclass,
+            Some(TypeExpr::Named(ref n, ref a)) if n == "Box" && a.len() == 1
+        ));
+    }
+
+    #[test]
+    fn declaration_vs_comparison_disambiguation() {
+        // `a < b` must parse as a comparison statement, not a declaration.
+        let p = parse_ok(
+            r#"
+            class A {
+                static bool f(int a, int b) { return a < b; }
+                static void g() { List<Item> xs = null; }
+            }
+            class List<T> {}
+            class Item {}
+        "#,
+        );
+        assert_eq!(p.classes.len(), 3);
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        parse_ok(
+            r#"
+            class A {
+                static int f(int n) {
+                    int s = 0;
+                    for (int i = 0; i < n; i = i + 1) {
+                        if (i % 2 == 0) { s = s + i; } else s = s - 1;
+                        while (s > 100) { s = s / 2; break; }
+                    }
+                    return s;
+                }
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn parses_arrays_and_literals() {
+        parse_ok(
+            r#"
+            class A {
+                static int f() {
+                    int[][] tri = new int[][] { new int[0], new int[1], new int[2] };
+                    int[] xs = new int[10];
+                    xs[0] = tri[2][0];
+                    return xs.length + tri.length;
+                }
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn parses_cast_and_instanceof() {
+        let p = parse_ok(
+            r#"
+            class A {
+                static int f(Object o) {
+                    if (o instanceof Item) { return ((Item) o).v; }
+                    return 0;
+                }
+            }
+            class Item { int v; }
+        "#,
+        );
+        assert_eq!(p.classes.len(), 2);
+    }
+
+    #[test]
+    fn parenthesized_expr_is_not_cast() {
+        // `(a) - b` must parse as subtraction.
+        let p = parse_ok("class A { static int f(int a, int b) { return (a) - b; } }");
+        let m = &p.classes[0].methods[0];
+        match &m.body.stmts[0] {
+            Stmt::Return { value: Some(Expr::Binary { op, .. }), .. } => {
+                assert_eq!(*op, BinOp::Sub);
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_try_catch_throw() {
+        parse_ok(
+            r#"
+            class A {
+                static int f() {
+                    try { throw 42; } catch (int e) { return e; }
+                    return 0;
+                }
+            }
+        "#,
+        );
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_ok("class A { static int f() { return 2 + 3 * 4; } }");
+        match &p.classes[0].methods[0].body.stmts[0] {
+            Stmt::Return { value: Some(Expr::Binary { op: BinOp::Add, rhs, .. }), .. } => {
+                assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn short_circuit_operators_parse() {
+        parse_ok(
+            "class A { static bool f(bool a, bool b, bool c) { return a && b || !c; } }",
+        );
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let err = parse("class A { static void f() { int x = 1 } }").unwrap_err();
+        assert_eq!(err.phase, Phase::Parse);
+    }
+
+    #[test]
+    fn error_on_bad_assignment_target() {
+        assert!(parse("class A { static void f() { 1 + 2 = 3; } }").is_err());
+    }
+
+    #[test]
+    fn for_without_init_cond_update() {
+        parse_ok("class A { static void f() { for (;;) { break; } } }");
+    }
+
+    #[test]
+    fn unqualified_call_parses_as_static_call() {
+        let p = parse_ok("class A { static void f() { g(); } static void g() {} }");
+        match &p.classes[0].methods[0].body.stmts[0] {
+            Stmt::ExprStmt { expr: Expr::StaticCall { class: None, name, .. }, .. } => {
+                assert_eq!(name, "g");
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+}

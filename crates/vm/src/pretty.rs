@@ -1,0 +1,420 @@
+//! AST pretty-printer: renders a parsed [`Program`] back to jay source.
+//!
+//! The printer is the parser's inverse up to layout: for every program
+//! `p`, `parse(print(parse(p)))` equals `parse(p)` modulo spans. That
+//! property is checked by the round-trip tests below and powers the
+//! fuzz-style tests in the repository's property suite. The printer
+//! parenthesizes every composite subexpression, so precedence never
+//! needs reconstructing.
+
+use std::fmt::Write as _;
+
+use crate::ast::{BinOp, Block, ClassDecl, Expr, Program, Stmt, TypeExpr, UnOp};
+
+/// Renders a whole program.
+pub fn print_program(program: &Program) -> String {
+    let mut out = String::new();
+    for class in &program.classes {
+        print_class(class, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+fn print_class(class: &ClassDecl, out: &mut String) {
+    let _ = write!(out, "class {}", class.name);
+    if !class.type_params.is_empty() {
+        let _ = write!(out, "<{}>", class.type_params.join(", "));
+    }
+    if let Some(sup) = &class.superclass {
+        let _ = write!(out, " extends {}", print_type(sup));
+    }
+    out.push_str(" {\n");
+    for field in &class.fields {
+        let _ = writeln!(out, "    {} {};", print_type(&field.ty), field.name);
+    }
+    for method in &class.methods {
+        out.push_str("    ");
+        if method.is_static {
+            out.push_str("static ");
+        }
+        if !method.is_ctor {
+            let _ = write!(out, "{} ", print_type(&method.ret));
+        }
+        let _ = write!(out, "{}(", method.name);
+        for (i, p) in method.params.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{} {}", print_type(&p.ty), p.name);
+        }
+        out.push_str(") ");
+        print_block(&method.body, 1, out);
+        out.push('\n');
+    }
+    out.push_str("}\n");
+}
+
+/// Renders a type.
+pub fn print_type(ty: &TypeExpr) -> String {
+    match ty {
+        TypeExpr::Int => "int".to_owned(),
+        TypeExpr::Bool => "boolean".to_owned(),
+        TypeExpr::Void => "void".to_owned(),
+        TypeExpr::Named(name, args) => {
+            if args.is_empty() {
+                name.clone()
+            } else {
+                let parts: Vec<String> = args.iter().map(print_type).collect();
+                format!("{}<{}>", name, parts.join(", "))
+            }
+        }
+        TypeExpr::Array(inner) => format!("{}[]", print_type(inner)),
+    }
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("    ");
+    }
+}
+
+fn print_block(block: &Block, level: usize, out: &mut String) {
+    out.push_str("{\n");
+    for stmt in &block.stmts {
+        print_stmt(stmt, level + 1, out);
+    }
+    indent(level, out);
+    out.push('}');
+}
+
+fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
+    indent(level, out);
+    match stmt {
+        Stmt::VarDecl { ty, name, init, .. } => {
+            let _ = write!(out, "{} {}", print_type(ty), name);
+            if let Some(e) = init {
+                let _ = write!(out, " = {}", print_expr(e));
+            }
+            out.push_str(";\n");
+        }
+        Stmt::Assign { target, value, .. } => {
+            let _ = writeln!(out, "{} = {};", print_expr(target), print_expr(value));
+        }
+        Stmt::If { cond, then, els, .. } => {
+            let _ = write!(out, "if ({}) ", print_expr(cond));
+            print_block(then, level, out);
+            if let Some(e) = els {
+                out.push_str(" else ");
+                print_block(e, level, out);
+            }
+            out.push('\n');
+        }
+        Stmt::While { cond, body, .. } => {
+            let _ = write!(out, "while ({}) ", print_expr(cond));
+            print_block(body, level, out);
+            out.push('\n');
+        }
+        Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+            ..
+        } => {
+            out.push_str("for (");
+            if let Some(i) = init {
+                print_simple_stmt(i, out);
+            }
+            out.push_str("; ");
+            if let Some(c) = cond {
+                out.push_str(&print_expr(c));
+            }
+            out.push_str("; ");
+            if let Some(u) = update {
+                print_simple_stmt(u, out);
+            }
+            out.push_str(") ");
+            print_block(body, level, out);
+            out.push('\n');
+        }
+        Stmt::Return { value, .. } => match value {
+            Some(e) => {
+                let _ = writeln!(out, "return {};", print_expr(e));
+            }
+            None => out.push_str("return;\n"),
+        },
+        Stmt::ExprStmt { expr, .. } => {
+            let _ = writeln!(out, "{};", print_expr(expr));
+        }
+        Stmt::Block(b) => {
+            print_block(b, level, out);
+            out.push('\n');
+        }
+        Stmt::Break { .. } => out.push_str("break;\n"),
+        Stmt::Continue { .. } => out.push_str("continue;\n"),
+        Stmt::Throw { value, .. } => {
+            let _ = writeln!(out, "throw {};", print_expr(value));
+        }
+        Stmt::Try {
+            body,
+            catch_name,
+            catch_ty,
+            handler,
+            ..
+        } => {
+            out.push_str("try ");
+            print_block(body, level, out);
+            let _ = write!(out, " catch ({} {}) ", print_type(catch_ty), catch_name);
+            print_block(handler, level, out);
+            out.push('\n');
+        }
+    }
+}
+
+/// Renders a `for`-header statement without indentation or semicolon.
+fn print_simple_stmt(stmt: &Stmt, out: &mut String) {
+    match stmt {
+        Stmt::VarDecl { ty, name, init, .. } => {
+            let _ = write!(out, "{} {}", print_type(ty), name);
+            if let Some(e) = init {
+                let _ = write!(out, " = {}", print_expr(e));
+            }
+        }
+        Stmt::Assign { target, value, .. } => {
+            let _ = write!(out, "{} = {}", print_expr(target), print_expr(value));
+        }
+        Stmt::ExprStmt { expr, .. } => {
+            out.push_str(&print_expr(expr));
+        }
+        other => {
+            // Parser only produces the three simple forms in for-headers.
+            let _ = write!(out, "/* unprintable {other:?} */");
+        }
+    }
+}
+
+/// Renders an expression, fully parenthesized.
+pub fn print_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::IntLit(v, _) => {
+            if *v < 0 {
+                // Negative literals do not exist in the grammar; print as
+                // a negation so re-parsing succeeds.
+                format!("(-{})", -v)
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::BoolLit(v, _) => v.to_string(),
+        Expr::Null(_) => "null".to_owned(),
+        Expr::This(_) => "this".to_owned(),
+        Expr::Var(name, _) => name.clone(),
+        Expr::Field { obj, name, .. } => format!("{}.{}", print_postfix(obj), name),
+        Expr::Index { arr, idx, .. } => {
+            format!("{}[{}]", print_postfix(arr), print_expr(idx))
+        }
+        Expr::Length { arr, .. } => format!("{}.length", print_postfix(arr)),
+        Expr::Call { obj, name, args, .. } => {
+            format!("{}.{}({})", print_postfix(obj), name, print_args(args))
+        }
+        Expr::StaticCall {
+            class, name, args, ..
+        } => match class {
+            Some(c) => format!("{}.{}({})", c, name, print_args(args)),
+            None => format!("{}({})", name, print_args(args)),
+        },
+        Expr::New { ty, args, .. } => {
+            format!("new {}({})", print_type(ty), print_args(args))
+        }
+        Expr::NewArray { elem, len, .. } => {
+            // `new T[n]` with any trailing `[]` dimensions of T attached
+            // after the length.
+            let (base, suffixes) = peel_array(elem);
+            format!("new {}[{}]{}", base, print_expr(len), suffixes)
+        }
+        Expr::ArrayLit { elem, elems, .. } => {
+            format!("new {}[] {{ {} }}", print_type(elem), print_args(elems))
+        }
+        Expr::Cast { ty, expr, .. } => {
+            format!("(({}) {})", print_type(ty), print_postfix(expr))
+        }
+        Expr::InstanceOf { expr, ty, .. } => {
+            format!("({} instanceof {})", print_postfix(expr), print_type(ty))
+        }
+        Expr::Unary { op, expr, .. } => {
+            let symbol = match op {
+                UnOp::Neg => "-",
+                UnOp::Not => "!",
+            };
+            format!("({}{})", symbol, print_postfix(expr))
+        }
+        Expr::Binary { op, lhs, rhs, .. } => {
+            let symbol = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+                BinOp::Rem => "%",
+                BinOp::Lt => "<",
+                BinOp::Le => "<=",
+                BinOp::Gt => ">",
+                BinOp::Ge => ">=",
+                BinOp::Eq => "==",
+                BinOp::Ne => "!=",
+                BinOp::And => "&&",
+                BinOp::Or => "||",
+            };
+            format!("({} {} {})", print_expr(lhs), symbol, print_expr(rhs))
+        }
+    }
+}
+
+/// Like [`print_expr`] but guarantees a postfix-compatible rendering for
+/// receivers (wraps anything that is not already primary-like).
+fn print_postfix(expr: &Expr) -> String {
+    match expr {
+        Expr::IntLit(..)
+        | Expr::BoolLit(..)
+        | Expr::Null(_)
+        | Expr::This(_)
+        | Expr::Var(..)
+        | Expr::Field { .. }
+        | Expr::Index { .. }
+        | Expr::Length { .. }
+        | Expr::Call { .. }
+        | Expr::StaticCall { .. } => print_expr(expr),
+        other => format!("({})", print_expr(other)),
+    }
+}
+
+fn print_args(args: &[Expr]) -> String {
+    let parts: Vec<String> = args.iter().map(print_expr).collect();
+    parts.join(", ")
+}
+
+fn peel_array(elem: &TypeExpr) -> (String, String) {
+    match elem {
+        TypeExpr::Array(inner) => {
+            let (base, suffix) = peel_array(inner);
+            (base, format!("{suffix}[]"))
+        }
+        other => (print_type(other), String::new()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast;
+    use crate::parser::parse;
+
+    /// Structural equality modulo spans, via a span-erasing debug dump.
+    fn shape(p: &ast::Program) -> String {
+        let text = format!("{p:?}");
+        // Spans embed byte offsets; strip them.
+        let re_free: String = {
+            let mut out = String::new();
+            let mut rest = text.as_str();
+            while let Some(pos) = rest.find("Span {") {
+                out.push_str(&rest[..pos]);
+                out.push_str("Span");
+                match rest[pos..].find('}') {
+                    Some(end) => rest = &rest[pos + end + 1..],
+                    None => {
+                        rest = "";
+                    }
+                }
+            }
+            out.push_str(rest);
+            out
+        };
+        re_free
+    }
+
+    fn roundtrip(src: &str) {
+        let first = parse(src).expect("parses");
+        let printed = print_program(&first);
+        let second = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed source fails to parse: {e}\n{printed}"));
+        assert_eq!(shape(&first), shape(&second), "roundtrip shape mismatch:\n{printed}");
+    }
+
+    #[test]
+    fn roundtrips_paper_programs() {
+        roundtrip("class Main { static int main() { return 2 + 3 * 4; } }");
+        roundtrip(
+            r#"class Main {
+                static int main() {
+                    int s = 0;
+                    for (int i = 0; i < 10; i = i + 1) {
+                        if (i % 2 == 0) { continue; }
+                        while (s < 100 && i > 0) { s = s + i; break; }
+                    }
+                    return s;
+                }
+            }"#,
+        );
+        roundtrip(
+            r#"class List {
+                Node head;
+                Node tail;
+                void append(int v) {
+                    Node n = new Node(v);
+                    if (tail == null) { tail = n; head = tail; }
+                    else { tail.next = n; n.prev = tail; tail = tail.next; }
+                }
+            }
+            class Node { Node prev; Node next; int value; Node(int v) { this.value = v; } }
+            class Main { static int main() { return 0; } }"#,
+        );
+    }
+
+    #[test]
+    fn roundtrips_generics_and_casts() {
+        roundtrip(
+            r#"class Box<T> { T value; T get() { return value; } }
+            class Main {
+                static int main() {
+                    Box<Item> b = new Box<Item>();
+                    Object o = b;
+                    if (o instanceof Box) { return ((Item) ((Box) o).value).v; }
+                    return 0;
+                }
+            }
+            class Item { int v; }"#,
+        );
+    }
+
+    #[test]
+    fn roundtrips_arrays_and_exceptions() {
+        roundtrip(
+            r#"class Main {
+                static int main() {
+                    int[][] tri = new int[][] { new int[0], new int[1], new int[2] };
+                    int[] xs = new int[10];
+                    try { throw xs.length + tri[2][0]; } catch (int e) { return e; }
+                    return -1;
+                }
+            }"#,
+        );
+    }
+
+    #[test]
+    fn print_type_renders() {
+        assert_eq!(print_type(&TypeExpr::Int), "int");
+        assert_eq!(
+            print_type(&TypeExpr::Array(Box::new(TypeExpr::Array(Box::new(
+                TypeExpr::Int
+            ))))),
+            "int[][]"
+        );
+        assert_eq!(
+            print_type(&TypeExpr::Named(
+                "Box".into(),
+                vec![TypeExpr::named("Item")]
+            )),
+            "Box<Item>"
+        );
+    }
+}

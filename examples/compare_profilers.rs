@@ -1,0 +1,55 @@
+//! Scenario: traditional vs algorithmic profiles of the same run
+//! (the paper's Figure 2 vs Figure 3 contrast).
+//!
+//! The CCT tells you `List.sort` is hot; the algorithmic profile tells
+//! you *why*: it is a quadratic modification of a Node-based structure,
+//! and exactly how its cost will grow.
+//!
+//! Run with: `cargo run --example compare_profilers`
+
+use algoprof::AlgoProf;
+use algoprof_cct::CctProfiler;
+use algoprof_programs::{insertion_sort_program, SortWorkload};
+use algoprof_vm::instrument::{InstrumentOptions, MethodInstrumentation};
+use algoprof_vm::{compile, Interp};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let source = insertion_sort_program(SortWorkload::Random, 81, 10, 2);
+
+    // --- The traditional view -------------------------------------------
+    let cct_opts = InstrumentOptions {
+        methods: MethodInstrumentation::All,
+        ..InstrumentOptions::default()
+    };
+    let cct_program = compile(&source)?.instrument(&cct_opts);
+    let mut cct = CctProfiler::new();
+    Interp::new(&cct_program).run(&mut cct)?;
+    let cct_profile = cct.finish(&cct_program);
+
+    println!("=== traditional profile (what a hotness profiler tells you) ===");
+    for (name, excl) in cct_profile.hottest_methods().into_iter().take(3) {
+        println!("  hot: {name:25} {excl:>9} instructions");
+    }
+    println!("  ...so what? no input, no trend, no prediction.\n");
+
+    // --- The algorithmic view -------------------------------------------
+    let program = compile(&source)?.instrument(&InstrumentOptions::default());
+    let mut algo = AlgoProf::new();
+    Interp::new(&program).run(&mut algo)?;
+    let profile = algo.finish(&program);
+
+    println!("=== algorithmic profile (why, and how it scales) ===");
+    let sort = profile
+        .algorithm_by_root_name("List.sort:loop0")
+        .expect("sort algorithm");
+    println!("  {}:", profile.describe_algorithm(sort.id));
+    if let Some(fit) = profile.fit_invocation_steps(sort.id) {
+        println!("  cost function: {fit}");
+        println!("  10x the input => {:.0}x the cost", {
+            let at = fit.predict(1000.0);
+            let at10 = fit.predict(10_000.0);
+            at10 / at
+        });
+    }
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! The complexity zoo: one profiler, five growth classes.
+//!
+//! Profiles classic algorithms and prints the automatically inferred
+//! model for each — binary search (log n), list construction (n), merge
+//! sort (n log n), insertion/bubble sort (n²), and matrix multiply
+//! (m^1.5 in the measured element count = n³ in the dimension).
+//!
+//! Run with: `cargo run --release --example complexity_zoo`
+
+use algoprof::CostMetric;
+use algoprof_programs::{
+    binary_search_program, bubble_sort_program, insertion_sort_program, matmul_program,
+    merge_sort_program, SortWorkload,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let entries: Vec<(&str, String, &str)> = vec![
+        (
+            "binary search",
+            binary_search_program(1024, 6),
+            "Main.search:loop0",
+        ),
+        (
+            "list construction",
+            insertion_sort_program(SortWorkload::Sorted, 81, 8, 1),
+            "Main.constructList:loop0",
+        ),
+        ("merge sort", merge_sort_program(257, 16, 1), "Main.sort"),
+        (
+            "insertion sort (random)",
+            insertion_sort_program(SortWorkload::Random, 81, 8, 1),
+            "List.sort:loop0",
+        ),
+        (
+            "bubble sort",
+            bubble_sort_program(97, 8, 1),
+            "Main.sort:loop0",
+        ),
+        (
+            "matrix multiply",
+            matmul_program(26, 2),
+            "Main.multiply:loop3",
+        ),
+    ];
+
+    println!(
+        "{:26} {:>9} {:>45}",
+        "algorithm", "points", "inferred cost function"
+    );
+    println!("{}", "-".repeat(84));
+    for (name, src, needle) in entries {
+        let profile = algoprof::profile_source(&src)?;
+        let algo = profile
+            .algorithms_touching(needle)
+            .into_iter()
+            .next()
+            .expect("algorithm found");
+        let points = profile.invocation_series(algo.id, CostMetric::Steps).len();
+        let fit = profile
+            .fit_invocation_steps(algo.id)
+            .map(|f| format!("{f}  [{}]", f.model.big_o()))
+            .unwrap_or_else(|| "(not enough points)".into());
+        println!("{name:26} {points:>9} {fit:>45}");
+    }
+    println!(
+        "\n(matrix multiply reports against the matrix *element count* m = n²,\n\
+         so its n³ work appears as m^1.5 — check the power-law fit.)"
+    );
+    Ok(())
+}

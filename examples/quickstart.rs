@@ -1,0 +1,57 @@
+//! Quickstart: profile a small guest program and print its algorithmic
+//! profile.
+//!
+//! Run with: `cargo run --example quickstart`
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A guest program in the jay language: build a linked list, then
+    // traverse it, for a sweep of sizes.
+    let source = r#"
+        class Main {
+            static int main() {
+                for (int size = 10; size <= 100; size = size + 10) {
+                    Node head = build(size);
+                    int len = count(head);
+                }
+                return 0;
+            }
+
+            static Node build(int size) {
+                Node head = null;
+                for (int i = 0; i < size; i = i + 1) {
+                    Node n = new Node();
+                    n.next = head;
+                    head = n;
+                }
+                return head;
+            }
+
+            static int count(Node head) {
+                int c = 0;
+                Node cur = head;
+                while (cur != null) { c = c + 1; cur = cur.next; }
+                return c;
+            }
+        }
+        class Node { Node next; }
+    "#;
+
+    // One call: compile → instrument → run → group → classify → fit.
+    let profile = algoprof::profile_source(source)?;
+
+    // The Figure-3-style report: repetition tree, algorithms,
+    // classifications, fitted cost functions.
+    println!("{}", profile.render_text());
+
+    // Programmatic access: the build loop is a Construction algorithm
+    // whose steps grow linearly in the list size.
+    let build = profile
+        .algorithm_by_root_name("Main.build:loop0")
+        .expect("build loop is an algorithm");
+    println!("build is: {}", profile.describe_algorithm(build.id));
+    if let Some(fit) = profile.fit_invocation_steps(build.id) {
+        println!("build cost function: {fit}");
+        println!("predicted steps at n = 10_000: {:.0}", fit.predict(10_000.0));
+    }
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Scenario: "will this sort scale?" — the paper's motivating question.
+//!
+//! A traditional profiler says *where* time goes; the algorithmic
+//! profiler says *how cost grows with input size*, letting you
+//! extrapolate before your users find out. This example profiles the
+//! paper's linked-list insertion sort on representative workloads and
+//! predicts its cost at production sizes.
+//!
+//! Run with: `cargo run --example sort_scaling`
+
+use algoprof::CostMetric;
+use algoprof_programs::{insertion_sort_program, SortWorkload};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for workload in [
+        SortWorkload::Random,
+        SortWorkload::Sorted,
+        SortWorkload::Reversed,
+    ] {
+        let source = insertion_sort_program(workload, 101, 10, 2);
+        let profile = algoprof::profile_source(&source)?;
+        let sort = profile
+            .algorithm_by_root_name("List.sort:loop0")
+            .expect("sort algorithm");
+
+        println!("workload: {workload}");
+        println!("  kind: {}", profile.describe_algorithm(sort.id));
+
+        let series = profile.invocation_series(sort.id, CostMetric::Steps);
+        let max_measured = series.iter().map(|p| p.0).fold(0.0f64, f64::max);
+        if let Some(fit) = profile.fit_invocation_steps(sort.id) {
+            println!("  measured up to n = {max_measured}: {fit}");
+            for n in [1_000.0, 100_000.0] {
+                println!(
+                    "  extrapolated steps at n = {:>7}: {:.3e}",
+                    n,
+                    fit.predict(n)
+                );
+            }
+        }
+        if let Some(p) = profile.fit_invocation_power_law(sort.id) {
+            println!("  empirical order of growth: n^{:.2}", p.exponent);
+        }
+        println!();
+    }
+
+    println!(
+        "verdict: expected (random) and worst (reversed) cases are quadratic —\n\
+         replace the algorithm or cap the input before n gets large."
+    );
+    Ok(())
+}

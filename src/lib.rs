@@ -1,0 +1,19 @@
+//! Umbrella crate for the AlgoProf reproduction workspace.
+//!
+//! This crate exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the functionality
+//! lives in the member crates:
+//!
+//! * [`algoprof_vm`] — the jay guest language and instrumenting VM,
+//! * [`algoprof`] — the algorithmic profiler itself,
+//! * [`algoprof_fit`] — empirical cost-function inference,
+//! * [`algoprof_cct`] — the traditional calling-context-tree baseline,
+//! * [`algoprof_programs`] — the guest program corpus.
+//!
+//! Start with `cargo run --example quickstart`, or see the README.
+
+pub use algoprof;
+pub use algoprof_cct;
+pub use algoprof_fit;
+pub use algoprof_programs;
+pub use algoprof_vm;

@@ -1,0 +1,109 @@
+//! Integration tests for per-element-type access accounting (paper
+//! §3.3's `cost{input#3, Vertex, PUT}` view) and the DOT export.
+
+use algoprof_programs::{insertion_sort_program, SortWorkload};
+
+/// A graph modelled with two classes, Vertex and Edge, traversed once —
+/// the paper's example of type-split access counts.
+const VERTEX_EDGE_GRAPH: &str = r#"
+class Main {
+    static int main() {
+        Vertex a = new Vertex(1);
+        Vertex b = new Vertex(2);
+        Vertex c = new Vertex(3);
+        link(a, b);
+        link(b, c);
+        link(c, a);
+        return walk(a, 9);
+    }
+
+    static void link(Vertex from, Vertex to) {
+        Edge e = new Edge();
+        e.from = from;
+        e.to = to;
+        from.out = e;
+    }
+
+    static int walk(Vertex v, int budget) {
+        int sum = 0;
+        Vertex cur = v;
+        while (budget > 0) {
+            sum = sum + cur.id;
+            Edge e = cur.out;
+            cur = e.to;
+            budget = budget - 1;
+        }
+        return sum;
+    }
+}
+
+class Vertex {
+    Edge out;
+    int id;
+    Vertex(int id) { this.id = id; }
+}
+
+class Edge {
+    Vertex from;
+    Vertex to;
+}
+"#;
+
+#[test]
+fn accesses_split_by_element_type() {
+    let profile = algoprof::profile_source(VERTEX_EDGE_GRAPH).expect("profiles");
+    // The link() calls outside any loop attribute to the program root,
+    // which therefore shares the graph input with the walk loop and
+    // fuses with it — find the algorithm *containing* the loop.
+    let touching = profile.algorithms_touching("Main.walk:loop0");
+    let walk = *touching.first().expect("walk loop");
+    let input = profile.primary_input(walk.id).expect("graph input");
+    assert!(profile.input_description(input).contains("Vertex"));
+    assert!(profile.input_description(input).contains("Edge"));
+
+    let by_type = profile.accesses_by_type(walk.id, input);
+    let vertex = by_type
+        .iter()
+        .find(|(name, _, _)| name == "Vertex")
+        .expect("Vertex accesses recorded");
+    let edge = by_type
+        .iter()
+        .find(|(name, _, _)| name == "Edge")
+        .expect("Edge accesses recorded");
+    // Nine iterations: each reads Vertex.out (a Vertex object read) and
+    // Edge.to (an Edge object read); no writes during the walk.
+    assert_eq!(vertex.1, 9, "nine Vertex reads (cur.out per iteration)");
+    assert_eq!(edge.1, 9, "nine Edge reads (e.to per iteration)");
+    // The fused algorithm also contains the root's link() constructions:
+    // 3 × (e.from, e.to) Edge writes and 3 × (from.out) Vertex writes.
+    assert_eq!(vertex.2, 3, "three Vertex.out writes during linking");
+    assert_eq!(edge.2, 6, "six Edge field writes during linking");
+}
+
+#[test]
+fn graph_structure_counts_both_classes() {
+    let profile = algoprof::profile_source(VERTEX_EDGE_GRAPH).expect("profiles");
+    let touching = profile.algorithms_touching("Main.walk:loop0");
+    let walk = *touching.first().expect("walk loop");
+    let input = profile.primary_input(walk.id).expect("graph input");
+    // 3 vertices + 3 edges.
+    assert_eq!(profile.registry().input(input).max_size, 6);
+    let classes = &profile.registry().input(input).classes;
+    assert_eq!(classes.len(), 2, "Vertex and Edge both recorded");
+}
+
+#[test]
+fn dot_export_contains_all_nodes_and_edges() {
+    let src = insertion_sort_program(SortWorkload::Random, 41, 10, 1);
+    let profile = algoprof::profile_source(&src).expect("profiles");
+    let dot = profile.to_dot();
+    assert!(dot.starts_with("digraph repetition_tree {"));
+    assert!(dot.trim_end().ends_with('}'));
+    // Root + 5 loops = 6 node lines; 5 parent edges.
+    let nodes = dot.matches("label=").count();
+    let edges = dot.matches(" -> ").count();
+    assert_eq!(nodes, 6);
+    assert_eq!(edges, 5);
+    assert!(dot.contains("List.sort"));
+    assert!(dot.contains("algorithm#"));
+}

@@ -1,0 +1,79 @@
+//! Integration test: the library-catalog case study — one run containing
+//! algorithms across the whole complexity spectrum, all recovered
+//! automatically (the §3.5 "realistic application" workflow).
+
+use algoprof::{AlgorithmClass, AlgorithmicProfile};
+use algoprof_fit::Model;
+use algoprof_programs::catalog_program;
+
+fn profile() -> AlgorithmicProfile {
+    let src = catalog_program(97, 8, 8);
+    algoprof::profile_source(&src).expect("profiles")
+}
+
+#[test]
+fn catalog_construction_is_linear_construction() {
+    let p = profile();
+    let a = p
+        .algorithm_by_root_name("Main.buildCatalog:loop0")
+        .expect("build loop");
+    assert_eq!(p.classifications(a.id)[0].class, AlgorithmClass::Construction);
+    let fit = p.fit_invocation_steps(a.id).expect("fits");
+    assert_eq!(fit.model, Model::Linear);
+}
+
+#[test]
+fn rating_sort_is_quadratic_modification() {
+    let p = profile();
+    let a = p
+        .algorithm_by_root_name("Main.sortByRating:loop0")
+        .expect("sort loops");
+    assert_eq!(a.members.len(), 2, "outer + scan loop fuse");
+    assert_eq!(p.classifications(a.id)[0].class, AlgorithmClass::Modification);
+    let fit = p.fit_invocation_steps(a.id).expect("fits");
+    assert_eq!(fit.model, Model::Quadratic);
+}
+
+#[test]
+fn bst_operations_are_logarithmic() {
+    let p = profile();
+    for (needle, class) in [
+        ("Main.insert (recursion)", AlgorithmClass::Construction),
+        ("Main.lookup (recursion)", AlgorithmClass::Traversal),
+    ] {
+        let a = p.algorithm_by_root_name(needle).expect(needle);
+        assert_eq!(p.classifications(a.id)[0].class, class, "{needle}");
+        let fit = p.fit_invocation_steps(a.id).expect("fits");
+        assert_eq!(fit.model, Model::Logarithmic, "{needle}: {fit}");
+    }
+}
+
+#[test]
+fn two_structures_stay_distinct() {
+    // Books and BTNodes are separate recursive structures; the index
+    // build walks one and constructs the other without merging them.
+    let p = profile();
+    let walk = p
+        .algorithm_by_root_name("Main.buildIndex:loop0")
+        .expect("index walk loop");
+    let insert = p
+        .algorithm_by_root_name("Main.insert (recursion)")
+        .expect("insert recursion");
+    assert_ne!(walk.id, insert.id, "walk and insert are separate algorithms");
+    let walk_input = p.primary_input(walk.id).expect("book input");
+    let insert_input = p.primary_input(insert.id).expect("btnode input");
+    assert!(p.input_description(walk_input).contains("Book"));
+    assert!(p.input_description(insert_input).contains("BTNode"));
+}
+
+#[test]
+fn report_produces_output() {
+    let p = profile();
+    let report = p
+        .algorithm_by_root_name("Main.report:loop0")
+        .expect("report loop");
+    assert!(p
+        .classifications(report.id)
+        .iter()
+        .any(|c| c.class == AlgorithmClass::Output));
+}

@@ -1,0 +1,87 @@
+//! Integration test: Figure 2 — the traditional CCT profile of the
+//! running example shows the facts the paper reads off it.
+
+use algoprof_cct::{CctProfile, CctProfiler};
+use algoprof_programs::{insertion_sort_program, SortWorkload};
+use algoprof_vm::instrument::{InstrumentOptions, MethodInstrumentation};
+use algoprof_vm::{compile, Interp};
+
+fn cct_profile() -> CctProfile {
+    let src = insertion_sort_program(SortWorkload::Random, 61, 10, 2);
+    let opts = InstrumentOptions {
+        methods: MethodInstrumentation::All,
+        ..InstrumentOptions::default()
+    };
+    let program = compile(&src).expect("compiles").instrument(&opts);
+    let mut cct = CctProfiler::new();
+    Interp::new(&program).run(&mut cct).expect("runs");
+    cct.finish(&program)
+}
+
+#[test]
+fn append_and_node_ctor_are_most_called() {
+    let p = cct_profile();
+    let most = p.most_called_methods();
+    let top3: Vec<&str> = most.iter().take(3).map(|(n, _)| n.as_str()).collect();
+    assert!(
+        top3.contains(&"List.append"),
+        "List.append among most called, got {top3:?}"
+    );
+    assert!(
+        top3.contains(&"Node.Node"),
+        "Node constructor among most called, got {top3:?}"
+    );
+}
+
+#[test]
+fn sort_is_hottest_by_exclusive_time() {
+    let p = cct_profile();
+    let hottest = p.hottest_methods();
+    assert_eq!(
+        hottest[0].0, "List.sort",
+        "List.sort is the hottest method (paper Figure 2)"
+    );
+}
+
+#[test]
+fn call_counts_are_consistent() {
+    let p = cct_profile();
+    // Each harness iteration appends `size` nodes; appends == Node ctor
+    // calls == Random.nextInt calls.
+    assert_eq!(p.total_calls("List.append"), p.total_calls("Node.Node"));
+    assert_eq!(p.total_calls("List.append"), p.total_calls("Random.nextInt"));
+    // sort called once per (size, rep) pair: sizes 0..61 step 10 = 7, ×2.
+    assert_eq!(p.total_calls("Main.sort"), 14);
+}
+
+#[test]
+fn inclusive_time_dominated_by_measure() {
+    let p = cct_profile();
+    let measure = p.find("Main.measure").expect("measure context");
+    let root = p.root();
+    // measure's inclusive cost accounts for nearly all of the run.
+    assert!(p.node(measure).inclusive * 10 > p.node(root).inclusive * 9);
+}
+
+#[test]
+fn cct_has_no_cost_functions() {
+    // The contrast the paper draws: the CCT gives numbers per context but
+    // no relation to input size. Assert the API surface reflects that: a
+    // context carries scalar counters only.
+    let p = cct_profile();
+    let sort = p.find("List.sort").expect("sort context");
+    let n = p.node(sort);
+    assert!(n.calls > 0);
+    assert!(n.inclusive >= n.exclusive);
+}
+
+#[test]
+fn cct_dot_export_is_well_formed() {
+    let p = cct_profile();
+    let dot = p.to_dot();
+    assert!(dot.starts_with("digraph cct {"));
+    assert!(dot.contains("List.sort"));
+    let nodes = dot.matches("label=").count();
+    let edges = dot.matches(" -> ").count();
+    assert_eq!(nodes, edges + 1, "a tree has one fewer edge than nodes");
+}

@@ -1,0 +1,155 @@
+//! Integration test: the profiler + fitter recover the right model class
+//! across the complexity spectrum — logarithmic, linear, linearithmic,
+//! and quadratic — from real guest algorithms.
+
+use algoprof_fit::Model;
+use algoprof_programs::{
+    binary_search_program, bubble_sort_program, insertion_sort_program, merge_sort_program,
+    SortWorkload,
+};
+
+#[test]
+fn binary_search_is_logarithmic() {
+    let src = binary_search_program(1024, 6);
+    let profile = algoprof::profile_source(&src).expect("profiles");
+    let search = profile
+        .algorithm_by_root_name("Main.search:loop0")
+        .expect("search loop");
+    let fit = profile.fit_invocation_steps(search.id).expect("fits");
+    assert_eq!(
+        fit.model,
+        Model::Logarithmic,
+        "binary search steps grow as log n, fit was {fit}"
+    );
+    // ⌈log₂ n⌉ steps per probe: coefficient close to 1.
+    assert!(
+        (fit.coeff - 1.0).abs() < 0.35,
+        "≈ log2(n) steps per search, got {}",
+        fit.coeff
+    );
+}
+
+#[test]
+fn merge_sort_is_linearithmic() {
+    let src = merge_sort_program(257, 16, 1);
+    let profile = algoprof::profile_source(&src).expect("profiles");
+    let sort = profile
+        .algorithm_by_root_name("Main.sort")
+        .expect("sort recursion");
+    // Split loop and merge loop fuse with the recursion.
+    assert!(
+        sort.members.len() >= 3,
+        "recursion + split loop + merge loop, got {}",
+        sort.members.len()
+    );
+    let fit = profile.fit_invocation_steps(sort.id).expect("fits");
+    assert_eq!(
+        fit.model,
+        Model::Linearithmic,
+        "merge sort is Θ(n log n), fit was {fit}"
+    );
+}
+
+#[test]
+fn bubble_sort_is_quadratic_and_groups() {
+    let src = bubble_sort_program(97, 8, 1);
+    let profile = algoprof::profile_source(&src).expect("profiles");
+    let sort = profile
+        .algorithm_by_root_name("Main.sort:loop0")
+        .expect("outer bubble loop");
+    assert_eq!(
+        sort.members.len(),
+        2,
+        "outer loop accesses the array, so the nest groups (contrast Listing 5)"
+    );
+    let fit = profile.fit_invocation_steps(sort.id).expect("fits");
+    assert_eq!(fit.model, Model::Quadratic);
+    assert!(
+        (fit.coeff - 0.5).abs() < 0.1,
+        "≈ 0.5·n² comparisons, got {}",
+        fit.coeff
+    );
+}
+
+#[test]
+fn complexity_ranking_is_recovered() {
+    // A cross-algorithm sanity check: the fitted models order as
+    // log n < n < n log n < n².
+    let rank = |m: Model| Model::ALL.iter().position(|&x| x == m).expect("known model");
+
+    let bs = {
+        let p = algoprof::profile_source(&binary_search_program(512, 4)).expect("profiles");
+        let a = p.algorithm_by_root_name("Main.search:loop0").expect("algo");
+        p.fit_invocation_steps(a.id).expect("fit").model
+    };
+    let ins_sorted = {
+        let src = insertion_sort_program(SortWorkload::Sorted, 65, 8, 1);
+        let p = algoprof::profile_source(&src).expect("profiles");
+        let a = p.algorithm_by_root_name("List.sort:loop0").expect("algo");
+        p.fit_invocation_steps(a.id).expect("fit").model
+    };
+    let ms = {
+        let p = algoprof::profile_source(&merge_sort_program(257, 16, 1)).expect("profiles");
+        let a = p.algorithm_by_root_name("Main.sort").expect("algo");
+        p.fit_invocation_steps(a.id).expect("fit").model
+    };
+    let bub = {
+        let p = algoprof::profile_source(&bubble_sort_program(97, 8, 1)).expect("profiles");
+        let a = p.algorithm_by_root_name("Main.sort:loop0").expect("algo");
+        p.fit_invocation_steps(a.id).expect("fit").model
+    };
+
+    assert!(rank(bs) < rank(ins_sorted), "log n < n");
+    assert!(rank(ins_sorted) < rank(ms), "n < n log n");
+    assert!(rank(ms) < rank(bub), "n log n < n^2");
+}
+
+#[test]
+fn streaming_fit_agrees_with_batch_on_profiles() {
+    // The paper's future-work online inference: feed the profile's points
+    // into the streaming fitter and get the same model and coefficient.
+    let src = insertion_sort_program(SortWorkload::Reversed, 81, 8, 2);
+    let profile = algoprof::profile_source(&src).expect("profiles");
+    let sort = profile
+        .algorithm_by_root_name("List.sort:loop0")
+        .expect("sort algorithm");
+    let series = profile.invocation_series(sort.id, algoprof::CostMetric::Steps);
+
+    let batch = algoprof_fit::best_fit(&series).expect("batch fit");
+    let mut stream = algoprof_fit::StreamingFit::new();
+    for &(x, y) in &series {
+        stream.push(x, y);
+    }
+    let online = stream.best_fit().expect("streaming fit");
+    assert_eq!(batch.model, online.model);
+    assert!((batch.coeff - online.coeff).abs() < 1e-9);
+}
+
+#[test]
+fn matmul_is_m_to_the_1_5() {
+    // The profiler measures input size in *elements*: a matrix of
+    // dimension n has m ≈ n² elements, and n³ work is m^1.5 — a shape
+    // only the power-law fit can name. This is the paper's point about
+    // automatically measured sizes: the cost function is expressed in the
+    // instrument's units, not the programmer's.
+    let src = algoprof_programs::matmul_program(26, 2);
+    let profile = algoprof::profile_source(&src).expect("profiles");
+    let algo = profile
+        .algorithms_touching("Main.multiply:loop3")
+        .into_iter()
+        .next()
+        .expect("innermost multiply loop");
+    assert!(
+        algo.members.len() >= 3,
+        "the triple nest fuses via the shared result matrix, got {} members",
+        algo.members.len()
+    );
+    let p = profile
+        .fit_invocation_power_law(algo.id)
+        .expect("power-law fit");
+    assert!(
+        (p.exponent - 1.5).abs() < 0.15,
+        "steps ≈ m^1.5 in the element count, got exponent {}",
+        p.exponent
+    );
+}

@@ -1,0 +1,183 @@
+//! Integration tests for the §2.4 equivalence criteria and §3.4 sizing
+//! strategies, exercised end-to-end through the profiler options.
+
+use algoprof::{
+    AlgoProfOptions, AlgorithmicProfile, ArraySizeStrategy, EquivalenceCriterion, SnapshotPolicy,
+};
+use algoprof_vm::InstrumentOptions;
+
+fn profile_with(src: &str, opts: AlgoProfOptions) -> AlgorithmicProfile {
+    algoprof::profile_source_with(src, &InstrumentOptions::default(), opts, &[])
+        .expect("profiles")
+}
+
+/// Two disconnected lists, traversed by the same loop.
+const TWO_LISTS: &str = r#"
+class Main {
+    static int main() {
+        Node a = build(10);
+        Node b = build(20);
+        int s = traverse(a) + traverse(b);
+        return s;
+    }
+    static Node build(int n) {
+        Node head = null;
+        for (int i = 0; i < n; i = i + 1) {
+            Node x = new Node();
+            x.next = head;
+            head = x;
+        }
+        return head;
+    }
+    static int traverse(Node n) {
+        int s = 0;
+        Node cur = n;
+        while (cur != null) { s = s + 1; cur = cur.next; }
+        return s;
+    }
+}
+class Node { Node next; }
+"#;
+
+#[test]
+fn some_elements_keeps_disconnected_lists_apart() {
+    let p = profile_with(TWO_LISTS, AlgoProfOptions::default());
+    let traverse = p
+        .algorithm_by_root_name("Main.traverse:loop0")
+        .expect("traversal loop");
+    assert_eq!(traverse.inputs.len(), 2, "two distinct list inputs");
+}
+
+#[test]
+fn same_type_merges_disconnected_lists() {
+    let p = profile_with(
+        TWO_LISTS,
+        AlgoProfOptions {
+            criterion: EquivalenceCriterion::SameType,
+            ..AlgoProfOptions::default()
+        },
+    );
+    let traverse = p
+        .algorithm_by_root_name("Main.traverse:loop0")
+        .expect("traversal loop");
+    assert_eq!(traverse.inputs.len(), 1, "one merged Node input");
+    let input = p.primary_input(traverse.id).expect("input");
+    assert_eq!(p.registry().input(input).max_size, 20, "max of both lists");
+}
+
+/// An over-allocated array (Listing 4's third case).
+const PARTIAL_ARRAY: &str = r#"
+class Main {
+    static int main() {
+        int[] values = new int[500];
+        int s = 0;
+        for (int i = 0; i < 10; i = i + 1) {
+            values[i] = i * 2 + 1;
+            s = s + values[i];
+        }
+        return s;
+    }
+}
+"#;
+
+#[test]
+fn capacity_vs_unique_element_sizing() {
+    let cap = profile_with(PARTIAL_ARRAY, AlgoProfOptions::default());
+    let uniq = profile_with(
+        PARTIAL_ARRAY,
+        AlgoProfOptions {
+            array_strategy: ArraySizeStrategy::UniqueElements,
+            ..AlgoProfOptions::default()
+        },
+    );
+    let size_of = |p: &AlgorithmicProfile| {
+        let a = p
+            .algorithm_by_root_name("Main.main:loop0")
+            .expect("fill loop");
+        let input = p.primary_input(a.id).expect("array input");
+        p.registry().input(input).max_size
+    };
+    assert_eq!(size_of(&cap), 500, "capacity counts all slots");
+    // Ten written odd values plus the zero in the untouched slots.
+    assert_eq!(size_of(&uniq), 11, "unique elements approximate usage");
+}
+
+#[test]
+fn snapshot_policies_agree_on_results() {
+    // EveryAccess is the slow reference implementation; FirstAndLast must
+    // agree with it on the profile's shape for the running example.
+    let src = algoprof_programs::insertion_sort_program(
+        algoprof_programs::SortWorkload::Random,
+        33,
+        8,
+        1,
+    );
+    let fast = profile_with(&src, AlgoProfOptions::default());
+    let slow = profile_with(
+        &src,
+        AlgoProfOptions {
+            snapshot_policy: SnapshotPolicy::EveryAccess,
+            ..AlgoProfOptions::default()
+        },
+    );
+    assert_eq!(fast.algorithms().len(), slow.algorithms().len());
+    for needle in ["List.sort:loop0", "Main.constructList:loop0"] {
+        let fa = fast.algorithm_by_root_name(needle).expect("fast algo");
+        let sa = slow.algorithm_by_root_name(needle).expect("slow algo");
+        assert_eq!(fa.members.len(), sa.members.len(), "{needle}: same grouping");
+        assert_eq!(
+            fa.total_costs.steps(),
+            sa.total_costs.steps(),
+            "{needle}: identical step counts"
+        );
+        assert_eq!(
+            fast.describe_algorithm(fa.id),
+            slow.describe_algorithm(sa.id),
+            "{needle}: identical classification"
+        );
+    }
+}
+
+#[test]
+fn all_elements_is_stricter_than_some_elements() {
+    // A structure that evolves (append-only list accessed repeatedly):
+    // under AllElements each intermediate snapshot differs, creating more
+    // inputs than SomeElements' single evolving input.
+    let src = r#"
+    class Main {
+        static int main() {
+            Node head = null;
+            for (int i = 0; i < 10; i = i + 1) {
+                Node x = new Node();
+                x.next = head;
+                head = x;
+                int c = count(head);
+            }
+            return 0;
+        }
+        static int count(Node n) {
+            int s = 0;
+            Node cur = n;
+            while (cur != null) { s = s + 1; cur = cur.next; }
+            return s;
+        }
+    }
+    class Node { Node next; }
+    "#;
+    let some = profile_with(src, AlgoProfOptions::default());
+    let all = profile_with(
+        src,
+        AlgoProfOptions {
+            criterion: EquivalenceCriterion::AllElements,
+            ..AlgoProfOptions::default()
+        },
+    );
+    let count_inputs = |p: &AlgorithmicProfile| p.registry().inputs().len();
+    assert!(
+        count_inputs(&all) > count_inputs(&some),
+        "AllElements ({}) must fragment more than SomeElements ({})",
+        count_inputs(&all),
+        count_inputs(&some)
+    );
+    assert_eq!(count_inputs(&some), 1, "SomeElements tracks one evolving list");
+}

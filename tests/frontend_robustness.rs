@@ -1,0 +1,83 @@
+//! Property test: the front end never panics — arbitrary byte soup
+//! produces `Err`, never a crash — and diagnostics carry positions.
+
+use proptest::prelude::*;
+
+use algoprof_vm::compile;
+use algoprof_vm::lexer::lex;
+use algoprof_vm::parser::parse;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_never_panics(input in ".{0,200}") {
+        let _ = lex(&input);
+    }
+
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    #[test]
+    fn compiler_never_panics_on_token_soup(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("class"), Just("static"), Just("int"), Just("return"),
+                Just("Main"), Just("main"), Just("{"), Just("}"), Just("("),
+                Just(")"), Just(";"), Just("="), Just("+"), Just("x"),
+                Just("if"), Just("while"), Just("for"), Just("new"),
+                Just("["), Just("]"), Just("<"), Just(">"), Just("1"),
+                Just("null"), Just("this"), Just(","), Just("."),
+            ],
+            0..60
+        )
+    ) {
+        let src = tokens.join(" ");
+        let _ = compile(&src);
+    }
+
+    #[test]
+    fn near_valid_programs_get_positioned_diagnostics(
+        garbage in prop_oneof![Just(";"), Just("}"), Just("return"), Just("int int"), Just("(")],
+        line in 0usize..3,
+    ) {
+        // Inject garbage into an otherwise valid program; the error (if
+        // any) must carry a plausible line number.
+        let mut lines: Vec<String> = vec![
+            "class Main {".into(),
+            "    static int main() { return 1; }".into(),
+            "}".into(),
+        ];
+        lines.insert(line + 1, garbage.to_string());
+        let src = lines.join("\n");
+        if let Err(e) = compile(&src) {
+            if let Some(span) = e.span {
+                prop_assert!(span.line >= 1);
+                prop_assert!((span.line as usize) <= lines.len() + 1);
+            }
+        }
+    }
+}
+
+#[test]
+fn error_messages_are_lowercase_and_positioned() {
+    let cases = [
+        "class Main { static int main() { return x; } }",
+        "class Main { static int main() { return 1 } }",
+        "class Main { static int main() { break; } }",
+        "class A {} class A {} class Main { static int main() { return 0; } }",
+        "class Main { static int main() { return new Nope(); } }",
+    ];
+    for src in cases {
+        let e = compile(src).expect_err("must fail");
+        let first = e.message.chars().next().expect("nonempty message");
+        assert!(
+            first.is_lowercase() || !first.is_alphabetic(),
+            "message should start lowercase: {}",
+            e.message
+        );
+        assert!(e.span.is_some(), "diagnostic has a position: {e}");
+    }
+}

@@ -1,0 +1,86 @@
+//! Integration tests for the small illustrative listings (3, 4, 5).
+
+use algoprof::{AlgorithmicProfile, InputKind};
+use algoprof_programs::{LISTING3, LISTING4, LISTING5};
+
+fn profile(src: &str) -> AlgorithmicProfile {
+    algoprof::profile_source(src).expect("profiles")
+}
+
+#[test]
+fn listing3_combined_cost_is_six_steps() {
+    // Paper §2.6: 3 outer iterations + (0+1+2) inner = 6 algorithmic
+    // steps when the nest is combined. The two loops are data-structure-
+    // less so they are NOT grouped; verify the arithmetic by summing.
+    let p = profile(LISTING3);
+    let outer = p
+        .algorithm_by_root_name("Main.main:loop0")
+        .expect("outer loop");
+    let inner = p
+        .algorithm_by_root_name("Main.main:loop1")
+        .expect("inner loop");
+    let total = outer.total_costs.steps() + inner.total_costs.steps();
+    assert_eq!(outer.total_costs.steps(), 3);
+    assert_eq!(inner.total_costs.steps(), 3);
+    assert_eq!(total, 6, "3 + (0+1+2) = 6 algorithmic steps");
+}
+
+#[test]
+fn listing4_loop_construction_measures_full_size_at_exit() {
+    // First PUTFIELD sees a structure of size 1; the exit re-measurement
+    // must report the completed 25-node list.
+    let p = profile(LISTING4);
+    let algo = p
+        .algorithm_by_root_name("Main.constructListWithLoop:loop0")
+        .expect("loop construction");
+    let input = p.primary_input(algo.id).expect("input detected");
+    assert_eq!(p.registry().input(input).max_size, 25);
+    let obs = &algo.points[0];
+    assert_eq!(obs.input_sizes.get(&input), Some(&25));
+}
+
+#[test]
+fn listing4_recursive_construction_measures_full_size() {
+    let p = profile(LISTING4);
+    let algo = p
+        .algorithm_by_root_name("Main.constructListWithRecursion")
+        .expect("recursive construction");
+    let input = p.primary_input(algo.id).expect("input detected");
+    assert_eq!(p.registry().input(input).max_size, 25);
+    // 25 recursive calls beyond the first = 25 steps (size-0 base case
+    // included).
+    assert_eq!(algo.total_costs.steps(), 25);
+}
+
+#[test]
+fn listing4_partially_used_array_sizes() {
+    // Capacity strategy reports 1000; the used fraction is 10 distinct
+    // values. With the default capacity strategy the input's size is the
+    // allocation size.
+    let p = profile(LISTING4);
+    let algo = p
+        .algorithm_by_root_name("Main.constructPartiallyUsedArray:loop0")
+        .expect("array fill loop");
+    let input = p.primary_input(algo.id).expect("array input");
+    assert!(matches!(
+        p.registry().input(input).kind,
+        InputKind::Array(_)
+    ));
+    assert_eq!(p.registry().input(input).max_size, 1000);
+}
+
+#[test]
+fn listing5_nest_is_not_grouped() {
+    // The outer loop performs no array access, so AlgoProf splits the
+    // nest into two algorithms (paper §4.1's acknowledged limitation).
+    let p = profile(LISTING5);
+    let outer = p
+        .algorithm_by_root_name("Main.main:loop0")
+        .expect("outer loop");
+    let inner = p
+        .algorithm_by_root_name("Main.main:loop1")
+        .expect("inner loop");
+    assert_ne!(outer.id, inner.id, "the nest must NOT be fused");
+    assert!(p.is_data_structure_less(outer.id));
+    assert!(!p.is_data_structure_less(inner.id));
+}

@@ -1,0 +1,68 @@
+//! Integration test: merging data points across multiple program runs
+//! (the paper's "set of representative program executions").
+
+use algoprof::{merge_series, AlgorithmicProfile, CostMetric};
+use algoprof_fit::Model;
+use algoprof_programs::{insertion_sort_program, SortWorkload};
+
+/// Each run sweeps a different size band; only together do they cover
+/// enough range for a confident fit.
+fn run_band(lo: usize, hi: usize) -> AlgorithmicProfile {
+    // The harness sweeps `size = 0; size < max; size += step`; emulate a
+    // band by choosing step so the band [lo, hi) is covered.
+    let src = insertion_sort_program(SortWorkload::Reversed, hi, lo.max(8), 1);
+    algoprof::profile_source(&src).expect("profiles")
+}
+
+#[test]
+fn merged_series_spans_all_runs() {
+    let run1 = run_band(8, 41);
+    let run2 = run_band(16, 81);
+    let profiles = [&run1, &run2];
+    let merged = merge_series(&profiles, "List.sort:loop0", CostMetric::Steps);
+
+    let s1 = run1
+        .algorithm_by_root_name("List.sort:loop0")
+        .map(|a| run1.invocation_series(a.id, CostMetric::Steps).len())
+        .unwrap_or(0);
+    let s2 = run2
+        .algorithm_by_root_name("List.sort:loop0")
+        .map(|a| run2.invocation_series(a.id, CostMetric::Steps).len())
+        .unwrap_or(0);
+    assert_eq!(merged.len(), s1 + s2);
+    // Sorted by size.
+    for w in merged.windows(2) {
+        assert!(w[0].0 <= w[1].0);
+    }
+}
+
+#[test]
+fn merged_fit_recovers_the_model() {
+    let run1 = run_band(8, 41);
+    let run2 = run_band(16, 81);
+    let merged = merge_series(&[&run1, &run2], "List.sort:loop0", CostMetric::Steps);
+    let fit = algoprof_fit::best_fit(&merged).expect("fits");
+    assert_eq!(fit.model, Model::Quadratic);
+    assert!((fit.coeff - 0.5).abs() < 0.1, "got {}", fit.coeff);
+}
+
+#[test]
+fn profiles_report_their_memory_footprint() {
+    let profile = run_band(8, 41);
+    let stats = profile.stats();
+    assert_eq!(stats.nodes, 6, "root + five loops");
+    assert!(stats.invocations > 0);
+    assert!(stats.cost_entries >= stats.invocations / 2);
+    assert!(stats.observations > 0);
+    assert!(stats.inputs > 0);
+    // The history grows with the workload — the §3.3 memory concern.
+    let bigger = run_band(8, 81);
+    assert!(bigger.stats().invocations > stats.invocations);
+}
+
+#[test]
+fn merge_series_is_empty_for_unknown_algorithms() {
+    let run1 = run_band(8, 41);
+    let merged = merge_series(&[&run1], "NoSuch.algorithm", CostMetric::Steps);
+    assert!(merged.is_empty());
+}

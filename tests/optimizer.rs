@@ -1,0 +1,90 @@
+//! Integration test: the constant-folding pass is semantics-preserving
+//! across the entire guest corpus, and optimized programs produce the
+//! same algorithmic profiles.
+
+use algoprof_programs::{
+    bubble_sort_program, catalog_program, insertion_sort_program, merge_sort_program,
+    table1_programs, SortWorkload, LISTING3, LISTING4, LISTING5,
+};
+use algoprof_vm::{
+    compile, compile_with_options, verify, CompileOptions, InstrumentOptions, Interp,
+    NoopProfiler,
+};
+
+fn corpus() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = vec![
+        ("listing 3".into(), LISTING3.into()),
+        ("listing 4".into(), LISTING4.into()),
+        ("listing 5".into(), LISTING5.into()),
+        (
+            "insertion sort".into(),
+            insertion_sort_program(SortWorkload::Random, 31, 10, 1),
+        ),
+        ("merge sort".into(), merge_sort_program(33, 8, 1)),
+        ("bubble sort".into(), bubble_sort_program(33, 8, 1)),
+        ("catalog".into(), catalog_program(33, 8, 3)),
+    ];
+    for p in table1_programs().into_iter().take(6) {
+        out.push((p.name.into(), p.source));
+    }
+    out
+}
+
+#[test]
+fn optimized_corpus_behaves_identically() {
+    let options = CompileOptions {
+        fold_constants: true,
+    };
+    for (name, src) in corpus() {
+        let plain = compile(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let (optimized, _stats) =
+            compile_with_options(&src, &options).unwrap_or_else(|e| panic!("{name}: {e}"));
+        verify(&optimized).unwrap_or_else(|e| panic!("{name} (optimized): {e}"));
+
+        let a = Interp::new(&plain)
+            .with_fuel(100_000_000)
+            .run(&mut NoopProfiler)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let b = Interp::new(&optimized)
+            .with_fuel(100_000_000)
+            .run(&mut NoopProfiler)
+            .unwrap_or_else(|e| panic!("{name} (optimized): {e}"));
+        assert_eq!(a.return_value, b.return_value, "{name}");
+        assert_eq!(a.output, b.output, "{name}");
+        assert!(
+            b.instructions <= a.instructions,
+            "{name}: optimization must not add instructions ({} -> {})",
+            a.instructions,
+            b.instructions
+        );
+    }
+}
+
+#[test]
+fn optimized_profiles_count_the_same_steps() {
+    let options = CompileOptions {
+        fold_constants: true,
+    };
+    let src = insertion_sort_program(SortWorkload::Reversed, 41, 10, 1);
+    let plain = compile(&src)
+        .expect("compiles")
+        .instrument(&InstrumentOptions::default());
+    let (optimized, _) = compile_with_options(&src, &options).expect("compiles");
+    let optimized = optimized.instrument(&InstrumentOptions::default());
+
+    let profile_of = |program: &algoprof_vm::CompiledProgram| {
+        let mut prof = algoprof::AlgoProf::new();
+        Interp::new(program).run(&mut prof).expect("runs");
+        prof.finish(program)
+    };
+    let p1 = profile_of(&plain);
+    let p2 = profile_of(&optimized);
+    assert_eq!(p1.algorithms().len(), p2.algorithms().len());
+    let a1 = p1.algorithm_by_root_name("List.sort:loop0").expect("sort");
+    let a2 = p2.algorithm_by_root_name("List.sort:loop0").expect("sort");
+    assert_eq!(
+        a1.total_costs.steps(),
+        a2.total_costs.steps(),
+        "algorithmic steps are implementation-cost independent"
+    );
+}

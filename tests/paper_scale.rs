@@ -1,0 +1,37 @@
+//! Full paper-scale replication, ignored by default (several minutes in
+//! debug builds). Run with:
+//!
+//! ```sh
+//! cargo test --release --test paper_scale -- --ignored
+//! ```
+//!
+//! The paper's harness (Listing 2) sweeps list lengths 0..999 with 10
+//! repetitions each. We use the full range with a coarser step (the
+//! number of data points, not their density, determines fit quality).
+
+use algoprof_fit::Model;
+use algoprof_programs::{insertion_sort_program, SortWorkload};
+
+#[test]
+#[ignore = "paper-scale sweep; minutes of runtime — run explicitly"]
+fn full_scale_figure1_reproduction() {
+    for (workload, expected_model, expected_coeff, tol) in [
+        (SortWorkload::Random, Model::Quadratic, 0.25, 0.03),
+        (SortWorkload::Sorted, Model::Linear, 1.0, 0.01),
+        (SortWorkload::Reversed, Model::Quadratic, 0.5, 0.01),
+    ] {
+        let src = insertion_sort_program(workload, 1000, 37, 2);
+        let profile = algoprof::profile_source(&src).expect("profiles");
+        let sort = profile
+            .algorithm_by_root_name("List.sort:loop0")
+            .expect("sort algorithm");
+        let fit = profile.fit_invocation_steps(sort.id).expect("fits");
+        assert_eq!(fit.model, expected_model, "{workload}: {fit}");
+        assert!(
+            (fit.coeff - expected_coeff).abs() < tol,
+            "{workload}: coefficient {} (expected {expected_coeff} ± {tol})",
+            fit.coeff
+        );
+        assert!(fit.r2 > 0.995, "{workload}: R² = {}", fit.r2);
+    }
+}

@@ -1,0 +1,100 @@
+//! Integration test: the pretty-printer round-trips the entire guest
+//! corpus — parse → print → parse yields the same AST (modulo spans),
+//! and the reprinted program still compiles, runs, and computes the same
+//! result.
+
+use algoprof_programs::{
+    array_list_program, binary_search_program, bubble_sort_program, functional_sort_program,
+    insertion_sort_program, merge_sort_program, table1_programs, GrowthPolicy, SortWorkload,
+    LISTING3, LISTING4, LISTING5,
+};
+use algoprof_vm::parser::parse;
+use algoprof_vm::pretty::print_program;
+use algoprof_vm::{compile, Interp, NoopProfiler};
+
+fn corpus() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = vec![
+        ("listing 3".into(), LISTING3.into()),
+        ("listing 4".into(), LISTING4.into()),
+        ("listing 5".into(), LISTING5.into()),
+        (
+            "insertion sort".into(),
+            insertion_sort_program(SortWorkload::Random, 31, 10, 1),
+        ),
+        (
+            "functional sort".into(),
+            functional_sort_program(SortWorkload::Sorted, 31, 10, 1),
+        ),
+        (
+            "array list".into(),
+            array_list_program(GrowthPolicy::Doubling, 33, 8, 1),
+        ),
+        ("binary search".into(), binary_search_program(64, 3)),
+        ("merge sort".into(), merge_sort_program(33, 8, 1)),
+        ("bubble sort".into(), bubble_sort_program(33, 8, 1)),
+    ];
+    for p in table1_programs() {
+        out.push((p.name.into(), p.source));
+    }
+    out
+}
+
+/// Debug dump with spans erased, for structural comparison.
+fn shape(src: &str) -> String {
+    let ast = parse(src).expect("parses");
+    let text = format!("{ast:?}");
+    let mut out = String::new();
+    let mut rest = text.as_str();
+    while let Some(pos) = rest.find("Span {") {
+        out.push_str(&rest[..pos]);
+        out.push_str("Span");
+        match rest[pos..].find('}') {
+            Some(end) => rest = &rest[pos + end + 1..],
+            None => rest = "",
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+#[test]
+fn corpus_roundtrips_structurally() {
+    for (name, src) in corpus() {
+        let printed = print_program(&parse(&src).unwrap_or_else(|e| panic!("{name}: {e}")));
+        let reparsed_shape = shape(&printed);
+        assert_eq!(
+            shape(&src),
+            reparsed_shape,
+            "{name}: printed program has a different AST\n{printed}"
+        );
+    }
+}
+
+#[test]
+fn reprinted_corpus_computes_identical_results() {
+    for (name, src) in corpus() {
+        let printed = print_program(&parse(&src).unwrap_or_else(|e| panic!("{name}: {e}")));
+        let original = compile(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let reprinted =
+            compile(&printed).unwrap_or_else(|e| panic!("{name} (printed): {e}\n{printed}"));
+        let a = Interp::new(&original)
+            .with_fuel(100_000_000)
+            .run(&mut NoopProfiler)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let b = Interp::new(&reprinted)
+            .with_fuel(100_000_000)
+            .run(&mut NoopProfiler)
+            .unwrap_or_else(|e| panic!("{name} (printed): {e}"));
+        assert_eq!(a.return_value, b.return_value, "{name}");
+        assert_eq!(a.output, b.output, "{name}");
+    }
+}
+
+#[test]
+fn printing_is_idempotent() {
+    for (name, src) in corpus() {
+        let once = print_program(&parse(&src).expect("parses"));
+        let twice = print_program(&parse(&once).unwrap_or_else(|e| panic!("{name}: {e}")));
+        assert_eq!(once, twice, "{name}: printing must be a fixed point");
+    }
+}

@@ -1,0 +1,217 @@
+//! Property-based tests spanning the VM and the profiler.
+
+use proptest::prelude::*;
+
+use algoprof_vm::{compile, InstrumentOptions, Interp, NoopProfiler};
+
+// ---------------------------------------------------------------------
+// Guest arithmetic agrees with host arithmetic.
+// ---------------------------------------------------------------------
+
+/// A small expression AST we can both render to jay and evaluate in Rust.
+#[derive(Debug, Clone)]
+enum Expr {
+    Lit(i32),
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    fn render(&self) -> String {
+        match self {
+            Expr::Lit(v) => {
+                if *v < 0 {
+                    format!("(0 - {})", -(*v as i64))
+                } else {
+                    v.to_string()
+                }
+            }
+            Expr::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            Expr::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            Expr::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+        }
+    }
+
+    fn eval(&self) -> i64 {
+        match self {
+            Expr::Lit(v) => *v as i64,
+            Expr::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            Expr::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            Expr::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+        }
+    }
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let leaf = (-1000i32..1000).prop_map(Expr::Lit);
+    leaf.prop_recursive(4, 32, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn guest_arithmetic_matches_host(expr in arb_expr()) {
+        let src = format!(
+            "class Main {{ static int main() {{ return {}; }} }}",
+            expr.render()
+        );
+        let program = compile(&src).expect("compiles");
+        let result = Interp::new(&program)
+            .run(&mut NoopProfiler)
+            .expect("runs");
+        prop_assert_eq!(result.return_value.as_int(), Some(expr.eval()));
+    }
+
+    #[test]
+    fn instrumentation_preserves_results(expr in arb_expr(), n in 0usize..20) {
+        // Wrap the expression in a loop so instrumentation has something
+        // to rewrite; the instrumented program must compute the same
+        // value.
+        let src = format!(
+            "class Main {{ static int main() {{
+                int s = 0;
+                for (int i = 0; i < {n}; i = i + 1) {{ s = s + {}; }}
+                return s;
+             }} }}",
+            expr.render()
+        );
+        let plain = compile(&src).expect("compiles");
+        let inst = plain.instrument(&InstrumentOptions::default());
+        let a = Interp::new(&plain).run(&mut NoopProfiler).expect("plain runs");
+        let b = Interp::new(&inst).run(&mut NoopProfiler).expect("instrumented runs");
+        prop_assert_eq!(a.return_value, b.return_value);
+    }
+
+    #[test]
+    fn loop_events_balance_for_arbitrary_bounds(
+        outer in 0usize..8,
+        inner in 0usize..8,
+        brk in proptest::option::of(0usize..8),
+    ) {
+        // A nest with an optional break: entries always equal exits, and
+        // the profiler's step count equals the executed back edges.
+        let break_stmt = match brk {
+            Some(b) => format!("if (j == {b}) {{ break; }}"),
+            None => String::new(),
+        };
+        let src = format!(
+            "class Main {{ static int main() {{
+                int s = 0;
+                for (int i = 0; i < {outer}; i = i + 1) {{
+                    for (int j = 0; j < {inner}; j = j + 1) {{
+                        {break_stmt}
+                        s = s + 1;
+                    }}
+                }}
+                return s;
+             }} }}"
+        );
+        let program = compile(&src)
+            .expect("compiles")
+            .instrument(&InstrumentOptions::default());
+
+        #[derive(Default)]
+        struct Balance { entries: i64, exits: i64, backs: u64 }
+        impl algoprof_vm::ProfilerHooks for Balance {
+            fn on_loop_entry(&mut self, _: algoprof_vm::LoopId, _: &algoprof_vm::CompiledProgram, _: &algoprof_vm::Heap) {
+                self.entries += 1;
+            }
+            fn on_loop_exit(&mut self, _: algoprof_vm::LoopId, _: &algoprof_vm::CompiledProgram, _: &algoprof_vm::Heap) {
+                self.exits += 1;
+            }
+            fn on_loop_back_edge(&mut self, _: algoprof_vm::LoopId, _: &algoprof_vm::CompiledProgram, _: &algoprof_vm::Heap) {
+                self.backs += 1;
+            }
+        }
+        let mut balance = Balance::default();
+        let result = Interp::new(&program).run(&mut balance).expect("runs");
+        prop_assert_eq!(balance.entries, balance.exits, "every entry has an exit");
+        // Every completed inner iteration (with or without a break cutting
+        // the pass short) contributes one `s = s + 1` and one back edge,
+        // so inner back edges equal the returned sum exactly.
+        let s = result.return_value.as_int().expect("int") as u64;
+        let outer_backs = outer as u64;
+        prop_assert_eq!(balance.backs, s + outer_backs);
+    }
+
+    #[test]
+    fn profiler_step_counts_match_iterations(n in 1usize..40) {
+        let src = format!(
+            "class Main {{ static int main() {{
+                int s = 0;
+                for (int i = 0; i < {n}; i = i + 1) {{ s = s + i; }}
+                return s;
+             }} }}"
+        );
+        let profile = algoprof::profile_source(&src).expect("profiles");
+        let algo = profile
+            .algorithm_by_root_name("Main.main:loop0")
+            .expect("loop algorithm");
+        prop_assert_eq!(algo.total_costs.steps(), n as u64);
+    }
+
+    #[test]
+    fn construction_size_equals_node_count(n in 1usize..60) {
+        let src = format!(
+            "class Main {{ static int main() {{
+                Node head = null;
+                for (int i = 0; i < {n}; i = i + 1) {{
+                    Node x = new Node();
+                    x.next = head;
+                    head = x;
+                }}
+                return 0;
+             }} }}
+             class Node {{ Node next; }}"
+        );
+        let profile = algoprof::profile_source(&src).expect("profiles");
+        let algo = profile
+            .algorithm_by_root_name("Main.main:loop0")
+            .expect("construction");
+        let input = profile.primary_input(algo.id).expect("input");
+        prop_assert_eq!(profile.registry().input(input).max_size, n);
+        prop_assert_eq!(algo.total_costs.creations(), n as u64);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fitting recovers planted models under noise.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fit_recovers_planted_quadratic(coeff in 0.05f64..4.0, noise in 0u64..5) {
+        let pts: Vec<(f64, f64)> = (1..120)
+            .map(|n| {
+                let nf = n as f64;
+                let jitter = ((n * 2654435761usize) % 1000) as f64 / 1000.0 - 0.5;
+                (nf, coeff * nf * nf * (1.0 + jitter * noise as f64 / 100.0))
+            })
+            .collect();
+        let fit = algoprof_fit::best_fit(&pts).expect("fits");
+        prop_assert_eq!(fit.model, algoprof_fit::Model::Quadratic);
+        prop_assert!((fit.coeff - coeff).abs() / coeff < 0.1);
+    }
+
+    #[test]
+    fn power_law_exponent_within_tolerance(exp in 0.5f64..3.0, coeff in 0.1f64..10.0) {
+        let pts: Vec<(f64, f64)> = (1..100)
+            .map(|n| (n as f64, coeff * (n as f64).powf(exp)))
+            .collect();
+        let p = algoprof_fit::fit_power_law(&pts).expect("fits");
+        prop_assert!((p.exponent - exp).abs() < 1e-6);
+        prop_assert!((p.coeff - coeff).abs() / coeff < 1e-6);
+    }
+}

@@ -1,0 +1,193 @@
+//! Property test: randomly generated structured guest programs run
+//! identically with and without instrumentation, pass the bytecode
+//! verifier, survive the pretty-printer round trip, and profile without
+//! errors.
+
+use proptest::prelude::*;
+
+use algoprof_vm::parser::parse;
+use algoprof_vm::pretty::print_program;
+use algoprof_vm::{compile, verify, InstrumentOptions, Interp, NoopProfiler};
+
+/// A bounded statement language whose programs always terminate.
+#[derive(Debug, Clone)]
+enum GenStmt {
+    /// `s = s <op> k;`
+    Update(Op, i32),
+    /// `if (s % 2 == 0) { ... } else { ... }`
+    IfEven(Vec<GenStmt>, Vec<GenStmt>),
+    /// `for (int iN = 0; iN < k; iN = iN + 1) { ... }` with optional
+    /// break/continue at the top.
+    For(u8, Option<Escape>, Vec<GenStmt>),
+    /// Append to the global linked list.
+    PushNode,
+    /// Walk the global linked list, adding values into `s`.
+    SumList,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Add,
+    Sub,
+    Mul,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Escape {
+    Break(u8),
+    Continue(u8),
+}
+
+fn arb_stmt() -> impl Strategy<Value = GenStmt> {
+    let leaf = prop_oneof![
+        (prop_oneof![Just(Op::Add), Just(Op::Sub), Just(Op::Mul)], -9i32..9)
+            .prop_map(|(op, k)| GenStmt::Update(op, k)),
+        Just(GenStmt::PushNode),
+        Just(GenStmt::SumList),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                proptest::collection::vec(inner.clone(), 0..4),
+                proptest::collection::vec(inner.clone(), 0..4)
+            )
+                .prop_map(|(t, e)| GenStmt::IfEven(t, e)),
+            (
+                1u8..5,
+                proptest::option::of(prop_oneof![
+                    (0u8..5).prop_map(Escape::Break),
+                    (0u8..5).prop_map(Escape::Continue),
+                ]),
+                proptest::collection::vec(inner, 0..4)
+            )
+                .prop_map(|(k, esc, body)| GenStmt::For(k, esc, body)),
+        ]
+    })
+}
+
+fn render(stmts: &[GenStmt], depth: usize, counter: &mut usize, out: &mut String) {
+    let pad = "    ".repeat(depth + 2);
+    for s in stmts {
+        match s {
+            GenStmt::Update(op, k) => {
+                let sym = match op {
+                    Op::Add => "+",
+                    Op::Sub => "-",
+                    Op::Mul => "*",
+                };
+                let k = if *k < 0 {
+                    format!("(0 - {})", -k)
+                } else {
+                    k.to_string()
+                };
+                out.push_str(&format!("{pad}s = s {sym} {k};\n"));
+            }
+            GenStmt::IfEven(t, e) => {
+                out.push_str(&format!("{pad}if (s % 2 == 0) {{\n"));
+                render(t, depth + 1, counter, out);
+                out.push_str(&format!("{pad}}} else {{\n"));
+                render(e, depth + 1, counter, out);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            GenStmt::For(k, esc, body) => {
+                let v = format!("i{}", *counter);
+                *counter += 1;
+                out.push_str(&format!(
+                    "{pad}for (int {v} = 0; {v} < {k}; {v} = {v} + 1) {{\n"
+                ));
+                if let Some(esc) = esc {
+                    let (at, kw) = match esc {
+                        Escape::Break(at) => (at, "break"),
+                        Escape::Continue(at) => (at, "continue"),
+                    };
+                    out.push_str(&format!(
+                        "{pad}    if ({v} == {at}) {{ {kw}; }}\n"
+                    ));
+                }
+                render(body, depth + 1, counter, out);
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            GenStmt::PushNode => {
+                let v = format!("g{}", *counter);
+                *counter += 1;
+                out.push_str(&format!(
+                    "{pad}GNode {v} = new GNode();\n{pad}{v}.value = s;\n{pad}{v}.next = list;\n{pad}list = {v};\n"
+                ));
+            }
+            GenStmt::SumList => {
+                let v = format!("c{}", *counter);
+                *counter += 1;
+                out.push_str(&format!(
+                    "{pad}GNode {v} = list;\n{pad}while ({v} != null) {{ s = s + {v}.value; {v} = {v}.next; }}\n"
+                ));
+            }
+        }
+    }
+}
+
+fn program_for(stmts: &[GenStmt]) -> String {
+    let mut body = String::new();
+    let mut counter = 0usize;
+    render(stmts, 0, &mut counter, &mut body);
+    format!(
+        r#"class Main {{
+    static int main() {{
+        int s = 1;
+        GNode list = null;
+{body}
+        return s;
+    }}
+}}
+class GNode {{ GNode next; int value; }}"#
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn pipeline_invariants_hold(stmts in proptest::collection::vec(arb_stmt(), 1..6)) {
+        let src = program_for(&stmts);
+        let plain = compile(&src).expect("generated program compiles");
+        verify(&plain).expect("plain verifies");
+
+        let inst = plain.instrument(&InstrumentOptions::default());
+        verify(&inst).expect("instrumented verifies");
+
+        let a = Interp::new(&plain)
+            .with_fuel(10_000_000)
+            .run(&mut NoopProfiler)
+            .expect("plain runs");
+        let b = Interp::new(&inst)
+            .with_fuel(50_000_000)
+            .run(&mut NoopProfiler)
+            .expect("instrumented runs");
+        prop_assert_eq!(a.return_value, b.return_value);
+
+        // The profiler completes and the profile is internally consistent.
+        let mut prof = algoprof::AlgoProf::new();
+        Interp::new(&inst)
+            .with_fuel(50_000_000)
+            .run(&mut prof)
+            .expect("profiled run");
+        let profile = prof.finish(&inst);
+        let stats = profile.stats();
+        prop_assert!(stats.nodes >= 1);
+        for algo in profile.algorithms() {
+            // Members belong to the tree and the root is a member.
+            prop_assert!(algo.members.contains(&algo.root));
+            for &m in &algo.members {
+                prop_assert!(m.index() < profile.tree().len());
+            }
+        }
+
+        // Pretty-printer round trip preserves behaviour.
+        let printed = print_program(&parse(&src).expect("parses"));
+        let reprinted = compile(&printed).expect("printed program compiles");
+        let c = Interp::new(&reprinted)
+            .with_fuel(10_000_000)
+            .run(&mut NoopProfiler)
+            .expect("printed program runs");
+        prop_assert_eq!(a.return_value, c.return_value);
+    }
+}

@@ -1,0 +1,142 @@
+//! Integration test: the paper's running example end-to-end
+//! (Figures 1 and 3).
+
+use algoprof::{AlgorithmicProfile, CostMetric};
+use algoprof_fit::Model;
+use algoprof_programs::{insertion_sort_program, SortWorkload};
+
+fn profile(workload: SortWorkload) -> AlgorithmicProfile {
+    let src = insertion_sort_program(workload, 81, 10, 2);
+    algoprof::profile_source(&src).expect("running example profiles")
+}
+
+#[test]
+fn figure1a_random_input_is_quarter_n_squared() {
+    let profile = profile(SortWorkload::Random);
+    let algo = profile
+        .algorithm_by_root_name("List.sort:loop0")
+        .expect("sort algorithm");
+    let fit = profile.fit_invocation_steps(algo.id).expect("fits");
+    assert_eq!(fit.model, Model::Quadratic, "random input sorts in Θ(n²)");
+    assert!(
+        (fit.coeff - 0.25).abs() < 0.08,
+        "coefficient ≈ 0.25, got {}",
+        fit.coeff
+    );
+}
+
+#[test]
+fn figure1b_sorted_input_is_linear() {
+    let profile = profile(SortWorkload::Sorted);
+    let algo = profile
+        .algorithm_by_root_name("List.sort:loop0")
+        .expect("sort algorithm");
+    let fit = profile.fit_invocation_steps(algo.id).expect("fits");
+    assert_eq!(fit.model, Model::Linear, "sorted input sorts in Θ(n)");
+    assert!((fit.coeff - 1.0).abs() < 0.05, "steps = n, got {}", fit.coeff);
+}
+
+#[test]
+fn figure1c_reversed_input_is_half_n_squared() {
+    let profile = profile(SortWorkload::Reversed);
+    let algo = profile
+        .algorithm_by_root_name("List.sort:loop0")
+        .expect("sort algorithm");
+    let fit = profile.fit_invocation_steps(algo.id).expect("fits");
+    assert_eq!(fit.model, Model::Quadratic);
+    assert!(
+        (fit.coeff - 0.5).abs() < 0.05,
+        "coefficient ≈ 0.5, got {}",
+        fit.coeff
+    );
+}
+
+#[test]
+fn figure3_tree_shape_and_algorithms() {
+    let profile = profile(SortWorkload::Random);
+
+    // Five loops (Figure 3): two in measure, one in constructList, two in
+    // sort. Nodes: root + 5.
+    assert_eq!(profile.tree().len(), 6, "five loop nodes plus the root");
+
+    // The sort nest is one algorithm of two loops.
+    let sort = profile
+        .algorithm_by_root_name("List.sort:loop0")
+        .expect("sort algorithm");
+    assert_eq!(sort.members.len(), 2, "outer+inner sort loops fused");
+
+    // Classifications match the figure's gray boxes.
+    assert_eq!(
+        profile.describe_algorithm(sort.id),
+        "Modification of a Node-based recursive structure"
+    );
+    let construct = profile
+        .algorithm_by_root_name("Main.constructList:loop0")
+        .expect("construct algorithm");
+    assert_eq!(
+        profile.describe_algorithm(construct.id),
+        "Construction of a Node-based recursive structure"
+    );
+    for needle in ["Main.measure:loop0", "Main.measure:loop1"] {
+        let a = profile.algorithm_by_root_name(needle).expect("measure loop");
+        assert!(
+            profile.is_data_structure_less(a.id),
+            "{needle} must be data-structure-less"
+        );
+    }
+}
+
+#[test]
+fn construct_and_sort_share_the_same_inputs() {
+    let profile = profile(SortWorkload::Random);
+    let construct = profile
+        .algorithm_by_root_name("Main.constructList:loop0")
+        .expect("construct");
+    let sort = profile
+        .algorithm_by_root_name("List.sort:loop0")
+        .expect("sort");
+    assert_eq!(
+        construct.inputs, sort.inputs,
+        "both operate on the same lists"
+    );
+}
+
+#[test]
+fn construction_is_linear_in_list_length() {
+    let profile = profile(SortWorkload::Random);
+    let construct = profile
+        .algorithm_by_root_name("Main.constructList:loop0")
+        .expect("construct");
+    let fit = profile.fit_invocation_steps(construct.id).expect("fits");
+    assert_eq!(fit.model, Model::Linear);
+    // Creations equal the list length too.
+    let creations = profile.invocation_series(construct.id, CostMetric::Creations);
+    for (size, created) in creations {
+        assert_eq!(size, created, "one Node created per element");
+    }
+}
+
+#[test]
+fn sort_reads_and_writes_the_structure() {
+    let profile = profile(SortWorkload::Random);
+    let sort = profile
+        .algorithm_by_root_name("List.sort:loop0")
+        .expect("sort");
+    assert!(sort.total_costs.total_reads() > 0);
+    assert!(sort.total_costs.total_writes() > 0);
+    assert_eq!(sort.total_costs.creations(), 0, "sort allocates nothing");
+}
+
+#[test]
+fn power_law_exponent_is_about_two() {
+    let profile = profile(SortWorkload::Reversed);
+    let sort = profile
+        .algorithm_by_root_name("List.sort:loop0")
+        .expect("sort");
+    let p = profile.fit_invocation_power_law(sort.id).expect("fits");
+    assert!(
+        (p.exponent - 2.0).abs() < 0.15,
+        "empirical order ≈ 2, got {}",
+        p.exponent
+    );
+}

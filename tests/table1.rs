@@ -1,0 +1,82 @@
+//! Integration test: all 18 Table-1 rows reproduce the paper's I/S/G
+//! columns.
+
+use algoprof_programs::{table1_programs, Grouping};
+
+#[test]
+fn all_rows_match_the_paper() {
+    let mut failures = Vec::new();
+    for p in table1_programs() {
+        let profile = match p.profile() {
+            Ok(prof) => prof,
+            Err(e) => {
+                failures.push(format!("{}: failed to profile: {e}", p.name));
+                continue;
+            }
+        };
+        let o = p.evaluate(&profile);
+        if !o.inputs_detected {
+            failures.push(format!("{}: inputs not detected", p.name));
+        }
+        if !o.size_correct {
+            failures.push(format!(
+                "{}: size {} outside {:?}",
+                p.name, o.measured_size, p.expected_size
+            ));
+        }
+        if !o.grouping_matches_paper {
+            failures.push(format!(
+                "{}: grouping observed={} expected={}",
+                p.name,
+                o.observed_grouped,
+                p.expected_grouping.mark()
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "Table-1 mismatches:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn the_two_ungrouped_rows_are_the_2d_arrays() {
+    let ungrouped: Vec<&str> = table1_programs()
+        .iter()
+        .filter(|p| p.expected_grouping == Grouping::NotGrouped)
+        .map(|p| p.name)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .collect();
+    assert_eq!(ungrouped, vec!["array array B 2d", "graph array directed B 2d"]);
+}
+
+#[test]
+fn row_shapes_match_the_paper_table() {
+    let programs = table1_programs();
+    assert_eq!(programs.len(), 18);
+    assert_eq!(programs.iter().filter(|p| p.structure == "list").count(), 7);
+    assert_eq!(programs.iter().filter(|p| p.structure == "tree").count(), 5);
+    assert_eq!(programs.iter().filter(|p| p.structure == "graph").count(), 4);
+    assert_eq!(programs.iter().filter(|p| p.structure == "array").count(), 2);
+    assert_eq!(programs.iter().filter(|p| p.typing == 'G').count(), 2);
+    assert_eq!(programs.iter().filter(|p| p.typing == 'I').count(), 2);
+}
+
+#[test]
+fn linked_rows_detect_node_structures_arrays_detect_arrays() {
+    for p in table1_programs() {
+        let profile = p.profile().expect("profiles");
+        let o = p.evaluate(&profile);
+        assert!(
+            o.inputs_detected,
+            "{}: expected an input matching {:?}",
+            p.name, p.expected_input
+        );
+        if p.implementation == "linked" {
+            assert!(
+                p.expected_input.contains("Node")
+                    || p.expected_input.contains("Vertex"),
+                "{}: linked rows are node-based",
+                p.name
+            );
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Integration test: the bytecode verifier accepts the entire guest
+//! corpus, plain and instrumented — a machine-checked proof that the
+//! compiler and the instrumentation rewriter produce well-formed code
+//! (consistent stack depths, balanced loop events, valid tables).
+
+use algoprof_programs::{
+    array_list_program, functional_sort_program, insertion_sort_program, table1_programs,
+    GrowthPolicy, SortWorkload, LISTING3, LISTING4, LISTING5,
+};
+use algoprof_vm::instrument::{
+    AllocInstrumentation, FieldInstrumentation, InstrumentOptions, MethodInstrumentation,
+};
+use algoprof_vm::{compile, verify};
+
+fn corpus() -> Vec<(String, String)> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    for w in [
+        SortWorkload::Random,
+        SortWorkload::Sorted,
+        SortWorkload::Reversed,
+    ] {
+        out.push((
+            format!("insertion sort {w}"),
+            insertion_sort_program(w, 31, 10, 1),
+        ));
+        out.push((
+            format!("functional sort {w}"),
+            functional_sort_program(w, 31, 10, 1),
+        ));
+    }
+    for g in [GrowthPolicy::ByOne, GrowthPolicy::Doubling] {
+        out.push((format!("array list {g}"), array_list_program(g, 33, 8, 1)));
+    }
+    out.push(("listing 3".into(), LISTING3.into()));
+    out.push(("listing 4".into(), LISTING4.into()));
+    out.push(("listing 5".into(), LISTING5.into()));
+    for p in table1_programs() {
+        out.push((p.name.into(), p.source));
+    }
+    out
+}
+
+#[test]
+fn plain_corpus_verifies() {
+    for (name, src) in corpus() {
+        let p = compile(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        verify(&p).unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+#[test]
+fn default_instrumented_corpus_verifies() {
+    for (name, src) in corpus() {
+        let p = compile(&src)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .instrument(&InstrumentOptions::default());
+        verify(&p).unwrap_or_else(|e| panic!("{name} (instrumented): {e}"));
+    }
+}
+
+#[test]
+fn maximally_instrumented_corpus_verifies() {
+    let opts = InstrumentOptions {
+        loops: true,
+        methods: MethodInstrumentation::All,
+        fields: FieldInstrumentation::AllRefFields,
+        arrays: true,
+        allocs: AllocInstrumentation::All,
+        io: true,
+    };
+    for (name, src) in corpus() {
+        let p = compile(&src)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .instrument(&opts);
+        verify(&p).unwrap_or_else(|e| panic!("{name} (max instrumented): {e}"));
+    }
+}
+
+#[test]
+fn corpus_disassembles() {
+    for (name, src) in corpus() {
+        let p = compile(&src)
+            .unwrap_or_else(|e| panic!("{name}: {e}"))
+            .instrument(&InstrumentOptions::default());
+        let text = algoprof_vm::disassemble(&p);
+        assert!(text.contains("fn Main.main"), "{name}: missing entry dump");
+    }
+}
+
+#[test]
+fn instrumented_and_plain_runs_agree_across_corpus() {
+    use algoprof_vm::{Interp, NoopProfiler};
+    for (name, src) in corpus() {
+        let plain = compile(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let inst = plain.instrument(&InstrumentOptions::default());
+        let a = Interp::new(&plain)
+            .with_fuel(100_000_000)
+            .run(&mut NoopProfiler)
+            .unwrap_or_else(|e| panic!("{name} plain: {e}"));
+        let b = Interp::new(&inst)
+            .with_fuel(100_000_000)
+            .run(&mut NoopProfiler)
+            .unwrap_or_else(|e| panic!("{name} instrumented: {e}"));
+        assert_eq!(
+            a.return_value, b.return_value,
+            "{name}: instrumentation changed the result"
+        );
+        assert_eq!(a.output, b.output, "{name}: instrumentation changed output");
+    }
+}

@@ -1,0 +1,246 @@
+//! Cross-cutting VM semantics tests: corners of the guest language that
+//! the per-module unit tests do not reach.
+
+use algoprof_vm::{compile, InstrumentOptions, Interp, NoopProfiler, RuntimeError};
+
+fn run(src: &str) -> i64 {
+    let p = compile(src).expect("compiles");
+    Interp::new(&p)
+        .with_fuel(50_000_000)
+        .run(&mut NoopProfiler)
+        .expect("runs")
+        .return_value
+        .as_int()
+        .expect("int result")
+}
+
+#[test]
+fn three_level_virtual_dispatch() {
+    let src = r#"
+    class Main {
+        static int main() {
+            A a1 = new A();
+            A a2 = new B();
+            A a3 = new C();
+            return a1.tag() * 100 + a2.tag() * 10 + a3.tag();
+        }
+    }
+    class A { int tag() { return 1; } }
+    class B extends A { int tag() { return 2; } }
+    class C extends B { int tag() { return 3; } }
+    "#;
+    assert_eq!(run(src), 123);
+}
+
+#[test]
+fn inherited_method_not_overridden_dispatches_to_base() {
+    let src = r#"
+    class Main {
+        static int main() {
+            C c = new C();
+            return c.base() + c.own();
+        }
+    }
+    class A { int base() { return 40; } }
+    class C extends A { int own() { return 2; } }
+    "#;
+    assert_eq!(run(src), 42);
+}
+
+#[test]
+fn exception_thrown_in_constructor_unwinds() {
+    let src = r#"
+    class Main {
+        static int main() {
+            try {
+                Fragile f = new Fragile(13);
+                return 0;
+            } catch (int e) { return e; }
+        }
+    }
+    class Fragile {
+        Fragile(int v) { if (v > 10) { throw v; } }
+    }
+    "#;
+    assert_eq!(run(src), 13);
+}
+
+#[test]
+fn loops_inside_constructors_profile_and_run() {
+    let src = r#"
+    class Main {
+        static int main() {
+            Table t = new Table(10);
+            return t.filled;
+        }
+    }
+    class Table {
+        int[] slots;
+        int filled;
+        Table(int n) {
+            slots = new int[n];
+            for (int i = 0; i < n; i = i + 1) {
+                slots[i] = i;
+                filled = filled + 1;
+            }
+        }
+    }
+    "#;
+    assert_eq!(run(src), 10);
+    // And the profiler sees the constructor's loop.
+    let profile = algoprof::profile_source(src).expect("profiles");
+    assert!(profile
+        .algorithms()
+        .iter()
+        .any(|a| profile.node_name(a.root).contains("Table.Table:loop0")));
+}
+
+#[test]
+fn nested_try_rethrow_picks_outer_handler() {
+    let src = r#"
+    class Main {
+        static int main() {
+            try {
+                try {
+                    throw new Oops();
+                } catch (int e) {
+                    return 1; // wrong type: not taken
+                }
+            } catch (Oops o) {
+                return 2;
+            }
+        }
+    }
+    class Oops { }
+    "#;
+    assert_eq!(run(src), 2);
+}
+
+#[test]
+fn finally_like_pattern_with_loops() {
+    // Exceptions crossing loop boundaries repeatedly.
+    let src = r#"
+    class Main {
+        static int main() {
+            int caught = 0;
+            for (int i = 0; i < 10; i = i + 1) {
+                try {
+                    for (int j = 0; j < 10; j = j + 1) {
+                        if (j == i % 3) { throw j; }
+                    }
+                } catch (int e) { caught = caught + e; }
+            }
+            return caught;
+        }
+    }
+    "#;
+    // i%3 cycles 0,1,2,...: sum over 10 iterations = 0+1+2+0+1+2+0+1+2+0 = 9
+    assert_eq!(run(src), 9);
+}
+
+#[test]
+fn generic_container_of_generic_container() {
+    let src = r#"
+    class Main {
+        static int main() {
+            Box<Box<Item>> nested = new Box<Box<Item>>();
+            nested.value = new Box<Item>();
+            nested.value.value = new Item(9);
+            return nested.value.value.v;
+        }
+    }
+    class Box<T> { T value; }
+    class Item { int v; Item(int v) { this.v = v; } }
+    "#;
+    assert_eq!(run(src), 9);
+}
+
+#[test]
+fn instance_method_called_unqualified_inside_class() {
+    let src = r#"
+    class Main {
+        static int main() { return new Counter().run(); }
+    }
+    class Counter {
+        int total;
+        int run() {
+            bump();
+            bump();
+            return total;
+        }
+        void bump() { total = total + 21; }
+    }
+    "#;
+    assert_eq!(run(src), 42);
+}
+
+#[test]
+fn stack_frames_unwind_cleanly_on_uncaught_error() {
+    let src = r#"
+    class Main {
+        static int main() { return f(5); }
+        static int f(int n) {
+            if (n == 0) {
+                int[] a = new int[1];
+                return a[7];
+            }
+            return f(n - 1);
+        }
+    }
+    "#;
+    let p = compile(src).expect("compiles");
+    let e = Interp::new(&p)
+        .run(&mut NoopProfiler)
+        .expect_err("must fail");
+    assert!(matches!(e, RuntimeError::IndexOutOfBounds { index: 7, .. }));
+}
+
+#[test]
+fn wrapping_arithmetic_matches_i64() {
+    let src = r#"
+    class Main {
+        static int main() {
+            int big = 4611686018427387904; // 2^62
+            int doubled = big * 2;         // wraps to -2^63
+            if (doubled < 0) { return 1; }
+            return 0;
+        }
+    }
+    "#;
+    assert_eq!(run(src), 1);
+}
+
+#[test]
+fn instrumented_ctor_loops_count_steps() {
+    let src = r#"
+    class Main {
+        static int main() {
+            for (int size = 5; size <= 20; size = size + 5) {
+                Ring r = new Ring(size);
+            }
+            return 0;
+        }
+    }
+    class Ring {
+        RNode first;
+        Ring(int n) {
+            RNode prev = null;
+            for (int i = 0; i < n; i = i + 1) {
+                RNode node = new RNode();
+                node.next = prev;
+                prev = node;
+            }
+            first = prev;
+        }
+    }
+    class RNode { RNode next; }
+    "#;
+    let profile = algoprof::profile_source(src).expect("profiles");
+    let ctor_loop = profile
+        .algorithm_by_root_name("Ring.Ring:loop0")
+        .expect("constructor loop");
+    // 5+10+15+20 = 50 total steps across 4 invocations.
+    assert_eq!(ctor_loop.total_costs.steps(), 50);
+    assert_eq!(ctor_loop.invocation_count(), 4);
+    let _ = InstrumentOptions::default();
+}
