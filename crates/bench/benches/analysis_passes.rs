@@ -2,7 +2,8 @@
 //! corpus (lexer → parser → type checker → codegen → CFG/dominators/
 //! loops → call graph SCC → recursive-type detection → rewriting).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use algoprof_bench::harness::Criterion;
+use algoprof_bench::{criterion_group, criterion_main};
 
 use algoprof_programs::{insertion_sort_program, table1_programs, SortWorkload};
 use algoprof_vm::{compile, InstrumentOptions};

@@ -2,7 +2,8 @@
 //! profiling (SomeElements is the default; AllElements compares full
 //! snapshots; SameType scans the registry).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use algoprof_bench::harness::Criterion;
+use algoprof_bench::{criterion_group, criterion_main};
 
 use algoprof::{AlgoProf, AlgoProfOptions, EquivalenceCriterion};
 use algoprof_programs::{insertion_sort_program, SortWorkload};

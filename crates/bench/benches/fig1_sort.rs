@@ -2,7 +2,8 @@
 //! of the insertion-sort sweep for each workload, verifying the fitted
 //! model class on every iteration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use algoprof_bench::harness::Criterion;
+use algoprof_bench::{criterion_group, criterion_main};
 
 use algoprof_fit::Model;
 use algoprof_programs::{insertion_sort_program, SortWorkload};

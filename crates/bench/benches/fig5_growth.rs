@@ -2,7 +2,8 @@
 //! under both growth policies, verifying the crossover (quadratic vs
 //! linear) on every iteration.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use algoprof_bench::harness::Criterion;
+use algoprof_bench::{criterion_group, criterion_main};
 
 use algoprof_fit::Model;
 use algoprof_programs::{array_list_program, GrowthPolicy};

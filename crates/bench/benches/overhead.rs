@@ -1,7 +1,8 @@
 //! Criterion benchmark: interpretation overhead of each profiling level
 //! (paper §5's overhead discussion, measured rigorously).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use algoprof_bench::harness::Criterion;
+use algoprof_bench::{criterion_group, criterion_main};
 
 use algoprof::AlgoProf;
 use algoprof_cct::CctProfiler;
@@ -53,9 +54,7 @@ fn bench_overhead(c: &mut Criterion) {
     group.bench_function("algoprof", |b| {
         b.iter(|| {
             let mut profiler = AlgoProf::new();
-            Interp::new(&instrumented)
-                .run(&mut profiler)
-                .expect("runs");
+            Interp::new(&instrumented).run(&mut profiler).expect("runs");
             profiler.finish(&instrumented).algorithms().len()
         })
     });

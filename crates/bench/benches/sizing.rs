@@ -1,7 +1,8 @@
 //! Ablation: array sizing strategies (§3.4) — capacity vs
 //! unique-element counting — on the array-heavy Listing-6 workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use algoprof_bench::harness::Criterion;
+use algoprof_bench::{criterion_group, criterion_main};
 
 use algoprof::{AlgoProf, AlgoProfOptions, ArraySizeStrategy};
 use algoprof_programs::{array_list_program, GrowthPolicy};

@@ -1,7 +1,8 @@
 //! Ablation: the paper's `remeasureInputs` first/last snapshot
 //! optimization vs snapshotting at every access (§3.4).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use algoprof_bench::harness::Criterion;
+use algoprof_bench::{criterion_group, criterion_main};
 
 use algoprof::{AlgoProf, AlgoProfOptions, SnapshotPolicy};
 use algoprof_programs::{insertion_sort_program, SortWorkload};

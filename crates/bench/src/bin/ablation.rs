@@ -34,13 +34,9 @@ fn main() {
                 grouping: *strategy,
                 ..AlgoProfOptions::default()
             };
-            let profile = algoprof::profile_source_with(
-                &p.source,
-                &InstrumentOptions::default(),
-                opts,
-                &[],
-            )
-            .expect("profiles");
+            let profile =
+                algoprof::profile_source_with(&p.source, &InstrumentOptions::default(), opts, &[])
+                    .expect("profiles");
             let outcome = p.evaluate(&profile);
             if outcome.observed_grouped {
                 grouped_counts[i] += 1;

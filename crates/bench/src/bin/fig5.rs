@@ -22,9 +22,8 @@ fn main() {
             array_strategy: ArraySizeStrategy::UniqueElements,
             ..AlgoProfOptions::default()
         };
-        let profile =
-            algoprof::profile_source_with(&src, &InstrumentOptions::default(), opts, &[])
-                .expect("profiles");
+        let profile = algoprof::profile_source_with(&src, &InstrumentOptions::default(), opts, &[])
+            .expect("profiles");
         let algo = profile
             .algorithm_by_root_name("Main.testForSize:loop0")
             .expect("append algorithm exists");

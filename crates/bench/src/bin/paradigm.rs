@@ -9,9 +9,7 @@
 
 use algoprof::{AlgoProfOptions, CostMetric, EquivalenceCriterion};
 use algoprof_bench::SweepArgs;
-use algoprof_programs::{
-    functional_sort_program, insertion_sort_program, SortWorkload,
-};
+use algoprof_programs::{functional_sort_program, insertion_sort_program, SortWorkload};
 use algoprof_vm::InstrumentOptions;
 
 /// The immutable sort builds a *fresh* structure disjoint from its input,
@@ -25,8 +23,7 @@ fn profile_same_type(src: &str) -> algoprof::AlgorithmicProfile {
         criterion: EquivalenceCriterion::SameType,
         ..AlgoProfOptions::default()
     };
-    algoprof::profile_source_with(src, &InstrumentOptions::default(), opts, &[])
-        .expect("profiles")
+    algoprof::profile_source_with(src, &InstrumentOptions::default(), opts, &[]).expect("profiles")
 }
 
 fn main() {

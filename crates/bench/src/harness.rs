@@ -1,0 +1,199 @@
+//! Minimal offline benchmark harness.
+//!
+//! The container this repository builds in has no network access, so the
+//! benches cannot depend on an external benchmarking crate. This module
+//! implements the small slice of the `criterion` API surface the benches
+//! use (`Criterion::benchmark_group`, `BenchmarkGroup::bench_function`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros),
+//! backed by plain `std::time::Instant` timing.
+//!
+//! Tuning via environment variables:
+//!
+//! * `ALGOPROF_BENCH_WARMUP_MS` — warm-up budget per benchmark (default 200).
+//! * `ALGOPROF_BENCH_MEASURE_MS` — measurement budget per benchmark
+//!   (default 1000).
+//! * `ALGOPROF_BENCH_QUICK` — when set, run each benchmark exactly once
+//!   (smoke-test mode, used by CI).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+fn env_ms(name: &str, default_ms: u64) -> Duration {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(Duration::from_millis(default_ms))
+}
+
+fn quick_mode() -> bool {
+    std::env::var_os("ALGOPROF_BENCH_QUICK").is_some()
+}
+
+/// Entry point handed to each registered benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", id, f);
+    }
+}
+
+/// A named collection of benchmarks, printed together.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times `f` and prints a one-line summary.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, id, f);
+        self
+    }
+
+    /// Ends the group (printing-only in this harness).
+    pub fn finish(self) {}
+}
+
+/// Passed to the measured closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs the routine `self.iters` times and records the elapsed time.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(group: &str, id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let label = if group.is_empty() {
+        id.to_string()
+    } else {
+        format!("{group}/{id}")
+    };
+
+    if quick_mode() {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        println!("  {label:<40} {:>12.3?} (quick, 1 iter)", b.elapsed);
+        return;
+    }
+
+    // Warm-up: run single iterations until the warm-up budget is spent,
+    // estimating per-iteration cost as we go.
+    let warmup = env_ms("ALGOPROF_BENCH_WARMUP_MS", 200);
+    let measure = env_ms("ALGOPROF_BENCH_MEASURE_MS", 1000);
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_micros(1);
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < warmup || warm_iters == 0 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = b.elapsed.max(Duration::from_nanos(1));
+        warm_iters += 1;
+        if warm_iters >= 1000 {
+            break;
+        }
+    }
+
+    // Measurement: pick an iteration count that fills the budget, split
+    // into a handful of samples so we can report a minimum (least-noise)
+    // estimate alongside the mean.
+    let total_iters = (measure.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 100_000) as u64;
+    let samples = 5u64.min(total_iters);
+    let iters_per_sample = (total_iters / samples).max(1);
+    let mut times: Vec<Duration> = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        times.push(b.elapsed / iters_per_sample as u32);
+    }
+    let min = times.iter().min().copied().unwrap_or_default();
+    let mean = times.iter().sum::<Duration>() / samples as u32;
+    println!(
+        "  {label:<40} mean {mean:>12.3?}   min {min:>12.3?}   ({} iters x {samples} samples)",
+        iters_per_sample
+    );
+}
+
+/// Registers benchmark functions under a group name, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::harness::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Generates `fn main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut calls = 0u64;
+        std::env::set_var("ALGOPROF_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.bench_function("count", |b| b.iter(|| calls += 1));
+        g.finish();
+        std::env::remove_var("ALGOPROF_BENCH_QUICK");
+        assert_eq!(calls, 1);
+    }
+}

@@ -9,6 +9,8 @@ use std::time::Instant;
 use algoprof::{AlgorithmicProfile, CostMetric};
 use algoprof_fit::{best_fit, Fit};
 
+pub mod harness;
+
 /// Sweep parameters parsed from the command line.
 #[derive(Debug, Clone, Copy)]
 pub struct SweepArgs {
@@ -71,7 +73,10 @@ pub fn report_algorithm(
 ) -> Option<Fit> {
     let algo = profile.algorithm_by_root_name(root_needle)?;
     let series = profile.invocation_series(algo.id, CostMetric::Steps);
-    println!("algorithm {title} ({}):", profile.describe_algorithm(algo.id));
+    println!(
+        "algorithm {title} ({}):",
+        profile.describe_algorithm(algo.id)
+    );
     print_series("steps vs input size", &series)
 }
 

@@ -262,9 +262,7 @@ fn build_algorithm(
         }
         let inv = tree.node(node).invocations.get(ord)?;
         let result = match inv.parent {
-            Some((p, po)) if member_set[p.index()] => {
-                resolve(tree, root, member_set, memo, p, po)
-            }
+            Some((p, po)) if member_set[p.index()] => resolve(tree, root, member_set, memo, p, po),
             _ => None,
         };
         memo.insert((node, ord), result);

@@ -140,8 +140,7 @@ fn main() -> ExitCode {
     };
 
     let profile =
-        match algoprof::profile_source_with(&source, &InstrumentOptions::default(), opts, &input)
-        {
+        match algoprof::profile_source_with(&source, &InstrumentOptions::default(), opts, &input) {
             Ok(p) => p,
             Err(e) => {
                 eprintln!("{e}");

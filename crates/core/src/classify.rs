@@ -112,7 +112,7 @@ mod tests {
     use crate::algorithms::{AlgorithmId, DataPoint};
     use crate::cost::{AccessOp, CostKey};
     use crate::reptree::NodeId;
-    use crate::snapshot::{ElemKey, Snapshot, SnapshotKind};
+    use crate::snapshot::{ElemKey, Measurement, Snapshot, SnapshotKind};
     use algoprof_vm::ClassId;
     use std::collections::{BTreeMap, BTreeSet};
 
@@ -123,13 +123,13 @@ mod tests {
         let mut classes = BTreeMap::new();
         classes.insert(ClassId(2), 1);
         let id = reg.identify(
-            Snapshot {
+            Measurement::detached(Snapshot {
                 keys,
                 kind: SnapshotKind::Structure { classes },
                 size: 1,
                 unique_size: 1,
                 refs_traversed: 0,
-            },
+            }),
             &[],
         );
         (reg, id)

@@ -24,11 +24,7 @@ pub fn render_html(profile: &AlgorithmicProfile) -> String {
          </style></head><body>\n<h1>Algorithmic profile</h1>\n",
     );
 
-    let _ = writeln!(
-        out,
-        "<pre>{}</pre>",
-        escape(&profile.render_text())
-    );
+    let _ = writeln!(out, "<pre>{}</pre>", escape(&profile.render_text()));
 
     for algo in profile.algorithms() {
         let series = profile.invocation_series(algo.id, CostMetric::Steps);
@@ -57,11 +53,7 @@ pub fn render_html(profile: &AlgorithmicProfile) -> String {
 }
 
 /// An SVG scatter plot of `series` with the fitted curve overlaid.
-fn scatter_svg(
-    profile: &AlgorithmicProfile,
-    algo: AlgorithmId,
-    series: &[(f64, f64)],
-) -> String {
+fn scatter_svg(profile: &AlgorithmicProfile, algo: AlgorithmId, series: &[(f64, f64)]) -> String {
     const W: f64 = 520.0;
     const H: f64 = 320.0;
     const PAD: f64 = 45.0;

@@ -19,7 +19,12 @@ use std::fmt;
 use algoprof_vm::bytecode::ElemKind;
 use algoprof_vm::{ClassId, CompiledProgram};
 
-use crate::snapshot::{ArraySizeStrategy, ElemKey, EquivalenceCriterion, Snapshot, SnapshotKind};
+use algoprof_vm::{Heap, Value};
+
+use crate::snapshot::{
+    measure_value, try_partial_array, try_partial_structure, ArraySizeStrategy, ElemKey,
+    EquivalenceCriterion, IncrementalMode, Measurement, Snapshot, SnapshotKind, SnapshotStats,
+};
 
 /// Identifies one input of one or more algorithms.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -65,8 +70,26 @@ pub struct InputInfo {
     pub max_size: usize,
     /// Size of the most recent snapshot.
     pub last_size: usize,
-    /// Most recent snapshot (identity keys for AllElements matching).
-    pub last_snapshot: Option<Snapshot>,
+    /// Most recent measurement: the snapshot (identity keys for
+    /// AllElements matching) plus the epoch/container data that lets a
+    /// later traversal reuse it.
+    pub last_measurement: Option<Measurement>,
+    /// Heap epoch of the last write observed to a reference resolving to
+    /// this input. When `dirty_epoch <= last_measurement.epoch`, the
+    /// cached measurement is current without any per-container check.
+    pub dirty_epoch: u64,
+    /// Set when another input's measurement claimed one of this input's
+    /// reference keys in the reverse map. Writes through such keys no
+    /// longer mark this input dirty, so the O(1) clean check is
+    /// disabled and validity falls back to per-container stamps.
+    pub shared: bool,
+}
+
+impl InputInfo {
+    /// The most recent snapshot, if any structure snapshot was taken.
+    pub fn last_snapshot(&self) -> Option<&Snapshot> {
+        self.last_measurement.as_ref().map(|m| &m.snapshot)
+    }
 }
 
 impl InputInfo {
@@ -103,22 +126,41 @@ pub struct InputRegistry {
     ref_map: HashMap<ElemKey, InputId>,
     criterion: EquivalenceCriterion,
     array_strategy: ArraySizeStrategy,
+    incremental: IncrementalMode,
+    stats: SnapshotStats,
 }
 
 impl InputRegistry {
     /// Creates an empty registry with the given matching configuration.
     pub fn new(criterion: EquivalenceCriterion, array_strategy: ArraySizeStrategy) -> Self {
+        InputRegistry::with_incremental(criterion, array_strategy, IncrementalMode::default())
+    }
+
+    /// Creates an empty registry with explicit snapshot-caching
+    /// behaviour.
+    pub fn with_incremental(
+        criterion: EquivalenceCriterion,
+        array_strategy: ArraySizeStrategy,
+        incremental: IncrementalMode,
+    ) -> Self {
         InputRegistry {
             inputs: Vec::new(),
             ref_map: HashMap::new(),
             criterion,
             array_strategy,
+            incremental,
+            stats: SnapshotStats::default(),
         }
     }
 
     /// The configured array sizing strategy.
     pub fn array_strategy(&self) -> ArraySizeStrategy {
         self.array_strategy
+    }
+
+    /// Counters of traversal work done (and saved) so far.
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        self.stats
     }
 
     /// All inputs registered so far.
@@ -137,18 +179,18 @@ impl InputRegistry {
         self.ref_map.get(&key).copied()
     }
 
-    /// Resolves `snap` to an existing or fresh input. `candidates` are the
-    /// inputs accessed by the active repetition chain, used for matching
-    /// that cannot rely on reference identity (primitive arrays,
-    /// AllElements, SameType).
-    pub fn identify(&mut self, snap: Snapshot, candidates: &[InputId]) -> InputId {
-        let found = self.match_existing(&snap, candidates);
+    /// Resolves measurement `m` to an existing or fresh input.
+    /// `candidates` are the inputs accessed by the active repetition
+    /// chain, used for matching that cannot rely on reference identity
+    /// (primitive arrays, AllElements, SameType).
+    pub fn identify(&mut self, m: Measurement, candidates: &[InputId]) -> InputId {
+        let found = self.match_existing(&m.snapshot, candidates);
         match found {
             Some(id) => {
-                self.record_snapshot(id, snap);
+                self.record_measurement(id, m);
                 id
             }
-            None => self.register(snap),
+            None => self.register(m),
         }
     }
 
@@ -163,7 +205,7 @@ impl InputRegistry {
                 }
                 // Value overlap against the active candidates only.
                 for &cand in candidates {
-                    if let Some(last) = &self.inputs[cand.index()].last_snapshot {
+                    if let Some(last) = self.inputs[cand.index()].last_snapshot() {
                         if snap.equivalent(last, EquivalenceCriterion::SomeElements) {
                             return Some(cand);
                         }
@@ -181,10 +223,9 @@ impl InputRegistry {
                 seen.sort_unstable();
                 seen.dedup();
                 seen.into_iter().find(|&id| {
-                    self.inputs[id.index()]
-                        .last_snapshot
-                        .as_ref()
-                        .is_some_and(|last| snap.equivalent(last, EquivalenceCriterion::AllElements))
+                    self.inputs[id.index()].last_snapshot().is_some_and(|last| {
+                        snap.equivalent(last, EquivalenceCriterion::AllElements)
+                    })
                 })
             }
             EquivalenceCriterion::SameArray => match &snap.kind {
@@ -205,17 +246,16 @@ impl InputRegistry {
                 .inputs
                 .iter()
                 .find(|i| {
-                    i.last_snapshot
-                        .as_ref()
+                    i.last_snapshot()
                         .is_some_and(|last| snap.equivalent(last, EquivalenceCriterion::SameType))
                 })
                 .map(|i| i.id),
         }
     }
 
-    fn register(&mut self, snap: Snapshot) -> InputId {
+    fn register(&mut self, m: Measurement) -> InputId {
         let id = InputId(self.inputs.len() as u32);
-        let kind = match &snap.kind {
+        let kind = match &m.snapshot.kind {
             SnapshotKind::Structure { .. } => InputKind::Structure,
             SnapshotKind::Array { elem } => InputKind::Array(*elem),
         };
@@ -225,14 +265,17 @@ impl InputRegistry {
             classes: BTreeMap::new(),
             max_size: 0,
             last_size: 0,
-            last_snapshot: None,
+            last_measurement: None,
+            dirty_epoch: 0,
+            shared: false,
         });
-        self.record_snapshot(id, snap);
+        self.record_measurement(id, m);
         id
     }
 
-    /// Records a fresh snapshot of input `id`: updates sizes, class info,
-    /// and the reverse reference map.
+    /// Records a fresh measurement of input `id`: updates sizes, class
+    /// info, and the reverse reference map, and resets the dirty state so
+    /// the cached snapshot counts as current.
     ///
     /// Structure snapshots claim all their reference keys in the map;
     /// array snapshots claim only array keys. Objects stored *in* an
@@ -241,17 +284,17 @@ impl InputRegistry {
     /// not shadow object keys (element overlap for arrays is still
     /// matched through the candidate path, which compares full
     /// snapshots).
-    pub fn record_snapshot(&mut self, id: InputId, snap: Snapshot) {
-        let arrays_only = matches!(snap.kind, SnapshotKind::Array { .. });
-        for key in snap.ref_keys() {
+    pub fn record_measurement(&mut self, id: InputId, m: Measurement) {
+        let arrays_only = matches!(m.snapshot.kind, SnapshotKind::Array { .. });
+        for key in m.snapshot.ref_keys() {
             if arrays_only && !matches!(key, ElemKey::Arr(_)) {
                 continue;
             }
-            self.ref_map.insert(key, id);
+            self.claim_key(key, id);
         }
-        let size = snap.size_under(self.array_strategy);
+        let size = m.snapshot.size_under(self.array_strategy);
         let info = &mut self.inputs[id.index()];
-        if let SnapshotKind::Structure { classes } = &snap.kind {
+        if let SnapshotKind::Structure { classes } = &m.snapshot.kind {
             for (&c, &n) in classes {
                 let e = info.classes.entry(c).or_insert(0);
                 *e = (*e).max(n);
@@ -259,7 +302,184 @@ impl InputRegistry {
         }
         info.last_size = size;
         info.max_size = info.max_size.max(size);
-        info.last_snapshot = Some(snap);
+        info.dirty_epoch = m.epoch;
+        info.shared = false;
+        info.last_measurement = Some(m);
+    }
+
+    /// Inserts `key -> id` into the reverse map. If the key previously
+    /// resolved to a *different* input, that input loses its O(1) dirty
+    /// tracking: writes through the key now mark `id` dirty, not the old
+    /// owner, so the old owner is flagged `shared` and must validate its
+    /// cache against per-container heap stamps instead.
+    fn claim_key(&mut self, key: ElemKey, id: InputId) {
+        if let Some(prev) = self.ref_map.insert(key, id) {
+            if prev != id {
+                self.inputs[prev.index()].shared = true;
+            }
+        }
+    }
+
+    /// Notes a write observed through a reference resolving to input
+    /// `id`, at heap epoch `epoch`.
+    pub fn mark_dirty(&mut self, id: InputId, epoch: u64) {
+        let info = &mut self.inputs[id.index()];
+        info.dirty_epoch = info.dirty_epoch.max(epoch);
+    }
+
+    /// Takes a full (non-incremental) measurement of the value at `r`,
+    /// for snapshots that have not yet been resolved to an input.
+    pub fn measure_unidentified(
+        &mut self,
+        program: &CompiledProgram,
+        heap: &Heap,
+        r: Value,
+    ) -> Option<Measurement> {
+        measure_value(program, heap, r, &mut self.stats)
+    }
+
+    /// Re-measures input `id`, currently rooted at `r`, reusing the
+    /// cached measurement when the heap write stamps prove it is still
+    /// exact. Returns the input's size under the configured array
+    /// strategy, or `None` if `r` is not measurable (null / int).
+    ///
+    /// Validation is layered, cheapest first:
+    ///
+    /// 1. *O(1) dirty check* — same root, input not `shared`, and no
+    ///    write observed through its references since the cached epoch.
+    /// 2. *Stamp scan* — every container recorded by the cached
+    ///    traversal is unmodified since the cached epoch (heals
+    ///    false-dirties from writes that resolved here but hit another
+    ///    overlapping structure).
+    /// 3. *Partial redo* — re-scan only the modified containers and
+    ///    grow the snapshot by the newly reachable region (growth-only;
+    ///    any removed edge falls through).
+    /// 4. *Full walk* — traverse from scratch and re-record.
+    ///
+    /// Under [`IncrementalMode::Differential`] every reuse is checked
+    /// against a from-scratch traversal and must match exactly.
+    pub fn remeasure(
+        &mut self,
+        program: &CompiledProgram,
+        heap: &Heap,
+        id: InputId,
+        r: Value,
+    ) -> Option<usize> {
+        if self.incremental == IncrementalMode::Disabled {
+            let m = measure_value(program, heap, r, &mut self.stats)?;
+            self.record_measurement(id, m);
+            return Some(self.inputs[id.index()].last_size);
+        }
+
+        let root = match r {
+            Value::Obj(o) => ElemKey::Obj(o),
+            Value::Arr(a) => ElemKey::Arr(a),
+            Value::Int(_) | Value::Bool(_) | Value::Null => {
+                let m = measure_value(program, heap, r, &mut self.stats)?;
+                self.record_measurement(id, m);
+                return Some(self.inputs[id.index()].last_size);
+            }
+        };
+
+        let differential = self.incremental == IncrementalMode::Differential;
+        let info = &self.inputs[id.index()];
+        let (cached_root, fast_clean) = match &info.last_measurement {
+            Some(m) if m.root == root => (true, !info.shared && info.dirty_epoch <= m.epoch),
+            _ => (false, false),
+        };
+
+        if cached_root {
+            // Layer 1: nothing resolving to this input was written.
+            if fast_clean {
+                self.stats.cache_hits += 1;
+                if differential {
+                    self.verify_cached(program, heap, id, r);
+                }
+                return Some(self.inputs[id.index()].last_size);
+            }
+            // Layer 2: stamps prove the traversed containers untouched.
+            let exact = self.inputs[id.index()]
+                .last_measurement
+                .as_ref()
+                .is_some_and(|m| m.still_exact(heap));
+            if exact {
+                self.stats.cache_hits += 1;
+                // Refresh the epoch so the O(1) check works next time,
+                // and advance the replay window: untouched containers
+                // mean none of the journalled stores were ours.
+                let epoch = heap.epoch();
+                let log_pos = heap.log_pos();
+                let info = &mut self.inputs[id.index()];
+                if let Some(m) = info.last_measurement.as_mut() {
+                    m.epoch = epoch;
+                    if m.log_pos != u64::MAX {
+                        m.log_pos = log_pos;
+                    }
+                }
+                if differential {
+                    self.verify_cached(program, heap, id, r);
+                }
+                return Some(self.inputs[id.index()].last_size);
+            }
+            // Layer 3: partial redo — structures re-scan modified
+            // containers and traverse the newly linked region; arrays
+            // replay the heap's element-store journal.
+            let mut taken = self.inputs[id.index()].last_measurement.take();
+            let added = taken.as_mut().and_then(|m| match m.snapshot.kind {
+                SnapshotKind::Structure { .. } => {
+                    try_partial_structure(program, heap, m, &mut self.stats)
+                }
+                SnapshotKind::Array { .. } => {
+                    try_partial_array(heap, m, &mut self.stats).map(|_| Vec::new())
+                }
+            });
+            match (added, taken) {
+                (Some(added), Some(m)) => {
+                    let size = m.snapshot.size_under(self.array_strategy);
+                    let info = &mut self.inputs[id.index()];
+                    if let SnapshotKind::Structure { classes } = &m.snapshot.kind {
+                        for (&c, &n) in classes {
+                            let e = info.classes.entry(c).or_insert(0);
+                            *e = (*e).max(n);
+                        }
+                    }
+                    info.last_size = size;
+                    info.max_size = info.max_size.max(size);
+                    info.dirty_epoch = m.epoch;
+                    info.last_measurement = Some(m);
+                    for key in added {
+                        self.claim_key(key, id);
+                    }
+                    if differential {
+                        self.verify_cached(program, heap, id, r);
+                    }
+                    return Some(self.inputs[id.index()].last_size);
+                }
+                (_, taken) => self.inputs[id.index()].last_measurement = taken,
+            }
+        }
+
+        // Layer 4: full walk.
+        let m = measure_value(program, heap, r, &mut self.stats)?;
+        self.record_measurement(id, m);
+        Some(self.inputs[id.index()].last_size)
+    }
+
+    /// Differential-mode check: the cached snapshot for `id` must equal a
+    /// from-scratch traversal of `r`. The verification traversal uses a
+    /// scratch stats block so it does not pollute the reuse counters.
+    fn verify_cached(&self, program: &CompiledProgram, heap: &Heap, id: InputId, r: Value) {
+        let mut scratch = SnapshotStats::default();
+        let fresh = measure_value(program, heap, r, &mut scratch)
+            .expect("differential check: root became unmeasurable");
+        let cached = self.inputs[id.index()]
+            .last_measurement
+            .as_ref()
+            .expect("differential check: no cached measurement");
+        assert_eq!(
+            cached.snapshot, fresh.snapshot,
+            "incremental snapshot diverged from full traversal for {id}"
+        );
     }
 
     /// Registers (or returns) the singleton external-input stream.
@@ -283,7 +503,9 @@ impl InputRegistry {
             classes: BTreeMap::new(),
             max_size: 0,
             last_size: 0,
-            last_snapshot: None,
+            last_measurement: None,
+            dirty_epoch: 0,
+            shared: false,
         });
         id
     }
@@ -348,8 +570,8 @@ mod tests {
     #[test]
     fn overlapping_structure_snapshots_are_one_input() {
         let mut reg = InputRegistry::default();
-        let a = reg.identify(struct_snap(&[1, 2, 3], 0), &[]);
-        let b = reg.identify(struct_snap(&[3, 4], 0), &[]);
+        let a = reg.identify(Measurement::detached(struct_snap(&[1, 2, 3], 0)), &[]);
+        let b = reg.identify(Measurement::detached(struct_snap(&[3, 4], 0)), &[]);
         assert_eq!(a, b);
         assert_eq!(reg.input(a).max_size, 3);
     }
@@ -357,8 +579,8 @@ mod tests {
     #[test]
     fn disjoint_structures_are_distinct_inputs() {
         let mut reg = InputRegistry::default();
-        let a = reg.identify(struct_snap(&[1, 2], 0), &[]);
-        let b = reg.identify(struct_snap(&[5, 6], 0), &[]);
+        let a = reg.identify(Measurement::detached(struct_snap(&[1, 2], 0)), &[]);
+        let b = reg.identify(Measurement::detached(struct_snap(&[5, 6], 0)), &[]);
         assert_ne!(a, b);
         assert_eq!(reg.inputs().len(), 2);
     }
@@ -366,9 +588,9 @@ mod tests {
     #[test]
     fn growing_structure_updates_max_size() {
         let mut reg = InputRegistry::default();
-        let a = reg.identify(struct_snap(&[1], 0), &[]);
-        reg.identify(struct_snap(&[1, 2, 3, 4], 0), &[]);
-        reg.identify(struct_snap(&[4], 0), &[]);
+        let a = reg.identify(Measurement::detached(struct_snap(&[1], 0)), &[]);
+        reg.identify(Measurement::detached(struct_snap(&[1, 2, 3, 4], 0)), &[]);
+        reg.identify(Measurement::detached(struct_snap(&[4], 0)), &[]);
         assert_eq!(reg.input(a).max_size, 4);
         assert_eq!(reg.input(a).last_size, 1);
     }
@@ -376,23 +598,26 @@ mod tests {
     #[test]
     fn int_arrays_merge_only_via_candidates() {
         let mut reg = InputRegistry::default();
-        let a = reg.identify(int_array_snap(0, &[1, 2, 3]), &[]);
+        let a = reg.identify(Measurement::detached(int_array_snap(0, &[1, 2, 3])), &[]);
         // Overlapping values but NOT a candidate: new input.
-        let b = reg.identify(int_array_snap(1, &[2, 3, 4]), &[]);
+        let b = reg.identify(Measurement::detached(int_array_snap(1, &[2, 3, 4])), &[]);
         assert_ne!(a, b);
         // Overlapping values and a candidate (the reallocation case):
         // same input.
-        let c = reg.identify(int_array_snap(2, &[2, 3, 4, 5]), &[b]);
+        let c = reg.identify(
+            Measurement::detached(int_array_snap(2, &[2, 3, 4, 5])),
+            &[b],
+        );
         assert_eq!(b, c);
     }
 
     #[test]
     fn ref_identity_survives_without_candidates() {
         let mut reg = InputRegistry::default();
-        let a = reg.identify(int_array_snap(7, &[9]), &[]);
+        let a = reg.identify(Measurement::detached(int_array_snap(7, &[9])), &[]);
         // Re-access of the same array is a ref-map hit even with no
         // candidates.
-        let b = reg.identify(int_array_snap(7, &[9, 10]), &[]);
+        let b = reg.identify(Measurement::detached(int_array_snap(7, &[9, 10])), &[]);
         assert_eq!(a, b);
     }
 
@@ -402,22 +627,20 @@ mod tests {
             EquivalenceCriterion::AllElements,
             ArraySizeStrategy::Capacity,
         );
-        let a = reg.identify(struct_snap(&[1, 2], 0), &[]);
+        let a = reg.identify(Measurement::detached(struct_snap(&[1, 2], 0)), &[]);
         // Overlap but not equality: a fresh input under AllElements.
-        let b = reg.identify(struct_snap(&[1, 2, 3], 0), &[]);
+        let b = reg.identify(Measurement::detached(struct_snap(&[1, 2, 3], 0)), &[]);
         assert_ne!(a, b);
-        let c = reg.identify(struct_snap(&[1, 2, 3], 0), &[]);
+        let c = reg.identify(Measurement::detached(struct_snap(&[1, 2, 3], 0)), &[]);
         assert_eq!(b, c);
     }
 
     #[test]
     fn same_type_criterion_merges_disconnected_instances() {
-        let mut reg = InputRegistry::new(
-            EquivalenceCriterion::SameType,
-            ArraySizeStrategy::Capacity,
-        );
-        let a = reg.identify(struct_snap(&[1], 0), &[]);
-        let b = reg.identify(struct_snap(&[9], 0), &[]);
+        let mut reg =
+            InputRegistry::new(EquivalenceCriterion::SameType, ArraySizeStrategy::Capacity);
+        let a = reg.identify(Measurement::detached(struct_snap(&[1], 0)), &[]);
+        let b = reg.identify(Measurement::detached(struct_snap(&[9], 0)), &[]);
         assert_eq!(a, b);
     }
 

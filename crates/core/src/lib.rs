@@ -63,13 +63,16 @@ pub mod snapshot;
 pub use algorithms::{Algorithm, AlgorithmId, DataPoint, GroupingStrategy};
 pub use classify::{AlgorithmClass, Classification};
 pub use cost::{AccessOp, CostKey, CostMap};
-pub use inputs::{InputId, InputInfo, InputKind, InputRegistry};
 pub use html::render_html;
+pub use inputs::{InputId, InputInfo, InputKind, InputRegistry};
 pub use profile::{merge_series, AlgorithmicProfile, CostMetric};
 pub use profiler::{AlgoProf, AlgoProfOptions, SnapshotPolicy};
 pub use reptree::{Invocation, NodeId, RepKind, RepNode, RepTree};
 pub use run::{profile_source, profile_source_with, ProfileError};
-pub use snapshot::{ArraySizeStrategy, ElemKey, EquivalenceCriterion, Snapshot};
+pub use snapshot::{
+    ArraySizeStrategy, ElemKey, EquivalenceCriterion, IncrementalMode, Measurement, Snapshot,
+    SnapshotStats,
+};
 
 #[cfg(test)]
 mod tests {
@@ -82,9 +85,7 @@ mod tests {
             .expect("compiles")
             .instrument(&InstrumentOptions::default());
         let mut prof = AlgoProf::new();
-        Interp::new(&program)
-            .run(&mut prof)
-            .expect("runs");
+        Interp::new(&program).run(&mut prof).expect("runs");
         prof.finish(&program)
     }
 
@@ -231,7 +232,10 @@ mod tests {
             .algorithm_by_root_name("Main.main:loop0")
             .expect("loop");
         assert!(profile.is_data_structure_less(algo.id));
-        assert_eq!(profile.describe_algorithm(algo.id), "Data-structure-less algorithm");
+        assert_eq!(
+            profile.describe_algorithm(algo.id),
+            "Data-structure-less algorithm"
+        );
     }
 
     #[test]

@@ -58,10 +58,7 @@ impl AlgorithmicProfile {
         strategy: GroupingStrategy,
     ) -> Self {
         let algorithms = group_algorithms_with(&tree, Some(program), strategy);
-        let classifications = algorithms
-            .iter()
-            .map(|a| classify(a, &registry))
-            .collect();
+        let classifications = algorithms.iter().map(|a| classify(a, &registry)).collect();
         let node_names = tree
             .nodes()
             .iter()
@@ -136,7 +133,11 @@ impl AlgorithmicProfile {
     pub fn algorithms_touching(&self, needle: &str) -> Vec<&Algorithm> {
         self.algorithms
             .iter()
-            .filter(|a| a.members.iter().any(|&m| self.node_name(m).contains(needle)))
+            .filter(|a| {
+                a.members
+                    .iter()
+                    .any(|&m| self.node_name(m).contains(needle))
+            })
             .collect()
     }
 
@@ -257,11 +258,7 @@ impl AlgorithmicProfile {
     /// Structure accesses broken down by element type (paper §3.3's
     /// `cost{input#3, Vertex, PUT}` view): for each class touched through
     /// `input`, the total reads and writes.
-    pub fn accesses_by_type(
-        &self,
-        algo: AlgorithmId,
-        input: InputId,
-    ) -> Vec<(String, u64, u64)> {
+    pub fn accesses_by_type(&self, algo: AlgorithmId, input: InputId) -> Vec<(String, u64, u64)> {
         let a = self.algorithm(algo);
         let mut by_class: std::collections::BTreeMap<algoprof_vm::ClassId, (u64, u64)> =
             Default::default();
@@ -284,7 +281,14 @@ impl AlgorithmicProfile {
         by_class
             .into_iter()
             .map(|(class, (reads, writes))| {
-                (self.class_names.get(class.index()).cloned().unwrap_or_else(|| class.to_string()), reads, writes)
+                (
+                    self.class_names
+                        .get(class.index())
+                        .cloned()
+                        .unwrap_or_else(|| class.to_string()),
+                    reads,
+                    writes,
+                )
             })
             .collect()
     }

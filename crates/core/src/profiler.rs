@@ -22,7 +22,7 @@ use crate::inputs::{InputId, InputRegistry};
 use crate::profile::AlgorithmicProfile;
 use crate::reptree::{ActiveObservation, NodeId, RepKind, RepTree};
 use crate::snapshot::{
-    snapshot_array, snapshot_structure, ArraySizeStrategy, ElemKey, EquivalenceCriterion, Snapshot,
+    ArraySizeStrategy, ElemKey, EquivalenceCriterion, IncrementalMode, SnapshotStats,
 };
 
 /// When structure snapshots are taken (paper §3.4).
@@ -49,6 +49,8 @@ pub struct AlgoProfOptions {
     pub snapshot_policy: SnapshotPolicy,
     /// How repetitions group into algorithms.
     pub grouping: crate::algorithms::GroupingStrategy,
+    /// Snapshot-cache behaviour for re-measured inputs.
+    pub incremental: IncrementalMode,
 }
 
 /// The algorithmic profiler. Feed it to
@@ -103,7 +105,11 @@ impl AlgoProf {
         AlgoProf {
             opts,
             tree,
-            registry: InputRegistry::new(opts.criterion, opts.array_strategy),
+            registry: InputRegistry::with_incremental(
+                opts.criterion,
+                opts.array_strategy,
+                opts.incremental,
+            ),
             tn,
             shadow: Vec::new(),
         }
@@ -117,6 +123,11 @@ impl AlgoProf {
     /// The input registry built so far.
     pub fn registry(&self) -> &InputRegistry {
         &self.registry
+    }
+
+    /// Counters of snapshot-traversal work done (and saved) so far.
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        self.registry.snapshot_stats()
     }
 
     /// Finalizes all open invocations and produces the profile.
@@ -154,14 +165,6 @@ impl AlgoProf {
         out
     }
 
-    fn measure(&self, program: &CompiledProgram, heap: &Heap, r: Value) -> Option<Snapshot> {
-        match r {
-            Value::Obj(o) => Some(snapshot_structure(program, heap, o)),
-            Value::Arr(a) => Some(snapshot_array(heap, a)),
-            _ => None,
-        }
-    }
-
     /// Resolves the input accessed through reference `r`, taking a
     /// snapshot only when needed. Returns the input and the size if one
     /// was measured.
@@ -185,19 +188,14 @@ impl AlgoProf {
         // reference" trick) — but only for structures; arrays are always
         // identified.
         if self.opts.snapshot_policy == SnapshotPolicy::FirstAndLast && matches!(r, Value::Obj(_)) {
-            if let Some(open) = self
-                .tree
-                .node(self.tn)
-                .current()
-                .and_then(|c| c.open_input)
-            {
+            if let Some(open) = self.tree.node(self.tn).current().and_then(|c| c.open_input) {
                 return Some((open, None));
             }
         }
-        let snap = self.measure(program, heap, r)?;
-        let size = snap.size_under(self.registry.array_strategy());
+        let m = self.registry.measure_unidentified(program, heap, r)?;
+        let size = m.snapshot.size_under(self.registry.array_strategy());
         let candidates = self.chain_candidates();
-        let id = self.registry.identify(snap, &candidates);
+        let id = self.registry.identify(m, &candidates);
         Some((id, Some(size)))
     }
 
@@ -224,11 +222,7 @@ impl AlgoProf {
         let size = if !exists || every_access {
             match measured {
                 Some(s) => Some(s),
-                None => self.measure(program, heap, r).map(|snap| {
-                    let s = snap.size_under(self.registry.array_strategy());
-                    self.registry.record_snapshot(input, snap);
-                    s
-                }),
+                None => self.registry.remeasure(program, heap, input, r),
             }
         } else {
             None
@@ -273,14 +267,9 @@ impl AlgoProf {
             None => return,
         };
         for (id, r) in entries {
-            if let Some(snap) = self.measure(program, heap, r) {
-                let size = snap.size_under(self.registry.array_strategy());
-                self.registry.record_snapshot(id, snap);
+            if let Some(size) = self.registry.remeasure(program, heap, id, r) {
                 let node = self.tree.node_mut(self.tn);
-                if let Some(obs) = node
-                    .current_mut()
-                    .and_then(|c| c.inputs.get_mut(&id))
-                {
+                if let Some(obs) = node.current_mut().and_then(|c| c.inputs.get_mut(&id)) {
                     obs.exit_size = size;
                     obs.max_size = obs.max_size.max(size);
                 }
@@ -307,6 +296,11 @@ impl AlgoProf {
         let Some((input, measured)) = self.resolve_input(program, heap, r) else {
             return;
         };
+        // Hooks fire after the mutation, so the current heap epoch covers
+        // this write.
+        if op == AccessOp::Write {
+            self.registry.mark_dirty(input, heap.epoch());
+        }
         if is_array {
             self.bump(CostKey::ArrayAccess { input, op });
         } else {
@@ -341,10 +335,7 @@ impl ProfilerHooks for AlgoProf {
     fn on_loop_exit(&mut self, _l: LoopId, program: &CompiledProgram, heap: &Heap) {
         self.remeasure_inputs(program, heap);
         self.tree.finalize_invocation(self.tn);
-        self.tn = self
-            .shadow
-            .pop()
-            .expect("loop exit balances a loop entry");
+        self.tn = self.shadow.pop().expect("loop exit balances a loop entry");
     }
 
     fn on_method_entry(&mut self, m: FuncId, _program: &CompiledProgram, _heap: &Heap) {
@@ -355,7 +346,9 @@ impl ProfilerHooks for AlgoProf {
             self.tree.node_mut(header).recursion_depth += 1;
         } else {
             let link = self.parent_link();
-            let child = self.tree.get_or_create_child(self.tn, RepKind::Recursion(m));
+            let child = self
+                .tree
+                .get_or_create_child(self.tn, RepKind::Recursion(m));
             self.shadow.push(self.tn);
             self.tn = child;
             if self.tree.node(child).recursion_depth == 0 {
@@ -378,7 +371,13 @@ impl ProfilerHooks for AlgoProf {
             .expect("method exit balances a method entry");
     }
 
-    fn on_field_get(&mut self, obj: Value, _field: FieldId, program: &CompiledProgram, heap: &Heap) {
+    fn on_field_get(
+        &mut self,
+        obj: Value,
+        _field: FieldId,
+        program: &CompiledProgram,
+        heap: &Heap,
+    ) {
         let class = match obj {
             Value::Obj(o) => Some(heap.object(o).class),
             _ => None,
@@ -386,7 +385,13 @@ impl ProfilerHooks for AlgoProf {
         self.on_access(obj, AccessOp::Read, false, class, program, heap);
     }
 
-    fn on_field_put(&mut self, obj: Value, _field: FieldId, program: &CompiledProgram, heap: &Heap) {
+    fn on_field_put(
+        &mut self,
+        obj: Value,
+        _field: FieldId,
+        program: &CompiledProgram,
+        heap: &Heap,
+    ) {
         let class = match obj {
             Value::Obj(o) => Some(heap.object(o).class),
             _ => None,

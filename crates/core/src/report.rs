@@ -44,10 +44,7 @@ pub fn render(profile: &AlgorithmicProfile) -> String {
                 let by_type = profile.accesses_by_type(algo.id, input);
                 if by_type.len() > 1 {
                     for (class, reads, writes) in by_type {
-                        let _ = writeln!(
-                            out,
-                            "    cost{{{class}}}: GET={reads} PUT={writes}"
-                        );
+                        let _ = writeln!(out, "    cost{{{class}}}: GET={reads} PUT={writes}");
                     }
                 }
                 if let Some(fit) = profile.fit_invocation_steps(algo.id) {

@@ -75,7 +75,7 @@ pub enum SnapshotKind {
 }
 
 /// A snapshot of one structure or array at one instant.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Snapshot {
     /// Identity keys (see [`ElemKey`]).
     pub keys: BTreeSet<ElemKey>,
@@ -120,7 +120,9 @@ impl Snapshot {
     pub fn equivalent(&self, other: &Snapshot, criterion: EquivalenceCriterion) -> bool {
         match criterion {
             EquivalenceCriterion::AllElements => self.keys == other.keys,
-            EquivalenceCriterion::SomeElements => self.keys.intersection(&other.keys).next().is_some(),
+            EquivalenceCriterion::SomeElements => {
+                self.keys.intersection(&other.keys).next().is_some()
+            }
             EquivalenceCriterion::SameArray => {
                 let root = |s: &Snapshot| {
                     s.keys.iter().find_map(|k| match k {
@@ -138,10 +140,7 @@ impl Snapshot {
                 (
                     SnapshotKind::Structure { classes: a },
                     SnapshotKind::Structure { classes: b },
-                ) => {
-                    a.keys().next() == b.keys().next()
-                        || a.keys().any(|k| b.contains_key(k))
-                }
+                ) => a.keys().next() == b.keys().next() || a.keys().any(|k| b.contains_key(k)),
                 (SnapshotKind::Array { elem: a }, SnapshotKind::Array { elem: b }) => a == b,
                 _ => false,
             },
@@ -149,27 +148,246 @@ impl Snapshot {
     }
 }
 
+/// How incremental (write-versioned) snapshot caching behaves.
+///
+/// The guest heap stamps every object and array with the mutation epoch
+/// of its last write (see `algoprof_vm::Heap::epoch`). A cached
+/// [`Measurement`] whose traversed containers are all unmodified since
+/// it was taken is still exact, so the traversal can be skipped (or
+/// partially redone when only a few containers changed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IncrementalMode {
+    /// Always re-traverse (the paper's original behaviour).
+    Disabled,
+    /// Reuse cached measurements validated by heap write-versioning.
+    #[default]
+    Enabled,
+    /// Run the incremental path *and* a from-scratch traversal, and
+    /// assert the snapshots are equal. Used by tests and benchmarks to
+    /// prove the optimization exact.
+    Differential,
+}
+
+/// Counters describing how much snapshot work a profiling run did.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// From-scratch traversals performed.
+    pub full_walks: u64,
+    /// Measurements answered entirely from cache.
+    pub cache_hits: u64,
+    /// Measurements answered by re-scanning only modified containers.
+    pub partial_redos: u64,
+    /// Objects visited by traversals (full walks and partial redos).
+    pub objects_traversed: u64,
+    /// Arrays visited by traversals.
+    pub arrays_traversed: u64,
+    /// Array elements examined by traversals.
+    pub elements_scanned: u64,
+}
+
+impl SnapshotStats {
+    /// Total traversal effort: containers visited plus elements scanned.
+    pub fn traversal_work(&self) -> u64 {
+        self.objects_traversed + self.arrays_traversed + self.elements_scanned
+    }
+}
+
+/// One container (object or array) visited by a traversal, with the
+/// outgoing references the traversal followed out of it. Stored sorted
+/// so a later re-scan can diff the edge multiset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerRecord {
+    /// The container itself.
+    pub key: ElemKey,
+    /// Non-null references the traversal followed out of this container
+    /// (recursive fields for objects, elements for ref arrays), sorted.
+    pub children: Vec<ElemKey>,
+    /// Non-null references counted inside this container when it is an
+    /// array (contributes to [`Snapshot::refs_traversed`]).
+    pub array_refs: usize,
+}
+
+/// A [`Snapshot`] plus everything needed to decide later whether a
+/// traversal from the same root can reuse it: the root, the heap epoch
+/// it reflects, and the containers whose mutation would invalidate it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Measurement {
+    /// The snapshot taken.
+    pub snapshot: Snapshot,
+    /// The reference the traversal started from.
+    pub root: ElemKey,
+    /// Heap epoch this measurement reflects: it is exact as long as no
+    /// container was stamped after this epoch.
+    pub epoch: u64,
+    /// Containers whose mutation invalidates the snapshot, sorted by
+    /// key. For structures these are the visited objects and ref-kind
+    /// arrays (primitive arrays contribute only their identity, which
+    /// element stores cannot change); for arrays, every visited array.
+    pub containers: Vec<ContainerRecord>,
+    /// Position in the heap's array write log when this measurement was
+    /// taken (see `Heap::log_pos`). [`try_partial_array`] replays the
+    /// entries journalled since then instead of re-scanning elements.
+    /// `u64::MAX` marks a measurement with no usable log window.
+    pub log_pos: u64,
+    /// Multiset of element-derived keys (`Int` values and `Obj`
+    /// references) of an array measurement, so the write-log replay can
+    /// drop a key exactly when its last occurrence is overwritten.
+    /// Empty for structure measurements.
+    pub elem_counts: BTreeMap<ElemKey, usize>,
+}
+
+impl Measurement {
+    /// Wraps a bare snapshot as a never-reusable measurement (epoch 0
+    /// predates every allocation, and the container set is left empty
+    /// only when the snapshot has no reference keys). Intended for tests
+    /// and for synthetic registry population.
+    pub fn detached(snapshot: Snapshot) -> Measurement {
+        let root = snapshot.ref_keys().next().unwrap_or(ElemKey::Int(0));
+        let containers = snapshot
+            .ref_keys()
+            .map(|key| ContainerRecord {
+                key,
+                children: Vec::new(),
+                array_refs: 0,
+            })
+            .collect();
+        Measurement {
+            snapshot,
+            root,
+            epoch: 0,
+            containers,
+            log_pos: u64::MAX,
+            elem_counts: BTreeMap::new(),
+        }
+    }
+
+    /// Finds the container record for `key`, if the traversal visited it.
+    pub fn container(&self, key: ElemKey) -> Option<&ContainerRecord> {
+        self.containers
+            .binary_search_by(|c| c.key.cmp(&key))
+            .ok()
+            .map(|i| &self.containers[i])
+    }
+
+    /// Whether every container is unmodified since `self.epoch` — i.e.
+    /// a traversal from `self.root` would reproduce `self.snapshot`
+    /// exactly.
+    pub fn still_exact(&self, heap: &Heap) -> bool {
+        self.containers.iter().all(|c| match c.key {
+            ElemKey::Obj(o) => heap.object_stamp(o) <= self.epoch,
+            ElemKey::Arr(a) => heap.array_stamp(a) <= self.epoch,
+            ElemKey::Int(_) => true,
+        })
+    }
+}
+
+/// The sorted outgoing-edge multiset of one container, as the structure
+/// traversal sees it: recursive-field references for objects, elements
+/// for ref arrays (with the non-null count), nothing for primitive
+/// arrays.
+fn scan_container(program: &CompiledProgram, heap: &Heap, key: ElemKey) -> (Vec<ElemKey>, usize) {
+    let mut children = Vec::new();
+    let mut array_refs = 0usize;
+    match key {
+        ElemKey::Obj(o) => {
+            let obj = heap.object(o);
+            for (slot, &fid) in program.class(obj.class).field_layout.iter().enumerate() {
+                if program.field(fid).is_recursive {
+                    match obj.fields[slot] {
+                        Value::Obj(c) => children.push(ElemKey::Obj(c)),
+                        Value::Arr(c) => children.push(ElemKey::Arr(c)),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        ElemKey::Arr(a) => {
+            let arr = heap.array(a);
+            if arr.elem == ElemKind::Ref {
+                for &e in &arr.elems {
+                    match e {
+                        Value::Obj(c) => {
+                            children.push(ElemKey::Obj(c));
+                            array_refs += 1;
+                        }
+                        Value::Arr(c) => {
+                            children.push(ElemKey::Arr(c));
+                            array_refs += 1;
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        ElemKey::Int(_) => {}
+    }
+    children.sort_unstable();
+    (children, array_refs)
+}
+
 /// Takes a snapshot of the recursive structure reachable from `start`
 /// (an object of a recursive class), following recursive fields and the
 /// arrays they hold.
 pub fn snapshot_structure(program: &CompiledProgram, heap: &Heap, start: ObjRef) -> Snapshot {
+    measure_structure(program, heap, start, &mut SnapshotStats::default()).snapshot
+}
+
+/// Like [`snapshot_structure`], but also records the traversal's
+/// containers and epoch for later incremental reuse, and counts the
+/// work into `stats`.
+pub fn measure_structure(
+    program: &CompiledProgram,
+    heap: &Heap,
+    start: ObjRef,
+    stats: &mut SnapshotStats,
+) -> Measurement {
     let t = heap.traverse_structure(program, Value::Obj(start));
     let mut keys = BTreeSet::new();
     let mut classes: BTreeMap<ClassId, usize> = BTreeMap::new();
+    let mut containers = Vec::with_capacity(t.objects.len() + t.arrays.len());
     for &o in &t.objects {
         keys.insert(ElemKey::Obj(o));
         *classes.entry(heap.object(o).class).or_insert(0) += 1;
+        let (children, _) = scan_container(program, heap, ElemKey::Obj(o));
+        containers.push(ContainerRecord {
+            key: ElemKey::Obj(o),
+            children,
+            array_refs: 0,
+        });
     }
     for &a in &t.arrays {
         keys.insert(ElemKey::Arr(a));
+        stats.elements_scanned += heap.array(a).elems.len() as u64;
+        // Primitive arrays contribute only their identity key: element
+        // stores cannot change a structure snapshot, so they are not
+        // invalidating containers.
+        if heap.array(a).elem == ElemKind::Ref {
+            let (children, array_refs) = scan_container(program, heap, ElemKey::Arr(a));
+            containers.push(ContainerRecord {
+                key: ElemKey::Arr(a),
+                children,
+                array_refs,
+            });
+        }
     }
+    containers.sort_unstable_by_key(|c| c.key);
+    stats.full_walks += 1;
+    stats.objects_traversed += t.objects.len() as u64;
+    stats.arrays_traversed += t.arrays.len() as u64;
     let size = t.objects.len();
-    Snapshot {
-        keys,
-        kind: SnapshotKind::Structure { classes },
-        size,
-        unique_size: size,
-        refs_traversed: t.refs_traversed,
+    Measurement {
+        snapshot: Snapshot {
+            keys,
+            kind: SnapshotKind::Structure { classes },
+            size,
+            unique_size: size,
+            refs_traversed: t.refs_traversed,
+        },
+        root: ElemKey::Obj(start),
+        epoch: heap.epoch(),
+        containers,
+        log_pos: heap.log_pos(),
+        elem_counts: BTreeMap::new(),
     }
 }
 
@@ -178,11 +396,20 @@ pub fn snapshot_structure(program: &CompiledProgram, heap: &Heap, start: ObjRef)
 /// `3 + (0+1+2)`, mirroring the algorithmic-step count of the analogous
 /// loop nest — paper §3.4).
 pub fn snapshot_array(heap: &Heap, arr: ArrRef) -> Snapshot {
+    measure_array(heap, arr, &mut SnapshotStats::default()).snapshot
+}
+
+/// Like [`snapshot_array`], but also records the traversal's containers
+/// and epoch for later incremental reuse, and counts the work into
+/// `stats`.
+pub fn measure_array(heap: &Heap, arr: ArrRef, stats: &mut SnapshotStats) -> Measurement {
     let mut keys = BTreeSet::new();
     let mut capacity = 0usize;
     let mut unique = BTreeSet::new();
     let mut refs_traversed = 0usize;
     let root_elem = heap.array(arr).elem;
+    let mut containers = Vec::new();
+    let mut elem_counts: BTreeMap<ElemKey, usize> = BTreeMap::new();
 
     let mut queue = vec![arr];
     let mut seen = BTreeSet::new();
@@ -193,16 +420,20 @@ pub fn snapshot_array(heap: &Heap, arr: ArrRef) -> Snapshot {
         keys.insert(ElemKey::Arr(a));
         let array = heap.array(a);
         capacity += array.elems.len();
+        stats.elements_scanned += array.elems.len() as u64;
+        let mut children = Vec::new();
+        let mut array_refs = 0usize;
         match array.elem {
             ElemKind::Int | ElemKind::Bool => {
                 for &e in &array.elems {
-                    if let Value::Int(v) = e {
-                        keys.insert(ElemKey::Int(v));
-                        unique.insert(ElemKey::Int(v));
-                    } else if let Value::Bool(b) = e {
-                        keys.insert(ElemKey::Int(b as i64));
-                        unique.insert(ElemKey::Int(b as i64));
-                    }
+                    let v = match e {
+                        Value::Int(v) => v,
+                        Value::Bool(b) => b as i64,
+                        _ => continue,
+                    };
+                    keys.insert(ElemKey::Int(v));
+                    unique.insert(ElemKey::Int(v));
+                    *elem_counts.entry(ElemKey::Int(v)).or_insert(0) += 1;
                 }
             }
             ElemKind::Ref => {
@@ -211,11 +442,17 @@ pub fn snapshot_array(heap: &Heap, arr: ArrRef) -> Snapshot {
                         Value::Obj(o) => {
                             keys.insert(ElemKey::Obj(o));
                             unique.insert(ElemKey::Obj(o));
+                            *elem_counts.entry(ElemKey::Obj(o)).or_insert(0) += 1;
                             refs_traversed += 1;
+                            stats.objects_traversed += 1;
+                            children.push(ElemKey::Obj(o));
+                            array_refs += 1;
                         }
                         Value::Arr(child) => {
                             unique.insert(ElemKey::Arr(child));
                             refs_traversed += 1;
+                            children.push(ElemKey::Arr(child));
+                            array_refs += 1;
                             queue.push(child);
                         }
                         _ => {}
@@ -223,14 +460,257 @@ pub fn snapshot_array(heap: &Heap, arr: ArrRef) -> Snapshot {
                 }
             }
         }
+        children.sort_unstable();
+        containers.push(ContainerRecord {
+            key: ElemKey::Arr(a),
+            children,
+            array_refs,
+        });
+    }
+    containers.sort_unstable_by_key(|c| c.key);
+    stats.full_walks += 1;
+    stats.arrays_traversed += containers.len() as u64;
+
+    Measurement {
+        snapshot: Snapshot {
+            keys,
+            kind: SnapshotKind::Array { elem: root_elem },
+            size: capacity,
+            unique_size: unique.len(),
+            refs_traversed,
+        },
+        root: ElemKey::Arr(arr),
+        epoch: heap.epoch(),
+        containers,
+        log_pos: heap.log_pos(),
+        elem_counts,
+    }
+}
+
+/// Multiset difference of two sorted child lists: `Some(additions)`
+/// when `new` is a superset of `old`, `None` when any old child was
+/// removed (the cached reachable set may have shrunk).
+fn added_children(old: &[ElemKey], new: &[ElemKey]) -> Option<Vec<ElemKey>> {
+    let mut additions = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < old.len() && j < new.len() {
+        match old[i].cmp(&new[j]) {
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                additions.push(new[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Less => return None,
+        }
+    }
+    if i < old.len() {
+        return None;
+    }
+    additions.extend_from_slice(&new[j..]);
+    Some(additions)
+}
+
+/// Attempts to bring a stale *structure* measurement up to date by
+/// re-scanning only the containers stamped after `m.epoch` and
+/// traversing just the newly linked region.
+///
+/// Sound only when modified containers gained edges without losing any:
+/// unmodified containers keep their edge sets, so nothing can have
+/// fallen out of the reachable set, and everything newly reachable is
+/// behind an added edge. Returns the ref keys that joined the snapshot
+/// (for reverse-map maintenance), or `None` when an edge was removed or
+/// the measurement is not a structure — callers must then fall back to
+/// a full walk.
+pub fn try_partial_structure(
+    program: &CompiledProgram,
+    heap: &Heap,
+    m: &mut Measurement,
+    stats: &mut SnapshotStats,
+) -> Option<Vec<ElemKey>> {
+    if !matches!(m.snapshot.kind, SnapshotKind::Structure { .. }) {
+        return None;
     }
 
-    Snapshot {
-        keys,
-        kind: SnapshotKind::Array { elem: root_elem },
-        size: capacity,
-        unique_size: unique.len(),
-        refs_traversed,
+    // Re-scan every modified container, diffing its edge multiset.
+    let mut frontier: Vec<ElemKey> = Vec::new();
+    let mut refs_delta = 0isize;
+    for c in &mut m.containers {
+        let modified = match c.key {
+            ElemKey::Obj(o) => heap.object_stamp(o) > m.epoch,
+            ElemKey::Arr(a) => heap.array_stamp(a) > m.epoch,
+            ElemKey::Int(_) => false,
+        };
+        if !modified {
+            continue;
+        }
+        let (new_children, new_refs) = scan_container(program, heap, c.key);
+        frontier.extend(added_children(&c.children, &new_children)?);
+        match c.key {
+            ElemKey::Obj(_) => stats.objects_traversed += 1,
+            ElemKey::Arr(a) => {
+                stats.arrays_traversed += 1;
+                stats.elements_scanned += heap.array(a).elems.len() as u64;
+            }
+            ElemKey::Int(_) => {}
+        }
+        refs_delta += new_refs as isize - c.array_refs as isize;
+        c.children = new_children;
+        c.array_refs = new_refs;
+    }
+
+    // Traverse the newly linked region, mirroring the membership rules
+    // of `Heap::traverse_structure` exactly.
+    let mut added_keys = Vec::new();
+    let mut new_containers = Vec::new();
+    while let Some(key) = frontier.pop() {
+        if m.snapshot.keys.contains(&key) {
+            continue;
+        }
+        match key {
+            ElemKey::Obj(o) => {
+                if !program.class(heap.object(o).class).is_recursive {
+                    continue;
+                }
+                m.snapshot.keys.insert(key);
+                m.snapshot.size += 1;
+                if let SnapshotKind::Structure { classes } = &mut m.snapshot.kind {
+                    *classes.entry(heap.object(o).class).or_insert(0) += 1;
+                }
+                stats.objects_traversed += 1;
+                let (children, _) = scan_container(program, heap, key);
+                frontier.extend_from_slice(&children);
+                new_containers.push(ContainerRecord {
+                    key,
+                    children,
+                    array_refs: 0,
+                });
+                added_keys.push(key);
+            }
+            ElemKey::Arr(a) => {
+                m.snapshot.keys.insert(key);
+                stats.arrays_traversed += 1;
+                stats.elements_scanned += heap.array(a).elems.len() as u64;
+                if heap.array(a).elem == ElemKind::Ref {
+                    let (children, array_refs) = scan_container(program, heap, key);
+                    refs_delta += array_refs as isize;
+                    frontier.extend_from_slice(&children);
+                    new_containers.push(ContainerRecord {
+                        key,
+                        children,
+                        array_refs,
+                    });
+                }
+                added_keys.push(key);
+            }
+            ElemKey::Int(_) => {}
+        }
+    }
+
+    m.containers.extend(new_containers);
+    m.containers.sort_unstable_by_key(|c| c.key);
+    m.snapshot.refs_traversed = (m.snapshot.refs_traversed as isize + refs_delta) as usize;
+    m.snapshot.unique_size = m.snapshot.size;
+    m.epoch = heap.epoch();
+    stats.partial_redos += 1;
+    Some(added_keys)
+}
+
+/// The snapshot key an array element contributes, if any. `Arr` values
+/// are deliberately absent: a nested-array store changes the container
+/// set and must force a full walk, so the replay bails before asking.
+fn elem_key_of(v: Value) -> Option<ElemKey> {
+    match v {
+        Value::Int(n) => Some(ElemKey::Int(n)),
+        Value::Bool(b) => Some(ElemKey::Int(b as i64)),
+        Value::Obj(o) => Some(ElemKey::Obj(o)),
+        _ => None,
+    }
+}
+
+/// Attempts to bring a stale *array* measurement up to date by
+/// replaying the heap's array write log instead of re-scanning every
+/// element.
+///
+/// Sound because `Heap::set_elem` journals every element store since
+/// `m.log_pos` (and raw `array_mut` access truncates the journal,
+/// making [`Heap::array_writes_since`] return `None` here), so each
+/// logged `(old, new)` pair updates the element-key multiset exactly
+/// as a re-scan would observe. Bails with `None` — caller falls back
+/// to a full walk — when the log window is gone or when any journalled
+/// write on a traversed container stores or removes a nested array
+/// (that changes which containers the traversal must visit).
+///
+/// Container `children`/`array_refs` records are *not* maintained
+/// here: the array path never consults them (replay revalidates via
+/// the log and the stamps alone).
+pub fn try_partial_array(
+    heap: &Heap,
+    m: &mut Measurement,
+    stats: &mut SnapshotStats,
+) -> Option<()> {
+    if !matches!(m.snapshot.kind, SnapshotKind::Array { .. }) {
+        return None;
+    }
+    let entries = heap.array_writes_since(m.log_pos)?;
+    if entries.iter().any(|w| {
+        m.container(ElemKey::Arr(w.arr)).is_some()
+            && (matches!(w.old, Value::Arr(_)) || matches!(w.new, Value::Arr(_)))
+    }) {
+        return None;
+    }
+    for &w in entries {
+        if m.container(ElemKey::Arr(w.arr)).is_none() {
+            continue;
+        }
+        stats.elements_scanned += 1;
+        if let Some(k) = elem_key_of(w.old) {
+            let count = m
+                .elem_counts
+                .get_mut(&k)
+                .expect("journalled overwrite of an untracked element key");
+            *count -= 1;
+            if *count == 0 {
+                m.elem_counts.remove(&k);
+                m.snapshot.keys.remove(&k);
+                m.snapshot.unique_size -= 1;
+            }
+            if matches!(k, ElemKey::Obj(_)) {
+                m.snapshot.refs_traversed -= 1;
+            }
+        }
+        if let Some(k) = elem_key_of(w.new) {
+            let count = m.elem_counts.entry(k).or_insert(0);
+            *count += 1;
+            if *count == 1 {
+                m.snapshot.keys.insert(k);
+                m.snapshot.unique_size += 1;
+            }
+            if matches!(k, ElemKey::Obj(_)) {
+                m.snapshot.refs_traversed += 1;
+                stats.objects_traversed += 1;
+            }
+        }
+    }
+    m.epoch = heap.epoch();
+    m.log_pos = heap.log_pos();
+    stats.partial_redos += 1;
+    Some(())
+}
+
+/// Measures the structure or array behind reference `r` from scratch.
+pub fn measure_value(
+    program: &CompiledProgram,
+    heap: &Heap,
+    r: Value,
+    stats: &mut SnapshotStats,
+) -> Option<Measurement> {
+    match r {
+        Value::Obj(o) => Some(measure_structure(program, heap, o, stats)),
+        Value::Arr(a) => Some(measure_array(heap, a, stats)),
+        _ => None,
     }
 }
 
@@ -252,8 +732,7 @@ mod tests {
 
     #[test]
     fn structure_snapshot_counts_linked_list() {
-        let (p, heap) = run(
-            r#"class Main { static int main() {
+        let (p, heap) = run(r#"class Main { static int main() {
                 Node head = null;
                 for (int i = 0; i < 6; i = i + 1) {
                     Node n = new Node();
@@ -262,8 +741,7 @@ mod tests {
                 }
                 return 0;
             } }
-            class Node { Node next; }"#,
-        );
+            class Node { Node next; }"#);
         // Object 0 is the first Node allocated (the tail).
         let snap = snapshot_structure(&p, &heap, ObjRef(5));
         assert_eq!(snap.size, 6, "head reaches all 6 nodes");
@@ -275,8 +753,7 @@ mod tests {
 
     #[test]
     fn bidirectional_list_reaches_all_from_anywhere() {
-        let (p, heap) = run(
-            r#"class Main { static int main() {
+        let (p, heap) = run(r#"class Main { static int main() {
                 Node head = new Node();
                 Node cur = head;
                 for (int i = 0; i < 4; i = i + 1) {
@@ -287,8 +764,7 @@ mod tests {
                 }
                 return 0;
             } }
-            class Node { Node next; Node prev; }"#,
-        );
+            class Node { Node next; Node prev; }"#);
         for i in 0..5 {
             let snap = snapshot_structure(&p, &heap, ObjRef(i));
             assert_eq!(snap.size, 5, "node {i} reaches the whole chain");
@@ -297,12 +773,10 @@ mod tests {
 
     #[test]
     fn triangular_array_capacity_matches_paper() {
-        let (_, heap) = run(
-            r#"class Main { static int main() {
+        let (_, heap) = run(r#"class Main { static int main() {
                 int[][] tri = new int[][] { new int[0], new int[1], new int[2] };
                 return tri.length;
-            } }"#,
-        );
+            } }"#);
         // The outer array is allocated first (ArrRef 0), then its rows.
         let snap = snapshot_array(&heap, ArrRef(0));
         #[allow(clippy::identity_op)] // spelled out to mirror the paper's arithmetic
@@ -312,13 +786,11 @@ mod tests {
 
     #[test]
     fn unique_elements_sees_used_fraction() {
-        let (_, heap) = run(
-            r#"class Main { static int main() {
+        let (_, heap) = run(r#"class Main { static int main() {
                 int[] values = new int[1000];
                 for (int i = 0; i < 10; i = i + 1) { values[i] = i * 2; }
                 return 0;
-            } }"#,
-        );
+            } }"#);
         let snap = snapshot_array(&heap, ArrRef(0));
         assert_eq!(snap.size_under(ArraySizeStrategy::Capacity), 1000);
         // Distinct values are {0, 2, ..., 18}: ten of them (unused slots
@@ -329,8 +801,7 @@ mod tests {
 
     #[test]
     fn resized_ref_arrays_overlap_via_elements() {
-        let (_, heap) = run(
-            r#"class Main { static int main() {
+        let (_, heap) = run(r#"class Main { static int main() {
                 Object[] small = new Object[2];
                 small[0] = new Item();
                 small[1] = new Item();
@@ -338,8 +809,7 @@ mod tests {
                 for (int i = 0; i < 2; i = i + 1) { big[i] = small[i]; }
                 return 0;
             } }
-            class Item { }"#,
-        );
+            class Item { }"#);
         let small = snapshot_array(&heap, ArrRef(0));
         let big = snapshot_array(&heap, ArrRef(1));
         assert!(small.equivalent(&big, EquivalenceCriterion::SomeElements));
@@ -349,14 +819,12 @@ mod tests {
 
     #[test]
     fn same_type_criterion() {
-        let (p, heap) = run(
-            r#"class Main { static int main() {
+        let (p, heap) = run(r#"class Main { static int main() {
                 Node a = new Node();
                 Node b = new Node();
                 return 0;
             } }
-            class Node { Node next; }"#,
-        );
+            class Node { Node next; }"#);
         let a = snapshot_structure(&p, &heap, ObjRef(0));
         let b = snapshot_structure(&p, &heap, ObjRef(1));
         assert!(!a.equivalent(&b, EquivalenceCriterion::SomeElements));
@@ -364,9 +832,87 @@ mod tests {
     }
 
     #[test]
+    fn partial_array_replay_tracks_element_multiset() {
+        let mut heap = Heap::new();
+        let a = heap.alloc_array(ElemKind::Int, 4);
+        heap.set_elem(a, 0, Value::Int(5));
+        heap.set_elem(a, 1, Value::Int(5));
+        heap.set_elem(a, 2, Value::Int(7));
+        let mut stats = SnapshotStats::default();
+        let mut m = measure_array(&heap, a, &mut stats);
+
+        // Overwriting one of the two 5s keeps the key alive...
+        heap.set_elem(a, 0, Value::Int(9));
+        assert!(try_partial_array(&heap, &mut m, &mut stats).is_some());
+        assert_eq!(m.snapshot, snapshot_array(&heap, a));
+        assert!(m.snapshot.keys.contains(&ElemKey::Int(5)));
+
+        // ...overwriting the last occurrence drops it.
+        heap.set_elem(a, 1, Value::Int(9));
+        assert!(try_partial_array(&heap, &mut m, &mut stats).is_some());
+        assert_eq!(m.snapshot, snapshot_array(&heap, a));
+        assert!(!m.snapshot.keys.contains(&ElemKey::Int(5)));
+        assert_eq!(stats.partial_redos, 2);
+    }
+
+    #[test]
+    fn partial_array_replay_handles_ref_elements() {
+        let mut heap = Heap::new();
+        let o1 = heap.alloc_object(ClassId(0), 0);
+        let o2 = heap.alloc_object(ClassId(0), 0);
+        let a = heap.alloc_array(ElemKind::Ref, 3);
+        heap.set_elem(a, 0, Value::Obj(o1));
+        heap.set_elem(a, 1, Value::Obj(o2));
+        let mut stats = SnapshotStats::default();
+        let mut m = measure_array(&heap, a, &mut stats);
+        assert_eq!(m.snapshot.refs_traversed, 2);
+
+        // Clear one slot and duplicate the other object: the replayed
+        // snapshot must match a fresh traversal key-for-key.
+        heap.set_elem(a, 0, Value::Null);
+        heap.set_elem(a, 2, Value::Obj(o2));
+        assert!(try_partial_array(&heap, &mut m, &mut stats).is_some());
+        assert_eq!(m.snapshot, snapshot_array(&heap, a));
+        assert_eq!(m.snapshot.refs_traversed, 2);
+        assert!(!m.snapshot.keys.contains(&ElemKey::Obj(o1)));
+    }
+
+    #[test]
+    fn partial_array_bails_on_nested_array_store() {
+        let mut heap = Heap::new();
+        let inner = heap.alloc_array(ElemKind::Int, 2);
+        let other = heap.alloc_array(ElemKind::Int, 2);
+        let outer = heap.alloc_array(ElemKind::Ref, 2);
+        heap.set_elem(outer, 0, Value::Arr(inner));
+        let mut stats = SnapshotStats::default();
+        let mut m = measure_array(&heap, outer, &mut stats);
+        assert_eq!(m.snapshot.size, 4, "outer capacity plus nested");
+
+        // Linking another array changes the container set: the replay
+        // must refuse so the caller re-walks.
+        heap.set_elem(outer, 1, Value::Arr(other));
+        assert!(try_partial_array(&heap, &mut m, &mut stats).is_none());
+    }
+
+    #[test]
+    fn partial_array_bails_after_raw_access() {
+        let mut heap = Heap::new();
+        let a = heap.alloc_array(ElemKind::Int, 3);
+        heap.set_elem(a, 0, Value::Int(1));
+        let mut stats = SnapshotStats::default();
+        let mut m = measure_array(&heap, a, &mut stats);
+
+        // An unjournalled raw write truncates the log; the stale replay
+        // window must not claim the snapshot is current.
+        heap.array_mut(a).elems[1] = Value::Int(8);
+        assert!(try_partial_array(&heap, &mut m, &mut stats).is_none());
+        let fresh = measure_array(&heap, a, &mut stats);
+        assert!(fresh.snapshot.keys.contains(&ElemKey::Int(8)));
+    }
+
+    #[test]
     fn nary_tree_size_includes_array_children() {
-        let (p, heap) = run(
-            r#"class Main { static int main() {
+        let (p, heap) = run(r#"class Main { static int main() {
                 Node root = new Node(3);
                 for (int i = 0; i < 3; i = i + 1) {
                     root.children[i] = new Node(0);
@@ -376,8 +922,7 @@ mod tests {
             class Node {
                 Node[] children;
                 Node(int n) { children = new Node[n]; }
-            }"#,
-        );
+            }"#);
         let snap = snapshot_structure(&p, &heap, ObjRef(0));
         assert_eq!(snap.size, 4, "root + 3 children");
         assert_eq!(snap.refs_traversed, 3, "three non-null child references");

@@ -114,7 +114,12 @@ impl fmt::Display for Fit {
         }
         write!(f, "cost = {:.4}*{}", self.coeff, self.model)?;
         if self.intercept.abs() > 1e-9 {
-            write!(f, " {} {:.4}", if self.intercept >= 0.0 { "+" } else { "-" }, self.intercept.abs())?;
+            write!(
+                f,
+                " {} {:.4}",
+                if self.intercept >= 0.0 { "+" } else { "-" },
+                self.intercept.abs()
+            )?;
         }
         write!(f, "  (R^2 = {:.4})", self.r2)
     }

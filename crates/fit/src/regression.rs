@@ -77,7 +77,11 @@ pub fn fit_all(points: &[(f64, f64)]) -> Vec<Fit> {
 /// to the next-best candidate.
 pub fn best_fit(points: &[(f64, f64)]) -> Option<Fit> {
     let mut fits = fit_all(points);
-    fits.sort_by(|a, b| a.bic.partial_cmp(&b.bic).unwrap_or(std::cmp::Ordering::Equal));
+    fits.sort_by(|a, b| {
+        a.bic
+            .partial_cmp(&b.bic)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     fits.into_iter()
         .find(|f| f.model == Model::Constant || f.coeff >= 0.0)
 }
@@ -114,11 +118,7 @@ pub fn fit_power_law(points: &[(f64, f64)]) -> Option<PowerFit> {
         })
         .sum();
     let tss: f64 = logs.iter().map(|(_, y)| (y - my) * (y - my)).sum();
-    let r2 = if tss < 1e-12 {
-        1.0
-    } else {
-        1.0 - rss / tss
-    };
+    let r2 = if tss < 1e-12 { 1.0 } else { 1.0 - rss / tss };
     Some(PowerFit {
         coeff: intercept.exp(),
         exponent,

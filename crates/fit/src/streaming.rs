@@ -125,7 +125,8 @@ impl StreamingFit {
         } else {
             (s.sx, s.sxx, s.sxy)
         };
-        let rss = (s.syy - 2.0 * a * sxy_raw - 2.0 * b * s.sy + a * a * sxx_raw
+        let rss = (s.syy - 2.0 * a * sxy_raw - 2.0 * b * s.sy
+            + a * a * sxx_raw
             + 2.0 * a * b * sx
             + n * b * b)
             .max(0.0);

@@ -7,7 +7,9 @@ pub mod casestudy;
 pub mod listings;
 pub mod table1;
 
-pub use algorithms::{binary_search_program, bubble_sort_program, matmul_program, merge_sort_program};
+pub use algorithms::{
+    binary_search_program, bubble_sort_program, matmul_program, merge_sort_program,
+};
 pub use casestudy::catalog_program;
 pub use listings::{
     array_list_program, functional_sort_program, insertion_sort_program, GrowthPolicy,

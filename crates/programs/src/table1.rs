@@ -133,8 +133,8 @@ impl Table1Program {
             });
             algo_ids.push(found.map(|a| a.id));
         }
-        let observed_grouped = algo_ids.iter().all(|x| x.is_some())
-            && algo_ids.windows(2).all(|w| w[0] == w[1]);
+        let observed_grouped =
+            algo_ids.iter().all(|x| x.is_some()) && algo_ids.windows(2).all(|w| w[0] == w[1]);
         let grouping_matches_paper = observed_grouped == self.expected_grouping.is_grouped();
 
         Table1Outcome {

@@ -204,7 +204,9 @@ mod tests {
 
     fn cfg_of(src: &str, name: &str) -> (Cfg, Function) {
         let p = compile(src).expect("compiles");
-        let f = p.func(p.func_by_name(name).expect("function exists")).clone();
+        let f = p
+            .func(p.func_by_name(name).expect("function exists"))
+            .clone();
         (Cfg::build(&f), f)
     }
 

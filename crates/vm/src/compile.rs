@@ -2,9 +2,7 @@
 //! [`CompiledProgram`] tables.
 
 use crate::ast::{BinOp, UnOp};
-use crate::bytecode::{
-    ClassInfo, CompiledProgram, FieldInfo, Function, Handler, Instr,
-};
+use crate::bytecode::{ClassInfo, CompiledProgram, FieldInfo, Function, Handler, Instr};
 use crate::error::CompileError;
 use crate::hir::{HExpr, HFunction, HStmt};
 use crate::parser::parse;
@@ -546,9 +544,8 @@ mod tests {
 
     #[test]
     fn void_function_gets_implicit_ret() {
-        let p = compile_ok(
-            "class Main { static int main() { f(); return 0; } static void f() { } }",
-        );
+        let p =
+            compile_ok("class Main { static int main() { f(); return 0; } static void f() { } }");
         let f = p.func(p.func_by_name("Main.f").expect("Main.f exists"));
         assert_eq!(f.code.last(), Some(&Instr::Ret));
     }

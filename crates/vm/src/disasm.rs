@@ -55,7 +55,11 @@ pub fn disassemble(program: &CompiledProgram) -> String {
                 Some(s) => format!(" extends {}", program.class(s).name),
                 None => String::new(),
             },
-            if class.is_recursive { " [recursive]" } else { "" },
+            if class.is_recursive {
+                " [recursive]"
+            } else {
+                ""
+            },
         );
         for &fid in &class.field_layout {
             let field = program.field(fid);
@@ -64,7 +68,11 @@ pub fn disassemble(program: &CompiledProgram) -> String {
                 "  .field {} slot {}{}",
                 field.name,
                 field.slot,
-                if field.is_recursive { " [recursive link]" } else { "" },
+                if field.is_recursive {
+                    " [recursive link]"
+                } else {
+                    ""
+                },
             );
         }
     }

@@ -80,8 +80,16 @@ impl Dominators {
         }
     }
 
-    /// Whether `a` dominates `b` (reflexive).
+    /// Whether `a` dominates `b` (reflexive for reachable blocks).
+    ///
+    /// Unreachable blocks have no place in the dominator tree: they
+    /// neither dominate nor are dominated, not even by themselves —
+    /// otherwise a branch inside dead code would satisfy the back-edge
+    /// test (`target dominates source`) and fabricate a natural loop.
     pub fn dominates(&self, a: usize, b: usize) -> bool {
+        if self.idom(a).is_none() || self.idom(b).is_none() {
+            return false;
+        }
         let mut cur = b;
         loop {
             if cur == a {
@@ -132,7 +140,10 @@ mod tests {
         let succs: Vec<usize> = cfg.blocks[0].succs.iter().map(|&(t, _)| t).collect();
         for s in succs {
             if s != join {
-                assert!(!d.dominates(s, join), "branch side {s} must not dominate join");
+                assert!(
+                    !d.dominates(s, join),
+                    "branch side {s} must not dominate join"
+                );
             }
         }
         assert!(d.dominates(0, join));
@@ -161,5 +172,29 @@ mod tests {
         for b in 0..cfg.len() {
             assert!(d.dominates(b, b));
         }
+    }
+
+    #[test]
+    fn unreachable_blocks_do_not_dominate() {
+        // Dead code after an unconditional return: the trailing loop's
+        // blocks are unreachable and must stay outside the dominator
+        // tree entirely — in particular an unreachable block must not
+        // dominate itself, or its back edge would register as a loop.
+        let (cfg, d) = doms(
+            "class Main { static int main() {
+                int s = 1;
+                return s;
+                while (s < 5) { s = s + 1; }
+                return s;
+            } }",
+        );
+        let dead: Vec<usize> = (0..cfg.len()).filter(|&b| d.idom(b).is_none()).collect();
+        assert!(!dead.is_empty(), "listing must contain unreachable blocks");
+        for &b in &dead {
+            assert!(!d.dominates(b, b), "unreachable block {b} dominated itself");
+            assert!(!d.dominates(0, b), "entry cannot dominate unreachable {b}");
+            assert!(!d.dominates(b, 0), "unreachable {b} cannot dominate entry");
+        }
+        assert!(d.dominates(0, 0), "entry still dominates itself");
     }
 }

@@ -127,7 +127,10 @@ impl fmt::Display for RuntimeError {
         match self {
             RuntimeError::NullDeref { line } => write!(f, "null dereference at line {line}"),
             RuntimeError::IndexOutOfBounds { index, len, line } => {
-                write!(f, "index {index} out of bounds for length {len} at line {line}")
+                write!(
+                    f,
+                    "index {index} out of bounds for length {len} at line {line}"
+                )
             }
             RuntimeError::NegativeArrayLength { len, line } => {
                 write!(f, "negative array length {len} at line {line}")
@@ -177,11 +180,18 @@ mod tests {
     fn runtime_error_display_is_nonempty() {
         let errs: Vec<RuntimeError> = vec![
             RuntimeError::NullDeref { line: 1 },
-            RuntimeError::IndexOutOfBounds { index: -1, len: 0, line: 2 },
+            RuntimeError::IndexOutOfBounds {
+                index: -1,
+                len: 0,
+                line: 2,
+            },
             RuntimeError::NegativeArrayLength { len: -5, line: 3 },
             RuntimeError::DivisionByZero { line: 4 },
             RuntimeError::ClassCast { line: 5 },
-            RuntimeError::UncaughtException { value: "7".into(), line: 6 },
+            RuntimeError::UncaughtException {
+                value: "7".into(),
+                line: 6,
+            },
             RuntimeError::InputExhausted { line: 7 },
             RuntimeError::OutOfFuel,
             RuntimeError::StackOverflow { depth: 10_000 },

@@ -86,17 +86,90 @@ pub struct ArrayObj {
     pub elems: Vec<Value>,
 }
 
+/// One array element overwrite, as recorded in the heap's write log.
+///
+/// Old and new values are enough to maintain a snapshot's element
+/// multiset without knowing the index; the array reference routes the
+/// entry to the right cached measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayWrite {
+    /// The array written to.
+    pub arr: ArrRef,
+    /// The value the slot held before the store.
+    pub old: Value,
+    /// The value stored.
+    pub new: Value,
+}
+
 /// The guest heap.
+///
+/// Every mutation (allocation, field put, array store) advances a
+/// monotonically increasing *epoch* and stamps the touched object or
+/// array with it. Profilers use [`Heap::epoch`] and
+/// [`Heap::modified_since`] to decide whether a cached structure
+/// snapshot is still current without re-traversing the heap.
+///
+/// Array stores made through [`Heap::set_elem`] are additionally
+/// journaled in a write log ([`Heap::array_writes_since`]), so a cached
+/// array snapshot can be brought up to date by replaying the few stores
+/// since it was taken instead of rescanning every element.
 #[derive(Debug, Default, Clone)]
 pub struct Heap {
     objects: Vec<Object>,
     arrays: Vec<ArrayObj>,
+    /// Mutation epoch: incremented on every allocation and every
+    /// mutable access to an object or array.
+    epoch: u64,
+    /// Last-modified epoch per object, indexed like `objects`.
+    obj_stamps: Vec<u64>,
+    /// Last-modified epoch per array, indexed like `arrays`.
+    arr_stamps: Vec<u64>,
+    /// Journal of element stores (see [`Heap::set_elem`]).
+    write_log: Vec<ArrayWrite>,
+    /// Absolute log position of `write_log[0]`; advanced when the log is
+    /// truncated to bound memory. Replays from before this point must
+    /// fall back to a full rescan.
+    log_base: u64,
 }
 
 impl Heap {
     /// Creates an empty heap.
     pub fn new() -> Self {
         Heap::default()
+    }
+
+    /// The current mutation epoch. Strictly increases over every
+    /// allocation, field put, and array store; two equal epochs bracket
+    /// a window with no heap mutations.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// The epoch at which object `r` was last allocated or mutably
+    /// accessed.
+    pub fn object_stamp(&self, r: ObjRef) -> u64 {
+        self.obj_stamps[r.0 as usize]
+    }
+
+    /// The epoch at which array `r` was last allocated or mutably
+    /// accessed.
+    pub fn array_stamp(&self, r: ArrRef) -> u64 {
+        self.arr_stamps[r.0 as usize]
+    }
+
+    /// Whether the object or array behind `r` was allocated or mutated
+    /// after `epoch`. Non-reference values are never modified.
+    pub fn modified_since(&self, r: Value, epoch: u64) -> bool {
+        match r {
+            Value::Obj(o) => self.object_stamp(o) > epoch,
+            Value::Arr(a) => self.array_stamp(a) > epoch,
+            _ => false,
+        }
     }
 
     /// Number of objects ever allocated.
@@ -120,6 +193,8 @@ impl Heap {
     pub fn alloc_object_with(&mut self, class: ClassId, fields: Vec<Value>) -> ObjRef {
         let r = ObjRef(self.objects.len() as u32);
         self.objects.push(Object { class, fields });
+        let stamp = self.bump_epoch();
+        self.obj_stamps.push(stamp);
         r
     }
 
@@ -135,6 +210,8 @@ impl Heap {
             elem,
             elems: vec![init; len],
         });
+        let stamp = self.bump_epoch();
+        self.arr_stamps.push(stamp);
         r
     }
 
@@ -147,9 +224,33 @@ impl Heap {
         &self.objects[r.0 as usize]
     }
 
-    /// Mutable access to the object behind `r`.
+    /// Mutable access to the object behind `r`. Counts as a mutation:
+    /// the epoch advances and the object is re-stamped.
     pub fn object_mut(&mut self, r: ObjRef) -> &mut Object {
+        let stamp = self.bump_epoch();
+        self.obj_stamps[r.0 as usize] = stamp;
         &mut self.objects[r.0 as usize]
+    }
+
+    /// Writes field slot `slot` of object `r`, re-stamping the object
+    /// only when the write can be observed by a structure snapshot.
+    ///
+    /// Snapshots read nothing but reference fields, so a primitive
+    /// (int/bool) overwrite of a primitive value — or storing back the
+    /// value already present — leaves every cached snapshot exact and
+    /// must not invalidate it. Any write where the old or new value is a
+    /// reference changes (or may change) the object's out-edges and
+    /// re-stamps as [`Heap::object_mut`] does.
+    pub fn set_field(&mut self, r: ObjRef, slot: usize, value: Value) {
+        let old = self.objects[r.0 as usize].fields[slot];
+        let shape_relevant = old != value
+            && (matches!(old, Value::Obj(_) | Value::Arr(_))
+                || matches!(value, Value::Obj(_) | Value::Arr(_)));
+        if shape_relevant {
+            let stamp = self.bump_epoch();
+            self.obj_stamps[r.0 as usize] = stamp;
+        }
+        self.objects[r.0 as usize].fields[slot] = value;
     }
 
     /// Returns the array behind `r`.
@@ -157,9 +258,63 @@ impl Heap {
         &self.arrays[r.0 as usize]
     }
 
-    /// Mutable access to the array behind `r`.
+    /// Mutable access to the array behind `r`. Counts as a mutation:
+    /// the epoch advances and the array is re-stamped.
+    ///
+    /// Raw mutable access bypasses the write log, so it also truncates
+    /// it: replays spanning this call would silently miss the mutation,
+    /// and truncation forces them to a full rescan instead. Use
+    /// [`Heap::set_elem`] for element stores.
     pub fn array_mut(&mut self, r: ArrRef) -> &mut ArrayObj {
+        let stamp = self.bump_epoch();
+        self.arr_stamps[r.0 as usize] = stamp;
+        // The +1 skips a phantom position for the unjournalled mutation
+        // itself: log positions captured at (not just before) the old
+        // tail must also be invalidated, or a replay would see an empty
+        // entry list and miss this write.
+        self.log_base += self.write_log.len() as u64 + 1;
+        self.write_log.clear();
         &mut self.arrays[r.0 as usize]
+    }
+
+    /// Upper bound on retained write-log entries; beyond it the log is
+    /// truncated and older replay positions fall back to full rescans.
+    const LOG_LIMIT: usize = 1 << 20;
+
+    /// The current write-log position, for use with
+    /// [`Heap::array_writes_since`].
+    pub fn log_pos(&self) -> u64 {
+        self.log_base + self.write_log.len() as u64
+    }
+
+    /// The element stores journaled since log position `pos`, or `None`
+    /// when the log was truncated past `pos` (the caller must rescan).
+    pub fn array_writes_since(&self, pos: u64) -> Option<&[ArrayWrite]> {
+        let start = pos.checked_sub(self.log_base)?;
+        self.write_log.get(start as usize..)
+    }
+
+    /// Stores `value` into element `idx` of array `r`, journaling the
+    /// overwrite. Storing the value already present is a no-op: it
+    /// neither advances the epoch nor re-stamps the array, since no
+    /// snapshot can observe it.
+    pub fn set_elem(&mut self, r: ArrRef, idx: usize, value: Value) {
+        let old = self.arrays[r.0 as usize].elems[idx];
+        if old == value {
+            return;
+        }
+        let stamp = self.bump_epoch();
+        self.arr_stamps[r.0 as usize] = stamp;
+        if self.write_log.len() >= Self::LOG_LIMIT {
+            self.log_base += self.write_log.len() as u64;
+            self.write_log.clear();
+        }
+        self.write_log.push(ArrayWrite {
+            arr: r,
+            old,
+            new: value,
+        });
+        self.arrays[r.0 as usize].elems[idx] = value;
     }
 
     /// Traverses the recursive data structure reachable from `start`,
@@ -259,7 +414,10 @@ mod tests {
         heap.object_mut(o).fields[1] = Value::Int(5);
         heap.array_mut(a).elems[2] = Value::Int(9);
         assert_eq!(heap.object(o).fields[1], Value::Int(5));
-        assert_eq!(heap.array(a).elems, vec![Value::Int(0), Value::Int(0), Value::Int(9)]);
+        assert_eq!(
+            heap.array(a).elems,
+            vec![Value::Int(0), Value::Int(0), Value::Int(9)]
+        );
         assert_eq!(heap.object_count(), 1);
         assert_eq!(heap.array_count(), 1);
     }
@@ -271,6 +429,121 @@ mod tests {
         let r = heap.alloc_array(ElemKind::Ref, 1);
         assert_eq!(heap.array(b).elems[0], Value::Bool(false));
         assert_eq!(heap.array(r).elems[0], Value::Null);
+    }
+
+    #[test]
+    fn epoch_advances_on_mutation_only() {
+        let mut heap = Heap::new();
+        let e0 = heap.epoch();
+        let o = heap.alloc_object(ClassId(0), 1);
+        let a = heap.alloc_array(ElemKind::Int, 2);
+        assert!(heap.epoch() > e0, "allocations advance the epoch");
+
+        let quiet = heap.epoch();
+        let _ = heap.object(o);
+        let _ = heap.array(a);
+        let _ = heap.object_stamp(o);
+        assert_eq!(heap.epoch(), quiet, "reads do not advance the epoch");
+
+        heap.object_mut(o).fields[0] = Value::Int(1);
+        assert!(heap.epoch() > quiet);
+        assert_eq!(heap.object_stamp(o), heap.epoch());
+
+        let before_store = heap.epoch();
+        heap.array_mut(a).elems[0] = Value::Int(9);
+        assert_eq!(heap.array_stamp(a), heap.epoch());
+        assert!(heap.array_stamp(a) > before_store);
+    }
+
+    #[test]
+    fn modified_since_tracks_individual_objects() {
+        let mut heap = Heap::new();
+        let o1 = heap.alloc_object(ClassId(0), 1);
+        let o2 = heap.alloc_object(ClassId(0), 1);
+        let mark = heap.epoch();
+        heap.object_mut(o2).fields[0] = Value::Int(3);
+        assert!(!heap.modified_since(Value::Obj(o1), mark));
+        assert!(heap.modified_since(Value::Obj(o2), mark));
+        assert!(!heap.modified_since(Value::Int(5), mark));
+        assert!(!heap.modified_since(Value::Null, mark));
+        // A fresh allocation is "modified" relative to any earlier mark.
+        let o3 = heap.alloc_object(ClassId(0), 0);
+        assert!(heap.modified_since(Value::Obj(o3), mark));
+    }
+
+    #[test]
+    fn write_log_records_element_overwrites() {
+        let mut heap = Heap::new();
+        let a = heap.alloc_array(ElemKind::Int, 4);
+        let mark = heap.log_pos();
+
+        heap.set_elem(a, 0, Value::Int(7));
+        heap.set_elem(a, 1, Value::Int(9));
+        // Rewriting the same value is invisible: no log entry, no stamp.
+        let quiet = heap.epoch();
+        heap.set_elem(a, 0, Value::Int(7));
+        assert_eq!(heap.epoch(), quiet);
+
+        let writes = heap.array_writes_since(mark).expect("log intact");
+        assert_eq!(
+            writes,
+            &[
+                ArrayWrite {
+                    arr: a,
+                    old: Value::Int(0),
+                    new: Value::Int(7)
+                },
+                ArrayWrite {
+                    arr: a,
+                    old: Value::Int(0),
+                    new: Value::Int(9)
+                },
+            ]
+        );
+        assert!(heap
+            .array_writes_since(heap.log_pos())
+            .expect("empty tail")
+            .is_empty());
+
+        // Raw mutable access truncates the log: replays from `mark` must
+        // rescan — and so must replays from the position captured right
+        // before the raw write, which would otherwise silently miss it.
+        let before_poke = heap.log_pos();
+        heap.array_mut(a).elems[2] = Value::Int(1);
+        assert!(heap.array_writes_since(mark).is_none());
+        assert!(heap.array_writes_since(before_poke).is_none());
+        assert!(heap
+            .array_writes_since(heap.log_pos())
+            .expect("fresh positions usable again")
+            .is_empty());
+    }
+
+    #[test]
+    fn set_field_stamps_only_reference_shape_changes() {
+        let mut heap = Heap::new();
+        let o = heap.alloc_object(ClassId(0), 2);
+        let peer = heap.alloc_object(ClassId(0), 0);
+        let mark = heap.epoch();
+
+        // Primitive-over-primitive writes are invisible to snapshots.
+        heap.set_field(o, 0, Value::Int(7));
+        heap.set_field(o, 0, Value::Int(8));
+        assert_eq!(heap.epoch(), mark, "int writes do not advance the epoch");
+        assert_eq!(heap.object(o).fields[0], Value::Int(8));
+
+        // Installing a reference changes the out-edges.
+        heap.set_field(o, 1, Value::Obj(peer));
+        assert!(heap.epoch() > mark);
+        assert_eq!(heap.object_stamp(o), heap.epoch());
+
+        // Storing back the same reference changes nothing.
+        let quiet = heap.epoch();
+        heap.set_field(o, 1, Value::Obj(peer));
+        assert_eq!(heap.epoch(), quiet);
+
+        // Clearing a reference changes the out-edges again.
+        heap.set_field(o, 1, Value::Null);
+        assert!(heap.epoch() > quiet);
     }
 
     #[test]

@@ -146,10 +146,7 @@ impl Walker {
                 self.walk_stmts(els);
             }
             HStmt::Loop {
-                cond,
-                body,
-                update,
-                ..
+                cond, body, update, ..
             } => {
                 let ordinal = self.loops.len() as u32;
                 self.loops.push(LoopFacts {

@@ -433,8 +433,12 @@ mod tests {
         }"#;
         let plain = compile(src).expect("compiles");
         let inst = plain.instrument(&InstrumentOptions::default());
-        let r1 = Interp::new(&plain).run(&mut NoopProfiler).expect("plain runs");
-        let r2 = Interp::new(&inst).run(&mut NoopProfiler).expect("instrumented runs");
+        let r1 = Interp::new(&plain)
+            .run(&mut NoopProfiler)
+            .expect("plain runs");
+        let r2 = Interp::new(&inst)
+            .run(&mut NoopProfiler)
+            .expect("instrumented runs");
         assert_eq!(r1.return_value, r2.return_value);
     }
 
@@ -452,7 +456,11 @@ mod tests {
             }"#,
         );
         assert_eq!(p.loops.len(), 2);
-        let child = p.loops.iter().find(|l| l.parent.is_some()).expect("inner loop");
+        let child = p
+            .loops
+            .iter()
+            .find(|l| l.parent.is_some())
+            .expect("inner loop");
         let parent = child.parent.expect("parent id");
         assert!(p.loops[parent.index()].parent.is_none());
     }
@@ -548,8 +556,12 @@ mod tests {
         }"#;
         let plain = compile(src).expect("compiles");
         let inst = plain.instrument(&InstrumentOptions::default());
-        let r1 = Interp::new(&plain).run(&mut NoopProfiler).expect("plain runs");
-        let r2 = Interp::new(&inst).run(&mut NoopProfiler).expect("instrumented runs");
+        let r1 = Interp::new(&plain)
+            .run(&mut NoopProfiler)
+            .expect("plain runs");
+        let r2 = Interp::new(&inst)
+            .run(&mut NoopProfiler)
+            .expect("instrumented runs");
         assert_eq!(r1.return_value, r2.return_value);
         // 0+1+2+100+4 = 107
         assert_eq!(r2.return_value.as_int(), Some(107));

@@ -378,7 +378,7 @@ impl<'p> Interp<'p> {
                         }
                     };
                     let slot = self.program.field(fid).slot as usize;
-                    self.heap.object_mut(o).fields[slot] = value;
+                    self.heap.set_field(o, slot, value);
                     if self.program.field(fid).track_access {
                         profiler.on_field_put(obj, fid, self.program, &self.heap);
                     }
@@ -422,7 +422,7 @@ impl<'p> Interp<'p> {
                             line,
                         });
                     }
-                    self.heap.array_mut(a).elems[idx as usize] = value;
+                    self.heap.set_elem(a, idx as usize, value);
                     if self.program.track_arrays {
                         profiler.on_array_store(arr, self.program, &self.heap);
                     }
@@ -453,7 +453,10 @@ impl<'p> Interp<'p> {
                         }
                     };
                     let vslot = decl.vslot.ok_or_else(|| {
-                        RuntimeError::Internal(format!("virtual call to {} without vslot", decl.name))
+                        RuntimeError::Internal(format!(
+                            "virtual call to {} without vslot",
+                            decl.name
+                        ))
                     })? as usize;
                     let class = self.heap.object(o).class;
                     let target = self.program.class(class).vtable[vslot];
@@ -671,20 +674,27 @@ mod tests {
 
     #[test]
     fn arithmetic_and_precedence() {
-        assert_eq!(ret("class Main { static int main() { return 2 + 3 * 4 - 6 / 2; } }"), 11);
-        assert_eq!(ret("class Main { static int main() { return 17 % 5; } }"), 2);
-        assert_eq!(ret("class Main { static int main() { return -(3 - 8); } }"), 5);
+        assert_eq!(
+            ret("class Main { static int main() { return 2 + 3 * 4 - 6 / 2; } }"),
+            11
+        );
+        assert_eq!(
+            ret("class Main { static int main() { return 17 % 5; } }"),
+            2
+        );
+        assert_eq!(
+            ret("class Main { static int main() { return -(3 - 8); } }"),
+            5
+        );
     }
 
     #[test]
     fn comparisons_and_logic() {
         assert_eq!(
-            ret(
-                "class Main { static int main() {
+            ret("class Main { static int main() {
                     if (3 < 4 && 4 <= 4 && 5 > 4 && 5 >= 5 && 1 == 1 && 1 != 2) { return 1; }
                     return 0;
-                } }"
-            ),
+                } }"),
             1
         );
     }
@@ -693,14 +703,12 @@ mod tests {
     fn short_circuit_avoids_rhs() {
         // Division by zero on the rhs must not run.
         assert_eq!(
-            ret(
-                "class Main { static int main() {
+            ret("class Main { static int main() {
                     int z = 0;
                     if (false && 1 / z == 0) { return 1; }
                     if (true || 1 / z == 0) { return 2; }
                     return 3;
-                } }"
-            ),
+                } }"),
             2
         );
     }
@@ -708,13 +716,11 @@ mod tests {
     #[test]
     fn loops_compute() {
         assert_eq!(
-            ret(
-                "class Main { static int main() {
+            ret("class Main { static int main() {
                     int s = 0;
                     for (int i = 1; i <= 10; i = i + 1) { s = s + i; }
                     return s;
-                } }"
-            ),
+                } }"),
             55
         );
     }
@@ -722,8 +728,7 @@ mod tests {
     #[test]
     fn break_and_continue() {
         assert_eq!(
-            ret(
-                "class Main { static int main() {
+            ret("class Main { static int main() {
                     int s = 0;
                     for (int i = 0; i < 100; i = i + 1) {
                         if (i % 2 == 0) { continue; }
@@ -731,8 +736,7 @@ mod tests {
                         s = s + i;
                     }
                     return s;
-                } }"
-            ),
+                } }"),
             1 + 3 + 5 + 7 + 9
         );
     }
@@ -740,8 +744,7 @@ mod tests {
     #[test]
     fn objects_fields_and_methods() {
         assert_eq!(
-            ret(
-                "class Main { static int main() {
+            ret("class Main { static int main() {
                     Counter c = new Counter();
                     c.add(40);
                     c.add(2);
@@ -750,8 +753,7 @@ mod tests {
                 class Counter {
                     int total;
                     void add(int x) { total = total + x; }
-                }"
-            ),
+                }"),
             42
         );
     }
@@ -774,15 +776,13 @@ mod tests {
     #[test]
     fn virtual_dispatch_selects_override() {
         assert_eq!(
-            ret(
-                "class Main { static int main() {
+            ret("class Main { static int main() {
                     Animal a = new Dog();
                     Animal b = new Animal();
                     return a.noise() * 10 + b.noise();
                 } }
                 class Animal { int noise() { return 1; } }
-                class Dog extends Animal { int noise() { return 2; } }"
-            ),
+                class Dog extends Animal { int noise() { return 2; } }"),
             21
         );
     }
@@ -790,10 +790,8 @@ mod tests {
     #[test]
     fn recursion_works() {
         assert_eq!(
-            ret(
-                "class Main { static int main() { return fact(10); }
-                 static int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); } }"
-            ),
+            ret("class Main { static int main() { return fact(10); }
+                 static int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); } }"),
             3_628_800
         );
     }
@@ -801,13 +799,11 @@ mod tests {
     #[test]
     fn arrays_and_length() {
         assert_eq!(
-            ret(
-                "class Main { static int main() {
+            ret("class Main { static int main() {
                     int[] a = new int[5];
                     for (int i = 0; i < a.length; i = i + 1) { a[i] = i * i; }
                     return a[4] + a.length;
-                } }"
-            ),
+                } }"),
             21
         );
     }
@@ -815,13 +811,11 @@ mod tests {
     #[test]
     fn multidim_arrays() {
         assert_eq!(
-            ret(
-                "class Main { static int main() {
+            ret("class Main { static int main() {
                     int[][] tri = new int[][] { new int[0], new int[1], new int[2] };
                     tri[2][1] = 9;
                     return tri.length + tri[2][1];
-                } }"
-            ),
+                } }"),
             12
         );
     }
@@ -829,8 +823,7 @@ mod tests {
     #[test]
     fn linked_structures() {
         assert_eq!(
-            ret(
-                "class Main { static int main() {
+            ret("class Main { static int main() {
                     Node head = null;
                     for (int i = 0; i < 5; i = i + 1) {
                         Node n = new Node(i);
@@ -842,8 +835,7 @@ mod tests {
                     while (cur != null) { s = s + cur.value; cur = cur.next; }
                     return s;
                 } }
-                class Node { Node next; int value; Node(int v) { this.value = v; } }"
-            ),
+                class Node { Node next; int value; Node(int v) { this.value = v; } }"),
             10
         );
     }
@@ -851,15 +843,13 @@ mod tests {
     #[test]
     fn generics_with_erasure_run() {
         assert_eq!(
-            ret(
-                "class Main { static int main() {
+            ret("class Main { static int main() {
                     Box<Item> b = new Box<Item>();
                     b.value = new Item(9);
                     return b.get().v;
                 } }
                 class Box<T> { T value; T get() { return value; } }
-                class Item { int v; Item(int v) { this.v = v; } }"
-            ),
+                class Item { int v; Item(int v) { this.v = v; } }"),
             9
         );
     }
@@ -867,8 +857,7 @@ mod tests {
     #[test]
     fn cast_and_instanceof_runtime() {
         assert_eq!(
-            ret(
-                "class Main { static int main() {
+            ret("class Main { static int main() {
                     Object o = new Item(5);
                     int r = 0;
                     if (o instanceof Item) { r = ((Item) o).v; }
@@ -876,8 +865,7 @@ mod tests {
                     return r;
                 } }
                 class Item { int v; Item(int v) { this.v = v; } }
-                class Other { }"
-            ),
+                class Other { }"),
             5
         );
     }
@@ -899,15 +887,13 @@ mod tests {
     #[test]
     fn null_cast_passes() {
         assert_eq!(
-            ret(
-                "class Main { static int main() {
+            ret("class Main { static int main() {
                     Object o = null;
                     A a = (A) o;
                     if (a == null) { return 7; }
                     return 0;
                 } }
-                class A { }"
-            ),
+                class A { }"),
             7
         );
     }
@@ -915,13 +901,11 @@ mod tests {
     #[test]
     fn throw_and_catch_int() {
         assert_eq!(
-            ret(
-                "class Main { static int main() {
+            ret("class Main { static int main() {
                     try { f(); } catch (int e) { return e; }
                     return 0;
                 }
-                static void f() { throw 41 + 1; } }"
-            ),
+                static void f() { throw 41 + 1; } }"),
             42
         );
     }
@@ -929,14 +913,12 @@ mod tests {
     #[test]
     fn catch_rethrows_on_type_mismatch() {
         assert_eq!(
-            ret(
-                "class Main { static int main() {
+            ret("class Main { static int main() {
                     try {
                         try { throw 5; } catch (Object o) { return 100; }
                     } catch (int e) { return e; }
                     return 0;
-                } }"
-            ),
+                } }"),
             5
         );
     }
@@ -944,14 +926,12 @@ mod tests {
     #[test]
     fn catch_by_class_hierarchy() {
         assert_eq!(
-            ret(
-                "class Main { static int main() {
+            ret("class Main { static int main() {
                     try { throw new Sub(); } catch (Base b) { return 1; }
                     return 0;
                 } }
                 class Base { }
-                class Sub extends Base { }"
-            ),
+                class Sub extends Base { }"),
             1
         );
     }
@@ -973,7 +953,11 @@ mod tests {
         ));
         assert!(matches!(
             run_err("class Main { static int main() { int[] a = new int[2]; return a[5]; } }"),
-            RuntimeError::IndexOutOfBounds { index: 5, len: 2, .. }
+            RuntimeError::IndexOutOfBounds {
+                index: 5,
+                len: 2,
+                ..
+            }
         ));
         assert!(matches!(
             run_err("class Main { static int main() { int[] a = new int[0-1]; return 0; } }"),

@@ -96,8 +96,7 @@ impl LoopForest {
                 if i == j {
                     continue;
                 }
-                if loops[i].header != loops[j].header
-                    && loops[i].blocks.is_subset(&loops[j].blocks)
+                if loops[i].header != loops[j].header && loops[i].blocks.is_subset(&loops[j].blocks)
                 {
                     best = match best {
                         None => Some(j),
@@ -157,7 +156,10 @@ mod tests {
 
     #[test]
     fn no_loops_in_straight_line() {
-        let f = forest("class Main { static int main() { return 1; } }", "Main.main");
+        let f = forest(
+            "class Main { static int main() { return 1; } }",
+            "Main.main",
+        );
         assert!(f.is_empty());
     }
 
@@ -185,8 +187,16 @@ mod tests {
             "Main.main",
         );
         assert_eq!(f.len(), 2);
-        let outer = f.loops.iter().position(|l| l.depth == 0).expect("outer loop");
-        let inner = f.loops.iter().position(|l| l.depth == 1).expect("inner loop");
+        let outer = f
+            .loops
+            .iter()
+            .position(|l| l.depth == 0)
+            .expect("outer loop");
+        let inner = f
+            .loops
+            .iter()
+            .position(|l| l.depth == 1)
+            .expect("inner loop");
         assert_eq!(f.loops[inner].parent, Some(outer));
         assert!(f.loops[inner].blocks.is_subset(&f.loops[outer].blocks));
     }

@@ -326,9 +326,13 @@ mod tests {
 
     fn run_both(src: &str) -> (i64, i64, usize) {
         let plain = compile(src).expect("compiles");
-        let (optimized, stats) =
-            compile_with_options(src, &CompileOptions { fold_constants: true })
-                .expect("compiles optimized");
+        let (optimized, stats) = compile_with_options(
+            src,
+            &CompileOptions {
+                fold_constants: true,
+            },
+        )
+        .expect("compiles optimized");
         let a = Interp::new(&plain)
             .run(&mut NoopProfiler)
             .expect("plain runs")
@@ -341,12 +345,17 @@ mod tests {
             .return_value
             .as_int()
             .expect("int");
-        (a, b, stats.folded + stats.simplified + stats.branches_resolved)
+        (
+            a,
+            b,
+            stats.folded + stats.simplified + stats.branches_resolved,
+        )
     }
 
     #[test]
     fn folds_constant_arithmetic() {
-        let (a, b, work) = run_both("class Main { static int main() { return 2 + 3 * 4 - 6 / 2; } }");
+        let (a, b, work) =
+            run_both("class Main { static int main() { return 2 + 3 * 4 - 6 / 2; } }");
         assert_eq!(a, b);
         assert_eq!(a, 11);
         assert!(work >= 3, "folded {work} expressions");
@@ -354,9 +363,8 @@ mod tests {
 
     #[test]
     fn resolves_constant_branches() {
-        let (a, b, work) = run_both(
-            "class Main { static int main() { if (1 < 2) { return 7; } return 8; } }",
-        );
+        let (a, b, work) =
+            run_both("class Main { static int main() { if (1 < 2) { return 7; } return 8; } }");
         assert_eq!(a, b);
         assert_eq!(a, 7);
         assert!(work >= 2);
@@ -367,8 +375,13 @@ mod tests {
         // `1 / 0` must remain a runtime fault, not a compile-time fold or
         // a silent removal.
         let src = "class Main { static int main() { if (readInput() == 0) { return 1 / 0; } return 0; } }";
-        let (optimized, _) = compile_with_options(src, &CompileOptions { fold_constants: true })
-            .expect("compiles");
+        let (optimized, _) = compile_with_options(
+            src,
+            &CompileOptions {
+                fold_constants: true,
+            },
+        )
+        .expect("compiles");
         let err = Interp::new(&optimized)
             .with_input(vec![0])
             .run(&mut NoopProfiler)
@@ -386,8 +399,13 @@ mod tests {
             }
             static int f() { print(9); return 5; }
         }"#;
-        let (optimized, _) = compile_with_options(src, &CompileOptions { fold_constants: true })
-            .expect("compiles");
+        let (optimized, _) = compile_with_options(
+            src,
+            &CompileOptions {
+                fold_constants: true,
+            },
+        )
+        .expect("compiles");
         let r = Interp::new(&optimized)
             .run(&mut NoopProfiler)
             .expect("runs");
@@ -397,9 +415,8 @@ mod tests {
 
     #[test]
     fn simplifies_identities() {
-        let (a, b, work) = run_both(
-            "class Main { static int main(){ int x = 21; return (x + 0) * 1 + 0 * 2; } }",
-        );
+        let (a, b, work) =
+            run_both("class Main { static int main(){ int x = 21; return (x + 0) * 1 + 0 * 2; } }");
         assert_eq!(a, b);
         assert_eq!(a, 21);
         assert!(work >= 3);
@@ -410,8 +427,13 @@ mod tests {
         // `while (false)` bodies must keep their loop so repetition trees
         // agree between optimized and unoptimized builds.
         let src = "class Main { static int main() { while (false) { print(1); } return 0; } }";
-        let (optimized, _) = compile_with_options(src, &CompileOptions { fold_constants: true })
-            .expect("compiles");
+        let (optimized, _) = compile_with_options(
+            src,
+            &CompileOptions {
+                fold_constants: true,
+            },
+        )
+        .expect("compiles");
         let inst = optimized.instrument(&crate::InstrumentOptions::default());
         assert_eq!(inst.loops.len(), 1, "the dead loop still registers");
     }

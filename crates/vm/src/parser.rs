@@ -654,8 +654,7 @@ impl Parser {
                         span,
                     };
                 }
-            } else if self.peek() == &TokenKind::LBracket
-                && self.peek_at(1) != &TokenKind::RBracket
+            } else if self.peek() == &TokenKind::LBracket && self.peek_at(1) != &TokenKind::RBracket
             {
                 self.bump();
                 let idx = self.expr()?;
@@ -760,8 +759,7 @@ impl Parser {
         // Only commit if the cast is syntactically unambiguous: either the
         // type cannot be an expression (primitive or array or generic), or
         // the next token begins an operand.
-        let unambiguous_type =
-            !matches!(ty, TypeExpr::Named(_, ref args) if args.is_empty());
+        let unambiguous_type = !matches!(ty, TypeExpr::Named(_, ref args) if args.is_empty());
         let operand_follows = matches!(
             self.peek_at(1),
             TokenKind::Ident(_)
@@ -957,7 +955,10 @@ mod tests {
         let p = parse_ok("class A { static int f(int a, int b) { return (a) - b; } }");
         let m = &p.classes[0].methods[0];
         match &m.body.stmts[0] {
-            Stmt::Return { value: Some(Expr::Binary { op, .. }), .. } => {
+            Stmt::Return {
+                value: Some(Expr::Binary { op, .. }),
+                ..
+            } => {
                 assert_eq!(*op, BinOp::Sub);
             }
             other => panic!("unexpected parse: {other:?}"),
@@ -982,7 +983,15 @@ mod tests {
     fn precedence_mul_over_add() {
         let p = parse_ok("class A { static int f() { return 2 + 3 * 4; } }");
         match &p.classes[0].methods[0].body.stmts[0] {
-            Stmt::Return { value: Some(Expr::Binary { op: BinOp::Add, rhs, .. }), .. } => {
+            Stmt::Return {
+                value:
+                    Some(Expr::Binary {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    }),
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
             }
             other => panic!("unexpected parse: {other:?}"),
@@ -991,9 +1000,7 @@ mod tests {
 
     #[test]
     fn short_circuit_operators_parse() {
-        parse_ok(
-            "class A { static bool f(bool a, bool b, bool c) { return a && b || !c; } }",
-        );
+        parse_ok("class A { static bool f(bool a, bool b, bool c) { return a && b || !c; } }");
     }
 
     #[test]
@@ -1016,7 +1023,12 @@ mod tests {
     fn unqualified_call_parses_as_static_call() {
         let p = parse_ok("class A { static void f() { g(); } static void g() {} }");
         match &p.classes[0].methods[0].body.stmts[0] {
-            Stmt::ExprStmt { expr: Expr::StaticCall { class: None, name, .. }, .. } => {
+            Stmt::ExprStmt {
+                expr: Expr::StaticCall {
+                    class: None, name, ..
+                },
+                ..
+            } => {
                 assert_eq!(name, "g");
             }
             other => panic!("unexpected parse: {other:?}"),

@@ -101,7 +101,9 @@ fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
         Stmt::Assign { target, value, .. } => {
             let _ = writeln!(out, "{} = {};", print_expr(target), print_expr(value));
         }
-        Stmt::If { cond, then, els, .. } => {
+        Stmt::If {
+            cond, then, els, ..
+        } => {
             let _ = write!(out, "if ({}) ", print_expr(cond));
             print_block(then, level, out);
             if let Some(e) = els {
@@ -215,7 +217,9 @@ pub fn print_expr(expr: &Expr) -> String {
             format!("{}[{}]", print_postfix(arr), print_expr(idx))
         }
         Expr::Length { arr, .. } => format!("{}.length", print_postfix(arr)),
-        Expr::Call { obj, name, args, .. } => {
+        Expr::Call {
+            obj, name, args, ..
+        } => {
             format!("{}.{}({})", print_postfix(obj), name, print_args(args))
         }
         Expr::StaticCall {
@@ -337,7 +341,11 @@ mod tests {
         let printed = print_program(&first);
         let second = parse(&printed)
             .unwrap_or_else(|e| panic!("printed source fails to parse: {e}\n{printed}"));
-        assert_eq!(shape(&first), shape(&second), "roundtrip shape mismatch:\n{printed}");
+        assert_eq!(
+            shape(&first),
+            shape(&second),
+            "roundtrip shape mismatch:\n{printed}"
+        );
     }
 
     #[test]

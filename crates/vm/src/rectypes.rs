@@ -35,17 +35,15 @@ impl RecursiveTypes {
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut has_self_edge = vec![false; n];
 
-        let add_edge = |adj: &mut Vec<Vec<usize>>,
-                            has_self_edge: &mut Vec<bool>,
-                            from: usize,
-                            to: usize| {
-            if from == to {
-                has_self_edge[from] = true;
-            }
-            if !adj[from].contains(&to) {
-                adj[from].push(to);
-            }
-        };
+        let add_edge =
+            |adj: &mut Vec<Vec<usize>>, has_self_edge: &mut Vec<bool>, from: usize, to: usize| {
+                if from == to {
+                    has_self_edge[from] = true;
+                }
+                if !adj[from].contains(&to) {
+                    adj[from].push(to);
+                }
+            };
 
         for (c, class) in program.classes.iter().enumerate() {
             // Field edges from the full layout (inherited fields included,

@@ -55,13 +55,8 @@ impl Ty {
 
     fn subst(&self, args: &[Ty]) -> Ty {
         match self {
-            Ty::Var(i) => args
-                .get(*i as usize)
-                .cloned()
-                .unwrap_or(Ty::Object),
-            Ty::Class(c, targs) => {
-                Ty::Class(*c, targs.iter().map(|t| t.subst(args)).collect())
-            }
+            Ty::Var(i) => args.get(*i as usize).cloned().unwrap_or(Ty::Object),
+            Ty::Class(c, targs) => Ty::Class(*c, targs.iter().map(|t| t.subst(args)).collect()),
             Ty::Array(inner) => Ty::Array(Box::new(inner.subst(args))),
             other => other.clone(),
         }
@@ -413,10 +408,7 @@ impl Checker {
                         let base = &self.methods[vtable[slot as usize].index()];
                         if base.params.len() != sig.params.len() {
                             return Err(err(
-                                format!(
-                                    "override of {} changes parameter count",
-                                    sig.qualified
-                                ),
+                                format!("override of {} changes parameter count", sig.qualified),
                                 program.classes[i].span,
                             ));
                         }
@@ -489,12 +481,7 @@ impl Checker {
                 } else {
                     if args.len() != n {
                         return Err(err(
-                            format!(
-                                "{} expects {} type arguments, got {}",
-                                name,
-                                n,
-                                args.len()
-                            ),
+                            format!("{} expects {} type arguments, got {}", name, n, args.len()),
                             span,
                         ));
                     }
@@ -524,8 +511,7 @@ impl Checker {
                 loop {
                     if let Ty::Class(cc, cargs) = &cur {
                         if cc == d {
-                            return cargs == dargs
-                                || dargs.iter().all(|t| *t == Ty::Object);
+                            return cargs == dargs || dargs.iter().all(|t| *t == Ty::Object);
                         }
                         match &self.classes[cc.index()].superclass {
                             Some(sup_ty) => cur = sup_ty.subst(cargs),
@@ -740,7 +726,10 @@ impl<'a> BodyChecker<'a> {
 
         if sig.ret != Ty::Void && !stmts_return(&body) {
             return Err(err(
-                format!("method {} can complete without returning a value", sig.qualified),
+                format!(
+                    "method {} can complete without returning a value",
+                    sig.qualified
+                ),
                 self.decl.span,
             ));
         }
@@ -832,7 +821,11 @@ impl<'a> BodyChecker<'a> {
                             return Err(err(format!("unknown variable {name}"), *vspan));
                         }
                     }
-                    Expr::Field { obj, name, span: fspan } => {
+                    Expr::Field {
+                        obj,
+                        name,
+                        span: fspan,
+                    } => {
                         let (hobj, oty) = self.check_expr(obj)?;
                         let (fid, fty) = self
                             .global
@@ -846,7 +839,11 @@ impl<'a> BodyChecker<'a> {
                             line: span.line,
                         });
                     }
-                    Expr::Index { arr, idx, span: ispan } => {
+                    Expr::Index {
+                        arr,
+                        idx,
+                        span: ispan,
+                    } => {
                         let (harr, aty) = self.check_expr(arr)?;
                         let elem = match aty {
                             Ty::Array(e) => *e,
@@ -1107,9 +1104,7 @@ impl<'a> BodyChecker<'a> {
                 let (harr, aty) = self.check_expr(arr)?;
                 let elem = match aty {
                     Ty::Array(e) => *e,
-                    other => {
-                        return Err(err(format!("cannot index non-array {other:?}"), *span))
-                    }
+                    other => return Err(err(format!("cannot index non-array {other:?}"), *span)),
                 };
                 let (hidx, ity) = self.check_expr(idx)?;
                 self.require(&ity, &Ty::Int, idx.span())?;
@@ -1222,7 +1217,9 @@ impl<'a> BodyChecker<'a> {
                         if !sig.is_static {
                             if self.sig().is_static {
                                 return Err(err(
-                                    format!("cannot call instance method {name} from static context"),
+                                    format!(
+                                        "cannot call instance method {name} from static context"
+                                    ),
                                     *span,
                                 ));
                             }
@@ -1264,8 +1261,7 @@ impl<'a> BodyChecker<'a> {
                             Ty::Class(_, a) => a.clone(),
                             _ => Vec::new(),
                         };
-                        let params: Vec<Ty> =
-                            sig.params.iter().map(|t| t.subst(&targs)).collect();
+                        let params: Vec<Ty> = sig.params.iter().map(|t| t.subst(&targs)).collect();
                         self.check_args(args, &params, *span)?
                     }
                     None => {
@@ -1395,10 +1391,7 @@ impl<'a> BodyChecker<'a> {
                             || (lty == Ty::Bool && rty == Ty::Bool)
                             || (lty.is_ref() && rty.is_ref());
                         if !ok {
-                            return Err(err(
-                                format!("cannot compare {lty:?} with {rty:?}"),
-                                *span,
-                            ));
+                            return Err(err(format!("cannot compare {lty:?} with {rty:?}"), *span));
                         }
                         Ty::Bool
                     }
@@ -1565,11 +1558,7 @@ mod tests {
              class A {{ int x; }}
              class B extends A {{ int y; }}"
         ));
-        let b = p
-            .classes
-            .iter()
-            .find(|c| c.name == "B")
-            .expect("B exists");
+        let b = p.classes.iter().find(|c| c.name == "B").expect("B exists");
         assert_eq!(b.field_layout.len(), 2);
         let x = &p.fields[b.field_layout[0].index()];
         let y = &p.fields[b.field_layout[1].index()];
@@ -1736,10 +1725,8 @@ mod tests {
 
     #[test]
     fn missing_return_rejected() {
-        let e = check_src(
-            "class Main { static int main() { if (true) { return 1; } } }",
-        )
-        .unwrap_err();
+        let e =
+            check_src("class Main { static int main() { if (true) { return 1; } } }").unwrap_err();
         assert!(e.message.contains("without returning"));
     }
 
@@ -1750,10 +1737,8 @@ mod tests {
 
     #[test]
     fn loop_with_break_does_not_count_as_return() {
-        let e = check_src(
-            "class Main { static int main() { while (true) { break; } } }",
-        )
-        .unwrap_err();
+        let e =
+            check_src("class Main { static int main() { while (true) { break; } } }").unwrap_err();
         assert!(e.message.contains("without returning"));
     }
 
@@ -1765,9 +1750,13 @@ mod tests {
 
     #[test]
     fn null_assignable_to_refs_not_ints() {
-        check_ok(&format!("{MAIN} class A {{ static Object f() {{ return null; }} }}"));
-        let e = check_src(&format!("{MAIN} class A {{ static int f() {{ return null; }} }}"))
-            .unwrap_err();
+        check_ok(&format!(
+            "{MAIN} class A {{ static Object f() {{ return null; }} }}"
+        ));
+        let e = check_src(&format!(
+            "{MAIN} class A {{ static int f() {{ return null; }} }}"
+        ))
+        .unwrap_err();
         assert!(e.message.contains("not assignable"));
     }
 
@@ -1778,8 +1767,7 @@ mod tests {
 
     #[test]
     fn condition_must_be_bool() {
-        let e = check_src("class Main { static int main() { if (1) { } return 0; } }")
-            .unwrap_err();
+        let e = check_src("class Main { static int main() { if (1) { } return 0; } }").unwrap_err();
         assert!(e.message.contains("Bool"));
     }
 

@@ -62,9 +62,7 @@ pub fn verify(program: &CompiledProgram) -> Result<(), VerifyError> {
 /// whose effect needs the program tables (calls).
 fn stack_effect(instr: &Instr) -> Option<(usize, usize)> {
     Some(match instr {
-        Instr::ConstInt(_) | Instr::ConstBool(_) | Instr::ConstNull | Instr::LoadLocal(_) => {
-            (0, 1)
-        }
+        Instr::ConstInt(_) | Instr::ConstBool(_) | Instr::ConstNull | Instr::LoadLocal(_) => (0, 1),
         Instr::StoreLocal(_) | Instr::Pop => (1, 0),
         Instr::Dup => (1, 2),
         Instr::Add
@@ -116,36 +114,31 @@ fn verify_function(program: &CompiledProgram, func_id: FuncId) -> Result<(), Ver
     // Range checks on operands.
     for (i, instr) in func.code.iter().enumerate() {
         match instr {
-            Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t)
-                if *t > n => {
-                    return Err(err(Some(i), format!("jump target {t} out of range")));
-                }
-            Instr::LoadLocal(s) | Instr::StoreLocal(s)
-                if *s as usize >= func.n_locals as usize => {
-                    return Err(err(Some(i), format!("local slot {s} out of range")));
-                }
-            Instr::New(c)
-                if c.index() >= program.classes.len() => {
-                    return Err(err(Some(i), format!("class {c} out of range")));
-                }
-            Instr::GetField(f) | Instr::PutField(f)
-                if f.index() >= program.fields.len() => {
-                    return Err(err(Some(i), format!("field {f} out of range")));
-                }
+            Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) if *t > n => {
+                return Err(err(Some(i), format!("jump target {t} out of range")));
+            }
+            Instr::LoadLocal(s) | Instr::StoreLocal(s) if *s as usize >= func.n_locals as usize => {
+                return Err(err(Some(i), format!("local slot {s} out of range")));
+            }
+            Instr::New(c) if c.index() >= program.classes.len() => {
+                return Err(err(Some(i), format!("class {c} out of range")));
+            }
+            Instr::GetField(f) | Instr::PutField(f) if f.index() >= program.fields.len() => {
+                return Err(err(Some(i), format!("field {f} out of range")));
+            }
             Instr::CallStatic(m) | Instr::CallVirtual(m) | Instr::CallDirect(m) => {
                 if m.index() >= program.functions.len() {
                     return Err(err(Some(i), format!("function {m} out of range")));
                 }
-                if matches!(instr, Instr::CallVirtual(_))
-                    && program.func(*m).vslot.is_none()
-                {
+                if matches!(instr, Instr::CallVirtual(_)) && program.func(*m).vslot.is_none() {
                     return Err(err(Some(i), format!("virtual call to {m} without vslot")));
                 }
             }
             Instr::ProfLoopEntry(l) | Instr::ProfLoopBack(l) | Instr::ProfLoopExit(l)
-                if l.index() >= program.loops.len() => {
-                    return Err(err(Some(i), format!("loop {l} out of range")));
-                }
+                if l.index() >= program.loops.len() =>
+            {
+                return Err(err(Some(i), format!("loop {l} out of range")));
+            }
             _ => {}
         }
     }
@@ -153,11 +146,17 @@ fn verify_function(program: &CompiledProgram, func_id: FuncId) -> Result<(), Ver
         if h.start > h.end || h.end > n || h.target >= n {
             return Err(err(
                 None,
-                format!("handler range {}..{} -> {} out of range", h.start, h.end, h.target),
+                format!(
+                    "handler range {}..{} -> {} out of range",
+                    h.start, h.end, h.target
+                ),
             ));
         }
         if h.catch_slot as usize >= func.n_locals as usize {
-            return Err(err(None, format!("handler catch slot {} out of range", h.catch_slot)));
+            return Err(err(
+                None,
+                format!("handler catch slot {} out of range", h.catch_slot),
+            ));
         }
     }
 
@@ -172,10 +171,10 @@ fn verify_function(program: &CompiledProgram, func_id: FuncId) -> Result<(), Ver
     // protected range is visited, so seed them lazily below.
 
     let merge = |state: &mut Vec<Option<(usize, Vec<LoopId>)>>,
-                     work: &mut VecDeque<usize>,
-                     pc: usize,
-                     depth: usize,
-                     loops: &[LoopId]|
+                 work: &mut VecDeque<usize>,
+                 pc: usize,
+                 depth: usize,
+                 loops: &[LoopId]|
      -> Result<(), VerifyError> {
         match &state[pc] {
             None => {
@@ -248,13 +247,9 @@ fn verify_function(program: &CompiledProgram, func_id: FuncId) -> Result<(), Ver
                     ));
                 }
             }
-            Instr::ProfLoopBack(l)
-                if next_loops.last() != Some(&l) => {
-                    return Err(err(
-                        Some(pc),
-                        format!("back edge of {l} outside that loop"),
-                    ));
-                }
+            Instr::ProfLoopBack(l) if next_loops.last() != Some(&l) => {
+                return Err(err(Some(pc), format!("back edge of {l} outside that loop")));
+            }
             _ => {}
         }
 

@@ -52,6 +52,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!();
     }
 
-    println!("fix: change one line (grow by doubling) and the cost model drops from O(n^2) to O(n).");
+    println!(
+        "fix: change one line (grow by doubling) and the cost model drops from O(n^2) to O(n)."
+    );
     Ok(())
 }

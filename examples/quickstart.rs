@@ -51,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("build is: {}", profile.describe_algorithm(build.id));
     if let Some(fit) = profile.fit_invocation_steps(build.id) {
         println!("build cost function: {fit}");
-        println!("predicted steps at n = 10_000: {:.0}", fit.predict(10_000.0));
+        println!(
+            "predicted steps at n = 10_000: {:.0}",
+            fit.predict(10_000.0)
+        );
     }
     Ok(())
 }

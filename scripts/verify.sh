@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything CI runs, runnable locally.
+# The workspace has no external dependencies, so all steps work offline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "verify: OK"

@@ -17,3 +17,5 @@ pub use algoprof_cct;
 pub use algoprof_fit;
 pub use algoprof_programs;
 pub use algoprof_vm;
+
+pub mod testutil;

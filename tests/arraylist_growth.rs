@@ -12,8 +12,7 @@ fn profile(policy: GrowthPolicy) -> AlgorithmicProfile {
         array_strategy: ArraySizeStrategy::UniqueElements,
         ..AlgoProfOptions::default()
     };
-    algoprof::profile_source_with(&src, &InstrumentOptions::default(), opts, &[])
-        .expect("profiles")
+    algoprof::profile_source_with(&src, &InstrumentOptions::default(), opts, &[]).expect("profiles")
 }
 
 fn access_series(profile: &AlgorithmicProfile) -> Vec<(f64, f64)> {

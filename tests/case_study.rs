@@ -17,7 +17,10 @@ fn catalog_construction_is_linear_construction() {
     let a = p
         .algorithm_by_root_name("Main.buildCatalog:loop0")
         .expect("build loop");
-    assert_eq!(p.classifications(a.id)[0].class, AlgorithmClass::Construction);
+    assert_eq!(
+        p.classifications(a.id)[0].class,
+        AlgorithmClass::Construction
+    );
     let fit = p.fit_invocation_steps(a.id).expect("fits");
     assert_eq!(fit.model, Model::Linear);
 }
@@ -29,7 +32,10 @@ fn rating_sort_is_quadratic_modification() {
         .algorithm_by_root_name("Main.sortByRating:loop0")
         .expect("sort loops");
     assert_eq!(a.members.len(), 2, "outer + scan loop fuse");
-    assert_eq!(p.classifications(a.id)[0].class, AlgorithmClass::Modification);
+    assert_eq!(
+        p.classifications(a.id)[0].class,
+        AlgorithmClass::Modification
+    );
     let fit = p.fit_invocation_steps(a.id).expect("fits");
     assert_eq!(fit.model, Model::Quadratic);
 }
@@ -59,7 +65,10 @@ fn two_structures_stay_distinct() {
     let insert = p
         .algorithm_by_root_name("Main.insert (recursion)")
         .expect("insert recursion");
-    assert_ne!(walk.id, insert.id, "walk and insert are separate algorithms");
+    assert_ne!(
+        walk.id, insert.id,
+        "walk and insert are separate algorithms"
+    );
     let walk_input = p.primary_input(walk.id).expect("book input");
     let insert_input = p.primary_input(insert.id).expect("btnode input");
     assert!(p.input_description(walk_input).contains("Book"));

@@ -49,7 +49,10 @@ fn call_counts_are_consistent() {
     // Each harness iteration appends `size` nodes; appends == Node ctor
     // calls == Random.nextInt calls.
     assert_eq!(p.total_calls("List.append"), p.total_calls("Node.Node"));
-    assert_eq!(p.total_calls("List.append"), p.total_calls("Random.nextInt"));
+    assert_eq!(
+        p.total_calls("List.append"),
+        p.total_calls("Random.nextInt")
+    );
     // sort called once per (size, rep) pair: sizes 0..61 step 10 = 7, ×2.
     assert_eq!(p.total_calls("Main.sort"), 14);
 }

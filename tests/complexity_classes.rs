@@ -75,7 +75,12 @@ fn bubble_sort_is_quadratic_and_groups() {
 fn complexity_ranking_is_recovered() {
     // A cross-algorithm sanity check: the fitted models order as
     // log n < n < n log n < n².
-    let rank = |m: Model| Model::ALL.iter().position(|&x| x == m).expect("known model");
+    let rank = |m: Model| {
+        Model::ALL
+            .iter()
+            .position(|&x| x == m)
+            .expect("known model")
+    };
 
     let bs = {
         let p = algoprof::profile_source(&binary_search_program(512, 4)).expect("profiles");

@@ -2,13 +2,13 @@
 //! strategies, exercised end-to-end through the profiler options.
 
 use algoprof::{
-    AlgoProfOptions, AlgorithmicProfile, ArraySizeStrategy, EquivalenceCriterion, SnapshotPolicy,
+    AlgoProfOptions, AlgorithmicProfile, ArraySizeStrategy, EquivalenceCriterion, IncrementalMode,
+    SnapshotPolicy,
 };
 use algoprof_vm::InstrumentOptions;
 
 fn profile_with(src: &str, opts: AlgoProfOptions) -> AlgorithmicProfile {
-    algoprof::profile_source_with(src, &InstrumentOptions::default(), opts, &[])
-        .expect("profiles")
+    algoprof::profile_source_with(src, &InstrumentOptions::default(), opts, &[]).expect("profiles")
 }
 
 /// Two disconnected lists, traversed by the same loop.
@@ -124,7 +124,11 @@ fn snapshot_policies_agree_on_results() {
     for needle in ["List.sort:loop0", "Main.constructList:loop0"] {
         let fa = fast.algorithm_by_root_name(needle).expect("fast algo");
         let sa = slow.algorithm_by_root_name(needle).expect("slow algo");
-        assert_eq!(fa.members.len(), sa.members.len(), "{needle}: same grouping");
+        assert_eq!(
+            fa.members.len(),
+            sa.members.len(),
+            "{needle}: same grouping"
+        );
         assert_eq!(
             fa.total_costs.steps(),
             sa.total_costs.steps(),
@@ -179,5 +183,62 @@ fn all_elements_is_stricter_than_some_elements() {
         count_inputs(&all),
         count_inputs(&some)
     );
-    assert_eq!(count_inputs(&some), 1, "SomeElements tracks one evolving list");
+    assert_eq!(
+        count_inputs(&some),
+        1,
+        "SomeElements tracks one evolving list"
+    );
+}
+
+#[test]
+fn incremental_snapshots_match_full_traversals() {
+    // Differential mode re-runs a from-scratch traversal whenever the
+    // profiler reuses a cached snapshot and panics on any divergence, so
+    // simply completing these runs proves the incremental path exact.
+    // On top of that the resulting profiles must equal the ones produced
+    // with caching disabled.
+    let sort = algoprof_programs::insertion_sort_program(
+        algoprof_programs::SortWorkload::Random,
+        33,
+        12,
+        1,
+    );
+    let sources: Vec<&str> = vec![TWO_LISTS, PARTIAL_ARRAY, &sort];
+    let criteria = [
+        EquivalenceCriterion::SomeElements,
+        EquivalenceCriterion::AllElements,
+        EquivalenceCriterion::SameArray,
+        EquivalenceCriterion::SameType,
+    ];
+    for src in sources {
+        for criterion in criteria {
+            let run = |incremental| {
+                profile_with(
+                    src,
+                    AlgoProfOptions {
+                        criterion,
+                        incremental,
+                        ..AlgoProfOptions::default()
+                    },
+                )
+            };
+            let diff = run(IncrementalMode::Differential);
+            let full = run(IncrementalMode::Disabled);
+            assert_eq!(
+                diff.algorithms().len(),
+                full.algorithms().len(),
+                "{criterion:?}: same number of algorithms"
+            );
+            for (d, f) in diff
+                .registry()
+                .inputs()
+                .iter()
+                .zip(full.registry().inputs().iter())
+            {
+                assert_eq!(d.kind, f.kind, "{criterion:?}: input kinds agree");
+                assert_eq!(d.max_size, f.max_size, "{criterion:?}: max sizes agree");
+                assert_eq!(d.last_size, f.last_size, "{criterion:?}: last sizes agree");
+            }
+        }
+    }
 }

@@ -1,61 +1,66 @@
-//! Property test: the front end never panics — arbitrary byte soup
-//! produces `Err`, never a crash — and diagnostics carry positions.
+//! Randomized robustness test: the front end never panics — arbitrary
+//! byte soup produces `Err`, never a crash — and diagnostics carry
+//! positions. Cases derive deterministically from seeds.
 
-use proptest::prelude::*;
-
+use algoprof_suite::testutil::TestRng;
 use algoprof_vm::compile;
 use algoprof_vm::lexer::lex;
 use algoprof_vm::parser::parse;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn lexer_never_panics(input in ".{0,200}") {
+#[test]
+fn lexer_never_panics() {
+    for seed in 0..256 {
+        let mut rng = TestRng::new(8000 + seed);
+        let input = rng.fuzz_string(200);
         let _ = lex(&input);
     }
+}
 
-    #[test]
-    fn parser_never_panics(input in ".{0,200}") {
+#[test]
+fn parser_never_panics() {
+    for seed in 0..256 {
+        let mut rng = TestRng::new(9000 + seed);
+        let input = rng.fuzz_string(200);
         let _ = parse(&input);
     }
+}
 
-    #[test]
-    fn compiler_never_panics_on_token_soup(
-        tokens in proptest::collection::vec(
-            prop_oneof![
-                Just("class"), Just("static"), Just("int"), Just("return"),
-                Just("Main"), Just("main"), Just("{"), Just("}"), Just("("),
-                Just(")"), Just(";"), Just("="), Just("+"), Just("x"),
-                Just("if"), Just("while"), Just("for"), Just("new"),
-                Just("["), Just("]"), Just("<"), Just(">"), Just("1"),
-                Just("null"), Just("this"), Just(","), Just("."),
-            ],
-            0..60
-        )
-    ) {
-        let src = tokens.join(" ");
+#[test]
+fn compiler_never_panics_on_token_soup() {
+    const TOKENS: [&str; 27] = [
+        "class", "static", "int", "return", "Main", "main", "{", "}", "(", ")", ";", "=", "+", "x",
+        "if", "while", "for", "new", "[", "]", "<", ">", "1", "null", "this", ",", ".",
+    ];
+    for seed in 0..256 {
+        let mut rng = TestRng::new(10_000 + seed);
+        let len = rng.below(60) as usize;
+        let src = (0..len)
+            .map(|_| *rng.pick(&TOKENS))
+            .collect::<Vec<_>>()
+            .join(" ");
         let _ = compile(&src);
     }
+}
 
-    #[test]
-    fn near_valid_programs_get_positioned_diagnostics(
-        garbage in prop_oneof![Just(";"), Just("}"), Just("return"), Just("int int"), Just("(")],
-        line in 0usize..3,
-    ) {
-        // Inject garbage into an otherwise valid program; the error (if
-        // any) must carry a plausible line number.
-        let mut lines: Vec<String> = vec![
-            "class Main {".into(),
-            "    static int main() { return 1; }".into(),
-            "}".into(),
-        ];
-        lines.insert(line + 1, garbage.to_string());
-        let src = lines.join("\n");
-        if let Err(e) = compile(&src) {
-            if let Some(span) = e.span {
-                prop_assert!(span.line >= 1);
-                prop_assert!((span.line as usize) <= lines.len() + 1);
+#[test]
+fn near_valid_programs_get_positioned_diagnostics() {
+    const GARBAGE: [&str; 5] = [";", "}", "return", "int int", "("];
+    for garbage in GARBAGE {
+        for line in 0..3usize {
+            // Inject garbage into an otherwise valid program; the error
+            // (if any) must carry a plausible line number.
+            let mut lines: Vec<String> = vec![
+                "class Main {".into(),
+                "    static int main() { return 1; }".into(),
+                "}".into(),
+            ];
+            lines.insert(line + 1, garbage.to_string());
+            let src = lines.join("\n");
+            if let Err(e) = compile(&src) {
+                if let Some(span) = e.span {
+                    assert!(span.line >= 1);
+                    assert!((span.line as usize) <= lines.len() + 1);
+                }
             }
         }
     }

@@ -11,8 +11,7 @@ fn profile_with(src: &str, grouping: GroupingStrategy) -> AlgorithmicProfile {
         grouping,
         ..AlgoProfOptions::default()
     };
-    algoprof::profile_source_with(src, &InstrumentOptions::default(), opts, &[])
-        .expect("profiles")
+    algoprof::profile_source_with(src, &InstrumentOptions::default(), opts, &[]).expect("profiles")
 }
 
 fn same_algorithm(p: &AlgorithmicProfile, a: &str, b: &str) -> bool {
@@ -29,7 +28,11 @@ fn same_algorithm(p: &AlgorithmicProfile, a: &str, b: &str) -> bool {
 fn index_flow_repairs_listing5() {
     // Default: the nest is split (the paper's acknowledged limitation).
     let default = profile_with(LISTING5, GroupingStrategy::SharedInput);
-    assert!(!same_algorithm(&default, "Main.main:loop0", "Main.main:loop1"));
+    assert!(!same_algorithm(
+        &default,
+        "Main.main:loop0",
+        "Main.main:loop1"
+    ));
 
     // With the §4.1 dataflow refinement, the outer loop (which drives
     // index i) fuses with the inner loop.
@@ -65,7 +68,11 @@ fn index_flow_does_not_change_the_other_rows() {
             "{}: grouped rows stay grouped under index-flow",
             p.name
         );
-        assert!(outcome.inputs_detected && outcome.size_correct, "{}", p.name);
+        assert!(
+            outcome.inputs_detected && outcome.size_correct,
+            "{}",
+            p.name
+        );
     }
 }
 

@@ -1,0 +1,50 @@
+//! Guards the incremental snapshot cache's reason to exist: on the
+//! ArrayList growth study (Listing 6) with per-call method
+//! instrumentation, every `append` re-measures the backing array, so
+//! from-scratch traversal work is quadratic in the list length while
+//! the write-log replay stays linear. The benchmark
+//! (`crates/bench/benches/incremental.rs`) measures the full 10^4-element
+//! configuration; this test asserts the required ≥ 5× reduction in
+//! objects traversed at a size small enough for the debug-build suite.
+
+use algoprof::{AlgoProf, AlgoProfOptions, IncrementalMode, SnapshotStats};
+use algoprof_programs::{array_list_program, GrowthPolicy};
+use algoprof_vm::instrument::MethodInstrumentation;
+use algoprof_vm::{compile, InstrumentOptions, Interp};
+
+fn stats_for(src: &str, incremental: IncrementalMode) -> SnapshotStats {
+    let program = compile(src)
+        .expect("compiles")
+        .instrument(&InstrumentOptions {
+            methods: MethodInstrumentation::All,
+            ..InstrumentOptions::default()
+        });
+    let mut profiler = AlgoProf::with_options(AlgoProfOptions {
+        incremental,
+        ..AlgoProfOptions::default()
+    });
+    Interp::new(&program).run(&mut profiler).expect("runs");
+    profiler.snapshot_stats()
+}
+
+#[test]
+fn arraylist_growth_objects_traversed_shrink_at_least_5x() {
+    let src = array_list_program(GrowthPolicy::Doubling, 1_002, 1_000, 1);
+    let full = stats_for(&src, IncrementalMode::Disabled);
+    let inc = stats_for(&src, IncrementalMode::Enabled);
+
+    assert!(
+        full.objects_traversed >= 5 * inc.objects_traversed.max(1),
+        "expected >=5x fewer objects traversed, got {} -> {}",
+        full.objects_traversed,
+        inc.objects_traversed
+    );
+    // The cache must be doing real incremental work, not just skipping.
+    assert!(inc.partial_redos > 0, "write-log replay never ran");
+    assert!(
+        inc.full_walks < full.full_walks / 5,
+        "full walks {} -> {}: cache barely engaged",
+        full.full_walks,
+        inc.full_walks
+    );
+}

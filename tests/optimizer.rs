@@ -7,8 +7,7 @@ use algoprof_programs::{
     table1_programs, SortWorkload, LISTING3, LISTING4, LISTING5,
 };
 use algoprof_vm::{
-    compile, compile_with_options, verify, CompileOptions, InstrumentOptions, Interp,
-    NoopProfiler,
+    compile, compile_with_options, verify, CompileOptions, InstrumentOptions, Interp, NoopProfiler,
 };
 
 fn corpus() -> Vec<(String, String)> {

@@ -12,24 +12,13 @@ fn profile_same_type(src: &str) -> AlgorithmicProfile {
         criterion: EquivalenceCriterion::SameType,
         ..AlgoProfOptions::default()
     };
-    algoprof::profile_source_with(src, &InstrumentOptions::default(), opts, &[])
-        .expect("profiles")
+    algoprof::profile_source_with(src, &InstrumentOptions::default(), opts, &[]).expect("profiles")
 }
 
 #[test]
 fn both_paradigms_are_quadratic_on_reversed_input() {
-    let imperative = profile_same_type(&insertion_sort_program(
-        SortWorkload::Reversed,
-        65,
-        8,
-        1,
-    ));
-    let functional = profile_same_type(&functional_sort_program(
-        SortWorkload::Reversed,
-        65,
-        8,
-        1,
-    ));
+    let imperative = profile_same_type(&insertion_sort_program(SortWorkload::Reversed, 65, 8, 1));
+    let functional = profile_same_type(&functional_sort_program(SortWorkload::Reversed, 65, 8, 1));
 
     let imp = imperative
         .algorithm_by_root_name("List.sort:loop0")
@@ -52,18 +41,8 @@ fn both_paradigms_are_quadratic_on_reversed_input() {
 
 #[test]
 fn exponents_agree_within_tolerance_on_random_input() {
-    let imperative = profile_same_type(&insertion_sort_program(
-        SortWorkload::Random,
-        65,
-        8,
-        1,
-    ));
-    let functional = profile_same_type(&functional_sort_program(
-        SortWorkload::Random,
-        65,
-        8,
-        1,
-    ));
+    let imperative = profile_same_type(&insertion_sort_program(SortWorkload::Random, 65, 8, 1));
+    let functional = profile_same_type(&functional_sort_program(SortWorkload::Random, 65, 8, 1));
     let imp = imperative
         .algorithm_by_root_name("List.sort:loop0")
         .expect("imperative sort");
@@ -89,18 +68,8 @@ fn classifications_differ_but_inputs_match() {
     // The implementations differ honestly: the mutating sort modifies its
     // structure; the immutable one constructs fresh nodes. The profiler
     // reports exactly that distinction while agreeing on complexity.
-    let imperative = profile_same_type(&insertion_sort_program(
-        SortWorkload::Reversed,
-        33,
-        8,
-        1,
-    ));
-    let functional = profile_same_type(&functional_sort_program(
-        SortWorkload::Reversed,
-        33,
-        8,
-        1,
-    ));
+    let imperative = profile_same_type(&insertion_sort_program(SortWorkload::Reversed, 33, 8, 1));
+    let functional = profile_same_type(&functional_sort_program(SortWorkload::Reversed, 33, 8, 1));
     let imp = imperative
         .algorithm_by_root_name("List.sort:loop0")
         .expect("imperative sort");
@@ -117,12 +86,7 @@ fn classifications_differ_but_inputs_match() {
 
 #[test]
 fn functional_sort_groups_sort_and_insert_recursions() {
-    let functional = profile_same_type(&functional_sort_program(
-        SortWorkload::Reversed,
-        33,
-        8,
-        1,
-    ));
+    let functional = profile_same_type(&functional_sort_program(SortWorkload::Reversed, 33, 8, 1));
     let fun = functional
         .algorithm_by_root_name("FList.sort")
         .expect("functional sort algorithm");

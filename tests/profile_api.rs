@@ -1,9 +1,7 @@
 //! API-surface tests for profile exports and the remaining strategy
 //! combinations.
 
-use algoprof::{
-    AlgoProfOptions, AlgorithmicProfile, CostMetric, EquivalenceCriterion,
-};
+use algoprof::{AlgoProfOptions, AlgorithmicProfile, CostMetric, EquivalenceCriterion};
 use algoprof_programs::{insertion_sort_program, SortWorkload};
 use algoprof_vm::InstrumentOptions;
 
@@ -24,8 +22,16 @@ fn csv_export_has_header_and_rows() {
     assert!(!rows.is_empty());
     for row in rows {
         let mut parts = row.split(',');
-        parts.next().expect("size column").parse::<f64>().expect("numeric size");
-        parts.next().expect("cost column").parse::<f64>().expect("numeric cost");
+        parts
+            .next()
+            .expect("size column")
+            .parse::<f64>()
+            .expect("numeric size");
+        parts
+            .next()
+            .expect("cost column")
+            .parse::<f64>()
+            .expect("numeric cost");
         assert_eq!(parts.next(), None);
     }
 }
@@ -49,12 +55,8 @@ fn same_array_criterion_profiles_arrays() {
     // SameArray cannot track reallocation, so a grow-by-1 list fragments
     // into one input per backing array — the behaviour the paper's
     // footnote 1 warns about, observable end-to-end.
-    let src = algoprof_programs::array_list_program(
-        algoprof_programs::GrowthPolicy::ByOne,
-        17,
-        8,
-        1,
-    );
+    let src =
+        algoprof_programs::array_list_program(algoprof_programs::GrowthPolicy::ByOne, 17, 8, 1);
     let fragmenting = algoprof::profile_source_with(
         &src,
         &InstrumentOptions::default(),

@@ -1,7 +1,10 @@
-//! Property-based tests spanning the VM and the profiler.
+//! Randomized property tests spanning the VM and the profiler.
+//!
+//! Each test derives its cases deterministically from [`TestRng`], so
+//! the suite needs no external property-testing crate and every failure
+//! reproduces exactly.
 
-use proptest::prelude::*;
-
+use algoprof_suite::testutil::TestRng;
 use algoprof_vm::{compile, InstrumentOptions, Interp, NoopProfiler};
 
 // ---------------------------------------------------------------------
@@ -43,37 +46,45 @@ impl Expr {
     }
 }
 
-fn arb_expr() -> impl Strategy<Value = Expr> {
-    let leaf = (-1000i32..1000).prop_map(Expr::Lit);
-    leaf.prop_recursive(4, 32, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner).prop_map(|(a, b)| Expr::Mul(Box::new(a), Box::new(b))),
-        ]
-    })
+fn gen_expr(rng: &mut TestRng, depth: usize) -> Expr {
+    if depth == 0 || rng.chance(1, 3) {
+        return Expr::Lit(rng.range_i64(-1000, 1000) as i32);
+    }
+    let a = Box::new(gen_expr(rng, depth - 1));
+    let b = Box::new(gen_expr(rng, depth - 1));
+    match rng.below(3) {
+        0 => Expr::Add(a, b),
+        1 => Expr::Sub(a, b),
+        _ => Expr::Mul(a, b),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn guest_arithmetic_matches_host(expr in arb_expr()) {
+#[test]
+fn guest_arithmetic_matches_host() {
+    for seed in 0..64 {
+        let mut rng = TestRng::new(seed);
+        let expr = gen_expr(&mut rng, 4);
         let src = format!(
             "class Main {{ static int main() {{ return {}; }} }}",
             expr.render()
         );
         let program = compile(&src).expect("compiles");
-        let result = Interp::new(&program)
-            .run(&mut NoopProfiler)
-            .expect("runs");
-        prop_assert_eq!(result.return_value.as_int(), Some(expr.eval()));
+        let result = Interp::new(&program).run(&mut NoopProfiler).expect("runs");
+        assert_eq!(
+            result.return_value.as_int(),
+            Some(expr.eval()),
+            "expr: {}",
+            expr.render()
+        );
     }
+}
 
-    #[test]
-    fn instrumentation_preserves_results(expr in arb_expr(), n in 0usize..20) {
+#[test]
+fn instrumentation_preserves_results() {
+    for seed in 0..64 {
+        let mut rng = TestRng::new(1000 + seed);
+        let expr = gen_expr(&mut rng, 4);
+        let n = rng.below(20);
         // Wrap the expression in a loop so instrumentation has something
         // to rewrite; the instrumented program must compute the same
         // value.
@@ -87,17 +98,27 @@ proptest! {
         );
         let plain = compile(&src).expect("compiles");
         let inst = plain.instrument(&InstrumentOptions::default());
-        let a = Interp::new(&plain).run(&mut NoopProfiler).expect("plain runs");
-        let b = Interp::new(&inst).run(&mut NoopProfiler).expect("instrumented runs");
-        prop_assert_eq!(a.return_value, b.return_value);
+        let a = Interp::new(&plain)
+            .run(&mut NoopProfiler)
+            .expect("plain runs");
+        let b = Interp::new(&inst)
+            .run(&mut NoopProfiler)
+            .expect("instrumented runs");
+        assert_eq!(a.return_value, b.return_value);
     }
+}
 
-    #[test]
-    fn loop_events_balance_for_arbitrary_bounds(
-        outer in 0usize..8,
-        inner in 0usize..8,
-        brk in proptest::option::of(0usize..8),
-    ) {
+#[test]
+fn loop_events_balance_for_arbitrary_bounds() {
+    for seed in 0..64 {
+        let mut rng = TestRng::new(2000 + seed);
+        let outer = rng.below(8);
+        let inner = rng.below(8);
+        let brk = if rng.chance(1, 2) {
+            Some(rng.below(8))
+        } else {
+            None
+        };
         // A nest with an optional break: entries always equal exits, and
         // the profiler's step count equals the executed back edges.
         let break_stmt = match brk {
@@ -121,31 +142,53 @@ proptest! {
             .instrument(&InstrumentOptions::default());
 
         #[derive(Default)]
-        struct Balance { entries: i64, exits: i64, backs: u64 }
+        struct Balance {
+            entries: i64,
+            exits: i64,
+            backs: u64,
+        }
         impl algoprof_vm::ProfilerHooks for Balance {
-            fn on_loop_entry(&mut self, _: algoprof_vm::LoopId, _: &algoprof_vm::CompiledProgram, _: &algoprof_vm::Heap) {
+            fn on_loop_entry(
+                &mut self,
+                _: algoprof_vm::LoopId,
+                _: &algoprof_vm::CompiledProgram,
+                _: &algoprof_vm::Heap,
+            ) {
                 self.entries += 1;
             }
-            fn on_loop_exit(&mut self, _: algoprof_vm::LoopId, _: &algoprof_vm::CompiledProgram, _: &algoprof_vm::Heap) {
+            fn on_loop_exit(
+                &mut self,
+                _: algoprof_vm::LoopId,
+                _: &algoprof_vm::CompiledProgram,
+                _: &algoprof_vm::Heap,
+            ) {
                 self.exits += 1;
             }
-            fn on_loop_back_edge(&mut self, _: algoprof_vm::LoopId, _: &algoprof_vm::CompiledProgram, _: &algoprof_vm::Heap) {
+            fn on_loop_back_edge(
+                &mut self,
+                _: algoprof_vm::LoopId,
+                _: &algoprof_vm::CompiledProgram,
+                _: &algoprof_vm::Heap,
+            ) {
                 self.backs += 1;
             }
         }
         let mut balance = Balance::default();
         let result = Interp::new(&program).run(&mut balance).expect("runs");
-        prop_assert_eq!(balance.entries, balance.exits, "every entry has an exit");
+        assert_eq!(balance.entries, balance.exits, "every entry has an exit");
         // Every completed inner iteration (with or without a break cutting
         // the pass short) contributes one `s = s + 1` and one back edge,
         // so inner back edges equal the returned sum exactly.
         let s = result.return_value.as_int().expect("int") as u64;
-        let outer_backs = outer as u64;
-        prop_assert_eq!(balance.backs, s + outer_backs);
+        assert_eq!(balance.backs, s + outer);
     }
+}
 
-    #[test]
-    fn profiler_step_counts_match_iterations(n in 1usize..40) {
+#[test]
+fn profiler_step_counts_match_iterations() {
+    for seed in 0..24 {
+        let mut rng = TestRng::new(3000 + seed);
+        let n = rng.range(1, 40);
         let src = format!(
             "class Main {{ static int main() {{
                 int s = 0;
@@ -157,11 +200,15 @@ proptest! {
         let algo = profile
             .algorithm_by_root_name("Main.main:loop0")
             .expect("loop algorithm");
-        prop_assert_eq!(algo.total_costs.steps(), n as u64);
+        assert_eq!(algo.total_costs.steps(), n as u64);
     }
+}
 
-    #[test]
-    fn construction_size_equals_node_count(n in 1usize..60) {
+#[test]
+fn construction_size_equals_node_count() {
+    for seed in 0..24 {
+        let mut rng = TestRng::new(4000 + seed);
+        let n = rng.range(1, 60);
         let src = format!(
             "class Main {{ static int main() {{
                 Node head = null;
@@ -179,8 +226,8 @@ proptest! {
             .algorithm_by_root_name("Main.main:loop0")
             .expect("construction");
         let input = profile.primary_input(algo.id).expect("input");
-        prop_assert_eq!(profile.registry().input(input).max_size, n);
-        prop_assert_eq!(algo.total_costs.creations(), n as u64);
+        assert_eq!(profile.registry().input(input).max_size, n);
+        assert_eq!(algo.total_costs.creations(), n as u64);
     }
 }
 
@@ -188,11 +235,12 @@ proptest! {
 // Fitting recovers planted models under noise.
 // ---------------------------------------------------------------------
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn fit_recovers_planted_quadratic(coeff in 0.05f64..4.0, noise in 0u64..5) {
+#[test]
+fn fit_recovers_planted_quadratic() {
+    for seed in 0..48 {
+        let mut rng = TestRng::new(5000 + seed);
+        let coeff = rng.range_f64(0.05, 4.0);
+        let noise = rng.below(5);
         let pts: Vec<(f64, f64)> = (1..120)
             .map(|n| {
                 let nf = n as f64;
@@ -201,17 +249,26 @@ proptest! {
             })
             .collect();
         let fit = algoprof_fit::best_fit(&pts).expect("fits");
-        prop_assert_eq!(fit.model, algoprof_fit::Model::Quadratic);
-        prop_assert!((fit.coeff - coeff).abs() / coeff < 0.1);
+        assert_eq!(fit.model, algoprof_fit::Model::Quadratic);
+        assert!(
+            (fit.coeff - coeff).abs() / coeff < 0.1,
+            "coeff {} vs planted {coeff}",
+            fit.coeff
+        );
     }
+}
 
-    #[test]
-    fn power_law_exponent_within_tolerance(exp in 0.5f64..3.0, coeff in 0.1f64..10.0) {
+#[test]
+fn power_law_exponent_within_tolerance() {
+    for seed in 0..48 {
+        let mut rng = TestRng::new(6000 + seed);
+        let exp = rng.range_f64(0.5, 3.0);
+        let coeff = rng.range_f64(0.1, 10.0);
         let pts: Vec<(f64, f64)> = (1..100)
             .map(|n| (n as f64, coeff * (n as f64).powf(exp)))
             .collect();
         let p = algoprof_fit::fit_power_law(&pts).expect("fits");
-        prop_assert!((p.exponent - exp).abs() < 1e-6);
-        prop_assert!((p.coeff - coeff).abs() / coeff < 1e-6);
+        assert!((p.exponent - exp).abs() < 1e-6);
+        assert!((p.coeff - coeff).abs() / coeff < 1e-6);
     }
 }

@@ -1,10 +1,10 @@
-//! Property test: randomly generated structured guest programs run
+//! Randomized pipeline test: generated structured guest programs run
 //! identically with and without instrumentation, pass the bytecode
 //! verifier, survive the pretty-printer round trip, and profile without
-//! errors.
+//! errors. Cases are derived deterministically from seeds (no external
+//! property-testing crate).
 
-use proptest::prelude::*;
-
+use algoprof_suite::testutil::TestRng;
 use algoprof_vm::parser::parse;
 use algoprof_vm::pretty::print_program;
 use algoprof_vm::{compile, verify, InstrumentOptions, Interp, NoopProfiler};
@@ -38,31 +38,40 @@ enum Escape {
     Continue(u8),
 }
 
-fn arb_stmt() -> impl Strategy<Value = GenStmt> {
-    let leaf = prop_oneof![
-        (prop_oneof![Just(Op::Add), Just(Op::Sub), Just(Op::Mul)], -9i32..9)
-            .prop_map(|(op, k)| GenStmt::Update(op, k)),
-        Just(GenStmt::PushNode),
-        Just(GenStmt::SumList),
-    ];
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            (
-                proptest::collection::vec(inner.clone(), 0..4),
-                proptest::collection::vec(inner.clone(), 0..4)
-            )
-                .prop_map(|(t, e)| GenStmt::IfEven(t, e)),
-            (
-                1u8..5,
-                proptest::option::of(prop_oneof![
-                    (0u8..5).prop_map(Escape::Break),
-                    (0u8..5).prop_map(Escape::Continue),
-                ]),
-                proptest::collection::vec(inner, 0..4)
-            )
-                .prop_map(|(k, esc, body)| GenStmt::For(k, esc, body)),
-        ]
-    })
+fn gen_stmt(rng: &mut TestRng, depth: usize) -> GenStmt {
+    let leaf = depth == 0 || rng.chance(1, 2);
+    if leaf {
+        match rng.below(3) {
+            0 => {
+                let op = *rng.pick(&[Op::Add, Op::Sub, Op::Mul]);
+                GenStmt::Update(op, rng.range_i64(-9, 9) as i32)
+            }
+            1 => GenStmt::PushNode,
+            _ => GenStmt::SumList,
+        }
+    } else if rng.chance(1, 2) {
+        let t = gen_block(rng, depth - 1, 4);
+        let e = gen_block(rng, depth - 1, 4);
+        GenStmt::IfEven(t, e)
+    } else {
+        let k = rng.range(1, 5) as u8;
+        let esc = if rng.chance(1, 2) {
+            let at = rng.below(5) as u8;
+            Some(if rng.chance(1, 2) {
+                Escape::Break(at)
+            } else {
+                Escape::Continue(at)
+            })
+        } else {
+            None
+        };
+        GenStmt::For(k, esc, gen_block(rng, depth - 1, 4))
+    }
+}
+
+fn gen_block(rng: &mut TestRng, depth: usize, max_len: usize) -> Vec<GenStmt> {
+    let len = rng.below(max_len as u64) as usize;
+    (0..len).map(|_| gen_stmt(rng, depth)).collect()
 }
 
 fn render(stmts: &[GenStmt], depth: usize, counter: &mut usize, out: &mut String) {
@@ -100,9 +109,7 @@ fn render(stmts: &[GenStmt], depth: usize, counter: &mut usize, out: &mut String
                         Escape::Break(at) => (at, "break"),
                         Escape::Continue(at) => (at, "continue"),
                     };
-                    out.push_str(&format!(
-                        "{pad}    if ({v} == {at}) {{ {kw}; }}\n"
-                    ));
+                    out.push_str(&format!("{pad}    if ({v} == {at}) {{ {kw}; }}\n"));
                 }
                 render(body, depth + 1, counter, out);
                 out.push_str(&format!("{pad}}}\n"));
@@ -142,11 +149,12 @@ class GNode {{ GNode next; int value; }}"#
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn pipeline_invariants_hold(stmts in proptest::collection::vec(arb_stmt(), 1..6)) {
+#[test]
+fn pipeline_invariants_hold() {
+    for seed in 0..40 {
+        let mut rng = TestRng::new(7000 + seed);
+        let len = rng.range(1, 6);
+        let stmts: Vec<GenStmt> = (0..len).map(|_| gen_stmt(&mut rng, 3)).collect();
         let src = program_for(&stmts);
         let plain = compile(&src).expect("generated program compiles");
         verify(&plain).expect("plain verifies");
@@ -162,7 +170,7 @@ proptest! {
             .with_fuel(50_000_000)
             .run(&mut NoopProfiler)
             .expect("instrumented runs");
-        prop_assert_eq!(a.return_value, b.return_value);
+        assert_eq!(a.return_value, b.return_value, "program:\n{src}");
 
         // The profiler completes and the profile is internally consistent.
         let mut prof = algoprof::AlgoProf::new();
@@ -172,12 +180,12 @@ proptest! {
             .expect("profiled run");
         let profile = prof.finish(&inst);
         let stats = profile.stats();
-        prop_assert!(stats.nodes >= 1);
+        assert!(stats.nodes >= 1);
         for algo in profile.algorithms() {
             // Members belong to the tree and the root is a member.
-            prop_assert!(algo.members.contains(&algo.root));
+            assert!(algo.members.contains(&algo.root));
             for &m in &algo.members {
-                prop_assert!(m.index() < profile.tree().len());
+                assert!(m.index() < profile.tree().len());
             }
         }
 
@@ -188,6 +196,6 @@ proptest! {
             .with_fuel(10_000_000)
             .run(&mut NoopProfiler)
             .expect("printed program runs");
-        prop_assert_eq!(a.return_value, c.return_value);
+        assert_eq!(a.return_value, c.return_value, "program:\n{src}");
     }
 }

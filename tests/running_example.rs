@@ -33,7 +33,11 @@ fn figure1b_sorted_input_is_linear() {
         .expect("sort algorithm");
     let fit = profile.fit_invocation_steps(algo.id).expect("fits");
     assert_eq!(fit.model, Model::Linear, "sorted input sorts in Θ(n)");
-    assert!((fit.coeff - 1.0).abs() < 0.05, "steps = n, got {}", fit.coeff);
+    assert!(
+        (fit.coeff - 1.0).abs() < 0.05,
+        "steps = n, got {}",
+        fit.coeff
+    );
 }
 
 #[test]
@@ -78,7 +82,9 @@ fn figure3_tree_shape_and_algorithms() {
         "Construction of a Node-based recursive structure"
     );
     for needle in ["Main.measure:loop0", "Main.measure:loop1"] {
-        let a = profile.algorithm_by_root_name(needle).expect("measure loop");
+        let a = profile
+            .algorithm_by_root_name(needle)
+            .expect("measure loop");
         assert!(
             profile.is_data_structure_less(a.id),
             "{needle} must be data-structure-less"

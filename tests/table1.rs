@@ -33,7 +33,11 @@ fn all_rows_match_the_paper() {
             ));
         }
     }
-    assert!(failures.is_empty(), "Table-1 mismatches:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "Table-1 mismatches:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]
@@ -45,7 +49,10 @@ fn the_two_ungrouped_rows_are_the_2d_arrays() {
         .collect::<Vec<_>>()
         .into_iter()
         .collect();
-    assert_eq!(ungrouped, vec!["array array B 2d", "graph array directed B 2d"]);
+    assert_eq!(
+        ungrouped,
+        vec!["array array B 2d", "graph array directed B 2d"]
+    );
 }
 
 #[test]
@@ -54,8 +61,14 @@ fn row_shapes_match_the_paper_table() {
     assert_eq!(programs.len(), 18);
     assert_eq!(programs.iter().filter(|p| p.structure == "list").count(), 7);
     assert_eq!(programs.iter().filter(|p| p.structure == "tree").count(), 5);
-    assert_eq!(programs.iter().filter(|p| p.structure == "graph").count(), 4);
-    assert_eq!(programs.iter().filter(|p| p.structure == "array").count(), 2);
+    assert_eq!(
+        programs.iter().filter(|p| p.structure == "graph").count(),
+        4
+    );
+    assert_eq!(
+        programs.iter().filter(|p| p.structure == "array").count(),
+        2
+    );
     assert_eq!(programs.iter().filter(|p| p.typing == 'G').count(), 2);
     assert_eq!(programs.iter().filter(|p| p.typing == 'I').count(), 2);
 }
@@ -72,8 +85,7 @@ fn linked_rows_detect_node_structures_arrays_detect_arrays() {
         );
         if p.implementation == "linked" {
             assert!(
-                p.expected_input.contains("Node")
-                    || p.expected_input.contains("Vertex"),
+                p.expected_input.contains("Node") || p.expected_input.contains("Vertex"),
                 "{}: linked rows are node-based",
                 p.name
             );
