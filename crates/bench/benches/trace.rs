@@ -1,0 +1,111 @@
+//! Criterion benchmark: cost of trace recording and the payoff of
+//! replay-based re-analysis (`algoprof-trace`).
+//!
+//! Three questions, one workload (the fig5 ArrayList-growth program):
+//! 1. recording overhead — instrumented run + `TraceRecorder` vs the
+//!    same run with `NoopProfiler`;
+//! 2. record-while-profiling overhead — `TraceRecorder` teeing into a
+//!    live `AlgoProf` vs the live `AlgoProf` alone;
+//! 3. re-analysis speedup — the 4-criteria ablation served from one
+//!    recording vs 4 full live re-executions.
+
+use algoprof_bench::harness::Criterion;
+use algoprof_bench::{criterion_group, criterion_main};
+
+use algoprof::{
+    profile_source_with, profile_trace_with, record_source_with, AlgoProf, AlgoProfOptions,
+    EquivalenceCriterion,
+};
+use algoprof_programs::{array_list_program, GrowthPolicy};
+use algoprof_trace::{TraceHeader, TraceRecorder};
+use algoprof_vm::{compile, InstrumentOptions, Interp, NoopProfiler};
+
+const CRITERIA: [EquivalenceCriterion; 4] = [
+    EquivalenceCriterion::SomeElements,
+    EquivalenceCriterion::AllElements,
+    EquivalenceCriterion::SameArray,
+    EquivalenceCriterion::SameType,
+];
+
+fn bench_trace(c: &mut Criterion) {
+    let src = array_list_program(GrowthPolicy::Doubling, 1000, 100, 1);
+    let instrument = InstrumentOptions::default();
+    let program = compile(&src).expect("compiles").instrument(&instrument);
+    let header = TraceHeader::new(&src, &instrument, &[]);
+
+    let mut group = c.benchmark_group("trace");
+
+    // 1. Recording overhead over a no-op instrumented run.
+    group.bench_function("instrumented_noop", |b| {
+        b.iter(|| {
+            Interp::new(&program)
+                .run(&mut NoopProfiler)
+                .expect("runs")
+                .instructions
+        })
+    });
+    group.bench_function("record_only", |b| {
+        b.iter(|| {
+            let mut rec = TraceRecorder::new(&header, Vec::new());
+            Interp::new(&program).run(&mut rec).expect("runs");
+            rec.finish().expect("finishes").0.total_bytes
+        })
+    });
+
+    // 2. Recording while profiling (tee) over plain live profiling.
+    group.bench_function("live_algoprof", |b| {
+        b.iter(|| {
+            let mut prof = AlgoProf::new();
+            Interp::new(&program).run(&mut prof).expect("runs");
+            prof.finish(&program).algorithms().len()
+        })
+    });
+    group.bench_function("record_tee_algoprof", |b| {
+        b.iter(|| {
+            let mut rec = TraceRecorder::with_tee(&header, Vec::new(), AlgoProf::new());
+            Interp::new(&program).run(&mut rec).expect("runs");
+            let (stats, prof) = rec.finish().expect("finishes");
+            (stats.total_bytes, prof.finish(&program).algorithms().len())
+        })
+    });
+
+    // 3. The ablation study: one recording analyzed 4 ways vs 4 live runs.
+    let trace = record_source_with(&src, &instrument, &[]).expect("records");
+    group.bench_function("ablation_4x_replay", |b| {
+        b.iter(|| {
+            let mut algos = 0usize;
+            for criterion in CRITERIA {
+                let options = AlgoProfOptions {
+                    criterion,
+                    ..AlgoProfOptions::default()
+                };
+                algos += profile_trace_with(&trace, options)
+                    .expect("replays")
+                    .algorithms()
+                    .len();
+            }
+            algos
+        })
+    });
+    group.bench_function("ablation_4x_live", |b| {
+        b.iter(|| {
+            let mut algos = 0usize;
+            for criterion in CRITERIA {
+                let options = AlgoProfOptions {
+                    criterion,
+                    ..AlgoProfOptions::default()
+                };
+                algos += profile_source_with(&src, &instrument, options, &[])
+                    .expect("profiles")
+                    .algorithms()
+                    .len();
+            }
+            algos
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

@@ -55,7 +55,7 @@ impl fmt::Display for AlgorithmId {
 
 /// One ⟨input sizes, combined cost⟩ observation: a single invocation of
 /// the algorithm's root repetition with all member costs folded in.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DataPoint {
     /// Ordinal of the root repetition's invocation.
     pub root_invocation: usize,
@@ -67,7 +67,7 @@ pub struct DataPoint {
 }
 
 /// A group of repetition-tree nodes forming one algorithm.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Algorithm {
     /// The algorithm's id.
     pub id: AlgorithmId,

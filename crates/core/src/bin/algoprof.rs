@@ -1,162 +1,146 @@
 //! `algoprof` — command-line algorithmic profiler for jay programs.
 //!
 //! ```text
-//! algoprof [OPTIONS] <program.jay>
+//! algoprof [OPTIONS] <program.jay>          profile a program live
+//! algoprof record <program.jay> -o <trace>  execute once, save the event trace
+//! algoprof analyze <trace> [OPTIONS]        profile a recording (no re-execution)
 //!
 //! OPTIONS:
 //!   --criterion <some|all|array|type>   snapshot equivalence criterion
 //!   --sizing <capacity|unique>          array sizing strategy
 //!   --snapshots <firstlast|every>       snapshot policy
 //!   --grouping <input|indexflow|method> algorithm grouping strategy
-//!   --input <v1,v2,...>                 values for readInput()
+//!   --input <v1,v2,...>                 values for readInput() (live/record only)
 //!   --csv <root-name-needle>            print the steps CSV for one algorithm
 //!   --html <file.html>                  write a self-contained HTML report
 //! ```
+//!
+//! `record` + repeated `analyze` decouple execution from analysis: one
+//! guest run supports any number of option ablations.
 
 use std::process::ExitCode;
 
 use algoprof::{
-    AlgoProfOptions, ArraySizeStrategy, CostMetric, EquivalenceCriterion, GroupingStrategy,
-    SnapshotPolicy,
+    AlgoProfOptions, AlgorithmicProfile, ArraySizeStrategy, CostMetric, EquivalenceCriterion,
+    GroupingStrategy, SnapshotPolicy,
 };
 use algoprof_vm::InstrumentOptions;
 
+const USAGE: &str = "usage: algoprof [--criterion some|all|array|type] [--sizing capacity|unique] \
+     [--snapshots firstlast|every] [--grouping input|indexflow|method] \
+     [--input v1,v2,...] [--csv <needle>] [--html <file.html>] <program.jay>\n\
+       algoprof record <program.jay> -o <trace.aptr> [--input v1,v2,...]\n\
+       algoprof analyze <trace.aptr> [analysis options as above]";
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!(
-            "usage: algoprof [--criterion some|all|array|type] [--sizing capacity|unique] \
-             [--snapshots firstlast|every] [--grouping input|indexflow|method] \
-             [--input v1,v2,...] [--csv <needle>] <program.jay>"
-        );
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        // Asking for help is not an error: print to stdout, exit 0.
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if args.is_empty() {
+        eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     }
+    match args[0].as_str() {
+        "record" => record_main(&args[1..]),
+        "analyze" => analyze_main(&args[1..]),
+        _ => live_main(&args),
+    }
+}
 
-    let mut opts = AlgoProfOptions::default();
-    let mut input: Vec<i64> = Vec::new();
-    let mut csv: Option<String> = None;
-    let mut html: Option<String> = None;
-    let mut path: Option<String> = None;
+/// Analysis-side options shared by live profiling and `analyze`.
+#[derive(Default)]
+struct AnalysisArgs {
+    opts: AlgoProfOptions,
+    input: Vec<i64>,
+    csv: Option<String>,
+    html: Option<String>,
+    positional: Vec<String>,
+}
 
+/// Parses `args`, returning the parsed bundle or a message for stderr.
+fn parse_args(args: &[String]) -> Result<AnalysisArgs, String> {
+    let mut out = AnalysisArgs::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--criterion" => {
                 i += 1;
-                opts.criterion = match args.get(i).map(String::as_str) {
+                out.opts.criterion = match args.get(i).map(String::as_str) {
                     Some("some") => EquivalenceCriterion::SomeElements,
                     Some("all") => EquivalenceCriterion::AllElements,
                     Some("array") => EquivalenceCriterion::SameArray,
                     Some("type") => EquivalenceCriterion::SameType,
-                    other => {
-                        eprintln!("unknown criterion {other:?}");
-                        return ExitCode::FAILURE;
-                    }
+                    other => return Err(format!("unknown criterion {other:?}")),
                 };
             }
             "--sizing" => {
                 i += 1;
-                opts.array_strategy = match args.get(i).map(String::as_str) {
+                out.opts.array_strategy = match args.get(i).map(String::as_str) {
                     Some("capacity") => ArraySizeStrategy::Capacity,
                     Some("unique") => ArraySizeStrategy::UniqueElements,
-                    other => {
-                        eprintln!("unknown sizing {other:?}");
-                        return ExitCode::FAILURE;
-                    }
+                    other => return Err(format!("unknown sizing {other:?}")),
                 };
             }
             "--grouping" => {
                 i += 1;
-                opts.grouping = match args.get(i).map(String::as_str) {
+                out.opts.grouping = match args.get(i).map(String::as_str) {
                     Some("input") => GroupingStrategy::SharedInput,
                     Some("indexflow") => GroupingStrategy::SharedInputOrIndexFlow,
                     Some("method") => GroupingStrategy::SameMethod,
-                    other => {
-                        eprintln!("unknown grouping {other:?}");
-                        return ExitCode::FAILURE;
-                    }
+                    other => return Err(format!("unknown grouping {other:?}")),
                 };
             }
             "--snapshots" => {
                 i += 1;
-                opts.snapshot_policy = match args.get(i).map(String::as_str) {
+                out.opts.snapshot_policy = match args.get(i).map(String::as_str) {
                     Some("firstlast") => SnapshotPolicy::FirstAndLast,
                     Some("every") => SnapshotPolicy::EveryAccess,
-                    other => {
-                        eprintln!("unknown snapshot policy {other:?}");
-                        return ExitCode::FAILURE;
-                    }
+                    other => return Err(format!("unknown snapshot policy {other:?}")),
                 };
             }
             "--input" => {
                 i += 1;
-                match args.get(i) {
-                    Some(list) => {
-                        for part in list.split(',').filter(|p| !p.is_empty()) {
-                            match part.trim().parse() {
-                                Ok(v) => input.push(v),
-                                Err(_) => {
-                                    eprintln!("invalid input value {part:?}");
-                                    return ExitCode::FAILURE;
-                                }
-                            }
-                        }
-                    }
-                    None => {
-                        eprintln!("--input requires a value list");
-                        return ExitCode::FAILURE;
+                let Some(list) = args.get(i) else {
+                    return Err("--input requires a value list".into());
+                };
+                for part in list.split(',').filter(|p| !p.is_empty()) {
+                    match part.trim().parse() {
+                        Ok(v) => out.input.push(v),
+                        Err(_) => return Err(format!("invalid input value {part:?}")),
                     }
                 }
             }
             "--csv" => {
                 i += 1;
-                csv = args.get(i).cloned();
+                out.csv = args.get(i).cloned();
             }
             "--html" => {
                 i += 1;
-                html = args.get(i).cloned();
+                out.html = args.get(i).cloned();
             }
-            other => {
-                if path.is_some() {
-                    eprintln!("unexpected argument {other:?}");
-                    return ExitCode::FAILURE;
-                }
-                path = Some(other.to_owned());
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}"));
             }
+            other => out.positional.push(other.to_owned()),
         }
         i += 1;
     }
+    Ok(out)
+}
 
-    let Some(path) = path else {
-        eprintln!("no program file given");
-        return ExitCode::FAILURE;
-    };
-    let source = match std::fs::read_to_string(&path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-
-    let profile =
-        match algoprof::profile_source_with(&source, &InstrumentOptions::default(), opts, &input) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("{e}");
-                return ExitCode::FAILURE;
-            }
-        };
-
+/// Renders `profile` per the `--csv`/`--html` selection.
+fn emit(profile: &AlgorithmicProfile, csv: Option<String>, html: Option<String>) -> ExitCode {
     if let Some(html_path) = html {
-        if let Err(e) = std::fs::write(&html_path, algoprof::render_html(&profile)) {
+        if let Err(e) = std::fs::write(&html_path, algoprof::render_html(profile)) {
             eprintln!("cannot write {html_path}: {e}");
             return ExitCode::FAILURE;
         }
         println!("wrote {html_path}");
         return ExitCode::SUCCESS;
     }
-
     match csv {
         Some(needle) => match profile.algorithm_by_root_name(&needle) {
             Some(algo) => {
@@ -173,4 +157,141 @@ fn main() -> ExitCode {
         None => print!("{}", profile.render_text()),
     }
     ExitCode::SUCCESS
+}
+
+/// The classic mode: compile, execute, and profile in one go.
+fn live_main(args: &[String]) -> ExitCode {
+    let parsed = match parse_args(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let [path] = parsed.positional.as_slice() else {
+        eprintln!("expected exactly one program file\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let profile = match algoprof::profile_source_with(
+        &source,
+        &InstrumentOptions::default(),
+        parsed.opts,
+        &parsed.input,
+    ) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    emit(&profile, parsed.csv, parsed.html)
+}
+
+/// `algoprof record <prog.jay> -o <trace>`: execute once, save the trace.
+fn record_main(args: &[String]) -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut input: Vec<i64> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-o" | "--output" => {
+                i += 1;
+                out = args.get(i).cloned();
+            }
+            "--input" => {
+                i += 1;
+                let Some(list) = args.get(i) else {
+                    eprintln!("--input requires a value list");
+                    return ExitCode::FAILURE;
+                };
+                for part in list.split(',').filter(|p| !p.is_empty()) {
+                    match part.trim().parse() {
+                        Ok(v) => input.push(v),
+                        Err(_) => {
+                            eprintln!("invalid input value {part:?}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown option {other:?} for record");
+                return ExitCode::FAILURE;
+            }
+            other => {
+                if path.is_some() {
+                    eprintln!("unexpected argument {other:?}");
+                    return ExitCode::FAILURE;
+                }
+                path = Some(other.to_owned());
+            }
+        }
+        i += 1;
+    }
+    let (Some(path), Some(out)) = (path, out) else {
+        eprintln!("usage: algoprof record <program.jay> -o <trace.aptr> [--input v1,v2,...]");
+        return ExitCode::FAILURE;
+    };
+    let source = match std::fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let trace = match algoprof::record_source_with(&source, &InstrumentOptions::default(), &input) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out, &trace) {
+        eprintln!("cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out} ({} bytes)", trace.len());
+    ExitCode::SUCCESS
+}
+
+/// `algoprof analyze <trace>`: profile a recording without re-executing.
+fn analyze_main(args: &[String]) -> ExitCode {
+    let parsed = match parse_args(args) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !parsed.input.is_empty() {
+        eprintln!("--input is not valid for analyze: inputs are embedded in the trace");
+        return ExitCode::FAILURE;
+    }
+    let [path] = parsed.positional.as_slice() else {
+        eprintln!("expected exactly one trace file\n{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let trace = match std::fs::read(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let profile = match algoprof::profile_trace_with(&trace, parsed.opts) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    emit(&profile, parsed.csv, parsed.html)
 }

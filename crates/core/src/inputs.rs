@@ -57,7 +57,7 @@ pub enum InputKind {
 }
 
 /// Everything known about one input.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InputInfo {
     /// The input's id.
     pub id: InputId,
@@ -120,7 +120,7 @@ impl InputInfo {
 
 /// The global input table plus the reverse map from heap references to
 /// inputs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InputRegistry {
     inputs: Vec<InputInfo>,
     ref_map: HashMap<ElemKey, InputId>,

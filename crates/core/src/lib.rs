@@ -68,7 +68,10 @@ pub use inputs::{InputId, InputInfo, InputKind, InputRegistry};
 pub use profile::{merge_series, AlgorithmicProfile, CostMetric};
 pub use profiler::{AlgoProf, AlgoProfOptions, SnapshotPolicy};
 pub use reptree::{Invocation, NodeId, RepKind, RepNode, RepTree};
-pub use run::{profile_source, profile_source_with, ProfileError};
+pub use run::{
+    profile_source, profile_source_with, profile_trace, profile_trace_with,
+    record_and_profile_source, record_source, record_source_with, ProfileError,
+};
 pub use snapshot::{
     ArraySizeStrategy, ElemKey, EquivalenceCriterion, IncrementalMode, Measurement, Snapshot,
     SnapshotStats,

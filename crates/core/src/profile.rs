@@ -31,7 +31,7 @@ pub enum CostMetric {
 ///
 /// Self-contained: names are resolved against the program at build time,
 /// so the profile can outlive the `CompiledProgram`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AlgorithmicProfile {
     tree: RepTree,
     registry: InputRegistry,

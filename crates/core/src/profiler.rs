@@ -389,6 +389,7 @@ impl ProfilerHooks for AlgoProf {
         &mut self,
         obj: Value,
         _field: FieldId,
+        _value: Value,
         program: &CompiledProgram,
         heap: &Heap,
     ) {
@@ -403,7 +404,14 @@ impl ProfilerHooks for AlgoProf {
         self.on_access(arr, AccessOp::Read, true, None, program, heap);
     }
 
-    fn on_array_store(&mut self, arr: Value, program: &CompiledProgram, heap: &Heap) {
+    fn on_array_store(
+        &mut self,
+        arr: Value,
+        _index: usize,
+        _value: Value,
+        program: &CompiledProgram,
+        heap: &Heap,
+    ) {
         self.on_access(arr, AccessOp::Write, true, None, program, heap);
     }
 

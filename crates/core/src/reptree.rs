@@ -60,7 +60,7 @@ pub struct InputObservation {
 }
 
 /// One invocation of a repetition (placeholder until finalized).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Invocation {
     /// The parent node and the ordinal of the parent invocation that was
     /// active when this invocation started (`None` for the root).
@@ -75,7 +75,7 @@ pub struct Invocation {
 }
 
 /// Mutable bookkeeping for an invocation in flight.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ActiveInvocation {
     /// The pre-assigned index in [`RepNode::invocations`].
     pub ordinal: usize,
@@ -89,7 +89,7 @@ pub struct ActiveInvocation {
 }
 
 /// In-flight observation of one input.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ActiveObservation {
     /// Size at the first access.
     pub first_size: usize,
@@ -102,7 +102,7 @@ pub struct ActiveObservation {
 }
 
 /// One node of the repetition tree.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RepNode {
     /// This node's id.
     pub id: NodeId,
@@ -151,7 +151,7 @@ impl RepNode {
 
 /// The repetition tree for one guest thread (jay is single-threaded, so
 /// one per run).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RepTree {
     nodes: Vec<RepNode>,
 }

@@ -1,8 +1,11 @@
 //! One-call convenience: compile, instrument, execute, and profile a jay
-//! source program.
+//! source program — or record its event trace once and profile the
+//! recording as many times as needed ([`record_source`],
+//! [`profile_trace`]).
 
 use std::fmt;
 
+use algoprof_trace::{read_header, TraceError, TraceHeader, TraceRecorder, TraceReplayer};
 use algoprof_vm::{compile, CompileError, InstrumentOptions, Interp, RuntimeError};
 
 use crate::profile::AlgorithmicProfile;
@@ -15,6 +18,8 @@ pub enum ProfileError {
     Compile(CompileError),
     /// The guest program failed at run time.
     Runtime(RuntimeError),
+    /// A recorded trace could not be decoded.
+    Trace(TraceError),
 }
 
 impl fmt::Display for ProfileError {
@@ -22,6 +27,7 @@ impl fmt::Display for ProfileError {
         match self {
             ProfileError::Compile(e) => write!(f, "guest compilation failed: {e}"),
             ProfileError::Runtime(e) => write!(f, "guest execution failed: {e}"),
+            ProfileError::Trace(e) => write!(f, "trace replay failed: {e}"),
         }
     }
 }
@@ -31,6 +37,7 @@ impl std::error::Error for ProfileError {
         match self {
             ProfileError::Compile(e) => Some(e),
             ProfileError::Runtime(e) => Some(e),
+            ProfileError::Trace(e) => Some(e),
         }
     }
 }
@@ -44,6 +51,12 @@ impl From<CompileError> for ProfileError {
 impl From<RuntimeError> for ProfileError {
     fn from(e: RuntimeError) -> Self {
         ProfileError::Runtime(e)
+    }
+}
+
+impl From<TraceError> for ProfileError {
+    fn from(e: TraceError) -> Self {
+        ProfileError::Trace(e)
     }
 }
 
@@ -97,6 +110,101 @@ pub fn profile_source_with(
     Ok(profiler.finish(&program))
 }
 
+/// Compiles `source`, instruments it with the default options, executes
+/// it once, and returns the recorded event trace. Feed the bytes to
+/// [`profile_trace`] (any number of times) to analyze without
+/// re-executing the guest.
+///
+/// # Errors
+///
+/// Returns [`ProfileError`] when the guest fails to compile or its
+/// execution raises an uncaught error.
+pub fn record_source(source: &str) -> Result<Vec<u8>, ProfileError> {
+    record_source_with(source, &InstrumentOptions::default(), &[])
+}
+
+/// Like [`record_source`] with explicit instrumentation options and
+/// guest input values (both are embedded in the trace header, so the
+/// recording stays self-contained).
+///
+/// # Errors
+///
+/// Same as [`record_source`].
+pub fn record_source_with(
+    source: &str,
+    instrument: &InstrumentOptions,
+    input: &[i64],
+) -> Result<Vec<u8>, ProfileError> {
+    let program = compile(source)?.instrument(instrument);
+    let mut bytes = Vec::new();
+    let mut recorder = TraceRecorder::new(&TraceHeader::new(source, instrument, input), &mut bytes);
+    Interp::new(&program)
+        .with_input(input.to_vec())
+        .run(&mut recorder)?;
+    recorder.finish().expect("writes to a Vec<u8> cannot fail");
+    Ok(bytes)
+}
+
+/// Executes the guest once, producing its event trace *and* a live
+/// profile from the same run: the recorder tees every event to an
+/// [`AlgoProf`] configured with `options`.
+///
+/// # Errors
+///
+/// Same as [`record_source`].
+pub fn record_and_profile_source(
+    source: &str,
+    instrument: &InstrumentOptions,
+    options: AlgoProfOptions,
+    input: &[i64],
+) -> Result<(Vec<u8>, AlgorithmicProfile), ProfileError> {
+    let program = compile(source)?.instrument(instrument);
+    let mut bytes = Vec::new();
+    let mut recorder = TraceRecorder::with_tee(
+        &TraceHeader::new(source, instrument, input),
+        &mut bytes,
+        AlgoProf::with_options(options),
+    );
+    Interp::new(&program)
+        .with_input(input.to_vec())
+        .run(&mut recorder)?;
+    let (_, profiler) = recorder.finish().expect("writes to a Vec<u8> cannot fail");
+    let profile = profiler.finish(&program);
+    Ok((bytes, profile))
+}
+
+/// Profiles a recorded trace under the default [`AlgoProfOptions`]
+/// without executing the guest.
+///
+/// # Errors
+///
+/// Returns [`ProfileError`] when the trace is malformed or its embedded
+/// source no longer compiles.
+pub fn profile_trace(trace: &[u8]) -> Result<AlgorithmicProfile, ProfileError> {
+    profile_trace_with(trace, AlgoProfOptions::default())
+}
+
+/// Like [`profile_trace`] with explicit profiler options. The program is
+/// recompiled from the source and instrumentation options embedded in
+/// the trace header — compilation is deterministic, so every id in the
+/// event stream resolves exactly as it did while recording, and the
+/// resulting profile equals what a live run under `options` would have
+/// produced.
+///
+/// # Errors
+///
+/// Same as [`profile_trace`].
+pub fn profile_trace_with(
+    trace: &[u8],
+    options: AlgoProfOptions,
+) -> Result<AlgorithmicProfile, ProfileError> {
+    let (header, events) = read_header(trace)?;
+    let program = compile(&header.source)?.instrument(&header.instrument);
+    let mut profiler = AlgoProf::with_options(options);
+    TraceReplayer::new().replay(&program, events, &mut profiler)?;
+    Ok(profiler.finish(&program))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -121,5 +229,39 @@ mod tests {
     fn runtime_error_is_reported() {
         let e = profile_source("class Main { static int main() { throw 3; } }").unwrap_err();
         assert!(matches!(e, ProfileError::Runtime(_)));
+    }
+
+    const LOOP_SRC: &str = "class Main { static int main() {
+        int s = 0;
+        for (int i = 0; i < 6; i = i + 1) { s = s + i; }
+        return s;
+    } }";
+
+    #[test]
+    fn trace_profile_equals_live_profile() {
+        let live = profile_source(LOOP_SRC).expect("profiles");
+        let trace = record_source(LOOP_SRC).expect("records");
+        let replayed = profile_trace(&trace).expect("replays");
+        assert_eq!(live, replayed);
+    }
+
+    #[test]
+    fn record_and_profile_matches_pure_recording() {
+        let (trace, live) = record_and_profile_source(
+            LOOP_SRC,
+            &InstrumentOptions::default(),
+            AlgoProfOptions::default(),
+            &[],
+        )
+        .expect("records");
+        assert_eq!(trace, record_source(LOOP_SRC).expect("records"));
+        assert_eq!(live, profile_trace(&trace).expect("replays"));
+    }
+
+    #[test]
+    fn trace_error_is_reported() {
+        let e = profile_trace(b"not a trace").unwrap_err();
+        assert!(matches!(e, ProfileError::Trace(_)));
+        assert!(e.to_string().contains("trace"));
     }
 }

@@ -1,0 +1,302 @@
+//! Deterministic event-trace record/replay for AlgoProf: execute once,
+//! analyze many.
+//!
+//! Algorithmic profiling fuses a dynamic analysis to guest execution:
+//! every ablation over equivalence criteria, sizing strategies, or
+//! grouping re-runs the interpreted program. This crate splits the two
+//! with a durable event stream:
+//!
+//! * [`TraceRecorder`] is a [`ProfilerHooks`](algoprof_vm::ProfilerHooks)
+//!   sink that serializes every event to a compact binary format
+//!   (tag bytes + LEB128 varints, reference ids delta-encoded), teeing
+//!   to an optional inner sink so recording composes with live
+//!   profiling;
+//! * [`TraceReplayer`] rebuilds a shadow [`Heap`](algoprof_vm::Heap)
+//!   from the recorded raw mutations and drives any `ProfilerHooks`
+//!   implementation to the *identical* observations it would have made
+//!   live — one recording supports re-analysis under every profiler
+//!   configuration without re-executing the guest.
+//!
+//! The trace header embeds the guest source, instrumentation options,
+//! and input values, so a trace file is self-contained (see
+//! `docs/TRACE.md` for the wire format). The one event outside the
+//! format is `on_instruction`: per-instruction ticks would dominate the
+//! stream byte-wise and AlgoProf never consumes them.
+//!
+//! # Example
+//!
+//! ```
+//! use algoprof_vm::{compile, InstrumentOptions, Interp, NoopProfiler};
+//! use algoprof_trace::{read_header, TraceHeader, TraceRecorder, TraceReplayer};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let src = "class Main { static int main() {
+//!     int s = 0;
+//!     for (int i = 0; i < 10; i = i + 1) { s = s + i; }
+//!     return s;
+//! } }";
+//! let opts = InstrumentOptions::default();
+//! let program = compile(src)?.instrument(&opts);
+//!
+//! // Record one execution.
+//! let mut bytes = Vec::new();
+//! let mut rec = TraceRecorder::new(&TraceHeader::new(src, &opts, &[]), &mut bytes);
+//! Interp::new(&program).run(&mut rec)?;
+//! let (stats, _) = rec.finish()?;
+//! assert!(stats.events > 0);
+//!
+//! // Replay it against any sink, as often as needed.
+//! let (header, events) = read_header(&bytes)?;
+//! let program = compile(&header.source)?.instrument(&header.instrument);
+//! let mut replayer = TraceReplayer::new();
+//! replayer.replay(&program, events, &mut NoopProfiler)?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod format;
+pub mod record;
+pub mod replay;
+pub mod wire;
+
+pub use format::{TraceError, TraceHeader, MAGIC, VERSION};
+pub use record::{TraceRecorder, TraceStats};
+pub use replay::{ReplayStats, TraceReplayer};
+
+/// Splits a trace into its decoded header and the raw event stream that
+/// follows (feed the latter to [`TraceReplayer::replay`]).
+///
+/// # Errors
+///
+/// Returns [`TraceError`] when the header is malformed; the event bytes
+/// are validated lazily during replay.
+pub fn read_header(trace: &[u8]) -> Result<(TraceHeader, &[u8]), TraceError> {
+    let (header, off) = TraceHeader::decode(trace)?;
+    Ok((header, &trace[off..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algoprof_vm::{
+        compile, ArrRef, ClassId, CompiledProgram, ElemKind, FieldId, FuncId, Heap,
+        InstrumentOptions, Interp, LoopId, ObjRef, ProfilerHooks, Value,
+    };
+
+    const LIST_SRC: &str = "class Main { static int main() {
+        Node head = null;
+        int[] a = new int[8];
+        int s = 0;
+        for (int i = 0; i < 8; i = i + 1) {
+            Node x = new Node();
+            x.v = i;
+            x.next = head;
+            head = x;
+            a[i] = i * i;
+        }
+        while (head != null) { s = s + head.v; head = head.next; }
+        print(s);
+        return s;
+    } }
+    class Node { int v; Node next; }";
+
+    /// Records `src` live, returning the trace bytes and the program.
+    fn record(src: &str, input: &[i64]) -> (Vec<u8>, CompiledProgram) {
+        let opts = InstrumentOptions::default();
+        let program = compile(src).expect("compiles").instrument(&opts);
+        let mut bytes = Vec::new();
+        let mut rec = TraceRecorder::new(&TraceHeader::new(src, &opts, input), &mut bytes);
+        Interp::new(&program)
+            .with_input(input.to_vec())
+            .run(&mut rec)
+            .expect("runs");
+        rec.finish().expect("finishes");
+        (bytes, program)
+    }
+
+    /// An event transcript detailed enough to prove live/replay parity:
+    /// every hook call with its payload plus the heap epoch at the time.
+    #[derive(Debug, Default, PartialEq, Eq)]
+    struct Transcript(Vec<String>);
+
+    impl ProfilerHooks for Transcript {
+        fn on_method_entry(&mut self, f: FuncId, _: &CompiledProgram, h: &Heap) {
+            self.0.push(format!("me {f} @{}", h.epoch()));
+        }
+        fn on_method_exit(&mut self, f: FuncId, _: &CompiledProgram, h: &Heap) {
+            self.0.push(format!("mx {f} @{}", h.epoch()));
+        }
+        fn on_loop_entry(&mut self, l: LoopId, _: &CompiledProgram, h: &Heap) {
+            self.0.push(format!("le {l} @{}", h.epoch()));
+        }
+        fn on_loop_back_edge(&mut self, l: LoopId, _: &CompiledProgram, h: &Heap) {
+            self.0.push(format!("lb {l} @{}", h.epoch()));
+        }
+        fn on_loop_exit(&mut self, l: LoopId, _: &CompiledProgram, h: &Heap) {
+            self.0.push(format!("lx {l} @{}", h.epoch()));
+        }
+        fn on_field_get(&mut self, o: Value, f: FieldId, _: &CompiledProgram, h: &Heap) {
+            self.0.push(format!("fg {o} {f} @{}", h.epoch()));
+        }
+        fn on_field_put(&mut self, o: Value, f: FieldId, v: Value, _: &CompiledProgram, h: &Heap) {
+            self.0.push(format!("fp {o} {f} {v} @{}", h.epoch()));
+        }
+        fn on_array_load(&mut self, a: Value, _: &CompiledProgram, h: &Heap) {
+            self.0.push(format!("al {a} @{}", h.epoch()));
+        }
+        fn on_array_store(&mut self, a: Value, i: usize, v: Value, _: &CompiledProgram, h: &Heap) {
+            self.0.push(format!("as {a} {i} {v} @{}", h.epoch()));
+        }
+        fn on_alloc(&mut self, o: Value, _: &CompiledProgram, h: &Heap) {
+            self.0.push(format!("an {o} @{}", h.epoch()));
+        }
+        fn on_input_read(&mut self, _: &CompiledProgram, h: &Heap) {
+            self.0.push(format!("ir @{}", h.epoch()));
+        }
+        fn on_output_write(&mut self, _: &CompiledProgram, h: &Heap) {
+            self.0.push(format!("ow @{}", h.epoch()));
+        }
+        fn on_object_allocated(&mut self, o: ObjRef, c: ClassId, _: &CompiledProgram, h: &Heap) {
+            self.0.push(format!(
+                "OA {} {c} @{} #{}",
+                o.0,
+                h.epoch(),
+                h.object_count()
+            ));
+        }
+        fn on_array_allocated(
+            &mut self,
+            a: ArrRef,
+            e: ElemKind,
+            len: usize,
+            _: &CompiledProgram,
+            h: &Heap,
+        ) {
+            self.0
+                .push(format!("AA {} {e:?} {len} @{}", a.0, h.epoch()));
+        }
+        fn on_field_written(
+            &mut self,
+            o: ObjRef,
+            f: FieldId,
+            v: Value,
+            _: &CompiledProgram,
+            h: &Heap,
+        ) {
+            self.0.push(format!(
+                "FW {} {f} {v} @{} s{}",
+                o.0,
+                h.epoch(),
+                h.object_stamp(o)
+            ));
+        }
+        fn on_array_written(
+            &mut self,
+            a: ArrRef,
+            i: usize,
+            v: Value,
+            _: &CompiledProgram,
+            h: &Heap,
+        ) {
+            self.0.push(format!(
+                "AW {} {i} {v} @{} s{} l{}",
+                a.0,
+                h.epoch(),
+                h.array_stamp(a),
+                h.log_pos()
+            ));
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_the_live_transcript() {
+        let opts = InstrumentOptions::default();
+        let program = compile(LIST_SRC).expect("compiles").instrument(&opts);
+
+        let mut bytes = Vec::new();
+        let mut rec = TraceRecorder::with_tee(
+            &TraceHeader::new(LIST_SRC, &opts, &[]),
+            &mut bytes,
+            Transcript::default(),
+        );
+        Interp::new(&program).run(&mut rec).expect("runs");
+        let (_, live) = rec.finish().expect("finishes");
+
+        let (header, events) = read_header(&bytes).expect("header");
+        assert_eq!(header.source, LIST_SRC);
+        let mut replayed = Transcript::default();
+        let stats = TraceReplayer::new()
+            .replay(&program, events, &mut replayed)
+            .expect("replays");
+        assert!(stats.events > 0);
+        assert_eq!(live, replayed, "replay diverged from the live transcript");
+    }
+
+    #[test]
+    fn rerecording_a_replay_is_byte_identical() {
+        let (bytes, program) = record(LIST_SRC, &[]);
+        let (header, events) = read_header(&bytes).expect("header");
+
+        let mut again = Vec::new();
+        let mut rec = TraceRecorder::new(&header, &mut again);
+        TraceReplayer::new()
+            .replay(&program, events, &mut rec)
+            .expect("replays");
+        rec.finish().expect("finishes");
+        assert_eq!(bytes, again, "record→replay→record must be a fixed point");
+    }
+
+    #[test]
+    fn shadow_heap_matches_final_live_state() {
+        let opts = InstrumentOptions::default();
+        let program = compile(LIST_SRC).expect("compiles").instrument(&opts);
+        let (bytes, _) = record(LIST_SRC, &[]);
+        let (_, events) = read_header(&bytes).expect("header");
+        let mut replayer = TraceReplayer::new();
+        replayer
+            .replay(&program, events, &mut algoprof_vm::NoopProfiler)
+            .expect("replays");
+        let heap = replayer.heap();
+        // 8 Node objects, 1 int[8]; its elements hold the squares.
+        assert_eq!(heap.object_count(), 8);
+        assert_eq!(heap.array_count(), 1);
+        let squares: Vec<Value> = (0..8).map(|i| Value::Int(i * i)).collect();
+        assert_eq!(heap.array(ArrRef(0)).elems, squares);
+    }
+
+    #[test]
+    fn input_values_ride_in_the_header() {
+        let src = "class Main { static int main() {
+            int a = readInput();
+            int b = readInput();
+            print(a + b);
+            return a + b;
+        } }";
+        let (bytes, _) = record(src, &[40, 2]);
+        let (header, _) = read_header(&bytes).expect("header");
+        assert_eq!(header.input, vec![40, 2]);
+    }
+
+    #[test]
+    fn truncated_stream_is_reported() {
+        let (bytes, program) = record(LIST_SRC, &[]);
+        let (_, events) = read_header(&bytes).expect("header");
+        let cut = &events[..events.len() - 1];
+        let err = TraceReplayer::new()
+            .replay(&program, cut, &mut algoprof_vm::NoopProfiler)
+            .unwrap_err();
+        assert_eq!(err, TraceError::Truncated);
+    }
+
+    #[test]
+    fn corrupt_tag_is_reported() {
+        let (bytes, program) = record(LIST_SRC, &[]);
+        let (_, events) = read_header(&bytes).expect("header");
+        let mut poked = events.to_vec();
+        poked[0] = 0x7f;
+        let err = TraceReplayer::new()
+            .replay(&program, &poked, &mut algoprof_vm::NoopProfiler)
+            .unwrap_err();
+        assert!(matches!(err, TraceError::Corrupt(_)));
+    }
+}

@@ -1,0 +1,355 @@
+//! Recording: a [`ProfilerHooks`] sink that serializes the event stream.
+//!
+//! `TraceRecorder` buffers encoded events internally and drains them to
+//! its `io::Write` backend in large chunks, so hook calls never perform
+//! small writes. Because profiler hooks cannot return errors, an I/O
+//! failure is stashed and surfaced by [`TraceRecorder::finish`]; after a
+//! failure the recorder keeps consuming events cheaply (encode + drop).
+//!
+//! Recording composes with live analysis through the *tee*: every event
+//! — including the ones the format derives at replay instead of storing
+//! — is forwarded to an inner sink, so a single guest execution can
+//! produce both a live profile and a trace.
+
+use std::io::{self, Write};
+
+use algoprof_vm::{
+    ArrRef, ClassId, CompiledProgram, ElemKind, FieldId, FuncId, Heap, LoopId, NoopProfiler,
+    ObjRef, ProfilerHooks, Value,
+};
+
+use crate::format::{
+    TraceHeader, TAG_ARRAY_ALLOCATED, TAG_ARRAY_LOAD, TAG_ARRAY_WRITTEN, TAG_END, TAG_FIELD_GET,
+    TAG_FIELD_WRITTEN, TAG_INPUT_READ, TAG_LOOP_BACK_EDGE, TAG_LOOP_ENTRY, TAG_LOOP_EXIT,
+    TAG_METHOD_ENTRY, TAG_METHOD_EXIT, TAG_OBJECT_ALLOCATED, TAG_OUTPUT_WRITE, VK_ARR, VK_FALSE,
+    VK_INT, VK_NULL, VK_OBJ, VK_TRUE,
+};
+use crate::wire::{put_ileb, put_uleb};
+
+/// Buffered bytes beyond which the recorder drains to its backend.
+const FLUSH_AT: usize = 64 * 1024;
+
+/// Size accounting for a finished recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStats {
+    /// Events encoded (the terminating `End` tag not included).
+    pub events: u64,
+    /// Bytes spent on events (header and `End` tag not included).
+    pub event_bytes: u64,
+    /// Total bytes written, header and `End` tag included.
+    pub total_bytes: u64,
+}
+
+impl TraceStats {
+    /// Mean encoded size of one event, the format's compactness metric.
+    pub fn bytes_per_event(&self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.event_bytes as f64 / self.events as f64
+        }
+    }
+}
+
+/// A [`ProfilerHooks`] sink that writes the trace format.
+///
+/// Construct with [`TraceRecorder::new`] for pure recording or
+/// [`TraceRecorder::with_tee`] to forward every event to a live profiler
+/// as well; run the interpreter against it, then call
+/// [`TraceRecorder::finish`].
+#[derive(Debug)]
+pub struct TraceRecorder<W: Write, S: ProfilerHooks = NoopProfiler> {
+    out: W,
+    buf: Vec<u8>,
+    tee: S,
+    last_obj: i64,
+    last_arr: i64,
+    events: u64,
+    event_bytes: u64,
+    flushed_bytes: u64,
+    io_err: Option<io::Error>,
+}
+
+impl<W: Write> TraceRecorder<W> {
+    /// A recorder with no live sink attached.
+    pub fn new(header: &TraceHeader, out: W) -> Self {
+        TraceRecorder::with_tee(header, out, NoopProfiler)
+    }
+}
+
+impl<W: Write, S: ProfilerHooks> TraceRecorder<W, S> {
+    /// A recorder that forwards every event to `tee` after encoding it,
+    /// so recording composes with live profiling in one execution.
+    pub fn with_tee(header: &TraceHeader, out: W, tee: S) -> Self {
+        let mut buf = Vec::with_capacity(FLUSH_AT + 1024);
+        header.encode(&mut buf);
+        TraceRecorder {
+            out,
+            buf,
+            tee,
+            last_obj: -1,
+            last_arr: -1,
+            events: 0,
+            event_bytes: 0,
+            flushed_bytes: 0,
+            io_err: None,
+        }
+    }
+
+    /// The live sink events are forwarded to.
+    pub fn tee(&self) -> &S {
+        &self.tee
+    }
+
+    /// Mutable access to the live sink.
+    pub fn tee_mut(&mut self) -> &mut S {
+        &mut self.tee
+    }
+
+    /// Terminates the stream, drains all buffered bytes, and returns the
+    /// recording stats together with the tee sink (so e.g. an `AlgoProf`
+    /// tee can still be `finish`ed into a profile).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error hit while draining, whether it
+    /// occurred mid-recording or now.
+    pub fn finish(mut self) -> io::Result<(TraceStats, S)> {
+        self.buf.push(TAG_END);
+        self.drain();
+        if let Some(e) = self.io_err {
+            return Err(e);
+        }
+        self.out.flush()?;
+        Ok((
+            TraceStats {
+                events: self.events,
+                event_bytes: self.event_bytes,
+                total_bytes: self.flushed_bytes,
+            },
+            self.tee,
+        ))
+    }
+
+    fn drain(&mut self) {
+        if self.io_err.is_none() {
+            match self.out.write_all(&self.buf) {
+                Ok(()) => self.flushed_bytes += self.buf.len() as u64,
+                Err(e) => self.io_err = Some(e),
+            }
+        }
+        self.buf.clear();
+    }
+
+    fn event_end(&mut self, start: usize) {
+        self.events += 1;
+        self.event_bytes += (self.buf.len() - start) as u64;
+        if self.buf.len() >= FLUSH_AT {
+            self.drain();
+        }
+    }
+
+    fn put_obj(&mut self, o: ObjRef) {
+        put_ileb(&mut self.buf, i64::from(o.0) - self.last_obj);
+        self.last_obj = i64::from(o.0);
+    }
+
+    fn put_arr(&mut self, a: ArrRef) {
+        put_ileb(&mut self.buf, i64::from(a.0) - self.last_arr);
+        self.last_arr = i64::from(a.0);
+    }
+
+    fn put_value(&mut self, v: Value) {
+        match v {
+            Value::Null => self.buf.push(VK_NULL),
+            Value::Bool(false) => self.buf.push(VK_FALSE),
+            Value::Bool(true) => self.buf.push(VK_TRUE),
+            Value::Int(i) => {
+                self.buf.push(VK_INT);
+                put_ileb(&mut self.buf, i);
+            }
+            Value::Obj(o) => {
+                self.buf.push(VK_OBJ);
+                self.put_obj(o);
+            }
+            Value::Arr(a) => {
+                self.buf.push(VK_ARR);
+                self.put_arr(a);
+            }
+        }
+    }
+
+    fn put_id(&mut self, tag: u8, id: u32) {
+        let start = self.buf.len();
+        self.buf.push(tag);
+        put_uleb(&mut self.buf, u64::from(id));
+        self.event_end(start);
+    }
+
+    fn put_plain(&mut self, tag: u8) {
+        let start = self.buf.len();
+        self.buf.push(tag);
+        self.event_end(start);
+    }
+}
+
+impl<W: Write, S: ProfilerHooks> ProfilerHooks for TraceRecorder<W, S> {
+    fn on_method_entry(&mut self, func: FuncId, program: &CompiledProgram, heap: &Heap) {
+        self.put_id(TAG_METHOD_ENTRY, func.0);
+        self.tee.on_method_entry(func, program, heap);
+    }
+
+    fn on_method_exit(&mut self, func: FuncId, program: &CompiledProgram, heap: &Heap) {
+        self.put_id(TAG_METHOD_EXIT, func.0);
+        self.tee.on_method_exit(func, program, heap);
+    }
+
+    fn on_loop_entry(&mut self, l: LoopId, program: &CompiledProgram, heap: &Heap) {
+        self.put_id(TAG_LOOP_ENTRY, l.0);
+        self.tee.on_loop_entry(l, program, heap);
+    }
+
+    fn on_loop_back_edge(&mut self, l: LoopId, program: &CompiledProgram, heap: &Heap) {
+        self.put_id(TAG_LOOP_BACK_EDGE, l.0);
+        self.tee.on_loop_back_edge(l, program, heap);
+    }
+
+    fn on_loop_exit(&mut self, l: LoopId, program: &CompiledProgram, heap: &Heap) {
+        self.put_id(TAG_LOOP_EXIT, l.0);
+        self.tee.on_loop_exit(l, program, heap);
+    }
+
+    fn on_field_get(&mut self, obj: Value, field: FieldId, program: &CompiledProgram, heap: &Heap) {
+        let start = self.buf.len();
+        self.buf.push(TAG_FIELD_GET);
+        self.put_value(obj);
+        put_uleb(&mut self.buf, u64::from(field.0));
+        self.event_end(start);
+        self.tee.on_field_get(obj, field, program, heap);
+    }
+
+    fn on_array_load(&mut self, arr: Value, program: &CompiledProgram, heap: &Heap) {
+        let start = self.buf.len();
+        self.buf.push(TAG_ARRAY_LOAD);
+        self.put_value(arr);
+        self.event_end(start);
+        self.tee.on_array_load(arr, program, heap);
+    }
+
+    fn on_input_read(&mut self, program: &CompiledProgram, heap: &Heap) {
+        self.put_plain(TAG_INPUT_READ);
+        self.tee.on_input_read(program, heap);
+    }
+
+    fn on_output_write(&mut self, program: &CompiledProgram, heap: &Heap) {
+        self.put_plain(TAG_OUTPUT_WRITE);
+        self.tee.on_output_write(program, heap);
+    }
+
+    // Tracked mutation events are *not* stored: replay re-derives them
+    // from the raw mutation records plus the program's instrumentation
+    // flags (see `TraceReplayer`). They are still teed.
+
+    fn on_field_put(
+        &mut self,
+        obj: Value,
+        field: FieldId,
+        value: Value,
+        program: &CompiledProgram,
+        heap: &Heap,
+    ) {
+        self.tee.on_field_put(obj, field, value, program, heap);
+    }
+
+    fn on_array_store(
+        &mut self,
+        arr: Value,
+        index: usize,
+        value: Value,
+        program: &CompiledProgram,
+        heap: &Heap,
+    ) {
+        self.tee.on_array_store(arr, index, value, program, heap);
+    }
+
+    fn on_alloc(&mut self, obj: Value, program: &CompiledProgram, heap: &Heap) {
+        self.tee.on_alloc(obj, program, heap);
+    }
+
+    // Per-instruction ticks are deliberately outside the format (they
+    // would dominate it byte-wise while AlgoProf never consumes them);
+    // the tee still sees them live.
+    fn on_instruction(&mut self, func: FuncId) {
+        self.tee.on_instruction(func);
+    }
+
+    fn on_object_allocated(
+        &mut self,
+        obj: ObjRef,
+        class: ClassId,
+        program: &CompiledProgram,
+        heap: &Heap,
+    ) {
+        // The fresh ref is implicit in allocation order; only the class
+        // is stored. Still sync the delta base so follow-up writes to
+        // the new object encode as delta 0.
+        self.put_id(TAG_OBJECT_ALLOCATED, class.0);
+        self.last_obj = i64::from(obj.0);
+        self.tee.on_object_allocated(obj, class, program, heap);
+    }
+
+    fn on_array_allocated(
+        &mut self,
+        arr: ArrRef,
+        elem: ElemKind,
+        len: usize,
+        program: &CompiledProgram,
+        heap: &Heap,
+    ) {
+        let start = self.buf.len();
+        self.buf.push(TAG_ARRAY_ALLOCATED);
+        self.buf.push(match elem {
+            ElemKind::Int => 0,
+            ElemKind::Bool => 1,
+            ElemKind::Ref => 2,
+        });
+        put_uleb(&mut self.buf, len as u64);
+        self.event_end(start);
+        self.last_arr = i64::from(arr.0);
+        self.tee.on_array_allocated(arr, elem, len, program, heap);
+    }
+
+    fn on_field_written(
+        &mut self,
+        obj: ObjRef,
+        field: FieldId,
+        value: Value,
+        program: &CompiledProgram,
+        heap: &Heap,
+    ) {
+        let start = self.buf.len();
+        self.buf.push(TAG_FIELD_WRITTEN);
+        self.put_obj(obj);
+        put_uleb(&mut self.buf, u64::from(field.0));
+        self.put_value(value);
+        self.event_end(start);
+        self.tee.on_field_written(obj, field, value, program, heap);
+    }
+
+    fn on_array_written(
+        &mut self,
+        arr: ArrRef,
+        index: usize,
+        value: Value,
+        program: &CompiledProgram,
+        heap: &Heap,
+    ) {
+        let start = self.buf.len();
+        self.buf.push(TAG_ARRAY_WRITTEN);
+        self.put_arr(arr);
+        put_uleb(&mut self.buf, index as u64);
+        self.put_value(value);
+        self.event_end(start);
+        self.tee.on_array_written(arr, index, value, program, heap);
+    }
+}

@@ -1,0 +1,261 @@
+//! Replay: rebuild a shadow heap event-by-event and drive any profiler.
+//!
+//! The guest heap mutates at exactly four interpreter sites (`new`,
+//! `new[]`, field put, array store), each captured by a raw mutation
+//! record. Replaying the identical [`Heap`] API call sequence against an
+//! empty heap therefore reproduces object/array ids, mutation epochs,
+//! per-reference stamps, and the array write log *bit for bit* — so a
+//! sink driven from the trace observes exactly the heap a live sink
+//! observed, and an `AlgoProf` replayed under any option combination
+//! yields the profile a live run under those options would have.
+//!
+//! Tracked mutation events (`on_alloc`, `on_field_put`,
+//! `on_array_store`) are not stored in the trace; they are re-derived
+//! here from the program's instrumentation flags, mirroring the
+//! interpreter's own dispatch (mutation hook first, tracked event
+//! immediately after).
+
+use algoprof_vm::{
+    default_field_value, ArrRef, ClassId, CompiledProgram, ElemKind, FieldId, FuncId, Heap, LoopId,
+    ObjRef, ProfilerHooks, Value,
+};
+
+use crate::format::{
+    TraceError, TAG_ARRAY_ALLOCATED, TAG_ARRAY_LOAD, TAG_ARRAY_WRITTEN, TAG_END, TAG_FIELD_GET,
+    TAG_FIELD_WRITTEN, TAG_INPUT_READ, TAG_LOOP_BACK_EDGE, TAG_LOOP_ENTRY, TAG_LOOP_EXIT,
+    TAG_METHOD_ENTRY, TAG_METHOD_EXIT, TAG_OBJECT_ALLOCATED, TAG_OUTPUT_WRITE, VK_ARR, VK_FALSE,
+    VK_INT, VK_NULL, VK_OBJ, VK_TRUE,
+};
+use crate::wire::Cursor;
+
+/// Accounting for one replay pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ReplayStats {
+    /// Events decoded (the `End` tag not included).
+    pub events: u64,
+}
+
+/// Replays a trace's event stream, maintaining the shadow heap.
+///
+/// One replayer owns one shadow heap; to analyze the same trace under
+/// several configurations, either reuse the replayer (the heap rebuild
+/// restarts from scratch each [`TraceReplayer::replay`] call) or create
+/// a fresh one per pass — both are cheap relative to re-executing the
+/// guest.
+#[derive(Debug, Default)]
+pub struct TraceReplayer {
+    heap: Heap,
+    last_obj: i64,
+    last_arr: i64,
+}
+
+impl TraceReplayer {
+    /// A replayer with an empty shadow heap.
+    pub fn new() -> Self {
+        TraceReplayer::default()
+    }
+
+    /// The shadow heap in its current state (fully rebuilt after a
+    /// successful [`TraceReplayer::replay`]).
+    pub fn heap(&self) -> &Heap {
+        &self.heap
+    }
+
+    /// Replays `events` (the byte stream following the header, as
+    /// returned by [`crate::read_header`]) against `program`, driving
+    /// `sink` exactly as the live interpreter drove its profiler.
+    ///
+    /// `program` must be the result of compiling the trace header's
+    /// source under the header's instrumentation options; compilation is
+    /// deterministic, so ids embedded in the trace resolve identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] when the stream is truncated (no `End`
+    /// tag), contains an unknown tag, or references an id that does not
+    /// exist in `program` or the shadow heap.
+    pub fn replay<S: ProfilerHooks>(
+        &mut self,
+        program: &CompiledProgram,
+        events: &[u8],
+        sink: &mut S,
+    ) -> Result<ReplayStats, TraceError> {
+        self.heap = Heap::new();
+        self.last_obj = -1;
+        self.last_arr = -1;
+        let mut stats = ReplayStats::default();
+        let mut c = Cursor::new(events);
+        loop {
+            match c.u8()? {
+                TAG_END => {
+                    if !c.is_done() {
+                        return Err(TraceError::Corrupt(format!(
+                            "{} trailing bytes after End tag",
+                            events.len() - c.pos()
+                        )));
+                    }
+                    return Ok(stats);
+                }
+                TAG_METHOD_ENTRY => {
+                    let f = self.func_id(&mut c, program)?;
+                    sink.on_method_entry(f, program, &self.heap);
+                }
+                TAG_METHOD_EXIT => {
+                    let f = self.func_id(&mut c, program)?;
+                    sink.on_method_exit(f, program, &self.heap);
+                }
+                TAG_LOOP_ENTRY => {
+                    let l = self.loop_id(&mut c, program)?;
+                    sink.on_loop_entry(l, program, &self.heap);
+                }
+                TAG_LOOP_BACK_EDGE => {
+                    let l = self.loop_id(&mut c, program)?;
+                    sink.on_loop_back_edge(l, program, &self.heap);
+                }
+                TAG_LOOP_EXIT => {
+                    let l = self.loop_id(&mut c, program)?;
+                    sink.on_loop_exit(l, program, &self.heap);
+                }
+                TAG_FIELD_GET => {
+                    let obj = self.value(&mut c)?;
+                    let f = self.field_id(&mut c, program)?;
+                    sink.on_field_get(obj, f, program, &self.heap);
+                }
+                TAG_ARRAY_LOAD => {
+                    let arr = self.value(&mut c)?;
+                    sink.on_array_load(arr, program, &self.heap);
+                }
+                TAG_INPUT_READ => sink.on_input_read(program, &self.heap),
+                TAG_OUTPUT_WRITE => sink.on_output_write(program, &self.heap),
+                TAG_OBJECT_ALLOCATED => {
+                    let class = self.class_id(&mut c, program)?;
+                    let fields = program
+                        .class(class)
+                        .field_layout
+                        .iter()
+                        .map(|&fid| default_field_value(&program.field(fid).ty))
+                        .collect();
+                    let obj = self.heap.alloc_object_with(class, fields);
+                    self.last_obj = i64::from(obj.0);
+                    sink.on_object_allocated(obj, class, program, &self.heap);
+                    if program.class(class).track_alloc {
+                        sink.on_alloc(Value::Obj(obj), program, &self.heap);
+                    }
+                }
+                TAG_ARRAY_ALLOCATED => {
+                    let elem = match c.u8()? {
+                        0 => ElemKind::Int,
+                        1 => ElemKind::Bool,
+                        2 => ElemKind::Ref,
+                        b => return Err(TraceError::Corrupt(format!("element kind {b}"))),
+                    };
+                    let len = c.uleb()? as usize;
+                    let arr = self.heap.alloc_array(elem, len);
+                    self.last_arr = i64::from(arr.0);
+                    sink.on_array_allocated(arr, elem, len, program, &self.heap);
+                }
+                TAG_FIELD_WRITTEN => {
+                    let obj = self.obj_ref(&mut c)?;
+                    let f = self.field_id(&mut c, program)?;
+                    let value = self.value(&mut c)?;
+                    let slot = program.field(f).slot as usize;
+                    self.heap.set_field(obj, slot, value);
+                    sink.on_field_written(obj, f, value, program, &self.heap);
+                    if program.field(f).track_access {
+                        sink.on_field_put(Value::Obj(obj), f, value, program, &self.heap);
+                    }
+                }
+                TAG_ARRAY_WRITTEN => {
+                    let arr = self.arr_ref(&mut c)?;
+                    let index = c.uleb()? as usize;
+                    if index >= self.heap.array(arr).elems.len() {
+                        return Err(TraceError::Corrupt(format!(
+                            "store index {index} out of bounds for array of length {}",
+                            self.heap.array(arr).elems.len()
+                        )));
+                    }
+                    let value = self.value(&mut c)?;
+                    self.heap.set_elem(arr, index, value);
+                    sink.on_array_written(arr, index, value, program, &self.heap);
+                    if program.track_arrays {
+                        sink.on_array_store(Value::Arr(arr), index, value, program, &self.heap);
+                    }
+                }
+                tag => return Err(TraceError::Corrupt(format!("unknown event tag {tag:#04x}"))),
+            }
+            stats.events += 1;
+        }
+    }
+
+    // -------------------------------------------------------- decoding
+
+    fn obj_ref(&mut self, c: &mut Cursor<'_>) -> Result<ObjRef, TraceError> {
+        let id = self.last_obj + c.ileb()?;
+        if id < 0 || id as usize >= self.heap.object_count() {
+            return Err(TraceError::Corrupt(format!(
+                "object ref {id} outside the {} allocated",
+                self.heap.object_count()
+            )));
+        }
+        self.last_obj = id;
+        Ok(ObjRef(id as u32))
+    }
+
+    fn arr_ref(&mut self, c: &mut Cursor<'_>) -> Result<ArrRef, TraceError> {
+        let id = self.last_arr + c.ileb()?;
+        if id < 0 || id as usize >= self.heap.array_count() {
+            return Err(TraceError::Corrupt(format!(
+                "array ref {id} outside the {} allocated",
+                self.heap.array_count()
+            )));
+        }
+        self.last_arr = id;
+        Ok(ArrRef(id as u32))
+    }
+
+    fn value(&mut self, c: &mut Cursor<'_>) -> Result<Value, TraceError> {
+        Ok(match c.u8()? {
+            VK_NULL => Value::Null,
+            VK_FALSE => Value::Bool(false),
+            VK_TRUE => Value::Bool(true),
+            VK_INT => Value::Int(c.ileb()?),
+            VK_OBJ => Value::Obj(self.obj_ref(c)?),
+            VK_ARR => Value::Arr(self.arr_ref(c)?),
+            b => return Err(TraceError::Corrupt(format!("value kind {b}"))),
+        })
+    }
+
+    fn func_id(&self, c: &mut Cursor<'_>, program: &CompiledProgram) -> Result<FuncId, TraceError> {
+        bounded_id(c, program.functions.len(), "function").map(FuncId)
+    }
+
+    fn loop_id(&self, c: &mut Cursor<'_>, program: &CompiledProgram) -> Result<LoopId, TraceError> {
+        bounded_id(c, program.loops.len(), "loop").map(LoopId)
+    }
+
+    fn field_id(
+        &self,
+        c: &mut Cursor<'_>,
+        program: &CompiledProgram,
+    ) -> Result<FieldId, TraceError> {
+        bounded_id(c, program.fields.len(), "field").map(FieldId)
+    }
+
+    fn class_id(
+        &self,
+        c: &mut Cursor<'_>,
+        program: &CompiledProgram,
+    ) -> Result<ClassId, TraceError> {
+        bounded_id(c, program.classes.len(), "class").map(ClassId)
+    }
+}
+
+fn bounded_id(c: &mut Cursor<'_>, len: usize, what: &str) -> Result<u32, TraceError> {
+    let id = c.uleb()?;
+    if id >= len as u64 {
+        return Err(TraceError::Corrupt(format!(
+            "{what} id {id} outside table of {len}"
+        )));
+    }
+    Ok(id as u32)
+}

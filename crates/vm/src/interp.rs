@@ -13,9 +13,9 @@
 //! * field/array accesses, allocations, and I/O according to the
 //!   program's instrumentation flags.
 
-use crate::bytecode::{CompiledProgram, FieldId, FuncId, Instr, LoopId};
+use crate::bytecode::{ClassId, CompiledProgram, ElemKind, FieldId, FuncId, Instr, LoopId};
 use crate::error::RuntimeError;
-use crate::heap::{Heap, Value};
+use crate::heap::{ArrRef, Heap, ObjRef, Value};
 use crate::hir::CatchKind;
 
 /// Receives instrumentation events from the interpreter.
@@ -23,6 +23,23 @@ use crate::hir::CatchKind;
 /// All methods have empty default implementations; implement only what a
 /// profiler needs. The `heap` reference allows profilers to traverse data
 /// structures at event time (AlgoProf's input identification does).
+///
+/// Two families of hooks exist:
+///
+/// * **instrumentation events** (`on_method_entry` … `on_output_write`)
+///   fire only for program elements the instrumentation pass flagged
+///   (tracked methods, recursive fields, `track_arrays`, …) — these are
+///   the events AlgoProf's analysis consumes;
+/// * **heap-mutation hooks** (`on_object_allocated`, `on_array_allocated`,
+///   `on_field_written`, `on_array_written`) fire on *every* mutation,
+///   tracked or not, immediately after the write is visible in `heap`.
+///   They exist so a sink can maintain an exact shadow copy of the guest
+///   heap (the `algoprof-trace` recorder does); ordinary profilers leave
+///   them defaulted and pay nothing (static dispatch inlines the empty
+///   bodies away).
+///
+/// When a mutation is tracked, the mutation hook fires first and the
+/// instrumentation event immediately after, with no interleaving events.
 #[allow(unused_variables)]
 pub trait ProfilerHooks {
     /// An instrumented function was entered (frame already pushed).
@@ -39,13 +56,30 @@ pub trait ProfilerHooks {
     fn on_field_get(&mut self, obj: Value, field: FieldId, program: &CompiledProgram, heap: &Heap) {
     }
     /// An instrumented reference field was written on `obj` (after the
-    /// write is visible in `heap`).
-    fn on_field_put(&mut self, obj: Value, field: FieldId, program: &CompiledProgram, heap: &Heap) {
+    /// write is visible in `heap`). `value` is the value stored, so sinks
+    /// need not re-read it from the heap.
+    fn on_field_put(
+        &mut self,
+        obj: Value,
+        field: FieldId,
+        value: Value,
+        program: &CompiledProgram,
+        heap: &Heap,
+    ) {
     }
     /// An array element was loaded from `arr`.
     fn on_array_load(&mut self, arr: Value, program: &CompiledProgram, heap: &Heap) {}
-    /// An array element was stored into `arr` (after the write).
-    fn on_array_store(&mut self, arr: Value, program: &CompiledProgram, heap: &Heap) {}
+    /// An array element was stored into `arr` (after the write). `index`
+    /// and `value` describe the store, so sinks need not re-read the heap.
+    fn on_array_store(
+        &mut self,
+        arr: Value,
+        index: usize,
+        value: Value,
+        program: &CompiledProgram,
+        heap: &Heap,
+    ) {
+    }
     /// An instance of an instrumented (recursive) class was allocated.
     fn on_alloc(&mut self, obj: Value, program: &CompiledProgram, heap: &Heap) {}
     /// `readInput()` consumed one external value.
@@ -55,6 +89,48 @@ pub trait ProfilerHooks {
     /// One bytecode instruction was dispatched (a deterministic time
     /// proxy for traditional profilers).
     fn on_instruction(&mut self, func: FuncId) {}
+
+    // ------------------------------------------------- heap mutations
+
+    /// Any object was allocated (tracked class or not).
+    fn on_object_allocated(
+        &mut self,
+        obj: ObjRef,
+        class: ClassId,
+        program: &CompiledProgram,
+        heap: &Heap,
+    ) {
+    }
+    /// Any array was allocated.
+    fn on_array_allocated(
+        &mut self,
+        arr: ArrRef,
+        elem: ElemKind,
+        len: usize,
+        program: &CompiledProgram,
+        heap: &Heap,
+    ) {
+    }
+    /// Any field was written (tracked or not), after the write.
+    fn on_field_written(
+        &mut self,
+        obj: ObjRef,
+        field: FieldId,
+        value: Value,
+        program: &CompiledProgram,
+        heap: &Heap,
+    ) {
+    }
+    /// Any array element was stored (tracked or not), after the write.
+    fn on_array_written(
+        &mut self,
+        arr: ArrRef,
+        index: usize,
+        value: Value,
+        program: &CompiledProgram,
+        heap: &Heap,
+    ) {
+    }
 }
 
 /// A profiler that ignores every event.
@@ -343,6 +419,7 @@ impl<'p> Interp<'p> {
                         .collect();
                     let obj = self.heap.alloc_object_with(cid, fields);
                     top!().stack.push(Value::Obj(obj));
+                    profiler.on_object_allocated(obj, cid, self.program, &self.heap);
                     if self.program.class(cid).track_alloc {
                         profiler.on_alloc(Value::Obj(obj), self.program, &self.heap);
                     }
@@ -379,8 +456,9 @@ impl<'p> Interp<'p> {
                     };
                     let slot = self.program.field(fid).slot as usize;
                     self.heap.set_field(o, slot, value);
+                    profiler.on_field_written(o, fid, value, self.program, &self.heap);
                     if self.program.field(fid).track_access {
-                        profiler.on_field_put(obj, fid, self.program, &self.heap);
+                        profiler.on_field_put(obj, fid, value, self.program, &self.heap);
                     }
                 }
                 Instr::NewArray(elem) => {
@@ -390,6 +468,7 @@ impl<'p> Interp<'p> {
                     }
                     let arr = self.heap.alloc_array(elem, len as usize);
                     top!().stack.push(Value::Arr(arr));
+                    profiler.on_array_allocated(arr, elem, len as usize, self.program, &self.heap);
                 }
                 Instr::ALoad => {
                     let idx = pop_int(top!())?;
@@ -423,8 +502,9 @@ impl<'p> Interp<'p> {
                         });
                     }
                     self.heap.set_elem(a, idx as usize, value);
+                    profiler.on_array_written(a, idx as usize, value, self.program, &self.heap);
                     if self.program.track_arrays {
-                        profiler.on_array_store(arr, self.program, &self.heap);
+                        profiler.on_array_store(arr, idx as usize, value, self.program, &self.heap);
                     }
                 }
                 Instr::ArrayLen => {
@@ -602,7 +682,10 @@ impl<'p> Interp<'p> {
     }
 }
 
-fn default_field_value(ty: &crate::bytecode::ErasedType) -> Value {
+/// The value a freshly allocated field of type `ty` holds (`0`, `false`,
+/// or `null`). Public so heap replayers (e.g. `algoprof-trace`) can
+/// reconstruct `new` exactly as the interpreter performs it.
+pub fn default_field_value(ty: &crate::bytecode::ErasedType) -> Value {
     match ty {
         crate::bytecode::ErasedType::Int => Value::Int(0),
         crate::bytecode::ErasedType::Bool => Value::Bool(false),
@@ -1023,6 +1106,10 @@ mod tests {
     }
 
     /// Counts events to validate loop instrumentation balance at run time.
+    ///
+    /// The put/store counters consume the value carried by the hook
+    /// directly — no re-read of `heap` — exercising the widened
+    /// `on_field_put`/`on_array_store` signatures.
     #[derive(Default)]
     struct CountingProfiler {
         entries: u64,
@@ -1030,6 +1117,9 @@ mod tests {
         exits: u64,
         method_entries: u64,
         method_exits: u64,
+        field_puts: u64,
+        array_stores: u64,
+        stored_int_sum: i64,
     }
 
     impl ProfilerHooks for CountingProfiler {
@@ -1047,6 +1137,33 @@ mod tests {
         }
         fn on_method_exit(&mut self, _: FuncId, _: &CompiledProgram, _: &Heap) {
             self.method_exits += 1;
+        }
+        fn on_field_put(
+            &mut self,
+            _: Value,
+            _: FieldId,
+            value: Value,
+            _: &CompiledProgram,
+            _: &Heap,
+        ) {
+            self.field_puts += 1;
+            if let Some(v) = value.as_int() {
+                self.stored_int_sum += v;
+            }
+        }
+        fn on_array_store(
+            &mut self,
+            _: Value,
+            index: usize,
+            value: Value,
+            _: &CompiledProgram,
+            _: &Heap,
+        ) {
+            self.array_stores += 1;
+            let _ = index;
+            if let Some(v) = value.as_int() {
+                self.stored_int_sum += v;
+            }
         }
     }
 
@@ -1071,6 +1188,30 @@ mod tests {
         assert_eq!(prof.entries, 1);
         assert_eq!(prof.exits, 1);
         assert_eq!(prof.backs, 7);
+    }
+
+    #[test]
+    fn put_and_store_hooks_carry_written_values() {
+        let prof = run_counting(
+            "class Main { static int main() {
+                Node head = null;
+                for (int i = 0; i < 3; i = i + 1) {
+                    Node x = new Node();
+                    x.next = head;
+                    head = x;
+                }
+                int[] a = new int[5];
+                for (int i = 0; i < 5; i = i + 1) { a[i] = i + 1; }
+                return 0;
+            } }
+            class Node { Node next; }",
+        );
+        // Node.next is recursive, hence tracked; each of the 3 stores
+        // writes a reference (no int contribution). The 5 array stores
+        // write 1..=5, which the sink sums straight from the hook payload.
+        assert_eq!(prof.field_puts, 3);
+        assert_eq!(prof.array_stores, 5);
+        assert_eq!(prof.stored_int_sum, 15);
     }
 
     #[test]

@@ -64,13 +64,17 @@ pub mod rectypes;
 pub mod typeck;
 pub mod verify;
 
-pub use bytecode::{ClassId, CompiledProgram, ElemKind, FieldId, FuncId, Function, Instr, LoopId};
+pub use bytecode::{
+    ClassId, CompiledProgram, ElemKind, ErasedType, FieldId, FuncId, Function, Instr, LoopId,
+};
 pub use compile::{compile, compile_with_options, CompileOptions};
 pub use disasm::{disassemble, disassemble_function};
 pub use error::{CompileError, RuntimeError};
 pub use heap::{ArrRef, ArrayWrite, Heap, ObjRef, Value};
-pub use instrument::InstrumentOptions;
-pub use interp::{Interp, NoopProfiler, ProfilerHooks, RunResult};
+pub use instrument::{
+    AllocInstrumentation, FieldInstrumentation, InstrumentOptions, MethodInstrumentation,
+};
+pub use interp::{default_field_value, Interp, NoopProfiler, ProfilerHooks, RunResult};
 pub use verify::{verify, VerifyError};
 
 #[cfg(test)]

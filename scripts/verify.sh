@@ -16,4 +16,8 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> trace differential corpus (record/replay fidelity, release)"
+cargo test --release -q --test trace_roundtrip
+cargo test --release -q -p algoprof-trace
+
 echo "verify: OK"

@@ -7,6 +7,7 @@
 //! * [`algoprof_vm`] — the jay guest language and instrumenting VM,
 //! * [`algoprof`] — the algorithmic profiler itself,
 //! * [`algoprof_fit`] — empirical cost-function inference,
+//! * [`algoprof_trace`] — deterministic event-trace record/replay,
 //! * [`algoprof_cct`] — the traditional calling-context-tree baseline,
 //! * [`algoprof_programs`] — the guest program corpus.
 //!
@@ -16,6 +17,8 @@ pub use algoprof;
 pub use algoprof_cct;
 pub use algoprof_fit;
 pub use algoprof_programs;
+pub use algoprof_trace;
 pub use algoprof_vm;
 
+pub mod genprog;
 pub mod testutil;

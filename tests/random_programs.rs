@@ -2,160 +2,20 @@
 //! identically with and without instrumentation, pass the bytecode
 //! verifier, survive the pretty-printer round trip, and profile without
 //! errors. Cases are derived deterministically from seeds (no external
-//! property-testing crate).
+//! property-testing crate); the generator itself is shared with
+//! `tests/trace_roundtrip.rs` via [`algoprof_suite::genprog`].
 
+use algoprof_suite::genprog::random_program;
 use algoprof_suite::testutil::TestRng;
 use algoprof_vm::parser::parse;
 use algoprof_vm::pretty::print_program;
 use algoprof_vm::{compile, verify, InstrumentOptions, Interp, NoopProfiler};
 
-/// A bounded statement language whose programs always terminate.
-#[derive(Debug, Clone)]
-enum GenStmt {
-    /// `s = s <op> k;`
-    Update(Op, i32),
-    /// `if (s % 2 == 0) { ... } else { ... }`
-    IfEven(Vec<GenStmt>, Vec<GenStmt>),
-    /// `for (int iN = 0; iN < k; iN = iN + 1) { ... }` with optional
-    /// break/continue at the top.
-    For(u8, Option<Escape>, Vec<GenStmt>),
-    /// Append to the global linked list.
-    PushNode,
-    /// Walk the global linked list, adding values into `s`.
-    SumList,
-}
-
-#[derive(Debug, Clone, Copy)]
-enum Op {
-    Add,
-    Sub,
-    Mul,
-}
-
-#[derive(Debug, Clone, Copy)]
-enum Escape {
-    Break(u8),
-    Continue(u8),
-}
-
-fn gen_stmt(rng: &mut TestRng, depth: usize) -> GenStmt {
-    let leaf = depth == 0 || rng.chance(1, 2);
-    if leaf {
-        match rng.below(3) {
-            0 => {
-                let op = *rng.pick(&[Op::Add, Op::Sub, Op::Mul]);
-                GenStmt::Update(op, rng.range_i64(-9, 9) as i32)
-            }
-            1 => GenStmt::PushNode,
-            _ => GenStmt::SumList,
-        }
-    } else if rng.chance(1, 2) {
-        let t = gen_block(rng, depth - 1, 4);
-        let e = gen_block(rng, depth - 1, 4);
-        GenStmt::IfEven(t, e)
-    } else {
-        let k = rng.range(1, 5) as u8;
-        let esc = if rng.chance(1, 2) {
-            let at = rng.below(5) as u8;
-            Some(if rng.chance(1, 2) {
-                Escape::Break(at)
-            } else {
-                Escape::Continue(at)
-            })
-        } else {
-            None
-        };
-        GenStmt::For(k, esc, gen_block(rng, depth - 1, 4))
-    }
-}
-
-fn gen_block(rng: &mut TestRng, depth: usize, max_len: usize) -> Vec<GenStmt> {
-    let len = rng.below(max_len as u64) as usize;
-    (0..len).map(|_| gen_stmt(rng, depth)).collect()
-}
-
-fn render(stmts: &[GenStmt], depth: usize, counter: &mut usize, out: &mut String) {
-    let pad = "    ".repeat(depth + 2);
-    for s in stmts {
-        match s {
-            GenStmt::Update(op, k) => {
-                let sym = match op {
-                    Op::Add => "+",
-                    Op::Sub => "-",
-                    Op::Mul => "*",
-                };
-                let k = if *k < 0 {
-                    format!("(0 - {})", -k)
-                } else {
-                    k.to_string()
-                };
-                out.push_str(&format!("{pad}s = s {sym} {k};\n"));
-            }
-            GenStmt::IfEven(t, e) => {
-                out.push_str(&format!("{pad}if (s % 2 == 0) {{\n"));
-                render(t, depth + 1, counter, out);
-                out.push_str(&format!("{pad}}} else {{\n"));
-                render(e, depth + 1, counter, out);
-                out.push_str(&format!("{pad}}}\n"));
-            }
-            GenStmt::For(k, esc, body) => {
-                let v = format!("i{}", *counter);
-                *counter += 1;
-                out.push_str(&format!(
-                    "{pad}for (int {v} = 0; {v} < {k}; {v} = {v} + 1) {{\n"
-                ));
-                if let Some(esc) = esc {
-                    let (at, kw) = match esc {
-                        Escape::Break(at) => (at, "break"),
-                        Escape::Continue(at) => (at, "continue"),
-                    };
-                    out.push_str(&format!("{pad}    if ({v} == {at}) {{ {kw}; }}\n"));
-                }
-                render(body, depth + 1, counter, out);
-                out.push_str(&format!("{pad}}}\n"));
-            }
-            GenStmt::PushNode => {
-                let v = format!("g{}", *counter);
-                *counter += 1;
-                out.push_str(&format!(
-                    "{pad}GNode {v} = new GNode();\n{pad}{v}.value = s;\n{pad}{v}.next = list;\n{pad}list = {v};\n"
-                ));
-            }
-            GenStmt::SumList => {
-                let v = format!("c{}", *counter);
-                *counter += 1;
-                out.push_str(&format!(
-                    "{pad}GNode {v} = list;\n{pad}while ({v} != null) {{ s = s + {v}.value; {v} = {v}.next; }}\n"
-                ));
-            }
-        }
-    }
-}
-
-fn program_for(stmts: &[GenStmt]) -> String {
-    let mut body = String::new();
-    let mut counter = 0usize;
-    render(stmts, 0, &mut counter, &mut body);
-    format!(
-        r#"class Main {{
-    static int main() {{
-        int s = 1;
-        GNode list = null;
-{body}
-        return s;
-    }}
-}}
-class GNode {{ GNode next; int value; }}"#
-    )
-}
-
 #[test]
 fn pipeline_invariants_hold() {
     for seed in 0..40 {
         let mut rng = TestRng::new(7000 + seed);
-        let len = rng.range(1, 6);
-        let stmts: Vec<GenStmt> = (0..len).map(|_| gen_stmt(&mut rng, 3)).collect();
-        let src = program_for(&stmts);
+        let src = random_program(&mut rng);
         let plain = compile(&src).expect("generated program compiles");
         verify(&plain).expect("plain verifies");
 
