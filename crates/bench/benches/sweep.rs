@@ -1,0 +1,166 @@
+//! Sweep-engine benchmark: profiles the fig5/listings corpus as one
+//! batch at `-j 1` and `-j 4`, verifies the two reports are
+//! byte-identical (the engine's determinism contract), and records the
+//! parallel speedup in `BENCH_sweep.json` at the workspace root.
+//!
+//! Not a `criterion_group!` bench: the measured unit is a whole sweep,
+//! so this harness times full `run_sweep` calls with `std::time::Instant`
+//! and reports min-of-N like the offline harness does.
+
+use std::time::{Duration, Instant};
+
+use algoprof::{
+    run_sweep, EquivalenceCriterion, SweepAblation, SweepConfig, SweepJob, SweepReport,
+};
+use algoprof_programs::{
+    sized_array_list_program, sized_insertion_sort_program, GrowthPolicy, SortWorkload,
+};
+
+fn quick_mode() -> bool {
+    std::env::var_os("ALGOPROF_BENCH_QUICK").is_some()
+}
+
+/// The benchmark corpus: every sweep-corpus listing × every size.
+fn corpus_jobs(sizes: &[u64]) -> Vec<SweepJob> {
+    let programs = [
+        (
+            "arraylist_by1",
+            sized_array_list_program(GrowthPolicy::ByOne),
+        ),
+        (
+            "arraylist_dbl",
+            sized_array_list_program(GrowthPolicy::Doubling),
+        ),
+        (
+            "insertion_sort",
+            sized_insertion_sort_program(SortWorkload::Random),
+        ),
+    ];
+    let mut jobs = Vec::new();
+    for (name, source) in &programs {
+        for &size in sizes {
+            jobs.push(SweepJob::for_program_size(name, source, size));
+        }
+    }
+    jobs
+}
+
+/// All four equivalence-criterion ablations, exercising the
+/// replay-fan-out half of the engine.
+fn ablations() -> Vec<SweepAblation> {
+    [
+        ("some", EquivalenceCriterion::SomeElements),
+        ("all", EquivalenceCriterion::AllElements),
+        ("array", EquivalenceCriterion::SameArray),
+        ("type", EquivalenceCriterion::SameType),
+    ]
+    .into_iter()
+    .map(|(name, criterion)| {
+        let mut a = SweepAblation {
+            name: name.to_string(),
+            ..SweepAblation::default()
+        };
+        a.options.criterion = criterion;
+        a
+    })
+    .collect()
+}
+
+/// Runs the corpus sweep once at the given worker count, returning the
+/// report and the wall-clock time.
+fn timed_sweep(jobs: &[SweepJob], workers: usize) -> (SweepReport, Duration) {
+    let config = SweepConfig {
+        ablations: ablations(),
+        workers,
+        progress: false,
+        program: "fig5/listings corpus".to_string(),
+    };
+    let start = Instant::now();
+    let report = run_sweep(jobs, &config).expect("corpus sweep succeeds");
+    (report, start.elapsed())
+}
+
+fn main() {
+    let sizes: &[u64] = if quick_mode() {
+        &[8, 16, 24]
+    } else {
+        &[16, 32, 48, 64, 96, 128]
+    };
+    let reps = if quick_mode() { 1 } else { 3 };
+    let jobs = corpus_jobs(sizes);
+    let analyses = jobs.len() * 4;
+    println!("group sweep");
+    println!(
+        "  corpus: {} jobs ({} analyses), sizes {:?}",
+        jobs.len(),
+        analyses,
+        sizes
+    );
+
+    let mut results: Vec<(usize, Duration, SweepReport)> = Vec::new();
+    for workers in [1usize, 4] {
+        let mut best: Option<(SweepReport, Duration)> = None;
+        for _ in 0..reps {
+            let (report, t) = timed_sweep(&jobs, workers);
+            if best.as_ref().is_none_or(|(_, bt)| t < *bt) {
+                best = Some((report, t));
+            }
+        }
+        let (report, t) = best.expect("at least one rep");
+        println!("  sweep/-j{workers:<38} min {t:>12.3?}   ({reps} reps)");
+        results.push((workers, t, report));
+    }
+
+    let (_, t1, report1) = &results[0];
+    let (_, t4, report4) = &results[1];
+
+    // Determinism contract: the merged report must not depend on -j.
+    assert_eq!(
+        report1.render_json(),
+        report4.render_json(),
+        "-j 1 and -j 4 reports must be byte-identical"
+    );
+    assert_eq!(report1.render_text(), report4.render_text());
+
+    let speedup = t1.as_secs_f64() / t4.as_secs_f64().max(1e-9);
+    let cpus = algoprof::default_workers();
+    println!("  sweep/speedup(-j4 vs -j1)                {speedup:>12.2}x   (host cpus: {cpus})");
+    if !quick_mode() && speedup < 2.0 && cpus >= 4 {
+        println!("  WARNING: speedup below the 2x target (machine may be loaded)");
+    }
+    if cpus < 2 {
+        println!("  NOTE: single-cpu host; speedup here measures scheduling overhead only");
+    }
+
+    // Persist the run: timings plus the deterministic report itself.
+    let json = format!(
+        "{{\n  \"bench\": \"sweep\",\n  \"corpus\": \"fig5/listings\",\n  \
+         \"jobs\": {},\n  \"analyses\": {},\n  \"quick\": {},\n  \"host_cpus\": {cpus},\n  \
+         \"wall_ms_j1\": {:.3},\n  \"wall_ms_j4\": {:.3},\n  \"speedup_j4\": {:.3},\n  \
+         \"report\": {}\n}}\n",
+        jobs.len(),
+        analyses,
+        quick_mode(),
+        t1.as_secs_f64() * 1e3,
+        t4.as_secs_f64() * 1e3,
+        speedup,
+        indent_tail(&report1.render_json(), "  "),
+    );
+    // cargo runs benches with the package as cwd; anchor the artifact at
+    // the workspace root regardless.
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    std::fs::write(out, json).expect("writes BENCH_sweep.json");
+    println!("  wrote {out}");
+}
+
+/// Re-indents every line after the first so nested JSON stays readable.
+fn indent_tail(json: &str, pad: &str) -> String {
+    let mut lines = json.trim_end().lines();
+    let mut out = String::from(lines.next().unwrap_or("{}"));
+    for line in lines {
+        out.push('\n');
+        out.push_str(pad);
+        out.push_str(line);
+    }
+    out
+}

@@ -4,6 +4,7 @@
 //! algoprof [OPTIONS] <program.jay>          profile a program live
 //! algoprof record <program.jay> -o <trace>  execute once, save the event trace
 //! algoprof analyze <trace> [OPTIONS]        profile a recording (no re-execution)
+//! algoprof sweep <program.jay> --sizes n,.. profile a whole input-size sweep
 //!
 //! OPTIONS:
 //!   --criterion <some|all|array|type>   snapshot equivalence criterion
@@ -13,16 +14,31 @@
 //!   --input <v1,v2,...>                 values for readInput() (live/record only)
 //!   --csv <root-name-needle>            print the steps CSV for one algorithm
 //!   --html <file.html>                  write a self-contained HTML report
+//!
+//! SWEEP OPTIONS (in addition to --sizing/--snapshots/--grouping/--html):
+//!   --sizes <n1,n2,...>                 input sizes to sweep (required)
+//!   -j, --jobs <N>                      worker threads (default: all cores)
+//!   --criteria <some,all,array,type>    analyze each run under several
+//!                                       equivalence-criterion ablations
+//!   --json <file.json>                  write the machine-readable report
+//!   --quiet                             suppress progress lines on stderr
 //! ```
 //!
 //! `record` + repeated `analyze` decouple execution from analysis: one
-//! guest run supports any number of option ablations.
+//! guest run supports any number of option ablations. `sweep` composes
+//! both: it records the program once per size on a worker pool, replays
+//! every recording under every ablation in parallel, and merges the
+//! results into one deterministic report (byte-identical for every `-j`).
+//!
+//! Every failure — unknown flag, missing argument, unreadable path,
+//! guest or trace error — exits non-zero with a one-line message on
+//! stderr; usage mistakes add a usage hint and exit 2.
 
 use std::process::ExitCode;
 
 use algoprof::{
     AlgoProfOptions, AlgorithmicProfile, ArraySizeStrategy, CostMetric, EquivalenceCriterion,
-    GroupingStrategy, SnapshotPolicy,
+    GroupingStrategy, ProfileError, SnapshotPolicy, SweepAblation, SweepConfig, SweepJob,
 };
 use algoprof_vm::InstrumentOptions;
 
@@ -30,7 +46,33 @@ const USAGE: &str = "usage: algoprof [--criterion some|all|array|type] [--sizing
      [--snapshots firstlast|every] [--grouping input|indexflow|method] \
      [--input v1,v2,...] [--csv <needle>] [--html <file.html>] <program.jay>\n\
        algoprof record <program.jay> -o <trace.aptr> [--input v1,v2,...]\n\
-       algoprof analyze <trace.aptr> [analysis options as above]";
+       algoprof analyze <trace.aptr> [analysis options as above]\n\
+       algoprof sweep <program.jay> --sizes n1,n2,... [-j N] \
+     [--criteria some,all,array,type] [--sizing ...] [--snapshots ...] [--grouping ...] \
+     [--json <file.json>] [--html <file.html>] [--quiet]";
+
+const USAGE_HINT: &str = "run `algoprof --help` for usage";
+
+/// Every way an invocation can fail. `Usage` is an invocation mistake
+/// (unknown flag, missing argument): the message plus a usage hint go to
+/// stderr and the exit code is 2. `Run` is a failure while doing the work
+/// (unreadable file, guest error, corrupt trace): exit code 1.
+enum CliError {
+    Usage(String),
+    Run(String),
+}
+
+impl From<ProfileError> for CliError {
+    fn from(e: ProfileError) -> Self {
+        CliError::Run(e.to_string())
+    }
+}
+
+impl From<algoprof::SweepError> for CliError {
+    fn from(e: algoprof::SweepError) -> Self {
+        CliError::Run(e.to_string())
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -39,15 +81,102 @@ fn main() -> ExitCode {
         println!("{USAGE}");
         return ExitCode::SUCCESS;
     }
-    if args.is_empty() {
-        eprintln!("{USAGE}");
-        return ExitCode::FAILURE;
+    let result = match args.first().map(String::as_str) {
+        None => Err(CliError::Usage("missing subcommand or program file".into())),
+        Some("record") => record_main(&args[1..]),
+        Some("analyze") => analyze_main(&args[1..]),
+        Some("sweep") => sweep_main(&args[1..]),
+        Some(_) => live_main(&args),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("algoprof: {msg}\n{USAGE_HINT}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Run(msg)) => {
+            eprintln!("algoprof: {msg}");
+            ExitCode::FAILURE
+        }
     }
-    match args[0].as_str() {
-        "record" => record_main(&args[1..]),
-        "analyze" => analyze_main(&args[1..]),
-        _ => live_main(&args),
+}
+
+/// Returns the value following flag `args[i]`, or a usage error naming
+/// the flag. Callers advance `i` past the value themselves.
+fn flag_value(args: &[String], i: usize) -> Result<&str, CliError> {
+    match args.get(i + 1) {
+        Some(v) => Ok(v),
+        None => Err(CliError::Usage(format!("{} requires a value", args[i]))),
     }
+}
+
+fn parse_criterion(name: &str) -> Result<EquivalenceCriterion, CliError> {
+    match name {
+        "some" => Ok(EquivalenceCriterion::SomeElements),
+        "all" => Ok(EquivalenceCriterion::AllElements),
+        "array" => Ok(EquivalenceCriterion::SameArray),
+        "type" => Ok(EquivalenceCriterion::SameType),
+        other => Err(CliError::Usage(format!(
+            "unknown criterion {other:?} (expected some|all|array|type)"
+        ))),
+    }
+}
+
+fn parse_sizing(name: &str) -> Result<ArraySizeStrategy, CliError> {
+    match name {
+        "capacity" => Ok(ArraySizeStrategy::Capacity),
+        "unique" => Ok(ArraySizeStrategy::UniqueElements),
+        other => Err(CliError::Usage(format!(
+            "unknown sizing {other:?} (expected capacity|unique)"
+        ))),
+    }
+}
+
+fn parse_grouping(name: &str) -> Result<GroupingStrategy, CliError> {
+    match name {
+        "input" => Ok(GroupingStrategy::SharedInput),
+        "indexflow" => Ok(GroupingStrategy::SharedInputOrIndexFlow),
+        "method" => Ok(GroupingStrategy::SameMethod),
+        other => Err(CliError::Usage(format!(
+            "unknown grouping {other:?} (expected input|indexflow|method)"
+        ))),
+    }
+}
+
+fn parse_snapshots(name: &str) -> Result<SnapshotPolicy, CliError> {
+    match name {
+        "firstlast" => Ok(SnapshotPolicy::FirstAndLast),
+        "every" => Ok(SnapshotPolicy::EveryAccess),
+        other => Err(CliError::Usage(format!(
+            "unknown snapshot policy {other:?} (expected firstlast|every)"
+        ))),
+    }
+}
+
+/// Parses a comma-separated integer list for `flag`.
+fn parse_int_list<T: std::str::FromStr>(flag: &str, list: &str) -> Result<Vec<T>, CliError> {
+    let mut out = Vec::new();
+    for part in list.split(',').filter(|p| !p.is_empty()) {
+        match part.trim().parse() {
+            Ok(v) => out.push(v),
+            Err(_) => {
+                return Err(CliError::Usage(format!(
+                    "invalid value {part:?} in {flag} list"
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Reads a file, reporting failures through [`ProfileError::io`] so path
+/// and OS error reach the user.
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| ProfileError::io("read", path, &e).into())
+}
+
+fn write_file(path: &str, bytes: &[u8]) -> Result<(), CliError> {
+    std::fs::write(path, bytes).map_err(|e| ProfileError::io("write", path, &e).into())
 }
 
 /// Analysis-side options shared by live profiling and `analyze`.
@@ -60,69 +189,43 @@ struct AnalysisArgs {
     positional: Vec<String>,
 }
 
-/// Parses `args`, returning the parsed bundle or a message for stderr.
-fn parse_args(args: &[String]) -> Result<AnalysisArgs, String> {
+/// Parses live/`analyze` arguments. Every value-taking flag rejects a
+/// missing value and every unknown flag is an error.
+fn parse_args(args: &[String]) -> Result<AnalysisArgs, CliError> {
     let mut out = AnalysisArgs::default();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--criterion" => {
+                out.opts.criterion = parse_criterion(flag_value(args, i)?)?;
                 i += 1;
-                out.opts.criterion = match args.get(i).map(String::as_str) {
-                    Some("some") => EquivalenceCriterion::SomeElements,
-                    Some("all") => EquivalenceCriterion::AllElements,
-                    Some("array") => EquivalenceCriterion::SameArray,
-                    Some("type") => EquivalenceCriterion::SameType,
-                    other => return Err(format!("unknown criterion {other:?}")),
-                };
             }
             "--sizing" => {
+                out.opts.array_strategy = parse_sizing(flag_value(args, i)?)?;
                 i += 1;
-                out.opts.array_strategy = match args.get(i).map(String::as_str) {
-                    Some("capacity") => ArraySizeStrategy::Capacity,
-                    Some("unique") => ArraySizeStrategy::UniqueElements,
-                    other => return Err(format!("unknown sizing {other:?}")),
-                };
             }
             "--grouping" => {
+                out.opts.grouping = parse_grouping(flag_value(args, i)?)?;
                 i += 1;
-                out.opts.grouping = match args.get(i).map(String::as_str) {
-                    Some("input") => GroupingStrategy::SharedInput,
-                    Some("indexflow") => GroupingStrategy::SharedInputOrIndexFlow,
-                    Some("method") => GroupingStrategy::SameMethod,
-                    other => return Err(format!("unknown grouping {other:?}")),
-                };
             }
             "--snapshots" => {
+                out.opts.snapshot_policy = parse_snapshots(flag_value(args, i)?)?;
                 i += 1;
-                out.opts.snapshot_policy = match args.get(i).map(String::as_str) {
-                    Some("firstlast") => SnapshotPolicy::FirstAndLast,
-                    Some("every") => SnapshotPolicy::EveryAccess,
-                    other => return Err(format!("unknown snapshot policy {other:?}")),
-                };
             }
             "--input" => {
+                out.input = parse_int_list("--input", flag_value(args, i)?)?;
                 i += 1;
-                let Some(list) = args.get(i) else {
-                    return Err("--input requires a value list".into());
-                };
-                for part in list.split(',').filter(|p| !p.is_empty()) {
-                    match part.trim().parse() {
-                        Ok(v) => out.input.push(v),
-                        Err(_) => return Err(format!("invalid input value {part:?}")),
-                    }
-                }
             }
             "--csv" => {
+                out.csv = Some(flag_value(args, i)?.to_owned());
                 i += 1;
-                out.csv = args.get(i).cloned();
             }
             "--html" => {
+                out.html = Some(flag_value(args, i)?.to_owned());
                 i += 1;
-                out.html = args.get(i).cloned();
             }
             other if other.starts_with('-') => {
-                return Err(format!("unknown option {other:?}"));
+                return Err(CliError::Usage(format!("unknown option {other:?}")));
             }
             other => out.positional.push(other.to_owned()),
         }
@@ -132,14 +235,15 @@ fn parse_args(args: &[String]) -> Result<AnalysisArgs, String> {
 }
 
 /// Renders `profile` per the `--csv`/`--html` selection.
-fn emit(profile: &AlgorithmicProfile, csv: Option<String>, html: Option<String>) -> ExitCode {
+fn emit(
+    profile: &AlgorithmicProfile,
+    csv: Option<String>,
+    html: Option<String>,
+) -> Result<(), CliError> {
     if let Some(html_path) = html {
-        if let Err(e) = std::fs::write(&html_path, algoprof::render_html(profile)) {
-            eprintln!("cannot write {html_path}: {e}");
-            return ExitCode::FAILURE;
-        }
+        write_file(&html_path, algoprof::render_html(profile).as_bytes())?;
         println!("wrote {html_path}");
-        return ExitCode::SUCCESS;
+        return Ok(());
     }
     match csv {
         Some(needle) => match profile.algorithm_by_root_name(&needle) {
@@ -150,52 +254,34 @@ fn emit(profile: &AlgorithmicProfile, csv: Option<String>, html: Option<String>)
                 }
             }
             None => {
-                eprintln!("no algorithm whose root matches {needle:?}");
-                return ExitCode::FAILURE;
+                return Err(CliError::Run(format!(
+                    "no algorithm whose root matches {needle:?}"
+                )));
             }
         },
         None => print!("{}", profile.render_text()),
     }
-    ExitCode::SUCCESS
+    Ok(())
 }
 
 /// The classic mode: compile, execute, and profile in one go.
-fn live_main(args: &[String]) -> ExitCode {
-    let parsed = match parse_args(args) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
+fn live_main(args: &[String]) -> Result<(), CliError> {
+    let parsed = parse_args(args)?;
     let [path] = parsed.positional.as_slice() else {
-        eprintln!("expected exactly one program file\n{USAGE}");
-        return ExitCode::FAILURE;
+        return Err(CliError::Usage("expected exactly one program file".into()));
     };
-    let source = match std::fs::read_to_string(path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let profile = match algoprof::profile_source_with(
+    let source = read_file(path)?;
+    let profile = algoprof::profile_source_with(
         &source,
         &InstrumentOptions::default(),
         parsed.opts,
         &parsed.input,
-    ) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    )?;
     emit(&profile, parsed.csv, parsed.html)
 }
 
 /// `algoprof record <prog.jay> -o <trace>`: execute once, save the trace.
-fn record_main(args: &[String]) -> ExitCode {
+fn record_main(args: &[String]) -> Result<(), CliError> {
     let mut path: Option<String> = None;
     let mut out: Option<String> = None;
     let mut input: Vec<i64> = Vec::new();
@@ -203,33 +289,21 @@ fn record_main(args: &[String]) -> ExitCode {
     while i < args.len() {
         match args[i].as_str() {
             "-o" | "--output" => {
+                out = Some(flag_value(args, i)?.to_owned());
                 i += 1;
-                out = args.get(i).cloned();
             }
             "--input" => {
+                input = parse_int_list("--input", flag_value(args, i)?)?;
                 i += 1;
-                let Some(list) = args.get(i) else {
-                    eprintln!("--input requires a value list");
-                    return ExitCode::FAILURE;
-                };
-                for part in list.split(',').filter(|p| !p.is_empty()) {
-                    match part.trim().parse() {
-                        Ok(v) => input.push(v),
-                        Err(_) => {
-                            eprintln!("invalid input value {part:?}");
-                            return ExitCode::FAILURE;
-                        }
-                    }
-                }
             }
             other if other.starts_with('-') => {
-                eprintln!("unknown option {other:?} for record");
-                return ExitCode::FAILURE;
+                return Err(CliError::Usage(format!(
+                    "unknown option {other:?} for record"
+                )));
             }
             other => {
                 if path.is_some() {
-                    eprintln!("unexpected argument {other:?}");
-                    return ExitCode::FAILURE;
+                    return Err(CliError::Usage(format!("unexpected argument {other:?}")));
                 }
                 path = Some(other.to_owned());
             }
@@ -237,61 +311,149 @@ fn record_main(args: &[String]) -> ExitCode {
         i += 1;
     }
     let (Some(path), Some(out)) = (path, out) else {
-        eprintln!("usage: algoprof record <program.jay> -o <trace.aptr> [--input v1,v2,...]");
-        return ExitCode::FAILURE;
+        return Err(CliError::Usage(
+            "record needs a program file and -o <trace.aptr>".into(),
+        ));
     };
-    let source = match std::fs::read_to_string(&path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let trace = match algoprof::record_source_with(&source, &InstrumentOptions::default(), &input) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    if let Err(e) = std::fs::write(&out, &trace) {
-        eprintln!("cannot write {out}: {e}");
-        return ExitCode::FAILURE;
-    }
+    let source = read_file(&path)?;
+    let trace = algoprof::record_source_with(&source, &InstrumentOptions::default(), &input)?;
+    write_file(&out, &trace)?;
     println!("wrote {out} ({} bytes)", trace.len());
-    ExitCode::SUCCESS
+    Ok(())
 }
 
 /// `algoprof analyze <trace>`: profile a recording without re-executing.
-fn analyze_main(args: &[String]) -> ExitCode {
-    let parsed = match parse_args(args) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
+fn analyze_main(args: &[String]) -> Result<(), CliError> {
+    let parsed = parse_args(args)?;
     if !parsed.input.is_empty() {
-        eprintln!("--input is not valid for analyze: inputs are embedded in the trace");
-        return ExitCode::FAILURE;
+        return Err(CliError::Usage(
+            "--input is not valid for analyze: inputs are embedded in the trace".into(),
+        ));
     }
     let [path] = parsed.positional.as_slice() else {
-        eprintln!("expected exactly one trace file\n{USAGE}");
-        return ExitCode::FAILURE;
+        return Err(CliError::Usage("expected exactly one trace file".into()));
     };
-    let trace = match std::fs::read(path) {
-        Ok(t) => t,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let profile = match algoprof::profile_trace_with(&trace, parsed.opts) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("{e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    let trace =
+        std::fs::read(path).map_err(|e| CliError::from(ProfileError::io("read", path, &e)))?;
+    let profile = algoprof::profile_trace_with(&trace, parsed.opts)?;
     emit(&profile, parsed.csv, parsed.html)
+}
+
+/// `algoprof sweep <prog.jay> --sizes n1,n2,...`: record the program once
+/// per size on a worker pool, replay every recording under every
+/// requested ablation, and emit one merged report.
+fn sweep_main(args: &[String]) -> Result<(), CliError> {
+    let mut sizes: Vec<u64> = Vec::new();
+    let mut workers = 0usize;
+    let mut criteria: Vec<String> = Vec::new();
+    let mut base = AlgoProfOptions::default();
+    let mut json: Option<String> = None;
+    let mut html: Option<String> = None;
+    let mut quiet = false;
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sizes" => {
+                sizes = parse_int_list("--sizes", flag_value(args, i)?)?;
+                i += 1;
+            }
+            "-j" | "--jobs" => {
+                let v = flag_value(args, i)?;
+                workers = v.parse().map_err(|_| {
+                    CliError::Usage(format!("invalid worker count {v:?} for {}", args[i]))
+                })?;
+                i += 1;
+            }
+            "--criteria" => {
+                criteria = flag_value(args, i)?
+                    .split(',')
+                    .filter(|p| !p.is_empty())
+                    .map(|p| p.trim().to_owned())
+                    .collect();
+                i += 1;
+            }
+            "--sizing" => {
+                base.array_strategy = parse_sizing(flag_value(args, i)?)?;
+                i += 1;
+            }
+            "--grouping" => {
+                base.grouping = parse_grouping(flag_value(args, i)?)?;
+                i += 1;
+            }
+            "--snapshots" => {
+                base.snapshot_policy = parse_snapshots(flag_value(args, i)?)?;
+                i += 1;
+            }
+            "--json" => {
+                json = Some(flag_value(args, i)?.to_owned());
+                i += 1;
+            }
+            "--html" => {
+                html = Some(flag_value(args, i)?.to_owned());
+                i += 1;
+            }
+            "--quiet" => quiet = true,
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!(
+                    "unknown option {other:?} for sweep"
+                )));
+            }
+            other => positional.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    let [path] = positional.as_slice() else {
+        return Err(CliError::Usage(
+            "sweep expects exactly one program file".into(),
+        ));
+    };
+    if sizes.is_empty() {
+        return Err(CliError::Usage("sweep requires --sizes n1,n2,...".into()));
+    }
+    // `--criteria a,b` fans each recording out to one analysis per
+    // criterion; without it the sweep runs the single base configuration.
+    let ablations = if criteria.is_empty() {
+        vec![SweepAblation {
+            name: "default".to_owned(),
+            options: base,
+        }]
+    } else {
+        criteria
+            .iter()
+            .map(|name| {
+                let mut options = base;
+                options.criterion = parse_criterion(name)?;
+                Ok(SweepAblation {
+                    name: name.clone(),
+                    options,
+                })
+            })
+            .collect::<Result<Vec<_>, CliError>>()?
+    };
+    let source = read_file(path)?;
+
+    let jobs: Vec<SweepJob> = sizes
+        .iter()
+        .map(|&n| SweepJob::for_size(&source, n))
+        .collect();
+    let config = SweepConfig {
+        ablations,
+        workers,
+        progress: !quiet,
+        program: path.clone(),
+    };
+    let report = algoprof::run_sweep(&jobs, &config)?;
+
+    if let Some(json_path) = &json {
+        write_file(json_path, report.render_json().as_bytes())?;
+    }
+    if let Some(html_path) = &html {
+        write_file(html_path, report.render_html().as_bytes())?;
+    }
+    print!("{}", report.render_text());
+    for out in json.iter().chain(html.iter()) {
+        eprintln!("wrote {out}");
+    }
+    Ok(())
 }

@@ -115,6 +115,151 @@ fn scatter_svg(profile: &AlgorithmicProfile, algo: AlgorithmId, series: &[(f64, 
     svg
 }
 
+/// Renders a sweep report as a standalone HTML page: the job table plus
+/// one section per merged series with its scatter plot and fits.
+/// Deterministic — the bytes depend only on the report contents.
+pub fn render_sweep_html(report: &crate::sweep::SweepReport) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+         <title>algoprof sweep</title>\n<style>\n\
+         body { font-family: sans-serif; margin: 2em; color: #222; }\n\
+         h2 { border-bottom: 1px solid #ccc; padding-bottom: 0.2em; }\n\
+         .meta { color: #555; }\n\
+         table { border-collapse: collapse; }\n\
+         td, th { border: 1px solid #ccc; padding: 0.3em 0.7em; }\n\
+         svg { background: #fafafa; border: 1px solid #ddd; }\n\
+         </style></head><body>\n<h1>Sweep report</h1>\n",
+    );
+    let _ = writeln!(
+        out,
+        "<p class=\"meta\">program: {} &nbsp; sizes: {} &nbsp; ablations: {}</p>",
+        escape(&report.program),
+        report
+            .sizes
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(" "),
+        escape(&report.ablations.join(" ")),
+    );
+
+    out.push_str("<table>\n<tr><th>job</th><th>trace bytes</th><th>events</th>");
+    for a in &report.ablations {
+        let _ = write!(out, "<th>steps [{}]</th>", escape(a));
+    }
+    out.push_str("</tr>\n");
+    for job in &report.jobs {
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td>{}</td>",
+            escape(&job.label),
+            job.trace_bytes,
+            job.events
+        );
+        for run in &job.runs {
+            let _ = write!(out, "<td>{}</td>", run.total_steps);
+        }
+        out.push_str("</tr>\n");
+    }
+    out.push_str("</table>\n");
+
+    for s in &report.series {
+        let prefix = if s.program.is_empty() {
+            String::new()
+        } else {
+            format!("{} · ", s.program)
+        };
+        let _ = writeln!(
+            out,
+            "<h2>{}{} <span class=\"meta\">[{}]</span></h2>",
+            escape(&prefix),
+            escape(&s.algorithm),
+            escape(&s.ablation),
+        );
+        if !s.kind.is_empty() {
+            let _ = writeln!(out, "<p class=\"meta\">{}</p>", escape(&s.kind));
+        }
+        if let Some(fit) = &s.fit {
+            let _ = writeln!(
+                out,
+                "<p class=\"meta\">best fit: {} &nbsp; [{}]</p>",
+                escape(&fit.to_string()),
+                fit.model.big_o(),
+            );
+        }
+        if let Some(p) = &s.power_law {
+            let _ = writeln!(
+                out,
+                "<p class=\"meta\">power law: {}</p>",
+                escape(&p.to_string()),
+            );
+        }
+        out.push_str(&sweep_scatter_svg(&s.points, s.fit.as_ref()));
+    }
+
+    out.push_str("</body></html>\n");
+    out
+}
+
+/// An SVG scatter plot of merged sweep points with an optional fitted
+/// curve — the standalone sibling of [`scatter_svg`], which needs a full
+/// profile.
+fn sweep_scatter_svg(series: &[(f64, f64)], fit: Option<&algoprof_fit::Fit>) -> String {
+    const W: f64 = 520.0;
+    const H: f64 = 320.0;
+    const PAD: f64 = 45.0;
+
+    let max_x = series.iter().map(|p| p.0).fold(1.0f64, f64::max);
+    let max_y = series.iter().map(|p| p.1).fold(1.0f64, f64::max);
+    let sx = |x: f64| PAD + x / max_x * (W - 2.0 * PAD);
+    let sy = |y: f64| H - PAD - y / max_y * (H - 2.0 * PAD);
+
+    let mut svg = format!(
+        "<svg width=\"{W}\" height=\"{H}\" viewBox=\"0 0 {W} {H}\" \
+         xmlns=\"http://www.w3.org/2000/svg\">\n"
+    );
+    let _ = writeln!(
+        svg,
+        "  <line x1=\"{PAD}\" y1=\"{0}\" x2=\"{1}\" y2=\"{0}\" stroke=\"#333\"/>\n\
+         \x20 <line x1=\"{PAD}\" y1=\"{PAD}\" x2=\"{PAD}\" y2=\"{0}\" stroke=\"#333\"/>",
+        H - PAD,
+        W - PAD,
+    );
+    let _ = writeln!(
+        svg,
+        "  <text x=\"{}\" y=\"{}\" font-size=\"11\" text-anchor=\"middle\">input size (max {max_x})</text>\n\
+         \x20 <text x=\"12\" y=\"{}\" font-size=\"11\" transform=\"rotate(-90 12 {})\" text-anchor=\"middle\">steps (max {max_y})</text>",
+        W / 2.0,
+        H - 10.0,
+        H / 2.0,
+        H / 2.0,
+    );
+    if let Some(fit) = fit {
+        let mut d = String::new();
+        for i in 0..=64 {
+            let x = max_x * i as f64 / 64.0;
+            let y = fit.predict(x).clamp(0.0, max_y * 1.05);
+            let cmd = if i == 0 { 'M' } else { 'L' };
+            let _ = write!(d, "{cmd}{:.1},{:.1} ", sx(x), sy(y.min(max_y)));
+        }
+        let _ = writeln!(
+            svg,
+            "  <path d=\"{d}\" fill=\"none\" stroke=\"#c33\" stroke-width=\"1.5\"/>"
+        );
+    }
+    for &(x, y) in series {
+        let _ = writeln!(
+            svg,
+            "  <circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"2.5\" fill=\"#246\" fill-opacity=\"0.75\"/>",
+            sx(x),
+            sy(y)
+        );
+    }
+    svg.push_str("</svg>\n");
+    svg
+}
+
 fn escape(s: &str) -> String {
     s.replace('&', "&amp;")
         .replace('<', "&lt;")

@@ -53,19 +53,22 @@ pub mod classify;
 pub mod cost;
 pub mod html;
 pub mod inputs;
+pub mod pool;
 pub mod profile;
 pub mod profiler;
 pub mod report;
 pub mod reptree;
 pub mod run;
 pub mod snapshot;
+pub mod sweep;
 
 pub use algorithms::{Algorithm, AlgorithmId, DataPoint, GroupingStrategy};
 pub use classify::{AlgorithmClass, Classification};
 pub use cost::{AccessOp, CostKey, CostMap};
-pub use html::render_html;
+pub use html::{render_html, render_sweep_html};
 pub use inputs::{InputId, InputInfo, InputKind, InputRegistry};
-pub use profile::{merge_series, AlgorithmicProfile, CostMetric};
+pub use pool::{default_workers, run_indexed};
+pub use profile::{merge_invocation_series, merge_series, AlgorithmicProfile, CostMetric};
 pub use profiler::{AlgoProf, AlgoProfOptions, SnapshotPolicy};
 pub use reptree::{Invocation, NodeId, RepKind, RepNode, RepTree};
 pub use run::{
@@ -75,6 +78,10 @@ pub use run::{
 pub use snapshot::{
     ArraySizeStrategy, ElemKey, EquivalenceCriterion, IncrementalMode, Measurement, Snapshot,
     SnapshotStats,
+};
+pub use sweep::{
+    run_sweep, SweepAblation, SweepConfig, SweepError, SweepJob, SweepJobReport, SweepReport,
+    SweepRunReport, SweepSeries,
 };
 
 #[cfg(test)]

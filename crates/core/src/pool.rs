@@ -1,0 +1,107 @@
+//! A minimal work-stealing worker pool over `std::thread::scope`.
+//!
+//! The sweep engine needs exactly one primitive: run `n_tasks`
+//! independent closures on up to `workers` OS threads and get the
+//! results back *in task order*, so downstream merging is independent of
+//! scheduling. Tasks are claimed from a shared atomic counter (classic
+//! self-scheduling), which load-balances uneven job costs without any
+//! queue allocation; results land in a pre-sized slot vector, so the
+//! output order is fixed by construction no matter which worker finishes
+//! when.
+//!
+//! No external dependencies: scoped threads make the borrow of `task`
+//! and the result slots safe without `Arc`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The number of workers to use when the caller does not specify one:
+/// the machine's available parallelism, or 1 if that cannot be
+/// determined.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Runs `task(i)` for every `i` in `0..n_tasks` on up to `workers`
+/// threads and returns the results indexed by `i` — the output is
+/// identical for every worker count.
+///
+/// `workers == 0` or `workers == 1` runs inline on the calling thread
+/// (no spawn overhead for the serial case). A panicking task propagates
+/// the panic to the caller once the scope joins.
+pub fn run_indexed<T, F>(n_tasks: usize, workers: usize, task: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = workers.clamp(1, n_tasks.max(1));
+    if workers <= 1 {
+        return (0..n_tasks).map(task).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n_tasks).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_tasks {
+                    break;
+                }
+                let out = task(i);
+                *slots[i].lock().expect("result slot is never poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot is never poisoned")
+                .expect("every task index was claimed and completed")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_task_order() {
+        for workers in [1, 2, 3, 8] {
+            let out = run_indexed(100, workers, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn zero_tasks_is_empty() {
+        let out: Vec<usize> = run_indexed(0, 4, |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let out = run_indexed(3, 64, |i| i + 1);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn uneven_task_costs_balance() {
+        // Tasks with wildly different costs still land in their slots.
+        let out = run_indexed(32, 4, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_workers_is_positive() {
+        assert!(default_workers() >= 1);
+    }
+}

@@ -422,3 +422,25 @@ pub fn merge_series(
     out.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     out
 }
+
+/// Like [`merge_series`] but matching the root node name *exactly* — the
+/// sweep engine's merge, where every profile comes from the same source
+/// text and names are identical, so substring matching could only
+/// introduce ambiguity (`loop1` is a substring of `loop10`'s name
+/// prefix).
+pub fn merge_invocation_series(
+    profiles: &[&AlgorithmicProfile],
+    root_name: &str,
+    metric: CostMetric,
+) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    for p in profiles {
+        for a in p.algorithms() {
+            if p.node_name(a.root) == root_name {
+                out.extend(p.invocation_series(a.id, metric));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}

@@ -20,6 +20,18 @@ pub enum ProfileError {
     Runtime(RuntimeError),
     /// A recorded trace could not be decoded.
     Trace(TraceError),
+    /// A program or trace file could not be read, or an output file
+    /// could not be written (the message carries the path and OS error).
+    Io(String),
+}
+
+impl ProfileError {
+    /// Wraps a filesystem failure on `path` (CLI and sweep callers read
+    /// programs/traces and write reports through this constructor, so
+    /// every exit path speaks `ProfileError`).
+    pub fn io(verb: &str, path: &str, e: &std::io::Error) -> ProfileError {
+        ProfileError::Io(format!("cannot {verb} {path}: {e}"))
+    }
 }
 
 impl fmt::Display for ProfileError {
@@ -28,6 +40,7 @@ impl fmt::Display for ProfileError {
             ProfileError::Compile(e) => write!(f, "guest compilation failed: {e}"),
             ProfileError::Runtime(e) => write!(f, "guest execution failed: {e}"),
             ProfileError::Trace(e) => write!(f, "trace replay failed: {e}"),
+            ProfileError::Io(msg) => f.write_str(msg),
         }
     }
 }
@@ -38,6 +51,7 @@ impl std::error::Error for ProfileError {
             ProfileError::Compile(e) => Some(e),
             ProfileError::Runtime(e) => Some(e),
             ProfileError::Trace(e) => Some(e),
+            ProfileError::Io(_) => None,
         }
     }
 }

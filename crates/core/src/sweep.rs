@@ -1,0 +1,807 @@
+//! `algoprof sweep` — deterministic parallel batch profiling.
+//!
+//! The paper's headline artifact is the ⟨input size, cost⟩ scatter plot
+//! (Figures 1 and 5), which needs the *same* program profiled at many
+//! input sizes. A sweep turns that into an explicit job list — one
+//! [`SweepJob`] per input size, crossed with any number of
+//! analysis-option ablations — and runs it on a pool of worker threads
+//! in two parallel phases:
+//!
+//! 1. **Record** (one task per job): compile + execute the guest once,
+//!    capturing its APTR event trace.
+//! 2. **Analyze** (one task per job × ablation): replay the job's
+//!    recording under the ablation's [`AlgoProfOptions`]. Several
+//!    analyzers replay *the same immutable recording* concurrently —
+//!    each [`TraceReplayer`](algoprof_trace::TraceReplayer) owns its
+//!    shadow heap, the trace bytes are shared read-only.
+//!
+//! The merged report is **deterministic**: results land in
+//! pre-assigned slots indexed by job (see [`crate::pool`]), the merge
+//! walks them in job order, and no timing or scheduling information
+//! enters the report — so the text, JSON, and HTML renderings are
+//! byte-identical for every worker count.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use algoprof_fit::{best_fit, fit_power_law, Fit, PowerFit};
+use algoprof_trace::{read_header, TraceReplayer};
+use algoprof_vm::compile;
+
+use crate::pool::{default_workers, run_indexed};
+use crate::profile::{AlgorithmicProfile, CostMetric};
+use crate::profiler::{AlgoProf, AlgoProfOptions};
+use crate::run::{record_source_with, ProfileError};
+
+// The whole pipeline fans profiles out across threads; keep that
+// guaranteed at compile time.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<AlgorithmicProfile>();
+    assert_send_sync::<SweepReport>();
+};
+
+/// One unit of work: execute `source` once with `input` and profile it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepJob {
+    /// Display label, e.g. `n=64`.
+    pub label: String,
+    /// Program tag for multi-program sweeps. Series are merged only
+    /// across jobs sharing a tag — two *different* programs can use
+    /// identical loop names (`Main.main:loop0@L4`), and merging those
+    /// points would fit a meaningless curve. Empty for the common
+    /// single-program sweep.
+    pub program: String,
+    /// The nominal input size this job probes.
+    pub size: u64,
+    /// Guest source text.
+    pub source: String,
+    /// Values served to the guest's `readInput()` calls.
+    pub input: Vec<i64>,
+}
+
+impl SweepJob {
+    /// The standard per-size job: the swept size is served as the
+    /// guest's first `readInput()` value.
+    pub fn for_size(source: &str, size: u64) -> SweepJob {
+        SweepJob {
+            label: format!("n={size}"),
+            program: String::new(),
+            size,
+            source: source.to_string(),
+            input: vec![size as i64],
+        }
+    }
+
+    /// Like [`SweepJob::for_size`] with a program tag, for sweeps that
+    /// batch several distinct programs.
+    pub fn for_program_size(program: &str, source: &str, size: u64) -> SweepJob {
+        SweepJob {
+            label: format!("{program}:n={size}"),
+            program: program.to_string(),
+            ..SweepJob::for_size(source, size)
+        }
+    }
+}
+
+/// One named analysis configuration to replay every recording under.
+#[derive(Debug, Clone, Default)]
+pub struct SweepAblation {
+    /// Name used in reports, e.g. `some` or `default`.
+    pub name: String,
+    /// Profiler options for this ablation.
+    pub options: AlgoProfOptions,
+}
+
+/// Sweep execution parameters.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Ablations to analyze each recording under (at least one; the
+    /// default is a single `default`-named [`AlgoProfOptions`]).
+    pub ablations: Vec<SweepAblation>,
+    /// Worker threads; `0` means [`default_workers`].
+    pub workers: usize,
+    /// Emit progress lines to stderr as jobs complete (progress goes to
+    /// stderr only — the report itself stays deterministic).
+    pub progress: bool,
+    /// Display name of the swept program, echoed in the report.
+    pub program: String,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        SweepConfig {
+            ablations: vec![SweepAblation {
+                name: "default".to_string(),
+                options: AlgoProfOptions::default(),
+            }],
+            workers: 0,
+            progress: false,
+            program: String::new(),
+        }
+    }
+}
+
+/// A sweep failure, attributed to the job that caused it. When several
+/// jobs fail, the one with the lowest index is reported — deterministic
+/// for every worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepError {
+    /// Label of the failing job.
+    pub job: String,
+    /// Ablation name, when the failure happened during analysis.
+    pub ablation: Option<String>,
+    /// The underlying failure.
+    pub error: ProfileError,
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.ablation {
+            Some(a) => write!(f, "job {} [{a}]: {}", self.job, self.error),
+            None => write!(f, "job {}: {}", self.job, self.error),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+/// Per-ablation outcome of one job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepRunReport {
+    /// Ablation name.
+    pub ablation: String,
+    /// Algorithms found by this analysis.
+    pub algorithms: u64,
+    /// Total algorithmic steps across all algorithms.
+    pub total_steps: u64,
+}
+
+/// Outcome of one job (shared trace, one run row per ablation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepJobReport {
+    /// Job label.
+    pub label: String,
+    /// Nominal input size.
+    pub size: u64,
+    /// Recording size in bytes.
+    pub trace_bytes: u64,
+    /// Events replayed from the recording.
+    pub events: u64,
+    /// One row per ablation, in configuration order.
+    pub runs: Vec<SweepRunReport>,
+}
+
+/// One merged ⟨size, cost⟩ series: an algorithm observed across the
+/// whole sweep under one ablation, with its fitted cost functions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSeries {
+    /// Ablation name.
+    pub ablation: String,
+    /// Program tag of the jobs this series merges (empty for a
+    /// single-program sweep).
+    pub program: String,
+    /// The algorithm's root repetition name (e.g.
+    /// `Main.testForSize:loop0@L9`) — identical sources give identical
+    /// names, which is what lets runs merge.
+    pub algorithm: String,
+    /// Human classification, e.g. `Construction of a ... structure`.
+    pub kind: String,
+    /// Merged ⟨size, steps⟩ points, sorted by size then cost.
+    pub points: Vec<(f64, f64)>,
+    /// Best complexity-model fit over the merged series.
+    pub fit: Option<Fit>,
+    /// Log–log power-law fit over the merged series.
+    pub power_law: Option<PowerFit>,
+}
+
+/// The merged result of a whole sweep. All renderings of a report are
+/// byte-identical for every worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// Display name of the swept program.
+    pub program: String,
+    /// The nominal sizes, in job order.
+    pub sizes: Vec<u64>,
+    /// Ablation names, in configuration order.
+    pub ablations: Vec<String>,
+    /// Per-job outcomes, in job order.
+    pub jobs: Vec<SweepJobReport>,
+    /// Merged per-algorithm series with fits, ordered by ablation then
+    /// algorithm name.
+    pub series: Vec<SweepSeries>,
+}
+
+/// Records and analyzes every job of a sweep on a worker pool, merging
+/// the results into a deterministic [`SweepReport`].
+///
+/// # Errors
+///
+/// Returns the lowest-indexed failing job's [`SweepError`] — the same
+/// error for every worker count. Already-completed work is discarded.
+///
+/// # Example
+///
+/// ```
+/// use algoprof::sweep::{run_sweep, SweepConfig, SweepJob};
+///
+/// let src = "class Main { static int main() {
+///     int n = readInput();
+///     Node head = null;
+///     for (int i = 0; i < n; i = i + 1) {
+///         Node x = new Node(); x.next = head; head = x;
+///     }
+///     return 0;
+/// } }
+/// class Node { Node next; }";
+/// let jobs: Vec<SweepJob> = [4u64, 8, 16]
+///     .iter()
+///     .map(|&n| SweepJob::for_size(src, n))
+///     .collect();
+/// let report = run_sweep(&jobs, &SweepConfig::default())?;
+/// assert_eq!(report.jobs.len(), 3);
+/// let series = &report.series[0];
+/// assert_eq!(series.points.len(), 3);
+/// # Ok::<(), algoprof::sweep::SweepError>(())
+/// ```
+pub fn run_sweep(jobs: &[SweepJob], config: &SweepConfig) -> Result<SweepReport, SweepError> {
+    let ablations: Vec<SweepAblation> = if config.ablations.is_empty() {
+        SweepConfig::default().ablations
+    } else {
+        config.ablations.clone()
+    };
+    let workers = if config.workers == 0 {
+        default_workers()
+    } else {
+        config.workers
+    };
+
+    // Phase 1: record every job once, in parallel.
+    let done = AtomicUsize::new(0);
+    let instrument = algoprof_vm::InstrumentOptions::default();
+    let traces: Vec<Result<Vec<u8>, ProfileError>> = run_indexed(jobs.len(), workers, |i| {
+        let job = &jobs[i];
+        let out = record_source_with(&job.source, &instrument, &job.input);
+        if config.progress {
+            let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+            match &out {
+                Ok(t) => eprintln!(
+                    "sweep: [{k}/{}] recorded {} ({} bytes)",
+                    jobs.len(),
+                    job.label,
+                    t.len()
+                ),
+                Err(e) => eprintln!("sweep: [{k}/{}] {} FAILED: {e}", jobs.len(), job.label),
+            }
+        }
+        out
+    });
+    let mut recordings = Vec::with_capacity(jobs.len());
+    for (job, trace) in jobs.iter().zip(traces) {
+        match trace {
+            Ok(t) => recordings.push(t),
+            Err(error) => {
+                return Err(SweepError {
+                    job: job.label.clone(),
+                    ablation: None,
+                    error,
+                })
+            }
+        }
+    }
+
+    // Phase 2: replay every (job, ablation) pair in parallel. The pair
+    // list is job-major, so slot order equals report order.
+    let pairs: Vec<(usize, usize)> = (0..jobs.len())
+        .flat_map(|j| (0..ablations.len()).map(move |a| (j, a)))
+        .collect();
+    let done = AtomicUsize::new(0);
+    let analyses: Vec<Result<(AlgorithmicProfile, u64), ProfileError>> =
+        run_indexed(pairs.len(), workers, |p| {
+            let (j, a) = pairs[p];
+            let out = analyze_recording(&recordings[j], ablations[a].options);
+            if config.progress {
+                let k = done.fetch_add(1, Ordering::Relaxed) + 1;
+                eprintln!(
+                    "sweep: [{k}/{}] analyzed {} [{}]",
+                    pairs.len(),
+                    jobs[j].label,
+                    ablations[a].name
+                );
+            }
+            out
+        });
+    let mut profiles: Vec<Vec<(AlgorithmicProfile, u64)>> = vec![Vec::new(); jobs.len()];
+    for (&(j, a), analysis) in pairs.iter().zip(analyses) {
+        match analysis {
+            Ok(pair) => profiles[j].push(pair),
+            Err(error) => {
+                return Err(SweepError {
+                    job: jobs[j].label.clone(),
+                    ablation: Some(ablations[a].name.clone()),
+                    error,
+                })
+            }
+        }
+    }
+
+    // Serial merge, in job order: scheduling can no longer influence
+    // anything below this line.
+    let mut report = SweepReport {
+        program: config.program.clone(),
+        sizes: jobs.iter().map(|j| j.size).collect(),
+        ablations: ablations.iter().map(|a| a.name.clone()).collect(),
+        jobs: Vec::with_capacity(jobs.len()),
+        series: Vec::new(),
+    };
+    for (j, job) in jobs.iter().enumerate() {
+        report.jobs.push(SweepJobReport {
+            label: job.label.clone(),
+            size: job.size,
+            trace_bytes: recordings[j].len() as u64,
+            events: profiles[j].first().map(|&(_, e)| e).unwrap_or(0),
+            runs: ablations
+                .iter()
+                .zip(&profiles[j])
+                .map(|(ab, (profile, _))| SweepRunReport {
+                    ablation: ab.name.clone(),
+                    algorithms: profile.algorithms().len() as u64,
+                    total_steps: profile
+                        .algorithms()
+                        .iter()
+                        .map(|al| al.total_costs.steps())
+                        .sum(),
+                })
+                .collect(),
+        });
+    }
+    // Program groups in first-appearance job order: series merge only
+    // across jobs sharing a tag, so same-named algorithms of different
+    // programs never pollute one curve.
+    let mut groups: Vec<(&str, Vec<usize>)> = Vec::new();
+    for (j, job) in jobs.iter().enumerate() {
+        match groups.iter_mut().find(|(tag, _)| *tag == job.program) {
+            Some((_, members)) => members.push(j),
+            None => groups.push((&job.program, vec![j])),
+        }
+    }
+    for (a, ablation) in ablations.iter().enumerate() {
+        for (tag, members) in &groups {
+            let slice: Vec<&AlgorithmicProfile> =
+                members.iter().map(|&j| &profiles[j][a].0).collect();
+            // Every algorithm root name seen anywhere in this group, in
+            // sorted order so the report layout is stable.
+            let mut names: Vec<String> = Vec::new();
+            for p in &slice {
+                for algo in p.algorithms() {
+                    let name = p.node_name(algo.root).to_string();
+                    if !names.contains(&name) {
+                        names.push(name);
+                    }
+                }
+            }
+            names.sort();
+            for name in names {
+                let points =
+                    crate::profile::merge_invocation_series(&slice, &name, CostMetric::Steps);
+                if points.is_empty() {
+                    continue;
+                }
+                let kind = slice
+                    .iter()
+                    .find_map(|p| {
+                        p.algorithms()
+                            .iter()
+                            .find(|al| p.node_name(al.root) == name)
+                            .map(|al| p.describe_algorithm(al.id))
+                    })
+                    .unwrap_or_default();
+                report.series.push(SweepSeries {
+                    ablation: ablation.name.clone(),
+                    program: tag.to_string(),
+                    algorithm: name,
+                    kind,
+                    fit: best_fit(&points),
+                    power_law: fit_power_law(&points),
+                    points,
+                });
+            }
+        }
+    }
+    Ok(report)
+}
+
+/// Replays one recording under one option set, returning the profile
+/// and the number of events decoded.
+fn analyze_recording(
+    trace: &[u8],
+    options: AlgoProfOptions,
+) -> Result<(AlgorithmicProfile, u64), ProfileError> {
+    let (header, events) = read_header(trace)?;
+    let program = compile(&header.source)?.instrument(&header.instrument);
+    let mut profiler = AlgoProf::with_options(options);
+    let stats = TraceReplayer::new().replay(&program, events, &mut profiler)?;
+    Ok((profiler.finish(&program), stats.events))
+}
+
+// ------------------------------------------------------------ rendering
+
+impl SweepReport {
+    /// Renders the report as aligned text.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "sweep report: {}", self.program);
+        let _ = writeln!(
+            out,
+            "sizes: {}",
+            self.sizes
+                .iter()
+                .map(u64::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        let _ = writeln!(out, "ablations: {}", self.ablations.join(" "));
+        let _ = writeln!(
+            out,
+            "jobs: {} ({} analyses)\n",
+            self.jobs.len(),
+            self.jobs.len() * self.ablations.len()
+        );
+        for job in &self.jobs {
+            let _ = writeln!(
+                out,
+                "job {} [trace {} bytes, {} events]",
+                job.label, job.trace_bytes, job.events
+            );
+            for run in &job.runs {
+                let _ = writeln!(
+                    out,
+                    "  {}: algorithms={} steps={}",
+                    run.ablation, run.algorithms, run.total_steps
+                );
+            }
+        }
+        out.push('\n');
+        for s in &self.series {
+            let prefix = if s.program.is_empty() {
+                String::new()
+            } else {
+                format!("{} ", s.program)
+            };
+            let _ = writeln!(out, "algorithm {prefix}{} [{}]", s.algorithm, s.ablation);
+            if !s.kind.is_empty() {
+                let _ = writeln!(out, "  kind: {}", s.kind);
+            }
+            let pts = s
+                .points
+                .iter()
+                .map(|&(n, c)| format!("({n}, {c})"))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = writeln!(out, "  points ({}): {pts}", s.points.len());
+            match &s.fit {
+                Some(f) => {
+                    let _ = writeln!(out, "  best fit: {f}  [{}]", f.model.big_o());
+                }
+                None => out.push_str("  best fit: (degenerate series)\n"),
+            }
+            if let Some(p) = &s.power_law {
+                let _ = writeln!(out, "  power law: {p}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the report as machine-readable JSON (the `BENCH_sweep`
+    /// schema). No timing data is included, so the bytes are identical
+    /// for every worker count.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"program\": {},", json_str(&self.program));
+        let _ = writeln!(out, "  \"sizes\": {},", json_u64s(&self.sizes));
+        let _ = writeln!(
+            out,
+            "  \"ablations\": [{}],",
+            self.ablations
+                .iter()
+                .map(|a| json_str(a))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        out.push_str("  \"jobs\": [\n");
+        for (i, job) in self.jobs.iter().enumerate() {
+            let runs = job
+                .runs
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"ablation\": {}, \"algorithms\": {}, \"total_steps\": {}}}",
+                        json_str(&r.ablation),
+                        r.algorithms,
+                        r.total_steps
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            let _ = write!(
+                out,
+                "    {{\"label\": {}, \"size\": {}, \"trace_bytes\": {}, \"events\": {}, \"runs\": [{}]}}",
+                json_str(&job.label),
+                job.size,
+                job.trace_bytes,
+                job.events,
+                runs
+            );
+            out.push_str(if i + 1 < self.jobs.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"series\": [\n");
+        for (i, s) in self.series.iter().enumerate() {
+            let points = s
+                .points
+                .iter()
+                .map(|&(n, c)| format!("[{}, {}]", json_f64(n), json_f64(c)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let fit = match &s.fit {
+                Some(f) => format!(
+                    "{{\"model\": {}, \"coeff\": {}, \"intercept\": {}, \"r2\": {}, \"n_points\": {}}}",
+                    json_str(f.model.big_o()),
+                    json_f64(f.coeff),
+                    json_f64(f.intercept),
+                    json_f64(f.r2),
+                    f.n_points
+                ),
+                None => "null".to_string(),
+            };
+            let power = match &s.power_law {
+                Some(p) => format!(
+                    "{{\"coeff\": {}, \"exponent\": {}, \"r2\": {}, \"n_points\": {}}}",
+                    json_f64(p.coeff),
+                    json_f64(p.exponent),
+                    json_f64(p.r2),
+                    p.n_points
+                ),
+                None => "null".to_string(),
+            };
+            let _ = write!(
+                out,
+                "    {{\"ablation\": {}, \"program\": {}, \"algorithm\": {}, \"kind\": {}, \"points\": [{}], \"best_fit\": {}, \"power_law\": {}}}",
+                json_str(&s.ablation),
+                json_str(&s.program),
+                json_str(&s.algorithm),
+                json_str(&s.kind),
+                points,
+                fit,
+                power
+            );
+            out.push_str(if i + 1 < self.series.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the report as a self-contained HTML page with SVG plots.
+    pub fn render_html(&self) -> String {
+        crate::html::render_sweep_html(self)
+    }
+}
+
+/// JSON string literal with the escapes our identifiers can need.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A finite `f64` as a JSON number (Rust's shortest-roundtrip `Display`
+/// is deterministic and always valid JSON for finite values).
+fn json_f64(v: f64) -> String {
+    debug_assert!(v.is_finite(), "non-finite value in sweep report");
+    format!("{v}")
+}
+
+fn json_u64s(vs: &[u64]) -> String {
+    format!(
+        "[{}]",
+        vs.iter().map(u64::to_string).collect::<Vec<_>>().join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SIZED_LIST: &str = "class Main { static int main() {
+        int n = readInput();
+        Node head = null;
+        for (int i = 0; i < n; i = i + 1) {
+            Node x = new Node(); x.next = head; head = x;
+        }
+        return 0;
+    } }
+    class Node { Node next; }";
+
+    fn jobs() -> Vec<SweepJob> {
+        [3u64, 6, 12, 24]
+            .iter()
+            .map(|&n| SweepJob::for_size(SIZED_LIST, n))
+            .collect()
+    }
+
+    #[test]
+    fn sweep_finds_linear_construction() {
+        let report = run_sweep(&jobs(), &SweepConfig::default()).expect("sweeps");
+        assert_eq!(report.jobs.len(), 4);
+        let s = report
+            .series
+            .iter()
+            .find(|s| s.algorithm.contains("loop"))
+            .expect("construction series");
+        assert_eq!(s.points.len(), 4);
+        let fit = s.fit.expect("fits");
+        assert_eq!(fit.model, algoprof_fit::Model::Linear);
+    }
+
+    #[test]
+    fn report_is_identical_for_every_worker_count() {
+        let jobs = jobs();
+        let mut renders = Vec::new();
+        for workers in [1usize, 2, 3, 8] {
+            let config = SweepConfig {
+                workers,
+                ..SweepConfig::default()
+            };
+            let report = run_sweep(&jobs, &config).expect("sweeps");
+            renders.push((report.render_text(), report.render_json()));
+        }
+        for r in &renders[1..] {
+            assert_eq!(r.0, renders[0].0, "text differs across worker counts");
+            assert_eq!(r.1, renders[0].1, "json differs across worker counts");
+        }
+    }
+
+    #[test]
+    fn failing_job_is_attributed_deterministically() {
+        let mut jobs = jobs();
+        jobs[2].source = "class Main {".to_string(); // compile error
+        for workers in [1usize, 4] {
+            let config = SweepConfig {
+                workers,
+                ..SweepConfig::default()
+            };
+            let err = run_sweep(&jobs, &config).expect_err("fails");
+            assert_eq!(err.job, "n=12");
+            assert!(matches!(err.error, ProfileError::Compile(_)));
+        }
+    }
+
+    #[test]
+    fn json_is_structurally_sane() {
+        let report = run_sweep(&jobs()[..3], &SweepConfig::default()).expect("sweeps");
+        let json = report.render_json();
+        assert!(json.starts_with("{\n"));
+        assert!(json.ends_with("}\n"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        assert!(json.contains("\"best_fit\""));
+    }
+
+    #[test]
+    fn empty_job_list_gives_empty_report() {
+        let report = run_sweep(&[], &SweepConfig::default()).expect("sweeps");
+        assert!(report.jobs.is_empty());
+        assert!(report.series.is_empty());
+        assert!(!report.render_text().is_empty());
+        assert!(report.render_json().contains("\"jobs\": [\n  ],"));
+    }
+
+    #[test]
+    fn multiple_ablations_share_recordings() {
+        use crate::snapshot::EquivalenceCriterion;
+        let config = SweepConfig {
+            ablations: vec![
+                SweepAblation {
+                    name: "some".into(),
+                    options: AlgoProfOptions {
+                        criterion: EquivalenceCriterion::SomeElements,
+                        ..Default::default()
+                    },
+                },
+                SweepAblation {
+                    name: "type".into(),
+                    options: AlgoProfOptions {
+                        criterion: EquivalenceCriterion::SameType,
+                        ..Default::default()
+                    },
+                },
+            ],
+            ..SweepConfig::default()
+        };
+        let report = run_sweep(&jobs(), &config).expect("sweeps");
+        assert_eq!(report.ablations, vec!["some", "type"]);
+        for job in &report.jobs {
+            assert_eq!(job.runs.len(), 2);
+        }
+        // Both ablations produced a merged series.
+        assert!(report.series.iter().any(|s| s.ablation == "some"));
+        assert!(report.series.iter().any(|s| s.ablation == "type"));
+    }
+
+    #[test]
+    fn program_tags_keep_same_named_algorithms_apart() {
+        // Two different programs whose main loop has the *same* root
+        // name (same method, same line): linear construction vs. a
+        // quadratic variant that re-walks the list each iteration.
+        // Without program tags their points would merge into one bogus
+        // curve; with tags each keeps its own complexity.
+        const QUADRATIC_LIST: &str = "class Main { static int main() {
+        int n = readInput();
+        Node head = null;
+        for (int i = 0; i < n; i = i + 1) {
+            Node x = new Node(); x.next = head; head = x;
+            Node c = head; while (c != null) { c = c.next; }
+        }
+        return 0;
+    } }
+    class Node { Node next; }";
+        let mut jobs = Vec::new();
+        for &n in &[4u64, 8, 16, 32] {
+            jobs.push(SweepJob::for_program_size("lin", SIZED_LIST, n));
+            jobs.push(SweepJob::for_program_size("quad", QUADRATIC_LIST, n));
+        }
+        let report = run_sweep(&jobs, &SweepConfig::default()).expect("sweeps");
+        let fit_of = |tag: &str| {
+            report
+                .series
+                .iter()
+                .find(|s| s.program == tag && s.algorithm.contains("loop0"))
+                .and_then(|s| s.fit)
+                .expect("tagged series fits")
+        };
+        assert_eq!(fit_of("lin").model, algoprof_fit::Model::Linear);
+        assert_eq!(fit_of("quad").model, algoprof_fit::Model::Quadratic);
+        // The two programs share root names, so merging them would have
+        // been possible only by ignoring the tag.
+        let lin_names: Vec<_> = report
+            .series
+            .iter()
+            .filter(|s| s.program == "lin")
+            .map(|s| s.algorithm.clone())
+            .collect();
+        assert!(report
+            .series
+            .iter()
+            .filter(|s| s.program == "quad")
+            .any(|s| lin_names.contains(&s.algorithm)));
+        // The text report carries the tag so the series stay readable.
+        assert!(report.render_text().contains("algorithm lin "));
+        assert!(report.render_json().contains("\"program\": \"quad\""));
+    }
+}

@@ -1,0 +1,216 @@
+//! CLI robustness: every malformed invocation must exit non-zero with a
+//! one-line diagnostic (usage mistakes add a usage hint and exit 2) —
+//! and never panic. Shells the real binary via `CARGO_BIN_EXE_algoprof`.
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+fn algoprof(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_algoprof"))
+        .args(args)
+        .output()
+        .expect("spawns the algoprof binary")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Asserts a usage mistake: exit code 2, a diagnostic naming the problem,
+/// the usage hint, and no panic backtrace.
+fn assert_usage_error(args: &[&str], needle: &str) {
+    let out = algoprof(args);
+    let err = stderr(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "{args:?} should exit 2, stderr: {err}"
+    );
+    assert!(
+        err.contains(needle),
+        "{args:?} stderr should mention {needle:?}, got: {err}"
+    );
+    assert!(
+        err.contains("--help"),
+        "{args:?} stderr should carry the usage hint, got: {err}"
+    );
+    assert!(!err.contains("panicked"), "{args:?} panicked: {err}");
+}
+
+/// Asserts a run failure: exit code 1, a diagnostic, no panic.
+fn assert_run_error(args: &[&str], needle: &str) {
+    let out = algoprof(args);
+    let err = stderr(&out);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{args:?} should exit 1, stderr: {err}"
+    );
+    assert!(
+        err.contains(needle),
+        "{args:?} stderr should mention {needle:?}, got: {err}"
+    );
+    assert!(!err.contains("panicked"), "{args:?} panicked: {err}");
+}
+
+#[test]
+fn help_exits_zero() {
+    let out = algoprof(&["--help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage: algoprof"));
+}
+
+#[test]
+fn malformed_invocations_fail_cleanly() {
+    // No arguments at all.
+    assert_usage_error(&[], "missing subcommand");
+    // Unknown flag in each mode.
+    assert_usage_error(&["--frobnicate", "p.jay"], "--frobnicate");
+    assert_usage_error(&["record", "--frobnicate"], "--frobnicate");
+    assert_usage_error(&["sweep", "--frobnicate"], "--frobnicate");
+    // Value-taking flags with the value missing.
+    assert_usage_error(&["--criterion"], "--criterion requires a value");
+    assert_usage_error(&["--csv"], "--csv requires a value");
+    assert_usage_error(&["--html"], "--html requires a value");
+    assert_usage_error(&["p.jay", "--input"], "--input requires a value");
+    assert_usage_error(&["record", "p.jay", "-o"], "-o requires a value");
+    assert_usage_error(&["sweep", "p.jay", "--sizes"], "--sizes requires a value");
+    assert_usage_error(
+        &["sweep", "p.jay", "--sizes", "4", "-j"],
+        "-j requires a value",
+    );
+    // Bad enum / numeric values.
+    assert_usage_error(&["--criterion", "bogus", "p.jay"], "unknown criterion");
+    assert_usage_error(&["--grouping", "bogus", "p.jay"], "unknown grouping");
+    assert_usage_error(&["p.jay", "--input", "1,x,3"], "invalid value");
+    assert_usage_error(&["sweep", "p.jay", "--sizes", "4,-1"], "invalid value");
+    assert_usage_error(
+        &["sweep", "p.jay", "--sizes", "4", "-j", "two"],
+        "invalid worker count",
+    );
+    assert_usage_error(
+        &["sweep", "p.jay", "--sizes", "4", "--criteria", "bogus"],
+        "unknown criterion",
+    );
+    // Missing required pieces.
+    assert_usage_error(&["record", "p.jay"], "-o");
+    assert_usage_error(&["sweep", "p.jay"], "--sizes");
+    assert_usage_error(&["analyze"], "trace file");
+    assert_usage_error(&["analyze", "t.aptr", "--input", "3"], "--input");
+    // Two positionals where one is expected.
+    assert_usage_error(&["a.jay", "b.jay"], "exactly one program file");
+}
+
+#[test]
+fn unreadable_paths_fail_cleanly() {
+    assert_run_error(&["/no/such/file.jay"], "cannot read /no/such/file.jay");
+    assert_run_error(
+        &["record", "/no/such.jay", "-o", "/tmp/t.aptr"],
+        "cannot read",
+    );
+    assert_run_error(&["analyze", "/no/such.aptr"], "cannot read");
+    assert_run_error(
+        &["sweep", "/no/such.jay", "--sizes", "4,8"],
+        "cannot read /no/such.jay",
+    );
+}
+
+#[test]
+fn guest_and_trace_failures_exit_one() {
+    let dir = std::env::temp_dir().join(format!("algoprof-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // A program that does not compile.
+    let bad = dir.join("bad.jay");
+    std::fs::write(&bad, "class Main {").expect("writes");
+    assert_run_error(&[bad.to_str().unwrap()], "compilation");
+
+    // A file that is not an APTR trace.
+    let junk = dir.join("junk.aptr");
+    std::fs::write(&junk, b"definitely not a trace").expect("writes");
+    assert_run_error(&["analyze", junk.to_str().unwrap()], "trace");
+
+    // Unwritable output path for a report.
+    let good = dir.join("good.jay");
+    std::fs::write(&good, "class Main { static int main() { return 0; } }").expect("writes");
+    assert_run_error(
+        &[good.to_str().unwrap(), "--html", "/no/such/dir/report.html"],
+        "cannot write",
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_failures_are_attributed_to_a_job() {
+    let dir = std::env::temp_dir().join(format!("algoprof-cli-sweep-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    // A guest that throws for sizes above 8: the sweep must report the
+    // failing job by label, not panic or deadlock.
+    let src = dir.join("throws.jay");
+    std::fs::write(
+        &src,
+        "class Main { static int main() {
+            int size = readInput();
+            if (size > 8) { throw size; }
+            return size;
+        } }",
+    )
+    .expect("writes");
+    assert_run_error(
+        &[
+            "sweep",
+            src.to_str().unwrap(),
+            "--sizes",
+            "4,8,16",
+            "--quiet",
+        ],
+        "job n=16",
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn sweep_smoke_produces_report_files() {
+    let dir = std::env::temp_dir().join(format!("algoprof-cli-ok-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let src = dir.join("loop.jay");
+    std::fs::write(
+        &src,
+        "class Main { static int main() {
+            int size = readInput();
+            Node head = null;
+            for (int i = 0; i < size; i = i + 1) {
+                Node n = new Node();
+                n.next = head;
+                head = n;
+            }
+            return 0;
+        } }
+        class Node { Node next; }",
+    )
+    .expect("writes");
+    let json = dir.join("sweep.json");
+    let html = dir.join("sweep.html");
+    let out = algoprof(&[
+        "sweep",
+        src.to_str().unwrap(),
+        "--sizes",
+        "4,8,16,32",
+        "-j",
+        "2",
+        "--quiet",
+        "--json",
+        json.to_str().unwrap(),
+        "--html",
+        html.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("sweep report"), "stdout: {text}");
+    assert!(text.contains("best fit"), "stdout: {text}");
+    assert!(Path::new(&json).exists() && Path::new(&html).exists());
+    let json_text = std::fs::read_to_string(&json).expect("reads json");
+    assert!(json_text.contains("\"sizes\": [4, 8, 16, 32]"));
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -5,8 +5,10 @@ use crate::models::{Fit, Model, PowerFit};
 /// Fits `cost ≈ coeff · g(n) + intercept` for one `model` by ordinary
 /// least squares over the transformed predictor `x = g(n)`.
 ///
-/// Returns `None` when fewer than two points are given or the predictor
-/// is degenerate (all `g(n)` equal, for non-constant models).
+/// Returns `None` when fewer than two points are given, any coordinate
+/// is non-finite (a `NaN` or `±∞` would otherwise poison every sum), or
+/// the predictor is degenerate (all `g(n)` equal, for non-constant
+/// models).
 pub fn fit_model(points: &[(f64, f64)], model: Model) -> Option<Fit> {
     let n = points.len();
     if n < 2 {
@@ -14,6 +16,9 @@ pub fn fit_model(points: &[(f64, f64)], model: Model) -> Option<Fit> {
     }
     let xs: Vec<f64> = points.iter().map(|&(sz, _)| model.basis(sz)).collect();
     let ys: Vec<f64> = points.iter().map(|&(_, c)| c).collect();
+    if xs.iter().chain(&ys).any(|v| !v.is_finite()) {
+        return None;
+    }
 
     let (coeff, intercept) = if model == Model::Constant {
         (mean(&ys), 0.0)
@@ -51,6 +56,9 @@ pub fn fit_model(points: &[(f64, f64)], model: Model) -> Option<Fit> {
     // BIC with an epsilon so perfect fits do not take ln(0).
     let bic = n as f64 * ((rss / n as f64).max(1e-12)).ln() + p * (n as f64).ln();
 
+    if !coeff.is_finite() || !intercept.is_finite() {
+        return None;
+    }
     Some(Fit {
         model,
         coeff,
@@ -75,7 +83,20 @@ pub fn fit_all(points: &[(f64, f64)]) -> Vec<Fit> {
 /// Negative fitted coefficients on non-constant models are rejected (a
 /// cost cannot decrease in its input size asymptotically), falling back
 /// to the next-best candidate.
+///
+/// Degenerate series yield `None` rather than a misleading fit: fewer
+/// than three points cannot distinguish the model candidates, and a
+/// series whose sizes are all equal carries no scaling information at
+/// all (its only consistent fit would be the constant model, which says
+/// nothing about growth).
 pub fn best_fit(points: &[(f64, f64)]) -> Option<Fit> {
+    if points.len() < 3 {
+        return None;
+    }
+    let first = points[0].0;
+    if points.iter().all(|&(n, _)| (n - first).abs() < 1e-12) {
+        return None;
+    }
     let mut fits = fit_all(points);
     fits.sort_by(|a, b| {
         a.bic
@@ -87,14 +108,15 @@ pub fn best_fit(points: &[(f64, f64)]) -> Option<Fit> {
 }
 
 /// Fits `cost ≈ coeff · n^exponent` by linear regression in log–log
-/// space, using only points with `n > 0` and `cost > 0`.
+/// space, using only points with finite `n > 0` and `cost > 0` (so zero
+/// sizes can never feed `ln(0) = -∞` into the regression).
 ///
 /// Returns `None` with fewer than three usable points or a degenerate
-/// predictor.
+/// predictor (all usable sizes equal).
 pub fn fit_power_law(points: &[(f64, f64)]) -> Option<PowerFit> {
     let logs: Vec<(f64, f64)> = points
         .iter()
-        .filter(|&&(n, c)| n > 0.0 && c > 0.0)
+        .filter(|&&(n, c)| n > 0.0 && c > 0.0 && n.is_finite() && c.is_finite())
         .map(|&(n, c)| (n.ln(), c.ln()))
         .collect();
     let m = logs.len();
@@ -219,6 +241,65 @@ mod tests {
         assert!(fit_model(&[(1.0, 1.0)], Model::Linear).is_none());
         assert!(fit_power_law(&[(1.0, 1.0), (2.0, 2.0)]).is_none());
         assert!(best_fit(&[]).is_none());
+    }
+
+    #[test]
+    fn best_fit_under_three_points_is_none() {
+        assert!(best_fit(&[(1.0, 1.0)]).is_none());
+        assert!(best_fit(&[(1.0, 1.0), (2.0, 4.0)]).is_none());
+        // Three points is the minimum that can be fitted.
+        assert!(best_fit(&[(1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]).is_some());
+    }
+
+    #[test]
+    fn best_fit_all_equal_sizes_is_none() {
+        // Many points at one size carry no scaling information.
+        let pts = vec![(7.0, 1.0), (7.0, 2.0), (7.0, 3.0), (7.0, 4.0)];
+        assert!(best_fit(&pts).is_none());
+    }
+
+    #[test]
+    fn power_law_all_equal_sizes_is_none() {
+        let pts = vec![(7.0, 1.0), (7.0, 2.0), (7.0, 3.0), (7.0, 4.0)];
+        assert!(fit_power_law(&pts).is_none());
+    }
+
+    #[test]
+    fn power_law_all_zero_sizes_is_none() {
+        // Every point is filtered out by the n > 0 guard; no ln(0).
+        let pts = vec![(0.0, 1.0), (0.0, 2.0), (0.0, 3.0)];
+        assert!(fit_power_law(&pts).is_none());
+    }
+
+    #[test]
+    fn zero_sizes_never_leak_nan_or_infinity() {
+        // A sweep that starts at size 0 still fits, and every reported
+        // statistic stays finite (the log bases clamp at n = 1).
+        let mut pts = series(|n| 2.0 * n + 1.0, 0, 20);
+        pts.insert(0, (0.0, 1.0));
+        for fit in fit_all(&pts) {
+            assert!(fit.coeff.is_finite(), "{:?} coeff", fit.model);
+            assert!(fit.intercept.is_finite(), "{:?} intercept", fit.model);
+            assert!(fit.r2.is_finite(), "{:?} r2", fit.model);
+            assert!(fit.rmse.is_finite(), "{:?} rmse", fit.model);
+            assert!(fit.bic.is_finite(), "{:?} bic", fit.model);
+        }
+        let best = best_fit(&pts).expect("fits");
+        assert!(best.coeff.is_finite() && best.intercept.is_finite());
+        if let Some(p) = fit_power_law(&pts) {
+            assert!(p.coeff.is_finite() && p.exponent.is_finite());
+        }
+    }
+
+    #[test]
+    fn non_finite_points_are_rejected() {
+        let pts = vec![(1.0, 1.0), (2.0, f64::NAN), (3.0, 3.0)];
+        assert!(fit_model(&pts, Model::Linear).is_none());
+        assert!(best_fit(&pts).is_none());
+        let pts = vec![(1.0, 1.0), (f64::INFINITY, 2.0), (3.0, 3.0), (4.0, 4.0)];
+        assert!(fit_model(&pts, Model::Linear).is_none());
+        // Power law drops the infinite point and fits the rest.
+        assert!(fit_power_law(&pts).is_some());
     }
 
     #[test]

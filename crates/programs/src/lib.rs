@@ -12,7 +12,8 @@ pub use algorithms::{
 };
 pub use casestudy::catalog_program;
 pub use listings::{
-    array_list_program, functional_sort_program, insertion_sort_program, GrowthPolicy,
-    SortWorkload, GUEST_RANDOM, LISTING1_LIST, LISTING3, LISTING4, LISTING5,
+    array_list_program, functional_sort_program, insertion_sort_program, sized_array_list_program,
+    sized_insertion_sort_program, GrowthPolicy, SortWorkload, GUEST_RANDOM, LISTING1_LIST,
+    LISTING3, LISTING4, LISTING5,
 };
 pub use table1::{table1_programs, Grouping, Table1Outcome, Table1Program};

@@ -342,6 +342,110 @@ class Item {{
     )
 }
 
+/// The sweep-engine variant of [`array_list_program`]: instead of a
+/// baked-in size loop, `main` reads **one size from `readInput()`** and
+/// appends that many elements. `algoprof sweep` serves the swept size as
+/// the first input value, so one execution covers exactly one size and
+/// the ⟨size, cost⟩ points come from merging runs.
+pub fn sized_array_list_program(policy: GrowthPolicy) -> String {
+    let grow = match policy {
+        GrowthPolicy::ByOne => "Object[] newArray = new Object[array.length + 1];",
+        GrowthPolicy::Doubling => "Object[] newArray = new Object[array.length * 2];",
+    };
+    format!(
+        r#"
+class Main {{
+    static int main() {{
+        int size = readInput();
+        ArrayList list = new ArrayList();
+        for (int i = 0; i < size; i = i + 1) {{
+            list.append(new Item(i));
+        }}
+        return list.size;
+    }}
+}}
+
+class ArrayList {{
+    Object[] array;
+    int size;
+
+    ArrayList() {{
+        array = new Object[1];
+        size = 0;
+    }}
+
+    void append(Object value) {{
+        growIfFull();
+        array[size] = value;
+        size = size + 1;
+    }}
+
+    void growIfFull() {{
+        if (size == array.length) {{
+            {grow}
+            for (int i = 0; i < array.length; i = i + 1) {{
+                newArray[i] = array[i];
+            }}
+            array = newArray;
+        }}
+    }}
+}}
+
+class Item {{
+    int v;
+    Item(int v) {{ this.v = v; }}
+}}
+"#
+    )
+}
+
+/// The sweep-engine variant of [`insertion_sort_program`]: `main` reads
+/// one list size from `readInput()`, constructs a single list of that
+/// size, and sorts it once.
+pub fn sized_insertion_sort_program(workload: SortWorkload) -> String {
+    let construct = match workload {
+        SortWorkload::Random => {
+            "Random r = new Random(size + 7);
+            for (int i = 0; i < size; i = i + 1) {
+                list.append(r.nextInt(size));
+            }"
+        }
+        SortWorkload::Sorted => {
+            "for (int i = 0; i < size; i = i + 1) {
+                list.append(i);
+            }"
+        }
+        SortWorkload::Reversed => {
+            "for (int i = 0; i < size; i = i + 1) {
+                list.append(size - i);
+            }"
+        }
+    };
+    format!(
+        r#"
+class Main {{
+    static int main() {{
+        int size = readInput();
+        List list = new List();
+        constructList(list, size);
+        sort(list);
+        return 0;
+    }}
+
+    static void constructList(List list, int size) {{
+        {construct}
+    }}
+
+    static void sort(List list) {{
+        list.sort();
+    }}
+}}
+{LISTING1_LIST}
+{GUEST_RANDOM}
+"#
+    )
+}
+
 /// Listing 3: the triangular loop nest used to explain cost combination
 /// (outer 3 iterations + inner 0+1+2 = 6 algorithmic steps).
 pub const LISTING3: &str = r#"
@@ -434,6 +538,34 @@ mod tests {
             .with_fuel(200_000_000)
             .run(&mut NoopProfiler)
             .expect("runs");
+    }
+
+    /// Runs a sweep-corpus program with its size served via `readInput`.
+    fn runs_sized(src: &str, size: i64) {
+        let p = compile(src).expect("compiles");
+        Interp::new(&p)
+            .with_input(vec![size])
+            .with_fuel(200_000_000)
+            .run(&mut NoopProfiler)
+            .expect("runs");
+    }
+
+    #[test]
+    fn sized_array_list_programs_compile_and_run() {
+        for policy in [GrowthPolicy::ByOne, GrowthPolicy::Doubling] {
+            runs_sized(&sized_array_list_program(policy), 33);
+        }
+    }
+
+    #[test]
+    fn sized_insertion_sort_programs_compile_and_run() {
+        for w in [
+            SortWorkload::Random,
+            SortWorkload::Sorted,
+            SortWorkload::Reversed,
+        ] {
+            runs_sized(&sized_insertion_sort_program(w), 24);
+        }
     }
 
     #[test]

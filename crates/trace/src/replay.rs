@@ -28,11 +28,27 @@ use crate::format::{
 };
 use crate::wire::Cursor;
 
+/// Upper bound on a replayed array allocation's length. A corrupted
+/// varint can claim an arbitrarily large length; without this cap the
+/// shadow heap would try to reserve it and abort the process instead of
+/// reporting [`TraceError::Corrupt`]. Recordings of real guest runs sit
+/// far below the cap (the interpreter would have spent hours building
+/// such an array before the allocation event was even written).
+pub const MAX_REPLAY_ARRAY_LEN: usize = 1 << 24;
+
 /// Accounting for one replay pass.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ReplayStats {
     /// Events decoded (the `End` tag not included).
     pub events: u64,
+}
+
+/// One open repetition frame during replay, used to validate that the
+/// event stream is balanced (see [`TraceReplayer::replay`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Frame {
+    Loop(LoopId),
+    Method(FuncId),
 }
 
 /// Replays a trace's event stream, maintaining the shadow heap.
@@ -72,8 +88,13 @@ impl TraceReplayer {
     /// # Errors
     ///
     /// Returns [`TraceError`] when the stream is truncated (no `End`
-    /// tag), contains an unknown tag, or references an id that does not
-    /// exist in `program` or the shadow heap.
+    /// tag), contains an unknown tag, references an id that does not
+    /// exist in `program` or the shadow heap, or is unbalanced (a
+    /// loop/method exit without its matching entry, a back edge outside
+    /// its loop, or an `End` tag with repetitions still open). The live
+    /// interpreter can only emit balanced streams, so an unbalanced one
+    /// is corruption — and forwarding it would violate the invariants
+    /// profiler sinks are entitled to assume.
     pub fn replay<S: ProfilerHooks>(
         &mut self,
         program: &CompiledProgram,
@@ -84,6 +105,7 @@ impl TraceReplayer {
         self.last_obj = -1;
         self.last_arr = -1;
         let mut stats = ReplayStats::default();
+        let mut frames: Vec<Frame> = Vec::new();
         let mut c = Cursor::new(events);
         loop {
             match c.u8()? {
@@ -94,26 +116,52 @@ impl TraceReplayer {
                             events.len() - c.pos()
                         )));
                     }
+                    if !frames.is_empty() {
+                        return Err(TraceError::Corrupt(format!(
+                            "End tag with {} repetitions still open",
+                            frames.len()
+                        )));
+                    }
                     return Ok(stats);
                 }
                 TAG_METHOD_ENTRY => {
                     let f = self.func_id(&mut c, program)?;
+                    frames.push(Frame::Method(f));
                     sink.on_method_entry(f, program, &self.heap);
                 }
                 TAG_METHOD_EXIT => {
                     let f = self.func_id(&mut c, program)?;
+                    if frames.pop() != Some(Frame::Method(f)) {
+                        return Err(TraceError::Corrupt(format!(
+                            "method exit for function {} without matching entry",
+                            f.0
+                        )));
+                    }
                     sink.on_method_exit(f, program, &self.heap);
                 }
                 TAG_LOOP_ENTRY => {
                     let l = self.loop_id(&mut c, program)?;
+                    frames.push(Frame::Loop(l));
                     sink.on_loop_entry(l, program, &self.heap);
                 }
                 TAG_LOOP_BACK_EDGE => {
                     let l = self.loop_id(&mut c, program)?;
+                    if frames.last() != Some(&Frame::Loop(l)) {
+                        return Err(TraceError::Corrupt(format!(
+                            "back edge for loop {} which is not the innermost open repetition",
+                            l.0
+                        )));
+                    }
                     sink.on_loop_back_edge(l, program, &self.heap);
                 }
                 TAG_LOOP_EXIT => {
                     let l = self.loop_id(&mut c, program)?;
+                    if frames.pop() != Some(Frame::Loop(l)) {
+                        return Err(TraceError::Corrupt(format!(
+                            "loop exit for loop {} without matching entry",
+                            l.0
+                        )));
+                    }
                     sink.on_loop_exit(l, program, &self.heap);
                 }
                 TAG_FIELD_GET => {
@@ -149,7 +197,13 @@ impl TraceReplayer {
                         2 => ElemKind::Ref,
                         b => return Err(TraceError::Corrupt(format!("element kind {b}"))),
                     };
-                    let len = c.uleb()? as usize;
+                    let len = c.uleb()?;
+                    if len > MAX_REPLAY_ARRAY_LEN as u64 {
+                        return Err(TraceError::Corrupt(format!(
+                            "array length {len} exceeds replay cap {MAX_REPLAY_ARRAY_LEN}"
+                        )));
+                    }
+                    let len = len as usize;
                     let arr = self.heap.alloc_array(elem, len);
                     self.last_arr = i64::from(arr.0);
                     sink.on_array_allocated(arr, elem, len, program, &self.heap);
@@ -159,6 +213,14 @@ impl TraceReplayer {
                     let f = self.field_id(&mut c, program)?;
                     let value = self.value(&mut c)?;
                     let slot = program.field(f).slot as usize;
+                    // A flipped field id can name a field of a *different*
+                    // class whose slot lies beyond this object's layout.
+                    if slot >= self.heap.object(obj).fields.len() {
+                        return Err(TraceError::Corrupt(format!(
+                            "field slot {slot} outside object with {} fields",
+                            self.heap.object(obj).fields.len()
+                        )));
+                    }
                     self.heap.set_field(obj, slot, value);
                     sink.on_field_written(obj, f, value, program, &self.heap);
                     if program.field(f).track_access {

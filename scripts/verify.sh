@@ -20,4 +20,14 @@ echo "==> trace differential corpus (record/replay fidelity, release)"
 cargo test --release -q --test trace_roundtrip
 cargo test --release -q -p algoprof-trace
 
+echo "==> sweep smoke (parallel batch profiling, determinism across -j)"
+sweep_out="$(mktemp -d)"
+trap 'rm -rf "$sweep_out"' EXIT
+./target/release/algoprof sweep examples/sized_arraylist.jay \
+    --sizes 8,16,32,64 -j 1 --quiet --json "$sweep_out/j1.json" > "$sweep_out/j1.txt"
+./target/release/algoprof sweep examples/sized_arraylist.jay \
+    --sizes 8,16,32,64 -j 2 --quiet --json "$sweep_out/j2.json" > "$sweep_out/j2.txt"
+cmp "$sweep_out/j1.json" "$sweep_out/j2.json"
+cmp "$sweep_out/j1.txt" "$sweep_out/j2.txt"
+
 echo "verify: OK"

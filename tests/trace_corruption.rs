@@ -1,0 +1,83 @@
+//! Adversarial decoding: a damaged APTR stream must always surface
+//! `ProfileError::Trace` (or, when the damage lands in the embedded
+//! source, a compile/runtime error) — never a panic, an abort, or an
+//! unbounded loop.
+//!
+//! Two damage models over a real fig5 recording (the array-backed list
+//! of Listing 6): every strict prefix of the byte stream, and a
+//! single-byte corruption at every offset under several flip patterns.
+
+use algoprof::{profile_trace, ProfileError};
+use algoprof_programs::{array_list_program, GrowthPolicy};
+use algoprof_trace::read_header;
+
+fn fig5_recording() -> Vec<u8> {
+    let src = array_list_program(GrowthPolicy::ByOne, 17, 8, 1);
+    algoprof::record_source(&src).expect("records")
+}
+
+#[test]
+fn every_prefix_is_a_trace_error() {
+    let trace = fig5_recording();
+    for cut in 0..trace.len() {
+        match profile_trace(&trace[..cut]) {
+            Err(ProfileError::Trace(_)) => {}
+            Err(other) => panic!("prefix of {cut} bytes gave non-trace error: {other}"),
+            Ok(_) => panic!("prefix of {cut} bytes decoded successfully"),
+        }
+    }
+    // The full recording still replays.
+    profile_trace(&trace).expect("intact trace replays");
+}
+
+#[test]
+fn single_byte_flips_never_panic() {
+    let trace = fig5_recording();
+    let (_, events) = read_header(&trace).expect("intact header");
+    let header_len = trace.len() - events.len();
+    let mut outcomes = [0usize; 3]; // [ok, trace error, other error]
+    for pos in 0..trace.len() {
+        for mask in [0x01u8, 0x80, 0xff] {
+            let mut bad = trace.clone();
+            bad[pos] ^= mask;
+            // Must return, not panic: the test binary itself would die
+            // on a panic, an OOM abort, or a hang.
+            match profile_trace(&bad) {
+                Ok(_) => outcomes[0] += 1,
+                Err(ProfileError::Trace(_)) => outcomes[1] += 1,
+                Err(_) => outcomes[2] += 1,
+            }
+        }
+    }
+    // Flips inside the event stream can only be accepted or rejected as
+    // trace errors; compile/runtime errors require damaging the header's
+    // embedded source.
+    assert!(outcomes[1] > 0, "no flip was detected as corruption");
+    let _ = header_len;
+}
+
+#[test]
+fn event_stream_flips_error_or_replay_consistently() {
+    // Focused variant: corrupt only event-stream bytes and require that
+    // the result is either a clean replay (the flip happened to produce
+    // another valid stream) or ProfileError::Trace — the source is
+    // intact, so compile errors are impossible.
+    let trace = fig5_recording();
+    let (_, events) = read_header(&trace).expect("intact header");
+    let start = trace.len() - events.len();
+    for pos in start..trace.len() {
+        let mut bad = trace.clone();
+        bad[pos] ^= 0x2a;
+        match profile_trace(&bad) {
+            Ok(_) | Err(ProfileError::Trace(_)) => {}
+            Err(other) => panic!("event-stream flip at {pos} gave {other}"),
+        }
+    }
+}
+
+#[test]
+fn truncated_and_empty_inputs_error() {
+    for bytes in [&b""[..], &b"A"[..], &b"APTR"[..], &b"APT"[..]] {
+        assert!(matches!(profile_trace(bytes), Err(ProfileError::Trace(_))));
+    }
+}
