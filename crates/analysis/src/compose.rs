@@ -1,0 +1,257 @@
+//! Composition of loop bounds over the static repetition structure.
+//!
+//! [`bounds`](crate::bounds) classifies each loop in isolation; this
+//! module multiplies those bounds out over the loop forest and the call
+//! graph to predict, for every *repetition* (loop or recursion) the
+//! dynamic profiler can report, an asymptotic class comparable to the
+//! empirically fitted one:
+//!
+//! * a loop's predicted class is `bound ⊗ body`, where the body class is
+//!   the max over nested loops and the cost of every function called
+//!   from the loop (so a linear loop calling a linear `append` predicts
+//!   O(n²) — matching the dynamic profiler, which folds the costs of
+//!   grouped member repetitions into the root algorithm's data points);
+//! * a function's cost-per-call is the max over its straight-line calls
+//!   and top-level loop subtrees, with virtual sites resolved by the
+//!   same class-hierarchy analysis recursion detection uses;
+//! * recursive functions get a depth multiplier: linear depth for a
+//!   single self-similar call site, exponential for branching recursion
+//!   (two or more sites, or a recursive call inside a loop).
+//!
+//! Predicted names match the dynamic profile exactly: loops are named by
+//! the instrumented program's `LoopInfo` (`Class.method:loopN@Lline`,
+//! same pre-order ordinals), recursions `"{function} (recursion)"`.
+
+use std::collections::HashMap;
+
+use algoprof_fit::ComplexityClass;
+use algoprof_vm::bytecode::CompiledProgram;
+use algoprof_vm::callgraph::{cha_targets, CallGraph};
+
+use crate::bounds::{CallSite, FunctionSummary};
+
+/// What kind of repetition a prediction is about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredictionKind {
+    /// A natural loop.
+    Loop,
+    /// A recursive function (the profiler's recursion repetition node).
+    Recursion,
+}
+
+/// A statically predicted asymptotic class for one repetition.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Name matching the dynamic profile's repetition node
+    /// (`Class.method:loopN@Lline` or `Func (recursion)`).
+    pub name: String,
+    /// Predicted asymptotic class of the repetition's total cost.
+    pub class: ComplexityClass,
+    /// Loop or recursion.
+    pub kind: PredictionKind,
+    /// Enclosing (or recursive) function.
+    pub function: String,
+    /// Source line of the loop header / function declaration.
+    pub line: u32,
+    /// Human-readable derivation, e.g.
+    /// `bound linear in input length × body O(n)`.
+    pub detail: String,
+}
+
+/// Composes per-function summaries into predictions.
+pub struct Composer<'a> {
+    summaries: &'a [FunctionSummary],
+    program: &'a CompiledProgram,
+    callgraph: &'a CallGraph,
+    memo: Vec<Option<ComplexityClass>>,
+    in_progress: Vec<bool>,
+}
+
+impl<'a> Composer<'a> {
+    /// `program` must be the instrumented form (its `loops` table names
+    /// the repetitions); `summaries` must be indexed by `FuncId`.
+    pub fn new(
+        summaries: &'a [FunctionSummary],
+        program: &'a CompiledProgram,
+        callgraph: &'a CallGraph,
+    ) -> Composer<'a> {
+        let n = summaries.len();
+        Composer {
+            summaries,
+            program,
+            callgraph,
+            memo: vec![None; n],
+            in_progress: vec![false; n],
+        }
+    }
+
+    /// Predicts a class for every repetition in the program,
+    /// deterministically ordered (function table order, then loop
+    /// pre-order, with each function's recursion node first).
+    pub fn predictions(mut self) -> Vec<Prediction> {
+        // Loop names from the instrumented program, keyed by
+        // (function index, pre-order ordinal).
+        let mut names: HashMap<(u32, u32), &str> = HashMap::new();
+        for info in &self.program.loops {
+            names.insert((info.func.0, info.ordinal), info.name.as_str());
+        }
+
+        let mut out = Vec::new();
+        for f in 0..self.summaries.len() {
+            let summary = &self.summaries[f];
+            if self.callgraph.potentially_recursive[f] {
+                let class = self.cost(f);
+                out.push(Prediction {
+                    name: format!("{} (recursion)", summary.name),
+                    class,
+                    kind: PredictionKind::Recursion,
+                    function: summary.name.clone(),
+                    line: summary.line,
+                    detail: format!(
+                        "{} recursion depth × per-level work",
+                        match self.recursion_multiplier(f) {
+                            ComplexityClass::Exponential => "branching",
+                            _ => "linear",
+                        }
+                    ),
+                });
+            }
+            for l in 0..summary.loops.len() {
+                let lp = &summary.loops[l];
+                let body = self.loop_body_class(f, l);
+                let class = lp.bound.class().nest(body);
+                let name = names
+                    .get(&(summary.func.0, lp.ordinal))
+                    .map(|s| s.to_string())
+                    .unwrap_or_else(|| format!("{}:loop{}@L{}", summary.name, lp.ordinal, lp.line));
+                out.push(Prediction {
+                    name,
+                    class,
+                    kind: PredictionKind::Loop,
+                    function: summary.name.clone(),
+                    line: lp.line,
+                    detail: format!("bound {} × body {}", lp.bound.describe(), body.big_o()),
+                });
+            }
+        }
+        out
+    }
+
+    /// Cost-per-invocation class of function `f`, recursion multiplier
+    /// included. Cycles are cut by treating in-progress callees as O(1);
+    /// the multiplier applied at each SCC member restores the recursive
+    /// blow-up (over-approximating for mutual recursion).
+    pub fn cost(&mut self, f: usize) -> ComplexityClass {
+        if let Some(c) = self.memo[f] {
+            return c;
+        }
+        if self.in_progress[f] {
+            return ComplexityClass::Constant;
+        }
+        self.in_progress[f] = true;
+
+        let summary = &self.summaries[f];
+        let mut per_level = ComplexityClass::Constant;
+        let top_calls: Vec<CallSite> = summary.top_calls.clone();
+        let top_loops: Vec<usize> = summary
+            .loops
+            .iter()
+            .enumerate()
+            .filter(|(_, lp)| lp.parent.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        for site in top_calls {
+            let c = self.call_cost(site);
+            per_level = per_level.seq(c);
+        }
+        for l in top_loops {
+            let body = self.loop_body_class(f, l);
+            let c = self.summaries[f].loops[l].bound.class().nest(body);
+            per_level = per_level.seq(c);
+        }
+
+        let total = if self.callgraph.potentially_recursive[f] {
+            self.recursion_multiplier(f).nest(per_level)
+        } else {
+            per_level
+        };
+
+        self.in_progress[f] = false;
+        self.memo[f] = Some(total);
+        total
+    }
+
+    /// The class of one execution of loop `l`'s body in function `f`:
+    /// max over called functions and nested loop subtrees.
+    fn loop_body_class(&mut self, f: usize, l: usize) -> ComplexityClass {
+        let lp = &self.summaries[f].loops[l];
+        let calls: Vec<CallSite> = lp.calls.clone();
+        let children: Vec<usize> = lp.children.clone();
+        let mut body = ComplexityClass::Constant;
+        for site in calls {
+            body = body.seq(self.call_cost(site));
+        }
+        for c in children {
+            let child = &self.summaries[f].loops[c];
+            let child_bound = child.bound;
+            let child_body = self.loop_body_class(f, c);
+            body = body.seq(child_bound.class().nest(child_body));
+        }
+        body
+    }
+
+    /// The worst-case cost of one call through `site`.
+    fn call_cost(&mut self, site: CallSite) -> ComplexityClass {
+        if site.virtual_dispatch {
+            let targets = cha_targets(self.program, site.callee);
+            let mut worst = ComplexityClass::Constant;
+            for t in targets {
+                worst = worst.seq(self.cost(t.index()));
+            }
+            worst
+        } else {
+            self.cost(site.callee.index())
+        }
+    }
+
+    /// Depth multiplier for a recursive function: linear for one
+    /// straight-line self-similar site, exponential for branching
+    /// recursion or a recursive call issued from inside a loop.
+    fn recursion_multiplier(&self, f: usize) -> ComplexityClass {
+        let my_scc = self.callgraph.scc[f];
+        let summary = &self.summaries[f];
+        let is_recursive_site = |site: &CallSite| -> bool {
+            if site.virtual_dispatch {
+                cha_targets(self.program, site.callee)
+                    .iter()
+                    .any(|t| self.callgraph.scc[t.index()] == my_scc)
+            } else {
+                self.callgraph.scc[site.callee.index()] == my_scc
+            }
+        };
+        let straight: usize = summary
+            .top_calls
+            .iter()
+            .filter(|s| is_recursive_site(s))
+            .count();
+        let in_loop: usize = summary
+            .loops
+            .iter()
+            .flat_map(|l| l.calls.iter())
+            .filter(|s| is_recursive_site(s))
+            .count();
+        if in_loop > 0 || straight >= 2 {
+            ComplexityClass::Exponential
+        } else {
+            ComplexityClass::Linear
+        }
+    }
+}
+
+/// A prediction lookup keyed by repetition name.
+pub fn prediction_map(predictions: &[Prediction]) -> HashMap<String, ComplexityClass> {
+    predictions
+        .iter()
+        .map(|p| (p.name.clone(), p.class))
+        .collect()
+}

@@ -1,0 +1,193 @@
+//! Span-carrying diagnostics for the static analyzer.
+//!
+//! Every finding the analyzer produces — lints and internal notes alike —
+//! is a [`Diagnostic`]: a severity [`Level`], a stable [`Code`] from the
+//! lint catalog, a [`Span`] locating the finding in the source, and a
+//! human-readable message. Codes are stable across releases so tooling
+//! (CI gates, editor integrations) can match on them.
+
+use std::fmt;
+
+/// Severity of a diagnostic.
+///
+/// Only `Error` findings make `algoprof lint` exit non-zero by default;
+/// `Warning` findings are advisory (promotable with `--strict`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Advisory: suspicious but not provably wrong.
+    Warning,
+    /// The program is provably broken (hangs, traps, or dead by
+    /// construction).
+    Error,
+}
+
+impl Level {
+    /// Lower-case name used in text and JSON output.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Warning => "warning",
+            Level::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Level {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable identifier of a lint in the catalog (see `docs/ANALYSIS.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// AP001: a loop makes no progress toward its exit condition.
+    NoProgress,
+    /// AP002: a recursive function recurses on every path (no base case).
+    NoBaseCase,
+    /// AP003: a statement is unreachable after a terminator.
+    Unreachable,
+    /// AP004: a local or field is written but never read.
+    WriteOnly,
+    /// AP005: a constant array index is provably out of bounds.
+    IndexOutOfBounds,
+    /// AP006: division (or remainder) by a value provably zero.
+    DivisionByZero,
+}
+
+impl Code {
+    /// The stable `APnnn` code string.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::NoProgress => "AP001",
+            Code::NoBaseCase => "AP002",
+            Code::Unreachable => "AP003",
+            Code::WriteOnly => "AP004",
+            Code::IndexOutOfBounds => "AP005",
+            Code::DivisionByZero => "AP006",
+        }
+    }
+
+    /// The default severity for this lint.
+    pub fn level(self) -> Level {
+        match self {
+            // A loop that cannot exit or a recursion that cannot stop is a
+            // guaranteed hang; a provably bad index or zero divisor is a
+            // guaranteed trap.
+            Code::NoProgress | Code::NoBaseCase | Code::IndexOutOfBounds | Code::DivisionByZero => {
+                Level::Error
+            }
+            // Dead or useless code is suspicious but runs fine.
+            Code::Unreachable | Code::WriteOnly => Level::Warning,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A source location: the enclosing function and the 1-based line.
+///
+/// The jay front end tracks lines (not columns) through the HIR, so spans
+/// are line-granular; the function name disambiguates same-numbered lines
+/// across inlined fixtures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Qualified name of the enclosing function (`Class.method`), or the
+    /// program itself for whole-program findings.
+    pub function: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (line {})", self.function, self.line)
+    }
+}
+
+/// One analyzer finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Severity.
+    pub level: Level,
+    /// Stable lint code.
+    pub code: Code,
+    /// Where the finding is anchored.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic at the lint's default severity.
+    pub fn new(code: Code, function: &str, line: u32, message: String) -> Diagnostic {
+        Diagnostic {
+            level: code.level(),
+            code,
+            span: Span {
+                function: function.to_string(),
+                line,
+            },
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}\n  --> {}:{}",
+            self.level, self.code, self.message, self.span.function, self.span.line
+        )
+    }
+}
+
+/// Sorts diagnostics into the canonical report order (line, then code,
+/// then function) and returns whether any is error-level.
+pub fn finalize(diags: &mut Vec<Diagnostic>) -> bool {
+    diags.sort_by(|a, b| {
+        (a.span.line, a.code, &a.span.function, &a.message).cmp(&(
+            b.span.line,
+            b.code,
+            &b.span.function,
+            &b.message,
+        ))
+    });
+    diags.dedup();
+    diags.iter().any(|d| d.level == Level::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_and_levels() {
+        assert_eq!(Code::NoProgress.as_str(), "AP001");
+        assert_eq!(Code::DivisionByZero.as_str(), "AP006");
+        assert_eq!(Code::NoProgress.level(), Level::Error);
+        assert_eq!(Code::WriteOnly.level(), Level::Warning);
+    }
+
+    #[test]
+    fn display_format() {
+        let d = Diagnostic::new(Code::Unreachable, "Main.main", 7, "dead code".into());
+        let s = d.to_string();
+        assert!(s.contains("warning[AP003]"));
+        assert!(s.contains("Main.main:7"));
+    }
+
+    #[test]
+    fn finalize_sorts_and_reports_errors() {
+        let mut ds = vec![
+            Diagnostic::new(Code::WriteOnly, "A.b", 9, "w".into()),
+            Diagnostic::new(Code::NoProgress, "A.a", 3, "e".into()),
+        ];
+        assert!(finalize(&mut ds));
+        assert_eq!(ds[0].span.line, 3);
+    }
+}

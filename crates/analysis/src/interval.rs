@@ -1,0 +1,205 @@
+//! A classic integer interval domain.
+//!
+//! Values are abstracted as closed intervals `[lo, hi]` over `i64`, with
+//! `i64::MIN`/`i64::MAX` standing in for ±∞. The domain supports the
+//! arithmetic the const-local evaluator needs (negation, addition,
+//! subtraction, multiplication and exact division), the lattice join, and
+//! the standard widening operator that jumps unstable bounds to ±∞ so
+//! fixpoint iteration terminates.
+//!
+//! All arithmetic saturates to the unbounded interval on overflow rather
+//! than wrapping — an abstract value must over-approximate, never wrap.
+
+/// A closed interval `[lo, hi]`; `lo > hi` never occurs (empty intervals
+/// are not representable — the analyzer only abstracts values that exist).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// Inclusive lower bound (`i64::MIN` = −∞).
+    pub lo: i64,
+    /// Inclusive upper bound (`i64::MAX` = +∞).
+    pub hi: i64,
+}
+
+// The arithmetic methods intentionally shadow the `std::ops` names:
+// they are interval-domain transfer functions (saturating to TOP on
+// overflow), not the value semantics operator sugar would suggest.
+#[allow(clippy::should_implement_trait)]
+impl Interval {
+    /// The unbounded interval ⊤ = [−∞, +∞].
+    pub const TOP: Interval = Interval {
+        lo: i64::MIN,
+        hi: i64::MAX,
+    };
+
+    /// The singleton interval `[k, k]`.
+    pub fn constant(k: i64) -> Interval {
+        Interval { lo: k, hi: k }
+    }
+
+    /// Builds `[lo, hi]`, normalizing a reversed pair.
+    pub fn new(lo: i64, hi: i64) -> Interval {
+        if lo <= hi {
+            Interval { lo, hi }
+        } else {
+            Interval { lo: hi, hi: lo }
+        }
+    }
+
+    /// The single value this interval holds, if it is a singleton.
+    pub fn as_constant(self) -> Option<i64> {
+        if self.lo == self.hi && self.lo != i64::MIN && self.lo != i64::MAX {
+            Some(self.lo)
+        } else {
+            None
+        }
+    }
+
+    /// Whether every value in the interval is zero.
+    pub fn is_zero(self) -> bool {
+        self.lo == 0 && self.hi == 0
+    }
+
+    /// Whether `v` may be in the interval.
+    pub fn contains(self, v: i64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Least upper bound of two intervals.
+    pub fn join(self, other: Interval) -> Interval {
+        Interval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    /// Standard interval widening: any bound that moved since `self`
+    /// jumps to ±∞, guaranteeing chains stabilize in two steps.
+    pub fn widen(self, next: Interval) -> Interval {
+        Interval {
+            lo: if next.lo < self.lo { i64::MIN } else { self.lo },
+            hi: if next.hi > self.hi { i64::MAX } else { self.hi },
+        }
+    }
+
+    /// Arithmetic negation.
+    pub fn neg(self) -> Interval {
+        match (self.hi.checked_neg(), self.lo.checked_neg()) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Interval addition (to ⊤ on overflow).
+    pub fn add(self, other: Interval) -> Interval {
+        match (self.lo.checked_add(other.lo), self.hi.checked_add(other.hi)) {
+            (Some(lo), Some(hi)) => Interval { lo, hi },
+            _ => Interval::TOP,
+        }
+    }
+
+    /// Interval subtraction (to ⊤ on overflow).
+    pub fn sub(self, other: Interval) -> Interval {
+        self.add(other.neg())
+    }
+
+    /// Interval multiplication (to ⊤ on overflow).
+    pub fn mul(self, other: Interval) -> Interval {
+        let products = [
+            self.lo.checked_mul(other.lo),
+            self.lo.checked_mul(other.hi),
+            self.hi.checked_mul(other.lo),
+            self.hi.checked_mul(other.hi),
+        ];
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for p in products {
+            match p {
+                Some(v) => {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                None => return Interval::TOP,
+            }
+        }
+        Interval { lo, hi }
+    }
+
+    /// Truncating division, defined only when the divisor cannot be zero.
+    pub fn div(self, other: Interval) -> Interval {
+        if other.contains(0) {
+            return Interval::TOP;
+        }
+        let quotients = [
+            self.lo.checked_div(other.lo),
+            self.lo.checked_div(other.hi),
+            self.hi.checked_div(other.lo),
+            self.hi.checked_div(other.hi),
+        ];
+        let mut lo = i64::MAX;
+        let mut hi = i64::MIN;
+        for q in quotients {
+            match q {
+                Some(v) => {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                }
+                None => return Interval::TOP,
+            }
+        }
+        Interval { lo, hi }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_predicates() {
+        let c = Interval::constant(7);
+        assert_eq!(c.as_constant(), Some(7));
+        assert!(c.contains(7));
+        assert!(!c.contains(8));
+        assert!(Interval::constant(0).is_zero());
+        assert!(!Interval::new(0, 1).is_zero());
+        assert_eq!(Interval::TOP.as_constant(), None);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Interval::new(1, 3);
+        let b = Interval::new(-2, 4);
+        assert_eq!(a.add(b), Interval::new(-1, 7));
+        assert_eq!(a.sub(b), Interval::new(-3, 5));
+        assert_eq!(a.mul(b), Interval::new(-6, 12));
+        assert_eq!(a.neg(), Interval::new(-3, -1));
+        assert_eq!(
+            Interval::new(10, 20).div(Interval::constant(2)),
+            Interval::new(5, 10)
+        );
+        assert_eq!(
+            Interval::new(10, 20).div(Interval::new(-1, 1)),
+            Interval::TOP
+        );
+    }
+
+    #[test]
+    fn overflow_saturates_to_top() {
+        let big = Interval::constant(i64::MAX);
+        assert_eq!(big.add(Interval::constant(1)), Interval::TOP);
+        assert_eq!(big.mul(Interval::constant(2)), Interval::TOP);
+    }
+
+    #[test]
+    fn join_and_widen() {
+        let a = Interval::new(0, 5);
+        let b = Interval::new(3, 9);
+        assert_eq!(a.join(b), Interval::new(0, 9));
+        // Growing upper bound widens to +∞; stable lower bound is kept.
+        let w = a.widen(Interval::new(0, 6));
+        assert_eq!(w.lo, 0);
+        assert_eq!(w.hi, i64::MAX);
+        // Stable interval is a fixpoint.
+        assert_eq!(a.widen(a), a);
+    }
+}

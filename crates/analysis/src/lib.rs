@@ -1,0 +1,238 @@
+//! Static algorithmic-complexity analysis and lints for **jay** programs.
+//!
+//! AlgoProf infers cost functions *empirically* — it runs the program and
+//! fits models to ⟨input size, cost⟩ points. This crate builds the static
+//! half of that story, in the spirit of the static resource-analysis
+//! literature the reproduction cites (López-García et al.'s parametric
+//! static profiling framework): an abstract interpretation over the typed
+//! HIR that
+//!
+//! 1. detects induction variables and classifies each loop's iteration
+//!    bound (constant / linear-in-local / linear-in-input-length /
+//!    logarithmic / unknown) via interval + monotonic-progress analysis
+//!    ([`bounds`]),
+//! 2. composes those bounds over the static repetition structure — the
+//!    loop forest plus recursion SCCs — into a predicted asymptotic class
+//!    per repetition ([`compose`]), named exactly like the dynamic
+//!    profiler's repetition nodes so predictions and empirical fits can
+//!    be cross-validated, and
+//! 3. hosts a span-carrying diagnostics framework ([`diag`]) with a
+//!    catalog of lints (AP001–AP006; [`bounds`] + [`lints`]).
+//!
+//! The predictions are intentionally *worst-case* and coarse (a lattice
+//! of big-O classes, not closed-form bounds): their purpose is to agree
+//! or disagree with an empirical fit, giving the dynamic profiler a
+//! correctness oracle and the static analysis a reality check — each
+//! side auditing the other.
+//!
+//! # Example
+//!
+//! ```
+//! use algoprof_analysis::analyze_source;
+//! use algoprof_fit::ComplexityClass;
+//!
+//! let src = r#"
+//!     class Main {
+//!         static int main() {
+//!             int n = readInput();
+//!             int s = 0;
+//!             for (int i = 0; i < n; i = i + 1) {
+//!                 for (int j = 0; j < n; j = j + 1) { s = s + 1; }
+//!             }
+//!             return s;
+//!         }
+//!     }
+//! "#;
+//! let analysis = analyze_source(src).expect("compiles");
+//! let outer = analysis
+//!     .predictions
+//!     .iter()
+//!     .find(|p| p.name.contains("loop0"))
+//!     .expect("outer loop predicted");
+//! assert_eq!(outer.class, ComplexityClass::Quadratic);
+//! ```
+
+pub mod bounds;
+pub mod compose;
+pub mod diag;
+pub mod interval;
+pub mod lints;
+pub mod report;
+
+use algoprof_vm::bytecode::CompiledProgram;
+use algoprof_vm::callgraph::CallGraph;
+use algoprof_vm::error::CompileError;
+use algoprof_vm::hir::HFunction;
+use algoprof_vm::{compile, parser::parse, typeck::check, InstrumentOptions};
+
+pub use bounds::{BoundKind, FunctionSummary, LoopSummary};
+pub use compose::{prediction_map, Composer, Prediction, PredictionKind};
+pub use diag::{Code, Diagnostic, Level, Span};
+pub use interval::Interval;
+pub use report::{render_json, render_text};
+
+/// The complete result of analyzing one program.
+#[derive(Debug, Clone)]
+pub struct Analysis {
+    /// Lint findings, in canonical order (line, code, function).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Predicted asymptotic class per repetition, in function-table /
+    /// pre-order.
+    pub predictions: Vec<Prediction>,
+    /// Whether any diagnostic is error-level.
+    pub has_errors: bool,
+}
+
+impl Analysis {
+    /// Looks up the prediction for a repetition by its dynamic name
+    /// (`Class.method:loopN@Lline` or `Func (recursion)`).
+    pub fn prediction(&self, name: &str) -> Option<&Prediction> {
+        self.predictions.iter().find(|p| p.name == name)
+    }
+}
+
+/// Analyzes jay source end to end: parse, type-check, then run the loop
+/// bound classifier, lint catalog, and cost composition.
+///
+/// The program is also compiled and instrumented (with default options)
+/// so predictions carry the exact repetition names the dynamic profiler
+/// reports.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic error; a program
+/// that does not compile cannot be analyzed.
+pub fn analyze_source(source: &str) -> Result<Analysis, CompileError> {
+    let ast = parse(source)?;
+    let typed = check(&ast)?;
+    let compiled = compile(source)?;
+    let instrumented = compiled.instrument(&InstrumentOptions::default());
+    Ok(analyze_program(&typed.bodies, &instrumented))
+}
+
+/// Analyzes already-lowered bodies against their instrumented program.
+///
+/// `bodies` and `instrumented` must come from the same source and
+/// compile options — loop pre-order ordinals in the HIR are matched
+/// positionally against the instrumented program's natural-loop
+/// ordinals.
+pub fn analyze_program(bodies: &[HFunction], instrumented: &CompiledProgram) -> Analysis {
+    let callgraph = CallGraph::build(instrumented);
+
+    let mut diagnostics = Vec::new();
+    let mut summaries = Vec::with_capacity(bodies.len());
+    for body in bodies {
+        let facts = bounds::Facts::collect(body);
+        let (summary, diags) = bounds::summarize_function(body, &facts);
+        summaries.push(summary);
+        diagnostics.extend(diags);
+    }
+    diagnostics.extend(lints::lint_program(bodies, instrumented, &callgraph));
+
+    let predictions = Composer::new(&summaries, instrumented, &callgraph).predictions();
+    let has_errors = diag::finalize(&mut diagnostics);
+    Analysis {
+        diagnostics,
+        predictions,
+        has_errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use algoprof_fit::ComplexityClass;
+
+    fn predict(src: &str, name_part: &str) -> ComplexityClass {
+        let a = analyze_source(src).expect("analyzes");
+        a.predictions
+            .iter()
+            .find(|p| p.name.contains(name_part))
+            .unwrap_or_else(|| panic!("no prediction matching {name_part}: {:?}", a.predictions))
+            .class
+    }
+
+    #[test]
+    fn quadratic_nest_is_predicted() {
+        let src = r#"class Main { static int main() {
+            int n = readInput();
+            int s = 0;
+            for (int i = 0; i < n; i = i + 1) {
+                for (int j = 0; j < n; j = j + 1) { s = s + 1; }
+            }
+            return s;
+        } }"#;
+        assert_eq!(predict(src, "loop0"), ComplexityClass::Quadratic);
+        assert_eq!(predict(src, "loop1"), ComplexityClass::Linear);
+    }
+
+    #[test]
+    fn linear_loop_calling_linear_helper_is_quadratic() {
+        let src = r#"class Main {
+            static int walk(int n) {
+                int s = 0;
+                for (int i = 0; i < n; i = i + 1) { s = s + 1; }
+                return s;
+            }
+            static int main() {
+                int n = readInput();
+                int s = 0;
+                for (int i = 0; i < n; i = i + 1) { s = s + Main.walk(n); }
+                return s;
+            }
+        }"#;
+        assert_eq!(predict(src, "Main.main:loop0"), ComplexityClass::Quadratic);
+    }
+
+    #[test]
+    fn single_recursion_is_linear_branching_is_exponential() {
+        let src = r#"class Main {
+            static int down(int n) {
+                if (n <= 0) { return 0; }
+                return Main.down(n - 1) + 1;
+            }
+            static int fib(int n) {
+                if (n < 2) { return n; }
+                return Main.fib(n - 1) + Main.fib(n - 2);
+            }
+            static int main() { return Main.down(readInput()) + Main.fib(5); }
+        }"#;
+        let a = analyze_source(src).expect("analyzes");
+        assert_eq!(
+            a.prediction("Main.down (recursion)").expect("down").class,
+            ComplexityClass::Linear
+        );
+        assert_eq!(
+            a.prediction("Main.fib (recursion)").expect("fib").class,
+            ComplexityClass::Exponential
+        );
+        // Well-formed recursion: no AP002.
+        assert!(a.diagnostics.is_empty(), "{:?}", a.diagnostics);
+    }
+
+    #[test]
+    fn prediction_names_match_instrumented_loop_names() {
+        let src = r#"class Main { static int main() {
+            int s = 0;
+            for (int i = 0; i < 5; i = i + 1) { s = s + 1; }
+            return s;
+        } }"#;
+        let a = analyze_source(src).expect("analyzes");
+        let instrumented = compile(src)
+            .expect("compiles")
+            .instrument(&InstrumentOptions::default());
+        let expected: Vec<String> = instrumented.loops.iter().map(|l| l.name.clone()).collect();
+        let got: Vec<String> = a
+            .predictions
+            .iter()
+            .filter(|p| p.kind == PredictionKind::Loop)
+            .map(|p| p.name.clone())
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn compile_errors_propagate() {
+        assert!(analyze_source("class Main { static int main() { return x; } }").is_err());
+    }
+}

@@ -1,0 +1,522 @@
+//! Statement-level lints: AP002–AP006.
+//!
+//! (AP001, *loop makes no progress*, lives with the bound classifier in
+//! [`crate::bounds`] — it shares the loop-effects walk.)
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use algoprof_vm::ast::BinOp;
+use algoprof_vm::bytecode::{CompiledProgram, FieldId};
+use algoprof_vm::callgraph::{cha_targets, CallGraph};
+use algoprof_vm::hir::{HExpr, HFunction, HStmt};
+
+use crate::bounds::{expr_line, for_each_child, stmt_line, Facts};
+use crate::diag::{Code, Diagnostic};
+
+/// Runs every statement-level lint over the program.
+pub fn lint_program(
+    bodies: &[HFunction],
+    compiled: &CompiledProgram,
+    callgraph: &CallGraph,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for func in bodies {
+        let facts = Facts::collect(func);
+        lint_no_base_case(func, compiled, callgraph, &mut diags);
+        lint_unreachable(func, &mut diags);
+        lint_write_only_locals(func, &facts, &mut diags);
+        lint_const_traps(func, &facts, &mut diags);
+    }
+    lint_write_only_fields(bodies, compiled, &mut diags);
+    diags
+}
+
+// ---------------------------------------------------------------------------
+// AP002: recursion with no base case
+// ---------------------------------------------------------------------------
+
+/// Outcome of symbolically executing a statement list for AP002.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Path {
+    /// Every path through the list reaches a recursive call (line of the
+    /// first witness).
+    Recurses(u32),
+    /// Some path leaves the function without recursing — a base case.
+    Exits,
+    /// Control may fall through to the statements that follow.
+    Falls,
+}
+
+fn lint_no_base_case(
+    func: &HFunction,
+    compiled: &CompiledProgram,
+    callgraph: &CallGraph,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let f = func.id.index();
+    if !callgraph.potentially_recursive[f] {
+        return;
+    }
+    let my_scc = callgraph.scc[f];
+    let is_rec = |e: &HExpr| -> bool {
+        let (callee, virt) = match e {
+            HExpr::CallStatic { func, .. } | HExpr::CallDirect { func, .. } => (*func, false),
+            HExpr::CallVirtual { func, .. } => (*func, true),
+            HExpr::NewObject { ctor: Some(c), .. } => (*c, false),
+            _ => return false,
+        };
+        if virt {
+            cha_targets(compiled, callee)
+                .iter()
+                .any(|t| callgraph.scc[t.index()] == my_scc)
+        } else {
+            callgraph.scc[callee.index()] == my_scc
+        }
+    };
+    if let Path::Recurses(line) = scan_stmts(&func.body, &is_rec) {
+        diags.push(Diagnostic::new(
+            Code::NoBaseCase,
+            &func.name,
+            line,
+            format!(
+                "'{}' recurses on every path: no base case can stop the recursion",
+                func.name
+            ),
+        ));
+    }
+}
+
+fn scan_stmts(stmts: &[HStmt], is_rec: &dyn Fn(&HExpr) -> bool) -> Path {
+    for stmt in stmts {
+        // A recursive call in a position that always evaluates settles it.
+        if let Some(line) = stmt_rec_call(stmt, is_rec) {
+            return Path::Recurses(line);
+        }
+        match stmt {
+            HStmt::Return { .. } | HStmt::Throw { .. } => return Path::Exits,
+            // Leaving the list via a loop jump: treat as an escaping
+            // path so the lint stays conservative inside loops.
+            HStmt::Break | HStmt::Continue => return Path::Exits,
+            HStmt::If { then, els, .. } => {
+                match (scan_stmts(then, is_rec), scan_stmts(els, is_rec)) {
+                    (Path::Recurses(l), Path::Recurses(_)) => return Path::Recurses(l),
+                    (Path::Exits, _) | (_, Path::Exits) => return Path::Exits,
+                    // At least one arm falls through: keep scanning.
+                    _ => {}
+                }
+            }
+            HStmt::Try { body, handler, .. } => {
+                match (scan_stmts(body, is_rec), scan_stmts(handler, is_rec)) {
+                    (Path::Recurses(l), Path::Recurses(_)) => return Path::Recurses(l),
+                    (Path::Exits, _) | (_, Path::Exits) => return Path::Exits,
+                    _ => {}
+                }
+            }
+            // A loop body may run zero times: only its condition (checked
+            // by `stmt_rec_call`) evaluates unconditionally.
+            _ => {}
+        }
+    }
+    Path::Falls
+}
+
+/// A recursive call in an always-evaluated position of `stmt`, if any.
+fn stmt_rec_call(stmt: &HStmt, is_rec: &dyn Fn(&HExpr) -> bool) -> Option<u32> {
+    let mut exprs: Vec<&HExpr> = Vec::new();
+    match stmt {
+        HStmt::Expr(e) => exprs.push(e),
+        HStmt::StoreLocal { value, .. } => exprs.push(value),
+        HStmt::StoreField { obj, value, .. } => {
+            exprs.push(obj);
+            exprs.push(value);
+        }
+        HStmt::StoreIndex {
+            arr, idx, value, ..
+        } => {
+            exprs.push(arr);
+            exprs.push(idx);
+            exprs.push(value);
+        }
+        // If and Loop conditions evaluate at least once.
+        HStmt::If { cond, .. } | HStmt::Loop { cond, .. } => exprs.push(cond),
+        HStmt::Return { value: Some(v), .. } => exprs.push(v),
+        HStmt::Throw { value, .. } => exprs.push(value),
+        HStmt::Return { value: None, .. } | HStmt::Break | HStmt::Continue | HStmt::Try { .. } => {}
+    }
+    exprs
+        .into_iter()
+        .find_map(|e| unconditional_rec_call(e, is_rec))
+}
+
+/// Searches `expr` for a recursive call, skipping short-circuited
+/// right-hand sides (which may never evaluate).
+fn unconditional_rec_call(expr: &HExpr, is_rec: &dyn Fn(&HExpr) -> bool) -> Option<u32> {
+    if is_rec(expr) {
+        return expr_line(expr);
+    }
+    match expr {
+        HExpr::Binary {
+            op: BinOp::And | BinOp::Or,
+            lhs,
+            ..
+        } => unconditional_rec_call(lhs, is_rec),
+        _ => {
+            let mut found = None;
+            for_each_child(expr, |c| {
+                if found.is_none() {
+                    found = unconditional_rec_call(c, is_rec);
+                }
+            });
+            found
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AP003: unreachable statement after a terminator
+// ---------------------------------------------------------------------------
+
+fn lint_unreachable(func: &HFunction, diags: &mut Vec<Diagnostic>) {
+    check_list(&func.body, func, diags);
+
+    fn check_list(stmts: &[HStmt], func: &HFunction, diags: &mut Vec<Diagnostic>) {
+        for (i, stmt) in stmts.iter().enumerate() {
+            // Recurse into live nested lists.
+            match stmt {
+                HStmt::If { then, els, .. } => {
+                    check_list(then, func, diags);
+                    check_list(els, func, diags);
+                }
+                HStmt::Loop { body, update, .. } => {
+                    check_list(body, func, diags);
+                    check_list(update, func, diags);
+                }
+                HStmt::Try { body, handler, .. } => {
+                    check_list(body, func, diags);
+                    check_list(handler, func, diags);
+                }
+                _ => {}
+            }
+            if terminates(stmt) {
+                if let Some(next) = stmts.get(i + 1) {
+                    let line = stmt_line(next)
+                        .or_else(|| stmt_line(stmt))
+                        .unwrap_or(func.line);
+                    diags.push(Diagnostic::new(
+                        Code::Unreachable,
+                        &func.name,
+                        line,
+                        format!(
+                            "unreachable statement: control never passes the preceding {}",
+                            terminator_name(stmt)
+                        ),
+                    ));
+                }
+                // Everything after the terminator is dead; one report per
+                // list is enough.
+                return;
+            }
+        }
+    }
+}
+
+/// Whether control can never flow past `stmt`.
+fn terminates(stmt: &HStmt) -> bool {
+    match stmt {
+        HStmt::Return { .. } | HStmt::Throw { .. } | HStmt::Break | HStmt::Continue => true,
+        HStmt::If { cond, then, els } => match cond {
+            HExpr::Bool(true) => list_terminates(then),
+            HExpr::Bool(false) => list_terminates(els),
+            _ => list_terminates(then) && list_terminates(els),
+        },
+        // `while (true)` without a break at its own level never falls
+        // through (it loops or leaves the whole function).
+        HStmt::Loop {
+            cond: HExpr::Bool(true),
+            body,
+            update,
+            ..
+        } => !has_direct_break(body) && !has_direct_break(update),
+        _ => false,
+    }
+}
+
+fn list_terminates(stmts: &[HStmt]) -> bool {
+    stmts.iter().any(terminates)
+}
+
+fn has_direct_break(stmts: &[HStmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        HStmt::Break => true,
+        HStmt::If { then, els, .. } => has_direct_break(then) || has_direct_break(els),
+        HStmt::Try { body, handler, .. } => has_direct_break(body) || has_direct_break(handler),
+        // A nested loop captures its own breaks.
+        _ => false,
+    })
+}
+
+fn terminator_name(stmt: &HStmt) -> &'static str {
+    match stmt {
+        HStmt::Return { .. } => "return",
+        HStmt::Throw { .. } => "throw",
+        HStmt::Break => "break",
+        HStmt::Continue => "continue",
+        HStmt::Loop { .. } => "infinite loop",
+        _ => "branch (both arms leave the block)",
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AP004: write-only locals and fields
+// ---------------------------------------------------------------------------
+
+fn lint_write_only_locals(func: &HFunction, facts: &Facts<'_>, diags: &mut Vec<Diagnostic>) {
+    for slot in facts.n_params..facts.stores.len() as u16 {
+        let stores = &facts.stores[slot as usize];
+        if stores.is_empty() || facts.reads[slot as usize] > 0 || facts.catch_slots.contains(&slot)
+        {
+            continue;
+        }
+        let line = stores
+            .iter()
+            .find_map(|v| expr_line(v))
+            .unwrap_or(func.line);
+        diags.push(Diagnostic::new(
+            Code::WriteOnly,
+            &func.name,
+            line,
+            format!(
+                "local variable (slot {slot}) in '{}' is written but never read",
+                func.name
+            ),
+        ));
+    }
+}
+
+fn lint_write_only_fields(
+    bodies: &[HFunction],
+    compiled: &CompiledProgram,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let mut written: BTreeMap<FieldId, (String, u32)> = BTreeMap::new();
+    let mut read: BTreeSet<FieldId> = BTreeSet::new();
+
+    fn visit_expr(e: &HExpr, read: &mut BTreeSet<FieldId>) {
+        if let HExpr::GetField { field, .. } = e {
+            read.insert(*field);
+        }
+        for_each_child(e, |c| visit_expr(c, read));
+    }
+    fn visit_stmts(
+        stmts: &[HStmt],
+        func: &HFunction,
+        written: &mut BTreeMap<FieldId, (String, u32)>,
+        read: &mut BTreeSet<FieldId>,
+    ) {
+        for s in stmts {
+            match s {
+                HStmt::Expr(e) => visit_expr(e, read),
+                HStmt::StoreLocal { value, .. } => visit_expr(value, read),
+                HStmt::StoreField {
+                    obj,
+                    field,
+                    value,
+                    line,
+                } => {
+                    written
+                        .entry(*field)
+                        .or_insert_with(|| (func.name.clone(), *line));
+                    visit_expr(obj, read);
+                    visit_expr(value, read);
+                }
+                HStmt::StoreIndex {
+                    arr, idx, value, ..
+                } => {
+                    visit_expr(arr, read);
+                    visit_expr(idx, read);
+                    visit_expr(value, read);
+                }
+                HStmt::If { cond, then, els } => {
+                    visit_expr(cond, read);
+                    visit_stmts(then, func, written, read);
+                    visit_stmts(els, func, written, read);
+                }
+                HStmt::Loop {
+                    cond, body, update, ..
+                } => {
+                    visit_expr(cond, read);
+                    visit_stmts(body, func, written, read);
+                    visit_stmts(update, func, written, read);
+                }
+                HStmt::Return { value, .. } => {
+                    if let Some(v) = value {
+                        visit_expr(v, read);
+                    }
+                }
+                HStmt::Break | HStmt::Continue => {}
+                HStmt::Throw { value, .. } => visit_expr(value, read),
+                HStmt::Try { body, handler, .. } => {
+                    visit_stmts(body, func, written, read);
+                    visit_stmts(handler, func, written, read);
+                }
+            }
+        }
+    }
+
+    for func in bodies {
+        visit_stmts(&func.body, func, &mut written, &mut read);
+    }
+    for (field, (func_name, line)) in written {
+        if read.contains(&field) {
+            continue;
+        }
+        let info = compiled.field(field);
+        let class = &compiled.class(info.class).name;
+        diags.push(Diagnostic::new(
+            Code::WriteOnly,
+            &func_name,
+            line,
+            format!("field '{class}.{}' is written but never read", info.name),
+        ));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// AP005 / AP006: provable traps (interval analysis)
+// ---------------------------------------------------------------------------
+
+fn lint_const_traps(func: &HFunction, facts: &Facts<'_>, diags: &mut Vec<Diagnostic>) {
+    // Arrays with a compile-time-known length: single-assignment locals
+    // initialized from `new T[k]` or an array literal.
+    let mut known_len: BTreeMap<u16, i64> = BTreeMap::new();
+    for (slot, stores) in facts.stores.iter().enumerate() {
+        if let [single] = stores.as_slice() {
+            match single {
+                HExpr::NewArray { len, .. } => {
+                    if let Some(k) = facts.const_eval(len).and_then(|i| i.as_constant()) {
+                        known_len.insert(slot as u16, k);
+                    }
+                }
+                HExpr::ArrayLit { elems, .. } => {
+                    known_len.insert(slot as u16, elems.len() as i64);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let mut check_expr = |e: &HExpr, diags: &mut Vec<Diagnostic>| match e {
+        HExpr::GetIndex { arr, idx, line } => {
+            check_index(arr, idx, *line, facts, &known_len, func, diags);
+        }
+        HExpr::Binary {
+            op: BinOp::Div | BinOp::Rem,
+            rhs,
+            line,
+            ..
+        } if facts.const_eval(rhs).is_some_and(|i| i.is_zero()) => {
+            diags.push(Diagnostic::new(
+                Code::DivisionByZero,
+                &func.name,
+                *line,
+                "division by a value that is provably zero".to_string(),
+            ));
+        }
+        _ => {}
+    };
+
+    fn walk_exprs(
+        e: &HExpr,
+        f: &mut dyn FnMut(&HExpr, &mut Vec<Diagnostic>),
+        d: &mut Vec<Diagnostic>,
+    ) {
+        f(e, d);
+        for_each_child(e, |c| walk_exprs(c, f, d));
+    }
+    fn walk(
+        stmts: &[HStmt],
+        f: &mut dyn FnMut(&HExpr, &mut Vec<Diagnostic>),
+        facts: &Facts<'_>,
+        known_len: &BTreeMap<u16, i64>,
+        func: &HFunction,
+        d: &mut Vec<Diagnostic>,
+    ) {
+        for s in stmts {
+            match s {
+                HStmt::Expr(e) => walk_exprs(e, f, d),
+                HStmt::StoreLocal { value, .. } => walk_exprs(value, f, d),
+                HStmt::StoreField { obj, value, .. } => {
+                    walk_exprs(obj, f, d);
+                    walk_exprs(value, f, d);
+                }
+                HStmt::StoreIndex {
+                    arr,
+                    idx,
+                    value,
+                    line,
+                } => {
+                    check_index(arr, idx, *line, facts, known_len, func, d);
+                    walk_exprs(arr, f, d);
+                    walk_exprs(idx, f, d);
+                    walk_exprs(value, f, d);
+                }
+                HStmt::If { cond, then, els } => {
+                    walk_exprs(cond, f, d);
+                    walk(then, f, facts, known_len, func, d);
+                    walk(els, f, facts, known_len, func, d);
+                }
+                HStmt::Loop {
+                    cond, body, update, ..
+                } => {
+                    walk_exprs(cond, f, d);
+                    walk(body, f, facts, known_len, func, d);
+                    walk(update, f, facts, known_len, func, d);
+                }
+                HStmt::Return { value, .. } => {
+                    if let Some(v) = value {
+                        walk_exprs(v, f, d);
+                    }
+                }
+                HStmt::Break | HStmt::Continue => {}
+                HStmt::Throw { value, .. } => walk_exprs(value, f, d),
+                HStmt::Try { body, handler, .. } => {
+                    walk(body, f, facts, known_len, func, d);
+                    walk(handler, f, facts, known_len, func, d);
+                }
+            }
+        }
+    }
+    walk(&func.body, &mut check_expr, facts, &known_len, func, diags);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_index(
+    arr: &HExpr,
+    idx: &HExpr,
+    line: u32,
+    facts: &Facts<'_>,
+    known_len: &BTreeMap<u16, i64>,
+    func: &HFunction,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let HExpr::Local(slot) = arr else { return };
+    let Some(&len) = known_len.get(slot) else {
+        return;
+    };
+    let Some(interval) = facts.const_eval(idx) else {
+        return;
+    };
+    // Provably out of bounds: the whole interval misses [0, len).
+    if interval.hi < 0 || interval.lo >= len {
+        let shown = match interval.as_constant() {
+            Some(k) => k.to_string(),
+            None => format!("[{}, {}]", interval.lo, interval.hi),
+        };
+        diags.push(Diagnostic::new(
+            Code::IndexOutOfBounds,
+            &func.name,
+            line,
+            format!("array index {shown} is provably out of bounds for length {len}"),
+        ));
+    }
+}

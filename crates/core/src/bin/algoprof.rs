@@ -5,6 +5,8 @@
 //! algoprof record <program.jay> -o <trace>  execute once, save the event trace
 //! algoprof analyze <trace> [OPTIONS]        profile a recording (no re-execution)
 //! algoprof sweep <program.jay> --sizes n,.. profile a whole input-size sweep
+//! algoprof lint <program.jay> [--json] [--strict]   static analysis + lints
+//! algoprof disasm <program.jay> [--cfg]     disassemble (or emit Graphviz CFG)
 //!
 //! OPTIONS:
 //!   --criterion <some|all|array|type>   snapshot equivalence criterion
@@ -14,6 +16,8 @@
 //!   --input <v1,v2,...>                 values for readInput() (live/record only)
 //!   --csv <root-name-needle>            print the steps CSV for one algorithm
 //!   --html <file.html>                  write a self-contained HTML report
+//!   --check                             cross-validate static predictions
+//!                                       against the dynamic fits
 //!
 //! SWEEP OPTIONS (in addition to --sizing/--snapshots/--grouping/--html):
 //!   --sizes <n1,n2,...>                 input sizes to sweep (required)
@@ -44,12 +48,14 @@ use algoprof_vm::InstrumentOptions;
 
 const USAGE: &str = "usage: algoprof [--criterion some|all|array|type] [--sizing capacity|unique] \
      [--snapshots firstlast|every] [--grouping input|indexflow|method] \
-     [--input v1,v2,...] [--csv <needle>] [--html <file.html>] <program.jay>\n\
+     [--input v1,v2,...] [--csv <needle>] [--html <file.html>] [--check] <program.jay>\n\
        algoprof record <program.jay> -o <trace.aptr> [--input v1,v2,...]\n\
-       algoprof analyze <trace.aptr> [analysis options as above]\n\
+       algoprof analyze <trace.aptr> [analysis options as above, plus --check]\n\
        algoprof sweep <program.jay> --sizes n1,n2,... [-j N] \
      [--criteria some,all,array,type] [--sizing ...] [--snapshots ...] [--grouping ...] \
-     [--json <file.json>] [--html <file.html>] [--quiet]";
+     [--json <file.json>] [--html <file.html>] [--quiet]\n\
+       algoprof lint <program.jay> [--json] [--strict]\n\
+       algoprof disasm <program.jay> [--cfg]";
 
 const USAGE_HINT: &str = "run `algoprof --help` for usage";
 
@@ -86,6 +92,8 @@ fn main() -> ExitCode {
         Some("record") => record_main(&args[1..]),
         Some("analyze") => analyze_main(&args[1..]),
         Some("sweep") => sweep_main(&args[1..]),
+        Some("lint") => lint_main(&args[1..]),
+        Some("disasm") => disasm_main(&args[1..]),
         Some(_) => live_main(&args),
     };
     match result {
@@ -186,6 +194,7 @@ struct AnalysisArgs {
     input: Vec<i64>,
     csv: Option<String>,
     html: Option<String>,
+    check: bool,
     positional: Vec<String>,
 }
 
@@ -224,6 +233,7 @@ fn parse_args(args: &[String]) -> Result<AnalysisArgs, CliError> {
                 out.html = Some(flag_value(args, i)?.to_owned());
                 i += 1;
             }
+            "--check" => out.check = true,
             other if other.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown option {other:?}")));
             }
@@ -277,7 +287,21 @@ fn live_main(args: &[String]) -> Result<(), CliError> {
         parsed.opts,
         &parsed.input,
     )?;
-    emit(&profile, parsed.csv, parsed.html)
+    emit(&profile, parsed.csv, parsed.html)?;
+    if parsed.check {
+        cross_validate(&profile, &source)?;
+    }
+    Ok(())
+}
+
+/// Cross-validates static complexity predictions against the profile's
+/// dynamic fits and prints the verdicts (informational — disagreement
+/// does not change the exit code; use `lint` for gating).
+fn cross_validate(profile: &AlgorithmicProfile, source: &str) -> Result<(), CliError> {
+    let checks =
+        algoprof::cross_validate(profile, source).map_err(|e| CliError::Run(e.to_string()))?;
+    print!("{}", algoprof::render_cross_checks(&checks));
+    Ok(())
 }
 
 /// `algoprof record <prog.jay> -o <trace>`: execute once, save the trace.
@@ -336,7 +360,96 @@ fn analyze_main(args: &[String]) -> Result<(), CliError> {
     let trace =
         std::fs::read(path).map_err(|e| CliError::from(ProfileError::io("read", path, &e)))?;
     let profile = algoprof::profile_trace_with(&trace, parsed.opts)?;
-    emit(&profile, parsed.csv, parsed.html)
+    emit(&profile, parsed.csv, parsed.html)?;
+    if parsed.check {
+        // The APTR header embeds the recorded source, so recordings are
+        // cross-validatable offline, without the original file.
+        let (header, _) =
+            algoprof_trace::read_header(&trace).map_err(|e| CliError::Run(e.to_string()))?;
+        cross_validate(&profile, &header.source)?;
+    }
+    Ok(())
+}
+
+/// `algoprof lint <prog.jay>`: static complexity analysis + lint catalog.
+/// Exits 1 when any error-level diagnostic fires (`--strict` promotes
+/// warnings to the same fate); warnings alone keep exit 0.
+fn lint_main(args: &[String]) -> Result<(), CliError> {
+    let mut json = false;
+    let mut strict = false;
+    let mut positional: Vec<String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--strict" => strict = true,
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!(
+                    "unknown option {other:?} for lint"
+                )));
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    let [path] = positional.as_slice() else {
+        return Err(CliError::Usage(
+            "lint expects exactly one program file".into(),
+        ));
+    };
+    let source = read_file(path)?;
+    let analysis =
+        algoprof_analysis::analyze_source(&source).map_err(|e| CliError::Run(e.to_string()))?;
+    if json {
+        print!("{}", algoprof_analysis::render_json(&analysis, path));
+    } else {
+        print!("{}", algoprof_analysis::render_text(&analysis, path));
+    }
+    let gate = analysis.has_errors || (strict && !analysis.diagnostics.is_empty());
+    if gate {
+        let errors = analysis
+            .diagnostics
+            .iter()
+            .filter(|d| d.level == algoprof_analysis::Level::Error)
+            .count();
+        let warnings = analysis.diagnostics.len() - errors;
+        return Err(CliError::Run(format!(
+            "lint failed: {errors} error(s), {warnings} warning(s) in {path}"
+        )));
+    }
+    Ok(())
+}
+
+/// `algoprof disasm <prog.jay>`: instrumented-bytecode disassembly, or
+/// with `--cfg` a Graphviz DOT dump of every function's control-flow
+/// graph with natural-loop back edges annotated.
+fn disasm_main(args: &[String]) -> Result<(), CliError> {
+    let mut cfg = false;
+    let mut positional: Vec<String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--cfg" => cfg = true,
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!(
+                    "unknown option {other:?} for disasm"
+                )));
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
+    let [path] = positional.as_slice() else {
+        return Err(CliError::Usage(
+            "disasm expects exactly one program file".into(),
+        ));
+    };
+    let source = read_file(path)?;
+    let program = algoprof_vm::compile(&source)
+        .map_err(|e| CliError::Run(e.to_string()))?
+        .instrument(&InstrumentOptions::default());
+    if cfg {
+        print!("{}", algoprof_vm::disassemble_cfg(&program));
+    } else {
+        print!("{}", algoprof_vm::disassemble(&program));
+    }
+    Ok(())
 }
 
 /// `algoprof sweep <prog.jay> --sizes n1,n2,...`: record the program once

@@ -129,6 +129,8 @@ pub fn render_sweep_html(report: &crate::sweep::SweepReport) -> String {
          table { border-collapse: collapse; }\n\
          td, th { border: 1px solid #ccc; padding: 0.3em 0.7em; }\n\
          svg { background: #fafafa; border: 1px solid #ddd; }\n\
+         .agree { color: #2a7a2a; }\n\
+         .disagree { color: #b00020; }\n\
          </style></head><body>\n<h1>Sweep report</h1>\n",
     );
     let _ = writeln!(
@@ -193,6 +195,21 @@ pub fn render_sweep_html(report: &crate::sweep::SweepReport) -> String {
                 out,
                 "<p class=\"meta\">power law: {}</p>",
                 escape(&p.to_string()),
+            );
+        }
+        if let Some(pred) = s.predicted {
+            let verdict = match s.agrees {
+                Some(true) => "<span class=\"agree\">[agrees]</span>".to_string(),
+                Some(false) => format!(
+                    "<strong class=\"disagree\">[DISAGREES with best fit {}]</strong>",
+                    s.fit.as_ref().map(|f| f.model.big_o()).unwrap_or("(none)"),
+                ),
+                None => "[unverified]".to_string(),
+            };
+            let _ = writeln!(
+                out,
+                "<p class=\"meta\">predicted: {} &nbsp; {verdict}</p>",
+                pred.big_o(),
             );
         }
         out.push_str(&sweep_scatter_svg(&s.points, s.fit.as_ref()));

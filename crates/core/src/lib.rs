@@ -51,6 +51,7 @@
 pub mod algorithms;
 pub mod classify;
 pub mod cost;
+pub mod crossval;
 pub mod html;
 pub mod inputs;
 pub mod pool;
@@ -65,6 +66,7 @@ pub mod sweep;
 pub use algorithms::{Algorithm, AlgorithmId, DataPoint, GroupingStrategy};
 pub use classify::{AlgorithmClass, Classification};
 pub use cost::{AccessOp, CostKey, CostMap};
+pub use crossval::{cross_validate, render_cross_checks, CrossCheck};
 pub use html::{render_html, render_sweep_html};
 pub use inputs::{InputId, InputInfo, InputKind, InputRegistry};
 pub use pool::{default_workers, run_indexed};

@@ -24,7 +24,7 @@
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use algoprof_fit::{best_fit, fit_power_law, Fit, PowerFit};
+use algoprof_fit::{best_fit, fit_power_law, ComplexityClass, Fit, PowerFit};
 use algoprof_trace::{read_header, TraceReplayer};
 use algoprof_vm::compile;
 
@@ -197,6 +197,15 @@ pub struct SweepSeries {
     pub fit: Option<Fit>,
     /// Log–log power-law fit over the merged series.
     pub power_law: Option<PowerFit>,
+    /// Statically predicted asymptotic class for this repetition, from
+    /// the `algoprof-analysis` abstract interpretation of the same
+    /// source. `None` when the analysis has no prediction under this
+    /// name (e.g. synthetic grouped roots).
+    pub predicted: Option<ComplexityClass>,
+    /// Whether the static prediction agrees with the empirical best fit
+    /// at polynomial-degree granularity. `None` when either side makes
+    /// no claim (no fit, no prediction, or an `Unknown` class).
+    pub agrees: Option<bool>,
 }
 
 /// The merged result of a whole sweep. All renderings of a report are
@@ -369,8 +378,21 @@ pub fn run_sweep(jobs: &[SweepJob], config: &SweepConfig) -> Result<SweepReport,
             None => groups.push((&job.program, vec![j])),
         }
     }
+    // Static cross-validation: one prediction map per program group
+    // (the predictions depend only on the source, not the ablation).
+    // Group members share a source by construction; analysis failure is
+    // impossible for sources that already recorded, but degrade to "no
+    // prediction" rather than failing the sweep.
+    let group_predictions: Vec<std::collections::HashMap<String, ComplexityClass>> = groups
+        .iter()
+        .map(|(_, members)| {
+            algoprof_analysis::analyze_source(&jobs[members[0]].source)
+                .map(|a| algoprof_analysis::prediction_map(&a.predictions))
+                .unwrap_or_default()
+        })
+        .collect();
     for (a, ablation) in ablations.iter().enumerate() {
-        for (tag, members) in &groups {
+        for ((tag, members), predictions) in groups.iter().zip(&group_predictions) {
             let slice: Vec<&AlgorithmicProfile> =
                 members.iter().map(|&j| &profiles[j][a].0).collect();
             // Every algorithm root name seen anywhere in this group, in
@@ -400,14 +422,22 @@ pub fn run_sweep(jobs: &[SweepJob], config: &SweepConfig) -> Result<SweepReport,
                             .map(|al| p.describe_algorithm(al.id))
                     })
                     .unwrap_or_default();
+                let fit = best_fit(&points);
+                let predicted = predictions.get(&name).copied();
+                let agrees = match (predicted, &fit) {
+                    (Some(p), Some(f)) => p.agrees_with(f.model.complexity_class()),
+                    _ => None,
+                };
                 report.series.push(SweepSeries {
                     ablation: ablation.name.clone(),
                     program: tag.to_string(),
                     algorithm: name,
                     kind,
-                    fit: best_fit(&points),
+                    fit,
                     power_law: fit_power_law(&points),
                     points,
+                    predicted,
+                    agrees,
                 });
             }
         }
@@ -493,6 +523,17 @@ impl SweepReport {
             if let Some(p) = &s.power_law {
                 let _ = writeln!(out, "  power law: {p}");
             }
+            if let Some(pred) = s.predicted {
+                let verdict = match s.agrees {
+                    Some(true) => "[agrees]".to_string(),
+                    Some(false) => match &s.fit {
+                        Some(f) => format!("[DISAGREES with best fit {}]", f.model.big_o()),
+                        None => "[DISAGREES]".to_string(),
+                    },
+                    None => "[unverified]".to_string(),
+                };
+                let _ = writeln!(out, "  predicted: {}  {verdict}", pred.big_o());
+            }
             out.push('\n');
         }
         out
@@ -572,16 +613,26 @@ impl SweepReport {
                 ),
                 None => "null".to_string(),
             };
+            let predicted = match s.predicted {
+                Some(p) => json_str(p.big_o()),
+                None => "null".to_string(),
+            };
+            let agrees = match s.agrees {
+                Some(b) => b.to_string(),
+                None => "null".to_string(),
+            };
             let _ = write!(
                 out,
-                "    {{\"ablation\": {}, \"program\": {}, \"algorithm\": {}, \"kind\": {}, \"points\": [{}], \"best_fit\": {}, \"power_law\": {}}}",
+                "    {{\"ablation\": {}, \"program\": {}, \"algorithm\": {}, \"kind\": {}, \"points\": [{}], \"best_fit\": {}, \"power_law\": {}, \"predicted\": {}, \"agrees\": {}}}",
                 json_str(&s.ablation),
                 json_str(&s.program),
                 json_str(&s.algorithm),
                 json_str(&s.kind),
                 points,
                 fit,
-                power
+                power,
+                predicted,
+                agrees
             );
             out.push_str(if i + 1 < self.series.len() {
                 ",\n"

@@ -171,6 +171,106 @@ fn sweep_failures_are_attributed_to_a_job() {
 }
 
 #[test]
+fn lint_and_disasm_usage_errors() {
+    assert_usage_error(&["lint"], "exactly one program file");
+    assert_usage_error(&["lint", "a.jay", "b.jay"], "exactly one program file");
+    assert_usage_error(&["lint", "a.jay", "--frobnicate"], "--frobnicate");
+    assert_usage_error(&["disasm"], "exactly one program file");
+    assert_usage_error(&["disasm", "a.jay", "--frobnicate"], "--frobnicate");
+    assert_run_error(&["lint", "/no/such/file.jay"], "cannot read");
+    assert_run_error(&["disasm", "/no/such/file.jay"], "cannot read");
+}
+
+#[test]
+fn lint_exit_codes_track_diagnostic_levels() {
+    let dir = std::env::temp_dir().join(format!("algoprof-cli-lint-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+
+    // Error-level defect (frozen loop): plain lint fails.
+    let hang = dir.join("hang.jay");
+    std::fs::write(
+        &hang,
+        "class Main { static int main() {
+            int i = 0;
+            int s = 0;
+            while (i < 10) { s = s + 1; }
+            return s;
+        } }",
+    )
+    .expect("writes");
+    let out = algoprof(&["lint", hang.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("error[AP001]"), "stdout: {text}");
+    assert!(stderr(&out).contains("lint failed"), "{}", stderr(&out));
+
+    // Warning-level defect (write-only local): plain lint passes,
+    // --strict fails.
+    let sloppy = dir.join("sloppy.jay");
+    std::fs::write(
+        &sloppy,
+        "class Main { static int main() {
+            int unused = 40 + 2;
+            return 0;
+        } }",
+    )
+    .expect("writes");
+    let out = algoprof(&["lint", sloppy.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("warning[AP004]"), "stdout: {text}");
+    let out = algoprof(&["lint", sloppy.to_str().unwrap(), "--strict"]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+
+    // Clean program: exit 0, predictions printed.
+    let clean = dir.join("clean.jay");
+    std::fs::write(
+        &clean,
+        "class Main { static int main() {
+            int s = 0;
+            for (int i = 0; i < 8; i = i + 1) { s = s + i; }
+            return s;
+        } }",
+    )
+    .expect("writes");
+    let out = algoprof(&["lint", clean.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("no findings"), "stdout: {text}");
+    assert!(text.contains("predicted complexity"), "stdout: {text}");
+
+    // --json: machine-readable diagnostics and predictions.
+    let out = algoprof(&["lint", hang.to_str().unwrap(), "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(json.contains("\"code\": \"AP001\""), "stdout: {json}");
+    assert!(json.contains("\"level\": \"error\""), "stdout: {json}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn disasm_cfg_matches_golden_dot() {
+    let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_cfg.jay");
+    let out = algoprof(&["disasm", fixture.to_str().unwrap(), "--cfg"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let dot = String::from_utf8_lossy(&out.stdout).into_owned();
+    let golden = include_str!("fixtures/golden_cfg.dot");
+    assert_eq!(
+        dot, golden,
+        "disasm --cfg drifted from tests/fixtures/golden_cfg.dot; \
+         regenerate it if the change is intended"
+    );
+
+    // Plain disasm on the same fixture is linear bytecode, not DOT.
+    let out = algoprof(&["disasm", fixture.to_str().unwrap()]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(!text.contains("digraph"), "stdout: {text}");
+    assert!(text.contains("prof_loop_entry"), "stdout: {text}");
+}
+
+#[test]
 fn sweep_smoke_produces_report_files() {
     let dir = std::env::temp_dir().join(format!("algoprof-cli-ok-{}", std::process::id()));
     std::fs::create_dir_all(&dir).expect("temp dir");

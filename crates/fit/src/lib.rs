@@ -26,7 +26,7 @@ pub mod models;
 pub mod regression;
 pub mod streaming;
 
-pub use models::{Fit, Model, PowerFit};
+pub use models::{ComplexityClass, Fit, Model, PowerFit};
 pub use regression::{best_fit, fit_all, fit_model, fit_power_law};
 pub use streaming::StreamingFit;
 

@@ -80,6 +80,146 @@ impl fmt::Display for Model {
     }
 }
 
+/// An asymptotic complexity class, shared between the empirical fits in
+/// this crate and the static predictions in `algoprof-analysis`. Richer
+/// than [`Model`]: it carries `Exponential` (statically derivable from
+/// branching recursion but never fitted from the polynomial/log basis)
+/// and `Unknown` (the static analysis makes no claim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ComplexityClass {
+    /// O(1).
+    Constant,
+    /// O(log n).
+    Logarithmic,
+    /// O(n).
+    Linear,
+    /// O(n log n).
+    Linearithmic,
+    /// O(n²).
+    Quadratic,
+    /// O(n³).
+    Cubic,
+    /// O(2ⁿ) (or worse).
+    Exponential,
+    /// No claim; compares as the top of the lattice.
+    Unknown,
+}
+
+impl ComplexityClass {
+    /// The conventional big-O name.
+    pub fn big_o(self) -> &'static str {
+        match self {
+            ComplexityClass::Constant => "O(1)",
+            ComplexityClass::Logarithmic => "O(log n)",
+            ComplexityClass::Linear => "O(n)",
+            ComplexityClass::Linearithmic => "O(n log n)",
+            ComplexityClass::Quadratic => "O(n^2)",
+            ComplexityClass::Cubic => "O(n^3)",
+            ComplexityClass::Exponential => "O(2^n)",
+            ComplexityClass::Unknown => "O(?)",
+        }
+    }
+
+    /// Maps a fitted power-law exponent to the nearest polynomial class.
+    /// Logarithmic and linearithmic factors are not power laws, so this
+    /// rounds to the nearest integer degree; exponents past cubic are
+    /// outside the fitted basis and map to `Unknown`.
+    pub fn from_exponent(exponent: f64) -> ComplexityClass {
+        if !exponent.is_finite() || exponent >= 3.5 {
+            ComplexityClass::Unknown
+        } else if exponent < 0.5 {
+            ComplexityClass::Constant
+        } else if exponent < 1.5 {
+            ComplexityClass::Linear
+        } else if exponent < 2.5 {
+            ComplexityClass::Quadratic
+        } else {
+            ComplexityClass::Cubic
+        }
+    }
+
+    /// The polynomial degree used for agreement checks: log factors do
+    /// not change the degree (O(n log n) has degree 1), exponential and
+    /// unknown have none.
+    fn degree(self) -> Option<u32> {
+        match self {
+            ComplexityClass::Constant | ComplexityClass::Logarithmic => Some(0),
+            ComplexityClass::Linear | ComplexityClass::Linearithmic => Some(1),
+            ComplexityClass::Quadratic => Some(2),
+            ComplexityClass::Cubic => Some(3),
+            ComplexityClass::Exponential | ComplexityClass::Unknown => None,
+        }
+    }
+
+    /// Whether a static prediction and an empirical fit agree, comparing
+    /// at polynomial-degree granularity (an O(n log n) fit agrees with a
+    /// predicted O(n): the log factor is below the resolution of the
+    /// degree comparison). Returns `None` when either side is `Unknown`
+    /// — the static analysis made no claim, so there is nothing to
+    /// validate.
+    pub fn agrees_with(self, fitted: ComplexityClass) -> Option<bool> {
+        if self == ComplexityClass::Unknown || fitted == ComplexityClass::Unknown {
+            return None;
+        }
+        if self == ComplexityClass::Exponential || fitted == ComplexityClass::Exponential {
+            return Some(self == fitted);
+        }
+        Some(self.degree() == fitted.degree())
+    }
+
+    /// Sequential composition: the class of `A; B` is the larger class.
+    pub fn seq(self, other: ComplexityClass) -> ComplexityClass {
+        self.max(other)
+    }
+
+    /// Nested composition: the class of running an `other`-cost body
+    /// `self`-many times. Polynomial degrees add (log factors saturate
+    /// at one); anything past cubic leaves the representable basis and
+    /// becomes `Unknown`; exponential absorbs everything but unknown.
+    pub fn nest(self, other: ComplexityClass) -> ComplexityClass {
+        use ComplexityClass::*;
+        if self == Unknown || other == Unknown {
+            return Unknown;
+        }
+        if self == Exponential || other == Exponential {
+            return Exponential;
+        }
+        let degree = self.degree().unwrap() + other.degree().unwrap();
+        let has_log = matches!(self, Logarithmic | Linearithmic)
+            || matches!(other, Logarithmic | Linearithmic);
+        match (degree, has_log) {
+            (0, false) => Constant,
+            (0, true) => Logarithmic,
+            (1, false) => Linear,
+            (1, true) => Linearithmic,
+            (2, false) => Quadratic,
+            (3, false) => Cubic,
+            // n²·log n, n³·log n, n⁴, … are outside the fitted basis.
+            _ => Unknown,
+        }
+    }
+}
+
+impl fmt::Display for ComplexityClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.big_o())
+    }
+}
+
+impl Model {
+    /// The complexity class this model family belongs to.
+    pub fn complexity_class(self) -> ComplexityClass {
+        match self {
+            Model::Constant => ComplexityClass::Constant,
+            Model::Logarithmic => ComplexityClass::Logarithmic,
+            Model::Linear => ComplexityClass::Linear,
+            Model::Linearithmic => ComplexityClass::Linearithmic,
+            Model::Quadratic => ComplexityClass::Quadratic,
+            Model::Cubic => ComplexityClass::Cubic,
+        }
+    }
+}
+
 /// A fitted cost function `cost ≈ coeff · g(n) + intercept`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Fit {

@@ -4,6 +4,7 @@
 
 pub mod algorithms;
 pub mod casestudy;
+pub mod lint_corpus;
 pub mod listings;
 pub mod table1;
 
@@ -11,6 +12,9 @@ pub use algorithms::{
     binary_search_program, bubble_sort_program, matmul_program, merge_sort_program,
 };
 pub use casestudy::catalog_program;
+pub use lint_corpus::{
+    crossval_disagreement_program, near_misses, seeded_bugs, NearMiss, SeededBug,
+};
 pub use listings::{
     array_list_program, functional_sort_program, insertion_sort_program, sized_array_list_program,
     sized_insertion_sort_program, GrowthPolicy, SortWorkload, GUEST_RANDOM, LISTING1_LIST,

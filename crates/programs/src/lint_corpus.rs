@@ -1,0 +1,290 @@
+//! Seeded-bug corpus for the static analyzer (`algoprof lint`).
+//!
+//! Three fixture families, each a complete jay program:
+//!
+//! * [`seeded_bugs`] — programs seeded with exactly one defect each,
+//!   covering every lint in the AP001–AP006 catalog. Each fixture knows
+//!   the code and source line its diagnostic must fire on, so tests pin
+//!   spans, not just presence.
+//! * [`near_misses`] — the same shapes with the defect *repaired* (a
+//!   `break` added, a base case restored, the write read back). These
+//!   must lint clean: they are the false-positive guard.
+//! * [`crossval_disagreement_program`] — a sized program whose static
+//!   prediction is deliberately wrong: an inner loop is bounded by a
+//!   field that is always zero at run time, so the analyzer predicts
+//!   O(n²) for a traversal that dynamically costs O(n). Sweeping it must
+//!   flag the disagreement in every report format.
+
+/// One program seeded with a single known defect.
+#[derive(Debug, Clone, Copy)]
+pub struct SeededBug {
+    /// Fixture name (stable, test-friendly).
+    pub name: &'static str,
+    /// Complete jay source.
+    pub source: &'static str,
+    /// Lint code that must fire, e.g. `"AP001"`.
+    pub code: &'static str,
+    /// Source line the diagnostic must point at (1-based).
+    pub line: u32,
+    /// Whether the expected diagnostic is error-level (drives the lint
+    /// exit code: errors fail plain `lint`, warnings only `--strict`).
+    pub error: bool,
+}
+
+/// One defect-free sibling of a seeded bug: same shape, repaired.
+#[derive(Debug, Clone, Copy)]
+pub struct NearMiss {
+    /// Fixture name.
+    pub name: &'static str,
+    /// Complete jay source. Must produce **zero** diagnostics.
+    pub source: &'static str,
+    /// The lint the sibling seeded fixture fires (documentation of what
+    /// this near-miss guards against).
+    pub guards: &'static str,
+}
+
+/// Every seeded-bug fixture; each lint code appears at least once.
+pub fn seeded_bugs() -> Vec<SeededBug> {
+    vec![
+        SeededBug {
+            name: "ap001_frozen_counter",
+            source: "class Main {
+    static int main() {
+        int i = 0;
+        int s = 0;
+        while (i < 10) { s = s + 1; }
+        return s;
+    }
+}",
+            code: "AP001",
+            line: 5,
+            error: true,
+        },
+        SeededBug {
+            name: "ap001_frozen_null_chase",
+            source: "class Main {
+    static int main() {
+        Node head = new Node();
+        Node c = head;
+        int s = 0;
+        while (c != null) { s = s + 1; }
+        return s;
+    }
+}
+class Node { int tag; }",
+            code: "AP001",
+            line: 6,
+            error: true,
+        },
+        SeededBug {
+            name: "ap002_no_base_case",
+            source: "class Main {
+    static int main() {
+        return Main.count(5);
+    }
+    static int count(int n) {
+        return Main.count(n - 1);
+    }
+}",
+            code: "AP002",
+            line: 6,
+            error: true,
+        },
+        SeededBug {
+            name: "ap003_after_return",
+            source: "class Main {
+    static int main() {
+        int s = 1;
+        return s;
+        s = 1 + 1;
+    }
+}",
+            code: "AP003",
+            line: 5,
+            error: false,
+        },
+        SeededBug {
+            name: "ap003_after_exhaustive_if",
+            source: "class Main {
+    static int main() {
+        int n = 3;
+        if (n > 0) { return 1; } else { return 0; }
+        int z = 4 + 5;
+        return z;
+    }
+}",
+            code: "AP003",
+            line: 5,
+            error: false,
+        },
+        SeededBug {
+            name: "ap004_write_only_local",
+            source: "class Main {
+    static int main() {
+        int unused = 40 + 2;
+        return 0;
+    }
+}",
+            code: "AP004",
+            line: 3,
+            error: false,
+        },
+        SeededBug {
+            name: "ap004_write_only_field",
+            source: "class Main {
+    static int main() {
+        Box b = new Box();
+        b.tag = 7;
+        return 0;
+    }
+}
+class Box { int tag; }",
+            code: "AP004",
+            line: 4,
+            error: false,
+        },
+        SeededBug {
+            name: "ap005_const_index_oob",
+            source: "class Main {
+    static int main() {
+        int[] a = new int[3];
+        return a[5];
+    }
+}",
+            code: "AP005",
+            line: 4,
+            error: true,
+        },
+        SeededBug {
+            name: "ap006_div_by_zero",
+            source: "class Main {
+    static int main() {
+        int z = 0;
+        return 10 / z;
+    }
+}",
+            code: "AP006",
+            line: 4,
+            error: true,
+        },
+    ]
+}
+
+/// Defect-free siblings: each must produce zero diagnostics.
+pub fn near_misses() -> Vec<NearMiss> {
+    vec![
+        NearMiss {
+            name: "near_ap001_break_escapes",
+            source: "class Main {
+    static int main() {
+        int i = 0;
+        int s = 0;
+        while (i < 10) { s = s + 1; if (s > 3) { break; } }
+        return s + i;
+    }
+}",
+            guards: "AP001",
+        },
+        NearMiss {
+            name: "near_ap001_chase_advances",
+            source: "class Main {
+    static int main() {
+        Node head = new Node();
+        Node c = head;
+        int s = 0;
+        while (c != null) { s = s + 1; c = c.next; }
+        return s;
+    }
+}
+class Node { Node next; }",
+            guards: "AP001",
+        },
+        NearMiss {
+            name: "near_ap002_base_case",
+            source: "class Main {
+    static int main() {
+        return Main.count(5);
+    }
+    static int count(int n) {
+        if (n <= 0) { return 0; }
+        return Main.count(n - 1);
+    }
+}",
+            guards: "AP002",
+        },
+        NearMiss {
+            name: "near_ap003_single_arm_returns",
+            source: "class Main {
+    static int main() {
+        int n = 3;
+        if (n > 0) { return 1; }
+        int z = 4 + 5;
+        return z;
+    }
+}",
+            guards: "AP003",
+        },
+        NearMiss {
+            name: "near_ap004_field_read_back",
+            source: "class Main {
+    static int main() {
+        Box b = new Box();
+        b.tag = 7;
+        return b.tag;
+    }
+}
+class Box { int tag; }",
+            guards: "AP004",
+        },
+        NearMiss {
+            name: "near_ap005_ap006_in_bounds",
+            source: "class Main {
+    static int main() {
+        int[] a = new int[3];
+        a[2] = 8;
+        return a[2] / 2;
+    }
+}",
+            guards: "AP005",
+        },
+    ]
+}
+
+/// A sized traversal whose static prediction deliberately disagrees with
+/// its dynamic fit.
+///
+/// The inner `while (j < zero)` loop is bounded by a field read the
+/// analyzer cannot evaluate, so it classifies the bound as
+/// linear-in-local and predicts O(n²) for the enclosing null-chase
+/// traversal. At run time the field holds its default value `0`, the
+/// inner loop never iterates, and the traversal measures — and fits —
+/// O(n). Sweeping this program must mark the traversal series
+/// `DISAGREES` in the text, JSON, and HTML reports, while the
+/// construction loop agrees (predicted and fitted linear).
+pub fn crossval_disagreement_program() -> &'static str {
+    "class Main {
+    static int main() {
+        int n = readInput();
+        Node head = null;
+        int zero = 0;
+        int s = 0;
+        int j = 0;
+        Node c = null;
+        for (int i = 0; i < n; i = i + 1) {
+            Node x = new Node();
+            x.next = head;
+            head = x;
+        }
+        zero = head.pad;
+        c = head;
+        while (c != null) {
+            j = 0;
+            while (j < zero) { j = j + 1; }
+            s = s + 1;
+            c = c.next;
+        }
+        return s;
+    }
+}
+class Node { Node next; int pad; }"
+}

@@ -130,7 +130,11 @@ impl CallGraph {
 /// Possible targets of a virtual call to declaration `m` under
 /// class-hierarchy analysis: the implementation in every subclass of the
 /// declaring class (including itself).
-fn cha_targets(program: &CompiledProgram, m: FuncId) -> Vec<FuncId> {
+///
+/// Public so downstream static analyses (the `algoprof-analysis` crate's
+/// cost composition) resolve virtual sites the same way recursion
+/// detection does.
+pub fn cha_targets(program: &CompiledProgram, m: FuncId) -> Vec<FuncId> {
     let decl = program.func(m);
     let vslot = match decl.vslot {
         Some(s) => s as usize,

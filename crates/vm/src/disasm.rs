@@ -1,9 +1,13 @@
 //! Bytecode disassembler: human-readable dumps of compiled programs,
-//! with symbolic names for classes, fields, functions, and loops.
+//! with symbolic names for classes, fields, functions, and loops, plus a
+//! Graphviz DOT rendering of every function's control-flow graph with
+//! dominator-derived back edges annotated.
 
 use std::fmt::Write as _;
 
 use crate::bytecode::{CompiledProgram, FuncId, Instr};
+use crate::cfg::{Cfg, EdgeKind};
+use crate::dominators::Dominators;
 use crate::hir::CatchKind;
 
 /// Disassembles one function.
@@ -82,6 +86,73 @@ pub fn disassemble(program: &CompiledProgram) -> String {
     for i in 0..program.functions.len() {
         out.push('\n');
         out.push_str(&disassemble_function(program, FuncId(i as u32)));
+    }
+    out
+}
+
+/// Renders the whole program's control-flow graphs as one Graphviz DOT
+/// document: a `digraph` with one cluster per function.
+///
+/// Edges are annotated by kind: natural-loop **back edges** (target
+/// dominates source, the same criterion the loop instrumentation uses)
+/// are bold with a `back` label, exceptional edges into handlers are
+/// dashed with an `exc` label. Pipe into `dot -Tsvg` to render.
+pub fn disassemble_cfg(program: &CompiledProgram) -> String {
+    let mut out = String::new();
+    out.push_str("digraph cfg {\n");
+    out.push_str("  node [shape=box, fontname=\"monospace\", fontsize=10];\n");
+    for i in 0..program.functions.len() {
+        cfg_cluster(program, FuncId(i as u32), &mut out);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn cfg_cluster(program: &CompiledProgram, func: FuncId, out: &mut String) {
+    let f = program.func(func);
+    let cfg = Cfg::build(f);
+    let dom = Dominators::compute(&cfg);
+    let fi = func.index();
+
+    let _ = writeln!(out, "  subgraph cluster_{fi} {{");
+    let _ = writeln!(out, "    label=\"{}\";", dot_escape(&f.name));
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        let mut label = format!("b{b} [{}..{}]\\l", block.start, block.end);
+        for pc in block.start..block.end {
+            let _ = write!(
+                label,
+                "{pc}: {}\\l",
+                dot_escape(&render_instr(program, &f.code[pc]))
+            );
+        }
+        let _ = writeln!(out, "    f{fi}_b{b} [label=\"{label}\"];");
+    }
+    for (b, block) in cfg.blocks.iter().enumerate() {
+        for &(t, kind) in &block.succs {
+            let attrs = if kind == EdgeKind::Exceptional {
+                " [style=dashed, label=\"exc\"]"
+            } else if dom.dominates(t, b) {
+                // A natural-loop back edge: the jump target dominates the
+                // jumping block.
+                " [style=bold, label=\"back\"]"
+            } else {
+                ""
+            };
+            let _ = writeln!(out, "    f{fi}_b{b} -> f{fi}_b{t}{attrs};");
+        }
+    }
+    out.push_str("  }\n");
+}
+
+fn dot_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\l"),
+            c => out.push(c),
+        }
     }
     out
 }
@@ -189,6 +260,40 @@ mod tests {
         assert!(text.contains("prof_loop_back"));
         assert!(text.contains("prof_loop_exit"));
         assert!(text.contains("loop LoopId#0"));
+    }
+
+    #[test]
+    fn cfg_dot_annotates_back_and_exceptional_edges() {
+        let p = compile(
+            r#"class Main {
+                static int main() {
+                    int s = 0;
+                    try {
+                        for (int i = 0; i < 4; i = i + 1) { s = s + i; }
+                    } catch (int e) { return e; }
+                    return s;
+                }
+            }"#,
+        )
+        .expect("compiles");
+        let dot = disassemble_cfg(&p);
+        assert!(dot.starts_with("digraph cfg {"));
+        assert!(dot.contains("label=\"Main.main\""));
+        assert!(dot.contains("label=\"back\""), "{dot}");
+        assert!(dot.contains("label=\"exc\""), "{dot}");
+        // Balanced braces: one digraph plus one cluster per function.
+        let open = dot.matches('{').count();
+        let close = dot.matches('}').count();
+        assert_eq!(open, close);
+        assert_eq!(open, 1 + p.functions.len());
+    }
+
+    #[test]
+    fn straight_line_cfg_has_no_back_edges() {
+        let p = compile("class Main { static int main() { return 1 + 2; } }").expect("compiles");
+        let dot = disassemble_cfg(&p);
+        assert!(!dot.contains("label=\"back\""));
+        assert!(dot.contains("f0_b0"));
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub use bytecode::{
     ClassId, CompiledProgram, ElemKind, ErasedType, FieldId, FuncId, Function, Instr, LoopId,
 };
 pub use compile::{compile, compile_with_options, CompileOptions};
-pub use disasm::{disassemble, disassemble_function};
+pub use disasm::{disassemble, disassemble_cfg, disassemble_function};
 pub use error::{CompileError, RuntimeError};
 pub use heap::{ArrRef, ArrayWrite, Heap, ObjRef, Value};
 pub use instrument::{

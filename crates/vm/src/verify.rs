@@ -8,6 +8,10 @@
 //! * table indices (locals, fields, classes, functions, loops) are valid,
 //! * the operand stack has a consistent depth at every program point
 //!   (merge points agree) and never underflows,
+//! * every operand has a *kind* consistent with its consumer: arithmetic
+//!   and comparisons take ints, branches take bools, field/array/cast
+//!   operations take references ([`Kind`] is a four-point lattice
+//!   `{Int, Bool, Ref} < Any`, joined pointwise at merges),
 //! * functions cannot fall off the end of their code,
 //! * loop entry/exit pseudo-instructions are balanced: the active-loop
 //!   depth is consistent at every program point and exits match the
@@ -39,6 +43,41 @@ impl std::fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// The verifier's abstraction of a runtime value: a flat lattice with
+/// `Any` on top. Locals start at `Any` (parameter kinds are not recorded
+/// in bytecode) and conflicting merge inputs join to `Any`, so the
+/// checker only rejects *provable* kind confusion, never valid code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// An integer.
+    Int,
+    /// A boolean.
+    Bool,
+    /// An object, array, or null reference.
+    Ref,
+    /// Unknown / merged.
+    Any,
+}
+
+impl Kind {
+    fn join(self, other: Kind) -> Kind {
+        if self == other {
+            self
+        } else {
+            Kind::Any
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Int => "int",
+            Kind::Bool => "bool",
+            Kind::Ref => "ref",
+            Kind::Any => "any",
+        }
+    }
+}
+
 /// Verifies every function of `program`.
 ///
 /// # Errors
@@ -58,41 +97,12 @@ pub fn verify(program: &CompiledProgram) -> Result<(), VerifyError> {
     Ok(())
 }
 
-/// The stack effect of `instr`: (pops, pushes). `None` for instructions
-/// whose effect needs the program tables (calls).
-fn stack_effect(instr: &Instr) -> Option<(usize, usize)> {
-    Some(match instr {
-        Instr::ConstInt(_) | Instr::ConstBool(_) | Instr::ConstNull | Instr::LoadLocal(_) => (0, 1),
-        Instr::StoreLocal(_) | Instr::Pop => (1, 0),
-        Instr::Dup => (1, 2),
-        Instr::Add
-        | Instr::Sub
-        | Instr::Mul
-        | Instr::Div
-        | Instr::Rem
-        | Instr::CmpLt
-        | Instr::CmpLe
-        | Instr::CmpGt
-        | Instr::CmpGe
-        | Instr::CmpEq
-        | Instr::CmpNe => (2, 1),
-        Instr::Neg | Instr::Not | Instr::ArrayLen | Instr::NewArray(_) => (1, 1),
-        Instr::Jump(_) => (0, 0),
-        Instr::JumpIfFalse(_) | Instr::JumpIfTrue(_) => (1, 0),
-        Instr::New(_) => (0, 1),
-        Instr::GetField(_) => (1, 1),
-        Instr::PutField(_) => (2, 0),
-        Instr::ALoad => (2, 1),
-        Instr::AStore => (3, 0),
-        Instr::Ret => (0, 0),
-        Instr::RetVal | Instr::Throw => (1, 0),
-        Instr::CheckCast(_) => (1, 1),
-        Instr::InstanceOfOp(_) => (1, 1),
-        Instr::ReadInput => (0, 1),
-        Instr::Print => (1, 0),
-        Instr::ProfLoopEntry(_) | Instr::ProfLoopBack(_) | Instr::ProfLoopExit(_) => (0, 0),
-        Instr::CallStatic(_) | Instr::CallVirtual(_) | Instr::CallDirect(_) => return None,
-    })
+/// Abstract machine state at one program point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AbsState {
+    stack: Vec<Kind>,
+    locals: Vec<Kind>,
+    loops: Vec<LoopId>,
 }
 
 fn verify_function(program: &CompiledProgram, func_id: FuncId) -> Result<(), VerifyError> {
@@ -160,38 +170,65 @@ fn verify_function(program: &CompiledProgram, func_id: FuncId) -> Result<(), Ver
         }
     }
 
-    // Abstract interpretation of stack depth and active-loop stack.
-    // `state[pc]` = Some((stack depth, loop stack)) once reached.
-    let mut state: Vec<Option<(usize, Vec<LoopId>)>> = vec![None; n + 1];
+    // Abstract interpretation of stack depth + operand kinds, local
+    // kinds, and the active-loop stack. `state[pc]` = Some(state) once
+    // reached; kinds join pointwise at merges (finite lattice, so the
+    // fixpoint terminates), while depth and loop-stack mismatches are
+    // hard errors.
+    let mut state: Vec<Option<AbsState>> = vec![None; n + 1];
     let mut work: VecDeque<usize> = VecDeque::new();
-    state[0] = Some((0, Vec::new()));
+    state[0] = Some(AbsState {
+        stack: Vec::new(),
+        locals: vec![Kind::Any; func.n_locals as usize],
+        loops: Vec::new(),
+    });
     work.push_back(0);
     // Handler entries are reachable with an empty operand stack and the
     // recorded loop depth; the concrete loop ids are refined when the
     // protected range is visited, so seed them lazily below.
 
-    let merge = |state: &mut Vec<Option<(usize, Vec<LoopId>)>>,
+    let merge = |state: &mut Vec<Option<AbsState>>,
                  work: &mut VecDeque<usize>,
                  pc: usize,
-                 depth: usize,
-                 loops: &[LoopId]|
+                 incoming: AbsState|
      -> Result<(), VerifyError> {
-        match &state[pc] {
-            None => {
-                state[pc] = Some((depth, loops.to_vec()));
+        match &mut state[pc] {
+            s @ None => {
+                *s = Some(incoming);
                 work.push_back(pc);
                 Ok(())
             }
-            Some((d, l)) => {
-                if *d != depth || l != loops {
+            Some(existing) => {
+                if existing.stack.len() != incoming.stack.len() || existing.loops != incoming.loops
+                {
                     Err(VerifyError {
                         func: func_id,
                         at: Some(pc),
                         message: format!(
-                            "inconsistent state at merge: depth {d} vs {depth}, loops {l:?} vs {loops:?}"
+                            "inconsistent state at merge: depth {} vs {}, loops {:?} vs {:?}",
+                            existing.stack.len(),
+                            incoming.stack.len(),
+                            existing.loops,
+                            incoming.loops
                         ),
                     })
                 } else {
+                    let mut changed = false;
+                    for (have, new) in existing
+                        .stack
+                        .iter_mut()
+                        .chain(existing.locals.iter_mut())
+                        .zip(incoming.stack.iter().chain(incoming.locals.iter()))
+                    {
+                        let joined = have.join(*new);
+                        if joined != *have {
+                            *have = joined;
+                            changed = true;
+                        }
+                    }
+                    if changed {
+                        work.push_back(pc);
+                    }
                     Ok(())
                 }
             }
@@ -202,44 +239,203 @@ fn verify_function(program: &CompiledProgram, func_id: FuncId) -> Result<(), Ver
         if pc >= n {
             return Err(err(Some(pc), "control flow reaches past the end".into()));
         }
-        let (depth, loops) = state[pc].clone().expect("queued pcs have state");
+        let cur = state[pc].clone().expect("queued pcs have state");
         let instr = func.code[pc];
 
         // Seed exception handlers covering this pc: stack is cleared, the
-        // loop stack is truncated to the recorded depth.
+        // loop stack is truncated to the recorded depth, and the catch
+        // slot receives the thrown value (kind unknown).
         for h in &func.handlers {
             if pc >= h.start && pc < h.end {
-                let keep = (h.active_loops as usize).min(loops.len());
-                merge(&mut state, &mut work, h.target, 0, &loops[..keep])?;
+                let keep = (h.active_loops as usize).min(cur.loops.len());
+                let mut locals = cur.locals.clone();
+                locals[h.catch_slot as usize] = Kind::Any;
+                merge(
+                    &mut state,
+                    &mut work,
+                    h.target,
+                    AbsState {
+                        stack: Vec::new(),
+                        locals,
+                        loops: cur.loops[..keep].to_vec(),
+                    },
+                )?;
             }
         }
 
-        let (pops, pushes) = match stack_effect(&instr) {
-            Some(e) => e,
-            None => {
-                let callee = match instr {
-                    Instr::CallStatic(m) | Instr::CallVirtual(m) | Instr::CallDirect(m) => {
-                        program.func(m)
-                    }
-                    _ => unreachable!("only calls lack a static effect"),
-                };
-                let ret = usize::from(returns_value(program, &instr));
-                (callee.n_params as usize, ret)
+        // Depth pre-check so multi-operand instructions report underflow
+        // (not a kind error against a partially-popped stack).
+        let needs = match instr {
+            Instr::StoreLocal(_)
+            | Instr::Pop
+            | Instr::Dup
+            | Instr::Neg
+            | Instr::Not
+            | Instr::ArrayLen
+            | Instr::NewArray(_)
+            | Instr::JumpIfFalse(_)
+            | Instr::JumpIfTrue(_)
+            | Instr::GetField(_)
+            | Instr::RetVal
+            | Instr::Throw
+            | Instr::CheckCast(_)
+            | Instr::InstanceOfOp(_)
+            | Instr::Print => 1,
+            Instr::Add
+            | Instr::Sub
+            | Instr::Mul
+            | Instr::Div
+            | Instr::Rem
+            | Instr::CmpLt
+            | Instr::CmpLe
+            | Instr::CmpGt
+            | Instr::CmpGe
+            | Instr::CmpEq
+            | Instr::CmpNe
+            | Instr::PutField(_)
+            | Instr::ALoad => 2,
+            Instr::AStore => 3,
+            Instr::CallStatic(m) | Instr::CallVirtual(m) | Instr::CallDirect(m) => {
+                program.func(m).n_params as usize
             }
+            _ => 0,
         };
-        if depth < pops {
+        if cur.stack.len() < needs {
             return Err(err(
                 Some(pc),
-                format!("stack underflow: depth {depth}, needs {pops}"),
+                format!("stack underflow: depth {}, needs {needs}", cur.stack.len()),
             ));
         }
-        let next_depth = depth - pops + pushes;
 
-        let mut next_loops = loops.clone();
+        let mut next = cur.clone();
+        let pop = |next: &mut AbsState, want: Kind| -> Result<Kind, VerifyError> {
+            let got = next.stack.pop().expect("depth pre-checked");
+            if want != Kind::Any && got != Kind::Any && got != want {
+                return Err(VerifyError {
+                    func: func_id,
+                    at: Some(pc),
+                    message: format!(
+                        "operand kind mismatch: {instr:?} expects {}, found {}",
+                        want.name(),
+                        got.name()
+                    ),
+                });
+            }
+            Ok(got)
+        };
+
         match instr {
-            Instr::ProfLoopEntry(l) => next_loops.push(l),
+            Instr::ConstInt(_) | Instr::ReadInput => next.stack.push(Kind::Int),
+            Instr::ConstBool(_) => next.stack.push(Kind::Bool),
+            Instr::ConstNull | Instr::New(_) => next.stack.push(Kind::Ref),
+            Instr::LoadLocal(s) => next.stack.push(next.locals[s as usize]),
+            Instr::StoreLocal(s) => {
+                let k = pop(&mut next, Kind::Any)?;
+                next.locals[s as usize] = k;
+            }
+            Instr::Pop => {
+                pop(&mut next, Kind::Any)?;
+            }
+            Instr::Dup => {
+                let k = *next.stack.last().expect("depth pre-checked");
+                next.stack.push(k);
+            }
+            Instr::Add | Instr::Sub | Instr::Mul | Instr::Div | Instr::Rem => {
+                pop(&mut next, Kind::Int)?;
+                pop(&mut next, Kind::Int)?;
+                next.stack.push(Kind::Int);
+            }
+            Instr::CmpLt | Instr::CmpLe | Instr::CmpGt | Instr::CmpGe => {
+                pop(&mut next, Kind::Int)?;
+                pop(&mut next, Kind::Int)?;
+                next.stack.push(Kind::Bool);
+            }
+            Instr::CmpEq | Instr::CmpNe => {
+                // Equality is polymorphic (ints, bools, refs) but both
+                // sides must agree when both kinds are known.
+                let a = pop(&mut next, Kind::Any)?;
+                let b = pop(&mut next, Kind::Any)?;
+                if a != Kind::Any && b != Kind::Any && a != b {
+                    return Err(err(
+                        Some(pc),
+                        format!(
+                            "operand kind mismatch: {instr:?} compares {} with {}",
+                            b.name(),
+                            a.name()
+                        ),
+                    ));
+                }
+                next.stack.push(Kind::Bool);
+            }
+            Instr::Neg => {
+                pop(&mut next, Kind::Int)?;
+                next.stack.push(Kind::Int);
+            }
+            Instr::Not => {
+                pop(&mut next, Kind::Bool)?;
+                next.stack.push(Kind::Bool);
+            }
+            Instr::Jump(_) => {}
+            Instr::JumpIfFalse(_) | Instr::JumpIfTrue(_) => {
+                pop(&mut next, Kind::Bool)?;
+            }
+            Instr::GetField(_) => {
+                pop(&mut next, Kind::Ref)?;
+                next.stack.push(Kind::Any);
+            }
+            Instr::PutField(_) => {
+                pop(&mut next, Kind::Any)?;
+                pop(&mut next, Kind::Ref)?;
+            }
+            Instr::ALoad => {
+                pop(&mut next, Kind::Int)?;
+                pop(&mut next, Kind::Ref)?;
+                next.stack.push(Kind::Any);
+            }
+            Instr::AStore => {
+                pop(&mut next, Kind::Any)?;
+                pop(&mut next, Kind::Int)?;
+                pop(&mut next, Kind::Ref)?;
+            }
+            Instr::ArrayLen => {
+                pop(&mut next, Kind::Ref)?;
+                next.stack.push(Kind::Int);
+            }
+            Instr::NewArray(_) => {
+                pop(&mut next, Kind::Int)?;
+                next.stack.push(Kind::Ref);
+            }
+            Instr::CheckCast(_) => {
+                pop(&mut next, Kind::Ref)?;
+                next.stack.push(Kind::Ref);
+            }
+            Instr::InstanceOfOp(_) => {
+                pop(&mut next, Kind::Ref)?;
+                next.stack.push(Kind::Bool);
+            }
+            Instr::Print | Instr::RetVal | Instr::Throw => {
+                // Print/return/throw accept any kind (the type checker
+                // enforces source-level typing; thrown values may be
+                // ints or refs).
+                pop(&mut next, Kind::Any)?;
+            }
+            Instr::Ret => {}
+            Instr::CallStatic(m) | Instr::CallVirtual(m) | Instr::CallDirect(m) => {
+                let callee = program.func(m);
+                for _ in 0..callee.n_params {
+                    pop(&mut next, Kind::Any)?;
+                }
+                if returns_value(program, &instr) {
+                    next.stack.push(Kind::Any);
+                }
+            }
+            Instr::ProfLoopEntry(_) | Instr::ProfLoopBack(_) | Instr::ProfLoopExit(_) => {}
+        }
+
+        match instr {
+            Instr::ProfLoopEntry(l) => next.loops.push(l),
             Instr::ProfLoopExit(l) => {
-                let top = next_loops.pop();
+                let top = next.loops.pop();
                 if top != Some(l) {
                     return Err(err(
                         Some(pc),
@@ -247,17 +443,17 @@ fn verify_function(program: &CompiledProgram, func_id: FuncId) -> Result<(), Ver
                     ));
                 }
             }
-            Instr::ProfLoopBack(l) if next_loops.last() != Some(&l) => {
+            Instr::ProfLoopBack(l) if next.loops.last() != Some(&l) => {
                 return Err(err(Some(pc), format!("back edge of {l} outside that loop")));
             }
             _ => {}
         }
 
         match instr {
-            Instr::Jump(t) => merge(&mut state, &mut work, t, next_depth, &next_loops)?,
+            Instr::Jump(t) => merge(&mut state, &mut work, t, next)?,
             Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) => {
-                merge(&mut state, &mut work, t, next_depth, &next_loops)?;
-                merge(&mut state, &mut work, pc + 1, next_depth, &next_loops)?;
+                merge(&mut state, &mut work, t, next.clone())?;
+                merge(&mut state, &mut work, pc + 1, next)?;
             }
             Instr::Ret | Instr::RetVal | Instr::Throw => {
                 // Terminators; returning with active loops is fine — the
@@ -267,7 +463,7 @@ fn verify_function(program: &CompiledProgram, func_id: FuncId) -> Result<(), Ver
                 if pc + 1 >= n {
                     return Err(err(Some(pc), "falls off the end of the code".into()));
                 }
-                merge(&mut state, &mut work, pc + 1, next_depth, &next_loops)?;
+                merge(&mut state, &mut work, pc + 1, next)?;
             }
         }
     }
@@ -289,6 +485,7 @@ fn returns_value(program: &CompiledProgram, call: &Instr) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bytecode::FieldId;
     use crate::compile::compile;
     use crate::instrument::InstrumentOptions;
 
@@ -396,6 +593,95 @@ mod tests {
         // The corpus-wide sweep lives in tests/verify_corpus.rs.
         assert_verifies(
             "class Main { static int main() { return fact(6); } static int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); } }",
+        );
+    }
+
+    /// Replaces the entry function's body with hand-built code (lines
+    /// table resized to match) for negative kind-checking tests.
+    fn with_main_code(src: &str, code: Vec<Instr>) -> CompiledProgram {
+        let mut p = compile(src).expect("compiles");
+        let entry = p.entry.index();
+        let f = &mut p.functions[entry];
+        f.lines = vec![f.decl_line; code.len()];
+        f.code = code;
+        p
+    }
+
+    #[test]
+    fn int_operand_to_getfield_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { return new Node(1).v; } } class Node { int v; Node(int v) { this.v = v; } }",
+            vec![Instr::ConstInt(7), Instr::GetField(FieldId(0)), Instr::RetVal],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("kind"), "{e}");
+        assert!(e.message.contains("expects ref"), "{e}");
+        assert!(e.message.contains("found int"), "{e}");
+    }
+
+    #[test]
+    fn add_on_references_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { return 1; } }",
+            vec![
+                Instr::ConstNull,
+                Instr::ConstNull,
+                Instr::Add,
+                Instr::RetVal,
+            ],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("kind"), "{e}");
+        assert!(e.message.contains("expects int"), "{e}");
+        assert!(e.message.contains("found ref"), "{e}");
+    }
+
+    #[test]
+    fn branch_on_int_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { return 1; } }",
+            vec![
+                Instr::ConstInt(1),
+                Instr::JumpIfFalse(2),
+                Instr::ConstInt(0),
+                Instr::RetVal,
+            ],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("kind"), "{e}");
+        assert!(e.message.contains("expects bool"), "{e}");
+    }
+
+    #[test]
+    fn equality_across_kinds_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { return 1; } }",
+            vec![
+                Instr::ConstInt(3),
+                Instr::ConstNull,
+                Instr::CmpEq,
+                Instr::Pop,
+                Instr::ConstInt(0),
+                Instr::RetVal,
+            ],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("kind"), "{e}");
+        assert!(e.message.contains("compares int with ref"), "{e}");
+    }
+
+    #[test]
+    fn kinds_join_to_any_at_merges() {
+        // Different branches can leave different provable facts in a
+        // local; reading it afterwards joins to Any and still verifies.
+        assert_verifies(
+            r#"class Main {
+                static int main() {
+                    int x = 0;
+                    if (readInput() > 0) { x = 1; } else { x = 2; }
+                    return x;
+                }
+            }"#,
         );
     }
 }

@@ -30,4 +30,9 @@ trap 'rm -rf "$sweep_out"' EXIT
 cmp "$sweep_out/j1.json" "$sweep_out/j2.json"
 cmp "$sweep_out/j1.txt" "$sweep_out/j2.txt"
 
+echo "==> static analysis (lint) over shipped examples"
+for example in examples/*.jay; do
+    ./target/release/algoprof lint "$example" > /dev/null
+done
+
 echo "verify: OK"

@@ -87,3 +87,86 @@ fn optimized_profiles_count_the_same_steps() {
         "algorithmic steps are implementation-cost independent"
     );
 }
+
+#[test]
+fn dead_branch_removal_keeps_index_hints_aligned() {
+    // Regression guard for an ordinal-desync hazard: `fold_program`
+    // removes the constant-false branch (and the loop inside it) from
+    // the HIR *before* the index-dataflow analysis and code generation
+    // run, so both see the same loop pre-order. If either pass ever ran
+    // on the unfolded HIR while the other saw the folded one, the hint
+    // ordinals would shift by one and `resolve_loop_hints` would pair
+    // the wrong loops (or none).
+    let src = r#"class Main {
+        static int main() {
+            int n = 8;
+            int s = 0;
+            if (1 > 2) {
+                for (int d = 0; d < n; d = d + 1) { s = s + d; }
+            }
+            int[] a = new int[n];
+            for (int i = 0; i < n; i = i + 1) {
+                for (int j = 0; j < n; j = j + 1) { s = s + a[i]; }
+            }
+            return s;
+        }
+    }"#;
+
+    let hint_names = |p: &algoprof_vm::CompiledProgram| -> Vec<(String, String)> {
+        p.loop_hints
+            .iter()
+            .map(|&(outer, inner)| {
+                (
+                    p.loop_info(outer).name.clone(),
+                    p.loop_info(inner).name.clone(),
+                )
+            })
+            .collect()
+    };
+
+    let plain = compile(src)
+        .expect("compiles")
+        .instrument(&InstrumentOptions::default());
+    let (folded, stats) = compile_with_options(
+        src,
+        &CompileOptions {
+            fold_constants: true,
+        },
+    )
+    .expect("compiles");
+    let folded = folded.instrument(&InstrumentOptions::default());
+    verify(&folded).expect("folded program verifies");
+
+    assert!(
+        stats.branches_resolved >= 1,
+        "the constant-false branch must be resolved: {stats:?}"
+    );
+    assert_eq!(plain.loops.len(), 3, "unfolded program keeps the dead loop");
+    assert_eq!(folded.loops.len(), 2, "folding removes the dead loop");
+
+    // The Listing-5-style hint (outer drives the index `i` used by the
+    // inner loop's accesses) must resolve to the same *source* loops in
+    // both compiles. Ordinals shift when the dead loop disappears (they
+    // are part of the name), so compare the header lines the names
+    // carry.
+    let header_lines = |hints: Vec<(String, String)>| -> Vec<(String, String)> {
+        let line = |name: &str| name.split("@L").nth(1).expect("has line").to_string();
+        hints
+            .into_iter()
+            .map(|(o, i)| (line(&o), line(&i)))
+            .collect()
+    };
+    let plain_hints = hint_names(&plain);
+    let folded_hints = hint_names(&folded);
+    assert!(
+        !folded_hints.is_empty(),
+        "index hint must survive dead-branch removal"
+    );
+    assert_eq!(
+        header_lines(plain_hints),
+        header_lines(folded_hints.clone())
+    );
+    let (outer, inner) = &folded_hints[0];
+    assert_eq!(outer, "Main.main:loop0@L9", "folded ordinals restart at 0");
+    assert_eq!(inner, "Main.main:loop1@L10");
+}
