@@ -46,7 +46,7 @@ fn corpus_jobs(sizes: &[u64]) -> Vec<SweepJob> {
 }
 
 /// All four equivalence-criterion ablations, exercising the
-/// replay-fan-out half of the engine.
+/// single-pass fanout half of the engine.
 fn ablations() -> Vec<SweepAblation> {
     [
         ("some", EquivalenceCriterion::SomeElements),

@@ -18,7 +18,7 @@ use algoprof::{
 };
 use algoprof_programs::{array_list_program, GrowthPolicy};
 use algoprof_trace::{TraceHeader, TraceRecorder};
-use algoprof_vm::{compile, InstrumentOptions, Interp, NoopProfiler};
+use algoprof_vm::{compile, InstrumentOptions, Interp, NoopProfiler, Tee};
 
 const CRITERIA: [EquivalenceCriterion; 4] = [
     EquivalenceCriterion::SomeElements,
@@ -48,7 +48,7 @@ fn bench_trace(c: &mut Criterion) {
         b.iter(|| {
             let mut rec = TraceRecorder::new(&header, Vec::new());
             Interp::new(&program).run(&mut rec).expect("runs");
-            rec.finish().expect("finishes").0.total_bytes
+            rec.finish().expect("finishes").total_bytes
         })
     });
 
@@ -62,9 +62,10 @@ fn bench_trace(c: &mut Criterion) {
     });
     group.bench_function("record_tee_algoprof", |b| {
         b.iter(|| {
-            let mut rec = TraceRecorder::with_tee(&header, Vec::new(), AlgoProf::new());
-            Interp::new(&program).run(&mut rec).expect("runs");
-            let (stats, prof) = rec.finish().expect("finishes");
+            let mut sink = Tee::new(TraceRecorder::new(&header, Vec::new()), AlgoProf::new());
+            Interp::new(&program).run(&mut sink).expect("runs");
+            let Tee { a: rec, b: prof } = sink;
+            let stats = rec.finish().expect("finishes");
             (stats.total_bytes, prof.finish(&program).algorithms().len())
         })
     });

@@ -41,7 +41,7 @@
 
 use std::fmt::Write as _;
 
-use algoprof_vm::{CompiledProgram, FuncId, Heap, ProfilerHooks};
+use algoprof_vm::{CompiledProgram, Event, EventCx, EventSink, FuncId};
 
 /// Index of a node in the [`CctProfile`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -282,8 +282,8 @@ impl Default for CctProfiler {
     }
 }
 
-impl ProfilerHooks for CctProfiler {
-    fn on_method_entry(&mut self, func: FuncId, _program: &CompiledProgram, _heap: &Heap) {
+impl CctProfiler {
+    fn enter(&mut self, func: FuncId) {
         let parent = self.current();
         let child = self.nodes[parent.index()]
             .children
@@ -310,16 +310,21 @@ impl ProfilerHooks for CctProfiler {
         self.nodes[child.index()].calls += 1;
         self.stack.push(child);
     }
+}
 
-    fn on_method_exit(&mut self, _func: FuncId, _program: &CompiledProgram, _heap: &Heap) {
-        if self.stack.len() > 1 {
-            self.stack.pop();
+impl EventSink for CctProfiler {
+    fn event(&mut self, ev: &Event, _cx: &EventCx<'_>) {
+        match *ev {
+            Event::MethodEntry { func } => self.enter(func),
+            Event::MethodExit { .. } if self.stack.len() > 1 => {
+                self.stack.pop();
+            }
+            Event::Instruction { .. } => {
+                let cur = self.current();
+                self.nodes[cur.index()].exclusive += 1;
+            }
+            _ => {}
         }
-    }
-
-    fn on_instruction(&mut self, _func: FuncId) {
-        let cur = self.current();
-        self.nodes[cur.index()].exclusive += 1;
     }
 }
 

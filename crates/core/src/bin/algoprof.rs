@@ -4,6 +4,7 @@
 //! algoprof [OPTIONS] <program.jay>          profile a program live
 //! algoprof record <program.jay> -o <trace>  execute once, save the event trace
 //! algoprof analyze <trace> [OPTIONS]        profile a recording (no re-execution)
+//! algoprof events <trace> [--json] [--limit N]   dump a recording's events
 //! algoprof sweep <program.jay> --sizes n,.. profile a whole input-size sweep
 //! algoprof lint <program.jay> [--json] [--strict]   static analysis + lints
 //! algoprof disasm <program.jay> [--cfg]     disassemble (or emit Graphviz CFG)
@@ -29,9 +30,10 @@
 //! ```
 //!
 //! `record` + repeated `analyze` decouple execution from analysis: one
-//! guest run supports any number of option ablations. `sweep` composes
-//! both: it records the program once per size on a worker pool, replays
-//! every recording under every ablation in parallel, and merges the
+//! guest run supports any number of option ablations, and `events`
+//! renders the raw recording for inspection. `sweep` goes one better: it
+//! executes the program once per size on a worker pool with every
+//! ablation fanned out over the same live event stream, and merges the
 //! results into one deterministic report (byte-identical for every `-j`).
 //!
 //! Every failure — unknown flag, missing argument, unreadable path,
@@ -51,6 +53,7 @@ const USAGE: &str = "usage: algoprof [--criterion some|all|array|type] [--sizing
      [--input v1,v2,...] [--csv <needle>] [--html <file.html>] [--check] <program.jay>\n\
        algoprof record <program.jay> -o <trace.aptr> [--input v1,v2,...]\n\
        algoprof analyze <trace.aptr> [analysis options as above, plus --check]\n\
+       algoprof events <trace.aptr> [--json] [--limit N]\n\
        algoprof sweep <program.jay> --sizes n1,n2,... [-j N] \
      [--criteria some,all,array,type] [--sizing ...] [--snapshots ...] [--grouping ...] \
      [--json <file.json>] [--html <file.html>] [--quiet]\n\
@@ -91,6 +94,7 @@ fn main() -> ExitCode {
         None => Err(CliError::Usage("missing subcommand or program file".into())),
         Some("record") => record_main(&args[1..]),
         Some("analyze") => analyze_main(&args[1..]),
+        Some("events") => events_main(&args[1..]),
         Some("sweep") => sweep_main(&args[1..]),
         Some("lint") => lint_main(&args[1..]),
         Some("disasm") => disasm_main(&args[1..]),
@@ -371,6 +375,58 @@ fn analyze_main(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `algoprof events <trace.aptr>`: decode a recording into one line per
+/// event, human-readable by default or JSON lines with `--json`.
+/// `--limit N` caps the printed lines; the replay still validates the
+/// whole stream either way.
+fn events_main(args: &[String]) -> Result<(), CliError> {
+    let mut json = false;
+    let mut limit: Option<u64> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--limit" => {
+                let v = flag_value(args, i)?;
+                limit = Some(v.parse().map_err(|_| {
+                    CliError::Usage(format!("invalid event limit {v:?} for --limit"))
+                })?);
+                i += 1;
+            }
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!(
+                    "unknown option {other:?} for events"
+                )));
+            }
+            other => positional.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    let [path] = positional.as_slice() else {
+        return Err(CliError::Usage(
+            "events expects exactly one trace file".into(),
+        ));
+    };
+    let trace =
+        std::fs::read(path).map_err(|e| CliError::from(ProfileError::io("read", path, &e)))?;
+    let (header, events) =
+        algoprof_trace::read_header(&trace).map_err(|e| CliError::Run(e.to_string()))?;
+    // Recompile the embedded source so every id in the stream resolves
+    // to its name, exactly as `analyze` does.
+    let program = algoprof_vm::compile(&header.source)
+        .map_err(|e| CliError::Run(e.to_string()))?
+        .instrument(&header.instrument);
+    let stdout = std::io::stdout().lock();
+    let mut sink = algoprof_trace::DumpSink::new(std::io::BufWriter::new(stdout), json, limit);
+    algoprof_trace::TraceReplayer::new()
+        .replay(&program, events, &mut sink)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    sink.finish()
+        .map_err(|e| CliError::Run(format!("cannot write event dump: {e}")))?;
+    Ok(())
+}
+
 /// `algoprof lint <prog.jay>`: static complexity analysis + lint catalog.
 /// Exits 1 when any error-level diagnostic fires (`--strict` promotes
 /// warnings to the same fate); warnings alone keep exit 0.
@@ -452,9 +508,9 @@ fn disasm_main(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `algoprof sweep <prog.jay> --sizes n1,n2,...`: record the program once
-/// per size on a worker pool, replay every recording under every
-/// requested ablation, and emit one merged report.
+/// `algoprof sweep <prog.jay> --sizes n1,n2,...`: execute the program
+/// once per size on a worker pool, profiling every requested ablation
+/// from the same live event stream, and emit one merged report.
 fn sweep_main(args: &[String]) -> Result<(), CliError> {
     let mut sizes: Vec<u64> = Vec::new();
     let mut workers = 0usize;
@@ -524,8 +580,9 @@ fn sweep_main(args: &[String]) -> Result<(), CliError> {
     if sizes.is_empty() {
         return Err(CliError::Usage("sweep requires --sizes n1,n2,...".into()));
     }
-    // `--criteria a,b` fans each recording out to one analysis per
-    // criterion; without it the sweep runs the single base configuration.
+    // `--criteria a,b` fans each job's live event stream out to one
+    // profiler per criterion; without it the sweep runs the single base
+    // configuration.
     let ablations = if criteria.is_empty() {
         vec![SweepAblation {
             name: "default".to_owned(),

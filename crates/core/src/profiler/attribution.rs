@@ -1,0 +1,230 @@
+//! Input-attribution stage: the data-flow half of AlgoProf.
+//!
+//! [`AttributionStage`] owns the input registry and reacts to the *data*
+//! events — field/array accesses and external I/O. For each access it
+//! identifies the input behind the reference (reverse reference map
+//! first, then snapshot + equivalence criterion), counts the access on
+//! the current invocation, and tracks per-invocation sizes with the
+//! paper's first-access / exit-remeasurement snapshot optimization
+//! (§3.4). It navigates the repetition tree only through the
+//! [`RepetitionStage`] handed to each call.
+
+use algoprof_vm::{ClassId, CompiledProgram, Heap, Value};
+
+use crate::cost::{AccessOp, CostKey};
+use crate::inputs::{InputId, InputRegistry};
+use crate::reptree::ActiveObservation;
+use crate::snapshot::{ElemKey, SnapshotStats};
+
+use super::repetition::RepetitionStage;
+use super::{AlgoProfOptions, SnapshotPolicy};
+
+/// What kind of heap location an access event touched: an array slot,
+/// or an object field (with the object's class when known).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessTarget {
+    Array,
+    Field(Option<ClassId>),
+}
+
+/// Identifies inputs and records access/size observations.
+#[derive(Debug)]
+pub struct AttributionStage {
+    registry: InputRegistry,
+    snapshot_policy: SnapshotPolicy,
+}
+
+impl AttributionStage {
+    /// A fresh stage configured from the profiler options.
+    pub fn new(opts: &AlgoProfOptions) -> Self {
+        AttributionStage {
+            registry: InputRegistry::with_incremental(
+                opts.criterion,
+                opts.array_strategy,
+                opts.incremental,
+            ),
+            snapshot_policy: opts.snapshot_policy,
+        }
+    }
+
+    /// The input registry built so far.
+    pub fn registry(&self) -> &InputRegistry {
+        &self.registry
+    }
+
+    /// Consumes the stage, yielding the registry for profile building.
+    pub fn into_registry(self) -> InputRegistry {
+        self.registry
+    }
+
+    /// Counters of snapshot-traversal work done (and saved) so far.
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        self.registry.snapshot_stats()
+    }
+
+    /// Resolves the input accessed through reference `r`, taking a
+    /// snapshot only when needed. Returns the input and the size if one
+    /// was measured.
+    fn resolve_input(
+        &mut self,
+        rep: &RepetitionStage,
+        program: &CompiledProgram,
+        heap: &Heap,
+        r: Value,
+    ) -> Option<(InputId, Option<usize>)> {
+        let key = match r {
+            Value::Obj(o) => ElemKey::Obj(o),
+            Value::Arr(a) => ElemKey::Arr(a),
+            _ => return None,
+        };
+        if let Some(id) = self.registry.resolve_ref(key) {
+            return Some((id, None));
+        }
+        // Unknown reference. Under the first/last policy, attribute
+        // mid-construction references to the invocation's open input
+        // without traversing (the paper's "memorize the one accessed
+        // reference" trick) — but only for structures; arrays are always
+        // identified.
+        if self.snapshot_policy == SnapshotPolicy::FirstAndLast && matches!(r, Value::Obj(_)) {
+            if let Some(open) = rep.current().and_then(|c| c.open_input) {
+                return Some((open, None));
+            }
+        }
+        let m = self.registry.measure_unidentified(program, heap, r)?;
+        let size = m.snapshot.size_under(self.registry.array_strategy());
+        let candidates = rep.chain_candidates();
+        let id = self.registry.identify(m, &candidates);
+        Some((id, Some(size)))
+    }
+
+    /// Records an access observation of `input` through `r` on the
+    /// current node's active invocation.
+    fn observe(
+        &mut self,
+        rep: &mut RepetitionStage,
+        program: &CompiledProgram,
+        heap: &Heap,
+        input: InputId,
+        r: Value,
+        measured: Option<usize>,
+    ) {
+        let every_access = self.snapshot_policy == SnapshotPolicy::EveryAccess;
+        let exists = rep.current().is_some_and(|c| c.inputs.contains_key(&input));
+
+        // First access in this invocation (or every access, under that
+        // policy): measure from the accessed reference and refresh the
+        // registry.
+        let size = if !exists || every_access {
+            match measured {
+                Some(s) => Some(s),
+                None => self.registry.remeasure(program, heap, input, r),
+            }
+        } else {
+            None
+        };
+
+        let cur = rep
+            .current_mut()
+            .expect("the current node has an active invocation");
+        let obs = cur.inputs.entry(input).or_insert_with(|| {
+            let s = size.unwrap_or(0);
+            ActiveObservation {
+                first_size: s,
+                exit_size: s,
+                max_size: s,
+                last_ref: None,
+            }
+        });
+        obs.last_ref = Some(r);
+        if let Some(s) = size {
+            obs.max_size = obs.max_size.max(s);
+            obs.exit_size = s;
+        }
+        // Only *structure* accesses set the open input: unresolved object
+        // references fall back to it mid-construction. Array accesses must
+        // not capture it, or freshly allocated helper arrays would swallow
+        // subsequent unknown objects.
+        if matches!(r, Value::Obj(_)) {
+            cur.open_input = Some(input);
+        }
+    }
+
+    /// The paper's `remeasureInputs`: re-snapshot every input of the
+    /// terminating invocation from the last reference accessed. Called
+    /// *before* the repetition stage finalizes the invocation.
+    pub fn remeasure_inputs(
+        &mut self,
+        rep: &mut RepetitionStage,
+        program: &CompiledProgram,
+        heap: &Heap,
+    ) {
+        let entries: Vec<(InputId, Value)> = match rep.current() {
+            Some(cur) => cur
+                .inputs
+                .iter()
+                .filter_map(|(&id, obs)| obs.last_ref.map(|r| (id, r)))
+                .collect(),
+            None => return,
+        };
+        for (id, r) in entries {
+            if let Some(size) = self.registry.remeasure(program, heap, id, r) {
+                if let Some(obs) = rep.current_mut().and_then(|c| c.inputs.get_mut(&id)) {
+                    obs.exit_size = size;
+                    obs.max_size = obs.max_size.max(size);
+                }
+            }
+        }
+    }
+
+    /// Handles one field or array access event end-to-end: resolve the
+    /// input, count the access, observe the size.
+    pub fn on_access(
+        &mut self,
+        rep: &mut RepetitionStage,
+        r: Value,
+        op: AccessOp,
+        target: AccessTarget,
+        program: &CompiledProgram,
+        heap: &Heap,
+    ) {
+        let Some((input, measured)) = self.resolve_input(rep, program, heap, r) else {
+            return;
+        };
+        // Events fire after the mutation, so the current heap epoch covers
+        // this write.
+        if op == AccessOp::Write {
+            self.registry.mark_dirty(input, heap.epoch());
+        }
+        match target {
+            AccessTarget::Array => rep.bump(CostKey::ArrayAccess { input, op }),
+            AccessTarget::Field(class) => {
+                rep.bump(CostKey::StructAccess { input, op });
+                if let Some(class) = class {
+                    rep.bump(CostKey::StructAccessByType { input, class, op });
+                }
+            }
+        }
+        self.observe(rep, program, heap, input, r, measured);
+    }
+
+    /// External I/O: both streams are inputs whose "size" is the number
+    /// of values transferred so far in the current invocation.
+    pub fn on_external_io(&mut self, rep: &mut RepetitionStage, op: AccessOp) {
+        let (id, key) = match op {
+            AccessOp::Read => (self.registry.external_input(), CostKey::InputRead),
+            AccessOp::Write => (self.registry.external_output(), CostKey::OutputWrite),
+        };
+        rep.bump(key);
+        self.registry.bump_external(id);
+        if let Some(cur) = rep.current_mut() {
+            let obs = cur.inputs.entry(id).or_insert(ActiveObservation {
+                first_size: 0,
+                exit_size: 0,
+                max_size: 0,
+                last_ref: None,
+            });
+            obs.max_size += 1;
+            obs.exit_size = obs.max_size;
+        }
+    }
+}

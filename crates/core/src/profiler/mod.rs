@@ -1,0 +1,215 @@
+//! The AlgoProf dynamic analysis (paper §3.2–§3.4).
+//!
+//! `AlgoProf` is an [`EventSink`]: it consumes the VM's unified
+//! [`Event`] stream (live from the interpreter, or replayed from a
+//! recording — same code path either way) and incrementally builds an
+//! algorithmic profile. Internally it is a two-stage pipeline:
+//!
+//! * [`RepetitionStage`] handles the control-flow events, following the
+//!   paper's pseudocode — **loop entry** `tn = tn.getOrCreateChild(loop)`
+//!   plus a shadow push; **loop back edge** `tn.cost{STEP}++`; **loop
+//!   exit** finalize and pop; **method entry** folds recursion by
+//!   jumping to a header on the path to the root (counting a step) or
+//!   creating a recursion child; **method exit** finalizes when the
+//!   recursion depth returns to zero;
+//! * [`AttributionStage`] handles the data events — field/array accesses
+//!   identify the input (reverse reference map, then snapshot +
+//!   equivalence criterion), count the access, and track per-invocation
+//!   sizes with the paper's first-access / exit-remeasurement snapshot
+//!   optimization.
+//!
+//! The [`EventSink`] impl on [`AlgoProf`] is the pipeline driver: it
+//! routes each event to the right stage and sequences the one cross-stage
+//! interaction (inputs are remeasured *before* a repetition finalizes).
+
+pub mod attribution;
+pub mod repetition;
+
+use algoprof_vm::{CompiledProgram, Event, EventCx, EventSink, Value};
+
+use crate::cost::{AccessOp, CostKey};
+use crate::inputs::InputRegistry;
+use crate::profile::AlgorithmicProfile;
+use crate::reptree::RepTree;
+use crate::snapshot::{ArraySizeStrategy, EquivalenceCriterion, IncrementalMode, SnapshotStats};
+
+pub use attribution::{AccessTarget, AttributionStage};
+pub use repetition::RepetitionStage;
+
+/// When structure snapshots are taken (paper §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SnapshotPolicy {
+    /// Snapshot at a repetition's first access of each input and once
+    /// more at repetition exit (`remeasureInputs`) — AlgoProf's
+    /// optimization.
+    #[default]
+    FirstAndLast,
+    /// Snapshot at every access (precise but expensive; kept for the
+    /// ablation benchmarks).
+    EveryAccess,
+}
+
+/// Configuration of the algorithmic profiler.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AlgoProfOptions {
+    /// Snapshot-equivalence criterion for input identity.
+    pub criterion: EquivalenceCriterion,
+    /// Array sizing strategy.
+    pub array_strategy: ArraySizeStrategy,
+    /// Snapshot frequency.
+    pub snapshot_policy: SnapshotPolicy,
+    /// How repetitions group into algorithms.
+    pub grouping: crate::algorithms::GroupingStrategy,
+    /// Snapshot-cache behaviour for re-measured inputs.
+    pub incremental: IncrementalMode,
+}
+
+/// The algorithmic profiler. Feed it to
+/// [`Interp::run`](algoprof_vm::Interp::run) against an *instrumented*
+/// program — or compose it with other sinks via
+/// [`Tee`](algoprof_vm::Tee) / [`Fanout`](algoprof_vm::Fanout) — then
+/// call [`AlgoProf::finish`] to obtain the profile.
+///
+/// # Example
+///
+/// ```
+/// use algoprof_vm::{compile, InstrumentOptions, Interp};
+/// use algoprof::AlgoProf;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let src = r#"
+///     class Main {
+///         static int main() {
+///             int s = 0;
+///             for (int i = 0; i < 10; i = i + 1) { s = s + i; }
+///             return s;
+///         }
+///     }
+/// "#;
+/// let program = compile(src)?.instrument(&InstrumentOptions::default());
+/// let mut prof = AlgoProf::new();
+/// Interp::new(&program).run(&mut prof)?;
+/// let profile = prof.finish(&program);
+/// // Two algorithms: the program root and the loop.
+/// assert_eq!(profile.algorithms().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct AlgoProf {
+    opts: AlgoProfOptions,
+    repetition: RepetitionStage,
+    attribution: AttributionStage,
+}
+
+impl AlgoProf {
+    /// Creates a profiler with default options (SomeElements equivalence,
+    /// capacity array sizing, first/last snapshots).
+    pub fn new() -> Self {
+        AlgoProf::with_options(AlgoProfOptions::default())
+    }
+
+    /// Creates a profiler with explicit options.
+    pub fn with_options(opts: AlgoProfOptions) -> Self {
+        AlgoProf {
+            opts,
+            repetition: RepetitionStage::new(),
+            attribution: AttributionStage::new(&opts),
+        }
+    }
+
+    /// The repetition tree built so far.
+    pub fn tree(&self) -> &RepTree {
+        self.repetition.tree()
+    }
+
+    /// The input registry built so far.
+    pub fn registry(&self) -> &InputRegistry {
+        self.attribution.registry()
+    }
+
+    /// Counters of snapshot-traversal work done (and saved) so far.
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        self.attribution.snapshot_stats()
+    }
+
+    /// Finalizes all open invocations and produces the profile.
+    ///
+    /// Call this after the interpreter run completed successfully; a
+    /// failed run leaves partially-attributed data.
+    pub fn finish(self, program: &CompiledProgram) -> AlgorithmicProfile {
+        let AlgoProf {
+            opts,
+            repetition,
+            attribution,
+        } = self;
+        AlgorithmicProfile::build_with(
+            repetition.into_finalized_tree(),
+            attribution.into_registry(),
+            program,
+            opts.grouping,
+        )
+    }
+}
+
+impl Default for AlgoProf {
+    fn default() -> Self {
+        AlgoProf::new()
+    }
+}
+
+impl EventSink for AlgoProf {
+    fn event(&mut self, ev: &Event, cx: &EventCx<'_>) {
+        let (program, heap) = (cx.program, cx.heap);
+        let (rep, attr) = (&mut self.repetition, &mut self.attribution);
+        match *ev {
+            Event::LoopEntry { l } => rep.enter_loop(l),
+            Event::LoopBackEdge { .. } => rep.bump(CostKey::Step),
+            Event::LoopExit { .. } => {
+                attr.remeasure_inputs(rep, program, heap);
+                rep.exit_loop();
+            }
+            Event::MethodEntry { func } => rep.enter_method(func),
+            Event::MethodExit { .. } => {
+                if rep.leave_method_frame() {
+                    attr.remeasure_inputs(rep, program, heap);
+                    rep.finalize_current();
+                }
+                rep.pop_method();
+            }
+            Event::FieldRead { obj, .. } => {
+                let class = match obj {
+                    Value::Obj(o) => Some(heap.object(o).class),
+                    _ => None,
+                };
+                let target = AccessTarget::Field(class);
+                attr.on_access(rep, obj, AccessOp::Read, target, program, heap);
+            }
+            Event::FieldWrite { obj, tracked, .. } if tracked => {
+                let target = AccessTarget::Field(Some(heap.object(obj).class));
+                attr.on_access(rep, Value::Obj(obj), AccessOp::Write, target, program, heap);
+            }
+            Event::ArrayRead { arr } => {
+                attr.on_access(rep, arr, AccessOp::Read, AccessTarget::Array, program, heap);
+            }
+            Event::ArrayWrite { arr, tracked, .. } if tracked => {
+                attr.on_access(
+                    rep,
+                    Value::Arr(arr),
+                    AccessOp::Write,
+                    AccessTarget::Array,
+                    program,
+                    heap,
+                );
+            }
+            Event::ObjectAlloc { class, tracked, .. } if tracked => {
+                rep.bump(CostKey::Creation { class });
+            }
+            Event::InputRead => attr.on_external_io(rep, AccessOp::Read),
+            Event::OutputWrite => attr.on_external_io(rep, AccessOp::Write),
+            // Untracked mutations, array allocations, and instruction
+            // ticks carry no algorithmic cost.
+            _ => {}
+        }
+    }
+}

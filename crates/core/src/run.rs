@@ -6,7 +6,7 @@
 use std::fmt;
 
 use algoprof_trace::{read_header, TraceError, TraceHeader, TraceRecorder, TraceReplayer};
-use algoprof_vm::{compile, CompileError, InstrumentOptions, Interp, RuntimeError};
+use algoprof_vm::{compile, CompileError, InstrumentOptions, Interp, RuntimeError, Tee};
 
 use crate::profile::AlgorithmicProfile;
 use crate::profiler::{AlgoProf, AlgoProfOptions};
@@ -160,8 +160,8 @@ pub fn record_source_with(
 }
 
 /// Executes the guest once, producing its event trace *and* a live
-/// profile from the same run: the recorder tees every event to an
-/// [`AlgoProf`] configured with `options`.
+/// profile from the same run: a [`Tee`] delivers every event to the
+/// recorder first, then to an [`AlgoProf`] configured with `options`.
 ///
 /// # Errors
 ///
@@ -174,15 +174,18 @@ pub fn record_and_profile_source(
 ) -> Result<(Vec<u8>, AlgorithmicProfile), ProfileError> {
     let program = compile(source)?.instrument(instrument);
     let mut bytes = Vec::new();
-    let mut recorder = TraceRecorder::with_tee(
-        &TraceHeader::new(source, instrument, input),
-        &mut bytes,
+    let mut sink = Tee::new(
+        TraceRecorder::new(&TraceHeader::new(source, instrument, input), &mut bytes),
         AlgoProf::with_options(options),
     );
     Interp::new(&program)
         .with_input(input.to_vec())
-        .run(&mut recorder)?;
-    let (_, profiler) = recorder.finish().expect("writes to a Vec<u8> cannot fail");
+        .run(&mut sink)?;
+    let Tee {
+        a: recorder,
+        b: profiler,
+    } = sink;
+    recorder.finish().expect("writes to a Vec<u8> cannot fail");
     let profile = profiler.finish(&program);
     Ok((bytes, profile))
 }

@@ -5,15 +5,13 @@
 //! input sizes. A sweep turns that into an explicit job list — one
 //! [`SweepJob`] per input size, crossed with any number of
 //! analysis-option ablations — and runs it on a pool of worker threads
-//! in two parallel phases:
-//!
-//! 1. **Record** (one task per job): compile + execute the guest once,
-//!    capturing its APTR event trace.
-//! 2. **Analyze** (one task per job × ablation): replay the job's
-//!    recording under the ablation's [`AlgoProfOptions`]. Several
-//!    analyzers replay *the same immutable recording* concurrently —
-//!    each [`TraceReplayer`](algoprof_trace::TraceReplayer) owns its
-//!    shadow heap, the trace bytes are shared read-only.
+//! in a **single parallel pass**: each job compiles and executes its
+//! guest exactly once, with the interpreter driving a
+//! [`Tee`](algoprof_vm::Tee) of the trace recorder (for reproducibility
+//! stats) and a [`Fanout`](algoprof_vm::Fanout) of one [`AlgoProf`] per
+//! ablation. All ablations observe the identical live event stream, so
+//! their profiles equal what a record-then-replay pipeline would have
+//! produced — without re-decoding the recording N times.
 //!
 //! The merged report is **deterministic**: results land in
 //! pre-assigned slots indexed by job (see [`crate::pool`]), the merge
@@ -25,13 +23,13 @@ use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 use algoprof_fit::{best_fit, fit_power_law, ComplexityClass, Fit, PowerFit};
-use algoprof_trace::{read_header, TraceReplayer};
-use algoprof_vm::compile;
+use algoprof_trace::{TraceHeader, TraceRecorder};
+use algoprof_vm::{compile, Fanout, InstrumentOptions, Interp, Tee};
 
 use crate::pool::{default_workers, run_indexed};
 use crate::profile::{AlgorithmicProfile, CostMetric};
 use crate::profiler::{AlgoProf, AlgoProfOptions};
-use crate::run::{record_source_with, ProfileError};
+use crate::run::ProfileError;
 
 // The whole pipeline fans profiles out across threads; keep that
 // guaranteed at compile time.
@@ -129,7 +127,9 @@ impl Default for SweepConfig {
 pub struct SweepError {
     /// Label of the failing job.
     pub job: String,
-    /// Ablation name, when the failure happened during analysis.
+    /// Ablation name, when the failure is specific to one analysis
+    /// configuration. In the single-pass pipeline all ablations observe
+    /// one execution, so compile/runtime failures carry `None`.
     pub ablation: Option<String>,
     /// The underlying failure.
     pub error: ProfileError,
@@ -269,69 +269,36 @@ pub fn run_sweep(jobs: &[SweepJob], config: &SweepConfig) -> Result<SweepReport,
         config.workers
     };
 
-    // Phase 1: record every job once, in parallel.
+    // Single pass: execute every job once, in parallel, with all
+    // ablations fanned out over the live event stream.
     let done = AtomicUsize::new(0);
-    let instrument = algoprof_vm::InstrumentOptions::default();
-    let traces: Vec<Result<Vec<u8>, ProfileError>> = run_indexed(jobs.len(), workers, |i| {
+    let instrument = InstrumentOptions::default();
+    let outcomes: Vec<Result<JobOutcome, ProfileError>> = run_indexed(jobs.len(), workers, |i| {
         let job = &jobs[i];
-        let out = record_source_with(&job.source, &instrument, &job.input);
+        let out = profile_job(&job.source, &job.input, &instrument, &ablations);
         if config.progress {
             let k = done.fetch_add(1, Ordering::Relaxed) + 1;
             match &out {
-                Ok(t) => eprintln!(
-                    "sweep: [{k}/{}] recorded {} ({} bytes)",
+                Ok(o) => eprintln!(
+                    "sweep: [{k}/{}] profiled {} ({} bytes, {} ablations)",
                     jobs.len(),
                     job.label,
-                    t.len()
+                    o.trace_bytes,
+                    o.profiles.len()
                 ),
                 Err(e) => eprintln!("sweep: [{k}/{}] {} FAILED: {e}", jobs.len(), job.label),
             }
         }
         out
     });
-    let mut recordings = Vec::with_capacity(jobs.len());
-    for (job, trace) in jobs.iter().zip(traces) {
-        match trace {
-            Ok(t) => recordings.push(t),
+    let mut results: Vec<JobOutcome> = Vec::with_capacity(jobs.len());
+    for (job, outcome) in jobs.iter().zip(outcomes) {
+        match outcome {
+            Ok(o) => results.push(o),
             Err(error) => {
                 return Err(SweepError {
                     job: job.label.clone(),
                     ablation: None,
-                    error,
-                })
-            }
-        }
-    }
-
-    // Phase 2: replay every (job, ablation) pair in parallel. The pair
-    // list is job-major, so slot order equals report order.
-    let pairs: Vec<(usize, usize)> = (0..jobs.len())
-        .flat_map(|j| (0..ablations.len()).map(move |a| (j, a)))
-        .collect();
-    let done = AtomicUsize::new(0);
-    let analyses: Vec<Result<(AlgorithmicProfile, u64), ProfileError>> =
-        run_indexed(pairs.len(), workers, |p| {
-            let (j, a) = pairs[p];
-            let out = analyze_recording(&recordings[j], ablations[a].options);
-            if config.progress {
-                let k = done.fetch_add(1, Ordering::Relaxed) + 1;
-                eprintln!(
-                    "sweep: [{k}/{}] analyzed {} [{}]",
-                    pairs.len(),
-                    jobs[j].label,
-                    ablations[a].name
-                );
-            }
-            out
-        });
-    let mut profiles: Vec<Vec<(AlgorithmicProfile, u64)>> = vec![Vec::new(); jobs.len()];
-    for (&(j, a), analysis) in pairs.iter().zip(analyses) {
-        match analysis {
-            Ok(pair) => profiles[j].push(pair),
-            Err(error) => {
-                return Err(SweepError {
-                    job: jobs[j].label.clone(),
-                    ablation: Some(ablations[a].name.clone()),
                     error,
                 })
             }
@@ -351,12 +318,12 @@ pub fn run_sweep(jobs: &[SweepJob], config: &SweepConfig) -> Result<SweepReport,
         report.jobs.push(SweepJobReport {
             label: job.label.clone(),
             size: job.size,
-            trace_bytes: recordings[j].len() as u64,
-            events: profiles[j].first().map(|&(_, e)| e).unwrap_or(0),
+            trace_bytes: results[j].trace_bytes,
+            events: results[j].events,
             runs: ablations
                 .iter()
-                .zip(&profiles[j])
-                .map(|(ab, (profile, _))| SweepRunReport {
+                .zip(&results[j].profiles)
+                .map(|(ab, profile)| SweepRunReport {
                     ablation: ab.name.clone(),
                     algorithms: profile.algorithms().len() as u64,
                     total_steps: profile
@@ -394,7 +361,7 @@ pub fn run_sweep(jobs: &[SweepJob], config: &SweepConfig) -> Result<SweepReport,
     for (a, ablation) in ablations.iter().enumerate() {
         for ((tag, members), predictions) in groups.iter().zip(&group_predictions) {
             let slice: Vec<&AlgorithmicProfile> =
-                members.iter().map(|&j| &profiles[j][a].0).collect();
+                members.iter().map(|&j| &results[j].profiles[a]).collect();
             // Every algorithm root name seen anywhere in this group, in
             // sorted order so the report layout is stable.
             let mut names: Vec<String> = Vec::new();
@@ -445,17 +412,55 @@ pub fn run_sweep(jobs: &[SweepJob], config: &SweepConfig) -> Result<SweepReport,
     Ok(report)
 }
 
-/// Replays one recording under one option set, returning the profile
-/// and the number of events decoded.
-fn analyze_recording(
-    trace: &[u8],
-    options: AlgoProfOptions,
-) -> Result<(AlgorithmicProfile, u64), ProfileError> {
-    let (header, events) = read_header(trace)?;
-    let program = compile(&header.source)?.instrument(&header.instrument);
-    let mut profiler = AlgoProf::with_options(options);
-    let stats = TraceReplayer::new().replay(&program, events, &mut profiler)?;
-    Ok((profiler.finish(&program), stats.events))
+/// What one single-pass job execution yields.
+struct JobOutcome {
+    /// Recording size in bytes (header + events + terminator).
+    trace_bytes: u64,
+    /// Events encoded into the recording.
+    events: u64,
+    /// One finished profile per ablation, in configuration order.
+    profiles: Vec<AlgorithmicProfile>,
+}
+
+/// Executes one job's guest exactly once, producing its recording stats
+/// and one profile per ablation from the same live event stream: the
+/// interpreter drives `Tee(recorder, Fanout(profilers))`, so the
+/// recorder observes each event first and the profilers observe it in
+/// ablation order.
+fn profile_job(
+    source: &str,
+    input: &[i64],
+    instrument: &InstrumentOptions,
+    ablations: &[SweepAblation],
+) -> Result<JobOutcome, ProfileError> {
+    let program = compile(source)?.instrument(instrument);
+    let mut bytes = Vec::new();
+    let mut sink = Tee::new(
+        TraceRecorder::new(&TraceHeader::new(source, instrument, input), &mut bytes),
+        Fanout::new(
+            ablations
+                .iter()
+                .map(|a| AlgoProf::with_options(a.options))
+                .collect(),
+        ),
+    );
+    Interp::new(&program)
+        .with_input(input.to_vec())
+        .run(&mut sink)?;
+    let Tee {
+        a: recorder,
+        b: fanout,
+    } = sink;
+    let stats = recorder.finish().expect("writes to a Vec<u8> cannot fail");
+    Ok(JobOutcome {
+        trace_bytes: stats.total_bytes,
+        events: stats.events,
+        profiles: fanout
+            .into_sinks()
+            .into_iter()
+            .map(|p| p.finish(&program))
+            .collect(),
+    })
 }
 
 // ------------------------------------------------------------ rendering
@@ -803,6 +808,49 @@ mod tests {
         // Both ablations produced a merged series.
         assert!(report.series.iter().any(|s| s.ablation == "some"));
         assert!(report.series.iter().any(|s| s.ablation == "type"));
+    }
+
+    #[test]
+    fn single_pass_profiles_equal_replayed() {
+        // The Fanout'd live profiles must be indistinguishable from the
+        // old record-then-replay pipeline, and the teed recording must
+        // be byte-identical to a pure recording run.
+        use crate::run::{profile_trace_with, record_source_with};
+        use crate::snapshot::EquivalenceCriterion;
+        let ablations = vec![
+            SweepAblation {
+                name: "some".into(),
+                options: AlgoProfOptions {
+                    criterion: EquivalenceCriterion::SomeElements,
+                    ..Default::default()
+                },
+            },
+            SweepAblation {
+                name: "type".into(),
+                options: AlgoProfOptions {
+                    criterion: EquivalenceCriterion::SameType,
+                    ..Default::default()
+                },
+            },
+        ];
+        let instrument = InstrumentOptions::default();
+        for &n in &[4u64, 9] {
+            let job = SweepJob::for_size(SIZED_LIST, n);
+            let outcome =
+                profile_job(&job.source, &job.input, &instrument, &ablations).expect("profiles");
+            let recording =
+                record_source_with(&job.source, &instrument, &job.input).expect("records");
+            assert_eq!(outcome.trace_bytes, recording.len() as u64);
+            assert!(outcome.events > 0);
+            for (ablation, live) in ablations.iter().zip(&outcome.profiles) {
+                let replayed = profile_trace_with(&recording, ablation.options).expect("replays");
+                assert_eq!(
+                    *live, replayed,
+                    "single-pass [{}] diverged from replay",
+                    ablation.name
+                );
+            }
+        }
     }
 
     #[test]

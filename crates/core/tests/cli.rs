@@ -171,6 +171,84 @@ fn sweep_failures_are_attributed_to_a_job() {
 }
 
 #[test]
+fn events_usage_and_run_errors() {
+    assert_usage_error(&["events"], "exactly one trace file");
+    assert_usage_error(&["events", "a.aptr", "b.aptr"], "exactly one trace file");
+    assert_usage_error(&["events", "a.aptr", "--frobnicate"], "--frobnicate");
+    assert_usage_error(&["events", "a.aptr", "--limit"], "--limit requires a value");
+    assert_usage_error(
+        &["events", "a.aptr", "--limit", "many"],
+        "invalid event limit",
+    );
+    assert_run_error(&["events", "/no/such.aptr"], "cannot read");
+
+    // A file that is not an APTR trace.
+    let dir = std::env::temp_dir().join(format!("algoprof-cli-events-err-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let junk = dir.join("junk.aptr");
+    std::fs::write(&junk, b"definitely not a trace").expect("writes");
+    assert_run_error(&["events", junk.to_str().unwrap()], "trace");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn events_dumps_a_recording() {
+    let dir = std::env::temp_dir().join(format!("algoprof-cli-events-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let src = dir.join("list.jay");
+    std::fs::write(
+        &src,
+        "class Main { static int main() {
+            Node head = null;
+            for (int i = 0; i < 3; i = i + 1) {
+                Node n = new Node();
+                n.next = head;
+                head = n;
+            }
+            return 0;
+        } }
+        class Node { Node next; }",
+    )
+    .expect("writes");
+    let trace = dir.join("list.aptr");
+    let out = algoprof(&[
+        "record",
+        src.to_str().unwrap(),
+        "-o",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    // Plain text: names resolved, one line per event.
+    let out = algoprof(&["events", trace.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("object_alloc obj@0 : Node"), "stdout: {text}");
+    assert!(text.contains("loop_entry Main.main:loop"), "stdout: {text}");
+    assert!(
+        text.contains("field_write obj@0.Node.next"),
+        "stdout: {text}"
+    );
+
+    // JSON lines.
+    let out = algoprof(&["events", trace.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let json = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(json.lines().count() > 0);
+    for line in json.lines() {
+        assert!(line.starts_with("{\"event\": \""), "line: {line}");
+        assert!(line.ends_with('}'), "line: {line}");
+    }
+
+    // --limit caps the output line count.
+    let out = algoprof(&["events", trace.to_str().unwrap(), "--limit", "2"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 2);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn lint_and_disasm_usage_errors() {
     assert_usage_error(&["lint"], "exactly one program file");
     assert_usage_error(&["lint", "a.jay", "b.jay"], "exactly one program file");

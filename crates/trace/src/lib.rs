@@ -6,22 +6,28 @@
 //! grouping re-runs the interpreted program. This crate splits the two
 //! with a durable event stream:
 //!
-//! * [`TraceRecorder`] is a [`ProfilerHooks`](algoprof_vm::ProfilerHooks)
-//!   sink that serializes every event to a compact binary format
-//!   (tag bytes + LEB128 varints, reference ids delta-encoded), teeing
-//!   to an optional inner sink so recording composes with live
-//!   profiling;
+//! * [`TraceRecorder`] is an [`EventSink`](algoprof_vm::EventSink) that
+//!   serializes every event to a compact binary format (tag bytes +
+//!   LEB128 varints, reference ids delta-encoded); compose it with live
+//!   sinks via [`Tee`](algoprof_vm::Tee) / [`Fanout`](algoprof_vm::Fanout)
+//!   so recording rides along with any profiling pipeline;
 //! * [`TraceReplayer`] rebuilds a shadow [`Heap`](algoprof_vm::Heap)
-//!   from the recorded raw mutations and drives any `ProfilerHooks`
-//!   implementation to the *identical* observations it would have made
-//!   live — one recording supports re-analysis under every profiler
-//!   configuration without re-executing the guest.
+//!   from the recorded mutations and drives any
+//!   [`EventSink`](algoprof_vm::EventSink) to the *identical*
+//!   observations it would have made live — one consumer code path, two
+//!   drivers — so one recording supports re-analysis under every
+//!   profiler configuration without re-executing the guest;
+//! * [`DumpSink`] renders the decoded stream as human-readable or
+//!   JSON-lines text (the `algoprof events` subcommand).
 //!
 //! The trace header embeds the guest source, instrumentation options,
 //! and input values, so a trace file is self-contained (see
 //! `docs/TRACE.md` for the wire format). The one event outside the
-//! format is `on_instruction`: per-instruction ticks would dominate the
-//! stream byte-wise and AlgoProf never consumes them.
+//! format is [`Event::Instruction`](algoprof_vm::Event::Instruction):
+//! per-instruction ticks would dominate the stream byte-wise and
+//! AlgoProf never consumes them. Mutation events' `tracked` flags are
+//! also not stored — replay re-derives them from the program's
+//! instrumentation flags.
 //!
 //! # Example
 //!
@@ -42,7 +48,7 @@
 //! let mut bytes = Vec::new();
 //! let mut rec = TraceRecorder::new(&TraceHeader::new(src, &opts, &[]), &mut bytes);
 //! Interp::new(&program).run(&mut rec)?;
-//! let (stats, _) = rec.finish()?;
+//! let stats = rec.finish()?;
 //! assert!(stats.events > 0);
 //!
 //! // Replay it against any sink, as often as needed.
@@ -54,11 +60,13 @@
 //! # }
 //! ```
 
+pub mod dump;
 pub mod format;
 pub mod record;
 pub mod replay;
 pub mod wire;
 
+pub use dump::DumpSink;
 pub use format::{TraceError, TraceHeader, MAGIC, VERSION};
 pub use record::{TraceRecorder, TraceStats};
 pub use replay::{ReplayStats, TraceReplayer};
@@ -79,8 +87,8 @@ pub fn read_header(trace: &[u8]) -> Result<(TraceHeader, &[u8]), TraceError> {
 mod tests {
     use super::*;
     use algoprof_vm::{
-        compile, ArrRef, ClassId, CompiledProgram, ElemKind, FieldId, FuncId, Heap,
-        InstrumentOptions, Interp, LoopId, ObjRef, ProfilerHooks, Value,
+        compile, ArrRef, CompiledProgram, Event, EventCx, EventSink, InstrumentOptions, Interp,
+        Tee, Value,
     };
 
     const LIST_SRC: &str = "class Main { static int main() {
@@ -115,96 +123,66 @@ mod tests {
     }
 
     /// An event transcript detailed enough to prove live/replay parity:
-    /// every hook call with its payload plus the heap epoch at the time.
+    /// every event with its full payload plus the heap epoch (and, for
+    /// mutations, the write-versioning stamps) at delivery time.
     #[derive(Debug, Default, PartialEq, Eq)]
     struct Transcript(Vec<String>);
 
-    impl ProfilerHooks for Transcript {
-        fn on_method_entry(&mut self, f: FuncId, _: &CompiledProgram, h: &Heap) {
-            self.0.push(format!("me {f} @{}", h.epoch()));
-        }
-        fn on_method_exit(&mut self, f: FuncId, _: &CompiledProgram, h: &Heap) {
-            self.0.push(format!("mx {f} @{}", h.epoch()));
-        }
-        fn on_loop_entry(&mut self, l: LoopId, _: &CompiledProgram, h: &Heap) {
-            self.0.push(format!("le {l} @{}", h.epoch()));
-        }
-        fn on_loop_back_edge(&mut self, l: LoopId, _: &CompiledProgram, h: &Heap) {
-            self.0.push(format!("lb {l} @{}", h.epoch()));
-        }
-        fn on_loop_exit(&mut self, l: LoopId, _: &CompiledProgram, h: &Heap) {
-            self.0.push(format!("lx {l} @{}", h.epoch()));
-        }
-        fn on_field_get(&mut self, o: Value, f: FieldId, _: &CompiledProgram, h: &Heap) {
-            self.0.push(format!("fg {o} {f} @{}", h.epoch()));
-        }
-        fn on_field_put(&mut self, o: Value, f: FieldId, v: Value, _: &CompiledProgram, h: &Heap) {
-            self.0.push(format!("fp {o} {f} {v} @{}", h.epoch()));
-        }
-        fn on_array_load(&mut self, a: Value, _: &CompiledProgram, h: &Heap) {
-            self.0.push(format!("al {a} @{}", h.epoch()));
-        }
-        fn on_array_store(&mut self, a: Value, i: usize, v: Value, _: &CompiledProgram, h: &Heap) {
-            self.0.push(format!("as {a} {i} {v} @{}", h.epoch()));
-        }
-        fn on_alloc(&mut self, o: Value, _: &CompiledProgram, h: &Heap) {
-            self.0.push(format!("an {o} @{}", h.epoch()));
-        }
-        fn on_input_read(&mut self, _: &CompiledProgram, h: &Heap) {
-            self.0.push(format!("ir @{}", h.epoch()));
-        }
-        fn on_output_write(&mut self, _: &CompiledProgram, h: &Heap) {
-            self.0.push(format!("ow @{}", h.epoch()));
-        }
-        fn on_object_allocated(&mut self, o: ObjRef, c: ClassId, _: &CompiledProgram, h: &Heap) {
-            self.0.push(format!(
-                "OA {} {c} @{} #{}",
-                o.0,
-                h.epoch(),
-                h.object_count()
-            ));
-        }
-        fn on_array_allocated(
-            &mut self,
-            a: ArrRef,
-            e: ElemKind,
-            len: usize,
-            _: &CompiledProgram,
-            h: &Heap,
-        ) {
-            self.0
-                .push(format!("AA {} {e:?} {len} @{}", a.0, h.epoch()));
-        }
-        fn on_field_written(
-            &mut self,
-            o: ObjRef,
-            f: FieldId,
-            v: Value,
-            _: &CompiledProgram,
-            h: &Heap,
-        ) {
-            self.0.push(format!(
-                "FW {} {f} {v} @{} s{}",
-                o.0,
-                h.epoch(),
-                h.object_stamp(o)
-            ));
-        }
-        fn on_array_written(
-            &mut self,
-            a: ArrRef,
-            i: usize,
-            v: Value,
-            _: &CompiledProgram,
-            h: &Heap,
-        ) {
-            self.0.push(format!(
-                "AW {} {i} {v} @{} s{} l{}",
-                a.0,
-                h.epoch(),
-                h.array_stamp(a),
-                h.log_pos()
-            ));
+    impl EventSink for Transcript {
+        fn event(&mut self, ev: &Event, cx: &EventCx<'_>) {
+            let h = cx.heap;
+            let line = match *ev {
+                Event::MethodEntry { func } => format!("me {func} @{}", h.epoch()),
+                Event::MethodExit { func } => format!("mx {func} @{}", h.epoch()),
+                Event::LoopEntry { l } => format!("le {l} @{}", h.epoch()),
+                Event::LoopBackEdge { l } => format!("lb {l} @{}", h.epoch()),
+                Event::LoopExit { l } => format!("lx {l} @{}", h.epoch()),
+                Event::FieldRead { obj, field } => format!("fg {obj} {field} @{}", h.epoch()),
+                Event::FieldWrite {
+                    obj,
+                    field,
+                    value,
+                    tracked,
+                } => format!(
+                    "fw {} {field} {value} t{tracked} @{} s{}",
+                    obj.0,
+                    h.epoch(),
+                    h.object_stamp(obj)
+                ),
+                Event::ArrayRead { arr } => format!("al {arr} @{}", h.epoch()),
+                Event::ArrayWrite {
+                    arr,
+                    index,
+                    value,
+                    tracked,
+                } => format!(
+                    "aw {} {index} {value} t{tracked} @{} s{} l{}",
+                    arr.0,
+                    h.epoch(),
+                    h.array_stamp(arr),
+                    h.log_pos()
+                ),
+                Event::ObjectAlloc {
+                    obj,
+                    class,
+                    tracked,
+                } => format!(
+                    "oa {} {class} t{tracked} @{} #{}",
+                    obj.0,
+                    h.epoch(),
+                    h.object_count()
+                ),
+                Event::ArrayAlloc { arr, elem, len } => {
+                    format!("aa {} {elem:?} {len} @{}", arr.0, h.epoch())
+                }
+                Event::InputRead => format!("ir @{}", h.epoch()),
+                Event::OutputWrite => format!("ow @{}", h.epoch()),
+                // Instruction ticks are not stored in traces, so a
+                // transcript that logged them could never match its
+                // replay; skip them like the recorder does.
+                Event::Instruction { .. } => return,
+            };
+            self.0.push(line);
         }
     }
 
@@ -214,13 +192,13 @@ mod tests {
         let program = compile(LIST_SRC).expect("compiles").instrument(&opts);
 
         let mut bytes = Vec::new();
-        let mut rec = TraceRecorder::with_tee(
-            &TraceHeader::new(LIST_SRC, &opts, &[]),
-            &mut bytes,
+        let mut sink = Tee::new(
+            TraceRecorder::new(&TraceHeader::new(LIST_SRC, &opts, &[]), &mut bytes),
             Transcript::default(),
         );
-        Interp::new(&program).run(&mut rec).expect("runs");
-        let (_, live) = rec.finish().expect("finishes");
+        Interp::new(&program).run(&mut sink).expect("runs");
+        let Tee { a: rec, b: live } = sink;
+        rec.finish().expect("finishes");
 
         let (header, events) = read_header(&bytes).expect("header");
         assert_eq!(header.source, LIST_SRC);

@@ -1,22 +1,19 @@
-//! Recording: a [`ProfilerHooks`] sink that serializes the event stream.
+//! Recording: an [`EventSink`] that serializes the event stream.
 //!
 //! `TraceRecorder` buffers encoded events internally and drains them to
-//! its `io::Write` backend in large chunks, so hook calls never perform
-//! small writes. Because profiler hooks cannot return errors, an I/O
+//! its `io::Write` backend in large chunks, so sink calls never perform
+//! small writes. Because `EventSink::event` cannot return errors, an I/O
 //! failure is stashed and surfaced by [`TraceRecorder::finish`]; after a
 //! failure the recorder keeps consuming events cheaply (encode + drop).
 //!
-//! Recording composes with live analysis through the *tee*: every event
-//! — including the ones the format derives at replay instead of storing
-//! — is forwarded to an inner sink, so a single guest execution can
-//! produce both a live profile and a trace.
+//! Recording composes with live analysis through the generic
+//! [`Tee`](algoprof_vm::Tee) combinator: `Tee::new(recorder, profiler)`
+//! lets a single guest execution produce both a trace and a live profile,
+//! with the recorder observing each event first.
 
 use std::io::{self, Write};
 
-use algoprof_vm::{
-    ArrRef, ClassId, CompiledProgram, ElemKind, FieldId, FuncId, Heap, LoopId, NoopProfiler,
-    ObjRef, ProfilerHooks, Value,
-};
+use algoprof_vm::{ArrRef, Event, EventCx, EventSink, ObjRef, Value};
 
 use crate::format::{
     TraceHeader, TAG_ARRAY_ALLOCATED, TAG_ARRAY_LOAD, TAG_ARRAY_WRITTEN, TAG_END, TAG_FIELD_GET,
@@ -51,17 +48,22 @@ impl TraceStats {
     }
 }
 
-/// A [`ProfilerHooks`] sink that writes the trace format.
+/// An [`EventSink`] that writes the trace format.
 ///
-/// Construct with [`TraceRecorder::new`] for pure recording or
-/// [`TraceRecorder::with_tee`] to forward every event to a live profiler
-/// as well; run the interpreter against it, then call
-/// [`TraceRecorder::finish`].
+/// Construct with [`TraceRecorder::new`], run the interpreter against it
+/// (or compose it with other sinks via [`Tee`](algoprof_vm::Tee) /
+/// [`Fanout`](algoprof_vm::Fanout)), then call [`TraceRecorder::finish`].
+///
+/// Untracked heap-mutation events are stored like tracked ones (the
+/// shadow heap needs every mutation); the `tracked` flag itself is *not*
+/// stored — replay re-derives it from the program's instrumentation
+/// flags, exactly as the interpreter computed it. [`Event::Instruction`]
+/// ticks are deliberately outside the format (they would dominate it
+/// byte-wise while AlgoProf never consumes them).
 #[derive(Debug)]
-pub struct TraceRecorder<W: Write, S: ProfilerHooks = NoopProfiler> {
+pub struct TraceRecorder<W: Write> {
     out: W,
     buf: Vec<u8>,
-    tee: S,
     last_obj: i64,
     last_arr: i64,
     events: u64,
@@ -71,22 +73,13 @@ pub struct TraceRecorder<W: Write, S: ProfilerHooks = NoopProfiler> {
 }
 
 impl<W: Write> TraceRecorder<W> {
-    /// A recorder with no live sink attached.
+    /// A recorder writing `header` and then the event stream to `out`.
     pub fn new(header: &TraceHeader, out: W) -> Self {
-        TraceRecorder::with_tee(header, out, NoopProfiler)
-    }
-}
-
-impl<W: Write, S: ProfilerHooks> TraceRecorder<W, S> {
-    /// A recorder that forwards every event to `tee` after encoding it,
-    /// so recording composes with live profiling in one execution.
-    pub fn with_tee(header: &TraceHeader, out: W, tee: S) -> Self {
         let mut buf = Vec::with_capacity(FLUSH_AT + 1024);
         header.encode(&mut buf);
         TraceRecorder {
             out,
             buf,
-            tee,
             last_obj: -1,
             last_arr: -1,
             events: 0,
@@ -96,39 +89,25 @@ impl<W: Write, S: ProfilerHooks> TraceRecorder<W, S> {
         }
     }
 
-    /// The live sink events are forwarded to.
-    pub fn tee(&self) -> &S {
-        &self.tee
-    }
-
-    /// Mutable access to the live sink.
-    pub fn tee_mut(&mut self) -> &mut S {
-        &mut self.tee
-    }
-
     /// Terminates the stream, drains all buffered bytes, and returns the
-    /// recording stats together with the tee sink (so e.g. an `AlgoProf`
-    /// tee can still be `finish`ed into a profile).
+    /// recording stats.
     ///
     /// # Errors
     ///
     /// Returns the first I/O error hit while draining, whether it
     /// occurred mid-recording or now.
-    pub fn finish(mut self) -> io::Result<(TraceStats, S)> {
+    pub fn finish(mut self) -> io::Result<TraceStats> {
         self.buf.push(TAG_END);
         self.drain();
         if let Some(e) = self.io_err {
             return Err(e);
         }
         self.out.flush()?;
-        Ok((
-            TraceStats {
-                events: self.events,
-                event_bytes: self.event_bytes,
-                total_bytes: self.flushed_bytes,
-            },
-            self.tee,
-        ))
+        Ok(TraceStats {
+            events: self.events,
+            event_bytes: self.event_bytes,
+            total_bytes: self.flushed_bytes,
+        })
     }
 
     fn drain(&mut self) {
@@ -193,163 +172,69 @@ impl<W: Write, S: ProfilerHooks> TraceRecorder<W, S> {
     }
 }
 
-impl<W: Write, S: ProfilerHooks> ProfilerHooks for TraceRecorder<W, S> {
-    fn on_method_entry(&mut self, func: FuncId, program: &CompiledProgram, heap: &Heap) {
-        self.put_id(TAG_METHOD_ENTRY, func.0);
-        self.tee.on_method_entry(func, program, heap);
-    }
-
-    fn on_method_exit(&mut self, func: FuncId, program: &CompiledProgram, heap: &Heap) {
-        self.put_id(TAG_METHOD_EXIT, func.0);
-        self.tee.on_method_exit(func, program, heap);
-    }
-
-    fn on_loop_entry(&mut self, l: LoopId, program: &CompiledProgram, heap: &Heap) {
-        self.put_id(TAG_LOOP_ENTRY, l.0);
-        self.tee.on_loop_entry(l, program, heap);
-    }
-
-    fn on_loop_back_edge(&mut self, l: LoopId, program: &CompiledProgram, heap: &Heap) {
-        self.put_id(TAG_LOOP_BACK_EDGE, l.0);
-        self.tee.on_loop_back_edge(l, program, heap);
-    }
-
-    fn on_loop_exit(&mut self, l: LoopId, program: &CompiledProgram, heap: &Heap) {
-        self.put_id(TAG_LOOP_EXIT, l.0);
-        self.tee.on_loop_exit(l, program, heap);
-    }
-
-    fn on_field_get(&mut self, obj: Value, field: FieldId, program: &CompiledProgram, heap: &Heap) {
-        let start = self.buf.len();
-        self.buf.push(TAG_FIELD_GET);
-        self.put_value(obj);
-        put_uleb(&mut self.buf, u64::from(field.0));
-        self.event_end(start);
-        self.tee.on_field_get(obj, field, program, heap);
-    }
-
-    fn on_array_load(&mut self, arr: Value, program: &CompiledProgram, heap: &Heap) {
-        let start = self.buf.len();
-        self.buf.push(TAG_ARRAY_LOAD);
-        self.put_value(arr);
-        self.event_end(start);
-        self.tee.on_array_load(arr, program, heap);
-    }
-
-    fn on_input_read(&mut self, program: &CompiledProgram, heap: &Heap) {
-        self.put_plain(TAG_INPUT_READ);
-        self.tee.on_input_read(program, heap);
-    }
-
-    fn on_output_write(&mut self, program: &CompiledProgram, heap: &Heap) {
-        self.put_plain(TAG_OUTPUT_WRITE);
-        self.tee.on_output_write(program, heap);
-    }
-
-    // Tracked mutation events are *not* stored: replay re-derives them
-    // from the raw mutation records plus the program's instrumentation
-    // flags (see `TraceReplayer`). They are still teed.
-
-    fn on_field_put(
-        &mut self,
-        obj: Value,
-        field: FieldId,
-        value: Value,
-        program: &CompiledProgram,
-        heap: &Heap,
-    ) {
-        self.tee.on_field_put(obj, field, value, program, heap);
-    }
-
-    fn on_array_store(
-        &mut self,
-        arr: Value,
-        index: usize,
-        value: Value,
-        program: &CompiledProgram,
-        heap: &Heap,
-    ) {
-        self.tee.on_array_store(arr, index, value, program, heap);
-    }
-
-    fn on_alloc(&mut self, obj: Value, program: &CompiledProgram, heap: &Heap) {
-        self.tee.on_alloc(obj, program, heap);
-    }
-
-    // Per-instruction ticks are deliberately outside the format (they
-    // would dominate it byte-wise while AlgoProf never consumes them);
-    // the tee still sees them live.
-    fn on_instruction(&mut self, func: FuncId) {
-        self.tee.on_instruction(func);
-    }
-
-    fn on_object_allocated(
-        &mut self,
-        obj: ObjRef,
-        class: ClassId,
-        program: &CompiledProgram,
-        heap: &Heap,
-    ) {
-        // The fresh ref is implicit in allocation order; only the class
-        // is stored. Still sync the delta base so follow-up writes to
-        // the new object encode as delta 0.
-        self.put_id(TAG_OBJECT_ALLOCATED, class.0);
-        self.last_obj = i64::from(obj.0);
-        self.tee.on_object_allocated(obj, class, program, heap);
-    }
-
-    fn on_array_allocated(
-        &mut self,
-        arr: ArrRef,
-        elem: ElemKind,
-        len: usize,
-        program: &CompiledProgram,
-        heap: &Heap,
-    ) {
-        let start = self.buf.len();
-        self.buf.push(TAG_ARRAY_ALLOCATED);
-        self.buf.push(match elem {
-            ElemKind::Int => 0,
-            ElemKind::Bool => 1,
-            ElemKind::Ref => 2,
-        });
-        put_uleb(&mut self.buf, len as u64);
-        self.event_end(start);
-        self.last_arr = i64::from(arr.0);
-        self.tee.on_array_allocated(arr, elem, len, program, heap);
-    }
-
-    fn on_field_written(
-        &mut self,
-        obj: ObjRef,
-        field: FieldId,
-        value: Value,
-        program: &CompiledProgram,
-        heap: &Heap,
-    ) {
-        let start = self.buf.len();
-        self.buf.push(TAG_FIELD_WRITTEN);
-        self.put_obj(obj);
-        put_uleb(&mut self.buf, u64::from(field.0));
-        self.put_value(value);
-        self.event_end(start);
-        self.tee.on_field_written(obj, field, value, program, heap);
-    }
-
-    fn on_array_written(
-        &mut self,
-        arr: ArrRef,
-        index: usize,
-        value: Value,
-        program: &CompiledProgram,
-        heap: &Heap,
-    ) {
-        let start = self.buf.len();
-        self.buf.push(TAG_ARRAY_WRITTEN);
-        self.put_arr(arr);
-        put_uleb(&mut self.buf, index as u64);
-        self.put_value(value);
-        self.event_end(start);
-        self.tee.on_array_written(arr, index, value, program, heap);
+impl<W: Write> EventSink for TraceRecorder<W> {
+    fn event(&mut self, ev: &Event, _cx: &EventCx<'_>) {
+        match *ev {
+            Event::MethodEntry { func } => self.put_id(TAG_METHOD_ENTRY, func.0),
+            Event::MethodExit { func } => self.put_id(TAG_METHOD_EXIT, func.0),
+            Event::LoopEntry { l } => self.put_id(TAG_LOOP_ENTRY, l.0),
+            Event::LoopBackEdge { l } => self.put_id(TAG_LOOP_BACK_EDGE, l.0),
+            Event::LoopExit { l } => self.put_id(TAG_LOOP_EXIT, l.0),
+            Event::FieldRead { obj, field } => {
+                let start = self.buf.len();
+                self.buf.push(TAG_FIELD_GET);
+                self.put_value(obj);
+                put_uleb(&mut self.buf, u64::from(field.0));
+                self.event_end(start);
+            }
+            Event::ArrayRead { arr } => {
+                let start = self.buf.len();
+                self.buf.push(TAG_ARRAY_LOAD);
+                self.put_value(arr);
+                self.event_end(start);
+            }
+            Event::InputRead => self.put_plain(TAG_INPUT_READ),
+            Event::OutputWrite => self.put_plain(TAG_OUTPUT_WRITE),
+            Event::ObjectAlloc { obj, class, .. } => {
+                // The fresh ref is implicit in allocation order; only the
+                // class is stored. Still sync the delta base so follow-up
+                // writes to the new object encode as delta 0.
+                self.put_id(TAG_OBJECT_ALLOCATED, class.0);
+                self.last_obj = i64::from(obj.0);
+            }
+            Event::ArrayAlloc { arr, elem, len } => {
+                let start = self.buf.len();
+                self.buf.push(TAG_ARRAY_ALLOCATED);
+                self.buf.push(match elem {
+                    algoprof_vm::ElemKind::Int => 0,
+                    algoprof_vm::ElemKind::Bool => 1,
+                    algoprof_vm::ElemKind::Ref => 2,
+                });
+                put_uleb(&mut self.buf, len as u64);
+                self.event_end(start);
+                self.last_arr = i64::from(arr.0);
+            }
+            Event::FieldWrite {
+                obj, field, value, ..
+            } => {
+                let start = self.buf.len();
+                self.buf.push(TAG_FIELD_WRITTEN);
+                self.put_obj(obj);
+                put_uleb(&mut self.buf, u64::from(field.0));
+                self.put_value(value);
+                self.event_end(start);
+            }
+            Event::ArrayWrite {
+                arr, index, value, ..
+            } => {
+                let start = self.buf.len();
+                self.buf.push(TAG_ARRAY_WRITTEN);
+                self.put_arr(arr);
+                put_uleb(&mut self.buf, index as u64);
+                self.put_value(value);
+                self.event_end(start);
+            }
+            Event::Instruction { .. } => {}
+        }
     }
 }

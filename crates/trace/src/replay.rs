@@ -1,23 +1,22 @@
-//! Replay: rebuild a shadow heap event-by-event and drive any profiler.
+//! Replay: rebuild a shadow heap event-by-event and drive any sink.
 //!
 //! The guest heap mutates at exactly four interpreter sites (`new`,
-//! `new[]`, field put, array store), each captured by a raw mutation
-//! record. Replaying the identical [`Heap`] API call sequence against an
-//! empty heap therefore reproduces object/array ids, mutation epochs,
+//! `new[]`, field put, array store), each captured by a mutation record.
+//! Replaying the identical [`Heap`] API call sequence against an empty
+//! heap therefore reproduces object/array ids, mutation epochs,
 //! per-reference stamps, and the array write log *bit for bit* — so a
 //! sink driven from the trace observes exactly the heap a live sink
 //! observed, and an `AlgoProf` replayed under any option combination
 //! yields the profile a live run under those options would have.
 //!
-//! Tracked mutation events (`on_alloc`, `on_field_put`,
-//! `on_array_store`) are not stored in the trace; they are re-derived
-//! here from the program's instrumentation flags, mirroring the
-//! interpreter's own dispatch (mutation hook first, tracked event
-//! immediately after).
+//! Replay feeds the *identical* [`EventSink`] API as live execution: one
+//! consumer code path, two drivers. The `tracked` flag on mutation events
+//! is not stored in the trace; it is re-derived here from the program's
+//! instrumentation flags, mirroring how the interpreter computes it.
 
 use algoprof_vm::{
-    default_field_value, ArrRef, ClassId, CompiledProgram, ElemKind, FieldId, FuncId, Heap, LoopId,
-    ObjRef, ProfilerHooks, Value,
+    default_field_value, ArrRef, ClassId, CompiledProgram, ElemKind, Event, EventCx, EventSink,
+    FieldId, FuncId, Heap, LoopId, ObjRef, Value,
 };
 
 use crate::format::{
@@ -79,7 +78,7 @@ impl TraceReplayer {
 
     /// Replays `events` (the byte stream following the header, as
     /// returned by [`crate::read_header`]) against `program`, driving
-    /// `sink` exactly as the live interpreter drove its profiler.
+    /// `sink` exactly as the live interpreter drives its sink.
     ///
     /// `program` must be the result of compiling the trace header's
     /// source under the header's instrumentation options; compilation is
@@ -94,8 +93,8 @@ impl TraceReplayer {
     /// its loop, or an `End` tag with repetitions still open). The live
     /// interpreter can only emit balanced streams, so an unbalanced one
     /// is corruption — and forwarding it would violate the invariants
-    /// profiler sinks are entitled to assume.
-    pub fn replay<S: ProfilerHooks>(
+    /// sinks are entitled to assume.
+    pub fn replay<S: EventSink>(
         &mut self,
         program: &CompiledProgram,
         events: &[u8],
@@ -107,6 +106,17 @@ impl TraceReplayer {
         let mut stats = ReplayStats::default();
         let mut frames: Vec<Frame> = Vec::new();
         let mut c = Cursor::new(events);
+        macro_rules! emit {
+            ($ev:expr) => {
+                sink.event(
+                    &$ev,
+                    &EventCx {
+                        program,
+                        heap: &self.heap,
+                    },
+                )
+            };
+        }
         loop {
             match c.u8()? {
                 TAG_END => {
@@ -127,7 +137,7 @@ impl TraceReplayer {
                 TAG_METHOD_ENTRY => {
                     let f = self.func_id(&mut c, program)?;
                     frames.push(Frame::Method(f));
-                    sink.on_method_entry(f, program, &self.heap);
+                    emit!(Event::MethodEntry { func: f });
                 }
                 TAG_METHOD_EXIT => {
                     let f = self.func_id(&mut c, program)?;
@@ -137,12 +147,12 @@ impl TraceReplayer {
                             f.0
                         )));
                     }
-                    sink.on_method_exit(f, program, &self.heap);
+                    emit!(Event::MethodExit { func: f });
                 }
                 TAG_LOOP_ENTRY => {
                     let l = self.loop_id(&mut c, program)?;
                     frames.push(Frame::Loop(l));
-                    sink.on_loop_entry(l, program, &self.heap);
+                    emit!(Event::LoopEntry { l });
                 }
                 TAG_LOOP_BACK_EDGE => {
                     let l = self.loop_id(&mut c, program)?;
@@ -152,7 +162,7 @@ impl TraceReplayer {
                             l.0
                         )));
                     }
-                    sink.on_loop_back_edge(l, program, &self.heap);
+                    emit!(Event::LoopBackEdge { l });
                 }
                 TAG_LOOP_EXIT => {
                     let l = self.loop_id(&mut c, program)?;
@@ -162,19 +172,19 @@ impl TraceReplayer {
                             l.0
                         )));
                     }
-                    sink.on_loop_exit(l, program, &self.heap);
+                    emit!(Event::LoopExit { l });
                 }
                 TAG_FIELD_GET => {
                     let obj = self.value(&mut c)?;
                     let f = self.field_id(&mut c, program)?;
-                    sink.on_field_get(obj, f, program, &self.heap);
+                    emit!(Event::FieldRead { obj, field: f });
                 }
                 TAG_ARRAY_LOAD => {
                     let arr = self.value(&mut c)?;
-                    sink.on_array_load(arr, program, &self.heap);
+                    emit!(Event::ArrayRead { arr });
                 }
-                TAG_INPUT_READ => sink.on_input_read(program, &self.heap),
-                TAG_OUTPUT_WRITE => sink.on_output_write(program, &self.heap),
+                TAG_INPUT_READ => emit!(Event::InputRead),
+                TAG_OUTPUT_WRITE => emit!(Event::OutputWrite),
                 TAG_OBJECT_ALLOCATED => {
                     let class = self.class_id(&mut c, program)?;
                     let fields = program
@@ -185,10 +195,11 @@ impl TraceReplayer {
                         .collect();
                     let obj = self.heap.alloc_object_with(class, fields);
                     self.last_obj = i64::from(obj.0);
-                    sink.on_object_allocated(obj, class, program, &self.heap);
-                    if program.class(class).track_alloc {
-                        sink.on_alloc(Value::Obj(obj), program, &self.heap);
-                    }
+                    emit!(Event::ObjectAlloc {
+                        obj,
+                        class,
+                        tracked: program.class(class).track_alloc,
+                    });
                 }
                 TAG_ARRAY_ALLOCATED => {
                     let elem = match c.u8()? {
@@ -206,7 +217,7 @@ impl TraceReplayer {
                     let len = len as usize;
                     let arr = self.heap.alloc_array(elem, len);
                     self.last_arr = i64::from(arr.0);
-                    sink.on_array_allocated(arr, elem, len, program, &self.heap);
+                    emit!(Event::ArrayAlloc { arr, elem, len });
                 }
                 TAG_FIELD_WRITTEN => {
                     let obj = self.obj_ref(&mut c)?;
@@ -222,10 +233,12 @@ impl TraceReplayer {
                         )));
                     }
                     self.heap.set_field(obj, slot, value);
-                    sink.on_field_written(obj, f, value, program, &self.heap);
-                    if program.field(f).track_access {
-                        sink.on_field_put(Value::Obj(obj), f, value, program, &self.heap);
-                    }
+                    emit!(Event::FieldWrite {
+                        obj,
+                        field: f,
+                        value,
+                        tracked: program.field(f).track_access,
+                    });
                 }
                 TAG_ARRAY_WRITTEN => {
                     let arr = self.arr_ref(&mut c)?;
@@ -238,10 +251,12 @@ impl TraceReplayer {
                     }
                     let value = self.value(&mut c)?;
                     self.heap.set_elem(arr, index, value);
-                    sink.on_array_written(arr, index, value, program, &self.heap);
-                    if program.track_arrays {
-                        sink.on_array_store(Value::Arr(arr), index, value, program, &self.heap);
-                    }
+                    emit!(Event::ArrayWrite {
+                        arr,
+                        index,
+                        value,
+                        tracked: program.track_arrays,
+                    });
                 }
                 tag => return Err(TraceError::Corrupt(format!("unknown event tag {tag:#04x}"))),
             }

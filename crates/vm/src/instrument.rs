@@ -393,7 +393,8 @@ fn fixup_loop_funcs(program: &mut CompiledProgram) {
 mod tests {
     use super::*;
     use crate::compile::compile;
-    use crate::interp::{Interp, NoopProfiler};
+    use crate::event::NoopSink as NoopProfiler;
+    use crate::interp::Interp;
 
     fn instrumented(src: &str) -> CompiledProgram {
         compile(src)

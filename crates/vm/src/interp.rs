@@ -1,8 +1,8 @@
-//! The jay bytecode interpreter with profiling event hooks.
+//! The jay bytecode interpreter, driving the profiling event stream.
 //!
-//! The interpreter is generic over a [`ProfilerHooks`] sink (static
-//! dispatch, so an uninstrumented run with [`NoopProfiler`] pays nothing
-//! for the hooks). Events are emitted exactly as the paper's §3.2
+//! The interpreter is generic over an [`EventSink`] (static dispatch, so an
+//! uninstrumented run with [`NoopSink`](crate::event::NoopSink) pays nothing
+//! for the instrumentation). Events are emitted exactly as the paper's §3.2
 //! dynamic-analysis pseudocode expects:
 //!
 //! * loop entry / back edge / exit from the inserted pseudo-instructions,
@@ -11,133 +11,15 @@
 //!   while loops are active — the interpreter synthesizes the missing
 //!   loop-exit events innermost-first),
 //! * field/array accesses, allocations, and I/O according to the
-//!   program's instrumentation flags.
+//!   program's instrumentation flags; heap mutations fire exactly one
+//!   event each, after the write is visible in the heap, carrying a
+//!   `tracked` flag (see [`Event`]).
 
-use crate::bytecode::{ClassId, CompiledProgram, ElemKind, FieldId, FuncId, Instr, LoopId};
+use crate::bytecode::{CompiledProgram, FuncId, Instr, LoopId};
 use crate::error::RuntimeError;
-use crate::heap::{ArrRef, Heap, ObjRef, Value};
+use crate::event::{Event, EventCx, EventSink};
+use crate::heap::{Heap, Value};
 use crate::hir::CatchKind;
-
-/// Receives instrumentation events from the interpreter.
-///
-/// All methods have empty default implementations; implement only what a
-/// profiler needs. The `heap` reference allows profilers to traverse data
-/// structures at event time (AlgoProf's input identification does).
-///
-/// Two families of hooks exist:
-///
-/// * **instrumentation events** (`on_method_entry` … `on_output_write`)
-///   fire only for program elements the instrumentation pass flagged
-///   (tracked methods, recursive fields, `track_arrays`, …) — these are
-///   the events AlgoProf's analysis consumes;
-/// * **heap-mutation hooks** (`on_object_allocated`, `on_array_allocated`,
-///   `on_field_written`, `on_array_written`) fire on *every* mutation,
-///   tracked or not, immediately after the write is visible in `heap`.
-///   They exist so a sink can maintain an exact shadow copy of the guest
-///   heap (the `algoprof-trace` recorder does); ordinary profilers leave
-///   them defaulted and pay nothing (static dispatch inlines the empty
-///   bodies away).
-///
-/// When a mutation is tracked, the mutation hook fires first and the
-/// instrumentation event immediately after, with no interleaving events.
-#[allow(unused_variables)]
-pub trait ProfilerHooks {
-    /// An instrumented function was entered (frame already pushed).
-    fn on_method_entry(&mut self, func: FuncId, program: &CompiledProgram, heap: &Heap) {}
-    /// An instrumented function is about to return or unwind.
-    fn on_method_exit(&mut self, func: FuncId, program: &CompiledProgram, heap: &Heap) {}
-    /// Control entered a loop from outside.
-    fn on_loop_entry(&mut self, l: LoopId, program: &CompiledProgram, heap: &Heap) {}
-    /// A loop back edge was traversed (one algorithmic step).
-    fn on_loop_back_edge(&mut self, l: LoopId, program: &CompiledProgram, heap: &Heap) {}
-    /// Control left a loop (normally or exceptionally).
-    fn on_loop_exit(&mut self, l: LoopId, program: &CompiledProgram, heap: &Heap) {}
-    /// An instrumented reference field was read on `obj`.
-    fn on_field_get(&mut self, obj: Value, field: FieldId, program: &CompiledProgram, heap: &Heap) {
-    }
-    /// An instrumented reference field was written on `obj` (after the
-    /// write is visible in `heap`). `value` is the value stored, so sinks
-    /// need not re-read it from the heap.
-    fn on_field_put(
-        &mut self,
-        obj: Value,
-        field: FieldId,
-        value: Value,
-        program: &CompiledProgram,
-        heap: &Heap,
-    ) {
-    }
-    /// An array element was loaded from `arr`.
-    fn on_array_load(&mut self, arr: Value, program: &CompiledProgram, heap: &Heap) {}
-    /// An array element was stored into `arr` (after the write). `index`
-    /// and `value` describe the store, so sinks need not re-read the heap.
-    fn on_array_store(
-        &mut self,
-        arr: Value,
-        index: usize,
-        value: Value,
-        program: &CompiledProgram,
-        heap: &Heap,
-    ) {
-    }
-    /// An instance of an instrumented (recursive) class was allocated.
-    fn on_alloc(&mut self, obj: Value, program: &CompiledProgram, heap: &Heap) {}
-    /// `readInput()` consumed one external value.
-    fn on_input_read(&mut self, program: &CompiledProgram, heap: &Heap) {}
-    /// `print(x)` produced one external value.
-    fn on_output_write(&mut self, program: &CompiledProgram, heap: &Heap) {}
-    /// One bytecode instruction was dispatched (a deterministic time
-    /// proxy for traditional profilers).
-    fn on_instruction(&mut self, func: FuncId) {}
-
-    // ------------------------------------------------- heap mutations
-
-    /// Any object was allocated (tracked class or not).
-    fn on_object_allocated(
-        &mut self,
-        obj: ObjRef,
-        class: ClassId,
-        program: &CompiledProgram,
-        heap: &Heap,
-    ) {
-    }
-    /// Any array was allocated.
-    fn on_array_allocated(
-        &mut self,
-        arr: ArrRef,
-        elem: ElemKind,
-        len: usize,
-        program: &CompiledProgram,
-        heap: &Heap,
-    ) {
-    }
-    /// Any field was written (tracked or not), after the write.
-    fn on_field_written(
-        &mut self,
-        obj: ObjRef,
-        field: FieldId,
-        value: Value,
-        program: &CompiledProgram,
-        heap: &Heap,
-    ) {
-    }
-    /// Any array element was stored (tracked or not), after the write.
-    fn on_array_written(
-        &mut self,
-        arr: ArrRef,
-        index: usize,
-        value: Value,
-        program: &CompiledProgram,
-        heap: &Heap,
-    ) {
-    }
-}
-
-/// A profiler that ignores every event.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct NoopProfiler;
-
-impl ProfilerHooks for NoopProfiler {}
 
 /// The outcome of a completed run.
 #[derive(Debug, Clone)]
@@ -226,20 +108,32 @@ impl<'p> Interp<'p> {
         &self.heap
     }
 
-    /// Executes `Main.main` to completion, reporting events to `profiler`.
+    /// Delivers one event to `sink` with the current heap as context.
+    #[inline]
+    fn emit<S: EventSink>(&self, sink: &mut S, ev: Event) {
+        sink.event(
+            &ev,
+            &EventCx {
+                program: self.program,
+                heap: &self.heap,
+            },
+        );
+    }
+
+    /// Executes `Main.main` to completion, reporting events to `sink`.
     ///
     /// # Errors
     ///
     /// Returns a [`RuntimeError`] on uncaught guest exceptions, VM-level
     /// faults (null dereference, bounds, division by zero, bad casts),
-    /// fuel or stack exhaustion. Profiler state after an error is
-    /// partial; discard it.
-    pub fn run<P: ProfilerHooks>(&mut self, profiler: &mut P) -> Result<RunResult, RuntimeError> {
+    /// fuel or stack exhaustion. Sink state after an error is partial;
+    /// discard it.
+    pub fn run<S: EventSink>(&mut self, sink: &mut S) -> Result<RunResult, RuntimeError> {
         let entry = self.program.entry;
         let mut frames: Vec<Frame> = Vec::new();
-        self.push_frame(&mut frames, entry, &[], profiler)?;
+        self.push_frame(&mut frames, entry, &[], sink)?;
 
-        let return_value = self.execute(&mut frames, profiler)?;
+        let return_value = self.execute(&mut frames, sink)?;
         Ok(RunResult {
             return_value,
             output: std::mem::take(&mut self.output),
@@ -247,12 +141,12 @@ impl<'p> Interp<'p> {
         })
     }
 
-    fn push_frame<P: ProfilerHooks>(
+    fn push_frame<S: EventSink>(
         &mut self,
         frames: &mut Vec<Frame>,
         func: FuncId,
         args: &[Value],
-        profiler: &mut P,
+        sink: &mut S,
     ) -> Result<(), RuntimeError> {
         if frames.len() >= self.max_frames {
             return Err(RuntimeError::StackOverflow {
@@ -272,27 +166,27 @@ impl<'p> Interp<'p> {
             tracked,
         });
         if tracked {
-            profiler.on_method_entry(func, self.program, &self.heap);
+            self.emit(sink, Event::MethodEntry { func });
         }
         Ok(())
     }
 
     /// Emits pending loop exits and the method-exit event for the top
     /// frame, then pops it.
-    fn pop_frame<P: ProfilerHooks>(&mut self, frames: &mut Vec<Frame>, profiler: &mut P) {
+    fn pop_frame<S: EventSink>(&mut self, frames: &mut Vec<Frame>, sink: &mut S) {
         let frame = frames.pop().expect("pop_frame requires a frame");
         for &l in frame.active_loops.iter().rev() {
-            profiler.on_loop_exit(l, self.program, &self.heap);
+            self.emit(sink, Event::LoopExit { l });
         }
         if frame.tracked {
-            profiler.on_method_exit(frame.func, self.program, &self.heap);
+            self.emit(sink, Event::MethodExit { func: frame.func });
         }
     }
 
-    fn execute<P: ProfilerHooks>(
+    fn execute<S: EventSink>(
         &mut self,
         frames: &mut Vec<Frame>,
-        profiler: &mut P,
+        sink: &mut S,
     ) -> Result<Value, RuntimeError> {
         macro_rules! top {
             () => {
@@ -319,7 +213,7 @@ impl<'p> Interp<'p> {
             let instr = func.code[pc];
             let line = func.lines[pc];
             self.instructions += 1;
-            profiler.on_instruction(func_id);
+            self.emit(sink, Event::Instruction { func: func_id });
             top!().pc = pc + 1;
 
             match instr {
@@ -419,10 +313,14 @@ impl<'p> Interp<'p> {
                         .collect();
                     let obj = self.heap.alloc_object_with(cid, fields);
                     top!().stack.push(Value::Obj(obj));
-                    profiler.on_object_allocated(obj, cid, self.program, &self.heap);
-                    if self.program.class(cid).track_alloc {
-                        profiler.on_alloc(Value::Obj(obj), self.program, &self.heap);
-                    }
+                    self.emit(
+                        sink,
+                        Event::ObjectAlloc {
+                            obj,
+                            class: cid,
+                            tracked: self.program.class(cid).track_alloc,
+                        },
+                    );
                 }
                 Instr::GetField(fid) => {
                     let obj = pop(top!())?;
@@ -439,7 +337,7 @@ impl<'p> Interp<'p> {
                     let v = self.heap.object(o).fields[slot];
                     top!().stack.push(v);
                     if self.program.field(fid).track_access {
-                        profiler.on_field_get(obj, fid, self.program, &self.heap);
+                        self.emit(sink, Event::FieldRead { obj, field: fid });
                     }
                 }
                 Instr::PutField(fid) => {
@@ -456,10 +354,15 @@ impl<'p> Interp<'p> {
                     };
                     let slot = self.program.field(fid).slot as usize;
                     self.heap.set_field(o, slot, value);
-                    profiler.on_field_written(o, fid, value, self.program, &self.heap);
-                    if self.program.field(fid).track_access {
-                        profiler.on_field_put(obj, fid, value, self.program, &self.heap);
-                    }
+                    self.emit(
+                        sink,
+                        Event::FieldWrite {
+                            obj: o,
+                            field: fid,
+                            value,
+                            tracked: self.program.field(fid).track_access,
+                        },
+                    );
                 }
                 Instr::NewArray(elem) => {
                     let len = pop_int(top!())?;
@@ -468,7 +371,14 @@ impl<'p> Interp<'p> {
                     }
                     let arr = self.heap.alloc_array(elem, len as usize);
                     top!().stack.push(Value::Arr(arr));
-                    profiler.on_array_allocated(arr, elem, len as usize, self.program, &self.heap);
+                    self.emit(
+                        sink,
+                        Event::ArrayAlloc {
+                            arr,
+                            elem,
+                            len: len as usize,
+                        },
+                    );
                 }
                 Instr::ALoad => {
                     let idx = pop_int(top!())?;
@@ -485,7 +395,7 @@ impl<'p> Interp<'p> {
                     let v = self.heap.array(a).elems[idx as usize];
                     top!().stack.push(v);
                     if self.program.track_arrays {
-                        profiler.on_array_load(arr, self.program, &self.heap);
+                        self.emit(sink, Event::ArrayRead { arr });
                     }
                 }
                 Instr::AStore => {
@@ -502,10 +412,15 @@ impl<'p> Interp<'p> {
                         });
                     }
                     self.heap.set_elem(a, idx as usize, value);
-                    profiler.on_array_written(a, idx as usize, value, self.program, &self.heap);
-                    if self.program.track_arrays {
-                        profiler.on_array_store(arr, idx as usize, value, self.program, &self.heap);
-                    }
+                    self.emit(
+                        sink,
+                        Event::ArrayWrite {
+                            arr: a,
+                            index: idx as usize,
+                            value,
+                            tracked: self.program.track_arrays,
+                        },
+                    );
                 }
                 Instr::ArrayLen => {
                     let arr = pop(top!())?;
@@ -516,7 +431,7 @@ impl<'p> Interp<'p> {
                 Instr::CallStatic(m) | Instr::CallDirect(m) => {
                     let n_args = self.program.func(m).n_params as usize;
                     let args = split_args(top!(), n_args)?;
-                    self.push_frame(frames, m, &args, profiler)?;
+                    self.push_frame(frames, m, &args, sink)?;
                 }
                 Instr::CallVirtual(m) => {
                     let decl = self.program.func(m);
@@ -540,7 +455,7 @@ impl<'p> Interp<'p> {
                     })? as usize;
                     let class = self.heap.object(o).class;
                     let target = self.program.class(class).vtable[vslot];
-                    self.push_frame(frames, target, &args, profiler)?;
+                    self.push_frame(frames, target, &args, sink)?;
                 }
                 Instr::Ret | Instr::RetVal => {
                     let value = if matches!(instr, Instr::RetVal) {
@@ -548,7 +463,7 @@ impl<'p> Interp<'p> {
                     } else {
                         Value::Null
                     };
-                    self.pop_frame(frames, profiler);
+                    self.pop_frame(frames, sink);
                     match frames.last_mut() {
                         Some(caller) => {
                             if matches!(instr, Instr::RetVal) {
@@ -560,7 +475,7 @@ impl<'p> Interp<'p> {
                 }
                 Instr::Throw => {
                     let value = pop(top!())?;
-                    self.unwind(frames, value, line, profiler)?;
+                    self.unwind(frames, value, line, sink)?;
                 }
                 Instr::CheckCast(kind) => {
                     let v = *top!()
@@ -586,22 +501,22 @@ impl<'p> Interp<'p> {
                     self.input_pos += 1;
                     top!().stack.push(Value::Int(v));
                     if self.program.track_io {
-                        profiler.on_input_read(self.program, &self.heap);
+                        self.emit(sink, Event::InputRead);
                     }
                 }
                 Instr::Print => {
                     let v = pop_int(top!())?;
                     self.output.push(v);
                     if self.program.track_io {
-                        profiler.on_output_write(self.program, &self.heap);
+                        self.emit(sink, Event::OutputWrite);
                     }
                 }
                 Instr::ProfLoopEntry(l) => {
                     top!().active_loops.push(l);
-                    profiler.on_loop_entry(l, self.program, &self.heap);
+                    self.emit(sink, Event::LoopEntry { l });
                 }
                 Instr::ProfLoopBack(l) => {
-                    profiler.on_loop_back_edge(l, self.program, &self.heap);
+                    self.emit(sink, Event::LoopBackEdge { l });
                 }
                 Instr::ProfLoopExit(l) => {
                     let popped = top!().active_loops.pop();
@@ -610,7 +525,7 @@ impl<'p> Interp<'p> {
                             "unbalanced loop exit: expected {popped:?}, got {l}"
                         )));
                     }
-                    profiler.on_loop_exit(l, self.program, &self.heap);
+                    self.emit(sink, Event::LoopExit { l });
                 }
             }
         }
@@ -618,12 +533,12 @@ impl<'p> Interp<'p> {
 
     /// Unwinds `value` through the frame stack, emitting loop/method exit
     /// events, until a matching handler is found.
-    fn unwind<P: ProfilerHooks>(
+    fn unwind<S: EventSink>(
         &mut self,
         frames: &mut Vec<Frame>,
         value: Value,
         throw_line: u32,
-        profiler: &mut P,
+        sink: &mut S,
     ) -> Result<(), RuntimeError> {
         loop {
             let (func_id, pc) = match frames.last() {
@@ -643,22 +558,29 @@ impl<'p> Interp<'p> {
                 .copied();
             match handler {
                 Some(h) => {
-                    let frame = frames.last_mut().expect("frame checked above");
-                    // Exit instrumented loops abandoned by the transfer.
-                    while frame.active_loops.len() > h.active_loops as usize {
-                        let l = frame
-                            .active_loops
-                            .pop()
-                            .expect("length checked in loop condition");
-                        profiler.on_loop_exit(l, self.program, &self.heap);
+                    let mut exits = Vec::new();
+                    {
+                        let frame = frames.last_mut().expect("frame checked above");
+                        // Exit instrumented loops abandoned by the transfer.
+                        while frame.active_loops.len() > h.active_loops as usize {
+                            exits.push(
+                                frame
+                                    .active_loops
+                                    .pop()
+                                    .expect("length checked in loop condition"),
+                            );
+                        }
+                        frame.stack.clear();
+                        frame.locals[h.catch_slot as usize] = value;
+                        frame.pc = h.target;
                     }
-                    frame.stack.clear();
-                    frame.locals[h.catch_slot as usize] = value;
-                    frame.pc = h.target;
+                    for l in exits {
+                        self.emit(sink, Event::LoopExit { l });
+                    }
                     return Ok(());
                 }
                 None => {
-                    self.pop_frame(frames, profiler);
+                    self.pop_frame(frames, sink);
                 }
             }
         }
@@ -739,16 +661,17 @@ fn split_args(frame: &mut Frame, n: usize) -> Result<Vec<Value>, RuntimeError> {
 mod tests {
     use super::*;
     use crate::compile::compile;
+    use crate::event::NoopSink;
     use crate::instrument::InstrumentOptions;
 
     fn run(src: &str) -> RunResult {
         let p = compile(src).expect("compiles");
-        Interp::new(&p).run(&mut NoopProfiler).expect("runs")
+        Interp::new(&p).run(&mut NoopSink).expect("runs")
     }
 
     fn run_err(src: &str) -> RuntimeError {
         let p = compile(src).expect("compiles");
-        Interp::new(&p).run(&mut NoopProfiler).expect_err("fails")
+        Interp::new(&p).run(&mut NoopSink).expect_err("fails")
     }
 
     fn ret(src: &str) -> i64 {
@@ -1061,7 +984,7 @@ mod tests {
         let p = compile("class Main { static int main() { while (true) { } } }").expect("compiles");
         let e = Interp::new(&p)
             .with_fuel(10_000)
-            .run(&mut NoopProfiler)
+            .run(&mut NoopSink)
             .expect_err("must run out of fuel");
         assert!(matches!(e, RuntimeError::OutOfFuel));
     }
@@ -1075,7 +998,7 @@ mod tests {
         .expect("compiles");
         let e = Interp::new(&p)
             .with_max_frames(500)
-            .run(&mut NoopProfiler)
+            .run(&mut NoopSink)
             .expect_err("must overflow");
         assert!(matches!(e, RuntimeError::StackOverflow { .. }));
     }
@@ -1094,7 +1017,7 @@ mod tests {
         .expect("compiles");
         let r = Interp::new(&p)
             .with_input(vec![6, 7])
-            .run(&mut NoopProfiler)
+            .run(&mut NoopSink)
             .expect("runs");
         assert_eq!(r.output, vec![13, 42]);
     }
@@ -1107,11 +1030,12 @@ mod tests {
 
     /// Counts events to validate loop instrumentation balance at run time.
     ///
-    /// The put/store counters consume the value carried by the hook
-    /// directly — no re-read of `heap` — exercising the widened
-    /// `on_field_put`/`on_array_store` signatures.
+    /// The write counters consume the value carried by the event directly
+    /// — no re-read of `heap` — and honor the `tracked` flag exactly as
+    /// AlgoProf does, exercising the merged single-emission mutation
+    /// events.
     #[derive(Default)]
-    struct CountingProfiler {
+    struct CountingSink {
         entries: u64,
         backs: u64,
         exits: u64,
@@ -1119,59 +1043,48 @@ mod tests {
         method_exits: u64,
         field_puts: u64,
         array_stores: u64,
+        untracked_writes: u64,
         stored_int_sum: i64,
     }
 
-    impl ProfilerHooks for CountingProfiler {
-        fn on_loop_entry(&mut self, _: LoopId, _: &CompiledProgram, _: &Heap) {
-            self.entries += 1;
-        }
-        fn on_loop_back_edge(&mut self, _: LoopId, _: &CompiledProgram, _: &Heap) {
-            self.backs += 1;
-        }
-        fn on_loop_exit(&mut self, _: LoopId, _: &CompiledProgram, _: &Heap) {
-            self.exits += 1;
-        }
-        fn on_method_entry(&mut self, _: FuncId, _: &CompiledProgram, _: &Heap) {
-            self.method_entries += 1;
-        }
-        fn on_method_exit(&mut self, _: FuncId, _: &CompiledProgram, _: &Heap) {
-            self.method_exits += 1;
-        }
-        fn on_field_put(
-            &mut self,
-            _: Value,
-            _: FieldId,
-            value: Value,
-            _: &CompiledProgram,
-            _: &Heap,
-        ) {
-            self.field_puts += 1;
-            if let Some(v) = value.as_int() {
-                self.stored_int_sum += v;
-            }
-        }
-        fn on_array_store(
-            &mut self,
-            _: Value,
-            index: usize,
-            value: Value,
-            _: &CompiledProgram,
-            _: &Heap,
-        ) {
-            self.array_stores += 1;
-            let _ = index;
-            if let Some(v) = value.as_int() {
-                self.stored_int_sum += v;
+    impl EventSink for CountingSink {
+        fn event(&mut self, ev: &Event, _cx: &EventCx<'_>) {
+            match *ev {
+                Event::LoopEntry { .. } => self.entries += 1,
+                Event::LoopBackEdge { .. } => self.backs += 1,
+                Event::LoopExit { .. } => self.exits += 1,
+                Event::MethodEntry { .. } => self.method_entries += 1,
+                Event::MethodExit { .. } => self.method_exits += 1,
+                Event::FieldWrite { value, tracked, .. } => {
+                    if tracked {
+                        self.field_puts += 1;
+                        if let Some(v) = value.as_int() {
+                            self.stored_int_sum += v;
+                        }
+                    } else {
+                        self.untracked_writes += 1;
+                    }
+                }
+                Event::ArrayWrite { value, tracked, .. } => {
+                    if tracked {
+                        self.array_stores += 1;
+                        if let Some(v) = value.as_int() {
+                            self.stored_int_sum += v;
+                        }
+                    } else {
+                        self.untracked_writes += 1;
+                    }
+                }
+                _ => {}
             }
         }
     }
 
-    fn run_counting(src: &str) -> CountingProfiler {
+    fn run_counting(src: &str) -> CountingSink {
         let p = compile(src)
             .expect("compiles")
             .instrument(&InstrumentOptions::default());
-        let mut prof = CountingProfiler::default();
+        let mut prof = CountingSink::default();
         Interp::new(&p).run(&mut prof).expect("runs");
         prof
     }
@@ -1191,27 +1104,32 @@ mod tests {
     }
 
     #[test]
-    fn put_and_store_hooks_carry_written_values() {
+    fn write_events_carry_values_and_tracked_flags() {
         let prof = run_counting(
             "class Main { static int main() {
                 Node head = null;
                 for (int i = 0; i < 3; i = i + 1) {
                     Node x = new Node();
                     x.next = head;
+                    x.tag = i;
                     head = x;
                 }
                 int[] a = new int[5];
                 for (int i = 0; i < 5; i = i + 1) { a[i] = i + 1; }
                 return 0;
             } }
-            class Node { Node next; }",
+            class Node { Node next; int tag; }",
         );
         // Node.next is recursive, hence tracked; each of the 3 stores
         // writes a reference (no int contribution). The 5 array stores
-        // write 1..=5, which the sink sums straight from the hook payload.
+        // write 1..=5, which the sink sums straight from the event
+        // payload. Node.tag is not part of a recursive cycle, so its 3
+        // writes arrive with tracked=false — each write fires exactly one
+        // event either way.
         assert_eq!(prof.field_puts, 3);
         assert_eq!(prof.array_stores, 5);
         assert_eq!(prof.stored_int_sum, 15);
+        assert_eq!(prof.untracked_writes, 3);
     }
 
     #[test]

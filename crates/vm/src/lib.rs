@@ -50,6 +50,7 @@ pub mod compile;
 pub mod disasm;
 pub mod dominators;
 pub mod error;
+pub mod event;
 pub mod heap;
 pub mod hir;
 pub mod indexflow;
@@ -70,11 +71,16 @@ pub use bytecode::{
 pub use compile::{compile, compile_with_options, CompileOptions};
 pub use disasm::{disassemble, disassemble_cfg, disassemble_function};
 pub use error::{CompileError, RuntimeError};
+pub use event::{Event, EventCx, EventSink, Fanout, NoopSink, Tee};
 pub use heap::{ArrRef, ArrayWrite, Heap, ObjRef, Value};
 pub use instrument::{
     AllocInstrumentation, FieldInstrumentation, InstrumentOptions, MethodInstrumentation,
 };
-pub use interp::{default_field_value, Interp, NoopProfiler, ProfilerHooks, RunResult};
+// `NoopProfiler` is the historical name for "no profiling"; keep it as an
+// alias so sinks-by-value call sites read the same as before the
+// `ProfilerHooks` -> `EventSink` migration.
+pub use event::NoopSink as NoopProfiler;
+pub use interp::{default_field_value, Interp, RunResult};
 pub use verify::{verify, VerifyError};
 
 #[cfg(test)]

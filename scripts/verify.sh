@@ -30,6 +30,14 @@ trap 'rm -rf "$sweep_out"' EXIT
 cmp "$sweep_out/j1.json" "$sweep_out/j2.json"
 cmp "$sweep_out/j1.txt" "$sweep_out/j2.txt"
 
+echo "==> events smoke (record -> dump, text and JSON)"
+./target/release/algoprof record examples/sized_arraylist.jay \
+    --input 16 -o "$sweep_out/run.aptr"
+./target/release/algoprof events "$sweep_out/run.aptr" --limit 10 \
+    | grep -q "loop_entry"
+./target/release/algoprof events "$sweep_out/run.aptr" --json --limit 10 \
+    | grep -q '^{"event": "'
+
 echo "==> static analysis (lint) over shipped examples"
 for example in examples/*.jay; do
     ./target/release/algoprof lint "$example" > /dev/null

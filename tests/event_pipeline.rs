@@ -1,0 +1,132 @@
+//! Event-pipeline equivalence: the unified `Event`/`EventSink` path must
+//! be observationally identical no matter how sinks are composed. A
+//! [`Fanout`] of N differently-configured `AlgoProf`s over *one* live
+//! execution must produce exactly the profiles of N separate live runs
+//! (this is what lets `sweep` profile every ablation in a single pass),
+//! and teeing a recorder in must not perturb any of them.
+
+use algoprof::{
+    profile_source_with, record_source_with, AlgoProf, AlgoProfOptions, AlgorithmicProfile,
+    EquivalenceCriterion,
+};
+use algoprof_programs::{
+    array_list_program, functional_sort_program, insertion_sort_program, GrowthPolicy,
+    SortWorkload, LISTING3, LISTING4, LISTING5,
+};
+use algoprof_suite::genprog::random_program;
+use algoprof_suite::testutil::TestRng;
+use algoprof_trace::{TraceHeader, TraceRecorder};
+use algoprof_vm::{compile, Fanout, InstrumentOptions, Interp, Tee};
+
+const CRITERIA: [EquivalenceCriterion; 4] = [
+    EquivalenceCriterion::SomeElements,
+    EquivalenceCriterion::AllElements,
+    EquivalenceCriterion::SameArray,
+    EquivalenceCriterion::SameType,
+];
+
+fn ablation_options() -> Vec<AlgoProfOptions> {
+    CRITERIA
+        .iter()
+        .map(|&criterion| AlgoProfOptions {
+            criterion,
+            ..AlgoProfOptions::default()
+        })
+        .collect()
+}
+
+/// Runs `src` once with all four criteria fanned out (recorder teed in,
+/// as `sweep` composes it), returning the trace and the four profiles.
+fn fanout_run(name: &str, src: &str) -> (Vec<u8>, Vec<AlgorithmicProfile>) {
+    let instrument = InstrumentOptions::default();
+    let program = compile(src)
+        .unwrap_or_else(|e| panic!("{name}: compile failed: {e}"))
+        .instrument(&instrument);
+    let mut bytes = Vec::new();
+    let mut sink = Tee::new(
+        TraceRecorder::new(&TraceHeader::new(src, &instrument, &[]), &mut bytes),
+        Fanout::new(
+            ablation_options()
+                .into_iter()
+                .map(AlgoProf::with_options)
+                .collect(),
+        ),
+    );
+    Interp::new(&program)
+        .run(&mut sink)
+        .unwrap_or_else(|e| panic!("{name}: execution failed: {e}"));
+    let Tee {
+        a: recorder,
+        b: fanout,
+    } = sink;
+    recorder.finish().expect("writes to a Vec<u8> cannot fail");
+    let profiles = fanout
+        .into_sinks()
+        .into_iter()
+        .map(|p| p.finish(&program))
+        .collect();
+    (bytes, profiles)
+}
+
+/// One fanned-out execution must equal four separate live runs, and the
+/// teed recording must equal a pure recording run.
+fn assert_fanout_equals_separate_runs(name: &str, src: &str) {
+    let instrument = InstrumentOptions::default();
+    let (trace, fanned) = fanout_run(name, src);
+    assert_eq!(
+        trace,
+        record_source_with(src, &instrument, &[])
+            .unwrap_or_else(|e| panic!("{name}: recording failed: {e}")),
+        "{name}: teed recording diverges from a pure recording"
+    );
+    for (options, fanned_profile) in ablation_options().into_iter().zip(&fanned) {
+        let solo = profile_source_with(src, &instrument, options, &[])
+            .unwrap_or_else(|e| panic!("{name}: live profiling failed: {e}"));
+        assert_eq!(
+            *fanned_profile, solo,
+            "{name}: fanned-out profile diverges under {:?}",
+            options.criterion
+        );
+    }
+}
+
+#[test]
+fn listings_corpus_fanout_equals_separate_runs() {
+    let corpus: Vec<(&str, String)> = vec![
+        ("listing3", LISTING3.to_string()),
+        ("listing4", LISTING4.to_string()),
+        ("listing5", LISTING5.to_string()),
+        (
+            "insertion_sort_random",
+            insertion_sort_program(SortWorkload::Random, 60, 10, 2),
+        ),
+        (
+            "insertion_sort_sorted",
+            insertion_sort_program(SortWorkload::Sorted, 60, 10, 2),
+        ),
+        (
+            "functional_sort",
+            functional_sort_program(SortWorkload::Random, 40, 10, 2),
+        ),
+        (
+            "array_list_by_one",
+            array_list_program(GrowthPolicy::ByOne, 60, 10, 2),
+        ),
+        (
+            "array_list_doubling",
+            array_list_program(GrowthPolicy::Doubling, 60, 10, 2),
+        ),
+    ];
+    for (name, src) in &corpus {
+        assert_fanout_equals_separate_runs(name, src);
+    }
+}
+
+#[test]
+fn random_programs_fanout_equals_separate_runs() {
+    for seed in 0..100 {
+        let mut rng = TestRng::new(9000 + seed);
+        let src = random_program(&mut rng);
+        assert_fanout_equals_separate_runs(&format!("seed {seed}"), &src);
+    }
+}

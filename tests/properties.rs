@@ -147,30 +147,14 @@ fn loop_events_balance_for_arbitrary_bounds() {
             exits: i64,
             backs: u64,
         }
-        impl algoprof_vm::ProfilerHooks for Balance {
-            fn on_loop_entry(
-                &mut self,
-                _: algoprof_vm::LoopId,
-                _: &algoprof_vm::CompiledProgram,
-                _: &algoprof_vm::Heap,
-            ) {
-                self.entries += 1;
-            }
-            fn on_loop_exit(
-                &mut self,
-                _: algoprof_vm::LoopId,
-                _: &algoprof_vm::CompiledProgram,
-                _: &algoprof_vm::Heap,
-            ) {
-                self.exits += 1;
-            }
-            fn on_loop_back_edge(
-                &mut self,
-                _: algoprof_vm::LoopId,
-                _: &algoprof_vm::CompiledProgram,
-                _: &algoprof_vm::Heap,
-            ) {
-                self.backs += 1;
+        impl algoprof_vm::EventSink for Balance {
+            fn event(&mut self, ev: &algoprof_vm::Event, _cx: &algoprof_vm::EventCx<'_>) {
+                match ev {
+                    algoprof_vm::Event::LoopEntry { .. } => self.entries += 1,
+                    algoprof_vm::Event::LoopExit { .. } => self.exits += 1,
+                    algoprof_vm::Event::LoopBackEdge { .. } => self.backs += 1,
+                    _ => {}
+                }
             }
         }
         let mut balance = Balance::default();
