@@ -10,11 +10,13 @@
 use std::time::{Duration, Instant};
 
 use algoprof::{
-    run_sweep, EquivalenceCriterion, SweepAblation, SweepConfig, SweepJob, SweepReport,
+    run_sweep, AlgoProfOptions, EquivalenceCriterion, JobSpec, SweepAblation, SweepConfig,
+    SweepJob, SweepReport,
 };
 use algoprof_programs::{
     sized_array_list_program, sized_insertion_sort_program, GrowthPolicy, SortWorkload,
 };
+use algoprof_serve::{client, Server, ServerAddr, ServerConfig};
 
 fn quick_mode() -> bool {
     std::env::var_os("ALGOPROF_BENCH_QUICK").is_some()
@@ -80,6 +82,89 @@ fn timed_sweep(jobs: &[SweepJob], workers: usize) -> (SweepReport, Duration) {
     (report, start.elapsed())
 }
 
+/// Distinct profile jobs for the serve throughput phase: every corpus
+/// listing × every size is its own cache key.
+fn serve_jobs(sizes: &[u64]) -> Vec<JobSpec> {
+    let programs = [
+        (
+            "arraylist_by1",
+            sized_array_list_program(GrowthPolicy::ByOne),
+        ),
+        (
+            "arraylist_dbl",
+            sized_array_list_program(GrowthPolicy::Doubling),
+        ),
+        (
+            "insertion_sort",
+            sized_insertion_sort_program(SortWorkload::Random),
+        ),
+    ];
+    let mut jobs = Vec::new();
+    for (name, source) in &programs {
+        for &size in sizes {
+            jobs.push(JobSpec::Profile {
+                program: (*name).to_string(),
+                source: source.clone(),
+                input: vec![size as i64],
+                options: AlgoProfOptions::default(),
+            });
+        }
+    }
+    jobs
+}
+
+/// Submits every job from `clients` concurrent threads and waits for
+/// all of them, returning the wall-clock time.
+fn saturate(addr: &ServerAddr, jobs: &[JobSpec], clients: usize) -> Duration {
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                let Some(spec) = jobs.get(i) else { break };
+                let submitted = client::submit(addr, spec).expect("submit accepted");
+                client::wait(addr, &submitted.id).expect("job finishes");
+            });
+        }
+    });
+    start.elapsed()
+}
+
+/// Measures the serve daemon: jobs/sec with every client thread busy
+/// (cold cache, all misses) and the cache hit rate when the identical
+/// batch is resubmitted warm.
+fn serve_benchmark(sizes: &[u64]) -> (f64, f64) {
+    let jobs = serve_jobs(sizes);
+    let clients = 4;
+    let server = Server::start(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("serve daemon binds");
+    let addr = ServerAddr::Tcp(server.addr().expect("tcp address").to_string());
+
+    let cold = saturate(&addr, &jobs, clients);
+    let before = client::cache_stats(&addr).expect("cache stats");
+    let warm = saturate(&addr, &jobs, clients);
+    let after = client::cache_stats(&addr).expect("cache stats");
+    server.shutdown();
+
+    let jobs_per_sec = jobs.len() as f64 / cold.as_secs_f64().max(1e-9);
+    let hit_rate = (after.hits - before.hits) as f64 / jobs.len() as f64;
+    println!(
+        "  serve/jobs_per_sec(cold, {clients} clients)    {jobs_per_sec:>12.1}   ({} jobs in {cold:.3?})",
+        jobs.len()
+    );
+    println!(
+        "  serve/cache_hit_rate(warm resubmission)  {hit_rate:>12.3}   (warm pass {warm:.3?})"
+    );
+    (jobs_per_sec, hit_rate)
+}
+
 fn main() {
     let sizes: &[u64] = if quick_mode() {
         &[8, 16, 24]
@@ -132,11 +217,18 @@ fn main() {
         println!("  NOTE: single-cpu host; speedup here measures scheduling overhead only");
     }
 
+    // The persistent-service half: throughput at saturation and the
+    // warm-resubmission hit rate (1.0 means every repeat skipped
+    // execution).
+    let (serve_jobs_per_sec, serve_cache_hit_rate) = serve_benchmark(sizes);
+
     // Persist the run: timings plus the deterministic report itself.
     let json = format!(
         "{{\n  \"bench\": \"sweep\",\n  \"corpus\": \"fig5/listings\",\n  \
          \"jobs\": {},\n  \"analyses\": {},\n  \"quick\": {},\n  \"host_cpus\": {cpus},\n  \
          \"wall_ms_j1\": {:.3},\n  \"wall_ms_j4\": {:.3},\n  \"speedup_j4\": {:.3},\n  \
+         \"serve_jobs_per_sec\": {serve_jobs_per_sec:.1},\n  \
+         \"serve_cache_hit_rate\": {serve_cache_hit_rate:.3},\n  \
          \"report\": {}\n}}\n",
         jobs.len(),
         analyses,

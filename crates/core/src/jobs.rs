@@ -1,0 +1,392 @@
+//! Daemon-side job plumbing: a self-contained job specification, its
+//! deterministic execution, and a content-addressed cache key.
+//!
+//! The serve subsystem (crate `algoprof-serve`) accepts profiling work
+//! over the wire and must answer two questions this module owns:
+//!
+//! 1. **What is a job?** [`JobSpec`] carries everything needed to run
+//!    one unit of work — the guest source itself (not a path: the daemon
+//!    may run on another machine), sizes, inputs, and the full
+//!    [`AlgoProfOptions`] ablation set — so execution is a pure function
+//!    of the spec.
+//! 2. **When are two jobs the same?** [`JobSpec::cache_key`] hashes a
+//!    canonical encoding of the spec (plus the trace-format and
+//!    cache-schema versions) with SHA-256; equal keys ⇒ byte-identical
+//!    [`JobOutput`]s, which is what lets the daemon serve a resubmission
+//!    from cache without re-executing and still honour the sweep
+//!    determinism contract.
+//!
+//! Rendering goes through the exact code paths the one-shot CLI uses
+//! ([`crate::run`], [`crate::sweep`]), so a daemon round-trip is
+//! byte-identical to `algoprof sweep --json` / `algoprof <prog>` output
+//! for the same spec.
+
+use std::fmt;
+
+use crate::hash::Sha256;
+use crate::profiler::AlgoProfOptions;
+use crate::run::{profile_source_with, ProfileError};
+use crate::stream::StreamingAnalysis;
+use crate::sweep::{run_sweep, SweepAblation, SweepConfig, SweepError, SweepJob};
+use algoprof_vm::InstrumentOptions;
+
+/// Bump when the canonical encoding hashed by [`JobSpec::cache_key`] or
+/// the meaning of [`JobOutput`] changes, so stale cache dirs can never
+/// serve results computed under different semantics.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// One unit of daemon work, self-contained (sources and traces ride in
+/// the spec, never paths to them).
+#[derive(Debug, Clone)]
+pub enum JobSpec {
+    /// `algoprof <program>`: compile, execute, profile, render text.
+    Profile {
+        /// Display name for reports (the CLI passes the program path).
+        program: String,
+        /// Guest source text.
+        source: String,
+        /// Values for `readInput()`.
+        input: Vec<i64>,
+        /// Profiler configuration.
+        options: AlgoProfOptions,
+    },
+    /// `algoprof sweep`: one execution per size, every ablation fanned
+    /// out over the same event stream, one merged deterministic report.
+    Sweep {
+        /// Display name for reports (the CLI passes the program path).
+        program: String,
+        /// Guest source text.
+        source: String,
+        /// Input sizes to sweep.
+        sizes: Vec<u64>,
+        /// Equivalence-criterion (or other option) ablations.
+        ablations: Vec<SweepAblation>,
+    },
+    /// `algoprof analyze`: profile a recorded APTR trace.
+    Analyze {
+        /// The complete trace bytes.
+        trace: Vec<u8>,
+        /// Profiler configuration.
+        options: AlgoProfOptions,
+    },
+}
+
+/// What a job produced: the text report every kind renders, plus the
+/// machine-readable JSON report for sweeps.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutput {
+    /// The report exactly as the one-shot CLI prints it to stdout.
+    pub text: String,
+    /// `render_json()` of the sweep report (sweep jobs only).
+    pub json: Option<String>,
+}
+
+/// Why a job failed (stringly typed for transport; the daemon relays it
+/// verbatim to the submitting client).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError(pub String);
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+impl From<ProfileError> for JobError {
+    fn from(e: ProfileError) -> Self {
+        JobError(e.to_string())
+    }
+}
+
+impl From<SweepError> for JobError {
+    fn from(e: SweepError) -> Self {
+        JobError(e.to_string())
+    }
+}
+
+impl JobSpec {
+    /// The job kind as a wire-protocol tag.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            JobSpec::Profile { .. } => "profile",
+            JobSpec::Sweep { .. } => "sweep",
+            JobSpec::Analyze { .. } => "analyze",
+        }
+    }
+
+    /// Executes the job, producing output byte-identical to the one-shot
+    /// CLI for the same inputs. Deterministic: the same spec always
+    /// yields the same [`JobOutput`], which is the property the content
+    /// cache relies on.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError`] when the guest fails to compile or run, or a
+    /// trace is malformed.
+    pub fn execute(&self) -> Result<JobOutput, JobError> {
+        match self {
+            JobSpec::Profile {
+                source,
+                input,
+                options,
+                ..
+            } => {
+                let profile =
+                    profile_source_with(source, &InstrumentOptions::default(), *options, input)?;
+                Ok(JobOutput {
+                    text: profile.render_text(),
+                    json: None,
+                })
+            }
+            JobSpec::Sweep {
+                program,
+                source,
+                sizes,
+                ablations,
+            } => {
+                let jobs: Vec<SweepJob> = sizes
+                    .iter()
+                    .map(|&n| SweepJob::for_size(source, n))
+                    .collect();
+                // One pool worker runs the whole job; the inner sweep
+                // stays serial (its report is identical at any worker
+                // count anyway, but nesting pools would oversubscribe).
+                let config = SweepConfig {
+                    ablations: ablations.clone(),
+                    workers: 1,
+                    progress: false,
+                    program: program.clone(),
+                };
+                let report = run_sweep(&jobs, &config)?;
+                Ok(JobOutput {
+                    text: report.render_text(),
+                    json: Some(report.render_json()),
+                })
+            }
+            JobSpec::Analyze { trace, options } => {
+                let mut analysis = StreamingAnalysis::new(*options);
+                analysis.feed(trace)?;
+                let report = analysis.finish()?;
+                Ok(JobOutput {
+                    text: report.profile.render_text(),
+                    json: None,
+                })
+            }
+        }
+    }
+
+    /// The content-address of this job: a SHA-256 over a canonical
+    /// encoding of everything execution depends on — kind, source or
+    /// trace bytes, sizes, inputs, the full option set, the ablation
+    /// list, the display name (it appears in rendered reports), and the
+    /// trace-format + cache-schema versions. Equal keys imply
+    /// byte-identical [`JobOutput`]s, so the daemon may serve any cached
+    /// result under the same key to any client.
+    pub fn cache_key(&self) -> String {
+        let mut h = Sha256::new();
+        let mut field = |tag: &str, bytes: &[u8]| {
+            h.update(tag.as_bytes());
+            h.update(&(bytes.len() as u64).to_le_bytes());
+            h.update(bytes);
+        };
+        field("algoprof-cache", &CACHE_SCHEMA_VERSION.to_le_bytes());
+        field("trace-version", &algoprof_trace::VERSION.to_le_bytes());
+        field("kind", self.kind().as_bytes());
+        match self {
+            JobSpec::Profile {
+                program,
+                source,
+                input,
+                options,
+            } => {
+                field("program", program.as_bytes());
+                field("source", source.as_bytes());
+                let mut buf = Vec::with_capacity(input.len() * 8);
+                for v in input {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+                field("input", &buf);
+                field("options", format!("{options:?}").as_bytes());
+            }
+            JobSpec::Sweep {
+                program,
+                source,
+                sizes,
+                ablations,
+            } => {
+                field("program", program.as_bytes());
+                field("source", source.as_bytes());
+                let mut buf = Vec::with_capacity(sizes.len() * 8);
+                for v in sizes {
+                    buf.extend_from_slice(&v.to_le_bytes());
+                }
+                field("sizes", &buf);
+                for a in ablations {
+                    field("ablation-name", a.name.as_bytes());
+                    field("ablation-options", format!("{:?}", a.options).as_bytes());
+                }
+            }
+            JobSpec::Analyze { trace, options } => {
+                field("trace", trace);
+                field("options", format!("{options:?}").as_bytes());
+            }
+        }
+        h.finish_hex()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::EquivalenceCriterion;
+
+    const SRC: &str = "class Main { static int main() {
+        int s = 0;
+        for (int i = 0; i < 8; i = i + 1) { s = s + i; }
+        return s;
+    } }";
+
+    /// A sized guest: builds then traverses an `n`-node list, where `n`
+    /// is the swept size served through `readInput()`.
+    const SIZED_SRC: &str = "class Main { static int main() {
+        int n = readInput();
+        Node head = null;
+        for (int i = 0; i < n; i = i + 1) {
+            Node x = new Node();
+            x.next = head;
+            head = x;
+        }
+        int c = 0;
+        while (head != null) { c = c + 1; head = head.next; }
+        return c;
+    } }
+    class Node { Node next; }";
+
+    fn sweep_spec(sizes: &[u64]) -> JobSpec {
+        JobSpec::Sweep {
+            program: "prog.jay".into(),
+            source: SIZED_SRC.into(),
+            sizes: sizes.to_vec(),
+            ablations: vec![SweepAblation::default()],
+        }
+    }
+
+    #[test]
+    fn cache_key_is_stable_and_sensitive() {
+        let a = sweep_spec(&[4, 8]);
+        assert_eq!(a.cache_key(), a.cache_key(), "same spec, same key");
+        assert_eq!(a.cache_key().len(), 64, "sha-256 hex");
+        let b = sweep_spec(&[4, 8, 16]);
+        assert_ne!(a.cache_key(), b.cache_key(), "sizes are part of the key");
+        let mut c = sweep_spec(&[4, 8]);
+        if let JobSpec::Sweep { ablations, .. } = &mut c {
+            ablations[0].options.criterion = EquivalenceCriterion::SameType;
+        }
+        assert_ne!(a.cache_key(), c.cache_key(), "options are part of the key");
+        let mut d = sweep_spec(&[4, 8]);
+        if let JobSpec::Sweep { program, .. } = &mut d {
+            *program = "other.jay".into();
+        }
+        assert_ne!(
+            a.cache_key(),
+            d.cache_key(),
+            "display name appears in reports, so it is part of the key"
+        );
+    }
+
+    /// Field framing must prevent ambiguity: moving a byte between
+    /// adjacent fields changes the key.
+    #[test]
+    fn cache_key_framing_is_unambiguous() {
+        let a = JobSpec::Profile {
+            program: "ab".into(),
+            source: "c".into(),
+            input: vec![],
+            options: AlgoProfOptions::default(),
+        };
+        let b = JobSpec::Profile {
+            program: "a".into(),
+            source: "bc".into(),
+            input: vec![],
+            options: AlgoProfOptions::default(),
+        };
+        assert_ne!(a.cache_key(), b.cache_key());
+    }
+
+    #[test]
+    fn profile_execute_matches_direct_call() {
+        let spec = JobSpec::Profile {
+            program: "prog.jay".into(),
+            source: SRC.into(),
+            input: vec![],
+            options: AlgoProfOptions::default(),
+        };
+        let out = spec.execute().expect("runs");
+        let direct = profile_source_with(
+            SRC,
+            &InstrumentOptions::default(),
+            AlgoProfOptions::default(),
+            &[],
+        )
+        .expect("runs");
+        assert_eq!(out.text, direct.render_text());
+        assert!(out.json.is_none());
+    }
+
+    #[test]
+    fn sweep_execute_matches_run_sweep() {
+        let spec = sweep_spec(&[4, 8]);
+        let out = spec.execute().expect("runs");
+        let JobSpec::Sweep {
+            program,
+            source,
+            sizes,
+            ablations,
+        } = &spec
+        else {
+            unreachable!()
+        };
+        let jobs: Vec<SweepJob> = sizes
+            .iter()
+            .map(|&n| SweepJob::for_size(source, n))
+            .collect();
+        let report = run_sweep(
+            &jobs,
+            &SweepConfig {
+                ablations: ablations.clone(),
+                workers: 4,
+                progress: false,
+                program: program.clone(),
+            },
+        )
+        .expect("sweeps");
+        assert_eq!(out.text, report.render_text());
+        assert_eq!(out.json.as_deref(), Some(report.render_json().as_str()));
+    }
+
+    #[test]
+    fn analyze_execute_matches_profile_trace() {
+        let trace = crate::run::record_source(SRC).expect("records");
+        let spec = JobSpec::Analyze {
+            trace: trace.clone(),
+            options: AlgoProfOptions::default(),
+        };
+        let out = spec.execute().expect("analyzes");
+        let direct = crate::run::profile_trace(&trace).expect("replays");
+        assert_eq!(out.text, direct.render_text());
+    }
+
+    #[test]
+    fn execute_reports_guest_errors() {
+        let spec = JobSpec::Profile {
+            program: "bad.jay".into(),
+            source: "class Main {".into(),
+            input: vec![],
+            options: AlgoProfOptions::default(),
+        };
+        let err = spec.execute().unwrap_err();
+        assert!(err.to_string().contains("compilation"));
+    }
+}

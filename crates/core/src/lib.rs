@@ -52,8 +52,10 @@ pub mod algorithms;
 pub mod classify;
 pub mod cost;
 pub mod crossval;
+pub mod hash;
 pub mod html;
 pub mod inputs;
+pub mod jobs;
 pub mod pool;
 pub mod profile;
 pub mod profiler;
@@ -61,15 +63,18 @@ pub mod report;
 pub mod reptree;
 pub mod run;
 pub mod snapshot;
+pub mod stream;
 pub mod sweep;
 
 pub use algorithms::{Algorithm, AlgorithmId, DataPoint, GroupingStrategy};
 pub use classify::{AlgorithmClass, Classification};
 pub use cost::{AccessOp, CostKey, CostMap};
 pub use crossval::{cross_validate, render_cross_checks, CrossCheck};
+pub use hash::{sha256_hex, Sha256};
 pub use html::{render_html, render_sweep_html};
 pub use inputs::{InputId, InputInfo, InputKind, InputRegistry};
-pub use pool::{default_workers, run_indexed};
+pub use jobs::{JobError, JobOutput, JobSpec, CACHE_SCHEMA_VERSION};
+pub use pool::{default_workers, run_indexed, WorkerPool};
 pub use profile::{merge_invocation_series, merge_series, AlgorithmicProfile, CostMetric};
 pub use profiler::{AlgoProf, AlgoProfOptions, SnapshotPolicy};
 pub use reptree::{Invocation, NodeId, RepKind, RepNode, RepTree};
@@ -77,6 +82,8 @@ pub use run::{
     profile_source, profile_source_with, profile_trace, profile_trace_with,
     record_and_profile_source, record_source, record_source_with, ProfileError,
 };
+pub use stream::{render_stream_fits, StreamNodeFit, StreamingAnalysis, StreamingReport};
+
 pub use snapshot::{
     ArraySizeStrategy, ElemKey, EquivalenceCriterion, IncrementalMode, Measurement, Snapshot,
     SnapshotStats,

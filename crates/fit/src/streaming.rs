@@ -8,7 +8,7 @@
 //! sufficient statistics per candidate model and produces exactly the
 //! same least-squares fits as the batch API, without storing points.
 
-use crate::models::{Fit, Model};
+use crate::models::{Fit, Model, PowerFit};
 
 /// Per-model running sums for ordinary least squares over `x = g(n)`.
 #[derive(Debug, Clone, Copy, Default)]
@@ -60,6 +60,10 @@ impl Sums {
 #[derive(Debug, Clone, Default)]
 pub struct StreamingFit {
     sums: [Sums; Model::ALL.len()],
+    /// Running sums over ⟨ln n, ln cost⟩ for the power-law fit; points
+    /// with non-positive or non-finite coordinates are skipped, matching
+    /// the batch fitter's filter.
+    loglog: Sums,
 }
 
 impl StreamingFit {
@@ -83,6 +87,9 @@ impl StreamingFit {
         for (i, model) in Model::ALL.iter().enumerate() {
             self.sums[i].push(model.basis(size), cost);
         }
+        if size > 0.0 && cost > 0.0 && size.is_finite() && cost.is_finite() {
+            self.loglog.push(size.ln(), cost.ln());
+        }
     }
 
     /// Merges another fitter's observations (e.g. across runs).
@@ -90,6 +97,7 @@ impl StreamingFit {
         for (a, b) in self.sums.iter_mut().zip(&other.sums) {
             a.merge(b);
         }
+        self.loglog.merge(&other.loglog);
     }
 
     /// The least-squares fit for one model, identical to
@@ -152,6 +160,38 @@ impl StreamingFit {
             rmse,
             bic,
             n_points: n as usize,
+        })
+    }
+
+    /// The log–log power-law fit, identical to [`crate::fit_power_law`]
+    /// on the same points (non-positive / non-finite points skipped).
+    pub fn power_law(&self) -> Option<PowerFit> {
+        let s = &self.loglog;
+        let m = s.n;
+        if m < 3.0 {
+            return None;
+        }
+        let mx = s.sx / m;
+        let my = s.sy / m;
+        let sxx = s.sxx - m * mx * mx;
+        if sxx < 1e-12 {
+            return None;
+        }
+        let sxy = s.sxy - m * mx * my;
+        let exponent = sxy / sxx;
+        let intercept = my - exponent * mx;
+        let rss = (s.syy - 2.0 * exponent * s.sxy - 2.0 * intercept * s.sy
+            + exponent * exponent * s.sxx
+            + 2.0 * exponent * intercept * s.sx
+            + m * intercept * intercept)
+            .max(0.0);
+        let tss = s.syy - m * my * my;
+        let r2 = if tss < 1e-12 { 1.0 } else { 1.0 - rss / tss };
+        Some(PowerFit {
+            coeff: intercept.exp(),
+            exponent,
+            r2,
+            n_points: m as usize,
         })
     }
 
@@ -251,10 +291,12 @@ mod tests {
 
     #[test]
     fn memory_is_constant() {
-        // The whole point: size does not depend on the number of points.
+        // The whole point: size does not depend on the number of points
+        // (one Sums block per candidate model plus one for the log–log
+        // power-law fit).
         assert_eq!(
             std::mem::size_of::<StreamingFit>(),
-            std::mem::size_of::<[Sums; Model::ALL.len()]>()
+            std::mem::size_of::<[Sums; Model::ALL.len() + 1]>()
         );
         let mut s = StreamingFit::new();
         assert!(s.is_empty());
@@ -269,5 +311,39 @@ mod tests {
         let mut s = StreamingFit::new();
         s.push(1.0, 1.0);
         assert!(s.best_fit().is_none());
+        assert!(s.power_law().is_none());
+    }
+
+    /// Streaming power-law must agree with the batch log–log fitter,
+    /// including its filtering of non-positive points.
+    #[test]
+    fn power_law_agrees_with_batch() {
+        let shapes: Vec<Vec<(f64, f64)>> = vec![
+            series(|n| 1.5 * n * n, 1, 100),
+            series(|n| 3.0 * n.powf(1.37), 1, 80),
+            {
+                let mut pts = series(|n| 2.0 * n, 1, 60);
+                pts.push((0.0, 0.0));
+                pts.push((5.0, 0.0));
+                pts
+            },
+        ];
+        for pts in shapes {
+            let mut stream = StreamingFit::new();
+            for &(x, y) in &pts {
+                stream.push(x, y);
+            }
+            let batch = regression::fit_power_law(&pts).expect("batch power law");
+            let online = stream.power_law().expect("streaming power law");
+            assert_close(batch.exponent, online.exponent, 1e-9, "exponent");
+            assert_close(
+                batch.coeff,
+                online.coeff,
+                1e-9 * (1.0 + batch.coeff.abs()),
+                "coeff",
+            );
+            assert_close(batch.r2, online.r2, 1e-9, "r2");
+            assert_eq!(batch.n_points, online.n_points);
+        }
     }
 }

@@ -1,0 +1,388 @@
+//! The serve wire protocol: JSON encodings of job specifications and
+//! profiler options, shared by the daemon (parse) and the client
+//! (build), so the two can never drift apart.
+//!
+//! Option values use the same names as the CLI flags (`--criterion
+//! some`, `--sizing capacity`, ...), and a submission carries the guest
+//! *source text* (or raw trace bytes, hex-encoded), never a path — the
+//! daemon may not share a filesystem with the client.
+
+use algoprof::{
+    AlgoProfOptions, ArraySizeStrategy, EquivalenceCriterion, GroupingStrategy, JobSpec,
+    SnapshotPolicy, SweepAblation,
+};
+
+use crate::json::Json;
+
+/// Wire name of an equivalence criterion (matches `--criterion`).
+pub fn criterion_name(c: EquivalenceCriterion) -> &'static str {
+    match c {
+        EquivalenceCriterion::SomeElements => "some",
+        EquivalenceCriterion::AllElements => "all",
+        EquivalenceCriterion::SameArray => "array",
+        EquivalenceCriterion::SameType => "type",
+    }
+}
+
+/// Parses a `--criterion` / wire name.
+pub fn parse_criterion(name: &str) -> Option<EquivalenceCriterion> {
+    match name {
+        "some" => Some(EquivalenceCriterion::SomeElements),
+        "all" => Some(EquivalenceCriterion::AllElements),
+        "array" => Some(EquivalenceCriterion::SameArray),
+        "type" => Some(EquivalenceCriterion::SameType),
+        _ => None,
+    }
+}
+
+fn sizing_name(s: ArraySizeStrategy) -> &'static str {
+    match s {
+        ArraySizeStrategy::Capacity => "capacity",
+        ArraySizeStrategy::UniqueElements => "unique",
+    }
+}
+
+fn parse_sizing(name: &str) -> Option<ArraySizeStrategy> {
+    match name {
+        "capacity" => Some(ArraySizeStrategy::Capacity),
+        "unique" => Some(ArraySizeStrategy::UniqueElements),
+        _ => None,
+    }
+}
+
+fn snapshots_name(p: SnapshotPolicy) -> &'static str {
+    match p {
+        SnapshotPolicy::FirstAndLast => "firstlast",
+        SnapshotPolicy::EveryAccess => "every",
+    }
+}
+
+fn parse_snapshots(name: &str) -> Option<SnapshotPolicy> {
+    match name {
+        "firstlast" => Some(SnapshotPolicy::FirstAndLast),
+        "every" => Some(SnapshotPolicy::EveryAccess),
+        _ => None,
+    }
+}
+
+fn grouping_name(g: GroupingStrategy) -> &'static str {
+    match g {
+        GroupingStrategy::SharedInput => "input",
+        GroupingStrategy::SharedInputOrIndexFlow => "indexflow",
+        GroupingStrategy::SameMethod => "method",
+    }
+}
+
+fn parse_grouping(name: &str) -> Option<GroupingStrategy> {
+    match name {
+        "input" => Some(GroupingStrategy::SharedInput),
+        "indexflow" => Some(GroupingStrategy::SharedInputOrIndexFlow),
+        "method" => Some(GroupingStrategy::SameMethod),
+        _ => None,
+    }
+}
+
+/// Encodes the CLI-visible option surface (the `incremental` cache mode
+/// is an internal tuning knob with no CLI flag; it stays at default on
+/// the wire too).
+pub fn options_to_json(o: &AlgoProfOptions) -> Json {
+    Json::obj(vec![
+        ("criterion", Json::Str(criterion_name(o.criterion).into())),
+        ("sizing", Json::Str(sizing_name(o.array_strategy).into())),
+        (
+            "snapshots",
+            Json::Str(snapshots_name(o.snapshot_policy).into()),
+        ),
+        ("grouping", Json::Str(grouping_name(o.grouping).into())),
+    ])
+}
+
+/// Decodes options; absent object or absent members mean defaults,
+/// unknown values are errors.
+pub fn options_from_json(value: Option<&Json>) -> Result<AlgoProfOptions, String> {
+    let mut options = AlgoProfOptions::default();
+    let Some(value) = value else {
+        return Ok(options);
+    };
+    let text = |key: &str| -> Result<Option<&str>, String> {
+        match value.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .as_str()
+                .map(Some)
+                .ok_or_else(|| format!("options.{key} must be a string")),
+        }
+    };
+    if let Some(name) = text("criterion")? {
+        options.criterion =
+            parse_criterion(name).ok_or_else(|| format!("unknown criterion {name:?}"))?;
+    }
+    if let Some(name) = text("sizing")? {
+        options.array_strategy =
+            parse_sizing(name).ok_or_else(|| format!("unknown sizing {name:?}"))?;
+    }
+    if let Some(name) = text("snapshots")? {
+        options.snapshot_policy =
+            parse_snapshots(name).ok_or_else(|| format!("unknown snapshot policy {name:?}"))?;
+    }
+    if let Some(name) = text("grouping")? {
+        options.grouping =
+            parse_grouping(name).ok_or_else(|| format!("unknown grouping {name:?}"))?;
+    }
+    Ok(options)
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        use std::fmt::Write;
+        write!(s, "{b:02x}").expect("writing to a String cannot fail");
+    }
+    s
+}
+
+fn hex_decode(text: &str) -> Result<Vec<u8>, String> {
+    if !text.len().is_multiple_of(2) {
+        return Err("odd-length hex string".into());
+    }
+    text.as_bytes()
+        .chunks_exact(2)
+        .map(|pair| {
+            u8::from_str_radix(std::str::from_utf8(pair).expect("ascii"), 16)
+                .map_err(|_| format!("bad hex byte {:?}", String::from_utf8_lossy(pair)))
+        })
+        .collect()
+}
+
+/// Encodes a job for `POST /api/v1/jobs`.
+pub fn job_to_json(spec: &JobSpec) -> Json {
+    match spec {
+        JobSpec::Profile {
+            program,
+            source,
+            input,
+            options,
+        } => Json::obj(vec![
+            ("kind", Json::Str("profile".into())),
+            ("program", Json::Str(program.clone())),
+            ("source", Json::Str(source.clone())),
+            (
+                "input",
+                Json::Arr(input.iter().map(|&v| Json::Num(v as f64)).collect()),
+            ),
+            ("options", options_to_json(options)),
+        ]),
+        JobSpec::Sweep {
+            program,
+            source,
+            sizes,
+            ablations,
+        } => Json::obj(vec![
+            ("kind", Json::Str("sweep".into())),
+            ("program", Json::Str(program.clone())),
+            ("source", Json::Str(source.clone())),
+            (
+                "sizes",
+                Json::Arr(sizes.iter().map(|&n| Json::Num(n as f64)).collect()),
+            ),
+            (
+                "ablations",
+                Json::Arr(
+                    ablations
+                        .iter()
+                        .map(|a| {
+                            Json::obj(vec![
+                                ("name", Json::Str(a.name.clone())),
+                                ("options", options_to_json(&a.options)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        JobSpec::Analyze { trace, options } => Json::obj(vec![
+            ("kind", Json::Str("analyze".into())),
+            ("trace_hex", Json::Str(hex_encode(trace))),
+            ("options", options_to_json(options)),
+        ]),
+    }
+}
+
+/// Decodes a `POST /api/v1/jobs` body. Error strings are relayed to the
+/// client verbatim in a 400 response.
+pub fn job_from_json(value: &Json) -> Result<JobSpec, String> {
+    let kind = value
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("missing job kind")?;
+    let text_field = |key: &str| -> Result<String, String> {
+        value
+            .get(key)
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| format!("{kind} job needs a string {key:?} field"))
+    };
+    match kind {
+        "profile" => {
+            let input = match value.get("input") {
+                None => Vec::new(),
+                Some(v) => v
+                    .as_arr()
+                    .ok_or("input must be an array")?
+                    .iter()
+                    .map(|n| n.as_i64().ok_or("input values must be integers"))
+                    .collect::<Result<Vec<i64>, _>>()?,
+            };
+            Ok(JobSpec::Profile {
+                program: text_field("program")?,
+                source: text_field("source")?,
+                input,
+                options: options_from_json(value.get("options"))?,
+            })
+        }
+        "sweep" => {
+            let sizes = value
+                .get("sizes")
+                .and_then(Json::as_arr)
+                .ok_or("sweep job needs a sizes array")?
+                .iter()
+                .map(|n| n.as_u64().ok_or("sizes must be non-negative integers"))
+                .collect::<Result<Vec<u64>, _>>()?;
+            if sizes.is_empty() {
+                return Err("sweep job needs at least one size".into());
+            }
+            let ablations = match value.get("ablations") {
+                None => vec![SweepAblation {
+                    name: "default".to_owned(),
+                    options: AlgoProfOptions::default(),
+                }],
+                Some(v) => v
+                    .as_arr()
+                    .ok_or("ablations must be an array")?
+                    .iter()
+                    .map(|a| {
+                        Ok(SweepAblation {
+                            name: a
+                                .get("name")
+                                .and_then(Json::as_str)
+                                .ok_or("each ablation needs a name")?
+                                .to_owned(),
+                            options: options_from_json(a.get("options"))?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>, String>>()?,
+            };
+            if ablations.is_empty() {
+                return Err("sweep job needs at least one ablation".into());
+            }
+            Ok(JobSpec::Sweep {
+                program: text_field("program")?,
+                source: text_field("source")?,
+                sizes,
+                ablations,
+            })
+        }
+        "analyze" => Ok(JobSpec::Analyze {
+            trace: hex_decode(&text_field("trace_hex")?)?,
+            options: options_from_json(value.get("options"))?,
+        }),
+        other => Err(format!(
+            "unknown job kind {other:?} (expected profile|sweep|analyze)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    fn round_trip(spec: &JobSpec) -> JobSpec {
+        let wire = job_to_json(spec).to_string_compact();
+        job_from_json(&parse(&wire).expect("parses")).expect("decodes")
+    }
+
+    #[test]
+    fn jobs_round_trip_with_identical_cache_keys() {
+        let options = AlgoProfOptions {
+            criterion: EquivalenceCriterion::AllElements,
+            snapshot_policy: SnapshotPolicy::EveryAccess,
+            ..AlgoProfOptions::default()
+        };
+        let specs = [
+            JobSpec::Profile {
+                program: "p.jay".into(),
+                source: "class Main { static int main() { return 0; } }".into(),
+                input: vec![3, -1, 9],
+                options,
+            },
+            JobSpec::Sweep {
+                program: "s.jay".into(),
+                source: "class Main { static int main() { return readInput(); } }".into(),
+                sizes: vec![4, 8, 16],
+                ablations: vec![
+                    SweepAblation {
+                        name: "default".into(),
+                        options: AlgoProfOptions::default(),
+                    },
+                    SweepAblation {
+                        name: "all".into(),
+                        options,
+                    },
+                ],
+            },
+            JobSpec::Analyze {
+                trace: vec![0x41, 0x50, 0x54, 0x52, 0x00, 0xff],
+                options: AlgoProfOptions::default(),
+            },
+        ];
+        for spec in &specs {
+            let back = round_trip(spec);
+            // The codec is faithful exactly when the content address is
+            // preserved (cache_key covers every field execution reads).
+            assert_eq!(back.cache_key(), spec.cache_key());
+            assert_eq!(back.kind(), spec.kind());
+        }
+    }
+
+    #[test]
+    fn defaults_apply_when_fields_are_absent() {
+        let wire = r#"{"kind":"sweep","program":"p","source":"s","sizes":[4]}"#;
+        let spec = job_from_json(&parse(wire).expect("parses")).expect("decodes");
+        let JobSpec::Sweep { ablations, .. } = &spec else {
+            panic!("expected sweep");
+        };
+        assert_eq!(ablations.len(), 1);
+        assert_eq!(ablations[0].name, "default");
+    }
+
+    #[test]
+    fn malformed_jobs_are_rejected_with_useful_messages() {
+        let cases = [
+            (r#"{"program":"p"}"#, "missing job kind"),
+            (r#"{"kind":"frobnicate"}"#, "unknown job kind"),
+            (r#"{"kind":"profile","source":"s"}"#, "program"),
+            (r#"{"kind":"sweep","program":"p","source":"s"}"#, "sizes"),
+            (
+                r#"{"kind":"sweep","program":"p","source":"s","sizes":[]}"#,
+                "at least one size",
+            ),
+            (
+                r#"{"kind":"profile","program":"p","source":"s","options":{"criterion":"bogus"}}"#,
+                "unknown criterion",
+            ),
+            (r#"{"kind":"analyze","trace_hex":"abc"}"#, "odd-length"),
+            (r#"{"kind":"analyze","trace_hex":"zz"}"#, "bad hex"),
+        ];
+        for (wire, needle) in cases {
+            let err = job_from_json(&parse(wire).expect("parses")).unwrap_err();
+            assert!(err.contains(needle), "{wire}: {err:?} lacks {needle:?}");
+        }
+    }
+
+    #[test]
+    fn hex_codec_round_trips() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(hex_decode(&hex_encode(&bytes)).expect("decodes"), bytes);
+    }
+}

@@ -3,11 +3,14 @@
 //! ```text
 //! algoprof [OPTIONS] <program.jay>          profile a program live
 //! algoprof record <program.jay> -o <trace>  execute once, save the event trace
-//! algoprof analyze <trace> [OPTIONS]        profile a recording (no re-execution)
+//! algoprof analyze <trace|-> [OPTIONS]      profile a recording (no re-execution);
+//!                                           `-` streams the trace from stdin
 //! algoprof events <trace> [--json] [--limit N]   dump a recording's events
 //! algoprof sweep <program.jay> --sizes n,.. profile a whole input-size sweep
 //! algoprof lint <program.jay> [--json] [--strict]   static analysis + lints
 //! algoprof disasm <program.jay> [--cfg]     disassemble (or emit Graphviz CFG)
+//! algoprof serve [--addr H:P|--socket PATH] run the persistent profiling daemon
+//! algoprof submit ... <kind> ... [--wait]   send a job to a running daemon
 //!
 //! OPTIONS:
 //!   --criterion <some|all|array|type>   snapshot equivalence criterion
@@ -36,29 +39,50 @@
 //! ablation fanned out over the same live event stream, and merges the
 //! results into one deterministic report (byte-identical for every `-j`).
 //!
+//! `serve` turns the same machinery into a daemon: jobs arrive over a
+//! socket, run on a bounded worker pool, and results are memoized in a
+//! content-addressed cache — a daemon round-trip is byte-identical to
+//! the one-shot CLI for the same spec (see `docs/SERVE.md`). `submit` is
+//! the matching client.
+//!
 //! Every failure — unknown flag, missing argument, unreadable path,
 //! guest or trace error — exits non-zero with a one-line message on
 //! stderr; usage mistakes add a usage hint and exit 2.
 
+use std::io::{Read, Write};
 use std::process::ExitCode;
 
 use algoprof::{
     AlgoProfOptions, AlgorithmicProfile, ArraySizeStrategy, CostMetric, EquivalenceCriterion,
-    GroupingStrategy, ProfileError, SnapshotPolicy, SweepAblation, SweepConfig, SweepJob,
+    GroupingStrategy, JobSpec, ProfileError, SnapshotPolicy, StreamingAnalysis, SweepAblation,
+    SweepConfig, SweepJob,
 };
+use algoprof_serve::{client, Server, ServerAddr, ServerConfig};
 use algoprof_vm::InstrumentOptions;
 
 const USAGE: &str = "usage: algoprof [--criterion some|all|array|type] [--sizing capacity|unique] \
      [--snapshots firstlast|every] [--grouping input|indexflow|method] \
      [--input v1,v2,...] [--csv <needle>] [--html <file.html>] [--check] <program.jay>\n\
        algoprof record <program.jay> -o <trace.aptr> [--input v1,v2,...]\n\
-       algoprof analyze <trace.aptr> [analysis options as above, plus --check]\n\
+       algoprof analyze <trace.aptr|-> [analysis options as above, plus --check]\n\
        algoprof events <trace.aptr> [--json] [--limit N]\n\
        algoprof sweep <program.jay> --sizes n1,n2,... [-j N] \
      [--criteria some,all,array,type] [--sizing ...] [--snapshots ...] [--grouping ...] \
      [--json <file.json>] [--html <file.html>] [--quiet]\n\
        algoprof lint <program.jay> [--json] [--strict]\n\
-       algoprof disasm <program.jay> [--cfg]";
+       algoprof disasm <program.jay> [--cfg]\n\
+       algoprof serve [--addr HOST:PORT | --socket PATH] [--workers N] \
+     [--cache-dir DIR] [--queue N]\n\
+       algoprof submit [--addr HOST:PORT | --socket PATH] [--wait] profile <program.jay> \
+     [analysis options]\n\
+       algoprof submit ... [--wait] sweep <program.jay> --sizes n1,n2,... \
+     [--criteria ...] [--sizing ...] [--snapshots ...] [--grouping ...] [--json <file.json>]\n\
+       algoprof submit ... [--wait] analyze <trace.aptr|-> [analysis options]\n\
+       algoprof submit ... cache-stats | shutdown";
+
+/// Where `serve` listens and `submit` connects when neither `--addr` nor
+/// `--socket` is given.
+const DEFAULT_ADDR: &str = "127.0.0.1:7421";
 
 const USAGE_HINT: &str = "run `algoprof --help` for usage";
 
@@ -98,6 +122,8 @@ fn main() -> ExitCode {
         Some("sweep") => sweep_main(&args[1..]),
         Some("lint") => lint_main(&args[1..]),
         Some("disasm") => disasm_main(&args[1..]),
+        Some("serve") => serve_main(&args[1..]),
+        Some("submit") => submit_main(&args[1..]),
         Some(_) => live_main(&args),
     };
     match result {
@@ -238,7 +264,8 @@ fn parse_args(args: &[String]) -> Result<AnalysisArgs, CliError> {
                 i += 1;
             }
             "--check" => out.check = true,
-            other if other.starts_with('-') => {
+            // Bare "-" is the stdin pseudo-path (`analyze -`), not a flag.
+            other if other != "-" && other.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown option {other:?}")));
             }
             other => out.positional.push(other.to_owned()),
@@ -350,7 +377,10 @@ fn record_main(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `algoprof analyze <trace>`: profile a recording without re-executing.
+/// `algoprof analyze <trace|->`: profile a recording without
+/// re-executing. `-` streams the trace from stdin through the
+/// incremental replayer, so analysis overlaps the pipe — and produces
+/// the same bytes as the batch path.
 fn analyze_main(args: &[String]) -> Result<(), CliError> {
     let parsed = parse_args(args)?;
     if !parsed.input.is_empty() {
@@ -361,18 +391,41 @@ fn analyze_main(args: &[String]) -> Result<(), CliError> {
     let [path] = parsed.positional.as_slice() else {
         return Err(CliError::Usage("expected exactly one trace file".into()));
     };
-    let trace =
-        std::fs::read(path).map_err(|e| CliError::from(ProfileError::io("read", path, &e)))?;
-    let profile = algoprof::profile_trace_with(&trace, parsed.opts)?;
-    emit(&profile, parsed.csv, parsed.html)?;
-    if parsed.check {
+    let (profile, source) = if path == "-" {
+        let report = analyze_stdin(parsed.opts)?;
+        (report.profile, report.source)
+    } else {
+        let trace =
+            std::fs::read(path).map_err(|e| CliError::from(ProfileError::io("read", path, &e)))?;
+        let profile = algoprof::profile_trace_with(&trace, parsed.opts)?;
         // The APTR header embeds the recorded source, so recordings are
         // cross-validatable offline, without the original file.
         let (header, _) =
             algoprof_trace::read_header(&trace).map_err(|e| CliError::Run(e.to_string()))?;
-        cross_validate(&profile, &header.source)?;
+        (profile, header.source)
+    };
+    emit(&profile, parsed.csv, parsed.html)?;
+    if parsed.check {
+        cross_validate(&profile, &source)?;
     }
     Ok(())
+}
+
+/// Streams stdin into a [`StreamingAnalysis`] chunk by chunk.
+fn analyze_stdin(opts: AlgoProfOptions) -> Result<algoprof::StreamingReport, CliError> {
+    let mut analysis = StreamingAnalysis::new(opts);
+    let mut stdin = std::io::stdin().lock();
+    let mut buf = [0u8; 64 * 1024];
+    loop {
+        let n = stdin
+            .read(&mut buf)
+            .map_err(|e| CliError::Run(format!("cannot read stdin: {e}")))?;
+        if n == 0 {
+            break;
+        }
+        analysis.feed(&buf[..n])?;
+    }
+    Ok(analysis.finish()?)
 }
 
 /// `algoprof events <trace.aptr>`: decode a recording into one line per
@@ -508,6 +561,33 @@ fn disasm_main(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `--criteria a,b` fans each job's live event stream out to one
+/// profiler per criterion; without it the sweep runs the single base
+/// configuration. Shared between the one-shot `sweep` and
+/// `submit sweep` so both produce the same [`JobSpec`].
+fn build_ablations(
+    criteria: &[String],
+    base: AlgoProfOptions,
+) -> Result<Vec<SweepAblation>, CliError> {
+    if criteria.is_empty() {
+        return Ok(vec![SweepAblation {
+            name: "default".to_owned(),
+            options: base,
+        }]);
+    }
+    criteria
+        .iter()
+        .map(|name| {
+            let mut options = base;
+            options.criterion = parse_criterion(name)?;
+            Ok(SweepAblation {
+                name: name.clone(),
+                options,
+            })
+        })
+        .collect()
+}
+
 /// `algoprof sweep <prog.jay> --sizes n1,n2,...`: execute the program
 /// once per size on a worker pool, profiling every requested ablation
 /// from the same live event stream, and emit one merged report.
@@ -580,27 +660,7 @@ fn sweep_main(args: &[String]) -> Result<(), CliError> {
     if sizes.is_empty() {
         return Err(CliError::Usage("sweep requires --sizes n1,n2,...".into()));
     }
-    // `--criteria a,b` fans each job's live event stream out to one
-    // profiler per criterion; without it the sweep runs the single base
-    // configuration.
-    let ablations = if criteria.is_empty() {
-        vec![SweepAblation {
-            name: "default".to_owned(),
-            options: base,
-        }]
-    } else {
-        criteria
-            .iter()
-            .map(|name| {
-                let mut options = base;
-                options.criterion = parse_criterion(name)?;
-                Ok(SweepAblation {
-                    name: name.clone(),
-                    options,
-                })
-            })
-            .collect::<Result<Vec<_>, CliError>>()?
-    };
+    let ablations = build_ablations(&criteria, base)?;
     let source = read_file(path)?;
 
     let jobs: Vec<SweepJob> = sizes
@@ -626,4 +686,360 @@ fn sweep_main(args: &[String]) -> Result<(), CliError> {
         eprintln!("wrote {out}");
     }
     Ok(())
+}
+
+/// `algoprof serve`: run the persistent profiling daemon until a client
+/// asks it to shut down. Prints the bound address on stdout (so scripts
+/// can bind an ephemeral port with `--addr 127.0.0.1:0` and read back
+/// which port they got).
+fn serve_main(args: &[String]) -> Result<(), CliError> {
+    let mut addr: Option<String> = None;
+    let mut socket: Option<String> = None;
+    let mut config = ServerConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = Some(flag_value(args, i)?.to_owned());
+                i += 1;
+            }
+            "--socket" => {
+                socket = Some(flag_value(args, i)?.to_owned());
+                i += 1;
+            }
+            "--workers" => {
+                let v = flag_value(args, i)?;
+                config.workers = v.parse().map_err(|_| {
+                    CliError::Usage(format!("invalid worker count {v:?} for --workers"))
+                })?;
+                i += 1;
+            }
+            "--queue" => {
+                let v = flag_value(args, i)?;
+                config.queue_capacity = v.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                    CliError::Usage(format!("invalid queue capacity {v:?} for --queue"))
+                })?;
+                i += 1;
+            }
+            "--cache-dir" => {
+                config.cache_dir = Some(std::path::PathBuf::from(flag_value(args, i)?));
+                i += 1;
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown option {other:?} for serve"
+                )));
+            }
+        }
+        i += 1;
+    }
+    if addr.is_some() && socket.is_some() {
+        return Err(CliError::Usage(
+            "--addr and --socket are mutually exclusive".into(),
+        ));
+    }
+    if let Some(path) = socket {
+        let server = serve_bind_unix(&path, config)?;
+        println!("algoprof serve: listening on {path}");
+        let _ = std::io::stdout().flush();
+        server.join();
+    } else {
+        let addr = addr.unwrap_or_else(|| DEFAULT_ADDR.to_owned());
+        validate_addr(&addr)?;
+        let server = Server::start(&addr, config)
+            .map_err(|e| CliError::Run(format!("cannot bind {addr}: {e}")))?;
+        let bound = server.addr().expect("TCP server has an address");
+        println!("algoprof serve: listening on {bound}");
+        let _ = std::io::stdout().flush();
+        server.join();
+    }
+    Ok(())
+}
+
+#[cfg(unix)]
+fn serve_bind_unix(path: &str, config: ServerConfig) -> Result<Server, CliError> {
+    Server::start_unix(std::path::Path::new(path), config)
+        .map_err(|e| CliError::Run(format!("cannot bind {path}: {e}")))
+}
+
+#[cfg(not(unix))]
+fn serve_bind_unix(path: &str, _config: ServerConfig) -> Result<Server, CliError> {
+    Err(CliError::Run(format!(
+        "unix sockets are unsupported on this platform ({path})"
+    )))
+}
+
+/// A listen/connect address must be `IP:PORT`; a bad port (or anything
+/// else unparseable) is an invocation mistake, caught before binding.
+fn validate_addr(addr: &str) -> Result<(), CliError> {
+    addr.parse::<std::net::SocketAddr>()
+        .map(|_| ())
+        .map_err(|_| {
+            CliError::Usage(format!(
+                "invalid address {addr:?} (expected IP:PORT, e.g. 127.0.0.1:7421)"
+            ))
+        })
+}
+
+/// `algoprof submit`: send one job to a running daemon and (with
+/// `--wait`) print its result — byte-identical to the one-shot CLI.
+fn submit_main(args: &[String]) -> Result<(), CliError> {
+    let mut addr: Option<String> = None;
+    let mut socket: Option<String> = None;
+    let mut wait = false;
+    let mut action: Option<String> = None;
+    let mut rest: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = Some(flag_value(args, i)?.to_owned());
+                i += 1;
+            }
+            "--socket" => {
+                socket = Some(flag_value(args, i)?.to_owned());
+                i += 1;
+            }
+            "--wait" => wait = true,
+            other if action.is_none() && other.starts_with('-') => {
+                return Err(CliError::Usage(format!(
+                    "unknown option {other:?} for submit"
+                )));
+            }
+            other => {
+                if action.is_none() {
+                    action = Some(other.to_owned());
+                } else {
+                    rest.push(other.to_owned());
+                }
+            }
+        }
+        i += 1;
+    }
+    if addr.is_some() && socket.is_some() {
+        return Err(CliError::Usage(
+            "--addr and --socket are mutually exclusive".into(),
+        ));
+    }
+    let server = match (addr, socket) {
+        (Some(a), _) => {
+            validate_addr(&a)?;
+            ServerAddr::Tcp(a)
+        }
+        (None, Some(p)) => ServerAddr::Unix(std::path::PathBuf::from(p)),
+        (None, None) => ServerAddr::Tcp(DEFAULT_ADDR.to_owned()),
+    };
+    let Some(action) = action else {
+        if wait {
+            return Err(CliError::Usage(
+                "--wait requires a job to submit (missing job kind)".into(),
+            ));
+        }
+        return Err(CliError::Usage(
+            "missing job kind (expected profile|sweep|analyze|cache-stats|shutdown)".into(),
+        ));
+    };
+    match action.as_str() {
+        "profile" => submit_profile(&server, &rest, wait),
+        "sweep" => submit_sweep(&server, &rest, wait),
+        "analyze" => submit_analyze(&server, &rest, wait),
+        "cache-stats" => {
+            if wait {
+                return Err(CliError::Usage(
+                    "--wait requires a job to submit (cache-stats answers immediately)".into(),
+                ));
+            }
+            reject_extra_args(&rest, "cache-stats")?;
+            let stats = client::cache_stats(&server).map_err(|e| CliError::Run(e.to_string()))?;
+            println!(
+                "cache entries {} hits {} misses {} stores {}",
+                stats.entries, stats.hits, stats.misses, stats.stores
+            );
+            Ok(())
+        }
+        "shutdown" => {
+            if wait {
+                return Err(CliError::Usage(
+                    "--wait requires a job to submit (shutdown answers immediately)".into(),
+                ));
+            }
+            reject_extra_args(&rest, "shutdown")?;
+            client::shutdown(&server).map_err(|e| CliError::Run(e.to_string()))?;
+            println!("shutdown requested");
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!(
+            "unknown job kind {other:?} (expected profile|sweep|analyze|cache-stats|shutdown)"
+        ))),
+    }
+}
+
+fn reject_extra_args(rest: &[String], action: &str) -> Result<(), CliError> {
+    match rest.first() {
+        None => Ok(()),
+        Some(extra) => Err(CliError::Usage(format!(
+            "unexpected argument {extra:?} for {action}"
+        ))),
+    }
+}
+
+/// Submits `spec`; with `wait` polls to completion, prints the text
+/// report to stdout, and optionally writes the JSON report to
+/// `json_path` — exactly the one-shot CLI's output contract.
+fn submit_and_report(
+    server: &ServerAddr,
+    spec: &JobSpec,
+    wait: bool,
+    json_path: Option<String>,
+) -> Result<(), CliError> {
+    let submitted = client::submit(server, spec).map_err(|e| CliError::Run(e.to_string()))?;
+    if !wait {
+        println!(
+            "job {} {} (cache {})",
+            submitted.id, submitted.status, submitted.cache
+        );
+        return Ok(());
+    }
+    let done = client::wait(server, &submitted.id).map_err(|e| CliError::Run(e.to_string()))?;
+    if done.status == "failed" {
+        return Err(CliError::Run(format!(
+            "job {} failed: {}",
+            done.id,
+            done.error.unwrap_or_else(|| "unknown error".into())
+        )));
+    }
+    let output = done
+        .output
+        .ok_or_else(|| CliError::Run("server reported done without output".into()))?;
+    if let Some(path) = json_path {
+        let json = output
+            .json
+            .ok_or_else(|| CliError::Run("job produced no JSON report".into()))?;
+        write_file(&path, json.as_bytes())?;
+        eprintln!("wrote {path}");
+    }
+    print!("{}", output.text);
+    Ok(())
+}
+
+fn submit_profile(server: &ServerAddr, rest: &[String], wait: bool) -> Result<(), CliError> {
+    let parsed = parse_args(rest)?;
+    if parsed.csv.is_some() || parsed.html.is_some() || parsed.check {
+        return Err(CliError::Usage(
+            "--csv/--html/--check are not valid for submit (render locally instead)".into(),
+        ));
+    }
+    let [path] = parsed.positional.as_slice() else {
+        return Err(CliError::Usage("expected exactly one program file".into()));
+    };
+    let source = read_file(path)?;
+    let spec = JobSpec::Profile {
+        program: path.clone(),
+        source,
+        input: parsed.input,
+        options: parsed.opts,
+    };
+    submit_and_report(server, &spec, wait, None)
+}
+
+fn submit_sweep(server: &ServerAddr, rest: &[String], wait: bool) -> Result<(), CliError> {
+    let mut sizes: Vec<u64> = Vec::new();
+    let mut criteria: Vec<String> = Vec::new();
+    let mut base = AlgoProfOptions::default();
+    let mut json: Option<String> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--sizes" => {
+                sizes = parse_int_list("--sizes", flag_value(rest, i)?)?;
+                i += 1;
+            }
+            "--criteria" => {
+                criteria = flag_value(rest, i)?
+                    .split(',')
+                    .filter(|p| !p.is_empty())
+                    .map(|p| p.trim().to_owned())
+                    .collect();
+                i += 1;
+            }
+            "--sizing" => {
+                base.array_strategy = parse_sizing(flag_value(rest, i)?)?;
+                i += 1;
+            }
+            "--grouping" => {
+                base.grouping = parse_grouping(flag_value(rest, i)?)?;
+                i += 1;
+            }
+            "--snapshots" => {
+                base.snapshot_policy = parse_snapshots(flag_value(rest, i)?)?;
+                i += 1;
+            }
+            "--json" => {
+                json = Some(flag_value(rest, i)?.to_owned());
+                i += 1;
+            }
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!(
+                    "unknown option {other:?} for submit sweep"
+                )));
+            }
+            other => positional.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    let [path] = positional.as_slice() else {
+        return Err(CliError::Usage(
+            "sweep expects exactly one program file".into(),
+        ));
+    };
+    if sizes.is_empty() {
+        return Err(CliError::Usage("sweep requires --sizes n1,n2,...".into()));
+    }
+    if json.is_some() && !wait {
+        return Err(CliError::Usage(
+            "--json requires --wait (the report is part of the result)".into(),
+        ));
+    }
+    let ablations = build_ablations(&criteria, base)?;
+    let source = read_file(path)?;
+    let spec = JobSpec::Sweep {
+        program: path.clone(),
+        source,
+        sizes,
+        ablations,
+    };
+    submit_and_report(server, &spec, wait, json)
+}
+
+fn submit_analyze(server: &ServerAddr, rest: &[String], wait: bool) -> Result<(), CliError> {
+    let parsed = parse_args(rest)?;
+    if !parsed.input.is_empty() {
+        return Err(CliError::Usage(
+            "--input is not valid for analyze: inputs are embedded in the trace".into(),
+        ));
+    }
+    if parsed.csv.is_some() || parsed.html.is_some() || parsed.check {
+        return Err(CliError::Usage(
+            "--csv/--html/--check are not valid for submit (render locally instead)".into(),
+        ));
+    }
+    let [path] = parsed.positional.as_slice() else {
+        return Err(CliError::Usage("expected exactly one trace file".into()));
+    };
+    let trace = if path == "-" {
+        let mut bytes = Vec::new();
+        std::io::stdin()
+            .lock()
+            .read_to_end(&mut bytes)
+            .map_err(|e| CliError::Run(format!("cannot read stdin: {e}")))?;
+        bytes
+    } else {
+        std::fs::read(path).map_err(|e| CliError::from(ProfileError::io("read", path, &e)))?
+    };
+    let spec = JobSpec::Analyze {
+        trace,
+        options: parsed.opts,
+    };
+    submit_and_report(server, &spec, wait, None)
 }

@@ -1,0 +1,253 @@
+//! Content-addressed result cache.
+//!
+//! Results are keyed by [`JobSpec::cache_key`] — a SHA-256 over the
+//! canonical job encoding — so "same key" means "same bytes out", and a
+//! cached result can be handed to any client without re-execution. The
+//! cache is a two-level store: an in-memory map for the daemon's
+//! lifetime, optionally backed by a directory (`--cache-dir`) that
+//! survives restarts. Disk writes go through a temp file + rename, so a
+//! crashed write can never leave a half-entry that later reads as a
+//! corrupt result.
+//!
+//! [`JobSpec::cache_key`]: algoprof::JobSpec::cache_key
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use algoprof::JobOutput;
+
+/// Magic + schema version for on-disk entries; bump the version when the
+/// encoding changes so stale files are treated as misses, not garbage.
+const DISK_MAGIC: &[u8; 4] = b"APCR";
+const DISK_VERSION: u32 = 1;
+
+/// Counters exposed by the daemon's `/api/v1/cache/stats` endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Distinct keys currently stored (disk entries when persistent,
+    /// in-memory entries otherwise).
+    pub entries: u64,
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Results written.
+    pub stores: u64,
+}
+
+/// See the module docs.
+pub struct ResultCache {
+    dir: Option<PathBuf>,
+    mem: Mutex<HashMap<String, Arc<JobOutput>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+}
+
+impl ResultCache {
+    /// An in-memory cache, optionally persisted under `dir` (created if
+    /// missing).
+    pub fn new(dir: Option<PathBuf>) -> io::Result<Self> {
+        if let Some(dir) = &dir {
+            std::fs::create_dir_all(dir)?;
+        }
+        Ok(ResultCache {
+            dir,
+            mem: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            stores: AtomicU64::new(0),
+        })
+    }
+
+    /// Looks up `key`, counting a hit or miss. Disk hits are promoted
+    /// into the in-memory map.
+    pub fn get(&self, key: &str) -> Option<Arc<JobOutput>> {
+        let mut mem = self.mem.lock().expect("cache map is never poisoned");
+        if let Some(output) = mem.get(key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(Arc::clone(output));
+        }
+        if let Some(dir) = &self.dir {
+            if let Some(output) = read_entry(&dir.join(key)) {
+                let output = Arc::new(output);
+                mem.insert(key.to_owned(), Arc::clone(&output));
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(output);
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Stores `output` under `key`. Concurrent stores of the same key
+    /// are harmless: equal keys imply byte-identical outputs, so last
+    /// writer wins with the same bytes.
+    pub fn put(&self, key: &str, output: Arc<JobOutput>) {
+        self.stores.fetch_add(1, Ordering::Relaxed);
+        if let Some(dir) = &self.dir {
+            // A failed disk write degrades the entry to memory-only; the
+            // daemon keeps serving.
+            let _ = write_entry(dir, key, &output);
+        }
+        self.mem
+            .lock()
+            .expect("cache map is never poisoned")
+            .insert(key.to_owned(), output);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let entries = match &self.dir {
+            Some(dir) => std::fs::read_dir(dir)
+                .map(|it| {
+                    it.filter_map(Result::ok)
+                        .filter(|e| !e.file_name().to_string_lossy().starts_with('.'))
+                        .count() as u64
+                })
+                .unwrap_or(0),
+            None => self.mem.lock().expect("cache map is never poisoned").len() as u64,
+        };
+        CacheStats {
+            entries,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            stores: self.stores.load(Ordering::Relaxed),
+        }
+    }
+}
+
+fn encode_entry(output: &JobOutput) -> Vec<u8> {
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(DISK_MAGIC);
+    bytes.extend_from_slice(&DISK_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(output.text.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(output.text.as_bytes());
+    match &output.json {
+        None => bytes.push(0),
+        Some(json) => {
+            bytes.push(1);
+            bytes.extend_from_slice(&(json.len() as u64).to_le_bytes());
+            bytes.extend_from_slice(json.as_bytes());
+        }
+    }
+    bytes
+}
+
+fn decode_entry(bytes: &[u8]) -> Option<JobOutput> {
+    let mut pos = 0usize;
+    let take = |pos: &mut usize, n: usize| -> Option<&[u8]> {
+        let slice = bytes.get(*pos..*pos + n)?;
+        *pos += n;
+        Some(slice)
+    };
+    if take(&mut pos, 4)? != DISK_MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(take(&mut pos, 4)?.try_into().ok()?);
+    if version != DISK_VERSION {
+        return None;
+    }
+    let text_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?) as usize;
+    let text = String::from_utf8(take(&mut pos, text_len)?.to_vec()).ok()?;
+    let json = match take(&mut pos, 1)? {
+        [0] => None,
+        [1] => {
+            let json_len = u64::from_le_bytes(take(&mut pos, 8)?.try_into().ok()?) as usize;
+            Some(String::from_utf8(take(&mut pos, json_len)?.to_vec()).ok()?)
+        }
+        _ => return None,
+    };
+    if pos != bytes.len() {
+        return None;
+    }
+    Some(JobOutput { text, json })
+}
+
+fn read_entry(path: &Path) -> Option<JobOutput> {
+    decode_entry(&std::fs::read(path).ok()?)
+}
+
+fn write_entry(dir: &Path, key: &str, output: &JobOutput) -> io::Result<()> {
+    let tmp = dir.join(format!(".tmp-{}-{}", key, std::process::id()));
+    std::fs::write(&tmp, encode_entry(output))?;
+    std::fs::rename(&tmp, dir.join(key))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(json: bool) -> Arc<JobOutput> {
+        Arc::new(JobOutput {
+            text: "sweep report\nline two\n".into(),
+            json: json.then(|| "{\"sizes\": [4, 8]}".into()),
+        })
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("algoprof-cache-{tag}-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn memory_cache_hits_and_misses() {
+        let cache = ResultCache::new(None).expect("builds");
+        assert!(cache.get("k1").is_none());
+        cache.put("k1", sample(true));
+        let hit = cache.get("k1").expect("hit");
+        assert_eq!(*hit, *sample(true));
+        let stats = cache.stats();
+        assert_eq!(
+            stats,
+            CacheStats {
+                entries: 1,
+                hits: 1,
+                misses: 1,
+                stores: 1
+            }
+        );
+    }
+
+    #[test]
+    fn disk_cache_survives_a_new_instance() {
+        let dir = temp_dir("persist");
+        {
+            let cache = ResultCache::new(Some(dir.clone())).expect("builds");
+            cache.put("deadbeef", sample(true));
+            cache.put("cafe", sample(false));
+        }
+        let cache = ResultCache::new(Some(dir.clone())).expect("rebuilds");
+        assert_eq!(*cache.get("deadbeef").expect("disk hit"), *sample(true));
+        assert_eq!(*cache.get("cafe").expect("disk hit"), *sample(false));
+        assert_eq!(cache.stats().entries, 2);
+        assert_eq!(cache.stats().hits, 2);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_disk_entries_read_as_misses() {
+        let dir = temp_dir("corrupt");
+        let cache = ResultCache::new(Some(dir.clone())).expect("builds");
+        std::fs::write(dir.join("badkey"), b"not an APCR entry").expect("writes");
+        assert!(cache.get("badkey").is_none());
+        // Truncated but well-magic'd entry.
+        let mut bytes = encode_entry(&sample(true));
+        bytes.truncate(bytes.len() - 3);
+        std::fs::write(dir.join("shortkey"), bytes).expect("writes");
+        assert!(cache.get("shortkey").is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn entry_codec_round_trips() {
+        for output in [sample(true), sample(false)] {
+            let decoded = decode_entry(&encode_entry(&output)).expect("decodes");
+            assert_eq!(decoded, *output);
+        }
+    }
+}

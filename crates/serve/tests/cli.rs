@@ -392,3 +392,161 @@ fn sweep_smoke_produces_report_files() {
     assert!(json_text.contains("\"sizes\": [4, 8, 16, 32]"));
     std::fs::remove_dir_all(&dir).ok();
 }
+
+#[test]
+fn serve_and_submit_usage_errors() {
+    // Malformed listen/connect addresses (bad port, not HOST:PORT).
+    assert_usage_error(&["serve", "--addr", "127.0.0.1:99999"], "invalid address");
+    assert_usage_error(&["serve", "--addr", "nonsense"], "invalid address");
+    assert_usage_error(&["serve", "--addr"], "--addr requires a value");
+    assert_usage_error(&["serve", "--workers", "x"], "invalid worker count");
+    assert_usage_error(&["serve", "--queue", "0"], "invalid queue capacity");
+    assert_usage_error(&["serve", "--frobnicate"], "--frobnicate");
+    assert_usage_error(
+        &["serve", "--addr", "127.0.0.1:0", "--socket", "/tmp/s.sock"],
+        "mutually exclusive",
+    );
+
+    // submit invocation mistakes.
+    assert_usage_error(&["submit"], "missing job kind");
+    assert_usage_error(&["submit", "--wait"], "--wait requires a job");
+    assert_usage_error(&["submit", "frobnicate"], "unknown job kind");
+    assert_usage_error(&["submit", "--frobnicate", "sweep"], "--frobnicate");
+    assert_usage_error(
+        &[
+            "submit",
+            "--addr",
+            "1.2.3.4:1",
+            "--socket",
+            "/tmp/s",
+            "sweep",
+        ],
+        "mutually exclusive",
+    );
+    assert_usage_error(
+        &["submit", "--addr", "1.2.3.4:99999", "sweep"],
+        "invalid address",
+    );
+    assert_usage_error(
+        &["submit", "cache-stats", "--wait"],
+        "--wait requires a job",
+    );
+    assert_usage_error(&["submit", "shutdown", "--wait"], "--wait requires a job");
+    assert_usage_error(&["submit", "cache-stats", "extra"], "unexpected argument");
+    assert_usage_error(&["submit", "sweep", "p.jay"], "--sizes");
+    assert_usage_error(
+        &[
+            "submit", "sweep", "p.jay", "--sizes", "4", "--json", "r.json",
+        ],
+        "--json requires --wait",
+    );
+    assert_usage_error(
+        &["submit", "sweep", "--sizes", "4"],
+        "exactly one program file",
+    );
+    assert_usage_error(
+        &["submit", "profile", "p.jay", "--csv", "out.csv"],
+        "not valid for submit",
+    );
+    assert_usage_error(
+        &["submit", "analyze", "t.aptr", "--input", "3"],
+        "--input is not valid for analyze",
+    );
+
+    // Nothing listens on this port: connecting is a run error, not a panic.
+    assert_run_error(
+        &["submit", "--addr", "127.0.0.1:1", "cache-stats"],
+        "cannot connect",
+    );
+}
+
+#[test]
+fn analyze_reads_a_trace_from_stdin() {
+    use std::io::Write as _;
+    use std::process::Stdio;
+
+    let dir = std::env::temp_dir().join(format!("algoprof-cli-stdin-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let src = dir.join("loop.jay");
+    std::fs::write(
+        &src,
+        "class Main { static int main() {
+            int size = readInput();
+            int acc = 0;
+            for (int i = 0; i < size; i = i + 1) { acc = acc + i; }
+            return acc;
+        } }",
+    )
+    .expect("writes");
+    let trace = dir.join("loop.aptr");
+    let rec = algoprof(&[
+        "record",
+        src.to_str().unwrap(),
+        "--input",
+        "24",
+        "-o",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(rec.status.success(), "record stderr: {}", stderr(&rec));
+
+    let from_file = algoprof(&["analyze", trace.to_str().unwrap()]);
+    assert!(
+        from_file.status.success(),
+        "analyze stderr: {}",
+        stderr(&from_file)
+    );
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_algoprof"))
+        .args(["analyze", "-"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawns analyze -");
+    let bytes = std::fs::read(&trace).expect("reads trace");
+    child
+        .stdin
+        .take()
+        .expect("stdin handle")
+        .write_all(&bytes)
+        .expect("pipes trace");
+    let from_stdin = child.wait_with_output().expect("analyze - finishes");
+    assert!(
+        from_stdin.status.success(),
+        "analyze - stderr: {}",
+        stderr(&from_stdin)
+    );
+
+    // The incremental (stdin) and batch (file) paths must agree byte
+    // for byte.
+    assert_eq!(
+        String::from_utf8_lossy(&from_stdin.stdout),
+        String::from_utf8_lossy(&from_file.stdout)
+    );
+
+    // `--check` still works without a file path: the guest source rides
+    // in the trace header.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_algoprof"))
+        .args(["analyze", "-", "--check"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawns analyze - --check");
+    child
+        .stdin
+        .take()
+        .expect("stdin handle")
+        .write_all(&bytes)
+        .expect("pipes trace");
+    let checked = child
+        .wait_with_output()
+        .expect("analyze - --check finishes");
+    assert!(
+        checked.status.success(),
+        "analyze - --check stderr: {}",
+        stderr(&checked)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}

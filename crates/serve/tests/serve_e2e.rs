@@ -1,0 +1,237 @@
+//! End-to-end: the real `algoprof serve` daemon on an ephemeral port,
+//! exercised through the real `algoprof submit` client and raw library
+//! clients from several threads at once.
+//!
+//! The two contracts under test are the ones docs/SERVE.md promises:
+//! responses are byte-identical to the one-shot CLI (at any worker
+//! count, from any client), and resubmitting an identical job is a
+//! cache hit that skips execution.
+
+use std::io::{BufRead, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+
+use algoprof::JobSpec;
+use algoprof_serve::{client, ServerAddr};
+
+const GUEST: &str = "class Main { static int main() {
+    int size = readInput();
+    Node head = null;
+    for (int i = 0; i < size; i = i + 1) {
+        Node n = new Node();
+        n.next = head;
+        head = n;
+    }
+    return 0;
+} }
+class Node { Node next; }";
+
+struct Daemon {
+    child: Child,
+    addr: ServerAddr,
+}
+
+/// Starts the real binary with `--addr 127.0.0.1:0` and reads the bound
+/// port back from its "listening on" line.
+fn start_daemon(extra: &[&str]) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_algoprof"))
+        .arg("serve")
+        .args(["--addr", "127.0.0.1:0"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawns the daemon");
+    let stdout = child.stdout.take().expect("daemon stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("reads the listening line");
+    let addr = line
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("address on the listening line")
+        .to_owned();
+    assert!(line.contains("listening on"), "unexpected banner: {line:?}");
+    Daemon {
+        child,
+        addr: ServerAddr::Tcp(addr),
+    }
+}
+
+impl Daemon {
+    /// Asks for shutdown and waits for a clean exit.
+    fn stop(mut self) {
+        client::shutdown(&self.addr).expect("shutdown accepted");
+        let status = self.child.wait().expect("daemon exits");
+        assert!(status.success(), "daemon exited with {status}");
+    }
+}
+
+fn algoprof(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_algoprof"))
+        .args(args)
+        .output()
+        .expect("spawns the algoprof binary")
+}
+
+fn write_guest(dir: &std::path::Path) -> PathBuf {
+    std::fs::create_dir_all(dir).expect("temp dir");
+    let src = dir.join("list.jay");
+    std::fs::write(&src, GUEST).expect("writes guest");
+    src
+}
+
+#[test]
+fn daemon_matches_one_shot_cli_and_caches_resubmissions() {
+    let dir = std::env::temp_dir().join(format!("algoprof-e2e-{}", std::process::id()));
+    let src = write_guest(&dir);
+    let path = src.to_str().expect("utf-8 path");
+
+    // Ground truth: the one-shot CLI, no daemon involved.
+    let json_path = dir.join("oneshot.json");
+    let oneshot = algoprof(&[
+        "sweep",
+        path,
+        "--sizes",
+        "4,8,16",
+        "--quiet",
+        "--json",
+        json_path.to_str().unwrap(),
+    ]);
+    assert!(
+        oneshot.status.success(),
+        "one-shot sweep failed: {}",
+        String::from_utf8_lossy(&oneshot.stderr)
+    );
+    let oneshot_text = String::from_utf8(oneshot.stdout).expect("utf-8 report");
+    let oneshot_json = std::fs::read_to_string(&json_path).expect("one-shot json");
+
+    // Two workers so concurrent jobs genuinely interleave.
+    let daemon = start_daemon(&["--workers", "2"]);
+
+    // The identical spec the CLI built (same program path string — the
+    // path is part of the report and the cache key).
+    let spec = JobSpec::Sweep {
+        program: path.to_owned(),
+        source: GUEST.to_owned(),
+        sizes: vec![4, 8, 16],
+        ablations: vec![algoprof::SweepAblation {
+            name: "default".to_owned(),
+            options: algoprof::AlgoProfOptions::default(),
+        }],
+    };
+
+    // Several client threads race the same submission; every one must
+    // get the one-shot bytes back, whatever the scheduling.
+    let outputs: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let addr = daemon.addr.clone();
+                let spec = &spec;
+                scope.spawn(move || {
+                    let submitted = client::submit(&addr, spec).expect("submit accepted");
+                    let done = client::wait(&addr, &submitted.id).expect("job finishes");
+                    assert_eq!(done.status, "done", "error: {:?}", done.error);
+                    done.output.expect("done job carries output")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    for output in &outputs {
+        assert_eq!(
+            output.text, oneshot_text,
+            "daemon text diverges from one-shot"
+        );
+        assert_eq!(
+            output.json.as_deref(),
+            Some(oneshot_json.as_str()),
+            "daemon json diverges from one-shot"
+        );
+    }
+
+    // The four racing submissions shared one cache key: at most a
+    // handful executed (each a miss), the rest were hits. A fresh
+    // resubmission now must be a pure hit.
+    let before = client::cache_stats(&daemon.addr).expect("cache stats");
+    assert!(before.stores >= 1, "at least one execution stored");
+    let resubmitted = client::submit(&daemon.addr, &spec).expect("resubmit accepted");
+    assert_eq!(resubmitted.status, "done", "resubmission served from cache");
+    assert_eq!(resubmitted.cache, "hit");
+    let after = client::cache_stats(&daemon.addr).expect("cache stats");
+    assert_eq!(after.hits, before.hits + 1, "resubmission counted as a hit");
+    assert_eq!(after.stores, before.stores, "resubmission executed nothing");
+
+    // The submit subcommand sees the same bytes end to end.
+    let via_cli = algoprof(&[
+        "submit",
+        "--addr",
+        &daemon.addr.to_string(),
+        "--wait",
+        "sweep",
+        path,
+        "--sizes",
+        "4,8,16",
+    ]);
+    assert!(
+        via_cli.status.success(),
+        "submit failed: {}",
+        String::from_utf8_lossy(&via_cli.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&via_cli.stdout), oneshot_text);
+
+    daemon.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn streaming_upload_and_profile_submission_round_trip() {
+    let dir = std::env::temp_dir().join(format!("algoprof-e2e-stream-{}", std::process::id()));
+    let src = write_guest(&dir);
+    let path = src.to_str().expect("utf-8 path");
+
+    // Record a trace, then get the ground-truth analysis.
+    let trace_path = dir.join("list.aptr");
+    let rec = algoprof(&[
+        "record",
+        path,
+        "--input",
+        "12",
+        "-o",
+        trace_path.to_str().unwrap(),
+    ]);
+    assert!(
+        rec.status.success(),
+        "record failed: {}",
+        String::from_utf8_lossy(&rec.stderr)
+    );
+    let analyzed = algoprof(&["analyze", trace_path.to_str().unwrap()]);
+    assert!(analyzed.status.success());
+    let analyzed_text = String::from_utf8(analyzed.stdout).expect("utf-8 report");
+
+    let daemon = start_daemon(&[]);
+
+    // Chunked streaming upload: same report bytes.
+    let mut trace = std::fs::File::open(&trace_path).expect("opens trace");
+    let report = client::stream_trace(&daemon.addr, &mut trace, "").expect("stream accepted");
+    assert_eq!(report.text, analyzed_text);
+    assert!(report.events > 0 && report.bytes > 0);
+
+    // An analyze job over the same bytes agrees too.
+    let spec = JobSpec::Analyze {
+        trace: std::fs::read(&trace_path).expect("reads trace"),
+        options: algoprof::AlgoProfOptions::default(),
+    };
+    let submitted = client::submit(&daemon.addr, &spec).expect("submit accepted");
+    let done = client::wait(&daemon.addr, &submitted.id).expect("job finishes");
+    assert_eq!(done.status, "done", "error: {:?}", done.error);
+    assert_eq!(done.output.expect("output").text, analyzed_text);
+
+    daemon.stop();
+    std::fs::remove_dir_all(&dir).ok();
+}

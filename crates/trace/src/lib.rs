@@ -62,12 +62,14 @@
 
 pub mod dump;
 pub mod format;
+pub mod incremental;
 pub mod record;
 pub mod replay;
 pub mod wire;
 
 pub use dump::DumpSink;
 pub use format::{TraceError, TraceHeader, MAGIC, VERSION};
+pub use incremental::IncrementalReplayer;
 pub use record::{TraceRecorder, TraceStats};
 pub use replay::{ReplayStats, TraceReplayer};
 

@@ -45,9 +45,18 @@ pub struct ReplayStats {
 /// One open repetition frame during replay, used to validate that the
 /// event stream is balanced (see [`TraceReplayer::replay`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Frame {
+pub(crate) enum Frame {
     Loop(LoopId),
     Method(FuncId),
+}
+
+/// What [`TraceReplayer::step`] decoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Step {
+    /// One event was decoded and delivered to the sink.
+    Event,
+    /// The `End` tag was read; the stream is complete.
+    End,
 }
 
 /// Replays a trace's event stream, maintaining the shadow heap.
@@ -100,26 +109,14 @@ impl TraceReplayer {
         events: &[u8],
         sink: &mut S,
     ) -> Result<ReplayStats, TraceError> {
-        self.heap = Heap::new();
-        self.last_obj = -1;
-        self.last_arr = -1;
+        self.reset();
         let mut stats = ReplayStats::default();
         let mut frames: Vec<Frame> = Vec::new();
         let mut c = Cursor::new(events);
-        macro_rules! emit {
-            ($ev:expr) => {
-                sink.event(
-                    &$ev,
-                    &EventCx {
-                        program,
-                        heap: &self.heap,
-                    },
-                )
-            };
-        }
         loop {
-            match c.u8()? {
-                TAG_END => {
+            match self.step(program, &mut c, &mut frames, sink)? {
+                Step::Event => stats.events += 1,
+                Step::End => {
                     if !c.is_done() {
                         return Err(TraceError::Corrupt(format!(
                             "{} trailing bytes after End tag",
@@ -134,134 +131,186 @@ impl TraceReplayer {
                     }
                     return Ok(stats);
                 }
-                TAG_METHOD_ENTRY => {
-                    let f = self.func_id(&mut c, program)?;
-                    frames.push(Frame::Method(f));
-                    emit!(Event::MethodEntry { func: f });
-                }
-                TAG_METHOD_EXIT => {
-                    let f = self.func_id(&mut c, program)?;
-                    if frames.pop() != Some(Frame::Method(f)) {
-                        return Err(TraceError::Corrupt(format!(
-                            "method exit for function {} without matching entry",
-                            f.0
-                        )));
-                    }
-                    emit!(Event::MethodExit { func: f });
-                }
-                TAG_LOOP_ENTRY => {
-                    let l = self.loop_id(&mut c, program)?;
-                    frames.push(Frame::Loop(l));
-                    emit!(Event::LoopEntry { l });
-                }
-                TAG_LOOP_BACK_EDGE => {
-                    let l = self.loop_id(&mut c, program)?;
-                    if frames.last() != Some(&Frame::Loop(l)) {
-                        return Err(TraceError::Corrupt(format!(
-                            "back edge for loop {} which is not the innermost open repetition",
-                            l.0
-                        )));
-                    }
-                    emit!(Event::LoopBackEdge { l });
-                }
-                TAG_LOOP_EXIT => {
-                    let l = self.loop_id(&mut c, program)?;
-                    if frames.pop() != Some(Frame::Loop(l)) {
-                        return Err(TraceError::Corrupt(format!(
-                            "loop exit for loop {} without matching entry",
-                            l.0
-                        )));
-                    }
-                    emit!(Event::LoopExit { l });
-                }
-                TAG_FIELD_GET => {
-                    let obj = self.value(&mut c)?;
-                    let f = self.field_id(&mut c, program)?;
-                    emit!(Event::FieldRead { obj, field: f });
-                }
-                TAG_ARRAY_LOAD => {
-                    let arr = self.value(&mut c)?;
-                    emit!(Event::ArrayRead { arr });
-                }
-                TAG_INPUT_READ => emit!(Event::InputRead),
-                TAG_OUTPUT_WRITE => emit!(Event::OutputWrite),
-                TAG_OBJECT_ALLOCATED => {
-                    let class = self.class_id(&mut c, program)?;
-                    let fields = program
-                        .class(class)
-                        .field_layout
-                        .iter()
-                        .map(|&fid| default_field_value(&program.field(fid).ty))
-                        .collect();
-                    let obj = self.heap.alloc_object_with(class, fields);
-                    self.last_obj = i64::from(obj.0);
-                    emit!(Event::ObjectAlloc {
-                        obj,
-                        class,
-                        tracked: program.class(class).track_alloc,
-                    });
-                }
-                TAG_ARRAY_ALLOCATED => {
-                    let elem = match c.u8()? {
-                        0 => ElemKind::Int,
-                        1 => ElemKind::Bool,
-                        2 => ElemKind::Ref,
-                        b => return Err(TraceError::Corrupt(format!("element kind {b}"))),
-                    };
-                    let len = c.uleb()?;
-                    if len > MAX_REPLAY_ARRAY_LEN as u64 {
-                        return Err(TraceError::Corrupt(format!(
-                            "array length {len} exceeds replay cap {MAX_REPLAY_ARRAY_LEN}"
-                        )));
-                    }
-                    let len = len as usize;
-                    let arr = self.heap.alloc_array(elem, len);
-                    self.last_arr = i64::from(arr.0);
-                    emit!(Event::ArrayAlloc { arr, elem, len });
-                }
-                TAG_FIELD_WRITTEN => {
-                    let obj = self.obj_ref(&mut c)?;
-                    let f = self.field_id(&mut c, program)?;
-                    let value = self.value(&mut c)?;
-                    let slot = program.field(f).slot as usize;
-                    // A flipped field id can name a field of a *different*
-                    // class whose slot lies beyond this object's layout.
-                    if slot >= self.heap.object(obj).fields.len() {
-                        return Err(TraceError::Corrupt(format!(
-                            "field slot {slot} outside object with {} fields",
-                            self.heap.object(obj).fields.len()
-                        )));
-                    }
-                    self.heap.set_field(obj, slot, value);
-                    emit!(Event::FieldWrite {
-                        obj,
-                        field: f,
-                        value,
-                        tracked: program.field(f).track_access,
-                    });
-                }
-                TAG_ARRAY_WRITTEN => {
-                    let arr = self.arr_ref(&mut c)?;
-                    let index = c.uleb()? as usize;
-                    if index >= self.heap.array(arr).elems.len() {
-                        return Err(TraceError::Corrupt(format!(
-                            "store index {index} out of bounds for array of length {}",
-                            self.heap.array(arr).elems.len()
-                        )));
-                    }
-                    let value = self.value(&mut c)?;
-                    self.heap.set_elem(arr, index, value);
-                    emit!(Event::ArrayWrite {
-                        arr,
-                        index,
-                        value,
-                        tracked: program.track_arrays,
-                    });
-                }
-                tag => return Err(TraceError::Corrupt(format!("unknown event tag {tag:#04x}"))),
             }
-            stats.events += 1;
         }
+    }
+
+    /// Resets the shadow heap and delta-decoding state for a fresh pass.
+    pub(crate) fn reset(&mut self) {
+        self.heap = Heap::new();
+        self.last_obj = -1;
+        self.last_arr = -1;
+    }
+
+    /// Snapshot of the delta-decoding state, for rollback after a
+    /// [`TraceError::Truncated`] mid-event (see
+    /// [`IncrementalReplayer`](crate::IncrementalReplayer)). The heap
+    /// needs no snapshot: every arm of [`TraceReplayer::step`] performs
+    /// all cursor reads *before* any heap or frame mutation, so a
+    /// truncated event can only have disturbed `last_obj`/`last_arr`.
+    pub(crate) fn mark(&self) -> (i64, i64) {
+        (self.last_obj, self.last_arr)
+    }
+
+    /// Restores a [`TraceReplayer::mark`] snapshot.
+    pub(crate) fn restore(&mut self, (obj, arr): (i64, i64)) {
+        self.last_obj = obj;
+        self.last_arr = arr;
+    }
+
+    /// Decodes and delivers one event from `c`.
+    ///
+    /// Invariant relied on by incremental replay: every cursor read in an
+    /// arm happens before that arm mutates the shadow heap or `frames`,
+    /// so a `Truncated` error leaves both untouched (only the delta state
+    /// covered by [`TraceReplayer::mark`] may have advanced).
+    pub(crate) fn step<S: EventSink>(
+        &mut self,
+        program: &CompiledProgram,
+        c: &mut Cursor<'_>,
+        frames: &mut Vec<Frame>,
+        sink: &mut S,
+    ) -> Result<Step, TraceError> {
+        macro_rules! emit {
+            ($ev:expr) => {
+                sink.event(
+                    &$ev,
+                    &EventCx {
+                        program,
+                        heap: &self.heap,
+                    },
+                )
+            };
+        }
+        match c.u8()? {
+            TAG_END => return Ok(Step::End),
+            TAG_METHOD_ENTRY => {
+                let f = self.func_id(&mut *c, program)?;
+                frames.push(Frame::Method(f));
+                emit!(Event::MethodEntry { func: f });
+            }
+            TAG_METHOD_EXIT => {
+                let f = self.func_id(&mut *c, program)?;
+                if frames.pop() != Some(Frame::Method(f)) {
+                    return Err(TraceError::Corrupt(format!(
+                        "method exit for function {} without matching entry",
+                        f.0
+                    )));
+                }
+                emit!(Event::MethodExit { func: f });
+            }
+            TAG_LOOP_ENTRY => {
+                let l = self.loop_id(&mut *c, program)?;
+                frames.push(Frame::Loop(l));
+                emit!(Event::LoopEntry { l });
+            }
+            TAG_LOOP_BACK_EDGE => {
+                let l = self.loop_id(&mut *c, program)?;
+                if frames.last() != Some(&Frame::Loop(l)) {
+                    return Err(TraceError::Corrupt(format!(
+                        "back edge for loop {} which is not the innermost open repetition",
+                        l.0
+                    )));
+                }
+                emit!(Event::LoopBackEdge { l });
+            }
+            TAG_LOOP_EXIT => {
+                let l = self.loop_id(&mut *c, program)?;
+                if frames.pop() != Some(Frame::Loop(l)) {
+                    return Err(TraceError::Corrupt(format!(
+                        "loop exit for loop {} without matching entry",
+                        l.0
+                    )));
+                }
+                emit!(Event::LoopExit { l });
+            }
+            TAG_FIELD_GET => {
+                let obj = self.value(&mut *c)?;
+                let f = self.field_id(&mut *c, program)?;
+                emit!(Event::FieldRead { obj, field: f });
+            }
+            TAG_ARRAY_LOAD => {
+                let arr = self.value(&mut *c)?;
+                emit!(Event::ArrayRead { arr });
+            }
+            TAG_INPUT_READ => emit!(Event::InputRead),
+            TAG_OUTPUT_WRITE => emit!(Event::OutputWrite),
+            TAG_OBJECT_ALLOCATED => {
+                let class = self.class_id(&mut *c, program)?;
+                let fields = program
+                    .class(class)
+                    .field_layout
+                    .iter()
+                    .map(|&fid| default_field_value(&program.field(fid).ty))
+                    .collect();
+                let obj = self.heap.alloc_object_with(class, fields);
+                self.last_obj = i64::from(obj.0);
+                emit!(Event::ObjectAlloc {
+                    obj,
+                    class,
+                    tracked: program.class(class).track_alloc,
+                });
+            }
+            TAG_ARRAY_ALLOCATED => {
+                let elem = match c.u8()? {
+                    0 => ElemKind::Int,
+                    1 => ElemKind::Bool,
+                    2 => ElemKind::Ref,
+                    b => return Err(TraceError::Corrupt(format!("element kind {b}"))),
+                };
+                let len = c.uleb()?;
+                if len > MAX_REPLAY_ARRAY_LEN as u64 {
+                    return Err(TraceError::Corrupt(format!(
+                        "array length {len} exceeds replay cap {MAX_REPLAY_ARRAY_LEN}"
+                    )));
+                }
+                let len = len as usize;
+                let arr = self.heap.alloc_array(elem, len);
+                self.last_arr = i64::from(arr.0);
+                emit!(Event::ArrayAlloc { arr, elem, len });
+            }
+            TAG_FIELD_WRITTEN => {
+                let obj = self.obj_ref(&mut *c)?;
+                let f = self.field_id(&mut *c, program)?;
+                let value = self.value(&mut *c)?;
+                let slot = program.field(f).slot as usize;
+                // A flipped field id can name a field of a *different*
+                // class whose slot lies beyond this object's layout.
+                if slot >= self.heap.object(obj).fields.len() {
+                    return Err(TraceError::Corrupt(format!(
+                        "field slot {slot} outside object with {} fields",
+                        self.heap.object(obj).fields.len()
+                    )));
+                }
+                self.heap.set_field(obj, slot, value);
+                emit!(Event::FieldWrite {
+                    obj,
+                    field: f,
+                    value,
+                    tracked: program.field(f).track_access,
+                });
+            }
+            TAG_ARRAY_WRITTEN => {
+                let arr = self.arr_ref(&mut *c)?;
+                let index = c.uleb()? as usize;
+                if index >= self.heap.array(arr).elems.len() {
+                    return Err(TraceError::Corrupt(format!(
+                        "store index {index} out of bounds for array of length {}",
+                        self.heap.array(arr).elems.len()
+                    )));
+                }
+                let value = self.value(&mut *c)?;
+                self.heap.set_elem(arr, index, value);
+                emit!(Event::ArrayWrite {
+                    arr,
+                    index,
+                    value,
+                    tracked: program.track_arrays,
+                });
+            }
+            tag => return Err(TraceError::Corrupt(format!("unknown event tag {tag:#04x}"))),
+        }
+        Ok(Step::Event)
     }
 
     // -------------------------------------------------------- decoding

@@ -38,6 +38,27 @@ echo "==> events smoke (record -> dump, text and JSON)"
 ./target/release/algoprof events "$sweep_out/run.aptr" --json --limit 10 \
     | grep -q '^{"event": "'
 
+echo "==> serve smoke (daemon round-trip, byte parity with one-shot, warm cache hit)"
+./target/release/algoprof serve --addr 127.0.0.1:0 --workers 2 \
+    --cache-dir "$sweep_out/cache" > "$sweep_out/serve.out" &
+serve_pid=$!
+for _ in $(seq 1 50); do
+    grep -q "listening on" "$sweep_out/serve.out" 2>/dev/null && break
+    sleep 0.1
+done
+serve_addr="$(awk '{print $NF}' "$sweep_out/serve.out")"
+./target/release/algoprof submit --addr "$serve_addr" --wait sweep \
+    examples/sized_arraylist.jay --sizes 8,16,32,64 \
+    --json "$sweep_out/served.json" > "$sweep_out/served.txt"
+cmp "$sweep_out/j1.txt" "$sweep_out/served.txt"
+cmp "$sweep_out/j1.json" "$sweep_out/served.json"
+./target/release/algoprof submit --addr "$serve_addr" sweep \
+    examples/sized_arraylist.jay --sizes 8,16,32,64 | grep -q "cache hit"
+./target/release/algoprof submit --addr "$serve_addr" cache-stats \
+    | grep -Eq "hits [1-9]"
+./target/release/algoprof submit --addr "$serve_addr" shutdown
+wait "$serve_pid"
+
 echo "==> static analysis (lint) over shipped examples"
 for example in examples/*.jay; do
     ./target/release/algoprof lint "$example" > /dev/null
