@@ -68,16 +68,29 @@ fn run_events(program: &CompiledProgram) -> u64 {
 
 fn main() {
     let (n, reps) = if quick_mode() { (200, 2) } else { (1000, 5) };
+    // The noop runs are the headline ns/instr numbers and cheap (~2 ms
+    // each), so take many more samples: min-of-k only converges on the
+    // true cost once some iteration lands in a quiet scheduling window.
+    let noop_reps = if quick_mode() { 2 } else { 40 };
     let src = array_list_program(GrowthPolicy::Doubling, n, 100, 1);
     let instrument = InstrumentOptions::default();
     let program = compile(&src).expect("compiles").instrument(&instrument);
+    let fused = program.fuse();
     let header = TraceHeader::new(&src, &instrument, &[]);
     let instructions = run_events(&program);
+    assert_eq!(
+        instructions,
+        run_events(&fused),
+        "fusion must not change the logical instruction count"
+    );
     println!("group events");
     println!("  workload: fig5 arraylist n={n}, {instructions} instructions, {reps} reps");
 
-    // 1. Per-event dispatch overhead of increasingly loaded sinks.
-    let (t_noop, _) = min_of(reps, || run_events(&program));
+    // 1. Per-event dispatch overhead of increasingly loaded sinks —
+    //    plus the payoff of profile-guided superinstruction dispatch
+    //    (same logical event stream, fewer dispatch-loop iterations).
+    let (t_noop, _) = min_of(noop_reps, || run_events(&program));
+    let (t_noop_fused, _) = min_of(noop_reps, || run_events(&fused));
     let (t_one, algos_one) = min_of(reps, || {
         let mut prof = AlgoProf::new();
         Interp::new(&program).run(&mut prof).expect("runs");
@@ -96,6 +109,14 @@ fn main() {
     println!(
         "  events/noop_sink        min {t_noop:>12.3?}   ({:.1} ns/instr)",
         per_event(t_noop)
+    );
+    println!(
+        "  events/noop_sink_fused  min {t_noop_fused:>12.3?}   ({:.1} ns/instr)",
+        per_event(t_noop_fused)
+    );
+    println!(
+        "  events/fused_dispatch_speedup            {:>12.2}x",
+        t_noop.as_secs_f64() / t_noop_fused.as_secs_f64().max(1e-9)
     );
     println!(
         "  events/algoprof_live    min {t_one:>12.3?}   ({:.1} ns/instr)",
@@ -153,21 +174,27 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"events\",\n  \"workload\": \"fig5 arraylist doubling n={n}\",\n  \
          \"quick\": {},\n  \"instructions\": {instructions},\n  \
-         \"ns_per_instr\": {{\n    \"noop_sink\": {:.3},\n    \"algoprof_live\": {:.3},\n    \
+         \"ns_per_instr\": {{\n    \"noop_sink\": {:.3},\n    \"noop_sink_fused\": {:.3},\n    \
+         \"algoprof_live\": {:.3},\n    \
          \"fanout_4x\": {:.3}\n  }},\n  \
-         \"wall_ms\": {{\n    \"noop_sink\": {:.3},\n    \"algoprof_live\": {:.3},\n    \
+         \"wall_ms\": {{\n    \"noop_sink\": {:.3},\n    \"noop_sink_fused\": {:.3},\n    \
+         \"algoprof_live\": {:.3},\n    \
          \"fanout_4x\": {:.3},\n    \"single_pass_4x\": {:.3},\n    \
          \"record_4replays\": {:.3}\n  }},\n  \
+         \"fused_dispatch_speedup\": {:.3},\n  \
          \"single_pass_speedup\": {speedup:.3}\n}}\n",
         quick_mode(),
         per_event(t_noop),
+        per_event(t_noop_fused),
         per_event(t_one),
         per_event(t_fan4),
         t_noop.as_secs_f64() * 1e3,
+        t_noop_fused.as_secs_f64() * 1e3,
         t_one.as_secs_f64() * 1e3,
         t_fan4.as_secs_f64() * 1e3,
         t_single.as_secs_f64() * 1e3,
         t_replay.as_secs_f64() * 1e3,
+        t_noop.as_secs_f64() / t_noop_fused.as_secs_f64().max(1e-9),
     );
     // cargo runs benches with the package as cwd; anchor the artifact at
     // the workspace root regardless.

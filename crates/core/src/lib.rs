@@ -75,7 +75,10 @@ pub use html::{render_html, render_sweep_html};
 pub use inputs::{InputId, InputInfo, InputKind, InputRegistry};
 pub use jobs::{JobError, JobOutput, JobSpec, CACHE_SCHEMA_VERSION};
 pub use pool::{default_workers, run_indexed, WorkerPool};
-pub use profile::{merge_invocation_series, merge_series, AlgorithmicProfile, CostMetric};
+pub use profile::{
+    merge_invocation_series, merge_invocation_series_nominal, merge_series, AlgorithmicProfile,
+    CostMetric,
+};
 pub use profiler::{AlgoProf, AlgoProfOptions, SnapshotPolicy};
 pub use reptree::{Invocation, NodeId, RepKind, RepNode, RepTree};
 pub use run::{

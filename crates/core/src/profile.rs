@@ -444,3 +444,33 @@ pub fn merge_invocation_series(
     out.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     out
 }
+
+/// Like [`merge_invocation_series`], but each profile's points take the
+/// *nominal* input size paired with that profile as their x value — the
+/// sweep engine's merge. A sweep controls the requested size exactly,
+/// while the measured per-invocation structure size can overshoot it: a
+/// doubling array list asked for 48 elements grows its backing array to
+/// capacity 64, so its run used to land on x = 64 — colliding with the
+/// n = 64 job's point and leaving the requested size 48 with no point at
+/// all. The job's requested size is the independent variable the sweep
+/// varies, so it is the correct x.
+pub fn merge_invocation_series_nominal(
+    profiles: &[(&AlgorithmicProfile, u64)],
+    root_name: &str,
+    metric: CostMetric,
+) -> Vec<(f64, f64)> {
+    let mut out = Vec::new();
+    for &(p, size) in profiles {
+        for a in p.algorithms() {
+            if p.node_name(a.root) == root_name {
+                out.extend(
+                    p.invocation_series(a.id, metric)
+                        .into_iter()
+                        .map(|(_, cost)| (size as f64, cost)),
+                );
+            }
+        }
+    }
+    out.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    out
+}

@@ -116,7 +116,7 @@ pub fn profile_source_with(
     options: AlgoProfOptions,
     input: &[i64],
 ) -> Result<AlgorithmicProfile, ProfileError> {
-    let program = compile(source)?.instrument(instrument);
+    let program = compile(source)?.instrument(instrument).fuse_default();
     let mut profiler = AlgoProf::with_options(options);
     Interp::new(&program)
         .with_input(input.to_vec())
@@ -149,7 +149,7 @@ pub fn record_source_with(
     instrument: &InstrumentOptions,
     input: &[i64],
 ) -> Result<Vec<u8>, ProfileError> {
-    let program = compile(source)?.instrument(instrument);
+    let program = compile(source)?.instrument(instrument).fuse_default();
     let mut bytes = Vec::new();
     let mut recorder = TraceRecorder::new(&TraceHeader::new(source, instrument, input), &mut bytes);
     Interp::new(&program)
@@ -172,7 +172,7 @@ pub fn record_and_profile_source(
     options: AlgoProfOptions,
     input: &[i64],
 ) -> Result<(Vec<u8>, AlgorithmicProfile), ProfileError> {
-    let program = compile(source)?.instrument(instrument);
+    let program = compile(source)?.instrument(instrument).fuse_default();
     let mut bytes = Vec::new();
     let mut sink = Tee::new(
         TraceRecorder::new(&TraceHeader::new(source, instrument, input), &mut bytes),

@@ -291,9 +291,10 @@ fn scan_container(program: &CompiledProgram, heap: &Heap, key: ElemKey) -> (Vec<
     match key {
         ElemKey::Obj(o) => {
             let obj = heap.object(o);
+            let fields = heap.fields(o);
             for (slot, &fid) in program.class(obj.class).field_layout.iter().enumerate() {
                 if program.field(fid).is_recursive {
-                    match obj.fields[slot] {
+                    match fields[slot] {
                         Value::Obj(c) => children.push(ElemKey::Obj(c)),
                         Value::Arr(c) => children.push(ElemKey::Arr(c)),
                         _ => {}

@@ -360,12 +360,18 @@ pub fn run_sweep(jobs: &[SweepJob], config: &SweepConfig) -> Result<SweepReport,
         .collect();
     for (a, ablation) in ablations.iter().enumerate() {
         for ((tag, members), predictions) in groups.iter().zip(&group_predictions) {
-            let slice: Vec<&AlgorithmicProfile> =
-                members.iter().map(|&j| &results[j].profiles[a]).collect();
+            // Pair each profile with its job's *requested* size: the
+            // sweep's independent variable. Measured structure sizes can
+            // overshoot the request (a doubling array list at n=48 has
+            // capacity 64), which used to duplicate x-values across jobs.
+            let slice: Vec<(&AlgorithmicProfile, u64)> = members
+                .iter()
+                .map(|&j| (&results[j].profiles[a], jobs[j].size))
+                .collect();
             // Every algorithm root name seen anywhere in this group, in
             // sorted order so the report layout is stable.
             let mut names: Vec<String> = Vec::new();
-            for p in &slice {
+            for (p, _) in &slice {
                 for algo in p.algorithms() {
                     let name = p.node_name(algo.root).to_string();
                     if !names.contains(&name) {
@@ -375,14 +381,17 @@ pub fn run_sweep(jobs: &[SweepJob], config: &SweepConfig) -> Result<SweepReport,
             }
             names.sort();
             for name in names {
-                let points =
-                    crate::profile::merge_invocation_series(&slice, &name, CostMetric::Steps);
+                let points = crate::profile::merge_invocation_series_nominal(
+                    &slice,
+                    &name,
+                    CostMetric::Steps,
+                );
                 if points.is_empty() {
                     continue;
                 }
                 let kind = slice
                     .iter()
-                    .find_map(|p| {
+                    .find_map(|(p, _)| {
                         p.algorithms()
                             .iter()
                             .find(|al| p.node_name(al.root) == name)
@@ -433,7 +442,7 @@ fn profile_job(
     instrument: &InstrumentOptions,
     ablations: &[SweepAblation],
 ) -> Result<JobOutcome, ProfileError> {
-    let program = compile(source)?.instrument(instrument);
+    let program = compile(source)?.instrument(instrument).fuse_default();
     let mut bytes = Vec::new();
     let mut sink = Tee::new(
         TraceRecorder::new(&TraceHeader::new(source, instrument, input), &mut bytes),
@@ -723,6 +732,73 @@ mod tests {
         assert_eq!(s.points.len(), 4);
         let fit = s.fit.expect("fits");
         assert_eq!(fit.model, algoprof_fit::Model::Linear);
+    }
+
+    #[test]
+    fn sweep_points_land_on_the_requested_sizes() {
+        // Regression: a doubling array list asked for 48 elements grows
+        // its backing array to capacity 64, and the series merge used to
+        // take that *measured* size as x — so the n=48 job collided with
+        // the n=64 job (two points at x=64) and no point sat at x=48.
+        // The sweep's x-axis is the requested size.
+        const DOUBLING_LIST: &str = "class Main { static int main() {
+            int n = readInput();
+            ArrayList list = new ArrayList();
+            for (int i = 0; i < n; i = i + 1) { list.append(i); }
+            return list.size;
+        } }
+        class ArrayList {
+            int[] array;
+            int size;
+            ArrayList() { array = new int[1]; size = 0; }
+            void append(int v) {
+                if (size == array.length) {
+                    int[] bigger = new int[array.length * 2];
+                    for (int i = 0; i < array.length; i = i + 1) { bigger[i] = array[i]; }
+                    array = bigger;
+                }
+                array[size] = v;
+                size = size + 1;
+            }
+        }";
+        let sizes = [16u64, 32, 48, 64];
+        let jobs: Vec<SweepJob> = sizes
+            .iter()
+            .map(|&n| SweepJob::for_size(DOUBLING_LIST, n))
+            .collect();
+        let report = run_sweep(&jobs, &SweepConfig::default()).expect("sweeps");
+        let main_loop = report
+            .series
+            .iter()
+            .find(|s| s.algorithm.starts_with("Main.main:loop"))
+            .expect("main append loop series");
+        let xs: Vec<f64> = main_loop.points.iter().map(|&(x, _)| x).collect();
+        assert_eq!(
+            xs,
+            sizes.iter().map(|&n| n as f64).collect::<Vec<_>>(),
+            "exactly one point per requested size, in order"
+        );
+        // Costs must still differ between n=48 and n=64 even though both
+        // runs end at capacity 64.
+        let cost_of = |n: f64| {
+            main_loop
+                .points
+                .iter()
+                .find(|&&(x, _)| x == n)
+                .expect("point")
+                .1
+        };
+        assert!(cost_of(48.0) < cost_of(64.0));
+        // And no series anywhere may invent an x outside the swept sizes.
+        for s in &report.series {
+            for &(x, _) in &s.points {
+                assert!(
+                    sizes.iter().any(|&n| n as f64 == x),
+                    "series {} has x={x} not among the requested sizes",
+                    s.algorithm
+                );
+            }
+        }
     }
 
     #[test]

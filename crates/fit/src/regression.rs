@@ -78,6 +78,38 @@ pub fn fit_all(points: &[(f64, f64)]) -> Vec<Fit> {
         .collect()
 }
 
+/// Collapses points sharing an x value (exact equality — sweep sizes are
+/// integers) into one point at their mean y, in linear space. Repeated
+/// measurements at one size would otherwise weight that size by its
+/// multiplicity in the least-squares sums, skewing the fit toward
+/// oversampled sizes. Points with a `NaN` x pass through untouched (they
+/// are rejected downstream). The result is sorted by x.
+fn average_duplicate_x(points: &[(f64, f64)]) -> Vec<(f64, f64)> {
+    let mut sorted = points.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out: Vec<(f64, f64)> = Vec::with_capacity(sorted.len());
+    let mut i = 0;
+    while i < sorted.len() {
+        let x = sorted[i].0;
+        let mut sum = 0.0;
+        let mut k = 0usize;
+        while i < sorted.len() && sorted[i].0 == x {
+            sum += sorted[i].1;
+            k += 1;
+            i += 1;
+        }
+        if k == 0 {
+            // NaN x never equals itself; keep the point for the finite
+            // checks downstream to reject.
+            out.push(sorted[i]);
+            i += 1;
+        } else {
+            out.push((x, sum / k as f64));
+        }
+    }
+    out
+}
+
 /// Fits all candidates and selects the one with the lowest BIC.
 ///
 /// Negative fitted coefficients on non-constant models are rejected (a
@@ -89,7 +121,12 @@ pub fn fit_all(points: &[(f64, f64)]) -> Vec<Fit> {
 /// series whose sizes are all equal carries no scaling information at
 /// all (its only consistent fit would be the constant model, which says
 /// nothing about growth).
+///
+/// Points sharing an x value are averaged first, so repeated
+/// measurements at one size count once (`n_points` on the returned fit
+/// is the number of *distinct* sizes).
 pub fn best_fit(points: &[(f64, f64)]) -> Option<Fit> {
+    let points = average_duplicate_x(points);
     if points.len() < 3 {
         return None;
     }
@@ -97,7 +134,7 @@ pub fn best_fit(points: &[(f64, f64)]) -> Option<Fit> {
     if points.iter().all(|&(n, _)| (n - first).abs() < 1e-12) {
         return None;
     }
-    let mut fits = fit_all(points);
+    let mut fits = fit_all(&points);
     fits.sort_by(|a, b| {
         a.bic
             .partial_cmp(&b.bic)
@@ -113,11 +150,20 @@ pub fn best_fit(points: &[(f64, f64)]) -> Option<Fit> {
 ///
 /// Returns `None` with fewer than three usable points or a degenerate
 /// predictor (all usable sizes equal).
+///
+/// Points sharing an x value are averaged (in linear space, before the
+/// log transform), so repeated measurements at one size count once.
+/// Unusable points are dropped *before* averaging, matching the
+/// streaming fitter's push-time filter.
 pub fn fit_power_law(points: &[(f64, f64)]) -> Option<PowerFit> {
-    let logs: Vec<(f64, f64)> = points
+    let usable: Vec<(f64, f64)> = points
         .iter()
-        .filter(|&&(n, c)| n > 0.0 && c > 0.0 && n.is_finite() && c.is_finite())
-        .map(|&(n, c)| (n.ln(), c.ln()))
+        .copied()
+        .filter(|&(n, c)| n > 0.0 && c > 0.0 && n.is_finite() && c.is_finite())
+        .collect();
+    let logs: Vec<(f64, f64)> = average_duplicate_x(&usable)
+        .into_iter()
+        .map(|(n, c)| (n.ln(), c.ln()))
         .collect();
     let m = logs.len();
     if m < 3 {
@@ -308,6 +354,60 @@ mod tests {
         assert!(fit_model(&pts, Model::Linear).is_none());
         // Constant still fits.
         assert!(fit_model(&pts, Model::Constant).is_some());
+    }
+
+    #[test]
+    fn duplicate_x_points_are_averaged() {
+        // Perfect linear data, except x=10 is measured three times with
+        // symmetric noise. Averaging restores the exact line; weighting
+        // by multiplicity would not.
+        let mut pts = series(|n| 2.0 * n, 1, 20);
+        pts.push((10.0, 15.0));
+        pts.push((10.0, 25.0));
+        let fit = best_fit(&pts).expect("fits");
+        assert_eq!(fit.model, Model::Linear);
+        assert!((fit.coeff - 2.0).abs() < 1e-9, "coeff = {}", fit.coeff);
+        assert!(fit.intercept.abs() < 1e-6);
+        assert_eq!(fit.n_points, 19, "n_points counts distinct sizes");
+    }
+
+    #[test]
+    fn duplicate_x_oversampling_cannot_skew_the_model() {
+        // Quadratic data with one size sampled many times: the repeats
+        // must not drag the model choice or the coefficient.
+        let mut pts = series(|n| n * n, 1, 40);
+        for _ in 0..50 {
+            pts.push((5.0, 25.0));
+        }
+        let fit = best_fit(&pts).expect("fits");
+        assert_eq!(fit.model, Model::Quadratic);
+        assert!((fit.coeff - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_law_averages_duplicate_x_in_linear_space() {
+        // Two measurements at n=4 averaging to the curve value 16: the
+        // linear-space mean of (10, 22) is 16, the log-space mean is not.
+        let mut pts = vec![
+            (2.0, 4.0),
+            (4.0, 10.0),
+            (4.0, 22.0),
+            (8.0, 64.0),
+            (16.0, 256.0),
+        ];
+        let p = fit_power_law(&pts).expect("fits");
+        assert!((p.exponent - 2.0).abs() < 1e-9, "exponent = {}", p.exponent);
+        assert!((p.coeff - 1.0).abs() < 1e-9);
+        assert_eq!(p.n_points, 4);
+        // Collapsing to fewer than three distinct sizes stops fitting.
+        pts.retain(|&(n, _)| n <= 4.0);
+        assert!(fit_power_law(&pts).is_none());
+    }
+
+    #[test]
+    fn duplicates_collapsing_below_three_sizes_is_none() {
+        let pts = vec![(1.0, 1.0), (1.0, 2.0), (2.0, 4.0), (2.0, 5.0)];
+        assert!(best_fit(&pts).is_none());
     }
 
     #[test]

@@ -7,6 +7,12 @@
 //! implements that optimization: [`StreamingFit`] maintains O(1)
 //! sufficient statistics per candidate model and produces exactly the
 //! same least-squares fits as the batch API, without storing points.
+//!
+//! One caveat: the batch API averages points that share an x value so a
+//! repeatedly-measured size counts once, which constant-memory sums
+//! cannot reproduce. The two agree exactly on series with distinct
+//! sizes; with duplicates the streaming fit weights each size by its
+//! multiplicity.
 
 use crate::models::{Fit, Model, PowerFit};
 
@@ -196,7 +202,9 @@ impl StreamingFit {
     }
 
     /// The best model by BIC (rejecting negative-slope non-constant
-    /// fits), identical to [`crate::best_fit`] on the same points.
+    /// fits), identical to [`crate::best_fit`] on the same points when
+    /// every size is distinct (see the module docs for the duplicate-x
+    /// caveat).
     pub fn best_fit(&self) -> Option<Fit> {
         let mut fits: Vec<Fit> = Model::ALL
             .iter()

@@ -8,7 +8,8 @@
 //! algoprof events <trace> [--json] [--limit N]   dump a recording's events
 //! algoprof sweep <program.jay> --sizes n,.. profile a whole input-size sweep
 //! algoprof lint <program.jay> [--json] [--strict]   static analysis + lints
-//! algoprof disasm <program.jay> [--cfg]     disassemble (or emit Graphviz CFG)
+//! algoprof opstats <program.jay>... [--json] [--top N]   opcode frequency/pair stats
+//! algoprof disasm <program.jay> [--cfg] [--fused]   disassemble (CFG / post-fusion)
 //! algoprof serve [--addr H:P|--socket PATH] run the persistent profiling daemon
 //! algoprof submit ... <kind> ... [--wait]   send a job to a running daemon
 //!
@@ -70,7 +71,8 @@ const USAGE: &str = "usage: algoprof [--criterion some|all|array|type] [--sizing
      [--criteria some,all,array,type] [--sizing ...] [--snapshots ...] [--grouping ...] \
      [--json <file.json>] [--html <file.html>] [--quiet]\n\
        algoprof lint <program.jay> [--json] [--strict]\n\
-       algoprof disasm <program.jay> [--cfg]\n\
+       algoprof opstats <program.jay>... [--input v1,v2,...] [--json] [--top N]\n\
+       algoprof disasm <program.jay> [--cfg] [--fused]\n\
        algoprof serve [--addr HOST:PORT | --socket PATH] [--workers N] \
      [--cache-dir DIR] [--queue N]\n\
        algoprof submit [--addr HOST:PORT | --socket PATH] [--wait] profile <program.jay> \
@@ -121,6 +123,7 @@ fn main() -> ExitCode {
         Some("events") => events_main(&args[1..]),
         Some("sweep") => sweep_main(&args[1..]),
         Some("lint") => lint_main(&args[1..]),
+        Some("opstats") => opstats_main(&args[1..]),
         Some("disasm") => disasm_main(&args[1..]),
         Some("serve") => serve_main(&args[1..]),
         Some("submit") => submit_main(&args[1..]),
@@ -527,15 +530,80 @@ fn lint_main(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `algoprof opstats <prog.jay>... [--input ...] [--json] [--top N]`:
+/// executes each program once and aggregates opcode-frequency and
+/// adjacent-pair statistics over all of them — the measurement behind
+/// the VM's profile-guided superinstruction set (`--input` feeds every
+/// program's `readInput()` calls). The logical opcode stream is
+/// fusion-invariant, so the report is identical with fusion on or off.
+fn opstats_main(args: &[String]) -> Result<(), CliError> {
+    let mut json = false;
+    let mut top = 16usize;
+    let mut input: Vec<i64> = Vec::new();
+    let mut paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--top" => {
+                top = flag_value(args, i)?
+                    .parse()
+                    .map_err(|_| CliError::Usage("--top expects a positive integer".into()))?;
+                i += 1;
+            }
+            "--input" => {
+                input = parse_int_list("--input", flag_value(args, i)?)?;
+                i += 1;
+            }
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!(
+                    "unknown option {other:?} for opstats"
+                )));
+            }
+            other => paths.push(other.to_owned()),
+        }
+        i += 1;
+    }
+    if paths.is_empty() {
+        return Err(CliError::Usage(
+            "opstats needs at least one program file".into(),
+        ));
+    }
+    let mut total = algoprof_vm::OpStats::new();
+    for path in &paths {
+        let source = read_file(path)?;
+        let program = algoprof_vm::compile(&source)
+            .map_err(|e| CliError::Run(format!("{path}: guest compilation failed: {e}")))?
+            .instrument(&InstrumentOptions::default())
+            .fuse_default();
+        let mut stats = algoprof_vm::OpStats::new();
+        algoprof_vm::Interp::new(&program)
+            .with_input(input.clone())
+            .run(&mut stats)
+            .map_err(|e| CliError::Run(format!("{path}: guest execution failed: {e}")))?;
+        total.merge(&stats);
+    }
+    if json {
+        print!("{}", total.render_json(top));
+    } else {
+        print!("{}", total.render_text(top));
+    }
+    Ok(())
+}
+
 /// `algoprof disasm <prog.jay>`: instrumented-bytecode disassembly, or
 /// with `--cfg` a Graphviz DOT dump of every function's control-flow
-/// graph with natural-loop back edges annotated.
+/// graph with natural-loop back edges annotated. `--fused` shows the
+/// bytecode after the superinstruction peephole pass — what the
+/// interpreter actually dispatches.
 fn disasm_main(args: &[String]) -> Result<(), CliError> {
     let mut cfg = false;
+    let mut fused = false;
     let mut positional: Vec<String> = Vec::new();
     for arg in args {
         match arg.as_str() {
             "--cfg" => cfg = true,
+            "--fused" => fused = true,
             other if other.starts_with('-') => {
                 return Err(CliError::Usage(format!(
                     "unknown option {other:?} for disasm"
@@ -550,9 +618,12 @@ fn disasm_main(args: &[String]) -> Result<(), CliError> {
         ));
     };
     let source = read_file(path)?;
-    let program = algoprof_vm::compile(&source)
+    let mut program = algoprof_vm::compile(&source)
         .map_err(|e| CliError::Run(e.to_string()))?
         .instrument(&InstrumentOptions::default());
+    if fused {
+        program = program.fuse();
+    }
     if cfg {
         print!("{}", algoprof_vm::disassemble_cfg(&program));
     } else {

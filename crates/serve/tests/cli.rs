@@ -328,6 +328,109 @@ fn lint_exit_codes_track_diagnostic_levels() {
 }
 
 #[test]
+fn opstats_usage_and_run_errors() {
+    assert_usage_error(&["opstats"], "at least one program file");
+    assert_usage_error(&["opstats", "a.jay", "--frobnicate"], "--frobnicate");
+    assert_usage_error(&["opstats", "a.jay", "--top"], "--top requires a value");
+    assert_usage_error(&["opstats", "a.jay", "--top", "many"], "--top expects");
+    assert_usage_error(&["opstats", "a.jay", "--input", "1,x"], "invalid value");
+    assert_run_error(&["opstats", "/no/such/file.jay"], "cannot read");
+}
+
+#[test]
+fn opstats_reports_frequencies_and_pairs() {
+    let dir = std::env::temp_dir().join(format!("algoprof-cli-opstats-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let prog = dir.join("loop.jay");
+    std::fs::write(
+        &prog,
+        "class Main { static int main() {
+            int n = readInput();
+            int s = 0;
+            for (int i = 0; i < n; i = i + 1) { s = s + i; }
+            return s;
+        } }",
+    )
+    .expect("writes");
+    let path = prog.to_str().unwrap();
+
+    let out = algoprof(&["opstats", path, "--input", "25"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("instructions:"), "stdout: {text}");
+    assert!(text.contains("top opcodes:"), "stdout: {text}");
+    assert!(text.contains("top pairs:"), "stdout: {text}");
+    assert!(text.contains("load"), "stdout: {text}");
+
+    let json = algoprof(&["opstats", path, "--input", "25", "--json", "--top", "4"]);
+    assert!(json.status.success(), "stderr: {}", stderr(&json));
+    let jtext = String::from_utf8_lossy(&json.stdout).into_owned();
+    assert!(jtext.contains("\"instructions\""), "stdout: {jtext}");
+    assert!(jtext.contains("\"pairs\""), "stdout: {jtext}");
+
+    // The report counts the logical opcode stream, which fusion does not
+    // change: byte-identical with the peephole pass disabled.
+    let unfused = Command::new(env!("CARGO_BIN_EXE_algoprof"))
+        .args(["opstats", path, "--input", "25"])
+        .env("ALGOPROF_NO_FUSE", "1")
+        .output()
+        .expect("spawns the algoprof binary");
+    assert!(unfused.status.success(), "stderr: {}", stderr(&unfused));
+    assert_eq!(
+        out.stdout, unfused.stdout,
+        "opstats must be fusion-invariant"
+    );
+
+    // Aggregating a program with itself doubles the instruction count.
+    let twice = algoprof(&["opstats", path, path, "--input", "25"]);
+    assert!(twice.status.success(), "stderr: {}", stderr(&twice));
+    let count_of = |s: &[u8]| -> u64 {
+        String::from_utf8_lossy(s)
+            .lines()
+            .find_map(|l| l.strip_prefix("instructions: ").map(|n| n.parse().unwrap()))
+            .expect("instructions line")
+    };
+    assert_eq!(count_of(&twice.stdout), 2 * count_of(&out.stdout));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn disasm_fused_shows_superinstructions() {
+    let dir = std::env::temp_dir().join(format!("algoprof-cli-fused-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let prog = dir.join("loop.jay");
+    std::fs::write(
+        &prog,
+        "class Main { static int main() {
+            int s = 0;
+            for (int i = 0; i < 10; i = i + 1) { s = s + i; }
+            return s;
+        } }",
+    )
+    .expect("writes");
+    let path = prog.to_str().unwrap();
+
+    let plain = algoprof(&["disasm", path]);
+    assert!(plain.status.success(), "stderr: {}", stderr(&plain));
+    let plain_text = String::from_utf8_lossy(&plain.stdout).into_owned();
+    assert!(
+        !plain_text.contains("inc_local") && !plain_text.contains("inc_jump"),
+        "stdout: {plain_text}"
+    );
+
+    let fused = algoprof(&["disasm", path, "--fused"]);
+    assert!(fused.status.success(), "stderr: {}", stderr(&fused));
+    let fused_text = String::from_utf8_lossy(&fused.stdout).into_owned();
+    assert!(
+        fused_text.contains("inc_local") || fused_text.contains("inc_jump"),
+        "fused disasm should show the loop-increment superinstruction: {fused_text}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn disasm_cfg_matches_golden_dot() {
     let fixture = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/golden_cfg.jay");
     let out = algoprof(&["disasm", fixture.to_str().unwrap(), "--cfg"]);

@@ -276,10 +276,10 @@ impl TraceReplayer {
                 let slot = program.field(f).slot as usize;
                 // A flipped field id can name a field of a *different*
                 // class whose slot lies beyond this object's layout.
-                if slot >= self.heap.object(obj).fields.len() {
+                if slot >= self.heap.object(obj).field_count() {
                     return Err(TraceError::Corrupt(format!(
                         "field slot {slot} outside object with {} fields",
-                        self.heap.object(obj).fields.len()
+                        self.heap.object(obj).field_count()
                     )));
                 }
                 self.heap.set_field(obj, slot, value);

@@ -87,8 +87,50 @@ impl ErasedType {
     }
 }
 
+/// The comparison performed by a fused compare-and-branch
+/// superinstruction. `Lt..Ge` take two ints; `Eq`/`Ne` are polymorphic,
+/// exactly like the base [`Instr::CmpLt`]..[`Instr::CmpNe`] family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpKind {
+    /// `<` on ints.
+    Lt,
+    /// `<=` on ints.
+    Le,
+    /// `>` on ints.
+    Gt,
+    /// `>=` on ints.
+    Ge,
+    /// `==` on ints, booleans, or references.
+    Eq,
+    /// `!=` on ints, booleans, or references.
+    Ne,
+}
+
+impl CmpKind {
+    /// The base comparison opcode this kind corresponds to.
+    pub fn opcode(self) -> Opcode {
+        match self {
+            CmpKind::Lt => Opcode::CmpLt,
+            CmpKind::Le => Opcode::CmpLe,
+            CmpKind::Gt => Opcode::CmpGt,
+            CmpKind::Ge => Opcode::CmpGe,
+            CmpKind::Eq => Opcode::CmpEq,
+            CmpKind::Ne => Opcode::CmpNe,
+        }
+    }
+}
+
 /// One bytecode instruction. Jump targets are absolute instruction indices
 /// within the owning function.
+///
+/// The `Fused*`/`IncLocal`/`CmpJump` variants at the end are
+/// **superinstructions** introduced by the profile-guided peephole pass
+/// ([`crate::fuse`]); the compiler never emits them directly. Each one is
+/// observationally identical to the base sequence it replaces: it emits
+/// one [`crate::event::Event::Instruction`] per constituent opcode (see
+/// [`Instr::expansion`]) and counts every constituent toward the
+/// instruction total, so profiles and event streams are byte-identical
+/// with fusion on or off — only the number of dispatches changes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Instr {
     /// Push an integer constant.
@@ -184,6 +226,285 @@ pub enum Instr {
     ProfLoopBack(LoopId),
     /// Instrumentation: control leaves the loop.
     ProfLoopExit(LoopId),
+    /// Fused `LoadLocal a; LoadLocal b`.
+    FusedLoadLoad(u16, u16),
+    /// Fused `LoadLocal slot; ConstInt k`.
+    FusedLoadConst(u16, i64),
+    /// Fused `LoadLocal slot; GetField field`.
+    FusedLoadGetField(u16, FieldId),
+    /// Fused `LoadLocal slot; ALoad` — the slot holds the index, the
+    /// array is on the stack.
+    FusedLoadALoad(u16),
+    /// Fused `LoadLocal slot; ConstInt k; Add; StoreLocal slot` — the
+    /// canonical loop increment `i = i + k`.
+    IncLocal(u16, i64),
+    /// Fused `Cmp<kind>; JumpIfTrue/JumpIfFalse target`. The `bool` is
+    /// the branch sense: `true` jumps when the comparison holds
+    /// (`JumpIfTrue`), `false` when it does not (`JumpIfFalse`).
+    CmpJump(CmpKind, bool, usize),
+    /// Fused `LoadLocal slot; Cmp<kind>; JumpIfTrue/JumpIfFalse target`
+    /// — compares the stack top against the local (stack value on the
+    /// left: `stack <kind> local`).
+    LoadCmpJump(u16, CmpKind, bool, usize),
+    /// Fused `GetField field; ArrayLen` — the ubiquitous
+    /// `obj.array.length`. Only emitted for untracked fields (a tracked
+    /// field's read event would otherwise reorder against the
+    /// constituents' instruction events).
+    FusedGetFieldLen(FieldId),
+    /// Fused `LoadLocal slot; GetField field; ArrayLen` — ditto, with
+    /// the receiver coming straight from a local.
+    FusedLoadGetFieldLen(u16, FieldId),
+    /// Fused `ConstInt k; Add` — add a constant to the stack top.
+    FusedConstAdd(i64),
+    /// Fused `ProfLoopBack loop; Jump target` — the back-edge tail every
+    /// loop iteration executes. Emits the back-edge event, then jumps;
+    /// the loop id survives fusion, keeping indexflow ordinals intact.
+    FusedLoopBackJump(LoopId, usize),
+    /// Fused `LoadLocal slot; AStore` — the slot holds the value, the
+    /// index and array are on the stack (`arr[i] = local`).
+    FusedLoadAStore(u16),
+    /// Fused `LoadLocal slot; ConstInt k; Add; StoreLocal slot; Jump
+    /// target` — a loop increment followed by its unconditional jump to
+    /// the back-edge block. The constant and target are narrowed to keep
+    /// the instruction word small; the peephole pass only emits this when
+    /// both fit.
+    FusedIncJump(u16, i32, u32),
+    /// Fused `LoadLocal a; LoadLocal b; GetField field; ArrayLen` — the
+    /// `this.array.length` read with another operand (typically the index
+    /// being range-checked) loaded first. Only fused for untracked fields
+    /// on a single source line, like [`Instr::FusedGetFieldLen`].
+    FusedLoadLoadGetFieldLen(u16, u16, FieldId),
+    /// Fused `LoadLocal a; LoadLocal b; Cmp*; JumpIf*` — a loop-header
+    /// comparison of two locals. Target narrowed to `u32`.
+    FusedLoadLoadCmpJump(u16, u16, CmpKind, bool, u32),
+    /// Fused `LoadLocal obj; LoadLocal value; PutField field` — the
+    /// common `obj.field = local` store. The write event comes from the
+    /// final `PutField`, so no tracking gate is needed.
+    FusedLoadLoadPutField(u16, u16, FieldId),
+    /// Fused `LoadLocal obj; LoadLocal obj2; GetField f; ConstInt k; Add;
+    /// PutField f` — the field increment `obj.f = obj2.f + k`. Only fused
+    /// for untracked fields on a single source line (the mid-window
+    /// `GetField` must neither emit nor misattribute).
+    FusedFieldAdd(u16, u16, FieldId, i32),
+    /// Fused `LoadLocal slot; CallDirect f` — the final argument comes
+    /// from a local.
+    FusedLoadCallDirect(u16, FuncId),
+    /// Fused `LoadLocal slot; CallVirtual f` — the final argument comes
+    /// from a local.
+    FusedLoadCallVirtual(u16, FuncId),
+    /// Fused `New class; Dup` — allocate and duplicate for the ctor call.
+    /// The allocation event falls *between* the two instruction events,
+    /// so the interpreter emits this window's events inline.
+    FusedNewDup(ClassId),
+    /// Fused `LoadLocal obj; GetField field; LoadLocal idx; ALoad` — the
+    /// array-element read `obj.field[idx]`. Only fused for untracked
+    /// fields on a single source line (the mid-window `GetField` must
+    /// neither emit nor misattribute); the final `ALoad` still emits its
+    /// array-read event.
+    FusedLoadGetFieldALoad(u16, FieldId, u16),
+}
+
+/// The logical opcode of a base instruction, without operands. This is
+/// what [`crate::event::Event::Instruction`] carries and what the
+/// opcode-statistics sink counts: superinstructions expand to the base
+/// opcodes they replace (see [`Instr::expansion`]), so the logical opcode
+/// stream is identical with fusion on or off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Opcode {
+    /// `const_int`.
+    ConstInt,
+    /// `const_bool`.
+    ConstBool,
+    /// `const_null`.
+    ConstNull,
+    /// `load`.
+    LoadLocal,
+    /// `store`.
+    StoreLocal,
+    /// `dup`.
+    Dup,
+    /// `pop`.
+    Pop,
+    /// `add`.
+    Add,
+    /// `sub`.
+    Sub,
+    /// `mul`.
+    Mul,
+    /// `div`.
+    Div,
+    /// `rem`.
+    Rem,
+    /// `neg`.
+    Neg,
+    /// `not`.
+    Not,
+    /// `cmp_lt`.
+    CmpLt,
+    /// `cmp_le`.
+    CmpLe,
+    /// `cmp_gt`.
+    CmpGt,
+    /// `cmp_ge`.
+    CmpGe,
+    /// `cmp_eq`.
+    CmpEq,
+    /// `cmp_ne`.
+    CmpNe,
+    /// `jump`.
+    Jump,
+    /// `jump_if_false`.
+    JumpIfFalse,
+    /// `jump_if_true`.
+    JumpIfTrue,
+    /// `new`.
+    New,
+    /// `getfield`.
+    GetField,
+    /// `putfield`.
+    PutField,
+    /// `newarray`.
+    NewArray,
+    /// `aload`.
+    ALoad,
+    /// `astore`.
+    AStore,
+    /// `arraylen`.
+    ArrayLen,
+    /// `call_static`.
+    CallStatic,
+    /// `call_virtual`.
+    CallVirtual,
+    /// `call_direct`.
+    CallDirect,
+    /// `ret`.
+    Ret,
+    /// `ret_val`.
+    RetVal,
+    /// `throw`.
+    Throw,
+    /// `checkcast`.
+    CheckCast,
+    /// `instanceof`.
+    InstanceOfOp,
+    /// `read_input`.
+    ReadInput,
+    /// `print`.
+    Print,
+    /// `prof_loop_entry`.
+    ProfLoopEntry,
+    /// `prof_loop_back`.
+    ProfLoopBack,
+    /// `prof_loop_exit`.
+    ProfLoopExit,
+}
+
+impl Opcode {
+    /// Number of opcodes (for dense counter tables).
+    pub const COUNT: usize = 43;
+
+    /// Every opcode, in [`Opcode::index`] order.
+    pub const ALL: &'static [Opcode; Opcode::COUNT] = &[
+        Opcode::ConstInt,
+        Opcode::ConstBool,
+        Opcode::ConstNull,
+        Opcode::LoadLocal,
+        Opcode::StoreLocal,
+        Opcode::Dup,
+        Opcode::Pop,
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Rem,
+        Opcode::Neg,
+        Opcode::Not,
+        Opcode::CmpLt,
+        Opcode::CmpLe,
+        Opcode::CmpGt,
+        Opcode::CmpGe,
+        Opcode::CmpEq,
+        Opcode::CmpNe,
+        Opcode::Jump,
+        Opcode::JumpIfFalse,
+        Opcode::JumpIfTrue,
+        Opcode::New,
+        Opcode::GetField,
+        Opcode::PutField,
+        Opcode::NewArray,
+        Opcode::ALoad,
+        Opcode::AStore,
+        Opcode::ArrayLen,
+        Opcode::CallStatic,
+        Opcode::CallVirtual,
+        Opcode::CallDirect,
+        Opcode::Ret,
+        Opcode::RetVal,
+        Opcode::Throw,
+        Opcode::CheckCast,
+        Opcode::InstanceOfOp,
+        Opcode::ReadInput,
+        Opcode::Print,
+        Opcode::ProfLoopEntry,
+        Opcode::ProfLoopBack,
+        Opcode::ProfLoopExit,
+    ];
+
+    /// Dense index of this opcode, in `0..Opcode::COUNT`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The opcode's stable, lower-snake-case name (matches the
+    /// disassembler's mnemonics).
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::ConstInt => "const_int",
+            Opcode::ConstBool => "const_bool",
+            Opcode::ConstNull => "const_null",
+            Opcode::LoadLocal => "load",
+            Opcode::StoreLocal => "store",
+            Opcode::Dup => "dup",
+            Opcode::Pop => "pop",
+            Opcode::Add => "add",
+            Opcode::Sub => "sub",
+            Opcode::Mul => "mul",
+            Opcode::Div => "div",
+            Opcode::Rem => "rem",
+            Opcode::Neg => "neg",
+            Opcode::Not => "not",
+            Opcode::CmpLt => "cmp_lt",
+            Opcode::CmpLe => "cmp_le",
+            Opcode::CmpGt => "cmp_gt",
+            Opcode::CmpGe => "cmp_ge",
+            Opcode::CmpEq => "cmp_eq",
+            Opcode::CmpNe => "cmp_ne",
+            Opcode::Jump => "jump",
+            Opcode::JumpIfFalse => "jump_if_false",
+            Opcode::JumpIfTrue => "jump_if_true",
+            Opcode::New => "new",
+            Opcode::GetField => "getfield",
+            Opcode::PutField => "putfield",
+            Opcode::NewArray => "newarray",
+            Opcode::ALoad => "aload",
+            Opcode::AStore => "astore",
+            Opcode::ArrayLen => "arraylen",
+            Opcode::CallStatic => "call_static",
+            Opcode::CallVirtual => "call_virtual",
+            Opcode::CallDirect => "call_direct",
+            Opcode::Ret => "ret",
+            Opcode::RetVal => "ret_val",
+            Opcode::Throw => "throw",
+            Opcode::CheckCast => "checkcast",
+            Opcode::InstanceOfOp => "instanceof",
+            Opcode::ReadInput => "read_input",
+            Opcode::Print => "print",
+            Opcode::ProfLoopEntry => "prof_loop_entry",
+            Opcode::ProfLoopBack => "prof_loop_back",
+            Opcode::ProfLoopExit => "prof_loop_exit",
+        }
+    }
 }
 
 impl Instr {
@@ -192,7 +513,12 @@ impl Instr {
     pub fn is_terminator(&self) -> bool {
         matches!(
             self,
-            Instr::Jump(_) | Instr::Ret | Instr::RetVal | Instr::Throw
+            Instr::Jump(_)
+                | Instr::Ret
+                | Instr::RetVal
+                | Instr::Throw
+                | Instr::FusedLoopBackJump(..)
+                | Instr::FusedIncJump(..)
         )
     }
 
@@ -200,7 +526,138 @@ impl Instr {
     pub fn targets(&self) -> Option<usize> {
         match self {
             Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) => Some(*t),
+            Instr::CmpJump(_, _, t) | Instr::LoadCmpJump(_, _, _, t) => Some(*t),
+            Instr::FusedLoopBackJump(_, t) => Some(*t),
+            Instr::FusedIncJump(_, _, t) | Instr::FusedLoadLoadCmpJump(_, _, _, _, t) => {
+                Some(*t as usize)
+            }
             _ => None,
+        }
+    }
+
+    /// The sequence of logical opcodes this instruction executes. Base
+    /// instructions expand to themselves (length 1); superinstructions
+    /// expand to the base sequence they were fused from. The interpreter
+    /// emits one [`crate::event::Event::Instruction`] per element and
+    /// counts each one toward the instruction total, which is what makes
+    /// fused and unfused execution observationally identical.
+    pub fn expansion(&self) -> &'static [Opcode] {
+        use Opcode as O;
+        match self {
+            Instr::ConstInt(_) => &[O::ConstInt],
+            Instr::ConstBool(_) => &[O::ConstBool],
+            Instr::ConstNull => &[O::ConstNull],
+            Instr::LoadLocal(_) => &[O::LoadLocal],
+            Instr::StoreLocal(_) => &[O::StoreLocal],
+            Instr::Dup => &[O::Dup],
+            Instr::Pop => &[O::Pop],
+            Instr::Add => &[O::Add],
+            Instr::Sub => &[O::Sub],
+            Instr::Mul => &[O::Mul],
+            Instr::Div => &[O::Div],
+            Instr::Rem => &[O::Rem],
+            Instr::Neg => &[O::Neg],
+            Instr::Not => &[O::Not],
+            Instr::CmpLt => &[O::CmpLt],
+            Instr::CmpLe => &[O::CmpLe],
+            Instr::CmpGt => &[O::CmpGt],
+            Instr::CmpGe => &[O::CmpGe],
+            Instr::CmpEq => &[O::CmpEq],
+            Instr::CmpNe => &[O::CmpNe],
+            Instr::Jump(_) => &[O::Jump],
+            Instr::JumpIfFalse(_) => &[O::JumpIfFalse],
+            Instr::JumpIfTrue(_) => &[O::JumpIfTrue],
+            Instr::New(_) => &[O::New],
+            Instr::GetField(_) => &[O::GetField],
+            Instr::PutField(_) => &[O::PutField],
+            Instr::NewArray(_) => &[O::NewArray],
+            Instr::ALoad => &[O::ALoad],
+            Instr::AStore => &[O::AStore],
+            Instr::ArrayLen => &[O::ArrayLen],
+            Instr::CallStatic(_) => &[O::CallStatic],
+            Instr::CallVirtual(_) => &[O::CallVirtual],
+            Instr::CallDirect(_) => &[O::CallDirect],
+            Instr::Ret => &[O::Ret],
+            Instr::RetVal => &[O::RetVal],
+            Instr::Throw => &[O::Throw],
+            Instr::CheckCast(_) => &[O::CheckCast],
+            Instr::InstanceOfOp(_) => &[O::InstanceOfOp],
+            Instr::ReadInput => &[O::ReadInput],
+            Instr::Print => &[O::Print],
+            Instr::ProfLoopEntry(_) => &[O::ProfLoopEntry],
+            Instr::ProfLoopBack(_) => &[O::ProfLoopBack],
+            Instr::ProfLoopExit(_) => &[O::ProfLoopExit],
+            Instr::FusedLoadLoad(..) => &[O::LoadLocal, O::LoadLocal],
+            Instr::FusedLoadConst(..) => &[O::LoadLocal, O::ConstInt],
+            Instr::FusedLoadGetField(..) => &[O::LoadLocal, O::GetField],
+            Instr::FusedLoadALoad(_) => &[O::LoadLocal, O::ALoad],
+            Instr::FusedGetFieldLen(_) => &[O::GetField, O::ArrayLen],
+            Instr::FusedLoadGetFieldLen(..) => &[O::LoadLocal, O::GetField, O::ArrayLen],
+            Instr::FusedConstAdd(_) => &[O::ConstInt, O::Add],
+            Instr::FusedLoopBackJump(..) => &[O::ProfLoopBack, O::Jump],
+            Instr::FusedLoadAStore(_) => &[O::LoadLocal, O::AStore],
+            Instr::FusedIncJump(..) => &[O::LoadLocal, O::ConstInt, O::Add, O::StoreLocal, O::Jump],
+            Instr::FusedLoadLoadGetFieldLen(..) => {
+                &[O::LoadLocal, O::LoadLocal, O::GetField, O::ArrayLen]
+            }
+            Instr::FusedLoadLoadPutField(..) => &[O::LoadLocal, O::LoadLocal, O::PutField],
+            Instr::FusedFieldAdd(..) => &[
+                O::LoadLocal,
+                O::LoadLocal,
+                O::GetField,
+                O::ConstInt,
+                O::Add,
+                O::PutField,
+            ],
+            Instr::FusedLoadCallDirect(..) => &[O::LoadLocal, O::CallDirect],
+            Instr::FusedLoadCallVirtual(..) => &[O::LoadLocal, O::CallVirtual],
+            Instr::FusedNewDup(_) => &[O::New, O::Dup],
+            Instr::FusedLoadGetFieldALoad(..) => {
+                &[O::LoadLocal, O::GetField, O::LoadLocal, O::ALoad]
+            }
+            Instr::FusedLoadLoadCmpJump(_, _, kind, jump_if, _) => match (kind, jump_if) {
+                (CmpKind::Lt, false) => &[O::LoadLocal, O::LoadLocal, O::CmpLt, O::JumpIfFalse],
+                (CmpKind::Lt, true) => &[O::LoadLocal, O::LoadLocal, O::CmpLt, O::JumpIfTrue],
+                (CmpKind::Le, false) => &[O::LoadLocal, O::LoadLocal, O::CmpLe, O::JumpIfFalse],
+                (CmpKind::Le, true) => &[O::LoadLocal, O::LoadLocal, O::CmpLe, O::JumpIfTrue],
+                (CmpKind::Gt, false) => &[O::LoadLocal, O::LoadLocal, O::CmpGt, O::JumpIfFalse],
+                (CmpKind::Gt, true) => &[O::LoadLocal, O::LoadLocal, O::CmpGt, O::JumpIfTrue],
+                (CmpKind::Ge, false) => &[O::LoadLocal, O::LoadLocal, O::CmpGe, O::JumpIfFalse],
+                (CmpKind::Ge, true) => &[O::LoadLocal, O::LoadLocal, O::CmpGe, O::JumpIfTrue],
+                (CmpKind::Eq, false) => &[O::LoadLocal, O::LoadLocal, O::CmpEq, O::JumpIfFalse],
+                (CmpKind::Eq, true) => &[O::LoadLocal, O::LoadLocal, O::CmpEq, O::JumpIfTrue],
+                (CmpKind::Ne, false) => &[O::LoadLocal, O::LoadLocal, O::CmpNe, O::JumpIfFalse],
+                (CmpKind::Ne, true) => &[O::LoadLocal, O::LoadLocal, O::CmpNe, O::JumpIfTrue],
+            },
+            Instr::IncLocal(..) => &[O::LoadLocal, O::ConstInt, O::Add, O::StoreLocal],
+            Instr::CmpJump(kind, jump_if, _) => match (kind, jump_if) {
+                (CmpKind::Lt, false) => &[O::CmpLt, O::JumpIfFalse],
+                (CmpKind::Lt, true) => &[O::CmpLt, O::JumpIfTrue],
+                (CmpKind::Le, false) => &[O::CmpLe, O::JumpIfFalse],
+                (CmpKind::Le, true) => &[O::CmpLe, O::JumpIfTrue],
+                (CmpKind::Gt, false) => &[O::CmpGt, O::JumpIfFalse],
+                (CmpKind::Gt, true) => &[O::CmpGt, O::JumpIfTrue],
+                (CmpKind::Ge, false) => &[O::CmpGe, O::JumpIfFalse],
+                (CmpKind::Ge, true) => &[O::CmpGe, O::JumpIfTrue],
+                (CmpKind::Eq, false) => &[O::CmpEq, O::JumpIfFalse],
+                (CmpKind::Eq, true) => &[O::CmpEq, O::JumpIfTrue],
+                (CmpKind::Ne, false) => &[O::CmpNe, O::JumpIfFalse],
+                (CmpKind::Ne, true) => &[O::CmpNe, O::JumpIfTrue],
+            },
+            Instr::LoadCmpJump(_, kind, jump_if, _) => match (kind, jump_if) {
+                (CmpKind::Lt, false) => &[O::LoadLocal, O::CmpLt, O::JumpIfFalse],
+                (CmpKind::Lt, true) => &[O::LoadLocal, O::CmpLt, O::JumpIfTrue],
+                (CmpKind::Le, false) => &[O::LoadLocal, O::CmpLe, O::JumpIfFalse],
+                (CmpKind::Le, true) => &[O::LoadLocal, O::CmpLe, O::JumpIfTrue],
+                (CmpKind::Gt, false) => &[O::LoadLocal, O::CmpGt, O::JumpIfFalse],
+                (CmpKind::Gt, true) => &[O::LoadLocal, O::CmpGt, O::JumpIfTrue],
+                (CmpKind::Ge, false) => &[O::LoadLocal, O::CmpGe, O::JumpIfFalse],
+                (CmpKind::Ge, true) => &[O::LoadLocal, O::CmpGe, O::JumpIfTrue],
+                (CmpKind::Eq, false) => &[O::LoadLocal, O::CmpEq, O::JumpIfFalse],
+                (CmpKind::Eq, true) => &[O::LoadLocal, O::CmpEq, O::JumpIfTrue],
+                (CmpKind::Ne, false) => &[O::LoadLocal, O::CmpNe, O::JumpIfFalse],
+                (CmpKind::Ne, true) => &[O::LoadLocal, O::CmpNe, O::JumpIfTrue],
+            },
         }
     }
 }
@@ -421,5 +878,183 @@ mod tests {
         assert!(!Instr::JumpIfFalse(3).is_terminator());
         assert_eq!(Instr::JumpIfTrue(9).targets(), Some(9));
         assert_eq!(Instr::Add.targets(), None);
+    }
+
+    #[test]
+    fn superinstruction_targets_and_terminators() {
+        let cj = Instr::CmpJump(CmpKind::Lt, false, 7);
+        let lcj = Instr::LoadCmpJump(2, CmpKind::Ge, true, 11);
+        assert_eq!(cj.targets(), Some(7));
+        assert_eq!(lcj.targets(), Some(11));
+        // Fused compare-and-branch still falls through: not a terminator.
+        assert!(!cj.is_terminator());
+        assert!(!lcj.is_terminator());
+        assert_eq!(Instr::IncLocal(1, 1).targets(), None);
+        // A fused back-edge jump is an unconditional transfer.
+        let lbj = Instr::FusedLoopBackJump(LoopId(2), 13);
+        assert_eq!(lbj.targets(), Some(13));
+        assert!(lbj.is_terminator());
+        // So is the fused increment-and-jump loop latch.
+        let ij = Instr::FusedIncJump(0, 1, 21);
+        assert_eq!(ij.targets(), Some(21));
+        assert!(ij.is_terminator());
+        // The two-load compare-and-branch falls through like any branch.
+        let llcj = Instr::FusedLoadLoadCmpJump(0, 1, CmpKind::Lt, false, 17);
+        assert_eq!(llcj.targets(), Some(17));
+        assert!(!llcj.is_terminator());
+        // Straight-line superinstructions neither branch nor terminate.
+        for instr in [
+            Instr::FusedLoadLoadGetFieldLen(0, 1, FieldId(0)),
+            Instr::FusedLoadLoadPutField(0, 1, FieldId(0)),
+            Instr::FusedFieldAdd(0, 1, FieldId(0), 1),
+            Instr::FusedLoadCallDirect(0, FuncId(0)),
+            Instr::FusedLoadCallVirtual(0, FuncId(0)),
+            Instr::FusedNewDup(ClassId(0)),
+            Instr::FusedLoadGetFieldALoad(0, FieldId(0), 1),
+        ] {
+            assert_eq!(instr.targets(), None, "{instr:?}");
+            assert!(!instr.is_terminator(), "{instr:?}");
+        }
+    }
+
+    #[test]
+    fn expansion_base_ops_are_singletons() {
+        assert_eq!(Instr::Add.expansion(), &[Opcode::Add]);
+        assert_eq!(Instr::LoadLocal(0).expansion(), &[Opcode::LoadLocal]);
+        assert_eq!(
+            Instr::ProfLoopBack(LoopId(0)).expansion(),
+            &[Opcode::ProfLoopBack]
+        );
+    }
+
+    #[test]
+    fn expansion_superinstructions_match_fused_sequences() {
+        use Opcode as O;
+        assert_eq!(
+            Instr::FusedLoadLoad(0, 1).expansion(),
+            &[O::LoadLocal, O::LoadLocal]
+        );
+        assert_eq!(
+            Instr::FusedLoadConst(0, 5).expansion(),
+            &[O::LoadLocal, O::ConstInt]
+        );
+        assert_eq!(
+            Instr::FusedLoadGetField(0, FieldId(0)).expansion(),
+            &[O::LoadLocal, O::GetField]
+        );
+        assert_eq!(
+            Instr::FusedLoadALoad(0).expansion(),
+            &[O::LoadLocal, O::ALoad]
+        );
+        assert_eq!(
+            Instr::IncLocal(3, 1).expansion(),
+            &[O::LoadLocal, O::ConstInt, O::Add, O::StoreLocal]
+        );
+        assert_eq!(
+            Instr::FusedGetFieldLen(FieldId(0)).expansion(),
+            &[O::GetField, O::ArrayLen]
+        );
+        assert_eq!(
+            Instr::FusedLoadGetFieldLen(1, FieldId(0)).expansion(),
+            &[O::LoadLocal, O::GetField, O::ArrayLen]
+        );
+        assert_eq!(Instr::FusedConstAdd(4).expansion(), &[O::ConstInt, O::Add]);
+        assert_eq!(
+            Instr::FusedLoopBackJump(LoopId(0), 2).expansion(),
+            &[O::ProfLoopBack, O::Jump]
+        );
+        assert_eq!(
+            Instr::CmpJump(CmpKind::Lt, false, 0).expansion(),
+            &[O::CmpLt, O::JumpIfFalse]
+        );
+        assert_eq!(
+            Instr::CmpJump(CmpKind::Ne, true, 0).expansion(),
+            &[O::CmpNe, O::JumpIfTrue]
+        );
+        assert_eq!(
+            Instr::LoadCmpJump(0, CmpKind::Ge, false, 0).expansion(),
+            &[O::LoadLocal, O::CmpGe, O::JumpIfFalse]
+        );
+        // Every expansion's opcodes agree with the fused kind.
+        for kind in [
+            CmpKind::Lt,
+            CmpKind::Le,
+            CmpKind::Gt,
+            CmpKind::Ge,
+            CmpKind::Eq,
+            CmpKind::Ne,
+        ] {
+            for jump_if in [false, true] {
+                let branch = if jump_if {
+                    O::JumpIfTrue
+                } else {
+                    O::JumpIfFalse
+                };
+                assert_eq!(
+                    Instr::CmpJump(kind, jump_if, 0).expansion(),
+                    &[kind.opcode(), branch]
+                );
+                assert_eq!(
+                    Instr::LoadCmpJump(0, kind, jump_if, 0).expansion(),
+                    &[O::LoadLocal, kind.opcode(), branch]
+                );
+                assert_eq!(
+                    Instr::FusedLoadLoadCmpJump(0, 1, kind, jump_if, 0).expansion(),
+                    &[O::LoadLocal, O::LoadLocal, kind.opcode(), branch]
+                );
+            }
+        }
+        assert_eq!(
+            Instr::FusedIncJump(0, 1, 0).expansion(),
+            &[O::LoadLocal, O::ConstInt, O::Add, O::StoreLocal, O::Jump]
+        );
+        assert_eq!(
+            Instr::FusedLoadLoadGetFieldLen(0, 1, FieldId(0)).expansion(),
+            &[O::LoadLocal, O::LoadLocal, O::GetField, O::ArrayLen]
+        );
+        assert_eq!(
+            Instr::FusedLoadLoadPutField(0, 1, FieldId(0)).expansion(),
+            &[O::LoadLocal, O::LoadLocal, O::PutField]
+        );
+        assert_eq!(
+            Instr::FusedFieldAdd(0, 1, FieldId(0), 2).expansion(),
+            &[
+                O::LoadLocal,
+                O::LoadLocal,
+                O::GetField,
+                O::ConstInt,
+                O::Add,
+                O::PutField
+            ]
+        );
+        assert_eq!(
+            Instr::FusedLoadCallDirect(0, FuncId(0)).expansion(),
+            &[O::LoadLocal, O::CallDirect]
+        );
+        assert_eq!(
+            Instr::FusedLoadCallVirtual(0, FuncId(0)).expansion(),
+            &[O::LoadLocal, O::CallVirtual]
+        );
+        assert_eq!(
+            Instr::FusedNewDup(ClassId(0)).expansion(),
+            &[O::New, O::Dup]
+        );
+        assert_eq!(
+            Instr::FusedLoadGetFieldALoad(0, FieldId(0), 1).expansion(),
+            &[O::LoadLocal, O::GetField, O::LoadLocal, O::ALoad]
+        );
+    }
+
+    #[test]
+    fn opcode_indices_are_dense_and_names_unique() {
+        let all = Opcode::ALL;
+        assert_eq!(all.len(), Opcode::COUNT);
+        for (i, op) in all.iter().enumerate() {
+            assert_eq!(op.index(), i);
+        }
+        let mut names: Vec<&str> = all.iter().map(|o| o.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Opcode::COUNT);
     }
 }

@@ -70,6 +70,11 @@ impl Cfg {
                 Instr::Jump(_)
                 | Instr::JumpIfFalse(_)
                 | Instr::JumpIfTrue(_)
+                | Instr::CmpJump(..)
+                | Instr::LoadCmpJump(..)
+                | Instr::FusedLoopBackJump(..)
+                | Instr::FusedIncJump(..)
+                | Instr::FusedLoadLoadCmpJump(..)
                 | Instr::Ret
                 | Instr::RetVal
                 | Instr::Throw => leader[i + 1] = true,
@@ -112,12 +117,28 @@ impl Cfg {
             let last = block.end - 1;
             let instr = code[last];
             match instr {
-                Instr::Jump(t) => {
+                Instr::Jump(t) | Instr::FusedLoopBackJump(_, t) => {
                     if t < n {
                         edges.push((b, block_of[t], EdgeKind::Normal));
                     }
                 }
-                Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) => {
+                Instr::FusedIncJump(_, _, t) => {
+                    if (t as usize) < n {
+                        edges.push((b, block_of[t as usize], EdgeKind::Normal));
+                    }
+                }
+                Instr::FusedLoadLoadCmpJump(_, _, _, _, t) => {
+                    if (t as usize) < n {
+                        edges.push((b, block_of[t as usize], EdgeKind::Normal));
+                    }
+                    if block.end < n {
+                        edges.push((b, block_of[block.end], EdgeKind::Normal));
+                    }
+                }
+                Instr::JumpIfFalse(t)
+                | Instr::JumpIfTrue(t)
+                | Instr::CmpJump(_, _, t)
+                | Instr::LoadCmpJump(_, _, _, t) => {
                     if t < n {
                         edges.push((b, block_of[t], EdgeKind::Normal));
                     }

@@ -212,6 +212,71 @@ fn render_instr(program: &CompiledProgram, instr: &Instr) -> String {
         Instr::ProfLoopEntry(l) => format!("prof_loop_entry {l}"),
         Instr::ProfLoopBack(l) => format!("prof_loop_back {l}"),
         Instr::ProfLoopExit(l) => format!("prof_loop_exit {l}"),
+        Instr::FusedLoadLoad(a, b) => format!("load2 {a} {b}"),
+        Instr::FusedLoadConst(s, k) => format!("load_const {s} {k}"),
+        Instr::FusedLoadGetField(s, f) => {
+            format!("load_getfield {s} {}", qualified_field(program, *f))
+        }
+        Instr::FusedLoadALoad(s) => format!("load_aload {s}"),
+        Instr::IncLocal(s, k) => format!("inc_local {s} {k}"),
+        Instr::CmpJump(kind, jump_if, t) => {
+            format!("{}_{} {t}", kind.opcode().name(), jump_sense(*jump_if))
+        }
+        Instr::LoadCmpJump(s, kind, jump_if, t) => {
+            format!(
+                "load_{}_{} {s} {t}",
+                kind.opcode().name(),
+                jump_sense(*jump_if)
+            )
+        }
+        Instr::FusedGetFieldLen(f) => format!("getfield_len {}", qualified_field(program, *f)),
+        Instr::FusedLoadGetFieldLen(s, f) => {
+            format!("load_getfield_len {s} {}", qualified_field(program, *f))
+        }
+        Instr::FusedConstAdd(k) => format!("const_add {k}"),
+        Instr::FusedLoopBackJump(l, t) => format!("loop_back_jump {l} {t}"),
+        Instr::FusedLoadAStore(s) => format!("load_astore {s}"),
+        Instr::FusedIncJump(s, k, t) => format!("inc_jump {s} {k} {t}"),
+        Instr::FusedLoadLoadGetFieldLen(a, b, f) => {
+            format!(
+                "load2_getfield_len {a} {b} {}",
+                qualified_field(program, *f)
+            )
+        }
+        Instr::FusedLoadLoadCmpJump(a, b, kind, jump_if, t) => {
+            format!(
+                "load2_{}_{} {a} {b} {t}",
+                kind.opcode().name(),
+                jump_sense(*jump_if)
+            )
+        }
+        Instr::FusedLoadLoadPutField(a, b, f) => {
+            format!("load2_putfield {a} {b} {}", qualified_field(program, *f))
+        }
+        Instr::FusedFieldAdd(a, b, f, k) => {
+            format!("field_add {a} {b} {} {k}", qualified_field(program, *f))
+        }
+        Instr::FusedLoadCallDirect(s, f) => {
+            format!("load_call_direct {s} {}", program.func(*f).name)
+        }
+        Instr::FusedLoadCallVirtual(s, f) => {
+            format!("load_call_virtual {s} {}", program.func(*f).name)
+        }
+        Instr::FusedNewDup(c) => format!("new_dup {}", program.class(*c).name),
+        Instr::FusedLoadGetFieldALoad(s, f, i) => {
+            format!(
+                "load_getfield_aload {s} {} {i}",
+                qualified_field(program, *f)
+            )
+        }
+    }
+}
+
+fn jump_sense(jump_if: bool) -> &'static str {
+    if jump_if {
+        "jump_if_true"
+    } else {
+        "jump_if_false"
     }
 }
 

@@ -31,7 +31,7 @@
 
 use std::fmt::Write as _;
 
-use crate::bytecode::{ClassId, CompiledProgram, ElemKind, FieldId, FuncId, LoopId};
+use crate::bytecode::{ClassId, CompiledProgram, ElemKind, FieldId, FuncId, LoopId, Opcode};
 use crate::heap::{ArrRef, Heap, ObjRef, Value};
 
 /// A single profiling event, as defined by the paper's §3 event taxonomy:
@@ -136,6 +136,11 @@ pub enum Event {
     Instruction {
         /// The function executing.
         func: FuncId,
+        /// The logical opcode dispatched. Superinstructions report one
+        /// event per constituent opcode (see
+        /// [`crate::bytecode::Instr::expansion`]), so this stream is
+        /// identical with peephole fusion on or off.
+        op: Opcode,
     },
 }
 
@@ -367,8 +372,8 @@ impl Event {
                 elem_kind_name(elem)
             ),
             Event::InputRead | Event::OutputWrite => self.name().to_string(),
-            Event::Instruction { func } => {
-                format!("{} {}", self.name(), program.func(func).name)
+            Event::Instruction { func, op } => {
+                format!("{} {} {}", self.name(), op.name(), program.func(func).name)
             }
         }
     }
@@ -439,7 +444,8 @@ impl Event {
                 let _ = write!(out, ", \"len\": {len}");
             }
             Event::InputRead | Event::OutputWrite => {}
-            Event::Instruction { func } => {
+            Event::Instruction { func, op } => {
+                str_field(&mut out, "op", op.name());
                 str_field(&mut out, "method", &program.func(func).name);
             }
         }

@@ -67,14 +67,27 @@ impl fmt::Display for Value {
     }
 }
 
-/// A heap-allocated object: its class plus one slot per field in the class
-/// layout.
-#[derive(Debug, Clone)]
+/// A heap-allocated object: its class plus the extent of its field slots
+/// in the heap's shared field arena.
+///
+/// Field values live in [`Heap`]'s arena rather than a per-object `Vec`,
+/// so allocating an object never touches the system allocator. Objects
+/// are never freed, so the extent stays valid for the heap's lifetime.
+#[derive(Debug, Clone, Copy)]
 pub struct Object {
     /// The exact runtime class.
     pub class: ClassId,
-    /// Field slots, ordered per [`crate::bytecode::ClassInfo::field_layout`].
-    pub fields: Vec<Value>,
+    /// First slot in the heap's field arena.
+    base: u32,
+    /// Number of field slots, per [`crate::bytecode::ClassInfo::field_layout`].
+    len: u32,
+}
+
+impl Object {
+    /// Number of field slots.
+    pub fn field_count(&self) -> usize {
+        self.len as usize
+    }
 }
 
 /// A heap-allocated array.
@@ -116,6 +129,8 @@ pub struct ArrayWrite {
 #[derive(Debug, Default, Clone)]
 pub struct Heap {
     objects: Vec<Object>,
+    /// Field slots of every object, contiguous per object (see [`Object`]).
+    field_arena: Vec<Value>,
     arrays: Vec<ArrayObj>,
     /// Mutation epoch: incremented on every allocation and every
     /// mutable access to an object or array.
@@ -183,16 +198,30 @@ impl Heap {
     }
 
     /// Allocates an object of `class` with `n_fields` null-initialized
-    /// slots. Prefer [`Heap::alloc_object_with`] when the field layout's
+    /// slots. Prefer [`Heap::alloc_object_from`] when the field layout's
     /// default values are known (int fields must start at `0`).
     pub fn alloc_object(&mut self, class: ClassId, n_fields: usize) -> ObjRef {
-        self.alloc_object_with(class, vec![Value::Null; n_fields])
+        self.alloc_object_from(class, std::iter::repeat_n(Value::Null, n_fields))
     }
 
     /// Allocates an object of `class` with the given initial field values.
     pub fn alloc_object_with(&mut self, class: ClassId, fields: Vec<Value>) -> ObjRef {
+        self.alloc_object_from(class, fields)
+    }
+
+    /// Allocates an object of `class`, filling its field slots from an
+    /// iterator of initial values. The values land directly in the field
+    /// arena; no intermediate allocation happens.
+    pub fn alloc_object_from(
+        &mut self,
+        class: ClassId,
+        fields: impl IntoIterator<Item = Value>,
+    ) -> ObjRef {
+        let base = self.field_arena.len() as u32;
+        self.field_arena.extend(fields);
+        let len = self.field_arena.len() as u32 - base;
         let r = ObjRef(self.objects.len() as u32);
-        self.objects.push(Object { class, fields });
+        self.objects.push(Object { class, base, len });
         let stamp = self.bump_epoch();
         self.obj_stamps.push(stamp);
         r
@@ -224,12 +253,25 @@ impl Heap {
         &self.objects[r.0 as usize]
     }
 
-    /// Mutable access to the object behind `r`. Counts as a mutation:
-    /// the epoch advances and the object is re-stamped.
-    pub fn object_mut(&mut self, r: ObjRef) -> &mut Object {
+    /// The field slots of object `r`.
+    pub fn fields(&self, r: ObjRef) -> &[Value] {
+        let o = &self.objects[r.0 as usize];
+        &self.field_arena[o.base as usize..(o.base + o.len) as usize]
+    }
+
+    /// Reads field slot `slot` of object `r`.
+    #[inline]
+    pub fn field(&self, r: ObjRef, slot: usize) -> Value {
+        self.fields(r)[slot]
+    }
+
+    /// Mutable access to the field slots of object `r`. Counts as a
+    /// mutation: the epoch advances and the object is re-stamped.
+    pub fn fields_mut(&mut self, r: ObjRef) -> &mut [Value] {
         let stamp = self.bump_epoch();
         self.obj_stamps[r.0 as usize] = stamp;
-        &mut self.objects[r.0 as usize]
+        let o = &self.objects[r.0 as usize];
+        &mut self.field_arena[o.base as usize..(o.base + o.len) as usize]
     }
 
     /// Writes field slot `slot` of object `r`, re-stamping the object
@@ -242,7 +284,10 @@ impl Heap {
     /// reference changes (or may change) the object's out-edges and
     /// re-stamps as [`Heap::object_mut`] does.
     pub fn set_field(&mut self, r: ObjRef, slot: usize, value: Value) {
-        let old = self.objects[r.0 as usize].fields[slot];
+        let o = &self.objects[r.0 as usize];
+        assert!((slot as u32) < o.len, "field slot out of range");
+        let pos = o.base as usize + slot;
+        let old = self.field_arena[pos];
         let shape_relevant = old != value
             && (matches!(old, Value::Obj(_) | Value::Arr(_))
                 || matches!(value, Value::Obj(_) | Value::Arr(_)));
@@ -250,7 +295,7 @@ impl Heap {
             let stamp = self.bump_epoch();
             self.obj_stamps[r.0 as usize] = stamp;
         }
-        self.objects[r.0 as usize].fields[slot] = value;
+        self.field_arena[pos] = value;
     }
 
     /// Returns the array behind `r`.
@@ -340,9 +385,10 @@ impl Heap {
                     }
                     t.objects.push(o);
                     // Follow recursive fields only (by layout slot).
+                    let fields = self.fields(o);
                     for (slot, &fid) in program.class(obj.class).field_layout.iter().enumerate() {
                         if program.field(fid).is_recursive {
-                            queue.push_back(obj.fields[slot]);
+                            queue.push_back(fields[slot]);
                         }
                     }
                 }
@@ -390,7 +436,7 @@ impl Traversal {
 /// Convenience: reads the field `fid` of `obj` given the program's layout.
 pub fn read_field(heap: &Heap, program: &CompiledProgram, obj: ObjRef, fid: FieldId) -> Value {
     let slot = program.field(fid).slot as usize;
-    heap.object(obj).fields[slot]
+    heap.field(obj, slot)
 }
 
 #[cfg(test)]
@@ -411,9 +457,9 @@ mod tests {
         let mut heap = Heap::new();
         let o = heap.alloc_object(ClassId(0), 2);
         let a = heap.alloc_array(ElemKind::Int, 3);
-        heap.object_mut(o).fields[1] = Value::Int(5);
+        heap.fields_mut(o)[1] = Value::Int(5);
         heap.array_mut(a).elems[2] = Value::Int(9);
-        assert_eq!(heap.object(o).fields[1], Value::Int(5));
+        assert_eq!(heap.field(o, 1), Value::Int(5));
         assert_eq!(
             heap.array(a).elems,
             vec![Value::Int(0), Value::Int(0), Value::Int(9)]
@@ -445,7 +491,7 @@ mod tests {
         let _ = heap.object_stamp(o);
         assert_eq!(heap.epoch(), quiet, "reads do not advance the epoch");
 
-        heap.object_mut(o).fields[0] = Value::Int(1);
+        heap.fields_mut(o)[0] = Value::Int(1);
         assert!(heap.epoch() > quiet);
         assert_eq!(heap.object_stamp(o), heap.epoch());
 
@@ -461,7 +507,7 @@ mod tests {
         let o1 = heap.alloc_object(ClassId(0), 1);
         let o2 = heap.alloc_object(ClassId(0), 1);
         let mark = heap.epoch();
-        heap.object_mut(o2).fields[0] = Value::Int(3);
+        heap.fields_mut(o2)[0] = Value::Int(3);
         assert!(!heap.modified_since(Value::Obj(o1), mark));
         assert!(heap.modified_since(Value::Obj(o2), mark));
         assert!(!heap.modified_since(Value::Int(5), mark));
@@ -529,7 +575,7 @@ mod tests {
         heap.set_field(o, 0, Value::Int(7));
         heap.set_field(o, 0, Value::Int(8));
         assert_eq!(heap.epoch(), mark, "int writes do not advance the epoch");
-        assert_eq!(heap.object(o).fields[0], Value::Int(8));
+        assert_eq!(heap.field(o, 0), Value::Int(8));
 
         // Installing a reference changes the out-edges.
         heap.set_field(o, 1, Value::Obj(peer));

@@ -15,7 +15,7 @@
 //!   event each, after the write is visible in the heap, carrying a
 //!   `tracked` flag (see [`Event`]).
 
-use crate::bytecode::{CompiledProgram, FuncId, Instr, LoopId};
+use crate::bytecode::{CmpKind, CompiledProgram, FuncId, Instr, LoopId, Opcode};
 use crate::error::RuntimeError;
 use crate::event::{Event, EventCx, EventSink};
 use crate::heap::{Heap, Value};
@@ -28,18 +28,34 @@ pub struct RunResult {
     pub return_value: Value,
     /// Values printed by the guest, in order.
     pub output: Vec<i64>,
-    /// Total bytecode instructions dispatched.
+    /// Total logical bytecode instructions executed. Superinstructions
+    /// count one per constituent opcode (see
+    /// [`Instr::expansion`](crate::bytecode::Instr::expansion)), so this
+    /// is identical with peephole fusion on or off.
     pub instructions: u64,
+    /// Dispatch-loop iterations. Equal to `instructions` on unfused
+    /// code; lower on fused code — the gap is exactly the dispatch
+    /// overhead the peephole pass ([`crate::fuse`]) removed.
+    pub dispatches: u64,
 }
 
-/// One activation record.
-#[derive(Debug)]
+/// One activation record. Frames are plain offsets into the shared
+/// value and active-loop stacks owned by [`Interp::run`]: locals live at
+/// `values[base..floor]`, the operand stack above `floor`, and the
+/// frame's instrumented-loop entries at `loops[loops_base..]`. Keeping
+/// frames flat (no per-frame `Vec`s) makes calls allocation-free —
+/// arguments are *already* in place as the callee's first locals when
+/// the call dispatches.
+#[derive(Debug, Clone, Copy)]
 struct Frame {
     func: FuncId,
     pc: usize,
-    locals: Vec<Value>,
-    stack: Vec<Value>,
-    active_loops: Vec<LoopId>,
+    /// First slot of this frame's locals in the shared value stack.
+    base: usize,
+    /// First operand slot (`base + n_locals`); pops never go below it.
+    floor: usize,
+    /// First entry of this frame's span in the shared active-loop stack.
+    loops_base: usize,
     tracked: bool,
 }
 
@@ -131,51 +147,62 @@ impl<'p> Interp<'p> {
     pub fn run<S: EventSink>(&mut self, sink: &mut S) -> Result<RunResult, RuntimeError> {
         let entry = self.program.entry;
         let mut frames: Vec<Frame> = Vec::new();
-        self.push_frame(&mut frames, entry, &[], sink)?;
+        let mut values: Vec<Value> = Vec::with_capacity(256);
+        let mut loops: Vec<LoopId> = Vec::new();
+        let cur = self.make_frame(0, entry, 0, 0, &mut values, sink)?;
 
-        let return_value = self.execute(&mut frames, sink)?;
+        let (return_value, dispatches) =
+            self.execute(cur, &mut frames, &mut values, &mut loops, sink)?;
         Ok(RunResult {
             return_value,
             output: std::mem::take(&mut self.output),
             instructions: self.instructions,
+            dispatches,
         })
     }
 
-    fn push_frame<S: EventSink>(
-        &mut self,
-        frames: &mut Vec<Frame>,
+    /// Builds an activation record for `func`, emitting its method-entry
+    /// event. `depth` is the total frame count the new frame would bring
+    /// the stack to, counting the currently executing frame. The call
+    /// arguments are the values at `base..` on the shared value stack;
+    /// they become the callee's first locals *in place* — no copy — and
+    /// the remaining local slots are null-padded.
+    #[inline]
+    fn make_frame<S: EventSink>(
+        &self,
+        depth: usize,
         func: FuncId,
-        args: &[Value],
+        base: usize,
+        loops_base: usize,
+        values: &mut Vec<Value>,
         sink: &mut S,
-    ) -> Result<(), RuntimeError> {
-        if frames.len() >= self.max_frames {
-            return Err(RuntimeError::StackOverflow {
-                depth: frames.len(),
-            });
+    ) -> Result<Frame, RuntimeError> {
+        if depth >= self.max_frames {
+            return Err(RuntimeError::StackOverflow { depth });
         }
         let f = self.program.func(func);
-        let mut locals = vec![Value::Null; f.n_locals as usize];
-        locals[..args.len()].copy_from_slice(args);
         let tracked = f.track_entry_exit;
-        frames.push(Frame {
-            func,
-            pc: 0,
-            locals,
-            stack: Vec::with_capacity(8),
-            active_loops: Vec::new(),
-            tracked,
-        });
         if tracked {
             self.emit(sink, Event::MethodEntry { func });
         }
-        Ok(())
+        let floor = base + f.n_locals as usize;
+        values.resize(floor, Value::Null);
+        Ok(Frame {
+            func,
+            pc: 0,
+            base,
+            floor,
+            loops_base,
+            tracked,
+        })
     }
 
-    /// Emits pending loop exits and the method-exit event for the top
-    /// frame, then pops it.
-    fn pop_frame<S: EventSink>(&mut self, frames: &mut Vec<Frame>, sink: &mut S) {
-        let frame = frames.pop().expect("pop_frame requires a frame");
-        for &l in frame.active_loops.iter().rev() {
+    /// Emits the pending loop exits and the method-exit event for a frame
+    /// being abandoned (return or unwind). The caller truncates the
+    /// shared loop stack to `frame.loops_base` afterwards.
+    #[inline]
+    fn exit_events<S: EventSink>(&self, frame: &Frame, loops: &[LoopId], sink: &mut S) {
+        for &l in loops[frame.loops_base..].iter().rev() {
             self.emit(sink, Event::LoopExit { l });
         }
         if frame.tracked {
@@ -183,148 +210,224 @@ impl<'p> Interp<'p> {
         }
     }
 
+    /// The dispatch loop. The currently executing frame is held **by
+    /// value** in `cur` — `frames` only holds suspended callers — so every
+    /// stack/local access is a direct indexed load into the shared value
+    /// stack instead of a `frames.last_mut()` round-trip, and the
+    /// containing function's code and line tables are cached across
+    /// iterations (refreshed only on call, return, and unwind). Locals
+    /// and operands share one contiguous `Vec<Value>`, so a call is just
+    /// a frame push: the arguments the caller evaluated are already the
+    /// callee's first locals. Match arms are ordered by measured
+    /// opcode heat from `algoprof opstats` over the listings/table1
+    /// corpus: local/constant traffic and fused compare-and-branch first,
+    /// calls and exceptional control flow last.
     fn execute<S: EventSink>(
         &mut self,
+        mut cur: Frame,
         frames: &mut Vec<Frame>,
+        values: &mut Vec<Value>,
+        loops: &mut Vec<LoopId>,
         sink: &mut S,
-    ) -> Result<Value, RuntimeError> {
-        macro_rules! top {
-            () => {
-                frames.last_mut().expect("there is a current frame")
-            };
-        }
+    ) -> Result<(Value, u64), RuntimeError> {
+        let program = self.program;
+        let mut func = program.func(cur.func);
+        let mut dispatches: u64 = 0;
+        let fuel_limit = self.fuel.unwrap_or(u64::MAX);
+        // The logical instruction counter lives in a register for the
+        // whole loop and is flushed to `self.instructions` on successful
+        // completion only — error paths leave sink and counter state
+        // partial (the `run` contract says to discard them).
+        let mut instructions = self.instructions;
 
         loop {
-            if let Some(fuel) = self.fuel {
-                if self.instructions >= fuel {
-                    return Err(RuntimeError::OutOfFuel);
-                }
-            }
-
-            let func_id = top!().func;
-            let func = self.program.func(func_id);
-            let pc = top!().pc;
-            if pc >= func.code.len() {
+            let pc = cur.pc;
+            let Some(&instr) = func.code.get(pc) else {
                 return Err(RuntimeError::Internal(format!(
                     "pc {pc} ran past the end of {}",
                     func.name
                 )));
+            };
+            let ops = instr.expansion();
+            instructions += ops.len() as u64;
+            if instructions > fuel_limit {
+                return Err(RuntimeError::OutOfFuel);
             }
-            let instr = func.code[pc];
-            let line = func.lines[pc];
-            self.instructions += 1;
-            self.emit(sink, Event::Instruction { func: func_id });
-            top!().pc = pc + 1;
+            dispatches += 1;
+            if let Instr::FusedLoopBackJump(l, _) = instr {
+                // The back-edge event falls *between* this
+                // superinstruction's two instruction events, exactly as
+                // unfused execution interleaves them.
+                let f = cur.func;
+                self.emit(
+                    sink,
+                    Event::Instruction {
+                        func: f,
+                        op: Opcode::ProfLoopBack,
+                    },
+                );
+                self.emit(sink, Event::LoopBackEdge { l });
+                self.emit(
+                    sink,
+                    Event::Instruction {
+                        func: f,
+                        op: Opcode::Jump,
+                    },
+                );
+            } else if !matches!(instr, Instr::FusedNewDup(_)) {
+                // `FusedNewDup` emits its own events in its arm: the
+                // allocation event falls between its two instruction
+                // events, as in unfused execution.
+                for &op in ops {
+                    self.emit(sink, Event::Instruction { func: cur.func, op });
+                }
+            }
+            cur.pc = pc + 1;
 
             match instr {
-                Instr::ConstInt(v) => top!().stack.push(Value::Int(v)),
-                Instr::ConstBool(v) => top!().stack.push(Value::Bool(v)),
-                Instr::ConstNull => top!().stack.push(Value::Null),
                 Instr::LoadLocal(slot) => {
-                    let v = top!().locals[slot as usize];
-                    top!().stack.push(v);
+                    let v = values[cur.base + slot as usize];
+                    values.push(v);
                 }
-                Instr::StoreLocal(slot) => {
-                    let v = pop(top!())?;
-                    top!().locals[slot as usize] = v;
+                Instr::FusedLoadLoad(a, b) => {
+                    let va = values[cur.base + a as usize];
+                    let vb = values[cur.base + b as usize];
+                    values.push(va);
+                    values.push(vb);
                 }
-                Instr::Dup => {
-                    let v = *top!()
-                        .stack
-                        .last()
-                        .ok_or_else(|| RuntimeError::Internal("dup on empty stack".into()))?;
-                    top!().stack.push(v);
+                Instr::FusedLoadConst(slot, k) => {
+                    let v = values[cur.base + slot as usize];
+                    values.push(v);
+                    values.push(Value::Int(k));
                 }
-                Instr::Pop => {
-                    pop(top!())?;
-                }
-                Instr::Add | Instr::Sub | Instr::Mul => {
-                    let b = pop_int(top!())?;
-                    let a = pop_int(top!())?;
-                    let r = match instr {
-                        Instr::Add => a.wrapping_add(b),
-                        Instr::Sub => a.wrapping_sub(b),
-                        _ => a.wrapping_mul(b),
+                Instr::LoadCmpJump(slot, kind, jump_if, t) => {
+                    // Mirrors `LoadLocal slot; Cmp<kind>; JumpIf<jump_if>`:
+                    // the local is the *right* operand (`b`), the stack top
+                    // the left (`a`), and `b`'s type is checked first —
+                    // exactly the pop order of the unfused comparison.
+                    let bv = values[cur.base + slot as usize];
+                    let r = match kind {
+                        CmpKind::Lt | CmpKind::Le | CmpKind::Gt | CmpKind::Ge => {
+                            let b = match bv {
+                                Value::Int(v) => v,
+                                other => {
+                                    return Err(RuntimeError::Internal(format!(
+                                        "expected int, got {other}"
+                                    )))
+                                }
+                            };
+                            let a = pop_int(values, cur.floor)?;
+                            match kind {
+                                CmpKind::Lt => a < b,
+                                CmpKind::Le => a <= b,
+                                CmpKind::Gt => a > b,
+                                _ => a >= b,
+                            }
+                        }
+                        CmpKind::Eq | CmpKind::Ne => {
+                            let a = pop(values, cur.floor)?;
+                            (a == bv) == matches!(kind, CmpKind::Eq)
+                        }
                     };
-                    top!().stack.push(Value::Int(r));
-                }
-                Instr::Div | Instr::Rem => {
-                    let b = pop_int(top!())?;
-                    let a = pop_int(top!())?;
-                    if b == 0 {
-                        return Err(RuntimeError::DivisionByZero { line });
-                    }
-                    let r = if matches!(instr, Instr::Div) {
-                        a.wrapping_div(b)
-                    } else {
-                        a.wrapping_rem(b)
-                    };
-                    top!().stack.push(Value::Int(r));
-                }
-                Instr::Neg => {
-                    let a = pop_int(top!())?;
-                    top!().stack.push(Value::Int(a.wrapping_neg()));
-                }
-                Instr::Not => {
-                    let a = pop_bool(top!())?;
-                    top!().stack.push(Value::Bool(!a));
-                }
-                Instr::CmpLt | Instr::CmpLe | Instr::CmpGt | Instr::CmpGe => {
-                    let b = pop_int(top!())?;
-                    let a = pop_int(top!())?;
-                    let r = match instr {
-                        Instr::CmpLt => a < b,
-                        Instr::CmpLe => a <= b,
-                        Instr::CmpGt => a > b,
-                        _ => a >= b,
-                    };
-                    top!().stack.push(Value::Bool(r));
-                }
-                Instr::CmpEq | Instr::CmpNe => {
-                    let b = pop(top!())?;
-                    let a = pop(top!())?;
-                    let eq = a == b;
-                    top!()
-                        .stack
-                        .push(Value::Bool(if matches!(instr, Instr::CmpEq) {
-                            eq
-                        } else {
-                            !eq
-                        }));
-                }
-                Instr::Jump(t) => top!().pc = t,
-                Instr::JumpIfFalse(t) => {
-                    if !pop_bool(top!())? {
-                        top!().pc = t;
+                    if r == jump_if {
+                        cur.pc = t;
                     }
                 }
-                Instr::JumpIfTrue(t) => {
-                    if pop_bool(top!())? {
-                        top!().pc = t;
+                Instr::CmpJump(kind, jump_if, t) => {
+                    let r = match kind {
+                        CmpKind::Lt | CmpKind::Le | CmpKind::Gt | CmpKind::Ge => {
+                            let b = pop_int(values, cur.floor)?;
+                            let a = pop_int(values, cur.floor)?;
+                            match kind {
+                                CmpKind::Lt => a < b,
+                                CmpKind::Le => a <= b,
+                                CmpKind::Gt => a > b,
+                                _ => a >= b,
+                            }
+                        }
+                        CmpKind::Eq | CmpKind::Ne => {
+                            let b = pop(values, cur.floor)?;
+                            let a = pop(values, cur.floor)?;
+                            (a == b) == matches!(kind, CmpKind::Eq)
+                        }
+                    };
+                    if r == jump_if {
+                        cur.pc = t;
                     }
                 }
-                Instr::New(cid) => {
-                    let fields = self
-                        .program
-                        .class(cid)
-                        .field_layout
-                        .iter()
-                        .map(|&fid| default_field_value(&self.program.field(fid).ty))
-                        .collect();
-                    let obj = self.heap.alloc_object_with(cid, fields);
-                    top!().stack.push(Value::Obj(obj));
-                    self.emit(
-                        sink,
-                        Event::ObjectAlloc {
-                            obj,
-                            class: cid,
-                            tracked: self.program.class(cid).track_alloc,
-                        },
-                    );
+                Instr::IncLocal(slot, k) => {
+                    // `Load; ConstInt; Add; StoreLocal` on one slot. The
+                    // constant is always an int, so the unfused `Add` would
+                    // type-check the loaded local second.
+                    let v = match values[cur.base + slot as usize] {
+                        Value::Int(v) => v,
+                        other => {
+                            return Err(RuntimeError::Internal(format!(
+                                "expected int, got {other}"
+                            )))
+                        }
+                    };
+                    values[cur.base + slot as usize] = Value::Int(v.wrapping_add(k));
                 }
-                Instr::GetField(fid) => {
-                    let obj = pop(top!())?;
-                    let o = match obj {
+                Instr::FusedIncJump(slot, k, t) => {
+                    // `IncLocal` plus the unconditional jump a loop body
+                    // ends with when the back-edge block is laid out
+                    // elsewhere.
+                    let v = match values[cur.base + slot as usize] {
+                        Value::Int(v) => v,
+                        other => {
+                            return Err(RuntimeError::Internal(format!(
+                                "expected int, got {other}"
+                            )))
+                        }
+                    };
+                    values[cur.base + slot as usize] = Value::Int(v.wrapping_add(k as i64));
+                    cur.pc = t as usize;
+                }
+                Instr::FusedLoadLoadCmpJump(a, b, kind, jump_if, t) => {
+                    // Both comparison operands come from locals; the
+                    // unfused `Cmp` pops (and type-checks) the right
+                    // operand `b` first.
+                    let bv = values[cur.base + b as usize];
+                    let av = values[cur.base + a as usize];
+                    let r = match kind {
+                        CmpKind::Lt | CmpKind::Le | CmpKind::Gt | CmpKind::Ge => {
+                            let bi = match bv {
+                                Value::Int(v) => v,
+                                other => {
+                                    return Err(RuntimeError::Internal(format!(
+                                        "expected int, got {other}"
+                                    )))
+                                }
+                            };
+                            let ai = match av {
+                                Value::Int(v) => v,
+                                other => {
+                                    return Err(RuntimeError::Internal(format!(
+                                        "expected int, got {other}"
+                                    )))
+                                }
+                            };
+                            match kind {
+                                CmpKind::Lt => ai < bi,
+                                CmpKind::Le => ai <= bi,
+                                CmpKind::Gt => ai > bi,
+                                _ => ai >= bi,
+                            }
+                        }
+                        CmpKind::Eq | CmpKind::Ne => (av == bv) == matches!(kind, CmpKind::Eq),
+                    };
+                    if r == jump_if {
+                        cur.pc = t as usize;
+                    }
+                }
+                Instr::FusedLoadLoadGetFieldLen(s1, s2, fid) => {
+                    // `LoadLocal s1; LoadLocal s2; GetField; ArrayLen`:
+                    // s1's value stays on the stack under the length.
+                    // Fused only for untracked fields on one source line.
+                    let line = func.lines[pc];
+                    let first = values[cur.base + s1 as usize];
+                    let o = match values[cur.base + s2 as usize] {
                         Value::Obj(o) => o,
                         Value::Null => return Err(RuntimeError::NullDeref { line }),
                         other => {
@@ -333,16 +436,19 @@ impl<'p> Interp<'p> {
                             )))
                         }
                     };
-                    let slot = self.program.field(fid).slot as usize;
-                    let v = self.heap.object(o).fields[slot];
-                    top!().stack.push(v);
-                    if self.program.field(fid).track_access {
-                        self.emit(sink, Event::FieldRead { obj, field: fid });
-                    }
+                    let fslot = program.field(fid).slot as usize;
+                    let v = self.heap.field(o, fslot);
+                    let a = as_array(v, line)?;
+                    let len = self.heap.array(a).elems.len();
+                    values.push(first);
+                    values.push(Value::Int(len as i64));
                 }
-                Instr::PutField(fid) => {
-                    let value = pop(top!())?;
-                    let obj = pop(top!())?;
+                Instr::FusedLoadLoadPutField(s1, s2, fid) => {
+                    // `obj.field = local`: s1 is the object, s2 the value.
+                    // The write event comes from the final `PutField`.
+                    let line = func.lines[pc];
+                    let value = values[cur.base + s2 as usize];
+                    let obj = values[cur.base + s1 as usize];
                     let o = match obj {
                         Value::Obj(o) => o,
                         Value::Null => return Err(RuntimeError::NullDeref { line }),
@@ -352,37 +458,84 @@ impl<'p> Interp<'p> {
                             )))
                         }
                     };
-                    let slot = self.program.field(fid).slot as usize;
-                    self.heap.set_field(o, slot, value);
+                    let fslot = program.field(fid).slot as usize;
+                    self.heap.set_field(o, fslot, value);
                     self.emit(
                         sink,
                         Event::FieldWrite {
                             obj: o,
                             field: fid,
                             value,
-                            tracked: self.program.field(fid).track_access,
+                            tracked: program.field(fid).track_access,
                         },
                     );
                 }
-                Instr::NewArray(elem) => {
-                    let len = pop_int(top!())?;
-                    if len < 0 {
-                        return Err(RuntimeError::NegativeArrayLength { len, line });
-                    }
-                    let arr = self.heap.alloc_array(elem, len as usize);
-                    top!().stack.push(Value::Arr(arr));
+                Instr::FusedFieldAdd(s1, s2, fid, k) => {
+                    // `s1.f = s2.f + k` with no stack traffic at all.
+                    // Fused only for untracked fields on one source line;
+                    // faults keep the unfused order (read-side null check
+                    // before write-side).
+                    let line = func.lines[pc];
+                    let o2 = match values[cur.base + s2 as usize] {
+                        Value::Obj(o) => o,
+                        Value::Null => return Err(RuntimeError::NullDeref { line }),
+                        other => {
+                            return Err(RuntimeError::Internal(format!(
+                                "getfield on non-object {other}"
+                            )))
+                        }
+                    };
+                    let fslot = program.field(fid).slot as usize;
+                    let a = match self.heap.field(o2, fslot) {
+                        Value::Int(v) => v,
+                        other => {
+                            return Err(RuntimeError::Internal(format!(
+                                "expected int, got {other}"
+                            )))
+                        }
+                    };
+                    let sum = Value::Int(a.wrapping_add(k as i64));
+                    let o1 = match values[cur.base + s1 as usize] {
+                        Value::Obj(o) => o,
+                        Value::Null => return Err(RuntimeError::NullDeref { line }),
+                        other => {
+                            return Err(RuntimeError::Internal(format!(
+                                "putfield on non-object {other}"
+                            )))
+                        }
+                    };
+                    self.heap.set_field(o1, fslot, sum);
                     self.emit(
                         sink,
-                        Event::ArrayAlloc {
-                            arr,
-                            elem,
-                            len: len as usize,
+                        Event::FieldWrite {
+                            obj: o1,
+                            field: fid,
+                            value: sum,
+                            tracked: program.field(fid).track_access,
                         },
                     );
                 }
-                Instr::ALoad => {
-                    let idx = pop_int(top!())?;
-                    let arr = pop(top!())?;
+                Instr::FusedLoadGetFieldALoad(s1, fid, s2) => {
+                    // `obj.field[idx]` with obj and idx from locals.
+                    // Fused only for untracked fields on one source line;
+                    // fault order mirrors the unfused sequence (field
+                    // null check, index type check, array checks).
+                    let line = func.lines[pc];
+                    let o = match values[cur.base + s1 as usize] {
+                        Value::Obj(o) => o,
+                        Value::Null => return Err(RuntimeError::NullDeref { line }),
+                        other => {
+                            return Err(RuntimeError::Internal(format!(
+                                "getfield on non-object {other}"
+                            )))
+                        }
+                    };
+                    let fslot = program.field(fid).slot as usize;
+                    let arr = self.heap.field(o, fslot);
+                    let idx = match values[cur.base + s2 as usize] {
+                        Value::Int(v) => v,
+                        other => return Err(expected_int_err(other)),
+                    };
                     let a = as_array(arr, line)?;
                     let len = self.heap.array(a).elems.len();
                     if idx < 0 || idx as usize >= len {
@@ -393,15 +546,153 @@ impl<'p> Interp<'p> {
                         });
                     }
                     let v = self.heap.array(a).elems[idx as usize];
-                    top!().stack.push(v);
-                    if self.program.track_arrays {
+                    values.push(v);
+                    if program.track_arrays {
                         self.emit(sink, Event::ArrayRead { arr });
                     }
                 }
-                Instr::AStore => {
-                    let value = pop(top!())?;
-                    let idx = pop_int(top!())?;
-                    let arr = pop(top!())?;
+                Instr::FusedNewDup(cid) => {
+                    // Events are emitted here, not in the prelude: the
+                    // allocation event falls between the two instruction
+                    // events exactly as unfused execution interleaves
+                    // them.
+                    let f = cur.func;
+                    self.emit(
+                        sink,
+                        Event::Instruction {
+                            func: f,
+                            op: Opcode::New,
+                        },
+                    );
+                    let obj = self.heap.alloc_object_from(
+                        cid,
+                        program
+                            .class(cid)
+                            .field_layout
+                            .iter()
+                            .map(|&fid| default_field_value(&program.field(fid).ty)),
+                    );
+                    self.emit(
+                        sink,
+                        Event::ObjectAlloc {
+                            obj,
+                            class: cid,
+                            tracked: program.class(cid).track_alloc,
+                        },
+                    );
+                    self.emit(
+                        sink,
+                        Event::Instruction {
+                            func: f,
+                            op: Opcode::Dup,
+                        },
+                    );
+                    values.push(Value::Obj(obj));
+                    values.push(Value::Obj(obj));
+                }
+                Instr::ConstInt(v) => values.push(Value::Int(v)),
+                Instr::StoreLocal(slot) => {
+                    let v = pop(values, cur.floor)?;
+                    values[cur.base + slot as usize] = v;
+                }
+                Instr::Add | Instr::Sub | Instr::Mul => {
+                    let b = pop_int(values, cur.floor)?;
+                    let a = pop_int(values, cur.floor)?;
+                    let r = match instr {
+                        Instr::Add => a.wrapping_add(b),
+                        Instr::Sub => a.wrapping_sub(b),
+                        _ => a.wrapping_mul(b),
+                    };
+                    values.push(Value::Int(r));
+                }
+                Instr::CmpLt | Instr::CmpLe | Instr::CmpGt | Instr::CmpGe => {
+                    let b = pop_int(values, cur.floor)?;
+                    let a = pop_int(values, cur.floor)?;
+                    let r = match instr {
+                        Instr::CmpLt => a < b,
+                        Instr::CmpLe => a <= b,
+                        Instr::CmpGt => a > b,
+                        _ => a >= b,
+                    };
+                    values.push(Value::Bool(r));
+                }
+                Instr::CmpEq | Instr::CmpNe => {
+                    let b = pop(values, cur.floor)?;
+                    let a = pop(values, cur.floor)?;
+                    let eq = a == b;
+                    values.push(Value::Bool(if matches!(instr, Instr::CmpEq) {
+                        eq
+                    } else {
+                        !eq
+                    }));
+                }
+                Instr::Jump(t) => cur.pc = t,
+                Instr::JumpIfFalse(t) => {
+                    if !pop_bool(values, cur.floor)? {
+                        cur.pc = t;
+                    }
+                }
+                Instr::JumpIfTrue(t) => {
+                    if pop_bool(values, cur.floor)? {
+                        cur.pc = t;
+                    }
+                }
+                Instr::FusedLoadALoad(slot) => {
+                    // `LoadLocal slot; ALoad`: the slot holds the index,
+                    // the array is on the stack. The unfused `ALoad` pops
+                    // (and type-checks) the index before the array.
+                    let line = func.lines[pc];
+                    let idx = match values[cur.base + slot as usize] {
+                        Value::Int(v) => v,
+                        other => {
+                            return Err(RuntimeError::Internal(format!(
+                                "expected int, got {other}"
+                            )))
+                        }
+                    };
+                    let arr = pop(values, cur.floor)?;
+                    let a = as_array(arr, line)?;
+                    let len = self.heap.array(a).elems.len();
+                    if idx < 0 || idx as usize >= len {
+                        return Err(RuntimeError::IndexOutOfBounds {
+                            index: idx,
+                            len,
+                            line,
+                        });
+                    }
+                    let v = self.heap.array(a).elems[idx as usize];
+                    values.push(v);
+                    if program.track_arrays {
+                        self.emit(sink, Event::ArrayRead { arr });
+                    }
+                }
+                Instr::ALoad => {
+                    let line = func.lines[pc];
+                    let idx = pop_int(values, cur.floor)?;
+                    let arr = pop(values, cur.floor)?;
+                    let a = as_array(arr, line)?;
+                    let len = self.heap.array(a).elems.len();
+                    if idx < 0 || idx as usize >= len {
+                        return Err(RuntimeError::IndexOutOfBounds {
+                            index: idx,
+                            len,
+                            line,
+                        });
+                    }
+                    let v = self.heap.array(a).elems[idx as usize];
+                    values.push(v);
+                    if program.track_arrays {
+                        self.emit(sink, Event::ArrayRead { arr });
+                    }
+                }
+                Instr::FusedLoadAStore(slot) => {
+                    // `LoadLocal slot; AStore`: the slot holds the value,
+                    // index and array are on the stack. Unfused `AStore`
+                    // pops value, then index, then array.
+                    let line = func.lines[pc];
+                    let value = values[cur.base + slot as usize];
+                    let idx = pop_int(values, cur.floor)?;
+                    let arr = pop(values, cur.floor)?;
                     let a = as_array(arr, line)?;
                     let len = self.heap.array(a).elems.len();
                     if idx < 0 || idx as usize >= len {
@@ -418,27 +709,267 @@ impl<'p> Interp<'p> {
                             arr: a,
                             index: idx as usize,
                             value,
-                            tracked: self.program.track_arrays,
+                            tracked: program.track_arrays,
                         },
                     );
                 }
-                Instr::ArrayLen => {
-                    let arr = pop(top!())?;
+                Instr::AStore => {
+                    let line = func.lines[pc];
+                    let value = pop(values, cur.floor)?;
+                    let idx = pop_int(values, cur.floor)?;
+                    let arr = pop(values, cur.floor)?;
                     let a = as_array(arr, line)?;
                     let len = self.heap.array(a).elems.len();
-                    top!().stack.push(Value::Int(len as i64));
+                    if idx < 0 || idx as usize >= len {
+                        return Err(RuntimeError::IndexOutOfBounds {
+                            index: idx,
+                            len,
+                            line,
+                        });
+                    }
+                    self.heap.set_elem(a, idx as usize, value);
+                    self.emit(
+                        sink,
+                        Event::ArrayWrite {
+                            arr: a,
+                            index: idx as usize,
+                            value,
+                            tracked: program.track_arrays,
+                        },
+                    );
                 }
-                Instr::CallStatic(m) | Instr::CallDirect(m) => {
-                    let n_args = self.program.func(m).n_params as usize;
-                    let args = split_args(top!(), n_args)?;
-                    self.push_frame(frames, m, &args, sink)?;
+                Instr::FusedLoadGetField(slot, fid) => {
+                    // `LoadLocal slot; GetField fid` — the common
+                    // `this.field` / `local.field` read.
+                    let line = func.lines[pc];
+                    let obj = values[cur.base + slot as usize];
+                    let o = match obj {
+                        Value::Obj(o) => o,
+                        Value::Null => return Err(RuntimeError::NullDeref { line }),
+                        other => {
+                            return Err(RuntimeError::Internal(format!(
+                                "getfield on non-object {other}"
+                            )))
+                        }
+                    };
+                    let fslot = program.field(fid).slot as usize;
+                    let v = self.heap.field(o, fslot);
+                    values.push(v);
+                    if program.field(fid).track_access {
+                        self.emit(sink, Event::FieldRead { obj, field: fid });
+                    }
                 }
-                Instr::CallVirtual(m) => {
-                    let decl = self.program.func(m);
+                Instr::FusedGetFieldLen(fid) => {
+                    // `GetField fid; ArrayLen` — the `this.array.length`
+                    // idiom. Only fused for untracked fields (no FieldRead
+                    // event can fall mid-window) on a single source line.
+                    let line = func.lines[pc];
+                    let obj = pop(values, cur.floor)?;
+                    let o = match obj {
+                        Value::Obj(o) => o,
+                        Value::Null => return Err(RuntimeError::NullDeref { line }),
+                        other => {
+                            return Err(RuntimeError::Internal(format!(
+                                "getfield on non-object {other}"
+                            )))
+                        }
+                    };
+                    let fslot = program.field(fid).slot as usize;
+                    let v = self.heap.field(o, fslot);
+                    let a = as_array(v, line)?;
+                    let len = self.heap.array(a).elems.len();
+                    values.push(Value::Int(len as i64));
+                }
+                Instr::FusedLoadGetFieldLen(slot, fid) => {
+                    // `LoadLocal slot; GetField fid; ArrayLen` — same as
+                    // above with the receiver read straight from a local.
+                    let line = func.lines[pc];
+                    let obj = values[cur.base + slot as usize];
+                    let o = match obj {
+                        Value::Obj(o) => o,
+                        Value::Null => return Err(RuntimeError::NullDeref { line }),
+                        other => {
+                            return Err(RuntimeError::Internal(format!(
+                                "getfield on non-object {other}"
+                            )))
+                        }
+                    };
+                    let fslot = program.field(fid).slot as usize;
+                    let v = self.heap.field(o, fslot);
+                    let a = as_array(v, line)?;
+                    let len = self.heap.array(a).elems.len();
+                    values.push(Value::Int(len as i64));
+                }
+                Instr::FusedConstAdd(k) => {
+                    // `ConstInt k; Add` — add-immediate on the stack top.
+                    let a = pop_int(values, cur.floor)?;
+                    values.push(Value::Int(a.wrapping_add(k)));
+                }
+                Instr::FusedLoopBackJump(_, t) => {
+                    // Events (including the interleaved back edge) were
+                    // emitted above; all that is left is the transfer.
+                    cur.pc = t;
+                }
+                Instr::GetField(fid) => {
+                    let line = func.lines[pc];
+                    let obj = pop(values, cur.floor)?;
+                    let o = match obj {
+                        Value::Obj(o) => o,
+                        Value::Null => return Err(RuntimeError::NullDeref { line }),
+                        other => {
+                            return Err(RuntimeError::Internal(format!(
+                                "getfield on non-object {other}"
+                            )))
+                        }
+                    };
+                    let slot = program.field(fid).slot as usize;
+                    let v = self.heap.field(o, slot);
+                    values.push(v);
+                    if program.field(fid).track_access {
+                        self.emit(sink, Event::FieldRead { obj, field: fid });
+                    }
+                }
+                Instr::PutField(fid) => {
+                    let line = func.lines[pc];
+                    let value = pop(values, cur.floor)?;
+                    let obj = pop(values, cur.floor)?;
+                    let o = match obj {
+                        Value::Obj(o) => o,
+                        Value::Null => return Err(RuntimeError::NullDeref { line }),
+                        other => {
+                            return Err(RuntimeError::Internal(format!(
+                                "putfield on non-object {other}"
+                            )))
+                        }
+                    };
+                    let slot = program.field(fid).slot as usize;
+                    self.heap.set_field(o, slot, value);
+                    self.emit(
+                        sink,
+                        Event::FieldWrite {
+                            obj: o,
+                            field: fid,
+                            value,
+                            tracked: program.field(fid).track_access,
+                        },
+                    );
+                }
+                Instr::ProfLoopBack(l) => {
+                    self.emit(sink, Event::LoopBackEdge { l });
+                }
+                Instr::ProfLoopEntry(l) => {
+                    loops.push(l);
+                    self.emit(sink, Event::LoopEntry { l });
+                }
+                Instr::ProfLoopExit(l) => {
+                    let popped = if loops.len() > cur.loops_base {
+                        loops.pop()
+                    } else {
+                        None
+                    };
+                    if popped != Some(l) {
+                        return Err(RuntimeError::Internal(format!(
+                            "unbalanced loop exit: expected {popped:?}, got {l}"
+                        )));
+                    }
+                    self.emit(sink, Event::LoopExit { l });
+                }
+                Instr::ConstBool(v) => values.push(Value::Bool(v)),
+                Instr::ConstNull => values.push(Value::Null),
+                Instr::Dup => {
+                    if values.len() <= cur.floor {
+                        return Err(RuntimeError::Internal("dup on empty stack".into()));
+                    }
+                    let v = *values.last().expect("floor check implies non-empty");
+                    values.push(v);
+                }
+                Instr::Pop => {
+                    pop(values, cur.floor)?;
+                }
+                Instr::Div | Instr::Rem => {
+                    let line = func.lines[pc];
+                    let b = pop_int(values, cur.floor)?;
+                    let a = pop_int(values, cur.floor)?;
+                    if b == 0 {
+                        return Err(RuntimeError::DivisionByZero { line });
+                    }
+                    let r = if matches!(instr, Instr::Div) {
+                        a.wrapping_div(b)
+                    } else {
+                        a.wrapping_rem(b)
+                    };
+                    values.push(Value::Int(r));
+                }
+                Instr::Neg => {
+                    let a = pop_int(values, cur.floor)?;
+                    values.push(Value::Int(a.wrapping_neg()));
+                }
+                Instr::Not => {
+                    let a = pop_bool(values, cur.floor)?;
+                    values.push(Value::Bool(!a));
+                }
+                Instr::ArrayLen => {
+                    let line = func.lines[pc];
+                    let arr = pop(values, cur.floor)?;
+                    let a = as_array(arr, line)?;
+                    let len = self.heap.array(a).elems.len();
+                    values.push(Value::Int(len as i64));
+                }
+                Instr::New(cid) => {
+                    let obj = self.heap.alloc_object_from(
+                        cid,
+                        program
+                            .class(cid)
+                            .field_layout
+                            .iter()
+                            .map(|&fid| default_field_value(&program.field(fid).ty)),
+                    );
+                    values.push(Value::Obj(obj));
+                    self.emit(
+                        sink,
+                        Event::ObjectAlloc {
+                            obj,
+                            class: cid,
+                            tracked: program.class(cid).track_alloc,
+                        },
+                    );
+                }
+                Instr::NewArray(elem) => {
+                    let line = func.lines[pc];
+                    let len = pop_int(values, cur.floor)?;
+                    if len < 0 {
+                        return Err(RuntimeError::NegativeArrayLength { len, line });
+                    }
+                    let arr = self.heap.alloc_array(elem, len as usize);
+                    values.push(Value::Arr(arr));
+                    self.emit(
+                        sink,
+                        Event::ArrayAlloc {
+                            arr,
+                            elem,
+                            len: len as usize,
+                        },
+                    );
+                }
+                Instr::FusedLoadCallDirect(slot, m) => {
+                    let v = values[cur.base + slot as usize];
+                    values.push(v);
+                    let n_args = program.func(m).n_params as usize;
+                    let base = arg_base(values, cur.floor, n_args)?;
+                    let callee =
+                        self.make_frame(frames.len() + 1, m, base, loops.len(), values, sink)?;
+                    frames.push(cur);
+                    cur = callee;
+                    func = program.func(cur.func);
+                }
+                Instr::FusedLoadCallVirtual(slot, m) => {
+                    let v = values[cur.base + slot as usize];
+                    values.push(v);
+                    let line = func.lines[pc];
+                    let decl = program.func(m);
                     let n_args = decl.n_params as usize;
-                    let args = split_args(top!(), n_args)?;
-                    let receiver = args[0];
-                    let o = match receiver {
+                    let base = arg_base(values, cur.floor, n_args)?;
+                    let o = match values[base] {
                         Value::Obj(o) => o,
                         Value::Null => return Err(RuntimeError::NullDeref { line }),
                         other => {
@@ -454,103 +985,138 @@ impl<'p> Interp<'p> {
                         ))
                     })? as usize;
                     let class = self.heap.object(o).class;
-                    let target = self.program.class(class).vtable[vslot];
-                    self.push_frame(frames, target, &args, sink)?;
+                    let target = program.class(class).vtable[vslot];
+                    let callee =
+                        self.make_frame(frames.len() + 1, target, base, loops.len(), values, sink)?;
+                    frames.push(cur);
+                    cur = callee;
+                    func = program.func(cur.func);
+                }
+                Instr::CallStatic(m) | Instr::CallDirect(m) => {
+                    // Arguments are passed straight from the caller's
+                    // operand stack — no intermediate allocation.
+                    let n_args = program.func(m).n_params as usize;
+                    let base = arg_base(values, cur.floor, n_args)?;
+                    let callee =
+                        self.make_frame(frames.len() + 1, m, base, loops.len(), values, sink)?;
+                    frames.push(cur);
+                    cur = callee;
+                    func = program.func(cur.func);
+                }
+                Instr::CallVirtual(m) => {
+                    let line = func.lines[pc];
+                    let decl = program.func(m);
+                    let n_args = decl.n_params as usize;
+                    let base = arg_base(values, cur.floor, n_args)?;
+                    let o = match values[base] {
+                        Value::Obj(o) => o,
+                        Value::Null => return Err(RuntimeError::NullDeref { line }),
+                        other => {
+                            return Err(RuntimeError::Internal(format!(
+                                "virtual call on non-object {other}"
+                            )))
+                        }
+                    };
+                    let vslot = decl.vslot.ok_or_else(|| {
+                        RuntimeError::Internal(format!(
+                            "virtual call to {} without vslot",
+                            decl.name
+                        ))
+                    })? as usize;
+                    let class = self.heap.object(o).class;
+                    let target = program.class(class).vtable[vslot];
+                    let callee =
+                        self.make_frame(frames.len() + 1, target, base, loops.len(), values, sink)?;
+                    frames.push(cur);
+                    cur = callee;
+                    func = program.func(cur.func);
                 }
                 Instr::Ret | Instr::RetVal => {
                     let value = if matches!(instr, Instr::RetVal) {
-                        pop(top!())?
+                        pop(values, cur.floor)?
                     } else {
                         Value::Null
                     };
-                    self.pop_frame(frames, sink);
-                    match frames.last_mut() {
+                    self.exit_events(&cur, loops, sink);
+                    loops.truncate(cur.loops_base);
+                    values.truncate(cur.base);
+                    match frames.pop() {
                         Some(caller) => {
+                            cur = caller;
+                            func = program.func(cur.func);
                             if matches!(instr, Instr::RetVal) {
-                                caller.stack.push(value);
+                                values.push(value);
                             }
                         }
-                        None => return Ok(value),
+                        None => {
+                            self.instructions = instructions;
+                            return Ok((value, dispatches));
+                        }
                     }
                 }
                 Instr::Throw => {
-                    let value = pop(top!())?;
-                    self.unwind(frames, value, line, sink)?;
+                    let line = func.lines[pc];
+                    let value = pop(values, cur.floor)?;
+                    self.unwind(&mut cur, frames, values, loops, value, line, sink)?;
+                    func = program.func(cur.func);
                 }
                 Instr::CheckCast(kind) => {
-                    let v = *top!()
-                        .stack
-                        .last()
-                        .ok_or_else(|| RuntimeError::Internal("cast on empty stack".into()))?;
+                    let line = func.lines[pc];
+                    if values.len() <= cur.floor {
+                        return Err(RuntimeError::Internal("cast on empty stack".into()));
+                    }
+                    let v = *values.last().expect("floor check implies non-empty");
                     // `null` passes every reference cast (as in Java).
                     if !matches!(v, Value::Null) && !self.matches_kind(kind, v) {
                         return Err(RuntimeError::ClassCast { line });
                     }
                 }
                 Instr::InstanceOfOp(kind) => {
-                    let v = pop(top!())?;
+                    let v = pop(values, cur.floor)?;
                     // `null instanceof T` is false (as in Java).
                     let r = !matches!(v, Value::Null) && self.matches_kind(kind, v);
-                    top!().stack.push(Value::Bool(r));
+                    values.push(Value::Bool(r));
                 }
                 Instr::ReadInput => {
+                    let line = func.lines[pc];
                     if self.input_pos >= self.input.len() {
                         return Err(RuntimeError::InputExhausted { line });
                     }
                     let v = self.input[self.input_pos];
                     self.input_pos += 1;
-                    top!().stack.push(Value::Int(v));
-                    if self.program.track_io {
+                    values.push(Value::Int(v));
+                    if program.track_io {
                         self.emit(sink, Event::InputRead);
                     }
                 }
                 Instr::Print => {
-                    let v = pop_int(top!())?;
+                    let v = pop_int(values, cur.floor)?;
                     self.output.push(v);
-                    if self.program.track_io {
+                    if program.track_io {
                         self.emit(sink, Event::OutputWrite);
                     }
-                }
-                Instr::ProfLoopEntry(l) => {
-                    top!().active_loops.push(l);
-                    self.emit(sink, Event::LoopEntry { l });
-                }
-                Instr::ProfLoopBack(l) => {
-                    self.emit(sink, Event::LoopBackEdge { l });
-                }
-                Instr::ProfLoopExit(l) => {
-                    let popped = top!().active_loops.pop();
-                    if popped != Some(l) {
-                        return Err(RuntimeError::Internal(format!(
-                            "unbalanced loop exit: expected {popped:?}, got {l}"
-                        )));
-                    }
-                    self.emit(sink, Event::LoopExit { l });
                 }
             }
         }
     }
 
     /// Unwinds `value` through the frame stack, emitting loop/method exit
-    /// events, until a matching handler is found.
+    /// events, until a matching handler is found. On success `cur` is the
+    /// frame that caught the exception, positioned at the handler.
+    #[allow(clippy::too_many_arguments)]
     fn unwind<S: EventSink>(
         &mut self,
+        cur: &mut Frame,
         frames: &mut Vec<Frame>,
+        values: &mut Vec<Value>,
+        loops: &mut Vec<LoopId>,
         value: Value,
         throw_line: u32,
         sink: &mut S,
     ) -> Result<(), RuntimeError> {
         loop {
-            let (func_id, pc) = match frames.last() {
-                Some(f) => (f.func, f.pc.saturating_sub(1)),
-                None => {
-                    return Err(RuntimeError::UncaughtException {
-                        value: value.to_string(),
-                        line: throw_line,
-                    })
-                }
-            };
-            let func = self.program.func(func_id);
+            let pc = cur.pc.saturating_sub(1);
+            let func = self.program.func(cur.func);
             let handler = func
                 .handlers
                 .iter()
@@ -559,28 +1125,32 @@ impl<'p> Interp<'p> {
             match handler {
                 Some(h) => {
                     let mut exits = Vec::new();
-                    {
-                        let frame = frames.last_mut().expect("frame checked above");
-                        // Exit instrumented loops abandoned by the transfer.
-                        while frame.active_loops.len() > h.active_loops as usize {
-                            exits.push(
-                                frame
-                                    .active_loops
-                                    .pop()
-                                    .expect("length checked in loop condition"),
-                            );
-                        }
-                        frame.stack.clear();
-                        frame.locals[h.catch_slot as usize] = value;
-                        frame.pc = h.target;
+                    // Exit instrumented loops abandoned by the transfer.
+                    while loops.len() - cur.loops_base > h.active_loops as usize {
+                        exits.push(loops.pop().expect("length checked in loop condition"));
                     }
+                    // Drop the frame's operands, keeping its locals.
+                    values.truncate(cur.floor);
+                    values[cur.base + h.catch_slot as usize] = value;
+                    cur.pc = h.target;
                     for l in exits {
                         self.emit(sink, Event::LoopExit { l });
                     }
                     return Ok(());
                 }
                 None => {
-                    self.pop_frame(frames, sink);
+                    self.exit_events(cur, loops, sink);
+                    loops.truncate(cur.loops_base);
+                    values.truncate(cur.base);
+                    match frames.pop() {
+                        Some(f) => *cur = f,
+                        None => {
+                            return Err(RuntimeError::UncaughtException {
+                                value: value.to_string(),
+                                line: throw_line,
+                            })
+                        }
+                    }
                 }
             }
         }
@@ -615,46 +1185,73 @@ pub fn default_field_value(ty: &crate::bytecode::ErasedType) -> Value {
     }
 }
 
-fn pop(frame: &mut Frame) -> Result<Value, RuntimeError> {
-    frame
-        .stack
-        .pop()
-        .ok_or_else(|| RuntimeError::Internal("operand stack underflow".into()))
+/// Error constructors are `#[cold]` so their formatting machinery stays
+/// out of the dispatch loop's instruction footprint.
+#[cold]
+#[inline(never)]
+fn underflow_err() -> RuntimeError {
+    RuntimeError::Internal("operand stack underflow".into())
 }
 
-fn pop_int(frame: &mut Frame) -> Result<i64, RuntimeError> {
-    match pop(frame)? {
+#[cold]
+#[inline(never)]
+fn expected_int_err(other: Value) -> RuntimeError {
+    RuntimeError::Internal(format!("expected int, got {other}"))
+}
+
+#[cold]
+#[inline(never)]
+fn expected_bool_err(other: Value) -> RuntimeError {
+    RuntimeError::Internal(format!("expected bool, got {other}"))
+}
+
+#[cold]
+#[inline(never)]
+fn expected_array_err(other: Value) -> RuntimeError {
+    RuntimeError::Internal(format!("expected array, got {other}"))
+}
+
+#[inline]
+fn pop(values: &mut Vec<Value>, floor: usize) -> Result<Value, RuntimeError> {
+    if values.len() <= floor {
+        return Err(underflow_err());
+    }
+    Ok(values.pop().expect("floor check implies non-empty"))
+}
+
+#[inline]
+fn pop_int(values: &mut Vec<Value>, floor: usize) -> Result<i64, RuntimeError> {
+    match pop(values, floor)? {
         Value::Int(v) => Ok(v),
-        other => Err(RuntimeError::Internal(format!("expected int, got {other}"))),
+        other => Err(expected_int_err(other)),
     }
 }
 
-fn pop_bool(frame: &mut Frame) -> Result<bool, RuntimeError> {
-    match pop(frame)? {
+#[inline]
+fn pop_bool(values: &mut Vec<Value>, floor: usize) -> Result<bool, RuntimeError> {
+    match pop(values, floor)? {
         Value::Bool(v) => Ok(v),
-        other => Err(RuntimeError::Internal(format!(
-            "expected bool, got {other}"
-        ))),
+        other => Err(expected_bool_err(other)),
     }
 }
 
+#[inline]
 fn as_array(v: Value, line: u32) -> Result<crate::heap::ArrRef, RuntimeError> {
     match v {
         Value::Arr(a) => Ok(a),
         Value::Null => Err(RuntimeError::NullDeref { line }),
-        other => Err(RuntimeError::Internal(format!(
-            "expected array, got {other}"
-        ))),
+        other => Err(expected_array_err(other)),
     }
 }
 
-fn split_args(frame: &mut Frame, n: usize) -> Result<Vec<Value>, RuntimeError> {
-    if frame.stack.len() < n {
-        return Err(RuntimeError::Internal(
-            "operand stack underflow in call".into(),
-        ));
-    }
-    Ok(frame.stack.split_off(frame.stack.len() - n))
+/// Index of the first of `n` call arguments on the shared value stack,
+/// given the calling frame's operand floor.
+fn arg_base(values: &[Value], floor: usize, n: usize) -> Result<usize, RuntimeError> {
+    values
+        .len()
+        .checked_sub(n)
+        .filter(|&b| b >= floor)
+        .ok_or_else(|| RuntimeError::Internal("operand stack underflow in call".into()))
 }
 
 #[cfg(test)]

@@ -51,6 +51,7 @@ pub mod disasm;
 pub mod dominators;
 pub mod error;
 pub mod event;
+pub mod fuse;
 pub mod heap;
 pub mod hir;
 pub mod indexflow;
@@ -58,6 +59,7 @@ pub mod instrument;
 pub mod interp;
 pub mod lexer;
 pub mod loops;
+pub mod opstats;
 pub mod opt;
 pub mod parser;
 pub mod pretty;
@@ -66,7 +68,8 @@ pub mod typeck;
 pub mod verify;
 
 pub use bytecode::{
-    ClassId, CompiledProgram, ElemKind, ErasedType, FieldId, FuncId, Function, Instr, LoopId,
+    ClassId, CmpKind, CompiledProgram, ElemKind, ErasedType, FieldId, FuncId, Function, Instr,
+    LoopId, Opcode,
 };
 pub use compile::{compile, compile_with_options, CompileOptions};
 pub use disasm::{disassemble, disassemble_cfg, disassemble_function};
@@ -81,6 +84,7 @@ pub use instrument::{
 // `ProfilerHooks` -> `EventSink` migration.
 pub use event::NoopSink as NoopProfiler;
 pub use interp::{default_field_value, Interp, RunResult};
+pub use opstats::OpStats;
 pub use verify::{verify, VerifyError};
 
 #[cfg(test)]

@@ -19,7 +19,7 @@
 
 use std::collections::VecDeque;
 
-use crate::bytecode::{CompiledProgram, FuncId, Instr, LoopId};
+use crate::bytecode::{CmpKind, CompiledProgram, FuncId, Instr, LoopId};
 
 /// A verification failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -124,27 +124,89 @@ fn verify_function(program: &CompiledProgram, func_id: FuncId) -> Result<(), Ver
     // Range checks on operands.
     for (i, instr) in func.code.iter().enumerate() {
         match instr {
-            Instr::Jump(t) | Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) if *t > n => {
+            Instr::Jump(t)
+            | Instr::JumpIfFalse(t)
+            | Instr::JumpIfTrue(t)
+            | Instr::CmpJump(_, _, t)
+            | Instr::LoadCmpJump(_, _, _, t)
+            | Instr::FusedLoopBackJump(_, t)
+                if *t > n =>
+            {
                 return Err(err(Some(i), format!("jump target {t} out of range")));
             }
-            Instr::LoadLocal(s) | Instr::StoreLocal(s) if *s as usize >= func.n_locals as usize => {
+            Instr::FusedIncJump(_, _, t) | Instr::FusedLoadLoadCmpJump(_, _, _, _, t)
+                if *t as usize > n =>
+            {
+                return Err(err(Some(i), format!("jump target {t} out of range")));
+            }
+            Instr::LoadLocal(s)
+            | Instr::StoreLocal(s)
+            | Instr::FusedLoadConst(s, _)
+            | Instr::FusedLoadALoad(s)
+            | Instr::IncLocal(s, _)
+            | Instr::FusedIncJump(s, _, _)
+            | Instr::LoadCmpJump(s, _, _, _)
+                if *s as usize >= func.n_locals as usize =>
+            {
                 return Err(err(Some(i), format!("local slot {s} out of range")));
             }
-            Instr::New(c) if c.index() >= program.classes.len() => {
+            Instr::FusedLoadGetFieldALoad(a, _, b)
+            | Instr::FusedLoadLoad(a, b)
+            | Instr::FusedLoadLoadGetFieldLen(a, b, _)
+            | Instr::FusedLoadLoadCmpJump(a, b, _, _, _)
+            | Instr::FusedLoadLoadPutField(a, b, _)
+            | Instr::FusedFieldAdd(a, b, _, _)
+                if *a as usize >= func.n_locals as usize
+                    || *b as usize >= func.n_locals as usize =>
+            {
+                let s = (*a).max(*b);
+                return Err(err(Some(i), format!("local slot {s} out of range")));
+            }
+            Instr::FusedLoadGetField(s, _)
+            | Instr::FusedLoadGetFieldLen(s, _)
+            | Instr::FusedLoadAStore(s)
+            | Instr::FusedLoadCallDirect(s, _)
+            | Instr::FusedLoadCallVirtual(s, _)
+                if *s as usize >= func.n_locals as usize =>
+            {
+                return Err(err(Some(i), format!("local slot {s} out of range")));
+            }
+            Instr::New(c) | Instr::FusedNewDup(c) if c.index() >= program.classes.len() => {
                 return Err(err(Some(i), format!("class {c} out of range")));
             }
-            Instr::GetField(f) | Instr::PutField(f) if f.index() >= program.fields.len() => {
+            Instr::GetField(f)
+            | Instr::PutField(f)
+            | Instr::FusedLoadGetField(_, f)
+            | Instr::FusedGetFieldLen(f)
+            | Instr::FusedLoadGetFieldLen(_, f)
+            | Instr::FusedLoadLoadGetFieldLen(_, _, f)
+            | Instr::FusedLoadLoadPutField(_, _, f)
+            | Instr::FusedFieldAdd(_, _, f, _)
+            | Instr::FusedLoadGetFieldALoad(_, f, _)
+                if f.index() >= program.fields.len() =>
+            {
                 return Err(err(Some(i), format!("field {f} out of range")));
             }
-            Instr::CallStatic(m) | Instr::CallVirtual(m) | Instr::CallDirect(m) => {
+            Instr::CallStatic(m)
+            | Instr::CallVirtual(m)
+            | Instr::CallDirect(m)
+            | Instr::FusedLoadCallDirect(_, m)
+            | Instr::FusedLoadCallVirtual(_, m) => {
                 if m.index() >= program.functions.len() {
                     return Err(err(Some(i), format!("function {m} out of range")));
                 }
-                if matches!(instr, Instr::CallVirtual(_)) && program.func(*m).vslot.is_none() {
+                if matches!(
+                    instr,
+                    Instr::CallVirtual(_) | Instr::FusedLoadCallVirtual(..)
+                ) && program.func(*m).vslot.is_none()
+                {
                     return Err(err(Some(i), format!("virtual call to {m} without vslot")));
                 }
             }
-            Instr::ProfLoopEntry(l) | Instr::ProfLoopBack(l) | Instr::ProfLoopExit(l)
+            Instr::ProfLoopEntry(l)
+            | Instr::ProfLoopBack(l)
+            | Instr::ProfLoopExit(l)
+            | Instr::FusedLoopBackJump(l, _)
                 if l.index() >= program.loops.len() =>
             {
                 return Err(err(Some(i), format!("loop {l} out of range")));
@@ -280,7 +342,11 @@ fn verify_function(program: &CompiledProgram, func_id: FuncId) -> Result<(), Ver
             | Instr::Throw
             | Instr::CheckCast(_)
             | Instr::InstanceOfOp(_)
-            | Instr::Print => 1,
+            | Instr::Print
+            | Instr::FusedLoadALoad(_)
+            | Instr::FusedGetFieldLen(_)
+            | Instr::FusedConstAdd(_)
+            | Instr::LoadCmpJump(..) => 1,
             Instr::Add
             | Instr::Sub
             | Instr::Mul
@@ -293,10 +359,15 @@ fn verify_function(program: &CompiledProgram, func_id: FuncId) -> Result<(), Ver
             | Instr::CmpEq
             | Instr::CmpNe
             | Instr::PutField(_)
-            | Instr::ALoad => 2,
+            | Instr::ALoad
+            | Instr::FusedLoadAStore(_)
+            | Instr::CmpJump(..) => 2,
             Instr::AStore => 3,
             Instr::CallStatic(m) | Instr::CallVirtual(m) | Instr::CallDirect(m) => {
                 program.func(m).n_params as usize
+            }
+            Instr::FusedLoadCallDirect(_, m) | Instr::FusedLoadCallVirtual(_, m) => {
+                (program.func(m).n_params as usize).saturating_sub(1)
             }
             _ => 0,
         };
@@ -310,6 +381,24 @@ fn verify_function(program: &CompiledProgram, func_id: FuncId) -> Result<(), Ver
         let mut next = cur.clone();
         let pop = |next: &mut AbsState, want: Kind| -> Result<Kind, VerifyError> {
             let got = next.stack.pop().expect("depth pre-checked");
+            if want != Kind::Any && got != Kind::Any && got != want {
+                return Err(VerifyError {
+                    func: func_id,
+                    at: Some(pc),
+                    message: format!(
+                        "operand kind mismatch: {instr:?} expects {}, found {}",
+                        want.name(),
+                        got.name()
+                    ),
+                });
+            }
+            Ok(got)
+        };
+
+        // Kind check for operands superinstructions take straight from a
+        // local slot instead of the stack (same message as `pop`).
+        let local_kind = |next: &AbsState, s: u16, want: Kind| -> Result<Kind, VerifyError> {
+            let got = next.locals[s as usize];
             if want != Kind::Any && got != Kind::Any && got != want {
                 return Err(VerifyError {
                     func: func_id,
@@ -430,6 +519,147 @@ fn verify_function(program: &CompiledProgram, func_id: FuncId) -> Result<(), Ver
                 }
             }
             Instr::ProfLoopEntry(_) | Instr::ProfLoopBack(_) | Instr::ProfLoopExit(_) => {}
+            Instr::FusedLoadLoad(a, b) => {
+                let ka = next.locals[a as usize];
+                let kb = next.locals[b as usize];
+                next.stack.push(ka);
+                next.stack.push(kb);
+            }
+            Instr::FusedLoadConst(s, _) => {
+                let k = next.locals[s as usize];
+                next.stack.push(k);
+                next.stack.push(Kind::Int);
+            }
+            Instr::FusedLoadGetField(s, _) => {
+                local_kind(&next, s, Kind::Ref)?;
+                next.stack.push(Kind::Any);
+            }
+            Instr::FusedGetFieldLen(_) => {
+                // `GetField; ArrayLen`: the field value itself is a ref
+                // (an array), but the bytecode-level fact is only that a
+                // ref goes in and an int comes out.
+                pop(&mut next, Kind::Ref)?;
+                next.stack.push(Kind::Int);
+            }
+            Instr::FusedLoadGetFieldLen(s, _) => {
+                local_kind(&next, s, Kind::Ref)?;
+                next.stack.push(Kind::Int);
+            }
+            Instr::FusedConstAdd(_) => {
+                pop(&mut next, Kind::Int)?;
+                next.stack.push(Kind::Int);
+            }
+            Instr::FusedLoadAStore(s) => {
+                local_kind(&next, s, Kind::Any)?;
+                pop(&mut next, Kind::Int)?;
+                pop(&mut next, Kind::Ref)?;
+            }
+            Instr::FusedLoopBackJump(..) => {}
+            Instr::FusedLoadALoad(s) => {
+                local_kind(&next, s, Kind::Int)?;
+                pop(&mut next, Kind::Ref)?;
+                next.stack.push(Kind::Any);
+            }
+            Instr::IncLocal(s, _) | Instr::FusedIncJump(s, _, _) => {
+                local_kind(&next, s, Kind::Int)?;
+                next.locals[s as usize] = Kind::Int;
+            }
+            Instr::CmpJump(kind, _, _) => match kind {
+                CmpKind::Lt | CmpKind::Le | CmpKind::Gt | CmpKind::Ge => {
+                    pop(&mut next, Kind::Int)?;
+                    pop(&mut next, Kind::Int)?;
+                }
+                CmpKind::Eq | CmpKind::Ne => {
+                    let r = pop(&mut next, Kind::Any)?;
+                    let l = pop(&mut next, Kind::Any)?;
+                    if l != Kind::Any && r != Kind::Any && l != r {
+                        return Err(err(
+                            Some(pc),
+                            format!(
+                                "operand kind mismatch: {instr:?} compares {} with {}",
+                                l.name(),
+                                r.name()
+                            ),
+                        ));
+                    }
+                }
+            },
+            Instr::FusedLoadLoadGetFieldLen(a, b, _) => {
+                // `b` is the object whose array field's length is read;
+                // `a`'s value stays on the stack under the length.
+                let ka = next.locals[a as usize];
+                local_kind(&next, b, Kind::Ref)?;
+                next.stack.push(ka);
+                next.stack.push(Kind::Int);
+            }
+            Instr::FusedLoadLoadPutField(a, b, _) => {
+                let _ = next.locals[b as usize];
+                local_kind(&next, a, Kind::Ref)?;
+            }
+            Instr::FusedFieldAdd(a, b, _, _) => {
+                local_kind(&next, b, Kind::Ref)?;
+                local_kind(&next, a, Kind::Ref)?;
+            }
+            Instr::FusedNewDup(_) => {
+                next.stack.push(Kind::Ref);
+                next.stack.push(Kind::Ref);
+            }
+            Instr::FusedLoadGetFieldALoad(a, _, i) => {
+                local_kind(&next, a, Kind::Ref)?;
+                local_kind(&next, i, Kind::Int)?;
+                next.stack.push(Kind::Any);
+            }
+            Instr::FusedLoadCallDirect(s, m) | Instr::FusedLoadCallVirtual(s, m) => {
+                local_kind(&next, s, Kind::Any)?;
+                let callee = program.func(m);
+                for _ in 0..callee.n_params.saturating_sub(1) {
+                    pop(&mut next, Kind::Any)?;
+                }
+                if returns_value(program, &instr) {
+                    next.stack.push(Kind::Any);
+                }
+            }
+            Instr::FusedLoadLoadCmpJump(a, b, kind, _, _) => match kind {
+                CmpKind::Lt | CmpKind::Le | CmpKind::Gt | CmpKind::Ge => {
+                    local_kind(&next, b, Kind::Int)?;
+                    local_kind(&next, a, Kind::Int)?;
+                }
+                CmpKind::Eq | CmpKind::Ne => {
+                    let r = local_kind(&next, b, Kind::Any)?;
+                    let l = local_kind(&next, a, Kind::Any)?;
+                    if l != Kind::Any && r != Kind::Any && l != r {
+                        return Err(err(
+                            Some(pc),
+                            format!(
+                                "operand kind mismatch: {instr:?} compares {} with {}",
+                                l.name(),
+                                r.name()
+                            ),
+                        ));
+                    }
+                }
+            },
+            Instr::LoadCmpJump(s, kind, _, _) => match kind {
+                CmpKind::Lt | CmpKind::Le | CmpKind::Gt | CmpKind::Ge => {
+                    local_kind(&next, s, Kind::Int)?;
+                    pop(&mut next, Kind::Int)?;
+                }
+                CmpKind::Eq | CmpKind::Ne => {
+                    // The local is the right-hand operand.
+                    let r = local_kind(&next, s, Kind::Any)?;
+                    let l = pop(&mut next, Kind::Any)?;
+                    if l != Kind::Any && r != Kind::Any && l != r {
+                        return Err(err(
+                            Some(pc),
+                            format!(
+                                "operand kind mismatch: {instr:?} compares {} with {}",
+                                l.name(),
+                                r.name()
+                            ),
+                        ));
+                    }
+                }
+            },
         }
 
         match instr {
@@ -443,16 +673,28 @@ fn verify_function(program: &CompiledProgram, func_id: FuncId) -> Result<(), Ver
                     ));
                 }
             }
-            Instr::ProfLoopBack(l) if next.loops.last() != Some(&l) => {
+            Instr::ProfLoopBack(l) | Instr::FusedLoopBackJump(l, _)
+                if next.loops.last() != Some(&l) =>
+            {
                 return Err(err(Some(pc), format!("back edge of {l} outside that loop")));
             }
             _ => {}
         }
 
         match instr {
-            Instr::Jump(t) => merge(&mut state, &mut work, t, next)?,
-            Instr::JumpIfFalse(t) | Instr::JumpIfTrue(t) => {
+            Instr::Jump(t) | Instr::FusedLoopBackJump(_, t) => {
+                merge(&mut state, &mut work, t, next)?
+            }
+            Instr::FusedIncJump(_, _, t) => merge(&mut state, &mut work, t as usize, next)?,
+            Instr::JumpIfFalse(t)
+            | Instr::JumpIfTrue(t)
+            | Instr::CmpJump(_, _, t)
+            | Instr::LoadCmpJump(_, _, _, t) => {
                 merge(&mut state, &mut work, t, next.clone())?;
+                merge(&mut state, &mut work, pc + 1, next)?;
+            }
+            Instr::FusedLoadLoadCmpJump(_, _, _, _, t) => {
+                merge(&mut state, &mut work, t as usize, next.clone())?;
                 merge(&mut state, &mut work, pc + 1, next)?;
             }
             Instr::Ret | Instr::RetVal | Instr::Throw => {
@@ -476,7 +718,11 @@ fn returns_value(program: &CompiledProgram, call: &Instr) -> bool {
     // the callee's code: a function returns a value iff any RetVal is
     // present (the type checker guarantees consistency).
     let callee = match call {
-        Instr::CallStatic(m) | Instr::CallVirtual(m) | Instr::CallDirect(m) => program.func(*m),
+        Instr::CallStatic(m)
+        | Instr::CallVirtual(m)
+        | Instr::CallDirect(m)
+        | Instr::FusedLoadCallDirect(_, m)
+        | Instr::FusedLoadCallVirtual(_, m) => program.func(*m),
         _ => return false,
     };
     callee.code.iter().any(|i| matches!(i, Instr::RetVal))
@@ -485,7 +731,7 @@ fn returns_value(program: &CompiledProgram, call: &Instr) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bytecode::FieldId;
+    use crate::bytecode::{FieldId, LoopId};
     use crate::compile::compile;
     use crate::instrument::InstrumentOptions;
 
@@ -668,6 +914,293 @@ mod tests {
         let e = verify(&p).expect_err("must reject");
         assert!(e.message.contains("kind"), "{e}");
         assert!(e.message.contains("compares int with ref"), "{e}");
+    }
+
+    #[test]
+    fn superinstruction_bad_local_slot_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { return 1; } }",
+            vec![
+                Instr::FusedLoadLoad(0, 99),
+                Instr::Pop,
+                Instr::Pop,
+                Instr::ConstInt(0),
+                Instr::RetVal,
+            ],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("local slot 99 out of range"), "{e}");
+    }
+
+    #[test]
+    fn cmp_jump_target_out_of_range_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { return 1; } }",
+            vec![
+                Instr::ConstInt(1),
+                Instr::ConstInt(2),
+                Instr::CmpJump(CmpKind::Lt, false, 999),
+                Instr::ConstInt(0),
+                Instr::RetVal,
+            ],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("jump target 999 out of range"), "{e}");
+    }
+
+    #[test]
+    fn cmp_jump_on_references_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { return 1; } }",
+            vec![
+                Instr::ConstNull,
+                Instr::ConstNull,
+                Instr::CmpJump(CmpKind::Lt, false, 3),
+                Instr::ConstInt(0),
+                Instr::RetVal,
+            ],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("expects int"), "{e}");
+        assert!(e.message.contains("found ref"), "{e}");
+    }
+
+    #[test]
+    fn cmp_jump_underflow_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { return 1; } }",
+            vec![
+                Instr::ConstInt(1),
+                Instr::CmpJump(CmpKind::Eq, true, 2),
+                Instr::ConstInt(0),
+                Instr::RetVal,
+            ],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("underflow"), "{e}");
+    }
+
+    #[test]
+    fn inc_local_on_reference_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { int x = 0; return x; } }",
+            vec![
+                Instr::ConstNull,
+                Instr::StoreLocal(0),
+                Instr::IncLocal(0, 1),
+                Instr::ConstInt(0),
+                Instr::RetVal,
+            ],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("expects int"), "{e}");
+        assert!(e.message.contains("found ref"), "{e}");
+    }
+
+    #[test]
+    fn fused_load_getfield_on_int_local_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { int x = 0; return x; } } class Node { int v; }",
+            vec![
+                Instr::ConstInt(3),
+                Instr::StoreLocal(0),
+                Instr::FusedLoadGetField(0, FieldId(0)),
+                Instr::RetVal,
+            ],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("expects ref"), "{e}");
+        assert!(e.message.contains("found int"), "{e}");
+    }
+
+    #[test]
+    fn fused_const_add_on_reference_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { return 1; } }",
+            vec![
+                Instr::ConstNull,
+                Instr::FusedConstAdd(1),
+                Instr::Pop,
+                Instr::ConstInt(0),
+                Instr::RetVal,
+            ],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("expects int"), "{e}");
+        assert!(e.message.contains("found ref"), "{e}");
+    }
+
+    #[test]
+    fn fused_load_getfield_len_on_int_local_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { int x = 0; return x; } } class Node { int v; }",
+            vec![
+                Instr::ConstInt(3),
+                Instr::StoreLocal(0),
+                Instr::FusedLoadGetFieldLen(0, FieldId(0)),
+                Instr::RetVal,
+            ],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("expects ref"), "{e}");
+        assert!(e.message.contains("found int"), "{e}");
+    }
+
+    #[test]
+    fn fused_getfield_len_underflow_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { return 1; } } class Node { int v; }",
+            vec![Instr::FusedGetFieldLen(FieldId(0)), Instr::RetVal],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("underflow"), "{e}");
+    }
+
+    #[test]
+    fn fused_loop_back_jump_loop_out_of_range_is_rejected() {
+        // The compiled-but-uninstrumented program registers no loops, so
+        // any loop id is out of range.
+        let p = with_main_code(
+            "class Main { static int main() { return 1; } }",
+            vec![Instr::FusedLoopBackJump(LoopId(0), 0)],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("loop LoopId#0 out of range"), "{e}");
+    }
+
+    #[test]
+    fn fused_loop_back_jump_target_out_of_range_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { return 1; } }",
+            vec![Instr::FusedLoopBackJump(LoopId(0), 999)],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("jump target 999 out of range"), "{e}");
+    }
+
+    #[test]
+    fn fused_loop_back_jump_outside_its_loop_is_rejected() {
+        let src = "class Main { static int main() { int s = 0; for (int i = 0; i < 3; i = i + 1) { s = s + 1; } return s; } }";
+        let mut p = compile(src)
+            .expect("compiles")
+            .instrument(&InstrumentOptions::default());
+        let main = &mut p.functions[p.entry.index()];
+        // Fuse the back edge by hand, then cut the loop entry so the back
+        // edge executes on an empty loop stack.
+        let back = main
+            .code
+            .iter()
+            .position(|i| matches!(i, Instr::ProfLoopBack(_)))
+            .expect("has back edge");
+        let (l, t) = match (main.code[back], main.code[back + 1]) {
+            (Instr::ProfLoopBack(l), Instr::Jump(t)) => (l, t),
+            other => panic!("unexpected back-edge shape {other:?}"),
+        };
+        main.code[back] = Instr::FusedLoopBackJump(l, t);
+        let entry = main
+            .code
+            .iter()
+            .position(|i| matches!(i, Instr::ProfLoopEntry(_)))
+            .expect("has loop entry");
+        main.code[entry] = Instr::Jump(entry + 1);
+        assert!(verify(&p).is_err());
+    }
+
+    #[test]
+    fn load_cmp_jump_kind_confusion_is_rejected() {
+        // Stack operand is a ref, local is an int: Eq comparison across
+        // kinds must be rejected just like the unfused CmpEq.
+        let p = with_main_code(
+            "class Main { static int main() { int x = 0; return x; } }",
+            vec![
+                Instr::ConstInt(1),
+                Instr::StoreLocal(0),
+                Instr::ConstNull,
+                Instr::LoadCmpJump(0, CmpKind::Eq, true, 5),
+                Instr::ConstInt(0),
+                Instr::RetVal,
+            ],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("compares ref with int"), "{e}");
+    }
+
+    #[test]
+    fn fused_inc_jump_target_out_of_range_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { int x = 0; return x; } }",
+            vec![
+                Instr::ConstInt(0),
+                Instr::StoreLocal(0),
+                Instr::FusedIncJump(0, 1, 999),
+                Instr::ConstInt(0),
+                Instr::RetVal,
+            ],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("jump target 999 out of range"), "{e}");
+    }
+
+    #[test]
+    fn fused_load_load_cmp_jump_on_reference_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { int x = 0; int y = 0; return x; } }",
+            vec![
+                Instr::ConstInt(0),
+                Instr::StoreLocal(0),
+                Instr::ConstNull,
+                Instr::StoreLocal(1),
+                Instr::FusedLoadLoadCmpJump(0, 1, CmpKind::Lt, false, 7),
+                Instr::ConstInt(0),
+                Instr::RetVal,
+                Instr::ConstInt(1),
+                Instr::RetVal,
+            ],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("expects int"), "{e}");
+        assert!(e.message.contains("found ref"), "{e}");
+    }
+
+    #[test]
+    fn fused_field_add_on_int_local_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { int x = 0; return x; } } class Node { int v; }",
+            vec![
+                Instr::ConstInt(3),
+                Instr::StoreLocal(0),
+                Instr::FusedFieldAdd(0, 0, FieldId(0), 1),
+                Instr::ConstInt(0),
+                Instr::RetVal,
+            ],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("expects ref"), "{e}");
+        assert!(e.message.contains("found int"), "{e}");
+    }
+
+    #[test]
+    fn well_formed_superinstructions_verify() {
+        // Hand-built `x = 5; while (x < 10) { x = x + 1 }` exercising the
+        // arithmetic superinstruction shapes end to end.
+        let p = with_main_code(
+            "class Main { static int main() { int x = 0; return x; } }",
+            vec![
+                Instr::ConstInt(5),
+                Instr::StoreLocal(0),
+                Instr::FusedLoadConst(0, 10),
+                Instr::CmpJump(CmpKind::Lt, false, 6),
+                Instr::IncLocal(0, 1),
+                Instr::Jump(2),
+                Instr::ConstInt(10),
+                Instr::LoadCmpJump(0, CmpKind::Eq, false, 9),
+                Instr::IncLocal(0, 0),
+                Instr::FusedLoadLoad(0, 0),
+                Instr::Pop,
+                Instr::RetVal,
+            ],
+        );
+        verify(&p).expect("superinstruction code verifies");
     }
 
     #[test]

@@ -30,6 +30,18 @@ trap 'rm -rf "$sweep_out"' EXIT
 cmp "$sweep_out/j1.json" "$sweep_out/j2.json"
 cmp "$sweep_out/j1.txt" "$sweep_out/j2.txt"
 
+echo "==> opstats smoke (dynamic opcode statistics, text and JSON)"
+./target/release/algoprof opstats examples/sized_arraylist.jay --input 16 \
+    | grep -q "top opcodes"
+./target/release/algoprof opstats examples/sized_arraylist.jay --input 16 --json \
+    | grep -q '"opcodes"'
+
+echo "==> fusion differential (superinstructions must not change profiles)"
+ALGOPROF_NO_FUSE=1 ./target/release/algoprof sweep examples/sized_arraylist.jay \
+    --sizes 8,16,32,64 -j 1 --quiet --json "$sweep_out/nofuse.json" > "$sweep_out/nofuse.txt"
+cmp "$sweep_out/j1.json" "$sweep_out/nofuse.json"
+cmp "$sweep_out/j1.txt" "$sweep_out/nofuse.txt"
+
 echo "==> events smoke (record -> dump, text and JSON)"
 ./target/release/algoprof record examples/sized_arraylist.jay \
     --input 16 -o "$sweep_out/run.aptr"

@@ -1,0 +1,214 @@
+//! Fusion-safety differential suite: the superinstruction peephole pass
+//! must be observationally invisible. For the whole listings + Table-1
+//! corpus and 100 random programs, running the fused bytecode must
+//! produce the *identical* logical event stream, byte-identical APTR
+//! recordings, and equal profiles to the unfused bytecode — while
+//! strictly cutting dispatch-loop iterations. Fused code must also pass
+//! the verifier, superinstructions included.
+
+use algoprof::{AlgoProf, AlgoProfOptions};
+use algoprof_programs::{
+    array_list_program, functional_sort_program, insertion_sort_program, table1_programs,
+    GrowthPolicy, SortWorkload, LISTING3, LISTING4, LISTING5,
+};
+use algoprof_suite::genprog::random_program;
+use algoprof_suite::testutil::TestRng;
+use algoprof_trace::{TraceHeader, TraceRecorder};
+use algoprof_vm::{
+    compile, verify, CompiledProgram, Event, EventCx, EventSink, Instr, InstrumentOptions, Interp,
+};
+
+/// Records every event as rendered text, so two runs can be compared
+/// event by event (including `Instruction` events, which APTR traces do
+/// not store).
+#[derive(Default)]
+struct TextStream {
+    lines: Vec<String>,
+}
+
+impl EventSink for TextStream {
+    fn event(&mut self, ev: &Event, cx: &EventCx<'_>) {
+        self.lines.push(ev.render_text(cx.program));
+    }
+}
+
+fn compiled(name: &str, src: &str) -> CompiledProgram {
+    compile(src)
+        .unwrap_or_else(|e| panic!("{name}: compile failed: {e}"))
+        .instrument(&InstrumentOptions::default())
+}
+
+fn count_superinstructions(p: &CompiledProgram) -> usize {
+    p.functions
+        .iter()
+        .flat_map(|f| &f.code)
+        .filter(|i| i.expansion().len() > 1)
+        .count()
+}
+
+/// The whole differential: fused vs. unfused execution of `src` with
+/// `input` must agree on the event stream, the run outcome (value or
+/// error), the logical instruction count, the APTR recording bytes, and
+/// the finished profile — and fused must never dispatch more.
+fn assert_fusion_invisible(name: &str, src: &str, input: &[i64]) {
+    let instrument = InstrumentOptions::default();
+    let plain = compiled(name, src);
+    let fused = plain.fuse();
+    verify(&fused).unwrap_or_else(|e| panic!("{name}: fused bytecode fails verify: {e}"));
+
+    // Event streams, return values, instruction counts, dispatches.
+    let mut a = TextStream::default();
+    let mut b = TextStream::default();
+    let ra = Interp::new(&plain).with_input(input.to_vec()).run(&mut a);
+    let rb = Interp::new(&fused).with_input(input.to_vec()).run(&mut b);
+    assert_eq!(a.lines, b.lines, "{name}: event streams diverge");
+    match (&ra, &rb) {
+        (Ok(ra), Ok(rb)) => {
+            assert_eq!(ra.return_value, rb.return_value, "{name}: return values");
+            assert_eq!(ra.output, rb.output, "{name}: guest output");
+            assert_eq!(
+                ra.instructions, rb.instructions,
+                "{name}: logical instruction counts"
+            );
+            assert!(
+                rb.dispatches <= ra.dispatches,
+                "{name}: fusion increased dispatches ({} -> {})",
+                ra.dispatches,
+                rb.dispatches
+            );
+            if count_superinstructions(&fused) > 0 {
+                assert!(
+                    rb.dispatches < ra.dispatches || rb.instructions == rb.dispatches,
+                    "{name}: superinstructions present but no dispatch saved"
+                );
+            }
+        }
+        (Err(ea), Err(eb)) => {
+            assert_eq!(
+                format!("{ea:?}"),
+                format!("{eb:?}"),
+                "{name}: runtime errors diverge"
+            );
+        }
+        (ra, rb) => panic!("{name}: outcomes diverge: {ra:?} vs {rb:?}"),
+    }
+
+    // APTR recordings must be byte-identical (only successful runs
+    // finish a recording).
+    if ra.is_ok() {
+        let record = |program: &CompiledProgram| {
+            let mut bytes = Vec::new();
+            let mut rec =
+                TraceRecorder::new(&TraceHeader::new(src, &instrument, input), &mut bytes);
+            Interp::new(program)
+                .with_input(input.to_vec())
+                .run(&mut rec)
+                .unwrap_or_else(|e| panic!("{name}: recording run failed: {e}"));
+            rec.finish().expect("writes to a Vec<u8> cannot fail");
+            bytes
+        };
+        assert_eq!(
+            record(&plain),
+            record(&fused),
+            "{name}: APTR recordings diverge"
+        );
+
+        // Finished algorithmic profiles must be equal.
+        let profile = |program: &CompiledProgram| {
+            let mut prof = AlgoProf::with_options(AlgoProfOptions::default());
+            Interp::new(program)
+                .with_input(input.to_vec())
+                .run(&mut prof)
+                .unwrap_or_else(|e| panic!("{name}: profiling run failed: {e}"));
+            prof.finish(program)
+        };
+        assert_eq!(
+            profile(&plain),
+            profile(&fused),
+            "{name}: algorithmic profiles diverge"
+        );
+    }
+}
+
+#[test]
+fn listings_corpus_is_fusion_invisible() {
+    let corpus: Vec<(&str, String)> = vec![
+        ("listing3", LISTING3.to_string()),
+        ("listing4", LISTING4.to_string()),
+        ("listing5", LISTING5.to_string()),
+        (
+            "insertion_sort_random",
+            insertion_sort_program(SortWorkload::Random, 60, 10, 2),
+        ),
+        (
+            "insertion_sort_sorted",
+            insertion_sort_program(SortWorkload::Sorted, 60, 10, 2),
+        ),
+        (
+            "functional_sort",
+            functional_sort_program(SortWorkload::Random, 40, 10, 2),
+        ),
+        (
+            "array_list_by_one",
+            array_list_program(GrowthPolicy::ByOne, 60, 10, 2),
+        ),
+        (
+            "array_list_doubling",
+            array_list_program(GrowthPolicy::Doubling, 60, 10, 2),
+        ),
+    ];
+    let mut fused_somewhere = false;
+    for (name, src) in &corpus {
+        fused_somewhere |= count_superinstructions(&compiled(name, src).fuse()) > 0;
+        assert_fusion_invisible(name, src, &[]);
+    }
+    assert!(
+        fused_somewhere,
+        "the peephole pass fused nothing across the whole listings corpus"
+    );
+}
+
+#[test]
+fn table1_corpus_is_fusion_invisible() {
+    for p in table1_programs() {
+        assert_fusion_invisible(p.name, &p.source, &[]);
+    }
+}
+
+#[test]
+fn random_programs_are_fusion_invisible() {
+    for seed in 0..100 {
+        let mut rng = TestRng::new(11_000 + seed);
+        let src = random_program(&mut rng);
+        assert_fusion_invisible(&format!("seed {seed}"), &src, &[]);
+    }
+}
+
+#[test]
+fn fusion_preserves_loop_ordinals() {
+    // ProfLoop* pseudo-instructions carry the loop ids the indexflow
+    // hints reference; the pass must leave every one of them in place.
+    let srcs = [
+        insertion_sort_program(SortWorkload::Random, 30, 10, 2),
+        array_list_program(GrowthPolicy::Doubling, 30, 10, 2),
+    ];
+    for src in &srcs {
+        let plain = compiled("loop_ordinals", src);
+        let fused = plain.fuse();
+        let loops = |p: &CompiledProgram| -> Vec<Instr> {
+            p.functions
+                .iter()
+                .flat_map(|f| &f.code)
+                .filter_map(|i| match i {
+                    Instr::ProfLoopEntry(_) | Instr::ProfLoopBack(_) | Instr::ProfLoopExit(_) => {
+                        Some(*i)
+                    }
+                    // A fused back-edge jump still carries its loop id.
+                    Instr::FusedLoopBackJump(l, _) => Some(Instr::ProfLoopBack(*l)),
+                    _ => None,
+                })
+                .collect()
+        };
+        assert_eq!(loops(&plain), loops(&fused));
+    }
+}
