@@ -29,6 +29,7 @@ use algoprof_vm::ast::{BinOp, UnOp};
 use algoprof_vm::bytecode::{FieldId, FuncId};
 use algoprof_vm::hir::{HExpr, HFunction, HStmt, LocalSlot};
 
+use crate::costfn::{CostFn, InductionVar, OpCounts, TripCount};
 use crate::diag::{Code, Diagnostic};
 use crate::interval::Interval;
 
@@ -117,6 +118,15 @@ pub struct LoopSummary {
     pub children: Vec<usize>,
     /// Iteration-bound classification.
     pub bound: BoundKind,
+    /// Symbolic trip count with coefficients, when the recurrence was
+    /// solvable (widened to `O(bound class)` otherwise).
+    pub trips: TripCount,
+    /// The counted loop's induction variable, with initial value and
+    /// signed step when provable.
+    pub induction: Option<InductionVar>,
+    /// Static op counts of this loop's own region (nested loops carry
+    /// their own).
+    pub ops: OpCounts,
     /// Call sites whose innermost enclosing loop is this one.
     pub calls: Vec<CallSite>,
 }
@@ -134,6 +144,8 @@ pub struct FunctionSummary {
     pub loops: Vec<LoopSummary>,
     /// Call sites outside every loop.
     pub top_calls: Vec<CallSite>,
+    /// Static op counts of the function's code outside every loop.
+    pub top_ops: OpCounts,
 }
 
 /// Per-slot def/use facts for one function, shared by the bound
@@ -544,7 +556,93 @@ struct Collector<'a> {
     loops: Vec<LoopSummary>,
     stack: Vec<usize>,
     top_calls: Vec<CallSite>,
+    top_ops: OpCounts,
     diagnostics: Vec<Diagnostic>,
+    /// The store to each slot that reaches the current walk position on
+    /// the straight-line path — `None` when no single store dominates
+    /// (never stored, stored under a branch, or stale after a loop that
+    /// rewrites the slot). Needed because the compiler reuses local
+    /// slots: sequential `for (int i = ...)` loops share one slot, so
+    /// the per-function store list alone cannot name *this* loop's init.
+    reaching: Vec<Option<&'a HExpr>>,
+}
+
+/// Everything one conjunct of a loop condition tells us about the trip
+/// count: the class-level bound, the symbolic trip count, and the
+/// induction variable the loop progresses.
+struct ConjunctShape {
+    kind: BoundKind,
+    trips: TripCount,
+    induction: Option<InductionVar>,
+}
+
+impl ConjunctShape {
+    fn unknown() -> ConjunctShape {
+        ConjunctShape {
+            kind: BoundKind::Unknown,
+            trips: TripCount::widened(ComplexityClass::Unknown),
+            induction: None,
+        }
+    }
+}
+
+/// An affine form `n·N + k (+ coeff·v)` over the input-size parameter
+/// `N` and at most one enclosing induction variable `v` — the value
+/// domain of the trip-count solver.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct LinForm {
+    n: f64,
+    k: f64,
+    outer: Option<(LocalSlot, f64)>,
+}
+
+impl LinForm {
+    fn constant(k: f64) -> LinForm {
+        LinForm {
+            n: 0.0,
+            k,
+            outer: None,
+        }
+    }
+
+    fn input() -> LinForm {
+        LinForm {
+            n: 1.0,
+            k: 0.0,
+            outer: None,
+        }
+    }
+
+    fn is_scalar(&self) -> bool {
+        self.n == 0.0 && self.outer.is_none()
+    }
+
+    fn neg(self) -> LinForm {
+        self.scale(-1.0)
+    }
+
+    fn scale(self, s: f64) -> LinForm {
+        LinForm {
+            n: self.n * s,
+            k: self.k * s,
+            outer: self.outer.map(|(slot, c)| (slot, c * s)),
+        }
+    }
+
+    /// `self + other`, failing when two *different* enclosing variables
+    /// would be needed.
+    fn add(self, other: LinForm) -> Option<LinForm> {
+        let outer = match (self.outer, other.outer) {
+            (None, o) | (o, None) => o,
+            (Some((a, ca)), Some((b, cb))) if a == b => Some((a, ca + cb)),
+            _ => return None,
+        };
+        Some(LinForm {
+            n: self.n + other.n,
+            k: self.k + other.k,
+            outer: outer.filter(|(_, c)| c.abs() > 1e-9),
+        })
+    }
 }
 
 /// Builds the summary (and any loop-shaped diagnostics) for one function.
@@ -558,7 +656,9 @@ pub fn summarize_function<'a>(
         loops: Vec::new(),
         stack: Vec::new(),
         top_calls: Vec::new(),
+        top_ops: OpCounts::default(),
         diagnostics: Vec::new(),
+        reaching: vec![None; func.n_locals as usize],
     };
     c.stmts(&func.body);
     (
@@ -568,6 +668,7 @@ pub fn summarize_function<'a>(
             line: func.line,
             loops: c.loops,
             top_calls: c.top_calls,
+            top_ops: c.top_ops,
         },
         c.diagnostics,
     )
@@ -583,14 +684,21 @@ impl<'a> Collector<'a> {
     fn stmt(&mut self, stmt: &'a HStmt) {
         match stmt {
             HStmt::Expr(e) => self.expr(e),
-            HStmt::StoreLocal { value, .. } => self.expr(value),
+            HStmt::StoreLocal { slot, value } => {
+                self.expr(value);
+                if let Some(r) = self.reaching.get_mut(*slot as usize) {
+                    *r = Some(value);
+                }
+            }
             HStmt::StoreField { obj, value, .. } => {
+                self.ops_mut().field_writes += 1;
                 self.expr(obj);
                 self.expr(value);
             }
             HStmt::StoreIndex {
                 arr, idx, value, ..
             } => {
+                self.ops_mut().array_writes += 1;
                 self.expr(arr);
                 self.expr(idx);
                 self.expr(value);
@@ -599,6 +707,9 @@ impl<'a> Collector<'a> {
                 self.expr(cond);
                 self.stmts(then);
                 self.stmts(els);
+                // A store under either branch is conditional for the
+                // code after the join.
+                self.invalidate_reaching(&LoopEffects::gather(then, els).stored_locals);
             }
             HStmt::Loop {
                 cond,
@@ -614,14 +725,19 @@ impl<'a> Collector<'a> {
                     parent,
                     children: Vec::new(),
                     bound: BoundKind::Unknown,
+                    trips: TripCount::widened(ComplexityClass::Unknown),
+                    induction: None,
+                    ops: OpCounts::default(),
                     calls: Vec::new(),
                 });
                 if let Some(p) = parent {
                     self.loops[p].children.push(ordinal);
                 }
                 let effects = LoopEffects::gather(body, update);
-                let bound = self.classify(cond, &effects);
-                self.loops[ordinal].bound = bound;
+                let shape = self.classify(cond, &effects);
+                self.loops[ordinal].bound = shape.kind;
+                self.loops[ordinal].trips = shape.trips;
+                self.loops[ordinal].induction = shape.induction;
                 self.lint_no_progress(cond, &effects, *line);
 
                 self.stack.push(ordinal);
@@ -629,6 +745,9 @@ impl<'a> Collector<'a> {
                 self.stmts(body);
                 self.stmts(update);
                 self.stack.pop();
+                // After the loop, a slot it stores has run through an
+                // unknown number of updates; no single store reaches.
+                self.invalidate_reaching(&effects.stored_locals);
             }
             HStmt::Return { value, .. } => {
                 if let Some(v) = value {
@@ -640,11 +759,40 @@ impl<'a> Collector<'a> {
             HStmt::Try { body, handler, .. } => {
                 self.stmts(body);
                 self.stmts(handler);
+                self.invalidate_reaching(&LoopEffects::gather(body, handler).stored_locals);
             }
         }
     }
 
+    /// Forgets the reaching store of every slot in `slots` (the walk
+    /// passed a join where those stores became conditional or stale).
+    fn invalidate_reaching(&mut self, slots: &BTreeSet<LocalSlot>) {
+        for s in slots {
+            if let Some(r) = self.reaching.get_mut(*s as usize) {
+                *r = None;
+            }
+        }
+    }
+
+    /// The op-count region of the current position: the innermost
+    /// enclosing loop, or the function's straight-line code.
+    fn ops_mut(&mut self) -> &mut OpCounts {
+        match self.stack.last() {
+            Some(&l) => &mut self.loops[l].ops,
+            None => &mut self.top_ops,
+        }
+    }
+
     fn expr(&mut self, expr: &'a HExpr) {
+        match expr {
+            HExpr::GetField { .. } => self.ops_mut().field_reads += 1,
+            HExpr::GetIndex { .. } => self.ops_mut().array_reads += 1,
+            HExpr::CallVirtual { .. } => self.ops_mut().virtual_calls += 1,
+            HExpr::NewObject { .. } | HExpr::NewArray { .. } | HExpr::ArrayLit { .. } => {
+                self.ops_mut().allocs += 1
+            }
+            _ => {}
+        }
         let site = match expr {
             HExpr::CallStatic { func, line, .. } | HExpr::CallDirect { func, line, .. } => {
                 Some(CallSite {
@@ -679,27 +827,28 @@ impl<'a> Collector<'a> {
     }
 
     /// Classifies the trip count of a loop with condition `cond` and
-    /// effects `fx`.
-    fn classify(&self, cond: &HExpr, fx: &LoopEffects) -> BoundKind {
-        let mut best = BoundKind::Unknown;
+    /// effects `fx`, solving the trip-count recurrence symbolically
+    /// where the shapes allow.
+    fn classify(&self, cond: &HExpr, fx: &LoopEffects) -> ConjunctShape {
+        let mut best = ConjunctShape::unknown();
         for c in conjuncts(cond) {
-            let k = self.classify_conjunct(c, fx);
+            let shape = self.classify_conjunct(c, fx);
             // The tightest conjunct bounds the loop: `i < n && x != null`
             // iterates at most min(n, |list|) times.
-            if k.rank() < best.rank() {
-                best = k;
+            if shape.kind.rank() < best.kind.rank() {
+                best = shape;
             }
         }
         best
     }
 
-    fn classify_conjunct(&self, c: &HExpr, fx: &LoopEffects) -> BoundKind {
+    fn classify_conjunct(&self, c: &HExpr, fx: &LoopEffects) -> ConjunctShape {
         let HExpr::Binary { op, lhs, rhs, .. } = c else {
-            return BoundKind::Unknown;
+            return ConjunctShape::unknown();
         };
         match op {
             BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Ne => {}
-            _ => return BoundKind::Unknown,
+            _ => return ConjunctShape::unknown(),
         }
 
         // Structure walk: `x != null` (either side).
@@ -707,9 +856,15 @@ impl<'a> Collector<'a> {
             for (side, _other) in [(lhs, rhs), (rhs, lhs)] {
                 if matches!(_other.as_ref(), HExpr::Null) {
                     if let Some(k) = self.classify_null_chase(side, fx) {
-                        return k;
+                        // A full walk visits each of the structure's
+                        // nodes exactly once: 1·N trips.
+                        return ConjunctShape {
+                            kind: k,
+                            trips: TripCount::exact(CostFn::from_term(1, false, 1.0)),
+                            induction: None,
+                        };
                     }
-                    return BoundKind::Unknown;
+                    return ConjunctShape::unknown();
                 }
             }
         }
@@ -728,19 +883,298 @@ impl<'a> Collector<'a> {
             // The bound must be loop-invariant.
             let bound_kind = self.classify_bound_expr(bound, fx);
             if bound_kind == BoundKind::Unknown {
-                return BoundKind::Unknown;
+                return ConjunctShape::unknown();
             }
+            let ind_on_lhs = std::ptr::eq(ind.as_ref(), lhs.as_ref());
             return match progress {
                 Progress::Additive => {
                     // A countdown's trip count is set by the initial
                     // value, a count-up's by the bound; take the coarser
                     // of both rather than guessing the direction.
-                    bound_kind.max(self.classify_init(*slot, fx))
+                    let kind = bound_kind.max(self.classify_init(*slot, fx));
+                    self.additive_shape(*slot, *op, ind_on_lhs, bound, kind)
                 }
-                Progress::Multiplicative => BoundKind::Logarithmic,
+                Progress::Multiplicative => self.multiplicative_shape(*slot, bound),
             };
         }
-        BoundKind::Unknown
+        ConjunctShape::unknown()
+    }
+
+    /// Solves an additive counted loop's trip count:
+    /// `trips = (bound − init) / step` (+1 for inclusive comparisons),
+    /// an affine form over `N` and at most one enclosing induction
+    /// variable. Unsolvable pieces widen to the class the `BoundKind`
+    /// already proved.
+    fn additive_shape(
+        &self,
+        slot: LocalSlot,
+        op: BinOp,
+        ind_on_lhs: bool,
+        bound: &HExpr,
+        kind: BoundKind,
+    ) -> ConjunctShape {
+        let enclosing = self.enclosing_induction_slots();
+        let step = self.additive_step(slot);
+        let init_form = self.init_form(slot, &enclosing);
+        let init_const = init_form.filter(|f| f.is_scalar()).map(|f| f.k);
+        let induction = Some(InductionVar {
+            slot,
+            init: init_const,
+            step,
+        });
+        let widened = ConjunctShape {
+            kind,
+            trips: TripCount::widened(kind.class()),
+            induction,
+        };
+        let (Some(step), Some(init_form)) = (step, init_form) else {
+            return widened;
+        };
+        let Some(bound_form) = self.linear_form(bound, &enclosing, 0) else {
+            return widened;
+        };
+        let Some(diff) = bound_form.add(init_form.neg()) else {
+            return widened;
+        };
+        let mut trips = diff.scale(1.0 / step);
+        // Normalize the comparison so the induction variable reads on
+        // the left: `n > i` means `i < n`.
+        let op = if ind_on_lhs {
+            op
+        } else {
+            match op {
+                BinOp::Lt => BinOp::Gt,
+                BinOp::Le => BinOp::Ge,
+                BinOp::Gt => BinOp::Lt,
+                BinOp::Ge => BinOp::Le,
+                other => other,
+            }
+        };
+        if matches!(op, BinOp::Le | BinOp::Ge) {
+            trips.k += 1.0;
+        }
+        if !trips.n.is_finite() || !trips.k.is_finite() || trips.n < 0.0 {
+            // A negative N-coefficient means the loop shrinks with the
+            // input (or the direction analysis failed): no closed form.
+            return widened;
+        }
+        if trips.is_scalar() {
+            // Pure constant: round up for non-dividing steps, clamp a
+            // never-entered loop to zero. `!=` conditions demand exact
+            // division; a negative remainder-style count is wrap-around
+            // territory and stays widened.
+            if op == BinOp::Ne && (trips.k < 0.0 || trips.k.fract().abs() > 1e-9) {
+                return widened;
+            }
+            trips.k = trips.k.ceil().max(0.0);
+        }
+        let fixed = CostFn::from_term(1, false, trips.n).add(&CostFn::constant(trips.k));
+        ConjunctShape {
+            kind,
+            trips: TripCount {
+                fixed,
+                outer: trips.outer,
+            },
+            induction,
+        }
+    }
+
+    /// Solves a multiplicative counted loop: `log₂(bound) / log₂(step)`
+    /// trips, so an exact `1/log₂(step)` coefficient on the `log n` term
+    /// when the bound is linear in the input (the additive constant
+    /// `log₂` of the bound's own coefficient stays an `O(1)` tail).
+    fn multiplicative_shape(&self, slot: LocalSlot, bound: &HExpr) -> ConjunctShape {
+        let enclosing = self.enclosing_induction_slots();
+        let induction = Some(InductionVar {
+            slot,
+            init: self
+                .init_form(slot, &enclosing)
+                .filter(|f| f.is_scalar())
+                .map(|f| f.k),
+            step: None,
+        });
+        let factor = self.multiplicative_factor(slot);
+        let bound_form = self.linear_form(bound, &enclosing, 0);
+        let trips = match (factor, bound_form) {
+            (Some(k), Some(bf)) if bf.n > 0.0 && bf.outer.is_none() => TripCount::exact(
+                CostFn::from_term(0, true, 1.0 / k.log2())
+                    .add(&CostFn::widened(ComplexityClass::Constant)),
+            ),
+            (Some(_), Some(bf)) if bf.is_scalar() => {
+                // Constant bound: a constant number of doublings.
+                TripCount::widened(ComplexityClass::Constant)
+            }
+            _ => TripCount::widened(ComplexityClass::Logarithmic),
+        };
+        ConjunctShape {
+            kind: BoundKind::Logarithmic,
+            trips,
+            induction,
+        }
+    }
+
+    /// Induction slots of every loop enclosing the one being classified
+    /// (the classification runs before the loop is pushed, so the stack
+    /// holds exactly the enclosing loops, already classified).
+    fn enclosing_induction_slots(&self) -> BTreeSet<LocalSlot> {
+        self.stack
+            .iter()
+            .filter_map(|&i| self.loops[i].induction.map(|iv| iv.slot))
+            .collect()
+    }
+
+    /// The signed additive step shared by every progress store to
+    /// `slot`, when they agree.
+    fn additive_step(&self, slot: LocalSlot) -> Option<f64> {
+        let stores = self.facts.stores.get(slot as usize)?;
+        let mut step: Option<f64> = None;
+        for value in stores {
+            if self.progress_shape(slot, value).is_none() {
+                continue;
+            }
+            let HExpr::Binary { op, lhs, rhs, .. } = value else {
+                return None;
+            };
+            let (self_on_lhs, step_expr) = if matches!(lhs.as_ref(), HExpr::Local(s) if *s == slot)
+            {
+                (true, rhs)
+            } else {
+                (false, lhs)
+            };
+            let k = self.facts.const_eval(step_expr)?.as_constant()? as f64;
+            let s = match op {
+                BinOp::Add => k,
+                BinOp::Sub if self_on_lhs => -k,
+                _ => return None,
+            };
+            match step {
+                None => step = Some(s),
+                Some(prev) if prev == s => {}
+                Some(_) => return None,
+            }
+        }
+        step
+    }
+
+    /// The multiplicative factor (absolute value) shared by every
+    /// progress store to `slot`, when they agree.
+    fn multiplicative_factor(&self, slot: LocalSlot) -> Option<f64> {
+        let stores = self.facts.stores.get(slot as usize)?;
+        let mut factor: Option<f64> = None;
+        for value in stores {
+            if self.progress_shape(slot, value).is_none() {
+                continue;
+            }
+            let HExpr::Binary { op, lhs, rhs, .. } = value else {
+                return None;
+            };
+            let step_expr = if matches!(lhs.as_ref(), HExpr::Local(s) if *s == slot) {
+                rhs
+            } else {
+                lhs
+            };
+            let k = (self.facts.const_eval(step_expr)?.as_constant()? as f64).abs();
+            if !matches!(op, BinOp::Mul | BinOp::Div) || k < 2.0 {
+                return None;
+            }
+            match factor {
+                None => factor = Some(k),
+                Some(prev) if prev == k => {}
+                Some(_) => return None,
+            }
+        }
+        factor
+    }
+
+    /// The induction variable's initial value as an affine form: the
+    /// single non-progress store when there is one, the size parameter
+    /// itself when the slot is a never-reassigned parameter.
+    fn init_form(&self, slot: LocalSlot, enclosing: &BTreeSet<LocalSlot>) -> Option<LinForm> {
+        let stores = self.facts.stores.get(slot as usize)?;
+        let inits: Vec<&&HExpr> = stores
+            .iter()
+            .filter(|v| self.progress_shape(slot, v).is_none())
+            .collect();
+        match inits.as_slice() {
+            [] if (slot as usize) < self.facts.n_params as usize => {
+                // A parameter arrives initialized from the caller; we
+                // identify integer size parameters with the measured
+                // size axis N (documented assumption).
+                Some(LinForm::input())
+            }
+            [single] => self.linear_form(single, enclosing, 0),
+            // Several candidate inits: the compiler reuses slots, so
+            // sequential loops share one induction slot. Use the store
+            // that dominates this loop's entry on the straight-line
+            // path, when there is one.
+            _ => {
+                let value = self.reaching.get(slot as usize).copied().flatten()?;
+                if self.progress_shape(slot, value).is_some() {
+                    return None;
+                }
+                self.linear_form(value, enclosing, 0)
+            }
+        }
+    }
+
+    /// Evaluates a loop-invariant expression to an affine form over the
+    /// input-size parameter `N` and at most one enclosing induction
+    /// variable. `None` means no provable coefficients (heap reads,
+    /// multi-store locals, nonlinear arithmetic) — callers widen.
+    fn linear_form(
+        &self,
+        e: &HExpr,
+        enclosing: &BTreeSet<LocalSlot>,
+        depth: u32,
+    ) -> Option<LinForm> {
+        if depth > 16 {
+            return None;
+        }
+        match e {
+            HExpr::Int(k) => Some(LinForm::constant(*k as f64)),
+            // A value read straight from input, or a structure length:
+            // the measured size axis itself.
+            HExpr::ReadInput { .. } | HExpr::ArrayLen { .. } => Some(LinForm::input()),
+            HExpr::Unary {
+                op: UnOp::Neg,
+                expr,
+            } => Some(self.linear_form(expr, enclosing, depth + 1)?.neg()),
+            HExpr::Binary { op, lhs, rhs, .. } => {
+                let a = self.linear_form(lhs, enclosing, depth + 1)?;
+                let b = self.linear_form(rhs, enclosing, depth + 1)?;
+                match op {
+                    BinOp::Add => a.add(b),
+                    BinOp::Sub => a.add(b.neg()),
+                    BinOp::Mul if a.is_scalar() => Some(b.scale(a.k)),
+                    BinOp::Mul if b.is_scalar() => Some(a.scale(b.k)),
+                    BinOp::Div if b.is_scalar() && b.k != 0.0 => Some(a.scale(1.0 / b.k)),
+                    _ => None,
+                }
+            }
+            HExpr::Local(s) => {
+                if let Some(k) = self.facts.const_eval(e).and_then(|iv| iv.as_constant()) {
+                    return Some(LinForm::constant(k as f64));
+                }
+                if enclosing.contains(s) {
+                    return Some(LinForm {
+                        n: 0.0,
+                        k: 0.0,
+                        outer: Some((*s, 1.0)),
+                    });
+                }
+                if (*s as usize) < self.facts.n_params as usize {
+                    // Size parameter ≡ N (documented assumption).
+                    return Some(LinForm::input());
+                }
+                match self.facts.stores.get(*s as usize).map(|v| v.as_slice()) {
+                    Some([single]) => self.linear_form(single, enclosing, depth + 1),
+                    _ => None,
+                }
+            }
+            // Heap reads: the magnitude is unprovable without a heap
+            // shape analysis — widen.
+            _ => None,
+        }
     }
 
     /// `x != null` walks: returns a classification when the loop

@@ -29,6 +29,7 @@ use algoprof_vm::bytecode::CompiledProgram;
 use algoprof_vm::callgraph::{cha_targets, CallGraph};
 
 use crate::bounds::{CallSite, FunctionSummary};
+use crate::costfn::{CostComposer, CostFn, Feature};
 
 /// What kind of repetition a prediction is about.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,6 +48,9 @@ pub struct Prediction {
     pub name: String,
     /// Predicted asymptotic class of the repetition's total cost.
     pub class: ComplexityClass,
+    /// Symbolic cost function with coefficients (widened to
+    /// `O(class)` where the recurrences were unsolvable).
+    pub cost: CostFn,
     /// Loop or recursion.
     pub kind: PredictionKind,
     /// Enclosing (or recursive) function.
@@ -88,7 +92,17 @@ impl<'a> Composer<'a> {
     /// Predicts a class for every repetition in the program,
     /// deterministically ordered (function table order, then loop
     /// pre-order, with each function's recursion node first).
-    pub fn predictions(mut self) -> Vec<Prediction> {
+    pub fn predictions(self) -> Vec<Prediction> {
+        self.predictions_with_features(false).0
+    }
+
+    /// Like [`Composer::predictions`], optionally also splitting each
+    /// repetition's cost by language feature (`with_features`). The
+    /// feature list is index-aligned with the predictions.
+    pub fn predictions_with_features(
+        mut self,
+        with_features: bool,
+    ) -> (Vec<Prediction>, Vec<FeatureCost>) {
         // Loop names from the instrumented program, keyed by
         // (function index, pre-order ordinal).
         let mut names: HashMap<(u32, u32), &str> = HashMap::new();
@@ -96,14 +110,60 @@ impl<'a> Composer<'a> {
             names.insert((info.func.0, info.ordinal), info.name.as_str());
         }
 
+        // Per-function classes (recursion multiplier included) feed the
+        // coefficient composer's widening: the class claim stays with
+        // the existing lattice machinery, the coefficients ride along.
+        let n = self.summaries.len();
+        let mut fn_classes = vec![ComplexityClass::Constant; n];
+        for (f, slot) in fn_classes.iter_mut().enumerate() {
+            *slot = self.cost(f);
+        }
+        let mut steps =
+            CostComposer::steps(self.summaries, self.program, self.callgraph, &fn_classes);
+        let mut feature_composers: Vec<(Feature, CostComposer)> = if with_features {
+            Feature::ALL
+                .iter()
+                .map(|&ft| {
+                    (
+                        ft,
+                        CostComposer::feature(
+                            self.summaries,
+                            self.program,
+                            self.callgraph,
+                            &fn_classes,
+                            ft,
+                        ),
+                    )
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         let mut out = Vec::new();
+        let mut features = Vec::new();
+        let mut emit_features = |name: &str, cost: &dyn Fn(&mut CostComposer) -> CostFn| {
+            if feature_composers.is_empty() {
+                return;
+            }
+            features.push(FeatureCost {
+                name: name.to_string(),
+                features: feature_composers
+                    .iter_mut()
+                    .map(|(ft, fc)| (*ft, cost(fc)))
+                    .collect(),
+            });
+        };
         for f in 0..self.summaries.len() {
             let summary = &self.summaries[f];
             if self.callgraph.potentially_recursive[f] {
                 let class = self.cost(f);
+                let name = format!("{} (recursion)", summary.name);
+                emit_features(&name, &|fc| fc.func_cost(f));
                 out.push(Prediction {
-                    name: format!("{} (recursion)", summary.name),
+                    name,
                     class,
+                    cost: steps.func_cost(f),
                     kind: PredictionKind::Recursion,
                     function: summary.name.clone(),
                     line: summary.line,
@@ -124,9 +184,11 @@ impl<'a> Composer<'a> {
                     .get(&(summary.func.0, lp.ordinal))
                     .map(|s| s.to_string())
                     .unwrap_or_else(|| format!("{}:loop{}@L{}", summary.name, lp.ordinal, lp.line));
+                emit_features(&name, &|fc| fc.loop_cost(f, l, class));
                 out.push(Prediction {
                     name,
                     class,
+                    cost: steps.loop_cost(f, l, class),
                     kind: PredictionKind::Loop,
                     function: summary.name.clone(),
                     line: lp.line,
@@ -134,7 +196,7 @@ impl<'a> Composer<'a> {
                 });
             }
         }
-        out
+        (out, features)
     }
 
     /// Cost-per-invocation class of function `f`, recursion multiplier
@@ -248,10 +310,28 @@ impl<'a> Composer<'a> {
     }
 }
 
+/// Per-feature cost breakdown for one repetition (index-aligned with
+/// the predictions it was produced with).
+#[derive(Debug, Clone)]
+pub struct FeatureCost {
+    /// Repetition name, matching [`Prediction::name`].
+    pub name: String,
+    /// Cost attributed to each feature, in [`Feature::ALL`] order.
+    pub features: Vec<(Feature, CostFn)>,
+}
+
 /// A prediction lookup keyed by repetition name.
 pub fn prediction_map(predictions: &[Prediction]) -> HashMap<String, ComplexityClass> {
     predictions
         .iter()
         .map(|p| (p.name.clone(), p.class))
+        .collect()
+}
+
+/// A class + cost-function lookup keyed by repetition name.
+pub fn cost_map(predictions: &[Prediction]) -> HashMap<String, (ComplexityClass, CostFn)> {
+    predictions
+        .iter()
+        .map(|p| (p.name.clone(), (p.class, p.cost.clone())))
         .collect()
 }

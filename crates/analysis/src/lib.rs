@@ -54,6 +54,7 @@
 
 pub mod bounds;
 pub mod compose;
+pub mod costfn;
 pub mod diag;
 pub mod interval;
 pub mod lints;
@@ -66,7 +67,8 @@ use algoprof_vm::hir::HFunction;
 use algoprof_vm::{compile, parser::parse, typeck::check, InstrumentOptions};
 
 pub use bounds::{BoundKind, FunctionSummary, LoopSummary};
-pub use compose::{prediction_map, Composer, Prediction, PredictionKind};
+pub use compose::{cost_map, prediction_map, Composer, FeatureCost, Prediction, PredictionKind};
+pub use costfn::{CostFn, Feature, InductionVar, OpCounts, TripCount};
 pub use diag::{Code, Diagnostic, Level, Span};
 pub use interval::Interval;
 pub use report::{render_json, render_text};
@@ -103,11 +105,25 @@ impl Analysis {
 /// Returns the first lexical, syntactic, or semantic error; a program
 /// that does not compile cannot be analyzed.
 pub fn analyze_source(source: &str) -> Result<Analysis, CompileError> {
+    Ok(analyze_source_with_features(source)?.0)
+}
+
+/// Like [`analyze_source`], additionally splitting each repetition's
+/// predicted cost by language feature (virtual dispatch, field access,
+/// array access, allocation). The feature list is index-aligned with
+/// `Analysis::predictions`.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic, or semantic error.
+pub fn analyze_source_with_features(
+    source: &str,
+) -> Result<(Analysis, Vec<FeatureCost>), CompileError> {
     let ast = parse(source)?;
     let typed = check(&ast)?;
     let compiled = compile(source)?;
     let instrumented = compiled.instrument(&InstrumentOptions::default());
-    Ok(analyze_program(&typed.bodies, &instrumented))
+    Ok(analyze_program_with_features(&typed.bodies, &instrumented))
 }
 
 /// Analyzes already-lowered bodies against their instrumented program.
@@ -117,6 +133,15 @@ pub fn analyze_source(source: &str) -> Result<Analysis, CompileError> {
 /// positionally against the instrumented program's natural-loop
 /// ordinals.
 pub fn analyze_program(bodies: &[HFunction], instrumented: &CompiledProgram) -> Analysis {
+    analyze_program_with_features(bodies, instrumented).0
+}
+
+/// Like [`analyze_program`], also producing the per-feature cost
+/// breakdown (index-aligned with the predictions).
+pub fn analyze_program_with_features(
+    bodies: &[HFunction],
+    instrumented: &CompiledProgram,
+) -> (Analysis, Vec<FeatureCost>) {
     let callgraph = CallGraph::build(instrumented);
 
     let mut diagnostics = Vec::new();
@@ -129,13 +154,17 @@ pub fn analyze_program(bodies: &[HFunction], instrumented: &CompiledProgram) -> 
     }
     diagnostics.extend(lints::lint_program(bodies, instrumented, &callgraph));
 
-    let predictions = Composer::new(&summaries, instrumented, &callgraph).predictions();
+    let (predictions, features) =
+        Composer::new(&summaries, instrumented, &callgraph).predictions_with_features(true);
     let has_errors = diag::finalize(&mut diagnostics);
-    Analysis {
-        diagnostics,
-        predictions,
-        has_errors,
-    }
+    (
+        Analysis {
+            diagnostics,
+            predictions,
+            has_errors,
+        },
+        features,
+    )
 }
 
 #[cfg(test)]
@@ -234,5 +263,191 @@ mod tests {
     #[test]
     fn compile_errors_propagate() {
         assert!(analyze_source("class Main { static int main() { return x; } }").is_err());
+    }
+
+    const INSERTION_SORT: &str = r#"class Main {
+        static int main() {
+            int size = readInput();
+            int[] a = new int[size];
+            Main.fill(a);
+            Main.sort(a);
+            return a.length;
+        }
+        static void fill(int[] a) {
+            for (int i = 0; i < a.length; i = i + 1) { a[i] = a.length - i; }
+        }
+        static void sort(int[] a) {
+            for (int i = 1; i < a.length; i = i + 1) {
+                int key = a[i];
+                int j = i;
+                while (j > 0 && a[j - 1] > key) {
+                    a[j] = a[j - 1];
+                    j = j - 1;
+                }
+                a[j] = key;
+            }
+        }
+    }"#;
+
+    #[test]
+    fn insertion_sort_cost_is_half_n_squared() {
+        // The triangular recurrence solved in closed form: outer trips
+        // n−1; inner trips i with i = 1 + k; Σ = (n−1) + Σₖ(1 + k)
+        // = 0.5n² + 0.5n − 1. At n = 8 that is exactly the 35 steps
+        // the dynamic profiler measures.
+        let a = analyze_source(INSERTION_SORT).expect("analyzes");
+        let p = a
+            .predictions
+            .iter()
+            .find(|p| p.name.contains("Main.sort:loop0"))
+            .expect("outer sort loop");
+        assert_eq!(p.class, ComplexityClass::Quadratic);
+        assert_eq!(p.cost.to_string(), "0.5*n^2 + 0.5*n - 1");
+        let lead = p.cost.leading().expect("exact leading term");
+        assert_eq!((lead.degree, lead.log), (2, false));
+        assert!((lead.coeff - 0.5).abs() < 1e-9);
+        assert!((p.cost.eval_terms(8.0) - 35.0).abs() < 1e-9);
+        // The inner loop alone has no closed form over n (its trip
+        // count depends on the outer induction variable): widened.
+        let inner = a
+            .predictions
+            .iter()
+            .find(|p| p.name.contains("Main.sort:loop1"))
+            .expect("inner sort loop");
+        assert!(inner.cost.leading().is_none());
+        assert_eq!(inner.cost.class(), ComplexityClass::Linear);
+        // The fill loop is exactly n.
+        let fill = a
+            .predictions
+            .iter()
+            .find(|p| p.name.contains("Main.fill:loop0"))
+            .expect("fill loop");
+        assert_eq!(fill.cost.to_string(), "n");
+    }
+
+    #[test]
+    fn quadratic_nest_cost_is_n_squared_plus_n() {
+        let src = r#"class Main { static int main() {
+            int n = readInput();
+            int s = 0;
+            for (int i = 0; i < n; i = i + 1) {
+                for (int j = 0; j < n; j = j + 1) { s = s + 1; }
+            }
+            return s;
+        } }"#;
+        let a = analyze_source(src).expect("analyzes");
+        let outer = a
+            .predictions
+            .iter()
+            .find(|p| p.name.contains("loop0"))
+            .expect("outer");
+        // n iterations, each costing 1 (itself) + n (inner execution).
+        assert_eq!(outer.cost.to_string(), "n^2 + n");
+        let inner = a
+            .predictions
+            .iter()
+            .find(|p| p.name.contains("loop1"))
+            .expect("inner");
+        assert_eq!(inner.cost.to_string(), "n");
+    }
+
+    #[test]
+    fn doubling_loop_cost_has_exact_log_coefficient() {
+        let src = r#"class Main { static int main() {
+            int n = readInput();
+            int s = 0;
+            for (int i = 1; i < n; i = i * 2) { s = s + 1; }
+            return s;
+        } }"#;
+        let a = analyze_source(src).expect("analyzes");
+        let p = a
+            .predictions
+            .iter()
+            .find(|p| p.name.contains("loop0"))
+            .expect("loop");
+        // log₂(n)/log₂(2) = 1·log n, plus an O(1) tail for the start
+        // value: the coefficient is exact, the constant is not.
+        assert_eq!(p.cost.to_string(), "log n + O(1)");
+        let lead = p.cost.leading().expect("leading log term");
+        assert_eq!((lead.degree, lead.log), (0, true));
+        assert!((lead.coeff - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sequential_loops_sharing_a_slot_keep_exact_trip_counts() {
+        // The compiler reuses local slots, so both `i`s land on one
+        // slot; the reaching-store fallback must still find each loop's
+        // own initializer instead of widening.
+        let src = r#"class Main { static int main() {
+            int n = readInput();
+            int[] a = new int[n];
+            for (int i = 0; i < a.length; i = i + 1) { a[i] = 1; }
+            for (int i = 1; i < a.length; i = i + 1) { a[i] = 2; }
+            return 0;
+        } }"#;
+        let a = analyze_source(src).expect("analyzes");
+        let costs: Vec<String> = a.predictions.iter().map(|p| p.cost.to_string()).collect();
+        assert_eq!(costs, vec!["n".to_string(), "n - 1".to_string()]);
+    }
+
+    #[test]
+    fn conditional_reinitialization_widens_honestly() {
+        // Two inits reach the second loop (one under a branch): no
+        // single reaching store, so the trip count must widen rather
+        // than guess.
+        let src = r#"class Main { static int main() {
+            int n = readInput();
+            int i = 0;
+            for (i = 0; i < n; i = i + 1) { int x = i; }
+            if (n > 4) { i = 2; } else { i = 3; }
+            while (i < n) { i = i + 1; }
+            return 0;
+        } }"#;
+        let a = analyze_source(src).expect("analyzes");
+        let second = a.predictions.last().expect("second loop");
+        assert_eq!(second.class, ComplexityClass::Linear);
+        assert_eq!(second.cost.to_string(), "O(n)");
+    }
+
+    #[test]
+    fn recursion_cost_widens_to_class() {
+        let src = r#"class Main {
+            static int down(int n) {
+                if (n <= 0) { return 0; }
+                return Main.down(n - 1) + 1;
+            }
+            static int main() { return Main.down(readInput()); }
+        }"#;
+        let a = analyze_source(src).expect("analyzes");
+        let p = a.prediction("Main.down (recursion)").expect("down");
+        assert_eq!(p.cost.to_string(), "O(n)");
+        assert!(p.cost.leading().is_none());
+    }
+
+    #[test]
+    fn feature_attribution_splits_array_accesses() {
+        let (a, features) = analyze_source_with_features(INSERTION_SORT).expect("analyzes");
+        assert_eq!(a.predictions.len(), features.len());
+        let idx = a
+            .predictions
+            .iter()
+            .position(|p| p.name.contains("Main.sort:loop0"))
+            .expect("outer sort loop");
+        let fc = &features[idx];
+        let by_name = |name: &str| -> &CostFn {
+            fc.features
+                .iter()
+                .find(|(f, _)| f.name() == name)
+                .map(|(_, c)| c)
+                .unwrap()
+        };
+        // Inner region: 2 reads (condition + shift) + 1 write per
+        // iteration; outer region: 1 read + 1 write per iteration.
+        // Σ over the triangular nest: 3·(0.5n²−0.5n) + 2·(n−1).
+        assert_eq!(by_name("array-access").to_string(), "1.5*n^2 + 0.5*n - 2");
+        // No virtual calls, fields, or allocations anywhere in sort.
+        assert_eq!(by_name("virtual-dispatch").to_string(), "0");
+        assert_eq!(by_name("field-access").to_string(), "0");
+        assert_eq!(by_name("allocation").to_string(), "0");
     }
 }

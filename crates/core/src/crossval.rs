@@ -19,8 +19,8 @@
 //! fit, and an `Unknown` on either side makes no claim (`agrees: None`)
 //! rather than a spurious verdict.
 
-use algoprof_analysis::{analyze_source, prediction_map};
-use algoprof_fit::ComplexityClass;
+use algoprof_analysis::{analyze_source, cost_map, CostFn};
+use algoprof_fit::{check_coefficient, CoeffCheck, CoeffVerdict, ComplexityClass};
 use algoprof_vm::error::CompileError;
 
 use crate::profile::AlgorithmicProfile;
@@ -33,12 +33,18 @@ pub struct CrossCheck {
     /// Statically predicted class, when the analysis names this
     /// repetition.
     pub predicted: Option<ComplexityClass>,
+    /// The symbolic cost function behind the prediction, with
+    /// coefficients where the recurrence solver proved them.
+    pub cost: Option<CostFn>,
     /// Class of the best dynamic fit over this profile's per-invocation
     /// ⟨size, steps⟩ points, when the series is fittable.
     pub fitted: Option<ComplexityClass>,
     /// `Some(true)`/`Some(false)` when both sides make a claim; `None`
     /// when either is missing or `Unknown`.
     pub agrees: Option<bool>,
+    /// Coefficient-level comparison of the predicted cost function's
+    /// leading term against the dynamic fit.
+    pub coeff: CoeffCheck,
 }
 
 impl std::fmt::Display for CrossCheck {
@@ -56,7 +62,17 @@ impl std::fmt::Display for CrossCheck {
             show(self.predicted),
             show(self.fitted),
             verdict
-        )
+        )?;
+        if let Some(cost) = &self.cost {
+            write!(f, "  cost {cost}")?;
+        }
+        if self.coeff.verdict != CoeffVerdict::Unverified {
+            write!(f, "  coeff[{}]", self.coeff.verdict.label())?;
+            if let (Some(p), Some(fc)) = (self.coeff.predicted, self.coeff.fitted) {
+                write!(f, " {p} vs {fc:.4}")?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -75,24 +91,33 @@ pub fn cross_validate(
     source: &str,
 ) -> Result<Vec<CrossCheck>, CompileError> {
     let analysis = analyze_source(source)?;
-    let predictions = prediction_map(&analysis.predictions);
+    let predictions = cost_map(&analysis.predictions);
 
     let mut out = Vec::new();
     for algo in profile.algorithms() {
         let name = profile.node_name(algo.root).to_string();
-        let predicted = predictions.get(&name).copied();
-        let fitted = profile
-            .fit_invocation_steps(algo.id)
-            .map(|f| f.model.complexity_class());
+        let (predicted, cost) = match predictions.get(&name) {
+            Some((class, cost)) => (Some(*class), Some(cost.clone())),
+            None => (None, None),
+        };
+        let fit = profile.fit_invocation_steps(algo.id);
+        let fitted = fit.as_ref().map(|f| f.model.complexity_class());
         let agrees = match (predicted, fitted) {
             (Some(p), Some(f)) => p.agrees_with(f),
             _ => None,
         };
+        let coeff = check_coefficient(
+            predicted,
+            cost.as_ref().and_then(|c| c.leading()),
+            fit.as_ref(),
+        );
         out.push(CrossCheck {
             name,
             predicted,
+            cost,
             fitted,
             agrees,
+            coeff,
         });
     }
     Ok(out)

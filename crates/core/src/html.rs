@@ -130,6 +130,7 @@ pub fn render_sweep_html(report: &crate::sweep::SweepReport) -> String {
          td, th { border: 1px solid #ccc; padding: 0.3em 0.7em; }\n\
          svg { background: #fafafa; border: 1px solid #ddd; }\n\
          .agree { color: #2a7a2a; }\n\
+         .classonly { color: #8a6d00; }\n\
          .disagree { color: #b00020; }\n\
          </style></head><body>\n<h1>Sweep report</h1>\n",
     );
@@ -185,8 +186,9 @@ pub fn render_sweep_html(report: &crate::sweep::SweepReport) -> String {
         if let Some(fit) = &s.fit {
             let _ = writeln!(
                 out,
-                "<p class=\"meta\">best fit: {} &nbsp; [{}]</p>",
+                "<p class=\"meta\">best fit: {} &nbsp; rmse = {:.4} &nbsp; [{}]</p>",
                 escape(&fit.to_string()),
+                fit.rmse,
                 fit.model.big_o(),
             );
         }
@@ -198,17 +200,31 @@ pub fn render_sweep_html(report: &crate::sweep::SweepReport) -> String {
             );
         }
         if let Some(pred) = s.predicted {
-            let verdict = match s.agrees {
-                Some(true) => "<span class=\"agree\">[agrees]</span>".to_string(),
-                Some(false) => format!(
+            use algoprof_fit::CoeffVerdict;
+            let verdict = match s.coeff.verdict {
+                CoeffVerdict::Agrees => match (s.coeff.predicted, s.coeff.fitted) {
+                    (Some(p), Some(f)) => format!(
+                        "<span class=\"agree\">[agrees]</span> (coeff {p} vs fitted {f:.4})"
+                    ),
+                    _ => "<span class=\"agree\">[agrees]</span>".to_string(),
+                },
+                CoeffVerdict::ClassOnly => format!(
+                    "<span class=\"classonly\">[class-only: {}]</span>",
+                    escape(s.coeff.reason),
+                ),
+                CoeffVerdict::Disagrees => format!(
                     "<strong class=\"disagree\">[DISAGREES with best fit {}]</strong>",
                     s.fit.as_ref().map(|f| f.model.big_o()).unwrap_or("(none)"),
                 ),
-                None => "[unverified]".to_string(),
+                CoeffVerdict::Unverified => "[unverified]".to_string(),
+            };
+            let cost = match &s.predicted_cost {
+                Some(c) => format!(" = {}", escape(&c.to_string())),
+                None => String::new(),
             };
             let _ = writeln!(
                 out,
-                "<p class=\"meta\">predicted: {} &nbsp; {verdict}</p>",
+                "<p class=\"meta\">predicted: {}{cost} &nbsp; {verdict}</p>",
                 pred.big_o(),
             );
         }

@@ -33,7 +33,7 @@ use algoprof_vm::InstrumentOptions;
 /// Bump when the canonical encoding hashed by [`JobSpec::cache_key`] or
 /// the meaning of [`JobOutput`] changes, so stale cache dirs can never
 /// serve results computed under different semantics.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// One unit of daemon work, self-contained (sources and traces ride in
 /// the spec, never paths to them).

@@ -22,7 +22,11 @@
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use algoprof_fit::{best_fit, fit_power_law, ComplexityClass, Fit, PowerFit};
+use algoprof_analysis::CostFn;
+use algoprof_fit::{
+    best_fit, check_coefficient, fit_power_law, CoeffCheck, CoeffVerdict, ComplexityClass, Fit,
+    PowerFit,
+};
 use algoprof_trace::{TraceHeader, TraceRecorder};
 use algoprof_vm::{compile, Fanout, InstrumentOptions, Interp, Tee};
 
@@ -202,10 +206,16 @@ pub struct SweepSeries {
     /// source. `None` when the analysis has no prediction under this
     /// name (e.g. synthetic grouped roots).
     pub predicted: Option<ComplexityClass>,
+    /// The symbolic cost function behind the prediction, with
+    /// coefficients where the recurrence solver proved them.
+    pub predicted_cost: Option<CostFn>,
     /// Whether the static prediction agrees with the empirical best fit
     /// at polynomial-degree granularity. `None` when either side makes
     /// no claim (no fit, no prediction, or an `Unknown` class).
     pub agrees: Option<bool>,
+    /// The coefficient-level comparison of `predicted_cost`'s leading
+    /// term against the best fit.
+    pub coeff: CoeffCheck,
 }
 
 /// The merged result of a whole sweep. All renderings of a report are
@@ -350,14 +360,15 @@ pub fn run_sweep(jobs: &[SweepJob], config: &SweepConfig) -> Result<SweepReport,
     // Group members share a source by construction; analysis failure is
     // impossible for sources that already recorded, but degrade to "no
     // prediction" rather than failing the sweep.
-    let group_predictions: Vec<std::collections::HashMap<String, ComplexityClass>> = groups
-        .iter()
-        .map(|(_, members)| {
-            algoprof_analysis::analyze_source(&jobs[members[0]].source)
-                .map(|a| algoprof_analysis::prediction_map(&a.predictions))
-                .unwrap_or_default()
-        })
-        .collect();
+    let group_predictions: Vec<std::collections::HashMap<String, (ComplexityClass, CostFn)>> =
+        groups
+            .iter()
+            .map(|(_, members)| {
+                algoprof_analysis::analyze_source(&jobs[members[0]].source)
+                    .map(|a| algoprof_analysis::cost_map(&a.predictions))
+                    .unwrap_or_default()
+            })
+            .collect();
     for (a, ablation) in ablations.iter().enumerate() {
         for ((tag, members), predictions) in groups.iter().zip(&group_predictions) {
             // Pair each profile with its job's *requested* size: the
@@ -399,11 +410,19 @@ pub fn run_sweep(jobs: &[SweepJob], config: &SweepConfig) -> Result<SweepReport,
                     })
                     .unwrap_or_default();
                 let fit = best_fit(&points);
-                let predicted = predictions.get(&name).copied();
+                let (predicted, predicted_cost) = match predictions.get(&name) {
+                    Some((class, cost)) => (Some(*class), Some(cost.clone())),
+                    None => (None, None),
+                };
                 let agrees = match (predicted, &fit) {
                     (Some(p), Some(f)) => p.agrees_with(f.model.complexity_class()),
                     _ => None,
                 };
+                let coeff = check_coefficient(
+                    predicted,
+                    predicted_cost.as_ref().and_then(|c| c.leading()),
+                    fit.as_ref(),
+                );
                 report.series.push(SweepSeries {
                     ablation: ablation.name.clone(),
                     program: tag.to_string(),
@@ -413,7 +432,9 @@ pub fn run_sweep(jobs: &[SweepJob], config: &SweepConfig) -> Result<SweepReport,
                     power_law: fit_power_law(&points),
                     points,
                     predicted,
+                    predicted_cost,
                     agrees,
+                    coeff,
                 });
             }
         }
@@ -538,15 +559,25 @@ impl SweepReport {
                 let _ = writeln!(out, "  power law: {p}");
             }
             if let Some(pred) = s.predicted {
-                let verdict = match s.agrees {
-                    Some(true) => "[agrees]".to_string(),
-                    Some(false) => match &s.fit {
+                let verdict = match s.coeff.verdict {
+                    CoeffVerdict::Agrees => match (s.coeff.predicted, s.coeff.fitted) {
+                        (Some(p), Some(f)) => {
+                            format!("[agrees]  (coeff {p} vs fitted {f:.4})")
+                        }
+                        _ => "[agrees]".to_string(),
+                    },
+                    CoeffVerdict::ClassOnly => format!("[class-only: {}]", s.coeff.reason),
+                    CoeffVerdict::Disagrees => match &s.fit {
                         Some(f) => format!("[DISAGREES with best fit {}]", f.model.big_o()),
                         None => "[DISAGREES]".to_string(),
                     },
-                    None => "[unverified]".to_string(),
+                    CoeffVerdict::Unverified => "[unverified]".to_string(),
                 };
-                let _ = writeln!(out, "  predicted: {}  {verdict}", pred.big_o());
+                let cost = match &s.predicted_cost {
+                    Some(c) => format!("  =  {c}"),
+                    None => String::new(),
+                };
+                let _ = writeln!(out, "  predicted: {}{cost}  {verdict}", pred.big_o());
             }
             out.push('\n');
         }
@@ -608,11 +639,12 @@ impl SweepReport {
                 .join(", ");
             let fit = match &s.fit {
                 Some(f) => format!(
-                    "{{\"model\": {}, \"coeff\": {}, \"intercept\": {}, \"r2\": {}, \"n_points\": {}}}",
+                    "{{\"model\": {}, \"coeff\": {}, \"intercept\": {}, \"r2\": {}, \"rmse\": {}, \"n_points\": {}}}",
                     json_str(f.model.big_o()),
                     json_f64(f.coeff),
                     json_f64(f.intercept),
                     json_f64(f.r2),
+                    json_f64(f.rmse),
                     f.n_points
                 ),
                 None => "null".to_string(),
@@ -635,9 +667,25 @@ impl SweepReport {
                 Some(b) => b.to_string(),
                 None => "null".to_string(),
             };
+            let predicted_cost = match &s.predicted_cost {
+                Some(c) => json_str(&c.to_string()),
+                None => "null".to_string(),
+            };
+            let opt_f64 = |v: Option<f64>| match v {
+                Some(x) => json_f64(x),
+                None => "null".to_string(),
+            };
+            let coeff = format!(
+                "{{\"verdict\": {}, \"predicted\": {}, \"fitted\": {}, \"rel_err\": {}, \"reason\": {}}}",
+                json_str(s.coeff.verdict.label()),
+                opt_f64(s.coeff.predicted),
+                opt_f64(s.coeff.fitted),
+                opt_f64(s.coeff.rel_err),
+                json_str(s.coeff.reason)
+            );
             let _ = write!(
                 out,
-                "    {{\"ablation\": {}, \"program\": {}, \"algorithm\": {}, \"kind\": {}, \"points\": [{}], \"best_fit\": {}, \"power_law\": {}, \"predicted\": {}, \"agrees\": {}}}",
+                "    {{\"ablation\": {}, \"program\": {}, \"algorithm\": {}, \"kind\": {}, \"points\": [{}], \"best_fit\": {}, \"power_law\": {}, \"predicted\": {}, \"predicted_cost\": {}, \"agrees\": {}, \"coeff\": {}}}",
                 json_str(&s.ablation),
                 json_str(&s.program),
                 json_str(&s.algorithm),
@@ -646,7 +694,9 @@ impl SweepReport {
                 fit,
                 power,
                 predicted,
-                agrees
+                predicted_cost,
+                agrees,
+                coeff
             );
             out.push_str(if i + 1 < self.series.len() {
                 ",\n"

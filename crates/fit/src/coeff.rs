@@ -1,0 +1,316 @@
+//! Coefficient-level comparison of a symbolic cost prediction against an
+//! empirical fit.
+//!
+//! Class-level cross-validation (`ComplexityClass::agrees_with`) checks
+//! only the polynomial degree: a fitter whose leading coefficient is off
+//! by 10× still "agrees". This module adds the quantitative check: given
+//! the statically predicted **leading term** (degree, log factor, and —
+//! when the static analysis could solve the loop recurrences exactly —
+//! its coefficient) and the empirically fitted [`Fit`], decide whether
+//! the two cost functions agree *as functions*, not just as classes.
+//!
+//! The verdict lattice is deliberately three-valued on the agreeing
+//! side:
+//!
+//! * [`CoeffVerdict::Agrees`] — classes match **and** both leading
+//!   coefficients are available, comparable (same basis term), backed by
+//!   a fit with `R² ≥` [`COEFF_MIN_R2`], and within
+//!   [`COEFF_TOLERANCE`] relative error.
+//! * [`CoeffVerdict::ClassOnly`] — classes match but the coefficient
+//!   claim could not be confirmed: the static side widened its
+//!   coefficient away, the bases differ (an `n log n` fit against a
+//!   plain `n` prediction), the fit is too noisy, or the coefficients
+//!   simply differ by more than the tolerance (a worst-case bound over
+//!   an average-case workload lands here, e.g. insertion sort on random
+//!   input: predicted `0.5·n²`, measured `≈0.25·n²`).
+//! * [`CoeffVerdict::Disagrees`] — the classes themselves disagree;
+//!   coefficients are moot.
+//! * [`CoeffVerdict::Unverified`] — one side makes no claim at all.
+
+use crate::models::{ComplexityClass, Fit, Model};
+
+/// Relative tolerance for coefficient agreement: the predicted leading
+/// coefficient must be within ±20% of the fitted one.
+pub const COEFF_TOLERANCE: f64 = 0.20;
+
+/// Minimum `R²` of the empirical fit before its leading coefficient is
+/// trusted for a coefficient-level verdict. Below this the verdict
+/// degrades to class-only rather than judging against noise.
+pub const COEFF_MIN_R2: f64 = 0.95;
+
+/// The leading term of a symbolic cost function:
+/// `coeff · n^degree · (log n)^log`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeadingTerm {
+    /// Polynomial degree (0–3).
+    pub degree: u32,
+    /// Whether a (single) log factor is present.
+    pub log: bool,
+    /// The coefficient, exact by construction on the static side.
+    pub coeff: f64,
+}
+
+impl Model {
+    /// The (degree, log) basis shape of this model family.
+    pub fn degree_log(self) -> (u32, bool) {
+        match self {
+            Model::Constant => (0, false),
+            Model::Logarithmic => (0, true),
+            Model::Linear => (1, false),
+            Model::Linearithmic => (1, true),
+            Model::Quadratic => (2, false),
+            Model::Cubic => (3, false),
+        }
+    }
+}
+
+/// Outcome of a class + coefficient comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoeffVerdict {
+    /// Class and leading coefficient both agree.
+    Agrees,
+    /// Class agrees; the coefficient claim is unproven, incomparable,
+    /// unconfirmed by the fit quality, or outside tolerance.
+    ClassOnly,
+    /// The classes themselves disagree.
+    Disagrees,
+    /// One side makes no claim (no fit, no prediction, or `Unknown`).
+    Unverified,
+}
+
+impl CoeffVerdict {
+    /// Machine-readable label (used in JSON reports).
+    pub fn label(self) -> &'static str {
+        match self {
+            CoeffVerdict::Agrees => "agrees",
+            CoeffVerdict::ClassOnly => "class-only",
+            CoeffVerdict::Disagrees => "disagrees",
+            CoeffVerdict::Unverified => "unverified",
+        }
+    }
+}
+
+/// A full coefficient comparison: the verdict plus the numbers it was
+/// made from, for rendering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoeffCheck {
+    /// The verdict.
+    pub verdict: CoeffVerdict,
+    /// Predicted leading coefficient, when the static side proved one.
+    pub predicted: Option<f64>,
+    /// Fitted leading coefficient, when a fit exists.
+    pub fitted: Option<f64>,
+    /// `|predicted − fitted| / fitted` when both are comparable.
+    pub rel_err: Option<f64>,
+    /// Why an agreeing class did not reach a coefficient verdict
+    /// (deterministic, human-readable; empty for `Agrees`).
+    pub reason: &'static str,
+}
+
+impl CoeffCheck {
+    /// The all-`None` unverified check.
+    pub fn unverified() -> CoeffCheck {
+        CoeffCheck {
+            verdict: CoeffVerdict::Unverified,
+            predicted: None,
+            fitted: None,
+            rel_err: None,
+            reason: "",
+        }
+    }
+}
+
+/// Compares a static prediction (class + optional exact leading term)
+/// against an empirical fit, producing class- and coefficient-level
+/// verdicts in one [`CoeffCheck`].
+///
+/// `predicted_class` is the authoritative class claim (it may be coarser
+/// than `leading` when the cost function was widened); `leading` is the
+/// exact leading term when the recurrence solver produced one.
+pub fn check_coefficient(
+    predicted_class: Option<ComplexityClass>,
+    leading: Option<LeadingTerm>,
+    fit: Option<&Fit>,
+) -> CoeffCheck {
+    let (Some(pred), Some(fit)) = (predicted_class, fit) else {
+        return CoeffCheck::unverified();
+    };
+    let fitted_class = fit.model.complexity_class();
+    let class_agrees = match pred.agrees_with(fitted_class) {
+        None => return CoeffCheck::unverified(),
+        Some(b) => b,
+    };
+    if !class_agrees {
+        return CoeffCheck {
+            verdict: CoeffVerdict::Disagrees,
+            predicted: leading.map(|l| l.coeff),
+            fitted: Some(fit.coeff),
+            rel_err: None,
+            reason: "",
+        };
+    }
+    let Some(lead) = leading else {
+        return CoeffCheck {
+            verdict: CoeffVerdict::ClassOnly,
+            predicted: None,
+            fitted: Some(fit.coeff),
+            rel_err: None,
+            reason: "coefficient widened away statically",
+        };
+    };
+    if (lead.degree, lead.log) != fit.model.degree_log() {
+        return CoeffCheck {
+            verdict: CoeffVerdict::ClassOnly,
+            predicted: Some(lead.coeff),
+            fitted: Some(fit.coeff),
+            rel_err: None,
+            reason: "fitted basis term differs from predicted leading term",
+        };
+    }
+    // NaN R^2 (degenerate fit) must also fail the confidence gate.
+    if fit.r2.is_nan() || fit.r2 < COEFF_MIN_R2 {
+        return CoeffCheck {
+            verdict: CoeffVerdict::ClassOnly,
+            predicted: Some(lead.coeff),
+            fitted: Some(fit.coeff),
+            rel_err: None,
+            reason: "fit R^2 below coefficient-confidence threshold",
+        };
+    }
+    if fit.coeff.is_nan() || fit.coeff <= 0.0 || !lead.coeff.is_finite() {
+        return CoeffCheck {
+            verdict: CoeffVerdict::ClassOnly,
+            predicted: Some(lead.coeff),
+            fitted: Some(fit.coeff),
+            rel_err: None,
+            reason: "non-positive fitted coefficient",
+        };
+    }
+    let rel_err = (lead.coeff - fit.coeff).abs() / fit.coeff;
+    if rel_err <= COEFF_TOLERANCE {
+        CoeffCheck {
+            verdict: CoeffVerdict::Agrees,
+            predicted: Some(lead.coeff),
+            fitted: Some(fit.coeff),
+            rel_err: Some(rel_err),
+            reason: "",
+        }
+    } else {
+        CoeffCheck {
+            verdict: CoeffVerdict::ClassOnly,
+            predicted: Some(lead.coeff),
+            fitted: Some(fit.coeff),
+            rel_err: Some(rel_err),
+            reason: "leading coefficient outside tolerance",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fit(model: Model, coeff: f64, r2: f64) -> Fit {
+        Fit {
+            model,
+            coeff,
+            intercept: 0.0,
+            r2,
+            rmse: 0.0,
+            bic: 0.0,
+            n_points: 5,
+        }
+    }
+
+    fn lead(degree: u32, log: bool, coeff: f64) -> LeadingTerm {
+        LeadingTerm { degree, log, coeff }
+    }
+
+    #[test]
+    fn exact_match_agrees() {
+        let c = check_coefficient(
+            Some(ComplexityClass::Quadratic),
+            Some(lead(2, false, 0.5)),
+            Some(&fit(Model::Quadratic, 0.5034, 1.0)),
+        );
+        assert_eq!(c.verdict, CoeffVerdict::Agrees);
+        assert!(c.rel_err.unwrap() < 0.01);
+    }
+
+    #[test]
+    fn worst_case_over_average_workload_is_class_only() {
+        // Predicted 0.5·n² worst case, measured 0.25·n² on random input.
+        let c = check_coefficient(
+            Some(ComplexityClass::Quadratic),
+            Some(lead(2, false, 0.5)),
+            Some(&fit(Model::Quadratic, 0.25, 1.0)),
+        );
+        assert_eq!(c.verdict, CoeffVerdict::ClassOnly);
+        assert!(c.rel_err.unwrap() > COEFF_TOLERANCE);
+    }
+
+    #[test]
+    fn widened_coefficient_is_class_only() {
+        let c = check_coefficient(
+            Some(ComplexityClass::Quadratic),
+            None,
+            Some(&fit(Model::Quadratic, 0.5, 1.0)),
+        );
+        assert_eq!(c.verdict, CoeffVerdict::ClassOnly);
+        assert_eq!(c.predicted, None);
+    }
+
+    #[test]
+    fn class_mismatch_disagrees() {
+        let c = check_coefficient(
+            Some(ComplexityClass::Quadratic),
+            Some(lead(2, false, 1.0)),
+            Some(&fit(Model::Linear, 2.0, 1.0)),
+        );
+        assert_eq!(c.verdict, CoeffVerdict::Disagrees);
+    }
+
+    #[test]
+    fn noisy_fit_degrades_to_class_only() {
+        let c = check_coefficient(
+            Some(ComplexityClass::Linear),
+            Some(lead(1, false, 1.0)),
+            Some(&fit(Model::Linear, 1.0, 0.6)),
+        );
+        assert_eq!(c.verdict, CoeffVerdict::ClassOnly);
+        assert!(c.reason.contains("R^2"));
+    }
+
+    #[test]
+    fn basis_mismatch_is_class_only() {
+        // O(n log n) fit vs a plain-linear prediction: same degree, but
+        // the leading coefficients multiply different basis functions.
+        let c = check_coefficient(
+            Some(ComplexityClass::Linear),
+            Some(lead(1, false, 1.0)),
+            Some(&fit(Model::Linearithmic, 1.0, 1.0)),
+        );
+        assert_eq!(c.verdict, CoeffVerdict::ClassOnly);
+    }
+
+    #[test]
+    fn missing_sides_are_unverified() {
+        assert_eq!(
+            check_coefficient(None, None, Some(&fit(Model::Linear, 1.0, 1.0))).verdict,
+            CoeffVerdict::Unverified
+        );
+        assert_eq!(
+            check_coefficient(Some(ComplexityClass::Linear), None, None).verdict,
+            CoeffVerdict::Unverified
+        );
+        assert_eq!(
+            check_coefficient(
+                Some(ComplexityClass::Unknown),
+                None,
+                Some(&fit(Model::Linear, 1.0, 1.0))
+            )
+            .verdict,
+            CoeffVerdict::Unverified
+        );
+    }
+}

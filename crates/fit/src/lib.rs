@@ -22,10 +22,14 @@
 //! assert!((fit.coeff - 0.25).abs() < 1e-6);
 //! ```
 
+pub mod coeff;
 pub mod models;
 pub mod regression;
 pub mod streaming;
 
+pub use coeff::{
+    check_coefficient, CoeffCheck, CoeffVerdict, LeadingTerm, COEFF_MIN_R2, COEFF_TOLERANCE,
+};
 pub use models::{ComplexityClass, Fit, Model, PowerFit};
 pub use regression::{best_fit, fit_all, fit_model, fit_power_law};
 pub use streaming::StreamingFit;

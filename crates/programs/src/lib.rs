@@ -17,7 +17,7 @@ pub use lint_corpus::{
 };
 pub use listings::{
     array_list_program, functional_sort_program, insertion_sort_program, sized_array_list_program,
-    sized_insertion_sort_program, GrowthPolicy, SortWorkload, GUEST_RANDOM, LISTING1_LIST,
-    LISTING3, LISTING4, LISTING5,
+    sized_insertion_sort_array_program, sized_insertion_sort_program, GrowthPolicy, SortWorkload,
+    GUEST_RANDOM, LISTING1_LIST, LISTING3, LISTING4, LISTING5,
 };
 pub use table1::{table1_programs, Grouping, Table1Outcome, Table1Program};

@@ -446,6 +446,56 @@ class Main {{
     )
 }
 
+/// Array-backed variant of [`sized_insertion_sort_program`]: a classic
+/// in-place insertion sort over `int[]` whose loop bounds the static
+/// analyzer solves exactly, predicting the inner repetition's cost as
+/// `0.5*n^2 + 0.5*n - 1`. The [`SortWorkload::Reversed`] fill drives
+/// the worst case, so the dynamic sweep's fitted leading coefficient
+/// lands on the predicted 0.5 and the coefficient verdict is
+/// `[agrees]`.
+pub fn sized_insertion_sort_array_program(workload: SortWorkload) -> String {
+    let fill = match workload {
+        SortWorkload::Random => {
+            "Random r = new Random(a.length + 7);
+            for (int i = 0; i < a.length; i = i + 1) { a[i] = r.nextInt(a.length); }"
+        }
+        SortWorkload::Sorted => "for (int i = 0; i < a.length; i = i + 1) { a[i] = i; }",
+        SortWorkload::Reversed => {
+            "for (int i = 0; i < a.length; i = i + 1) { a[i] = a.length - i; }"
+        }
+    };
+    format!(
+        r#"
+class Main {{
+    static int main() {{
+        int size = readInput();
+        int[] a = new int[size];
+        fill(a);
+        sort(a);
+        return a.length;
+    }}
+
+    static void fill(int[] a) {{
+        {fill}
+    }}
+
+    static void sort(int[] a) {{
+        for (int i = 1; i < a.length; i = i + 1) {{
+            int key = a[i];
+            int j = i;
+            while (j > 0 && a[j - 1] > key) {{
+                a[j] = a[j - 1];
+                j = j - 1;
+            }}
+            a[j] = key;
+        }}
+    }}
+}}
+{GUEST_RANDOM}
+"#
+    )
+}
+
 /// Listing 3: the triangular loop nest used to explain cost combination
 /// (outer 3 iterations + inner 0+1+2 = 6 algorithmic steps).
 pub const LISTING3: &str = r#"
@@ -565,6 +615,17 @@ mod tests {
             SortWorkload::Reversed,
         ] {
             runs_sized(&sized_insertion_sort_program(w), 24);
+        }
+    }
+
+    #[test]
+    fn sized_insertion_sort_array_programs_compile_and_run() {
+        for w in [
+            SortWorkload::Random,
+            SortWorkload::Sorted,
+            SortWorkload::Reversed,
+        ] {
+            runs_sized(&sized_insertion_sort_array_program(w), 24);
         }
     }
 

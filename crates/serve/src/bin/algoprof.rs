@@ -7,7 +7,8 @@
 //!                                           `-` streams the trace from stdin
 //! algoprof events <trace> [--json] [--limit N]   dump a recording's events
 //! algoprof sweep <program.jay> --sizes n,.. profile a whole input-size sweep
-//! algoprof lint <program.jay> [--json] [--strict]   static analysis + lints
+//! algoprof lint <program.jay>... [--json] [--strict]   static analysis + lints
+//! algoprof costfn <program.jay> [--json]    symbolic cost functions + feature attribution
 //! algoprof opstats <program.jay>... [--json] [--top N]   opcode frequency/pair stats
 //! algoprof disasm <program.jay> [--cfg] [--fused]   disassemble (CFG / post-fusion)
 //! algoprof serve [--addr H:P|--socket PATH] run the persistent profiling daemon
@@ -70,7 +71,8 @@ const USAGE: &str = "usage: algoprof [--criterion some|all|array|type] [--sizing
        algoprof sweep <program.jay> --sizes n1,n2,... [-j N] \
      [--criteria some,all,array,type] [--sizing ...] [--snapshots ...] [--grouping ...] \
      [--json <file.json>] [--html <file.html>] [--quiet]\n\
-       algoprof lint <program.jay> [--json] [--strict]\n\
+       algoprof lint <program.jay>... [--json] [--strict]\n\
+       algoprof costfn <program.jay> [--json]\n\
        algoprof opstats <program.jay>... [--input v1,v2,...] [--json] [--top N]\n\
        algoprof disasm <program.jay> [--cfg] [--fused]\n\
        algoprof serve [--addr HOST:PORT | --socket PATH] [--workers N] \
@@ -123,6 +125,7 @@ fn main() -> ExitCode {
         Some("events") => events_main(&args[1..]),
         Some("sweep") => sweep_main(&args[1..]),
         Some("lint") => lint_main(&args[1..]),
+        Some("costfn") => costfn_main(&args[1..]),
         Some("opstats") => opstats_main(&args[1..]),
         Some("disasm") => disasm_main(&args[1..]),
         Some("serve") => serve_main(&args[1..]),
@@ -483,9 +486,12 @@ fn events_main(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
-/// `algoprof lint <prog.jay>`: static complexity analysis + lint catalog.
-/// Exits 1 when any error-level diagnostic fires (`--strict` promotes
-/// warnings to the same fate); warnings alone keep exit 0.
+/// `algoprof lint <prog.jay>...`: static complexity analysis + lint
+/// catalog over one or more files, reported per file in argument order.
+/// Exits 1 when any file has an error-level diagnostic (`--strict`
+/// promotes warnings to the same fate) or cannot be read or compiled;
+/// every file is still processed so one bad file does not hide the
+/// others' findings.
 fn lint_main(args: &[String]) -> Result<(), CliError> {
     let mut json = false;
     let mut strict = false;
@@ -502,32 +508,162 @@ fn lint_main(args: &[String]) -> Result<(), CliError> {
             other => positional.push(other.to_owned()),
         }
     }
+    if positional.is_empty() {
+        return Err(CliError::Usage(
+            "lint expects at least one program file".into(),
+        ));
+    }
+    let mut failures: Vec<String> = Vec::new();
+    for path in &positional {
+        let source = match read_file(path) {
+            Ok(s) => s,
+            Err(CliError::Run(msg) | CliError::Usage(msg)) => {
+                failures.push(msg);
+                continue;
+            }
+        };
+        let analysis = match algoprof_analysis::analyze_source(&source) {
+            Ok(a) => a,
+            Err(e) => {
+                failures.push(format!("{path}: {e}"));
+                continue;
+            }
+        };
+        if json {
+            print!("{}", algoprof_analysis::render_json(&analysis, path));
+        } else {
+            print!("{}", algoprof_analysis::render_text(&analysis, path));
+        }
+        if analysis.has_errors || (strict && !analysis.diagnostics.is_empty()) {
+            let errors = analysis
+                .diagnostics
+                .iter()
+                .filter(|d| d.level == algoprof_analysis::Level::Error)
+                .count();
+            let warnings = analysis.diagnostics.len() - errors;
+            failures.push(format!(
+                "{errors} error(s), {warnings} warning(s) in {path}"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(CliError::Run(format!(
+            "lint failed: {}",
+            failures.join("; ")
+        )))
+    }
+}
+
+/// `algoprof costfn <prog.jay> [--json]`: symbolic per-repetition cost
+/// functions — the parametric side of the static analysis. For every
+/// loop and recursion the profiler can report, prints the predicted
+/// class, the cost polynomial with coefficients (widened to `O(class)`
+/// where a recurrence was unsolvable), its derivation, and the cost
+/// attributed to each language feature (virtual dispatch, field access,
+/// array access, allocation).
+fn costfn_main(args: &[String]) -> Result<(), CliError> {
+    let mut json = false;
+    let mut positional: Vec<String> = Vec::new();
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!(
+                    "unknown option {other:?} for costfn"
+                )));
+            }
+            other => positional.push(other.to_owned()),
+        }
+    }
     let [path] = positional.as_slice() else {
         return Err(CliError::Usage(
-            "lint expects exactly one program file".into(),
+            "costfn expects exactly one program file".into(),
         ));
     };
     let source = read_file(path)?;
-    let analysis =
-        algoprof_analysis::analyze_source(&source).map_err(|e| CliError::Run(e.to_string()))?;
+    let (analysis, features) = algoprof_analysis::analyze_source_with_features(&source)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    let by_name: std::collections::HashMap<&str, &algoprof_analysis::FeatureCost> =
+        features.iter().map(|f| (f.name.as_str(), f)).collect();
     if json {
-        print!("{}", algoprof_analysis::render_json(&analysis, path));
+        let mut out = String::from("{\n");
+        out.push_str(&format!(
+            "  \"program\": {},\n  \"repetitions\": [\n",
+            json_string(path)
+        ));
+        for (i, p) in analysis.predictions.iter().enumerate() {
+            let kind = match p.kind {
+                algoprof_analysis::PredictionKind::Loop => "loop",
+                algoprof_analysis::PredictionKind::Recursion => "recursion",
+            };
+            let leading = match p.cost.leading() {
+                Some(l) => format!(
+                    "{{\"degree\": {}, \"log\": {}, \"coeff\": {}}}",
+                    l.degree, l.log, l.coeff
+                ),
+                None => "null".to_owned(),
+            };
+            let feats = by_name
+                .get(p.name.as_str())
+                .map(|fc| {
+                    fc.features
+                        .iter()
+                        .map(|(ft, c)| {
+                            format!(
+                                "{}: {}",
+                                json_string(ft.name()),
+                                json_string(&c.to_string())
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                })
+                .unwrap_or_default();
+            out.push_str(&format!(
+                "    {{\"name\": {}, \"kind\": \"{kind}\", \"class\": {}, \"cost\": {}, \"leading\": {leading}, \"detail\": {}, \"features\": {{{feats}}}}}{}\n",
+                json_string(&p.name),
+                json_string(p.class.big_o()),
+                json_string(&p.cost.to_string()),
+                json_string(&p.detail),
+                if i + 1 < analysis.predictions.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        print!("{out}");
     } else {
-        print!("{}", algoprof_analysis::render_text(&analysis, path));
-    }
-    let gate = analysis.has_errors || (strict && !analysis.diagnostics.is_empty());
-    if gate {
-        let errors = analysis
-            .diagnostics
-            .iter()
-            .filter(|d| d.level == algoprof_analysis::Level::Error)
-            .count();
-        let warnings = analysis.diagnostics.len() - errors;
-        return Err(CliError::Run(format!(
-            "lint failed: {errors} error(s), {warnings} warning(s) in {path}"
-        )));
+        println!("cost functions ({path}):");
+        for p in &analysis.predictions {
+            println!("  {}  {}  cost {}", p.name, p.class.big_o(), p.cost);
+            println!("    derivation: {}", p.detail);
+            if let Some(fc) = by_name.get(p.name.as_str()) {
+                for (ft, c) in &fc.features {
+                    println!("    {}: {}", ft.name(), c);
+                }
+            }
+        }
     }
     Ok(())
+}
+
+/// Minimal JSON string encoder for the costfn report.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// `algoprof opstats <prog.jay>... [--input ...] [--json] [--top N]`:

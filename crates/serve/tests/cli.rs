@@ -250,13 +250,15 @@ fn events_dumps_a_recording() {
 
 #[test]
 fn lint_and_disasm_usage_errors() {
-    assert_usage_error(&["lint"], "exactly one program file");
-    assert_usage_error(&["lint", "a.jay", "b.jay"], "exactly one program file");
+    assert_usage_error(&["lint"], "at least one program file");
     assert_usage_error(&["lint", "a.jay", "--frobnicate"], "--frobnicate");
     assert_usage_error(&["disasm"], "exactly one program file");
     assert_usage_error(&["disasm", "a.jay", "--frobnicate"], "--frobnicate");
     assert_run_error(&["lint", "/no/such/file.jay"], "cannot read");
     assert_run_error(&["disasm", "/no/such/file.jay"], "cannot read");
+    assert_usage_error(&["costfn"], "exactly one program file");
+    assert_usage_error(&["costfn", "a.jay", "--frobnicate"], "--frobnicate");
+    assert_run_error(&["costfn", "/no/such/file.jay"], "cannot read");
 }
 
 #[test]
@@ -323,6 +325,63 @@ fn lint_exit_codes_track_diagnostic_levels() {
     let json = String::from_utf8_lossy(&out.stdout).into_owned();
     assert!(json.contains("\"code\": \"AP001\""), "stdout: {json}");
     assert!(json.contains("\"level\": \"error\""), "stdout: {json}");
+
+    // Multiple files: both reports print, the worst status wins, and
+    // every failing file is named.
+    let out = algoprof(&["lint", clean.to_str().unwrap(), hang.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "stderr: {}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("no findings"), "stdout: {text}");
+    assert!(text.contains("error[AP001]"), "stdout: {text}");
+    assert!(stderr(&out).contains("hang.jay"), "{}", stderr(&out));
+    let out = algoprof(&["lint", clean.to_str().unwrap(), sloppy.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn costfn_reports_symbolic_costs_and_features() {
+    let dir = std::env::temp_dir().join(format!("algoprof-cli-costfn-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let prog = dir.join("sort.jay");
+    std::fs::write(
+        &prog,
+        "class Main {
+            static int main() {
+                int n = readInput();
+                int[] a = new int[n];
+                for (int i = 0; i < a.length; i = i + 1) { a[i] = a.length - i; }
+                for (int i = 1; i < a.length; i = i + 1) {
+                    int key = a[i];
+                    int j = i;
+                    while (j > 0 && a[j - 1] > key) {
+                        a[j] = a[j - 1];
+                        j = j - 1;
+                    }
+                    a[j] = key;
+                }
+                return 0;
+            }
+        }",
+    )
+    .expect("writes");
+
+    let out = algoprof(&["costfn", prog.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("cost functions"), "stdout: {text}");
+    assert!(text.contains("0.5*n^2"), "stdout: {text}");
+    assert!(text.contains("derivation:"), "stdout: {text}");
+    assert!(text.contains("array-access:"), "stdout: {text}");
+
+    let out = algoprof(&["costfn", prog.to_str().unwrap(), "--json"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let json = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(json.contains("\"repetitions\""), "stdout: {json}");
+    assert!(json.contains("\"coeff\": 0.5"), "stdout: {json}");
+    assert!(json.contains("\"array-access\""), "stdout: {json}");
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -71,9 +71,25 @@ cmp "$sweep_out/j1.json" "$sweep_out/served.json"
 ./target/release/algoprof submit --addr "$serve_addr" shutdown
 wait "$serve_pid"
 
-echo "==> static analysis (lint) over shipped examples"
-for example in examples/*.jay; do
-    ./target/release/algoprof lint "$example" > /dev/null
-done
+echo "==> static analysis (lint) over shipped examples, one invocation"
+./target/release/algoprof lint examples/*.jay > /dev/null
+
+echo "==> cost-function smoke (symbolic coefficients + feature attribution)"
+./target/release/algoprof costfn examples/sized_insertion_sort_array.jay \
+    | grep -Fq '0.5*n^2 + 0.5*n - 1'
+./target/release/algoprof costfn examples/sized_insertion_sort_array.jay \
+    | grep -Fq 'array-access: 1.5*n^2 + 0.5*n - 2'
+./target/release/algoprof costfn examples/sized_insertion_sort_array.jay --json \
+    | grep -Fq '"coeff": 0.5'
+
+echo "==> coefficient-verdict determinism (sweep columns identical across -j)"
+./target/release/algoprof sweep examples/sized_insertion_sort_array.jay \
+    --sizes 8,16,32,64 -j 1 --quiet --json "$sweep_out/coeff1.json" > "$sweep_out/coeff1.txt"
+./target/release/algoprof sweep examples/sized_insertion_sort_array.jay \
+    --sizes 8,16,32,64 -j 2 --quiet --json "$sweep_out/coeff2.json" > "$sweep_out/coeff2.txt"
+cmp "$sweep_out/coeff1.json" "$sweep_out/coeff2.json"
+cmp "$sweep_out/coeff1.txt" "$sweep_out/coeff2.txt"
+grep -Fq '[agrees]' "$sweep_out/coeff1.txt"
+grep -Fq '"verdict": "agrees"' "$sweep_out/coeff1.json"
 
 echo "verify: OK"
