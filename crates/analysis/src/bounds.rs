@@ -229,6 +229,7 @@ impl<'a> Facts<'a> {
                 self.walk_stmts(body);
                 self.walk_stmts(handler);
             }
+            HStmt::Lock { obj, .. } | HStmt::Unlock { obj, .. } => self.walk_expr(obj),
         }
     }
 
@@ -310,11 +311,13 @@ pub fn for_each_child<'a>(expr: &'a HExpr, mut f: impl FnMut(&'a HExpr)) {
         HExpr::CallStatic { args, .. }
         | HExpr::CallVirtual { args, .. }
         | HExpr::CallDirect { args, .. }
-        | HExpr::NewObject { args, .. } => {
+        | HExpr::NewObject { args, .. }
+        | HExpr::Spawn { args, .. } => {
             for a in args {
                 f(a);
             }
         }
+        HExpr::Join { handle, .. } => f(handle),
         HExpr::NewArray { len, .. } => f(len),
         HExpr::ArrayLit { elems, .. } => {
             for e in elems {
@@ -362,7 +365,9 @@ pub fn expr_line(expr: &HExpr) -> Option<u32> {
         | HExpr::InstanceOf { line, .. }
         | HExpr::Binary { line, .. }
         | HExpr::ReadInput { line }
-        | HExpr::Print { line, .. } => Some(*line),
+        | HExpr::Print { line, .. }
+        | HExpr::Spawn { line, .. }
+        | HExpr::Join { line, .. } => Some(*line),
         HExpr::Unary { expr, .. } => expr_line(expr),
         HExpr::Int(_) | HExpr::Bool(_) | HExpr::Null | HExpr::Local(_) => None,
     }
@@ -377,7 +382,9 @@ pub fn stmt_line(stmt: &HStmt) -> Option<u32> {
         | HStmt::StoreIndex { line, .. }
         | HStmt::Loop { line, .. }
         | HStmt::Return { line, .. }
-        | HStmt::Throw { line, .. } => Some(*line),
+        | HStmt::Throw { line, .. }
+        | HStmt::Lock { line, .. }
+        | HStmt::Unlock { line, .. } => Some(*line),
         HStmt::If { cond, then, els } => expr_line(cond)
             .or_else(|| then.iter().find_map(stmt_line))
             .or_else(|| els.iter().find_map(stmt_line)),
@@ -497,6 +504,7 @@ impl<'a> LoopEffects<'a> {
                 self.stmts(body, depth);
                 self.stmts(handler, depth);
             }
+            HStmt::Lock { obj, .. } | HStmt::Unlock { obj, .. } => self.expr(obj),
         }
     }
 
@@ -507,6 +515,8 @@ impl<'a> LoopEffects<'a> {
                 | HExpr::CallVirtual { .. }
                 | HExpr::CallDirect { .. }
                 | HExpr::NewObject { .. }
+                | HExpr::Spawn { .. }
+                | HExpr::Join { .. }
         ) {
             self.has_call = true;
         }
@@ -543,7 +553,9 @@ impl CondReads {
             | HExpr::CallVirtual { .. }
             | HExpr::CallDirect { .. }
             | HExpr::NewObject { .. }
-            | HExpr::ReadInput { .. } => self.has_call_or_input = true,
+            | HExpr::ReadInput { .. }
+            | HExpr::Spawn { .. }
+            | HExpr::Join { .. } => self.has_call_or_input = true,
             _ => {}
         }
         for_each_child(expr, |c| self.expr(c));
@@ -761,6 +773,7 @@ impl<'a> Collector<'a> {
                 self.stmts(handler);
                 self.invalidate_reaching(&LoopEffects::gather(body, handler).stored_locals);
             }
+            HStmt::Lock { obj, .. } | HStmt::Unlock { obj, .. } => self.expr(obj),
         }
     }
 

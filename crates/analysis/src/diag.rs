@@ -52,6 +52,11 @@ pub enum Code {
     IndexOutOfBounds,
     /// AP006: division (or remainder) by a value provably zero.
     DivisionByZero,
+    /// AP007: thread-primitive misuse — `join` of a value no `spawn` can
+    /// reach, a double `join` of one handle on a single path, or a
+    /// lock/unlock imbalance (a lock still held when the function
+    /// leaves, or paths that disagree about the held set).
+    ThreadMisuse,
 }
 
 impl Code {
@@ -64,6 +69,7 @@ impl Code {
             Code::WriteOnly => "AP004",
             Code::IndexOutOfBounds => "AP005",
             Code::DivisionByZero => "AP006",
+            Code::ThreadMisuse => "AP007",
         }
     }
 
@@ -76,8 +82,10 @@ impl Code {
             Code::NoProgress | Code::NoBaseCase | Code::IndexOutOfBounds | Code::DivisionByZero => {
                 Level::Error
             }
-            // Dead or useless code is suspicious but runs fine.
-            Code::Unreachable | Code::WriteOnly => Level::Warning,
+            // Dead or useless code is suspicious but runs fine; thread
+            // misuse is path-sensitive and heuristic (a handle or lock
+            // may flow in ways the per-function scan cannot see).
+            Code::Unreachable | Code::WriteOnly | Code::ThreadMisuse => Level::Warning,
         }
     }
 }
@@ -169,8 +177,10 @@ mod tests {
     fn codes_and_levels() {
         assert_eq!(Code::NoProgress.as_str(), "AP001");
         assert_eq!(Code::DivisionByZero.as_str(), "AP006");
+        assert_eq!(Code::ThreadMisuse.as_str(), "AP007");
         assert_eq!(Code::NoProgress.level(), Level::Error);
         assert_eq!(Code::WriteOnly.level(), Level::Warning);
+        assert_eq!(Code::ThreadMisuse.level(), Level::Warning);
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //!    profiler's repetition nodes so predictions and empirical fits can
 //!    be cross-validated, and
 //! 3. hosts a span-carrying diagnostics framework ([`diag`]) with a
-//!    catalog of lints (AP001–AP006; [`bounds`] + [`lints`]).
+//!    catalog of lints (AP001–AP007; [`bounds`] + [`lints`]).
 //!
 //! The predictions are intentionally *worst-case* and coarse (a lattice
 //! of big-O classes, not closed-form bounds): their purpose is to agree

@@ -1,4 +1,4 @@
-//! Statement-level lints: AP002–AP006.
+//! Statement-level lints: AP002–AP007.
 //!
 //! (AP001, *loop makes no progress*, lives with the bound classifier in
 //! [`crate::bounds`] — it shares the loop-effects walk.)
@@ -26,6 +26,7 @@ pub fn lint_program(
         lint_unreachable(func, &mut diags);
         lint_write_only_locals(func, &facts, &mut diags);
         lint_const_traps(func, &facts, &mut diags);
+        lint_thread_misuse(func, &facts, &mut diags);
     }
     lint_write_only_fields(bodies, compiled, &mut diags);
     diags
@@ -141,6 +142,7 @@ fn stmt_rec_call(stmt: &HStmt, is_rec: &dyn Fn(&HExpr) -> bool) -> Option<u32> {
         HStmt::If { cond, .. } | HStmt::Loop { cond, .. } => exprs.push(cond),
         HStmt::Return { value: Some(v), .. } => exprs.push(v),
         HStmt::Throw { value, .. } => exprs.push(value),
+        HStmt::Lock { obj, .. } | HStmt::Unlock { obj, .. } => exprs.push(obj),
         HStmt::Return { value: None, .. } | HStmt::Break | HStmt::Continue | HStmt::Try { .. } => {}
     }
     exprs
@@ -359,6 +361,7 @@ fn lint_write_only_fields(
                     visit_stmts(body, func, written, read);
                     visit_stmts(handler, func, written, read);
                 }
+                HStmt::Lock { obj, .. } | HStmt::Unlock { obj, .. } => visit_expr(obj, read),
             }
         }
     }
@@ -483,10 +486,304 @@ fn lint_const_traps(func: &HFunction, facts: &Facts<'_>, diags: &mut Vec<Diagnos
                     walk(body, f, facts, known_len, func, d);
                     walk(handler, f, facts, known_len, func, d);
                 }
+                HStmt::Lock { obj, .. } | HStmt::Unlock { obj, .. } => walk_exprs(obj, f, d),
             }
         }
     }
     walk(&func.body, &mut check_expr, facts, &known_len, func, diags);
+}
+
+// ---------------------------------------------------------------------------
+// AP007: thread-primitive misuse
+// ---------------------------------------------------------------------------
+
+/// Flags the ways jay's thread primitives go wrong without tripping the
+/// compiler: a `join` of a value that no `spawn` result can reach, the
+/// same handle joined twice along one path, an `unlock` with no matching
+/// `lock`, a lock still held when the function leaves, and branches or
+/// loop bodies that disagree about which locks are held.
+///
+/// Everything here is per-function and keyed by local slot, so handles
+/// and lock objects that flow through fields, arrays, or calls are out
+/// of scope — the lint stays conservative (warning-level) by design.
+fn lint_thread_misuse(func: &HFunction, facts: &Facts<'_>, diags: &mut Vec<Diagnostic>) {
+    let mut joined = BTreeSet::new();
+    scan_joins(&func.body, facts, &mut joined, func, diags);
+
+    let mut held: BTreeMap<u16, (u32, u32)> = BTreeMap::new();
+    if scan_locks(&func.body, &mut held, func, diags) {
+        for (&slot, &(depth, line)) in &held {
+            if depth > 0 {
+                diags.push(Diagnostic::new(
+                    Code::ThreadMisuse,
+                    &func.name,
+                    line,
+                    format!(
+                        "lock on local (slot {slot}) in '{}' is never unlocked before the function ends",
+                        func.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Whether `expr` contains a `spawn` anywhere.
+fn contains_spawn(expr: &HExpr) -> bool {
+    if matches!(expr, HExpr::Spawn { .. }) {
+        return true;
+    }
+    let mut found = false;
+    for_each_child(expr, |c| found = found || contains_spawn(c));
+    found
+}
+
+/// Whether every store to `slot` is a `spawn` result — the slot is then
+/// definitely a thread handle, so a second `join` of it is misuse.
+fn is_spawn_local(facts: &Facts<'_>, slot: u16) -> bool {
+    facts
+        .stores
+        .get(slot as usize)
+        .is_some_and(|stores| !stores.is_empty() && stores.iter().all(|v| contains_spawn(v)))
+}
+
+/// The expressions of `stmt` that evaluate whenever the statement runs
+/// (branch and loop bodies excluded — those are path-scanned separately).
+fn stmt_exprs(stmt: &HStmt) -> Vec<&HExpr> {
+    match stmt {
+        HStmt::Expr(e) => vec![e],
+        HStmt::StoreLocal { value, .. } => vec![value],
+        HStmt::StoreField { obj, value, .. } => vec![obj, value],
+        HStmt::StoreIndex {
+            arr, idx, value, ..
+        } => vec![arr, idx, value],
+        HStmt::If { cond, .. } | HStmt::Loop { cond, .. } => vec![cond],
+        HStmt::Return { value: Some(v), .. } => vec![v],
+        HStmt::Throw { value, .. } => vec![value],
+        HStmt::Lock { obj, .. } | HStmt::Unlock { obj, .. } => vec![obj],
+        HStmt::Return { value: None, .. } | HStmt::Break | HStmt::Continue | HStmt::Try { .. } => {
+            vec![]
+        }
+    }
+}
+
+/// Path-sensitive scan for join misuse. `joined` holds the handle slots
+/// already joined on every path reaching the current point.
+fn scan_joins(
+    stmts: &[HStmt],
+    facts: &Facts<'_>,
+    joined: &mut BTreeSet<u16>,
+    func: &HFunction,
+    diags: &mut Vec<Diagnostic>,
+) {
+    for stmt in stmts {
+        for e in stmt_exprs(stmt) {
+            check_join_expr(e, facts, joined, func, diags);
+        }
+        match stmt {
+            // A re-store makes the slot a fresh handle (the value was
+            // already scanned above, so `t = join t` counts the read).
+            HStmt::StoreLocal { slot, .. } => {
+                joined.remove(slot);
+            }
+            HStmt::If { then, els, .. } => {
+                let mut a = joined.clone();
+                let mut b = joined.clone();
+                scan_joins(then, facts, &mut a, func, diags);
+                scan_joins(els, facts, &mut b, func, diags);
+                // Joined-for-sure afterwards = joined on both arms.
+                *joined = &a & &b;
+            }
+            HStmt::Loop { body, update, .. } => {
+                // The body may run zero times: scan it on a throwaway
+                // path and keep the pre-loop state. (A join that repeats
+                // across iterations is real misuse but not provable
+                // here without trip counts.)
+                let mut a = joined.clone();
+                scan_joins(body, facts, &mut a, func, diags);
+                scan_joins(update, facts, &mut a, func, diags);
+            }
+            HStmt::Try { body, handler, .. } => {
+                let mut a = joined.clone();
+                let mut b = joined.clone();
+                scan_joins(body, facts, &mut a, func, diags);
+                scan_joins(handler, facts, &mut b, func, diags);
+                *joined = &a & &b;
+            }
+            _ => {}
+        }
+    }
+}
+
+fn check_join_expr(
+    expr: &HExpr,
+    facts: &Facts<'_>,
+    joined: &mut BTreeSet<u16>,
+    func: &HFunction,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if let HExpr::Join { handle, line } = expr {
+        if facts.const_eval(handle).is_some() {
+            // A compile-time constant can never be a spawn result: the
+            // join either traps or waits on an unrelated thread.
+            diags.push(Diagnostic::new(
+                Code::ThreadMisuse,
+                &func.name,
+                *line,
+                "'join' of a constant value that no 'spawn' result reaches".to_string(),
+            ));
+        } else if let HExpr::Local(slot) = handle.as_ref() {
+            if is_spawn_local(facts, *slot) && !joined.insert(*slot) {
+                diags.push(Diagnostic::new(
+                    Code::ThreadMisuse,
+                    &func.name,
+                    *line,
+                    format!(
+                        "thread handle (slot {slot}) in '{}' is joined twice on the same path",
+                        func.name
+                    ),
+                ));
+            }
+        }
+    }
+    for_each_child(expr, |c| check_join_expr(c, facts, joined, func, diags));
+}
+
+/// The positive-depth entries of a held-lock map (for path comparison).
+fn held_depths(held: &BTreeMap<u16, (u32, u32)>) -> BTreeMap<u16, u32> {
+    held.iter()
+        .filter(|(_, &(d, _))| d > 0)
+        .map(|(&s, &(d, _))| (s, d))
+        .collect()
+}
+
+/// Per-slot minimum of two held-lock maps (the state that is certain
+/// after diverging paths rejoin; avoids cascading reports).
+fn held_min(
+    a: &BTreeMap<u16, (u32, u32)>,
+    b: &BTreeMap<u16, (u32, u32)>,
+) -> BTreeMap<u16, (u32, u32)> {
+    a.iter()
+        .map(|(&s, &(da, line))| {
+            let db = b.get(&s).map_or(0, |&(d, _)| d);
+            (s, (da.min(db), line))
+        })
+        .collect()
+}
+
+/// Path-sensitive lock-depth scan. `held` maps a lock object's local
+/// slot to (depth, line of the first `lock`). Returns whether control
+/// can fall out the end of the list.
+fn scan_locks(
+    stmts: &[HStmt],
+    held: &mut BTreeMap<u16, (u32, u32)>,
+    func: &HFunction,
+    diags: &mut Vec<Diagnostic>,
+) -> bool {
+    for stmt in stmts {
+        match stmt {
+            HStmt::Lock {
+                obj: HExpr::Local(slot),
+                line,
+            } => {
+                held.entry(*slot).or_insert((0, *line)).0 += 1;
+            }
+            HStmt::Unlock {
+                obj: HExpr::Local(slot),
+                line,
+            } => match held.get_mut(slot) {
+                Some(e) if e.0 > 0 => e.0 -= 1,
+                _ => diags.push(Diagnostic::new(
+                    Code::ThreadMisuse,
+                    &func.name,
+                    *line,
+                    format!(
+                        "'unlock' of local (slot {slot}) in '{}' without a matching 'lock' on this path",
+                        func.name
+                    ),
+                )),
+            },
+            HStmt::Return { line, .. } | HStmt::Throw { line, .. } => {
+                for (&slot, &(depth, _)) in held.iter() {
+                    if depth > 0 {
+                        diags.push(Diagnostic::new(
+                            Code::ThreadMisuse,
+                            &func.name,
+                            *line,
+                            format!(
+                                "'{}' leaves while still holding the lock on local (slot {slot})",
+                                func.name
+                            ),
+                        ));
+                    }
+                }
+                return false;
+            }
+            // A loop jump escapes this list; the enclosing loop's
+            // imbalance check covers whatever it left held.
+            HStmt::Break | HStmt::Continue => return false,
+            HStmt::If { then, els, .. } => {
+                let mut a = held.clone();
+                let mut b = held.clone();
+                let fa = scan_locks(then, &mut a, func, diags);
+                let fb = scan_locks(els, &mut b, func, diags);
+                match (fa, fb) {
+                    (true, true) => {
+                        if held_depths(&a) != held_depths(&b) {
+                            let line = stmt_line(stmt).unwrap_or(func.line);
+                            diags.push(Diagnostic::new(
+                                Code::ThreadMisuse,
+                                &func.name,
+                                line,
+                                format!(
+                                    "branches of 'if' in '{}' disagree about which locks are held afterwards",
+                                    func.name
+                                ),
+                            ));
+                        }
+                        *held = held_min(&a, &b);
+                    }
+                    (true, false) => *held = a,
+                    (false, true) => *held = b,
+                    (false, false) => return false,
+                }
+            }
+            HStmt::Loop {
+                body, update, line, ..
+            } => {
+                let mut a = held.clone();
+                if scan_locks(body, &mut a, func, diags) {
+                    scan_locks(update, &mut a, func, diags);
+                }
+                if held_depths(&a) != held_depths(held) {
+                    diags.push(Diagnostic::new(
+                        Code::ThreadMisuse,
+                        &func.name,
+                        *line,
+                        format!(
+                            "loop body in '{}' changes which locks are held across iterations",
+                            func.name
+                        ),
+                    ));
+                }
+                // The zero-trip path continues with the pre-loop state.
+            }
+            HStmt::Try { body, handler, .. } => {
+                let mut a = held.clone();
+                let mut b = held.clone();
+                let fa = scan_locks(body, &mut a, func, diags);
+                let fb = scan_locks(handler, &mut b, func, diags);
+                match (fa, fb) {
+                    (true, true) => *held = held_min(&a, &b),
+                    (true, false) => *held = a,
+                    (false, true) => *held = b,
+                    (false, false) => return false,
+                }
+            }
+            _ => {}
+        }
+    }
+    true
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -518,5 +815,150 @@ fn check_index(
             line,
             format!("array index {shown} is provably out of bounds for length {len}"),
         ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::analyze_source;
+    use crate::diag::{Code, Level};
+
+    fn ap007_lines(src: &str) -> Vec<u32> {
+        let a = analyze_source(src).expect("compiles");
+        a.diagnostics
+            .iter()
+            .filter(|d| d.code == Code::ThreadMisuse)
+            .inspect(|d| assert_eq!(d.level, Level::Warning, "AP007 is advisory"))
+            .map(|d| d.span.line)
+            .collect()
+    }
+
+    #[test]
+    fn join_of_constant_fires() {
+        let src = "class Main { static int main() {
+            int t = 3;
+            return join t;
+        } }";
+        assert_eq!(ap007_lines(src), vec![3]);
+    }
+
+    #[test]
+    fn double_join_on_one_path_fires() {
+        let src = "class Main {
+            static int main() {
+                int t1 = spawn work(4);
+                int a = join t1;
+                int b = join t1;
+                return a + b;
+            }
+            static int work(int n) { return n * 2; }
+        }";
+        assert_eq!(ap007_lines(src), vec![5]);
+    }
+
+    #[test]
+    fn joins_on_separate_branches_are_clean() {
+        let src = "class Main {
+            static int main() {
+                int t1 = spawn work(4);
+                int r = 0;
+                if (1 < 2) { r = join t1; } else { r = join t1; }
+                return r;
+            }
+            static int work(int n) { return n * 2; }
+        }";
+        assert_eq!(ap007_lines(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn respawn_resets_the_joined_state() {
+        let src = "class Main {
+            static int main() {
+                int t = spawn work(4);
+                int a = join t;
+                t = spawn work(5);
+                int b = join t;
+                return a + b;
+            }
+            static int work(int n) { return n * 2; }
+        }";
+        assert_eq!(ap007_lines(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn lock_without_unlock_fires_at_function_end() {
+        let src = "class Main { static int main() {
+            Box b = new Box();
+            lock b;
+            b.v = 1;
+            unlock b;
+            lock b;
+            return b.v;
+        } }
+        class Box { int v; }";
+        // Line 7: the return leaves with the second lock still held.
+        assert_eq!(ap007_lines(src), vec![7]);
+    }
+
+    #[test]
+    fn unlock_without_lock_fires() {
+        let src = "class Main { static int main() {
+            Box b = new Box();
+            b.v = 2;
+            unlock b;
+            return b.v;
+        } }
+        class Box { int v; }";
+        assert_eq!(ap007_lines(src), vec![4]);
+    }
+
+    #[test]
+    fn branch_that_forgets_to_unlock_fires() {
+        let src = "class Main { static int main() {
+            Box b = new Box();
+            b.v = 3;
+            lock b;
+            if (b.v > 0) { unlock b; }
+            return b.v;
+        } }
+        class Box { int v; }";
+        assert_eq!(ap007_lines(src), vec![5]);
+    }
+
+    #[test]
+    fn balanced_critical_sections_are_clean() {
+        let src = "class Main {
+            static int main() {
+                Box b = new Box();
+                int t1 = spawn bump(b);
+                lock b;
+                b.v = b.v + 1;
+                unlock b;
+                return join t1 + b.v;
+            }
+            static int bump(Box b) {
+                lock b;
+                b.v = b.v + 1;
+                unlock b;
+                return b.v;
+            }
+        }
+        class Box { int v; }";
+        assert_eq!(ap007_lines(src), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn balanced_lock_inside_loop_is_clean() {
+        let src = "class Main { static int main() {
+            Box b = new Box();
+            for (int i = 0; i < 4; i = i + 1) {
+                lock b;
+                b.v = b.v + 1;
+                unlock b;
+            }
+            return b.v;
+        } }
+        class Box { int v; }";
+        assert_eq!(ap007_lines(src), Vec::<u32>::new());
     }
 }

@@ -71,6 +71,11 @@ pub enum CostKey {
     InputRead,
     /// One external output write.
     OutputWrite,
+    /// One blocked lock acquisition (`LockWait`): the thread found the
+    /// lock held by another thread and had to wait. Charged to the
+    /// *blocked* thread's current invocation, following Coppa et al.'s
+    /// rule that contention is cost borne by the waiter.
+    LockContention,
 }
 
 /// A multiset of primitive-operation counts.
@@ -107,6 +112,11 @@ impl CostMap {
     /// Number of algorithmic steps.
     pub fn steps(&self) -> u64 {
         self.get(CostKey::Step)
+    }
+
+    /// Number of blocked lock acquisitions (lock contention events).
+    pub fn contention(&self) -> u64 {
+        self.get(CostKey::LockContention)
     }
 
     /// Merges `other` into `self` (used when combining child costs into a

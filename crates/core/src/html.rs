@@ -5,7 +5,17 @@
 use std::fmt::Write as _;
 
 use crate::algorithms::AlgorithmId;
-use crate::profile::{AlgorithmicProfile, CostMetric};
+use crate::profile::{AlgorithmicProfile, CostMetric, ProfileSet};
+
+/// Shared page head for profile reports.
+const PROFILE_HEAD: &str = "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+         <title>algorithmic profile</title>\n<style>\n\
+         body { font-family: sans-serif; margin: 2em; color: #222; }\n\
+         h2 { border-bottom: 1px solid #ccc; padding-bottom: 0.2em; }\n\
+         .meta { color: #555; }\n\
+         pre { background: #f6f6f6; padding: 0.8em; overflow-x: auto; }\n\
+         svg { background: #fafafa; border: 1px solid #ddd; }\n\
+         </style></head><body>\n";
 
 /// Renders the whole profile as a standalone HTML page: one section per
 /// algorithm with its classification, an SVG scatter plot of
@@ -13,17 +23,42 @@ use crate::profile::{AlgorithmicProfile, CostMetric};
 /// function.
 pub fn render_html(profile: &AlgorithmicProfile) -> String {
     let mut out = String::new();
-    out.push_str(
-        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
-         <title>algorithmic profile</title>\n<style>\n\
-         body { font-family: sans-serif; margin: 2em; color: #222; }\n\
-         h2 { border-bottom: 1px solid #ccc; padding-bottom: 0.2em; }\n\
-         .meta { color: #555; }\n\
-         pre { background: #f6f6f6; padding: 0.8em; overflow-x: auto; }\n\
-         svg { background: #fafafa; border: 1px solid #ddd; }\n\
-         </style></head><body>\n<h1>Algorithmic profile</h1>\n",
-    );
+    out.push_str(PROFILE_HEAD);
+    out.push_str("<h1>Algorithmic profile</h1>\n");
+    profile_body(profile, &mut out);
+    out.push_str("</body></html>\n");
+    out
+}
 
+/// Renders a per-thread profile set as HTML. Single-threaded sets render
+/// exactly like [`render_html`] on the main profile; threaded sets get
+/// one `Thread tN` headed part per guest thread plus the merged
+/// cross-thread summary from [`crate::report`].
+pub fn render_html_set(set: &ProfileSet) -> String {
+    if !set.is_threaded() {
+        return render_html(set.main());
+    }
+    let mut out = String::new();
+    out.push_str(PROFILE_HEAD);
+    for (t, p) in set.threads().iter().enumerate() {
+        let label = if t == 0 { " (main)" } else { "" };
+        let _ = writeln!(out, "<h1>Thread t{t}{label}</h1>");
+        profile_body(p, &mut out);
+    }
+    out.push_str("<h1>Merged (all threads)</h1>\n");
+    let _ = writeln!(
+        out,
+        "<pre>{}</pre>",
+        escape(&crate::report::render_merged(set))
+    );
+    out.push_str("</body></html>\n");
+    out
+}
+
+/// The per-profile body shared by [`render_html`] and
+/// [`render_html_set`]: the text rendering plus one plotted section per
+/// algorithm with at least two data points.
+fn profile_body(profile: &AlgorithmicProfile, out: &mut String) {
     let _ = writeln!(out, "<pre>{}</pre>", escape(&profile.render_text()));
 
     for algo in profile.algorithms() {
@@ -47,9 +82,6 @@ pub fn render_html(profile: &AlgorithmicProfile) -> String {
         }
         out.push_str(&scatter_svg(profile, algo.id, &series));
     }
-
-    out.push_str("</body></html>\n");
-    out
 }
 
 /// An SVG scatter plot of `series` with the fitted curve overlaid.
@@ -173,9 +205,13 @@ pub fn render_sweep_html(report: &crate::sweep::SweepReport) -> String {
         } else {
             format!("{} · ", s.program)
         };
+        let tsuffix = match s.thread {
+            Some(t) => format!(" [t{t}]"),
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
-            "<h2>{}{} <span class=\"meta\">[{}]</span></h2>",
+            "<h2>{}{}{tsuffix} <span class=\"meta\">[{}]</span></h2>",
             escape(&prefix),
             escape(&s.algorithm),
             escape(&s.ablation),

@@ -25,15 +25,17 @@ use std::fmt;
 
 use crate::hash::Sha256;
 use crate::profiler::AlgoProfOptions;
-use crate::run::{profile_source_with, ProfileError};
+use crate::run::{profile_source_set_with, ProfileError};
 use crate::stream::StreamingAnalysis;
 use crate::sweep::{run_sweep, SweepAblation, SweepConfig, SweepError, SweepJob};
 use algoprof_vm::InstrumentOptions;
 
 /// Bump when the canonical encoding hashed by [`JobSpec::cache_key`] or
 /// the meaning of [`JobOutput`] changes, so stale cache dirs can never
-/// serve results computed under different semantics.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+/// serve results computed under different semantics. (3: per-thread
+/// profiles — threaded guests render one section per thread plus a
+/// merged view, and sweep reports carry thread columns.)
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// One unit of daemon work, self-contained (sources and traces ride in
 /// the spec, never paths to them).
@@ -133,10 +135,14 @@ impl JobSpec {
                 options,
                 ..
             } => {
-                let profile =
-                    profile_source_with(source, &InstrumentOptions::default(), *options, input)?;
+                let set = profile_source_set_with(
+                    source,
+                    &InstrumentOptions::default(),
+                    *options,
+                    input,
+                )?;
                 Ok(JobOutput {
-                    text: profile.render_text(),
+                    text: crate::report::render_set(&set),
                     json: None,
                 })
             }
@@ -170,7 +176,7 @@ impl JobSpec {
                 analysis.feed(trace)?;
                 let report = analysis.finish()?;
                 Ok(JobOutput {
-                    text: report.profile.render_text(),
+                    text: crate::report::render_set(&report.profiles),
                     json: None,
                 })
             }
@@ -324,13 +330,14 @@ mod tests {
             options: AlgoProfOptions::default(),
         };
         let out = spec.execute().expect("runs");
-        let direct = profile_source_with(
+        let direct = crate::run::profile_source_with(
             SRC,
             &InstrumentOptions::default(),
             AlgoProfOptions::default(),
             &[],
         )
         .expect("runs");
+        // Single-threaded guests keep the exact pre-thread rendering.
         assert_eq!(out.text, direct.render_text());
         assert!(out.json.is_none());
     }

@@ -405,6 +405,90 @@ impl AlgorithmicProfile {
     }
 }
 
+/// One algorithmic profile per guest thread, produced by
+/// [`AlgoProf::finish_set`](crate::AlgoProf::finish_set).
+///
+/// Index 0 is always the main thread. Single-threaded runs yield a set
+/// with exactly one profile, so every single-threaded code path keeps
+/// its old behaviour by looking at [`ProfileSet::main`].
+#[derive(Debug, PartialEq)]
+pub struct ProfileSet {
+    threads: Vec<AlgorithmicProfile>,
+}
+
+impl ProfileSet {
+    /// Wraps per-thread profiles; `threads[0]` must be the main thread.
+    pub fn new(threads: Vec<AlgorithmicProfile>) -> Self {
+        assert!(
+            !threads.is_empty(),
+            "a profile set has at least the main thread"
+        );
+        ProfileSet { threads }
+    }
+
+    /// The main thread's profile.
+    pub fn main(&self) -> &AlgorithmicProfile {
+        &self.threads[0]
+    }
+
+    /// Consumes the set, keeping only the main thread's profile.
+    pub fn into_main(self) -> AlgorithmicProfile {
+        self.threads
+            .into_iter()
+            .next()
+            .expect("a profile set has at least the main thread")
+    }
+
+    /// Profile of thread `t` (`t0` = main) when it exists.
+    pub fn thread(&self, t: usize) -> Option<&AlgorithmicProfile> {
+        self.threads.get(t)
+    }
+
+    /// All per-thread profiles, main thread first.
+    pub fn threads(&self) -> &[AlgorithmicProfile] {
+        &self.threads
+    }
+
+    /// Number of guest threads.
+    pub fn len(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Always false — the main thread is always present.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the run spawned any thread beyond main.
+    pub fn is_threaded(&self) -> bool {
+        self.threads.len() > 1
+    }
+
+    /// Merged ⟨size, cost⟩ view across all threads for the algorithm
+    /// rooted at `root_name` (exact node-name match) — every thread that
+    /// ran the algorithm contributes its invocations.
+    pub fn merged_series(&self, root_name: &str, metric: CostMetric) -> Vec<(f64, f64)> {
+        let refs: Vec<&AlgorithmicProfile> = self.threads.iter().collect();
+        merge_invocation_series(&refs, root_name, metric)
+    }
+
+    /// Union of algorithm root names across all threads, deduplicated,
+    /// in deterministic (sorted) order.
+    pub fn algorithm_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = Vec::new();
+        for p in &self.threads {
+            for a in p.algorithms() {
+                let n = p.node_name(a.root).to_string();
+                if !names.contains(&n) {
+                    names.push(n);
+                }
+            }
+        }
+        names.sort();
+        names
+    }
+}
+
 /// Merges ⟨size, steps⟩ series for the same algorithm (matched by root
 /// node name) across several profiles — the paper's "set of program
 /// runs" usage, where each run contributes data points.

@@ -207,6 +207,24 @@ impl AttributionStage {
         self.observe(rep, program, heap, input, r, measured);
     }
 
+    /// A cross-thread read of data this thread wrote last (Coppa et
+    /// al.): the consuming thread's read attributes the input identity
+    /// and *size* to the writing thread's current invocation, without
+    /// counting any access cost here — the reading thread's own pipeline
+    /// already counts the access.
+    pub fn on_remote_read(
+        &mut self,
+        rep: &mut RepetitionStage,
+        r: Value,
+        program: &CompiledProgram,
+        heap: &Heap,
+    ) {
+        let Some((input, measured)) = self.resolve_input(rep, program, heap, r) else {
+            return;
+        };
+        self.observe(rep, program, heap, input, r, measured);
+    }
+
     /// External I/O: both streams are inputs whose "size" is the number
     /// of values transferred so far in the current invocation.
     pub fn on_external_io(&mut self, rep: &mut RepetitionStage, op: AccessOp) {

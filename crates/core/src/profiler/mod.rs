@@ -21,17 +21,41 @@
 //! The [`EventSink`] impl on [`AlgoProf`] is the pipeline driver: it
 //! routes each event to the right stage and sequences the one cross-stage
 //! interaction (inputs are remeasured *before* a repetition finalizes).
+//!
+//! # Threads
+//!
+//! The profiler keeps **one pipeline pair per guest thread** and follows
+//! the stream's current-thread protocol ([`Event::ThreadSwitch`]): each
+//! event is charged to the thread it occurred on, yielding one repetition
+//! tree — and ultimately one [`AlgorithmicProfile`] — per thread (see
+//! [`ProfileSet`]). Two cross-thread rules, following Coppa, Demetrescu
+//! and Finocchi's input-sensitive profiling of multithreaded programs:
+//!
+//! * **contention is cost to the waiter** — a [`Event::LockWait`] bumps
+//!   [`CostKey::LockContention`] on the *blocked* thread's current
+//!   invocation;
+//! * **cross-thread reads attribute size to the writer** — when a thread
+//!   reads a location last written by another thread, the input's
+//!   identity and size are also observed on the writing thread's current
+//!   invocation (without double-counting the access itself).
+//!
+//! Single-threaded streams carry no thread events, so everything lands on
+//! the one main-thread pipeline exactly as before.
 
 pub mod attribution;
 pub mod repetition;
 
-use algoprof_vm::{CompiledProgram, Event, EventCx, EventSink, Value};
+use std::collections::HashMap;
+
+use algoprof_vm::{CompiledProgram, Event, EventCx, EventSink, ThreadId, Value};
 
 use crate::cost::{AccessOp, CostKey};
 use crate::inputs::InputRegistry;
-use crate::profile::AlgorithmicProfile;
+use crate::profile::{AlgorithmicProfile, ProfileSet};
 use crate::reptree::RepTree;
-use crate::snapshot::{ArraySizeStrategy, EquivalenceCriterion, IncrementalMode, SnapshotStats};
+use crate::snapshot::{
+    ArraySizeStrategy, ElemKey, EquivalenceCriterion, IncrementalMode, SnapshotStats,
+};
 
 pub use attribution::{AccessTarget, AttributionStage};
 pub use repetition::RepetitionStage;
@@ -98,8 +122,16 @@ pub struct AlgoProfOptions {
 #[derive(Debug)]
 pub struct AlgoProf {
     opts: AlgoProfOptions,
-    repetition: RepetitionStage,
-    attribution: AttributionStage,
+    /// One (repetition, attribution) pipeline per guest thread, indexed
+    /// by [`ThreadId::index`]. Slot 0 is the main thread and always
+    /// exists.
+    threads: Vec<(RepetitionStage, AttributionStage)>,
+    /// Index of the thread currently executing (the stream starts
+    /// implicitly in the main thread).
+    cur: usize,
+    /// Last thread to write each heap location (allocation counts as a
+    /// write). Drives the cross-thread read rule.
+    last_writer: HashMap<ElemKey, usize>,
 }
 
 impl AlgoProf {
@@ -113,41 +145,111 @@ impl AlgoProf {
     pub fn with_options(opts: AlgoProfOptions) -> Self {
         AlgoProf {
             opts,
-            repetition: RepetitionStage::new(),
-            attribution: AttributionStage::new(&opts),
+            threads: vec![(RepetitionStage::new(), AttributionStage::new(&opts))],
+            cur: 0,
+            last_writer: HashMap::new(),
         }
     }
 
-    /// The repetition tree built so far.
+    /// The current thread's pipeline pair, split-borrowed.
+    fn pipeline(&mut self) -> (&mut RepetitionStage, &mut AttributionStage) {
+        let t = &mut self.threads[self.cur];
+        (&mut t.0, &mut t.1)
+    }
+
+    /// Makes sure a pipeline slot exists for `thread`.
+    fn ensure_thread(&mut self, thread: ThreadId) {
+        while self.threads.len() <= thread.index() {
+            self.threads
+                .push((RepetitionStage::new(), AttributionStage::new(&self.opts)));
+        }
+    }
+
+    /// Applies the cross-thread read rule for a read through `r`: when
+    /// another thread wrote this location last, the read also observes
+    /// the input (identity and size) on *that* thread's current
+    /// invocation.
+    fn credit_remote_writer(
+        &mut self,
+        r: Value,
+        program: &CompiledProgram,
+        heap: &algoprof_vm::Heap,
+    ) {
+        let key = match r {
+            Value::Obj(o) => ElemKey::Obj(o),
+            Value::Arr(a) => ElemKey::Arr(a),
+            _ => return,
+        };
+        let Some(&w) = self.last_writer.get(&key) else {
+            return;
+        };
+        if w == self.cur || w >= self.threads.len() {
+            return;
+        }
+        let (rep, attr) = {
+            let t = &mut self.threads[w];
+            (&mut t.0, &mut t.1)
+        };
+        attr.on_remote_read(rep, r, program, heap);
+    }
+
+    /// Number of guest threads seen so far (at least 1).
+    pub fn thread_count(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The main thread's repetition tree built so far.
     pub fn tree(&self) -> &RepTree {
-        self.repetition.tree()
+        self.threads[0].0.tree()
     }
 
-    /// The input registry built so far.
+    /// The main thread's input registry built so far.
     pub fn registry(&self) -> &InputRegistry {
-        self.attribution.registry()
+        self.threads[0].1.registry()
     }
 
-    /// Counters of snapshot-traversal work done (and saved) so far.
+    /// Counters of snapshot-traversal work done (and saved) so far,
+    /// summed across all threads.
     pub fn snapshot_stats(&self) -> SnapshotStats {
-        self.attribution.snapshot_stats()
+        let mut total = SnapshotStats::default();
+        for (_, attr) in &self.threads {
+            let s = attr.snapshot_stats();
+            total.full_walks += s.full_walks;
+            total.cache_hits += s.cache_hits;
+            total.partial_redos += s.partial_redos;
+            total.objects_traversed += s.objects_traversed;
+            total.arrays_traversed += s.arrays_traversed;
+            total.elements_scanned += s.elements_scanned;
+        }
+        total
     }
 
-    /// Finalizes all open invocations and produces the profile.
+    /// Finalizes all open invocations and produces the *main thread's*
+    /// profile. For threaded programs, use [`AlgoProf::finish_set`] to
+    /// keep every thread's profile.
     ///
     /// Call this after the interpreter run completed successfully; a
     /// failed run leaves partially-attributed data.
     pub fn finish(self, program: &CompiledProgram) -> AlgorithmicProfile {
-        let AlgoProf {
-            opts,
-            repetition,
-            attribution,
-        } = self;
-        AlgorithmicProfile::build_with(
-            repetition.into_finalized_tree(),
-            attribution.into_registry(),
-            program,
-            opts.grouping,
+        self.finish_set(program).into_main()
+    }
+
+    /// Finalizes all open invocations and produces one profile per guest
+    /// thread (index 0 is the main thread).
+    pub fn finish_set(self, program: &CompiledProgram) -> ProfileSet {
+        let AlgoProf { opts, threads, .. } = self;
+        ProfileSet::new(
+            threads
+                .into_iter()
+                .map(|(rep, attr)| {
+                    AlgorithmicProfile::build_with(
+                        rep.into_finalized_tree(),
+                        attr.into_registry(),
+                        program,
+                        opts.grouping,
+                    )
+                })
+                .collect(),
         )
     }
 }
@@ -161,16 +263,17 @@ impl Default for AlgoProf {
 impl EventSink for AlgoProf {
     fn event(&mut self, ev: &Event, cx: &EventCx<'_>) {
         let (program, heap) = (cx.program, cx.heap);
-        let (rep, attr) = (&mut self.repetition, &mut self.attribution);
         match *ev {
-            Event::LoopEntry { l } => rep.enter_loop(l),
-            Event::LoopBackEdge { .. } => rep.bump(CostKey::Step),
+            Event::LoopEntry { l } => self.pipeline().0.enter_loop(l),
+            Event::LoopBackEdge { .. } => self.pipeline().0.bump(CostKey::Step),
             Event::LoopExit { .. } => {
+                let (rep, attr) = self.pipeline();
                 attr.remeasure_inputs(rep, program, heap);
                 rep.exit_loop();
             }
-            Event::MethodEntry { func } => rep.enter_method(func),
+            Event::MethodEntry { func } => self.pipeline().0.enter_method(func),
             Event::MethodExit { .. } => {
+                let (rep, attr) = self.pipeline();
                 if rep.leave_method_frame() {
                     attr.remeasure_inputs(rep, program, heap);
                     rep.finalize_current();
@@ -178,38 +281,282 @@ impl EventSink for AlgoProf {
                 rep.pop_method();
             }
             Event::FieldRead { obj, .. } => {
+                self.credit_remote_writer(obj, program, heap);
                 let class = match obj {
                     Value::Obj(o) => Some(heap.object(o).class),
                     _ => None,
                 };
                 let target = AccessTarget::Field(class);
+                let (rep, attr) = self.pipeline();
                 attr.on_access(rep, obj, AccessOp::Read, target, program, heap);
             }
-            Event::FieldWrite { obj, tracked, .. } if tracked => {
-                let target = AccessTarget::Field(Some(heap.object(obj).class));
-                attr.on_access(rep, Value::Obj(obj), AccessOp::Write, target, program, heap);
+            Event::FieldWrite { obj, tracked, .. } => {
+                self.last_writer.insert(ElemKey::Obj(obj), self.cur);
+                if tracked {
+                    let target = AccessTarget::Field(Some(heap.object(obj).class));
+                    let (rep, attr) = self.pipeline();
+                    attr.on_access(rep, Value::Obj(obj), AccessOp::Write, target, program, heap);
+                }
             }
             Event::ArrayRead { arr } => {
+                self.credit_remote_writer(arr, program, heap);
+                let (rep, attr) = self.pipeline();
                 attr.on_access(rep, arr, AccessOp::Read, AccessTarget::Array, program, heap);
             }
-            Event::ArrayWrite { arr, tracked, .. } if tracked => {
-                attr.on_access(
-                    rep,
-                    Value::Arr(arr),
-                    AccessOp::Write,
-                    AccessTarget::Array,
-                    program,
-                    heap,
-                );
+            Event::ArrayWrite { arr, tracked, .. } => {
+                self.last_writer.insert(ElemKey::Arr(arr), self.cur);
+                if tracked {
+                    let (rep, attr) = self.pipeline();
+                    attr.on_access(
+                        rep,
+                        Value::Arr(arr),
+                        AccessOp::Write,
+                        AccessTarget::Array,
+                        program,
+                        heap,
+                    );
+                }
             }
-            Event::ObjectAlloc { class, tracked, .. } if tracked => {
-                rep.bump(CostKey::Creation { class });
+            Event::ObjectAlloc {
+                obj,
+                class,
+                tracked,
+            } => {
+                self.last_writer.insert(ElemKey::Obj(obj), self.cur);
+                if tracked {
+                    self.pipeline().0.bump(CostKey::Creation { class });
+                }
             }
-            Event::InputRead => attr.on_external_io(rep, AccessOp::Read),
-            Event::OutputWrite => attr.on_external_io(rep, AccessOp::Write),
-            // Untracked mutations, array allocations, and instruction
-            // ticks carry no algorithmic cost.
-            _ => {}
+            Event::ArrayAlloc { arr, .. } => {
+                self.last_writer.insert(ElemKey::Arr(arr), self.cur);
+            }
+            Event::InputRead => {
+                let (rep, attr) = self.pipeline();
+                attr.on_external_io(rep, AccessOp::Read);
+            }
+            Event::OutputWrite => {
+                let (rep, attr) = self.pipeline();
+                attr.on_external_io(rep, AccessOp::Write);
+            }
+            Event::ThreadSpawn { thread, .. } => self.ensure_thread(thread),
+            Event::ThreadSwitch { thread } => {
+                self.ensure_thread(thread);
+                self.cur = thread.index();
+            }
+            // A thread's frames were already unwound through MethodExit
+            // events; finalization of anything still open happens in
+            // `finish_set`.
+            Event::ThreadEnd { .. } => {}
+            // Contention is cost charged to the *blocked* thread (the
+            // current one — LockWait is delivered before the scheduler
+            // switches away).
+            Event::LockWait { .. } => self.pipeline().0.bump(CostKey::LockContention),
+            // Uncontended lock traffic and instruction ticks carry no
+            // algorithmic cost.
+            Event::LockAcquire { .. } | Event::LockRelease { .. } | Event::Instruction { .. } => {}
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::CostMetric;
+    use crate::report::{render, render_set};
+    use algoprof_vm::{compile, InstrumentOptions, Interp};
+
+    /// Two workers hammer one lock-guarded counter; the cooperative
+    /// scheduler preempts inside critical sections, so some acquisitions
+    /// block.
+    const CONTENDED_SRC: &str = "class Main { static int main() {
+        Counter c = new Counter();
+        int t1 = spawn bump(c, 100);
+        int t2 = spawn bump(c, 100);
+        int a = join t1;
+        int b = join t2;
+        return c.total;
+    }
+    static int bump(Counter c, int n) {
+        for (int i = 0; i < n; i = i + 1) {
+            lock c;
+            c.total = c.total + 1;
+            unlock c;
+        }
+        return n;
+    } }
+    class Counter { int total; }";
+
+    /// Main builds a 20-node list, a worker thread traverses it: every
+    /// node the worker reads was last written by main.
+    const PRODUCER_CONSUMER_SRC: &str = "class Main { static int main() {
+        Node head = null;
+        for (int i = 0; i < 20; i = i + 1) {
+            Node n = new Node();
+            n.next = head;
+            head = n;
+        }
+        int t = spawn count(head);
+        return join t;
+    }
+    static int count(Node head) {
+        int c = 0;
+        Node cur = head;
+        while (cur != null) { c = c + 1; cur = cur.next; }
+        return c;
+    } }
+    class Node { Node next; }";
+
+    fn run_set(src: &str) -> crate::profile::ProfileSet {
+        let program = compile(src)
+            .expect("compiles")
+            .instrument(&InstrumentOptions::default());
+        let mut prof = AlgoProf::new();
+        Interp::new(&program).run(&mut prof).expect("runs");
+        prof.finish_set(&program)
+    }
+
+    #[test]
+    fn single_threaded_run_yields_one_profile() {
+        let set = run_set(
+            "class Main { static int main() {
+                int s = 0;
+                for (int i = 0; i < 5; i = i + 1) { s = s + i; }
+                return s;
+            } }",
+        );
+        assert_eq!(set.len(), 1);
+        assert!(!set.is_threaded());
+        assert_eq!(render_set(&set), render(set.main()));
+    }
+
+    #[test]
+    fn threaded_run_builds_one_tree_per_thread() {
+        let set = run_set(CONTENDED_SRC);
+        assert_eq!(set.len(), 3, "main + two workers");
+        assert!(set.is_threaded());
+        // Each worker ran the bump loop: 100 back edges on its own tree.
+        for t in 1..=2 {
+            let p = set.thread(t).expect("worker profile");
+            let algo = p
+                .algorithm_by_root_name("Main.bump:loop0")
+                .expect("worker loop algorithm");
+            assert_eq!(algo.total_costs.steps(), 100);
+        }
+        // Main never ran bump's loop.
+        assert!(set
+            .main()
+            .algorithm_by_root_name("Main.bump:loop0")
+            .is_none());
+    }
+
+    #[test]
+    fn contention_is_charged_to_blocked_threads() {
+        let set = run_set(CONTENDED_SRC);
+        let waits = |p: &crate::profile::AlgorithmicProfile| -> u64 {
+            p.algorithms()
+                .iter()
+                .map(|a| a.total_costs.contention())
+                .sum()
+        };
+        let w1 = waits(set.thread(1).expect("t1"));
+        let w2 = waits(set.thread(2).expect("t2"));
+        assert!(
+            w1 + w2 > 0,
+            "quantum preemption inside critical sections must produce contention"
+        );
+        // Main only joins; it never touches the lock.
+        assert_eq!(waits(set.main()), 0);
+    }
+
+    #[test]
+    fn merged_view_spans_threads() {
+        // Each worker builds its own list, so the same algorithm
+        // (`build`'s construction loop) runs on two threads with
+        // different input sizes.
+        let set = run_set(
+            "class Main { static int main() {
+                int t1 = spawn build(10);
+                int t2 = spawn build(15);
+                int a = join t1;
+                int b = join t2;
+                return a + b;
+            }
+            static int build(int n) {
+                Node head = null;
+                for (int i = 0; i < n; i = i + 1) {
+                    Node x = new Node();
+                    x.next = head;
+                    head = x;
+                }
+                return n;
+            } }
+            class Node { Node next; }",
+        );
+        assert_eq!(set.len(), 3);
+        let points_of = |t: usize| -> usize {
+            let p = set.thread(t).expect("worker profile");
+            p.algorithm_by_root_name("Main.build:loop0")
+                .map(|a| p.invocation_series(a.id, CostMetric::Steps).len())
+                .unwrap_or(0)
+        };
+        let (s1, s2) = (points_of(1), points_of(2));
+        assert!(s1 > 0 && s2 > 0, "both workers have data points");
+        // Loops are named `Class.method:loopN@Lline`; the merged view
+        // matches the full name exactly.
+        let p1 = set.thread(1).expect("worker profile");
+        let a1 = p1
+            .algorithm_by_root_name("Main.build:loop0")
+            .expect("worker loop");
+        let full_name = p1.node_name(a1.root).to_string();
+        let merged = set.merged_series(&full_name, CostMetric::Steps);
+        assert_eq!(merged.len(), s1 + s2, "merged view spans both threads");
+        assert!(merged.iter().any(|&(size, _)| size == 10.0));
+        assert!(merged.iter().any(|&(size, _)| size == 15.0));
+        assert!(set.algorithm_names().contains(&full_name));
+    }
+
+    #[test]
+    fn cross_thread_reads_attribute_size_to_the_writer() {
+        let set = run_set(PRODUCER_CONSUMER_SRC);
+        assert_eq!(set.len(), 2);
+        // The worker's traversal identifies the list in its own registry.
+        let worker = set.thread(1).expect("worker profile");
+        let traversal = worker
+            .algorithm_by_root_name("Main.count:loop0")
+            .expect("traversal loop");
+        let input = worker.primary_input(traversal.id).expect("list input");
+        assert_eq!(worker.registry().input(input).max_size, 20);
+        // Coppa et al.'s rule: the worker's reads also observe the list on
+        // the *writing* thread (main). All of main's accesses happened
+        // inside its construction loop, so the only way its root
+        // invocation can carry an input observation is the remote-read
+        // credit.
+        let main = set.main();
+        let root = main
+            .algorithm_by_root_name("Program")
+            .expect("root algorithm");
+        let series = main.invocation_series(root.id, CostMetric::Steps);
+        assert!(
+            !series.is_empty(),
+            "remote reads must observe the list on main's root invocation"
+        );
+        assert!(
+            series.iter().any(|&(size, _)| size == 20.0),
+            "the observed size is the full 20-node list, got {series:?}"
+        );
+    }
+
+    #[test]
+    fn threaded_render_set_has_thread_sections_and_merged_view() {
+        let set = run_set(CONTENDED_SRC);
+        let text = render_set(&set);
+        assert!(text.contains("=== t0 (main) ==="));
+        assert!(text.contains("=== t1 ==="));
+        assert!(text.contains("=== t2 ==="));
+        assert!(text.contains("=== merged (all threads) ==="));
+        assert!(
+            text.contains("lock-waits="),
+            "merged view reports contention"
+        );
     }
 }

@@ -3,7 +3,7 @@
 use std::fmt::Write as _;
 
 use crate::algorithms::AlgorithmId;
-use crate::profile::{AlgorithmicProfile, CostMetric};
+use crate::profile::{AlgorithmicProfile, CostMetric, ProfileSet};
 use crate::reptree::NodeId;
 
 /// Renders the repetition tree with per-node invocation/step statistics,
@@ -51,6 +51,64 @@ pub fn render(profile: &AlgorithmicProfile) -> String {
                     let _ = writeln!(out, "  fitted: {fit}");
                 }
             }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a per-thread profile set. Single-threaded sets render exactly
+/// like [`render`] on the main profile (byte-identical, so existing
+/// goldens and consumers are unaffected). Threaded sets get one `=== t0
+/// (main) ===`-headed section per thread plus a merged cross-thread view
+/// listing, for each algorithm name, the total contributed invocations
+/// and lock-contention cost.
+pub fn render_set(set: &ProfileSet) -> String {
+    if !set.is_threaded() {
+        return render(set.main());
+    }
+    let mut out = String::new();
+    for (t, p) in set.threads().iter().enumerate() {
+        let label = if t == 0 { " (main)" } else { "" };
+        let _ = writeln!(out, "=== t{t}{label} ===");
+        out.push_str(&render(p));
+    }
+    out.push_str("=== merged (all threads) ===\n");
+    out.push_str(&render_merged(set));
+    out
+}
+
+/// The merged cross-thread summary block of [`render_set`]: one line per
+/// algorithm name with the thread count, total invocations, steps, and
+/// (when present) lock-contention cost summed over every thread that ran
+/// it. Also embedded in the HTML set rendering.
+pub fn render_merged(set: &ProfileSet) -> String {
+    let mut out = String::new();
+    for name in set.algorithm_names() {
+        let mut invocations = 0usize;
+        let mut steps = 0u64;
+        let mut contention = 0u64;
+        let mut threads_running = 0usize;
+        for p in set.threads() {
+            let mut ran = false;
+            for a in p.algorithms() {
+                if p.node_name(a.root) == name {
+                    ran = true;
+                    invocations += a.invocation_count();
+                    steps += a.total_costs.steps();
+                    contention += a.total_costs.contention();
+                }
+            }
+            if ran {
+                threads_running += 1;
+            }
+        }
+        let _ = write!(
+            out,
+            "{name}: threads={threads_running} invocations={invocations} steps={steps}"
+        );
+        if contention > 0 {
+            let _ = write!(out, " lock-waits={contention}");
         }
         out.push('\n');
     }

@@ -8,7 +8,7 @@ use std::fmt;
 use algoprof_trace::{read_header, TraceError, TraceHeader, TraceRecorder, TraceReplayer};
 use algoprof_vm::{compile, CompileError, InstrumentOptions, Interp, RuntimeError, Tee};
 
-use crate::profile::AlgorithmicProfile;
+use crate::profile::{AlgorithmicProfile, ProfileSet};
 use crate::profiler::{AlgoProf, AlgoProfOptions};
 
 /// Why [`profile_source`] failed.
@@ -124,6 +124,27 @@ pub fn profile_source_with(
     Ok(profiler.finish(&program))
 }
 
+/// Like [`profile_source_with`], but returns one profile per guest
+/// thread ([`ProfileSet`]) instead of only the main thread's —
+/// single-threaded programs yield a one-element set.
+///
+/// # Errors
+///
+/// Same as [`profile_source`].
+pub fn profile_source_set_with(
+    source: &str,
+    instrument: &InstrumentOptions,
+    options: AlgoProfOptions,
+    input: &[i64],
+) -> Result<ProfileSet, ProfileError> {
+    let program = compile(source)?.instrument(instrument).fuse_default();
+    let mut profiler = AlgoProf::with_options(options);
+    Interp::new(&program)
+        .with_input(input.to_vec())
+        .run(&mut profiler)?;
+    Ok(profiler.finish_set(&program))
+}
+
 /// Compiles `source`, instruments it with the default options, executes
 /// it once, and returns the recorded event trace. Feed the bytes to
 /// [`profile_trace`] (any number of times) to analyze without
@@ -222,6 +243,23 @@ pub fn profile_trace_with(
     Ok(profiler.finish(&program))
 }
 
+/// Like [`profile_trace_with`], but returns one profile per guest thread
+/// recorded in the trace ([`ProfileSet`]).
+///
+/// # Errors
+///
+/// Same as [`profile_trace`].
+pub fn profile_trace_set_with(
+    trace: &[u8],
+    options: AlgoProfOptions,
+) -> Result<ProfileSet, ProfileError> {
+    let (header, events) = read_header(trace)?;
+    let program = compile(&header.source)?.instrument(&header.instrument);
+    let mut profiler = AlgoProf::with_options(options);
+    TraceReplayer::new().replay(&program, events, &mut profiler)?;
+    Ok(profiler.finish_set(&program))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -280,5 +318,62 @@ mod tests {
         let e = profile_trace(b"not a trace").unwrap_err();
         assert!(matches!(e, ProfileError::Trace(_)));
         assert!(e.to_string().contains("trace"));
+    }
+
+    /// Two workers each build and traverse their own list while sharing a
+    /// lock-guarded counter — exercises threads, locks, and tracked data
+    /// structures at once.
+    const THREADED_SRC: &str = "class Main { static int main() {
+        Counter c = new Counter();
+        int t1 = spawn work(c, 12);
+        int t2 = spawn work(c, 18);
+        int a = join t1;
+        int b = join t2;
+        return c.total;
+    }
+    static int work(Counter c, int n) {
+        Node head = null;
+        for (int i = 0; i < n; i = i + 1) {
+            Node x = new Node();
+            x.next = head;
+            head = x;
+        }
+        Node cur = head;
+        while (cur != null) {
+            lock c;
+            c.total = c.total + 1;
+            unlock c;
+            cur = cur.next;
+        }
+        return n;
+    } }
+    class Counter { int total; }
+    class Node { Node next; }";
+
+    #[test]
+    fn threaded_trace_profile_equals_live_profile_under_every_criterion() {
+        use crate::snapshot::EquivalenceCriterion;
+
+        let trace = record_source(THREADED_SRC).expect("records");
+        for criterion in [
+            EquivalenceCriterion::AllElements,
+            EquivalenceCriterion::SomeElements,
+            EquivalenceCriterion::SameArray,
+            EquivalenceCriterion::SameType,
+        ] {
+            let options = AlgoProfOptions {
+                criterion,
+                ..AlgoProfOptions::default()
+            };
+            let live =
+                profile_source_set_with(THREADED_SRC, &InstrumentOptions::default(), options, &[])
+                    .expect("profiles live");
+            let replayed = profile_trace_set_with(&trace, options).expect("replays");
+            assert_eq!(live.len(), 3, "main + two workers under {criterion:?}");
+            assert_eq!(
+                live, replayed,
+                "per-thread profiles must match live under {criterion:?}"
+            );
+        }
     }
 }

@@ -26,7 +26,7 @@ use algoprof_trace::IncrementalReplayer;
 use algoprof_vm::{compile, CompiledProgram};
 
 use crate::inputs::{InputKind, InputRegistry};
-use crate::profile::AlgorithmicProfile;
+use crate::profile::ProfileSet;
 use crate::profiler::{AlgoProf, AlgoProfOptions};
 use crate::reptree::{Invocation, NodeId};
 use crate::run::ProfileError;
@@ -56,9 +56,10 @@ pub struct StreamNodeFit {
 /// Everything a completed streaming analysis produced.
 #[derive(Debug)]
 pub struct StreamingReport {
-    /// The profile, identical to the batch [`crate::profile_trace_with`]
-    /// result for the same trace bytes and options.
-    pub profile: AlgorithmicProfile,
+    /// One profile per guest thread, identical to the batch
+    /// [`crate::profile_trace_set_with`] result for the same trace bytes
+    /// and options (single-threaded guests yield a one-entry set).
+    pub profiles: ProfileSet,
     /// Per-node online fits, sized nodes only, in node-id order.
     pub node_fits: Vec<StreamNodeFit>,
     /// The guest source embedded in the trace header (the stream itself
@@ -162,26 +163,29 @@ impl StreamingAnalysis {
             .program
             .take()
             .expect("End tag decoded implies the header was decoded");
-        let profile = profiler.finish(&program);
+        let profiles = profiler.finish_set(&program);
         // Invocations still open at the last chunk (e.g. the root) are
         // finalized inside `finish`; fold them in from the final tree.
-        for node in profile.tree().nodes() {
+        // Online fits follow the main thread (the stream's implicit
+        // starting thread — the one `feed` was watching all along).
+        let main = profiles.main();
+        for node in main.tree().nodes() {
             let state = self.fits.entry(node.id.index()).or_default();
-            push_finished(state, &node.invocations, profile.registry());
+            push_finished(state, &node.invocations, main.registry());
         }
         let node_fits = self
             .fits
             .iter()
             .filter(|(_, s)| !s.fit.is_empty())
             .map(|(&idx, s)| StreamNodeFit {
-                node: profile.node_name(NodeId(idx as u32)).to_string(),
+                node: main.node_name(NodeId(idx as u32)).to_string(),
                 points: s.fit.len(),
                 best: s.fit.best_fit(),
                 power: s.fit.power_law(),
             })
             .collect();
         Ok(StreamingReport {
-            profile,
+            profiles,
             node_fits,
             source,
             events: stats.events,
@@ -278,7 +282,8 @@ mod tests {
         for chunk in [1, 7, 64, trace.len()] {
             let report = streamed(&trace, chunk);
             assert_eq!(
-                report.profile, batch,
+                *report.profiles.main(),
+                batch,
                 "chunk size {chunk} diverged from batch"
             );
             assert_eq!(report.bytes, trace.len() as u64);
@@ -303,6 +308,34 @@ mod tests {
         let text = render_stream_fits(&report);
         assert!(text.contains("streaming fits"));
         assert!(text.contains("points]"));
+    }
+
+    #[test]
+    fn threaded_streaming_equals_batch_set() {
+        use crate::run::profile_trace_set_with;
+        const TSRC: &str = "class Main { static int main() {
+            int t1 = spawn work(6);
+            int t2 = spawn work(9);
+            return join t1 + join t2;
+        }
+        static int work(int n) {
+            Node head = null;
+            for (int i = 0; i < n; i = i + 1) {
+                Node x = new Node(); x.next = head; head = x;
+            }
+            return n;
+        } }
+        class Node { Node next; }";
+        let trace = record_source(TSRC).expect("records");
+        let batch = profile_trace_set_with(&trace, AlgoProfOptions::default()).expect("replays");
+        assert_eq!(batch.len(), 3, "main + two workers");
+        for chunk in [1, 13, trace.len()] {
+            let report = streamed(&trace, chunk);
+            assert_eq!(
+                report.profiles, batch,
+                "chunk size {chunk} diverged from the batch set"
+            );
+        }
     }
 
     #[test]

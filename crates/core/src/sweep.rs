@@ -31,7 +31,7 @@ use algoprof_trace::{TraceHeader, TraceRecorder};
 use algoprof_vm::{compile, Fanout, InstrumentOptions, Interp, Tee};
 
 use crate::pool::{default_workers, run_indexed};
-use crate::profile::{AlgorithmicProfile, CostMetric};
+use crate::profile::{AlgorithmicProfile, CostMetric, ProfileSet};
 use crate::profiler::{AlgoProf, AlgoProfOptions};
 use crate::run::ProfileError;
 
@@ -159,10 +159,13 @@ impl std::error::Error for SweepError {
 pub struct SweepRunReport {
     /// Ablation name.
     pub ablation: String,
-    /// Algorithms found by this analysis.
+    /// Algorithms found by this analysis, summed over all guest threads.
     pub algorithms: u64,
-    /// Total algorithmic steps across all algorithms.
+    /// Total algorithmic steps across all algorithms and threads.
     pub total_steps: u64,
+    /// Guest threads the run produced a profile for (1 for a program
+    /// that never spawns).
+    pub threads: u64,
 }
 
 /// Outcome of one job (shared trace, one run row per ablation).
@@ -193,6 +196,13 @@ pub struct SweepSeries {
     /// `Main.testForSize:loop0@L9`) — identical sources give identical
     /// names, which is what lets runs merge.
     pub algorithm: String,
+    /// `None` for the merged-across-threads series (the only kind a
+    /// single-threaded sweep produces, and byte-identical to the
+    /// pre-thread report). `Some(t)` rows are emitted in addition when
+    /// any job in the group spawned: the same algorithm restricted to
+    /// guest thread `t`, with its own fit — so per-thread scaling
+    /// verdicts fall out of the ordinary fit machinery.
+    pub thread: Option<usize>,
     /// Human classification, e.g. `Construction of a ... structure`.
     pub kind: String,
     /// Merged ⟨size, steps⟩ points, sorted by size then cost.
@@ -333,14 +343,20 @@ pub fn run_sweep(jobs: &[SweepJob], config: &SweepConfig) -> Result<SweepReport,
             runs: ablations
                 .iter()
                 .zip(&results[j].profiles)
-                .map(|(ab, profile)| SweepRunReport {
+                .map(|(ab, set)| SweepRunReport {
                     ablation: ab.name.clone(),
-                    algorithms: profile.algorithms().len() as u64,
-                    total_steps: profile
-                        .algorithms()
+                    algorithms: set
+                        .threads()
                         .iter()
+                        .map(|p| p.algorithms().len() as u64)
+                        .sum(),
+                    total_steps: set
+                        .threads()
+                        .iter()
+                        .flat_map(|p| p.algorithms())
                         .map(|al| al.total_costs.steps())
                         .sum(),
+                    threads: set.len() as u64,
                 })
                 .collect(),
         });
@@ -375,10 +391,23 @@ pub fn run_sweep(jobs: &[SweepJob], config: &SweepConfig) -> Result<SweepReport,
             // sweep's independent variable. Measured structure sizes can
             // overshoot the request (a doubling array list at n=48 has
             // capacity 64), which used to duplicate x-values across jobs.
+            // The merged slice spans every guest thread of every member
+            // job — for a single-threaded sweep that is exactly the old
+            // one-profile-per-job slice.
             let slice: Vec<(&AlgorithmicProfile, u64)> = members
                 .iter()
-                .map(|&j| (&results[j].profiles[a], jobs[j].size))
+                .flat_map(|&j| {
+                    results[j].profiles[a]
+                        .threads()
+                        .iter()
+                        .map(move |p| (p, jobs[j].size))
+                })
                 .collect();
+            let group_threads = members
+                .iter()
+                .map(|&j| results[j].profiles[a].len())
+                .max()
+                .unwrap_or(1);
             // Every algorithm root name seen anywhere in this group, in
             // sorted order so the report layout is stable.
             let mut names: Vec<String> = Vec::new();
@@ -392,54 +421,86 @@ pub fn run_sweep(jobs: &[SweepJob], config: &SweepConfig) -> Result<SweepReport,
             }
             names.sort();
             for name in names {
-                let points = crate::profile::merge_invocation_series_nominal(
-                    &slice,
-                    &name,
-                    CostMetric::Steps,
-                );
-                if points.is_empty() {
-                    continue;
+                if let Some(s) = build_series(&ablation.name, tag, &name, None, &slice, predictions)
+                {
+                    report.series.push(s);
                 }
-                let kind = slice
-                    .iter()
-                    .find_map(|(p, _)| {
-                        p.algorithms()
+                // Threaded groups additionally get one series per guest
+                // thread, right under the merged one, so each thread's
+                // scaling is judged on its own points.
+                if group_threads > 1 {
+                    for t in 0..group_threads {
+                        let tslice: Vec<(&AlgorithmicProfile, u64)> = members
                             .iter()
-                            .find(|al| p.node_name(al.root) == name)
-                            .map(|al| p.describe_algorithm(al.id))
-                    })
-                    .unwrap_or_default();
-                let fit = best_fit(&points);
-                let (predicted, predicted_cost) = match predictions.get(&name) {
-                    Some((class, cost)) => (Some(*class), Some(cost.clone())),
-                    None => (None, None),
-                };
-                let agrees = match (predicted, &fit) {
-                    (Some(p), Some(f)) => p.agrees_with(f.model.complexity_class()),
-                    _ => None,
-                };
-                let coeff = check_coefficient(
-                    predicted,
-                    predicted_cost.as_ref().and_then(|c| c.leading()),
-                    fit.as_ref(),
-                );
-                report.series.push(SweepSeries {
-                    ablation: ablation.name.clone(),
-                    program: tag.to_string(),
-                    algorithm: name,
-                    kind,
-                    fit,
-                    power_law: fit_power_law(&points),
-                    points,
-                    predicted,
-                    predicted_cost,
-                    agrees,
-                    coeff,
-                });
+                            .filter_map(|&j| {
+                                results[j].profiles[a].thread(t).map(|p| (p, jobs[j].size))
+                            })
+                            .collect();
+                        if let Some(s) =
+                            build_series(&ablation.name, tag, &name, Some(t), &tslice, predictions)
+                        {
+                            report.series.push(s);
+                        }
+                    }
+                }
             }
         }
     }
     Ok(report)
+}
+
+/// Builds one merged series row (merged across `slice`'s profiles) with
+/// its fits and static cross-validation verdicts, or `None` when the
+/// algorithm contributed no sized points in this slice.
+fn build_series(
+    ablation: &str,
+    program: &str,
+    name: &str,
+    thread: Option<usize>,
+    slice: &[(&AlgorithmicProfile, u64)],
+    predictions: &std::collections::HashMap<String, (ComplexityClass, CostFn)>,
+) -> Option<SweepSeries> {
+    let points = crate::profile::merge_invocation_series_nominal(slice, name, CostMetric::Steps);
+    if points.is_empty() {
+        return None;
+    }
+    let kind = slice
+        .iter()
+        .find_map(|(p, _)| {
+            p.algorithms()
+                .iter()
+                .find(|al| p.node_name(al.root) == name)
+                .map(|al| p.describe_algorithm(al.id))
+        })
+        .unwrap_or_default();
+    let fit = best_fit(&points);
+    let (predicted, predicted_cost) = match predictions.get(name) {
+        Some((class, cost)) => (Some(*class), Some(cost.clone())),
+        None => (None, None),
+    };
+    let agrees = match (predicted, &fit) {
+        (Some(p), Some(f)) => p.agrees_with(f.model.complexity_class()),
+        _ => None,
+    };
+    let coeff = check_coefficient(
+        predicted,
+        predicted_cost.as_ref().and_then(|c| c.leading()),
+        fit.as_ref(),
+    );
+    Some(SweepSeries {
+        ablation: ablation.to_string(),
+        program: program.to_string(),
+        algorithm: name.to_string(),
+        thread,
+        kind,
+        fit,
+        power_law: fit_power_law(&points),
+        points,
+        predicted,
+        predicted_cost,
+        agrees,
+        coeff,
+    })
 }
 
 /// What one single-pass job execution yields.
@@ -448,8 +509,9 @@ struct JobOutcome {
     trace_bytes: u64,
     /// Events encoded into the recording.
     events: u64,
-    /// One finished profile per ablation, in configuration order.
-    profiles: Vec<AlgorithmicProfile>,
+    /// One finished per-thread profile set per ablation, in
+    /// configuration order.
+    profiles: Vec<ProfileSet>,
 }
 
 /// Executes one job's guest exactly once, producing its recording stats
@@ -488,7 +550,7 @@ fn profile_job(
         profiles: fanout
             .into_sinks()
             .into_iter()
-            .map(|p| p.finish(&program))
+            .map(|p| p.finish_set(&program))
             .collect(),
     })
 }
@@ -524,11 +586,15 @@ impl SweepReport {
                 job.label, job.trace_bytes, job.events
             );
             for run in &job.runs {
-                let _ = writeln!(
+                let _ = write!(
                     out,
                     "  {}: algorithms={} steps={}",
                     run.ablation, run.algorithms, run.total_steps
                 );
+                if run.threads > 1 {
+                    let _ = write!(out, " threads={}", run.threads);
+                }
+                out.push('\n');
             }
         }
         out.push('\n');
@@ -538,7 +604,15 @@ impl SweepReport {
             } else {
                 format!("{} ", s.program)
             };
-            let _ = writeln!(out, "algorithm {prefix}{} [{}]", s.algorithm, s.ablation);
+            let tsuffix = match s.thread {
+                Some(t) => format!(" [t{t}]"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "algorithm {prefix}{}{tsuffix} [{}]",
+                s.algorithm, s.ablation
+            );
             if !s.kind.is_empty() {
                 let _ = writeln!(out, "  kind: {}", s.kind);
             }
@@ -609,10 +683,11 @@ impl SweepReport {
                 .iter()
                 .map(|r| {
                     format!(
-                        "{{\"ablation\": {}, \"algorithms\": {}, \"total_steps\": {}}}",
+                        "{{\"ablation\": {}, \"algorithms\": {}, \"total_steps\": {}, \"threads\": {}}}",
                         json_str(&r.ablation),
                         r.algorithms,
-                        r.total_steps
+                        r.total_steps,
+                        r.threads
                     )
                 })
                 .collect::<Vec<_>>()
@@ -683,12 +758,17 @@ impl SweepReport {
                 opt_f64(s.coeff.rel_err),
                 json_str(s.coeff.reason)
             );
+            let thread = match s.thread {
+                Some(t) => t.to_string(),
+                None => "null".to_string(),
+            };
             let _ = write!(
                 out,
-                "    {{\"ablation\": {}, \"program\": {}, \"algorithm\": {}, \"kind\": {}, \"points\": [{}], \"best_fit\": {}, \"power_law\": {}, \"predicted\": {}, \"predicted_cost\": {}, \"agrees\": {}, \"coeff\": {}}}",
+                "    {{\"ablation\": {}, \"program\": {}, \"algorithm\": {}, \"thread\": {}, \"kind\": {}, \"points\": [{}], \"best_fit\": {}, \"power_law\": {}, \"predicted\": {}, \"predicted_cost\": {}, \"agrees\": {}, \"coeff\": {}}}",
                 json_str(&s.ablation),
                 json_str(&s.program),
                 json_str(&s.algorithm),
+                thread,
                 json_str(&s.kind),
                 points,
                 fit,
@@ -941,7 +1021,7 @@ mod tests {
         // The Fanout'd live profiles must be indistinguishable from the
         // old record-then-replay pipeline, and the teed recording must
         // be byte-identical to a pure recording run.
-        use crate::run::{profile_trace_with, record_source_with};
+        use crate::run::{profile_trace_set_with, record_source_with};
         use crate::snapshot::EquivalenceCriterion;
         let ablations = vec![
             SweepAblation {
@@ -969,7 +1049,8 @@ mod tests {
             assert_eq!(outcome.trace_bytes, recording.len() as u64);
             assert!(outcome.events > 0);
             for (ablation, live) in ablations.iter().zip(&outcome.profiles) {
-                let replayed = profile_trace_with(&recording, ablation.options).expect("replays");
+                let replayed =
+                    profile_trace_set_with(&recording, ablation.options).expect("replays");
                 assert_eq!(
                     *live, replayed,
                     "single-pass [{}] diverged from replay",
@@ -977,6 +1058,85 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn threaded_sweep_adds_per_thread_series_and_stays_deterministic() {
+        // Two workers build lists of n and 2n nodes: the merged series
+        // mixes both, while the per-thread rows separate a slope-1 from
+        // a slope-2 linear fit.
+        const THREADED: &str = "class Main { static int main() {
+            int n = readInput();
+            int t1 = spawn work(n);
+            int t2 = spawn work(n * 2);
+            int a = join t1;
+            int b = join t2;
+            return a + b;
+        }
+        static int work(int n) {
+            Node head = null;
+            for (int i = 0; i < n; i = i + 1) {
+                Node x = new Node(); x.next = head; head = x;
+            }
+            return n;
+        } }
+        class Node { Node next; }";
+        let jobs: Vec<SweepJob> = [4u64, 8, 16, 32]
+            .iter()
+            .map(|&n| SweepJob::for_size(THREADED, n))
+            .collect();
+        let mut renders = Vec::new();
+        for workers in [1usize, 2] {
+            let config = SweepConfig {
+                workers,
+                ..SweepConfig::default()
+            };
+            let report = run_sweep(&jobs, &config).expect("sweeps");
+            for job in &report.jobs {
+                assert_eq!(job.runs[0].threads, 3, "main + two workers");
+            }
+            let loop_rows: Vec<&SweepSeries> = report
+                .series
+                .iter()
+                .filter(|s| s.algorithm.contains("Main.work:loop"))
+                .collect();
+            let merged = loop_rows
+                .iter()
+                .find(|s| s.thread.is_none())
+                .expect("merged series");
+            assert_eq!(merged.points.len(), 8, "two worker points per size");
+            let fit_of = |t: usize| {
+                loop_rows
+                    .iter()
+                    .find(|s| s.thread == Some(t))
+                    .unwrap_or_else(|| panic!("per-thread series for t{t}"))
+                    .fit
+                    .expect("per-thread fit")
+            };
+            // Thread 0 (main) never runs the loop; t1 and t2 each get
+            // their own verdict: both linear, t2 twice as steep.
+            assert!(!loop_rows.iter().any(|s| s.thread == Some(0)));
+            let (f1, f2) = (fit_of(1), fit_of(2));
+            assert_eq!(f1.model, algoprof_fit::Model::Linear);
+            assert_eq!(f2.model, algoprof_fit::Model::Linear);
+            assert!(
+                (f2.coeff / f1.coeff - 2.0).abs() < 0.2,
+                "t2 builds twice the list: coeffs {} vs {}",
+                f1.coeff,
+                f2.coeff
+            );
+            let text = report.render_text();
+            assert!(text.contains(" threads=3"));
+            assert!(text.contains(" [t1] [default]"));
+            let json = report.render_json();
+            assert!(json.contains("\"threads\": 3"));
+            assert!(json.contains("\"thread\": 1"));
+            assert!(json.contains("\"thread\": null"));
+            let html = report.render_html();
+            assert!(html.contains(" [t2] "));
+            renders.push((text, json, html));
+        }
+        assert_eq!(renders[0], renders[1], "renders differ across -j");
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Three fixture families, each a complete jay program:
 //!
 //! * [`seeded_bugs`] — programs seeded with exactly one defect each,
-//!   covering every lint in the AP001–AP006 catalog. Each fixture knows
+//!   covering every lint in the AP001–AP007 catalog. Each fixture knows
 //!   the code and source line its diagnostic must fire on, so tests pin
 //!   spans, not just presence.
 //! * [`near_misses`] — the same shapes with the defect *repaired* (a
@@ -167,6 +167,48 @@ class Box { int tag; }",
             line: 4,
             error: true,
         },
+        SeededBug {
+            name: "ap007_join_of_constant",
+            source: "class Main {
+    static int main() {
+        int t = 3;
+        return join t;
+    }
+}",
+            code: "AP007",
+            line: 4,
+            error: false,
+        },
+        SeededBug {
+            name: "ap007_double_join",
+            source: "class Main {
+    static int main() {
+        int t1 = spawn work(4);
+        int a = join t1;
+        int b = join t1;
+        return a + b;
+    }
+    static int work(int n) { return n * 2; }
+}",
+            code: "AP007",
+            line: 5,
+            error: false,
+        },
+        SeededBug {
+            name: "ap007_lock_never_unlocked",
+            source: "class Main {
+    static int main() {
+        Box b = new Box();
+        lock b;
+        b.v = 1;
+        return b.v;
+    }
+}
+class Box { int v; }",
+            code: "AP007",
+            line: 6,
+            error: false,
+        },
     ]
 }
 
@@ -246,6 +288,44 @@ class Box { int tag; }",
     }
 }",
             guards: "AP005",
+        },
+        NearMiss {
+            name: "near_ap007_spawn_then_join",
+            source: "class Main {
+    static int main() {
+        int t1 = spawn work(4);
+        return join t1;
+    }
+    static int work(int n) { return n * 2; }
+}",
+            guards: "AP007",
+        },
+        NearMiss {
+            name: "near_ap007_balanced_lock",
+            source: "class Main {
+    static int main() {
+        Box b = new Box();
+        lock b;
+        b.v = b.v + 1;
+        unlock b;
+        return b.v;
+    }
+}
+class Box { int v; }",
+            guards: "AP007",
+        },
+        NearMiss {
+            name: "near_ap007_both_branches_unlock",
+            source: "class Main {
+    static int main() {
+        Box b = new Box();
+        lock b;
+        if (b.v > 0) { b.v = 2; unlock b; } else { unlock b; }
+        return b.v;
+    }
+}
+class Box { int v; }",
+            guards: "AP007",
         },
     ]
 }

@@ -5,7 +5,7 @@
 //! algoprof record <program.jay> -o <trace>  execute once, save the event trace
 //! algoprof analyze <trace|-> [OPTIONS]      profile a recording (no re-execution);
 //!                                           `-` streams the trace from stdin
-//! algoprof events <trace> [--json] [--limit N]   dump a recording's events
+//! algoprof events <trace> [--json] [--limit N] [--thread N]   dump a recording's events
 //! algoprof sweep <program.jay> --sizes n,.. profile a whole input-size sweep
 //! algoprof lint <program.jay>... [--json] [--strict]   static analysis + lints
 //! algoprof costfn <program.jay> [--json]    symbolic cost functions + feature attribution
@@ -56,8 +56,8 @@ use std::process::ExitCode;
 
 use algoprof::{
     AlgoProfOptions, AlgorithmicProfile, ArraySizeStrategy, CostMetric, EquivalenceCriterion,
-    GroupingStrategy, JobSpec, ProfileError, SnapshotPolicy, StreamingAnalysis, SweepAblation,
-    SweepConfig, SweepJob,
+    GroupingStrategy, JobSpec, ProfileError, ProfileSet, SnapshotPolicy, StreamingAnalysis,
+    SweepAblation, SweepConfig, SweepJob,
 };
 use algoprof_serve::{client, Server, ServerAddr, ServerConfig};
 use algoprof_vm::InstrumentOptions;
@@ -67,7 +67,7 @@ const USAGE: &str = "usage: algoprof [--criterion some|all|array|type] [--sizing
      [--input v1,v2,...] [--csv <needle>] [--html <file.html>] [--check] <program.jay>\n\
        algoprof record <program.jay> -o <trace.aptr> [--input v1,v2,...]\n\
        algoprof analyze <trace.aptr|-> [analysis options as above, plus --check]\n\
-       algoprof events <trace.aptr> [--json] [--limit N]\n\
+       algoprof events <trace.aptr> [--json] [--limit N] [--thread N]\n\
        algoprof sweep <program.jay> --sizes n1,n2,... [-j N] \
      [--criteria some,all,array,type] [--sizing ...] [--snapshots ...] [--grouping ...] \
      [--json <file.json>] [--html <file.html>] [--quiet]\n\
@@ -281,32 +281,42 @@ fn parse_args(args: &[String]) -> Result<AnalysisArgs, CliError> {
     Ok(out)
 }
 
-/// Renders `profile` per the `--csv`/`--html` selection.
-fn emit(
-    profile: &AlgorithmicProfile,
-    csv: Option<String>,
-    html: Option<String>,
-) -> Result<(), CliError> {
+/// Renders a per-thread profile set per the `--csv`/`--html` selection.
+/// Single-threaded sets keep the exact pre-thread output; threaded sets
+/// get per-thread sections plus the merged view (text/HTML) or the
+/// cross-thread merged series (CSV).
+fn emit_set(set: &ProfileSet, csv: Option<String>, html: Option<String>) -> Result<(), CliError> {
     if let Some(html_path) = html {
-        write_file(&html_path, algoprof::render_html(profile).as_bytes())?;
+        write_file(&html_path, algoprof::render_html_set(set).as_bytes())?;
         println!("wrote {html_path}");
         return Ok(());
     }
     match csv {
-        Some(needle) => match profile.algorithm_by_root_name(&needle) {
-            Some(algo) => {
-                println!("size,steps");
-                for (s, c) in profile.invocation_series(algo.id, CostMetric::Steps) {
-                    println!("{s},{c}");
-                }
-            }
-            None => {
+        Some(needle) => {
+            // Resolve the substring needle against any thread, then merge
+            // that algorithm's points across all of them. A one-thread
+            // set emits its profile's series verbatim (unsorted), exactly
+            // as before.
+            let Some((p, algo)) = set
+                .threads()
+                .iter()
+                .find_map(|p| p.algorithm_by_root_name(&needle).map(|a| (p, a)))
+            else {
                 return Err(CliError::Run(format!(
                     "no algorithm whose root matches {needle:?}"
                 )));
+            };
+            println!("size,steps");
+            let series = if set.is_threaded() {
+                set.merged_series(p.node_name(algo.root), CostMetric::Steps)
+            } else {
+                p.invocation_series(algo.id, CostMetric::Steps)
+            };
+            for (s, c) in series {
+                println!("{s},{c}");
             }
-        },
-        None => print!("{}", profile.render_text()),
+        }
+        None => print!("{}", algoprof::render_set(set)),
     }
     Ok(())
 }
@@ -318,15 +328,15 @@ fn live_main(args: &[String]) -> Result<(), CliError> {
         return Err(CliError::Usage("expected exactly one program file".into()));
     };
     let source = read_file(path)?;
-    let profile = algoprof::profile_source_with(
+    let set = algoprof::profile_source_set_with(
         &source,
         &InstrumentOptions::default(),
         parsed.opts,
         &parsed.input,
     )?;
-    emit(&profile, parsed.csv, parsed.html)?;
+    emit_set(&set, parsed.csv, parsed.html)?;
     if parsed.check {
-        cross_validate(&profile, &source)?;
+        cross_validate(set.main(), &source)?;
     }
     Ok(())
 }
@@ -397,22 +407,22 @@ fn analyze_main(args: &[String]) -> Result<(), CliError> {
     let [path] = parsed.positional.as_slice() else {
         return Err(CliError::Usage("expected exactly one trace file".into()));
     };
-    let (profile, source) = if path == "-" {
+    let (set, source) = if path == "-" {
         let report = analyze_stdin(parsed.opts)?;
-        (report.profile, report.source)
+        (report.profiles, report.source)
     } else {
         let trace =
             std::fs::read(path).map_err(|e| CliError::from(ProfileError::io("read", path, &e)))?;
-        let profile = algoprof::profile_trace_with(&trace, parsed.opts)?;
+        let set = algoprof::profile_trace_set_with(&trace, parsed.opts)?;
         // The APTR header embeds the recorded source, so recordings are
         // cross-validatable offline, without the original file.
         let (header, _) =
             algoprof_trace::read_header(&trace).map_err(|e| CliError::Run(e.to_string()))?;
-        (profile, header.source)
+        (set, header.source)
     };
-    emit(&profile, parsed.csv, parsed.html)?;
+    emit_set(&set, parsed.csv, parsed.html)?;
     if parsed.check {
-        cross_validate(&profile, &source)?;
+        cross_validate(set.main(), &source)?;
     }
     Ok(())
 }
@@ -435,12 +445,15 @@ fn analyze_stdin(opts: AlgoProfOptions) -> Result<algoprof::StreamingReport, Cli
 }
 
 /// `algoprof events <trace.aptr>`: decode a recording into one line per
-/// event, human-readable by default or JSON lines with `--json`.
-/// `--limit N` caps the printed lines; the replay still validates the
-/// whole stream either way.
+/// event, human-readable by default or JSON lines with `--json`. Every
+/// line carries its delivery thread (`tN` column / `"thread"` key);
+/// `--thread N` keeps only one thread's lines. `--limit N` caps the
+/// printed lines; the replay still validates the whole stream either
+/// way.
 fn events_main(args: &[String]) -> Result<(), CliError> {
     let mut json = false;
     let mut limit: Option<u64> = None;
+    let mut thread: Option<u32> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
@@ -450,6 +463,15 @@ fn events_main(args: &[String]) -> Result<(), CliError> {
                 let v = flag_value(args, i)?;
                 limit = Some(v.parse().map_err(|_| {
                     CliError::Usage(format!("invalid event limit {v:?} for --limit"))
+                })?);
+                i += 1;
+            }
+            "--thread" => {
+                let v = flag_value(args, i)?;
+                // Accept both `1` and the dump column's own `t1` form.
+                let digits = v.strip_prefix('t').unwrap_or(v);
+                thread = Some(digits.parse().map_err(|_| {
+                    CliError::Usage(format!("invalid thread id {v:?} for --thread"))
                 })?);
                 i += 1;
             }
@@ -478,6 +500,9 @@ fn events_main(args: &[String]) -> Result<(), CliError> {
         .instrument(&header.instrument);
     let stdout = std::io::stdout().lock();
     let mut sink = algoprof_trace::DumpSink::new(std::io::BufWriter::new(stdout), json, limit);
+    if let Some(id) = thread {
+        sink = sink.with_thread_filter(id);
+    }
     algoprof_trace::TraceReplayer::new()
         .replay(&program, events, &mut sink)
         .map_err(|e| CliError::Run(e.to_string()))?;

@@ -456,7 +456,7 @@ fn stream_analyze<R: BufRead>(
     (
         200,
         Json::obj(vec![
-            ("text", Json::Str(report.profile.render_text())),
+            ("text", Json::Str(algoprof::render_set(&report.profiles))),
             (
                 "stream_fits",
                 Json::Str(algoprof::render_stream_fits(&report)),

@@ -236,7 +236,10 @@ fn events_dumps_a_recording() {
     let json = String::from_utf8_lossy(&out.stdout).into_owned();
     assert!(json.lines().count() > 0);
     for line in json.lines() {
-        assert!(line.starts_with("{\"event\": \""), "line: {line}");
+        assert!(
+            line.starts_with("{\"thread\": 0, \"event\": \""),
+            "line: {line}"
+        );
         assert!(line.ends_with('}'), "line: {line}");
     }
 
@@ -244,6 +247,97 @@ fn events_dumps_a_recording() {
     let out = algoprof(&["events", trace.to_str().unwrap(), "--limit", "2"]);
     assert!(out.status.success(), "stderr: {}", stderr(&out));
     assert_eq!(String::from_utf8_lossy(&out.stdout).lines().count(), 2);
+
+    // This guest never spawns: every text line is on the main thread,
+    // so --thread 0 is the whole dump and --thread 1 is empty.
+    let all = algoprof(&["events", trace.to_str().unwrap()]);
+    let t0 = algoprof(&["events", trace.to_str().unwrap(), "--thread", "0"]);
+    assert!(t0.status.success(), "stderr: {}", stderr(&t0));
+    assert_eq!(t0.stdout, all.stdout);
+    let t1 = algoprof(&["events", trace.to_str().unwrap(), "--thread", "1"]);
+    assert!(t1.status.success(), "stderr: {}", stderr(&t1));
+    assert!(t1.stdout.is_empty());
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn events_thread_column_and_filter_on_a_threaded_recording() {
+    let dir = std::env::temp_dir().join(format!(
+        "algoprof-cli-events-threaded-{}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let src = dir.join("spawny.jay");
+    std::fs::write(
+        &src,
+        "class Main { static int main() {
+            int t1 = spawn work(3);
+            int t2 = spawn work(5);
+            return join t1 + join t2;
+        }
+        static int work(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i = i + 1) { s = s + i; }
+            return s;
+        } }",
+    )
+    .expect("writes");
+    let trace = dir.join("spawny.aptr");
+    let out = algoprof(&[
+        "record",
+        src.to_str().unwrap(),
+        "-o",
+        trace.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+
+    let out = algoprof(&["events", trace.to_str().unwrap()]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(text.contains("thread_spawn t1"), "stdout: {text}");
+    for t in ["t0 ", "t1 ", "t2 "] {
+        assert!(
+            text.lines().any(|l| l.starts_with(t)),
+            "no {t} lines in: {text}"
+        );
+    }
+
+    // --thread keeps exactly the matching column's lines (t2 is
+    // accepted in the column's own spelling too).
+    let out = algoprof(&["events", trace.to_str().unwrap(), "--thread", "t2"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let t2 = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(!t2.is_empty());
+    assert!(t2.lines().all(|l| l.starts_with("t2 ")), "stdout: {t2}");
+    let expected: Vec<&str> = text.lines().filter(|l| l.starts_with("t2 ")).collect();
+    assert_eq!(t2.lines().collect::<Vec<_>>(), expected);
+
+    // JSON filtering keys on the same delivery thread.
+    let out = algoprof(&["events", trace.to_str().unwrap(), "--json", "--thread", "1"]);
+    assert!(out.status.success(), "stderr: {}", stderr(&out));
+    let json = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(!json.is_empty());
+    for line in json.lines() {
+        assert!(
+            line.starts_with("{\"thread\": 1, \"event\": \""),
+            "line: {line}"
+        );
+    }
+
+    // Malformed --thread values are usage errors (exit 2).
+    assert_usage_error(
+        &["events", trace.to_str().unwrap(), "--thread", "banana"],
+        "invalid thread id",
+    );
+    assert_usage_error(
+        &["events", trace.to_str().unwrap(), "--thread", "-1"],
+        "invalid thread id",
+    );
+    assert_usage_error(
+        &["events", trace.to_str().unwrap(), "--thread"],
+        "--thread requires a value",
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -708,6 +802,100 @@ fn analyze_reads_a_trace_from_stdin() {
         checked.status.success(),
         "analyze - --check stderr: {}",
         stderr(&checked)
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn threaded_event_stream_is_fusion_invariant() {
+    // Superinstruction fusion rewrites the dispatch loop, not the
+    // logical event stream: a threaded recording (spawn/join/lock with
+    // deterministic scheduling) must be byte-identical with the
+    // peephole pass disabled, and so must everything derived from it.
+    let dir = std::env::temp_dir().join(format!("algoprof-cli-nofuse-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let src = dir.join("contended.jay");
+    std::fs::write(
+        &src,
+        "class Main {
+            static int main() {
+                int n = readInput();
+                Counter c = new Counter();
+                int t1 = spawn bump(c, n);
+                int t2 = spawn bump(c, n + 2);
+                return join t1 + join t2 + c.value;
+            }
+            static int bump(Counter c, int n) {
+                for (int i = 0; i < n; i = i + 1) {
+                    lock c;
+                    c.value = c.value + 1;
+                    unlock c;
+                }
+                return n;
+            }
+        }
+        class Counter { int value; }",
+    )
+    .expect("writes");
+    let path = src.to_str().unwrap();
+
+    let fused_trace = dir.join("fused.aptr");
+    let unfused_trace = dir.join("unfused.aptr");
+    let record = |trace: &std::path::Path, no_fuse: bool| {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_algoprof"));
+        cmd.args([
+            "record",
+            path,
+            "--input",
+            "6",
+            "-o",
+            trace.to_str().unwrap(),
+        ]);
+        if no_fuse {
+            cmd.env("ALGOPROF_NO_FUSE", "1");
+        }
+        let out = cmd.output().expect("spawns the algoprof binary");
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+    };
+    record(&fused_trace, false);
+    record(&unfused_trace, true);
+    let fused = std::fs::read(&fused_trace).expect("fused trace");
+    let unfused = std::fs::read(&unfused_trace).expect("unfused trace");
+    assert_eq!(fused, unfused, "trace bytes must be fusion-invariant");
+
+    // The decoded event stream (with thread attribution) agrees too,
+    // and carries all three threads.
+    let events = algoprof(&["events", fused_trace.to_str().unwrap()]);
+    assert!(events.status.success(), "stderr: {}", stderr(&events));
+    let text = String::from_utf8_lossy(&events.stdout).into_owned();
+    for t in ["t0 ", "t1 ", "t2 "] {
+        assert!(
+            text.lines().any(|l| l.starts_with(t)),
+            "no {t} lines in: {text}"
+        );
+    }
+    let events_unfused = algoprof(&["events", unfused_trace.to_str().unwrap()]);
+    assert_eq!(events.stdout, events_unfused.stdout);
+
+    // Live per-thread profiles are fusion-invariant as well.
+    let live = |no_fuse: bool| -> Vec<u8> {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_algoprof"));
+        cmd.args([path, "--input", "6"]);
+        if no_fuse {
+            cmd.env("ALGOPROF_NO_FUSE", "1");
+        }
+        let out = cmd.output().expect("spawns the algoprof binary");
+        assert!(out.status.success(), "stderr: {}", stderr(&out));
+        out.stdout
+    };
+    let report = live(false);
+    assert_eq!(report, live(true), "profile text must be fusion-invariant");
+    let report = String::from_utf8_lossy(&report).into_owned();
+    assert!(report.contains("=== t1 ==="), "stdout: {report}");
+    assert!(
+        report.contains("=== merged (all threads) ==="),
+        "stdout: {report}"
     );
 
     std::fs::remove_dir_all(&dir).ok();

@@ -26,9 +26,15 @@ use crate::wire::{put_ileb, put_uleb, Cursor};
 /// The four magic bytes opening every trace.
 pub const MAGIC: [u8; 4] = *b"APTR";
 
-/// Current format version. Readers reject traces with a different major
-/// version; see `docs/TRACE.md` for the compatibility rules.
-pub const VERSION: u16 = 1;
+/// Current format version. Writers always emit this version; readers
+/// accept every version in `MIN_VERSION..=VERSION` (see `docs/TRACE.md`
+/// for the compatibility rules). Version 2 added thread identity: the
+/// thread/lock event tags `0x0e..=0x13`. A v1 trace simply never
+/// contains them, so its whole stream implicitly belongs to thread 0.
+pub const VERSION: u16 = 2;
+
+/// Oldest version this reader still decodes.
+pub const MIN_VERSION: u16 = 1;
 
 /// Why a trace could not be decoded.
 ///
@@ -55,7 +61,7 @@ impl fmt::Display for TraceError {
             TraceError::UnsupportedVersion(v) => {
                 write!(
                     f,
-                    "unsupported trace version {v} (reader supports {VERSION})"
+                    "unsupported trace version {v} (reader supports {MIN_VERSION}..={VERSION})"
                 )
             }
             TraceError::Truncated => write!(f, "trace is truncated"),
@@ -97,6 +103,23 @@ pub const TAG_ARRAY_ALLOCATED: u8 = 0x0b;
 pub const TAG_FIELD_WRITTEN: u8 = 0x0c;
 /// Heap mutation: an array element was stored (tracked or not).
 pub const TAG_ARRAY_WRITTEN: u8 = 0x0d;
+/// `ThreadSwitch { thread }`: delta to the last switched-to thread id as
+/// ileb. Introduced in version 2.
+pub const TAG_THREAD_SWITCH: u8 = 0x0e;
+/// `ThreadSpawn { thread, func }`: new thread id + entry function, both
+/// uleb. Introduced in version 2.
+pub const TAG_THREAD_SPAWN: u8 = 0x0f;
+/// `ThreadEnd { thread }`: finished thread id as uleb. Introduced in
+/// version 2.
+pub const TAG_THREAD_END: u8 = 0x10;
+/// `LockAcquire { obj, contended }`: locked value + contended byte.
+/// Introduced in version 2.
+pub const TAG_LOCK_ACQ: u8 = 0x11;
+/// `LockRelease { obj }`: unlocked value. Introduced in version 2.
+pub const TAG_LOCK_REL: u8 = 0x12;
+/// `LockWait { obj }`: the blocked thread's contended value. Introduced
+/// in version 2.
+pub const TAG_LOCK_WAIT: u8 = 0x13;
 
 // -------------------------------------------------------- value encoding
 
@@ -184,7 +207,7 @@ impl TraceHeader {
             return Err(TraceError::BadMagic);
         }
         let version = c.u16_le()?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(TraceError::UnsupportedVersion(version));
         }
         let loops = decode_bool(c.u8()?, "loops flag")?;

@@ -25,7 +25,7 @@
 use algoprof_vm::{CompiledProgram, EventSink, Heap};
 
 use crate::format::{TraceError, TraceHeader};
-use crate::replay::{Frame, ReplayStats, Step, TraceReplayer};
+use crate::replay::{FrameStacks, ReplayStats, Step, TraceReplayer};
 use crate::wire::Cursor;
 
 /// Buffered bytes consumed this far are dropped once the prefix grows
@@ -81,7 +81,7 @@ pub struct IncrementalReplayer {
     fed: u64,
     header: Option<TraceHeader>,
     replayer: TraceReplayer,
-    frames: Vec<Frame>,
+    frames: FrameStacks,
     stats: ReplayStats,
     ended: bool,
 }
@@ -186,10 +186,10 @@ impl IncrementalReplayer {
                 Ok(Step::End) => {
                     self.consumed += c.pos();
                     self.ended = true;
-                    if !self.frames.is_empty() {
+                    if self.frames.open() != 0 {
                         return Err(TraceError::Corrupt(format!(
                             "End tag with {} repetitions still open",
-                            self.frames.len()
+                            self.frames.open()
                         )));
                     }
                 }

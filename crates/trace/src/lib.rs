@@ -68,7 +68,7 @@ pub mod replay;
 pub mod wire;
 
 pub use dump::DumpSink;
-pub use format::{TraceError, TraceHeader, MAGIC, VERSION};
+pub use format::{TraceError, TraceHeader, MAGIC, MIN_VERSION, VERSION};
 pub use incremental::IncrementalReplayer;
 pub use record::{TraceRecorder, TraceStats};
 pub use replay::{ReplayStats, TraceReplayer};
@@ -179,6 +179,14 @@ mod tests {
                 }
                 Event::InputRead => format!("ir @{}", h.epoch()),
                 Event::OutputWrite => format!("ow @{}", h.epoch()),
+                Event::ThreadSpawn { thread, func } => format!("ts {thread} {func} @{}", h.epoch()),
+                Event::ThreadSwitch { thread } => format!("tw {thread} @{}", h.epoch()),
+                Event::ThreadEnd { thread } => format!("te {thread} @{}", h.epoch()),
+                Event::LockAcquire { obj, contended } => {
+                    format!("la {obj} c{contended} @{}", h.epoch())
+                }
+                Event::LockRelease { obj } => format!("lr {obj} @{}", h.epoch()),
+                Event::LockWait { obj } => format!("lw {obj} @{}", h.epoch()),
                 // Instruction ticks are not stored in traces, so a
                 // transcript that logged them could never match its
                 // replay; skip them like the recorder does.
@@ -242,6 +250,78 @@ mod tests {
         assert_eq!(heap.array_count(), 1);
         let squares: Vec<Value> = (0..8).map(|i| Value::Int(i * i)).collect();
         assert_eq!(heap.array(ArrRef(0)).elems, squares);
+    }
+
+    const THREADED_SRC: &str = "class Main { static int main() {
+        Counter c = new Counter();
+        int t1 = spawn bump(c, 100);
+        int t2 = spawn bump(c, 100);
+        int a = join t1;
+        int b = join t2;
+        return c.total;
+    }
+    static int bump(Counter c, int n) {
+        for (int i = 0; i < n; i = i + 1) {
+            lock c;
+            c.total = c.total + 1;
+            unlock c;
+        }
+        return n;
+    } }
+    class Counter { int total; }";
+
+    #[test]
+    fn threaded_replay_reproduces_the_live_transcript() {
+        let opts = InstrumentOptions::default();
+        let program = compile(THREADED_SRC).expect("compiles").instrument(&opts);
+
+        let mut bytes = Vec::new();
+        let mut sink = Tee::new(
+            TraceRecorder::new(&TraceHeader::new(THREADED_SRC, &opts, &[]), &mut bytes),
+            Transcript::default(),
+        );
+        Interp::new(&program).run(&mut sink).expect("runs");
+        let Tee { a: rec, b: live } = sink;
+        rec.finish().expect("finishes");
+        assert!(
+            live.0.iter().any(|l| l.starts_with("tw ")),
+            "threaded run must switch threads"
+        );
+
+        let (header, events) = read_header(&bytes).expect("header");
+        assert_eq!(header.version, VERSION);
+        let mut replayed = Transcript::default();
+        TraceReplayer::new()
+            .replay(&program, events, &mut replayed)
+            .expect("replays");
+        assert_eq!(live, replayed, "replay diverged from the live transcript");
+
+        // And re-recording the replay is a fixed point, thread tags and
+        // delta coding included.
+        let mut again = Vec::new();
+        let mut rec = TraceRecorder::new(&header, &mut again);
+        TraceReplayer::new()
+            .replay(&program, events, &mut rec)
+            .expect("replays");
+        rec.finish().expect("finishes");
+        assert_eq!(bytes, again);
+    }
+
+    #[test]
+    fn version_1_traces_still_decode() {
+        // A single-threaded stream contains no thread tags, so rewriting
+        // the header's version field yields a byte-exact v1 trace.
+        let (mut bytes, program) = record(LIST_SRC, &[]);
+        bytes[4] = 1;
+        bytes[5] = 0;
+        let (header, events) = read_header(&bytes).expect("v1 header decodes");
+        assert_eq!(header.version, 1);
+        let mut replayed = Transcript::default();
+        let stats = TraceReplayer::new()
+            .replay(&program, events, &mut replayed)
+            .expect("v1 stream replays");
+        assert!(stats.events > 0);
+        assert!(replayed.0.iter().all(|l| !l.starts_with("tw ")));
     }
 
     #[test]

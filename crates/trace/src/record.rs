@@ -17,9 +17,10 @@ use algoprof_vm::{ArrRef, Event, EventCx, EventSink, ObjRef, Value};
 
 use crate::format::{
     TraceHeader, TAG_ARRAY_ALLOCATED, TAG_ARRAY_LOAD, TAG_ARRAY_WRITTEN, TAG_END, TAG_FIELD_GET,
-    TAG_FIELD_WRITTEN, TAG_INPUT_READ, TAG_LOOP_BACK_EDGE, TAG_LOOP_ENTRY, TAG_LOOP_EXIT,
-    TAG_METHOD_ENTRY, TAG_METHOD_EXIT, TAG_OBJECT_ALLOCATED, TAG_OUTPUT_WRITE, VK_ARR, VK_FALSE,
-    VK_INT, VK_NULL, VK_OBJ, VK_TRUE,
+    TAG_FIELD_WRITTEN, TAG_INPUT_READ, TAG_LOCK_ACQ, TAG_LOCK_REL, TAG_LOCK_WAIT,
+    TAG_LOOP_BACK_EDGE, TAG_LOOP_ENTRY, TAG_LOOP_EXIT, TAG_METHOD_ENTRY, TAG_METHOD_EXIT,
+    TAG_OBJECT_ALLOCATED, TAG_OUTPUT_WRITE, TAG_THREAD_END, TAG_THREAD_SPAWN, TAG_THREAD_SWITCH,
+    VK_ARR, VK_FALSE, VK_INT, VK_NULL, VK_OBJ, VK_TRUE,
 };
 use crate::wire::{put_ileb, put_uleb};
 
@@ -66,6 +67,9 @@ pub struct TraceRecorder<W: Write> {
     buf: Vec<u8>,
     last_obj: i64,
     last_arr: i64,
+    /// Last switched-to thread id, for delta coding. A stream starts
+    /// implicitly in thread 0.
+    last_thread: i64,
     events: u64,
     event_bytes: u64,
     flushed_bytes: u64,
@@ -82,6 +86,7 @@ impl<W: Write> TraceRecorder<W> {
             buf,
             last_obj: -1,
             last_arr: -1,
+            last_thread: 0,
             events: 0,
             event_bytes: 0,
             flushed_bytes: 0,
@@ -232,6 +237,40 @@ impl<W: Write> EventSink for TraceRecorder<W> {
                 self.put_arr(arr);
                 put_uleb(&mut self.buf, index as u64);
                 self.put_value(value);
+                self.event_end(start);
+            }
+            Event::ThreadSpawn { thread, func } => {
+                let start = self.buf.len();
+                self.buf.push(TAG_THREAD_SPAWN);
+                put_uleb(&mut self.buf, u64::from(thread.0));
+                put_uleb(&mut self.buf, u64::from(func.0));
+                self.event_end(start);
+            }
+            Event::ThreadSwitch { thread } => {
+                let start = self.buf.len();
+                self.buf.push(TAG_THREAD_SWITCH);
+                put_ileb(&mut self.buf, i64::from(thread.0) - self.last_thread);
+                self.last_thread = i64::from(thread.0);
+                self.event_end(start);
+            }
+            Event::ThreadEnd { thread } => self.put_id(TAG_THREAD_END, thread.0),
+            Event::LockAcquire { obj, contended } => {
+                let start = self.buf.len();
+                self.buf.push(TAG_LOCK_ACQ);
+                self.put_value(obj);
+                self.buf.push(contended as u8);
+                self.event_end(start);
+            }
+            Event::LockRelease { obj } => {
+                let start = self.buf.len();
+                self.buf.push(TAG_LOCK_REL);
+                self.put_value(obj);
+                self.event_end(start);
+            }
+            Event::LockWait { obj } => {
+                let start = self.buf.len();
+                self.buf.push(TAG_LOCK_WAIT);
+                self.put_value(obj);
                 self.event_end(start);
             }
             Event::Instruction { .. } => {}

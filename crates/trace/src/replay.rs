@@ -16,14 +16,15 @@
 
 use algoprof_vm::{
     default_field_value, ArrRef, ClassId, CompiledProgram, ElemKind, Event, EventCx, EventSink,
-    FieldId, FuncId, Heap, LoopId, ObjRef, Value,
+    FieldId, FuncId, Heap, LoopId, ObjRef, ThreadId, Value,
 };
 
 use crate::format::{
     TraceError, TAG_ARRAY_ALLOCATED, TAG_ARRAY_LOAD, TAG_ARRAY_WRITTEN, TAG_END, TAG_FIELD_GET,
-    TAG_FIELD_WRITTEN, TAG_INPUT_READ, TAG_LOOP_BACK_EDGE, TAG_LOOP_ENTRY, TAG_LOOP_EXIT,
-    TAG_METHOD_ENTRY, TAG_METHOD_EXIT, TAG_OBJECT_ALLOCATED, TAG_OUTPUT_WRITE, VK_ARR, VK_FALSE,
-    VK_INT, VK_NULL, VK_OBJ, VK_TRUE,
+    TAG_FIELD_WRITTEN, TAG_INPUT_READ, TAG_LOCK_ACQ, TAG_LOCK_REL, TAG_LOCK_WAIT,
+    TAG_LOOP_BACK_EDGE, TAG_LOOP_ENTRY, TAG_LOOP_EXIT, TAG_METHOD_ENTRY, TAG_METHOD_EXIT,
+    TAG_OBJECT_ALLOCATED, TAG_OUTPUT_WRITE, TAG_THREAD_END, TAG_THREAD_SPAWN, TAG_THREAD_SWITCH,
+    VK_ARR, VK_FALSE, VK_INT, VK_NULL, VK_OBJ, VK_TRUE,
 };
 use crate::wire::Cursor;
 
@@ -50,6 +51,39 @@ pub(crate) enum Frame {
     Method(FuncId),
 }
 
+/// Per-thread balance stacks. A multithreaded stream interleaves the
+/// threads' repetition events, so balance must be validated against the
+/// stack of the thread each event belongs to — the one last switched to.
+/// Version-1 traces contain no thread events and stay on stack 0.
+#[derive(Debug)]
+pub(crate) struct FrameStacks {
+    /// Index of the current thread's stack (the last `ThreadSwitch`).
+    cur: usize,
+    /// One stack per thread, indexed by dense thread id.
+    stacks: Vec<Vec<Frame>>,
+}
+
+impl Default for FrameStacks {
+    fn default() -> Self {
+        FrameStacks {
+            cur: 0,
+            stacks: vec![Vec::new()],
+        }
+    }
+}
+
+impl FrameStacks {
+    /// The current thread's stack.
+    fn current(&mut self) -> &mut Vec<Frame> {
+        &mut self.stacks[self.cur]
+    }
+
+    /// Total open repetitions across all threads (0 = balanced).
+    pub(crate) fn open(&self) -> usize {
+        self.stacks.iter().map(Vec::len).sum()
+    }
+}
+
 /// What [`TraceReplayer::step`] decoded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Step {
@@ -71,6 +105,7 @@ pub struct TraceReplayer {
     heap: Heap,
     last_obj: i64,
     last_arr: i64,
+    last_thread: i64,
 }
 
 impl TraceReplayer {
@@ -111,7 +146,7 @@ impl TraceReplayer {
     ) -> Result<ReplayStats, TraceError> {
         self.reset();
         let mut stats = ReplayStats::default();
-        let mut frames: Vec<Frame> = Vec::new();
+        let mut frames = FrameStacks::default();
         let mut c = Cursor::new(events);
         loop {
             match self.step(program, &mut c, &mut frames, sink)? {
@@ -123,10 +158,10 @@ impl TraceReplayer {
                             events.len() - c.pos()
                         )));
                     }
-                    if !frames.is_empty() {
+                    if frames.open() != 0 {
                         return Err(TraceError::Corrupt(format!(
                             "End tag with {} repetitions still open",
-                            frames.len()
+                            frames.open()
                         )));
                     }
                     return Ok(stats);
@@ -140,6 +175,7 @@ impl TraceReplayer {
         self.heap = Heap::new();
         self.last_obj = -1;
         self.last_arr = -1;
+        self.last_thread = 0;
     }
 
     /// Snapshot of the delta-decoding state, for rollback after a
@@ -147,15 +183,17 @@ impl TraceReplayer {
     /// [`IncrementalReplayer`](crate::IncrementalReplayer)). The heap
     /// needs no snapshot: every arm of [`TraceReplayer::step`] performs
     /// all cursor reads *before* any heap or frame mutation, so a
-    /// truncated event can only have disturbed `last_obj`/`last_arr`.
-    pub(crate) fn mark(&self) -> (i64, i64) {
-        (self.last_obj, self.last_arr)
+    /// truncated event can only have disturbed the delta registers
+    /// `last_obj`/`last_arr`/`last_thread`.
+    pub(crate) fn mark(&self) -> (i64, i64, i64) {
+        (self.last_obj, self.last_arr, self.last_thread)
     }
 
     /// Restores a [`TraceReplayer::mark`] snapshot.
-    pub(crate) fn restore(&mut self, (obj, arr): (i64, i64)) {
+    pub(crate) fn restore(&mut self, (obj, arr, thread): (i64, i64, i64)) {
         self.last_obj = obj;
         self.last_arr = arr;
+        self.last_thread = thread;
     }
 
     /// Decodes and delivers one event from `c`.
@@ -168,7 +206,7 @@ impl TraceReplayer {
         &mut self,
         program: &CompiledProgram,
         c: &mut Cursor<'_>,
-        frames: &mut Vec<Frame>,
+        frames: &mut FrameStacks,
         sink: &mut S,
     ) -> Result<Step, TraceError> {
         macro_rules! emit {
@@ -186,12 +224,12 @@ impl TraceReplayer {
             TAG_END => return Ok(Step::End),
             TAG_METHOD_ENTRY => {
                 let f = self.func_id(&mut *c, program)?;
-                frames.push(Frame::Method(f));
+                frames.current().push(Frame::Method(f));
                 emit!(Event::MethodEntry { func: f });
             }
             TAG_METHOD_EXIT => {
                 let f = self.func_id(&mut *c, program)?;
-                if frames.pop() != Some(Frame::Method(f)) {
+                if frames.current().pop() != Some(Frame::Method(f)) {
                     return Err(TraceError::Corrupt(format!(
                         "method exit for function {} without matching entry",
                         f.0
@@ -201,12 +239,12 @@ impl TraceReplayer {
             }
             TAG_LOOP_ENTRY => {
                 let l = self.loop_id(&mut *c, program)?;
-                frames.push(Frame::Loop(l));
+                frames.current().push(Frame::Loop(l));
                 emit!(Event::LoopEntry { l });
             }
             TAG_LOOP_BACK_EDGE => {
                 let l = self.loop_id(&mut *c, program)?;
-                if frames.last() != Some(&Frame::Loop(l)) {
+                if frames.current().last() != Some(&Frame::Loop(l)) {
                     return Err(TraceError::Corrupt(format!(
                         "back edge for loop {} which is not the innermost open repetition",
                         l.0
@@ -216,7 +254,7 @@ impl TraceReplayer {
             }
             TAG_LOOP_EXIT => {
                 let l = self.loop_id(&mut *c, program)?;
-                if frames.pop() != Some(Frame::Loop(l)) {
+                if frames.current().pop() != Some(Frame::Loop(l)) {
                     return Err(TraceError::Corrupt(format!(
                         "loop exit for loop {} without matching entry",
                         l.0
@@ -307,6 +345,66 @@ impl TraceReplayer {
                     value,
                     tracked: program.track_arrays,
                 });
+            }
+            TAG_THREAD_SPAWN => {
+                let tid = c.uleb()?;
+                let f = self.func_id(&mut *c, program)?;
+                // The interpreter allocates thread ids densely in spawn
+                // order, so each spawn's id must be the next unseen one.
+                if tid != frames.stacks.len() as u64 {
+                    return Err(TraceError::Corrupt(format!(
+                        "thread spawn with id {tid}, expected {}",
+                        frames.stacks.len()
+                    )));
+                }
+                frames.stacks.push(Vec::new());
+                emit!(Event::ThreadSpawn {
+                    thread: ThreadId(tid as u32),
+                    func: f,
+                });
+            }
+            TAG_THREAD_SWITCH => {
+                let tid = self.last_thread + c.ileb()?;
+                if tid < 0 || tid as usize >= frames.stacks.len() {
+                    return Err(TraceError::Corrupt(format!(
+                        "thread switch to {tid} outside the {} spawned",
+                        frames.stacks.len()
+                    )));
+                }
+                self.last_thread = tid;
+                frames.cur = tid as usize;
+                emit!(Event::ThreadSwitch {
+                    thread: ThreadId(tid as u32),
+                });
+            }
+            TAG_THREAD_END => {
+                let tid = bounded_id(&mut *c, frames.stacks.len(), "thread")?;
+                if !frames.stacks[tid as usize].is_empty() {
+                    return Err(TraceError::Corrupt(format!(
+                        "thread {tid} ended with {} repetitions still open",
+                        frames.stacks[tid as usize].len()
+                    )));
+                }
+                emit!(Event::ThreadEnd {
+                    thread: ThreadId(tid),
+                });
+            }
+            TAG_LOCK_ACQ => {
+                let obj = self.value(&mut *c)?;
+                let contended = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    b => return Err(TraceError::Corrupt(format!("contended byte {b}"))),
+                };
+                emit!(Event::LockAcquire { obj, contended });
+            }
+            TAG_LOCK_REL => {
+                let obj = self.value(&mut *c)?;
+                emit!(Event::LockRelease { obj });
+            }
+            TAG_LOCK_WAIT => {
+                let obj = self.value(&mut *c)?;
+                emit!(Event::LockWait { obj });
             }
             tag => return Err(TraceError::Corrupt(format!("unknown event tag {tag:#04x}"))),
         }

@@ -196,6 +196,21 @@ pub enum Stmt {
         /// Source location.
         span: Span,
     },
+    /// `lock e;` — acquires the (reentrant) lock on the reference `e`,
+    /// blocking the current thread while another thread holds it.
+    Lock {
+        /// The locked reference.
+        obj: Expr,
+        /// Source location.
+        span: Span,
+    },
+    /// `unlock e;` — releases one level of the lock on `e`.
+    Unlock {
+        /// The unlocked reference.
+        obj: Expr,
+        /// Source location.
+        span: Span,
+    },
     /// `try { ... } catch (T name) { ... }`.
     Try {
         /// Protected block.
@@ -225,6 +240,8 @@ impl Stmt {
             | Stmt::Break { span }
             | Stmt::Continue { span }
             | Stmt::Throw { span, .. }
+            | Stmt::Lock { span, .. }
+            | Stmt::Unlock { span, .. }
             | Stmt::Try { span, .. } => *span,
             Stmt::Block(b) => b.span,
         }
@@ -377,6 +394,27 @@ pub enum Expr {
         /// Source location.
         span: Span,
     },
+    /// `spawn Class.m(args)` — starts a new thread running the static
+    /// method and evaluates to its integer thread handle.
+    Spawn {
+        /// Class name qualifier, if written (resolved like
+        /// [`Expr::StaticCall`]).
+        class: Option<String>,
+        /// Target static method name.
+        name: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `join e` — blocks until the thread with handle `e` finishes and
+    /// evaluates to its return value.
+    Join {
+        /// The thread-handle expression.
+        handle: Box<Expr>,
+        /// Source location.
+        span: Span,
+    },
     /// Unary operation.
     Unary {
         /// Operator.
@@ -418,6 +456,8 @@ impl Expr {
             | Expr::ArrayLit { span, .. }
             | Expr::Cast { span, .. }
             | Expr::InstanceOf { span, .. }
+            | Expr::Spawn { span, .. }
+            | Expr::Join { span, .. }
             | Expr::Unary { span, .. }
             | Expr::Binary { span, .. } => *span,
         }

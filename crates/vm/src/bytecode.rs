@@ -219,6 +219,20 @@ pub enum Instr {
     ReadInput,
     /// Pop a value and append it to the run output (output-write event).
     Print,
+    /// Pop `n_params` arguments and start a new thread running the static
+    /// function; push the new thread's integer handle. Never fused; ends
+    /// the current scheduler slice so the new thread registers promptly.
+    Spawn(FuncId),
+    /// Pop an integer thread handle; block until that thread finishes and
+    /// push its return value.
+    JoinThread,
+    /// Pop a reference; acquire its reentrant lock, blocking while another
+    /// thread holds it.
+    Lock,
+    /// Pop a reference; release one level of its lock. Raises
+    /// [`crate::error::RuntimeError::UnlockWithoutLock`] when the current
+    /// thread is not the owner.
+    Unlock,
     /// Instrumentation: control enters the loop from outside.
     ProfLoopEntry(LoopId),
     /// Instrumentation: a loop back edge is traversed (one algorithmic
@@ -392,6 +406,14 @@ pub enum Opcode {
     ReadInput,
     /// `print`.
     Print,
+    /// `spawn`.
+    Spawn,
+    /// `join_thread`.
+    JoinThread,
+    /// `lock`.
+    Lock,
+    /// `unlock`.
+    Unlock,
     /// `prof_loop_entry`.
     ProfLoopEntry,
     /// `prof_loop_back`.
@@ -402,7 +424,7 @@ pub enum Opcode {
 
 impl Opcode {
     /// Number of opcodes (for dense counter tables).
-    pub const COUNT: usize = 43;
+    pub const COUNT: usize = 47;
 
     /// Every opcode, in [`Opcode::index`] order.
     pub const ALL: &'static [Opcode; Opcode::COUNT] = &[
@@ -446,6 +468,10 @@ impl Opcode {
         Opcode::InstanceOfOp,
         Opcode::ReadInput,
         Opcode::Print,
+        Opcode::Spawn,
+        Opcode::JoinThread,
+        Opcode::Lock,
+        Opcode::Unlock,
         Opcode::ProfLoopEntry,
         Opcode::ProfLoopBack,
         Opcode::ProfLoopExit,
@@ -500,6 +526,10 @@ impl Opcode {
             Opcode::InstanceOfOp => "instanceof",
             Opcode::ReadInput => "read_input",
             Opcode::Print => "print",
+            Opcode::Spawn => "spawn",
+            Opcode::JoinThread => "join_thread",
+            Opcode::Lock => "lock",
+            Opcode::Unlock => "unlock",
             Opcode::ProfLoopEntry => "prof_loop_entry",
             Opcode::ProfLoopBack => "prof_loop_back",
             Opcode::ProfLoopExit => "prof_loop_exit",
@@ -584,6 +614,10 @@ impl Instr {
             Instr::InstanceOfOp(_) => &[O::InstanceOfOp],
             Instr::ReadInput => &[O::ReadInput],
             Instr::Print => &[O::Print],
+            Instr::Spawn(_) => &[O::Spawn],
+            Instr::JoinThread => &[O::JoinThread],
+            Instr::Lock => &[O::Lock],
+            Instr::Unlock => &[O::Unlock],
             Instr::ProfLoopEntry(_) => &[O::ProfLoopEntry],
             Instr::ProfLoopBack(_) => &[O::ProfLoopBack],
             Instr::ProfLoopExit(_) => &[O::ProfLoopExit],

@@ -303,6 +303,18 @@ impl<'a> Codegen<'a> {
                 self.current_line = *line;
                 self.emit(Instr::Throw);
             }
+            HStmt::Lock { obj, line } => {
+                self.current_line = *line;
+                self.expr(obj);
+                self.current_line = *line;
+                self.emit(Instr::Lock);
+            }
+            HStmt::Unlock { obj, line } => {
+                self.current_line = *line;
+                self.expr(obj);
+                self.current_line = *line;
+                self.emit(Instr::Unlock);
+            }
             HStmt::Try {
                 body,
                 catch,
@@ -474,6 +486,18 @@ impl<'a> Codegen<'a> {
                     });
                 }
             },
+            HExpr::Spawn { func, args, line } => {
+                for a in args {
+                    self.expr(a);
+                }
+                self.current_line = *line;
+                self.emit(Instr::Spawn(*func));
+            }
+            HExpr::Join { handle, line } => {
+                self.expr(handle);
+                self.current_line = *line;
+                self.emit(Instr::JoinThread);
+            }
             HExpr::ReadInput { line } => {
                 self.current_line = *line;
                 self.emit(Instr::ReadInput);
@@ -600,6 +624,41 @@ mod tests {
             .position(|i| matches!(i, Instr::CallStatic(_)))
             .expect("call emitted");
         assert_eq!(main.code[call_pos + 1], Instr::Pop);
+    }
+
+    #[test]
+    fn spawn_join_lock_unlock_compile_to_thread_instrs() {
+        let p = compile_ok(
+            r#"
+            class Main {
+                static int main() {
+                    int[] a = new int[4];
+                    lock a;
+                    int t = spawn worker(a);
+                    unlock a;
+                    return join t;
+                }
+                static int worker(int[] a) { return a.length; }
+            }
+        "#,
+        );
+        let main = p.func(p.entry);
+        let worker = p.func_by_name("Main.worker").expect("Main.worker exists");
+        assert!(main.code.contains(&Instr::Spawn(worker)));
+        assert!(main.code.contains(&Instr::JoinThread));
+        assert!(main.code.contains(&Instr::Lock));
+        assert!(main.code.contains(&Instr::Unlock));
+        let lock_pos = main
+            .code
+            .iter()
+            .position(|i| *i == Instr::Lock)
+            .expect("lock emitted");
+        let unlock_pos = main
+            .code
+            .iter()
+            .position(|i| *i == Instr::Unlock)
+            .expect("unlock emitted");
+        assert!(lock_pos < unlock_pos);
     }
 
     #[test]

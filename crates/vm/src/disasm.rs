@@ -209,6 +209,10 @@ fn render_instr(program: &CompiledProgram, instr: &Instr) -> String {
         Instr::InstanceOfOp(k) => format!("instanceof {}", render_catch(program, *k)),
         Instr::ReadInput => "read_input".to_owned(),
         Instr::Print => "print".to_owned(),
+        Instr::Spawn(m) => format!("spawn {}", program.func(*m).name),
+        Instr::JoinThread => "join_thread".to_owned(),
+        Instr::Lock => "lock".to_owned(),
+        Instr::Unlock => "unlock".to_owned(),
         Instr::ProfLoopEntry(l) => format!("prof_loop_entry {l}"),
         Instr::ProfLoopBack(l) => format!("prof_loop_back {l}"),
         Instr::ProfLoopExit(l) => format!("prof_loop_exit {l}"),

@@ -118,6 +118,15 @@ pub enum RuntimeError {
     OutOfFuel,
     /// The call stack exceeded its configured limit.
     StackOverflow { depth: usize },
+    /// Every live thread is blocked on a lock or a join: no runnable
+    /// thread remains and the program cannot make progress.
+    Deadlock,
+    /// `join` was applied to a value that is not a live or finished
+    /// thread handle (never spawned, or a thread joining itself).
+    InvalidJoin { line: u32 },
+    /// `unlock` was applied to a reference the current thread does not
+    /// hold the lock on.
+    UnlockWithoutLock { line: u32 },
     /// Internal invariant violation; indicates a compiler or VM bug.
     Internal(String),
 }
@@ -146,6 +155,13 @@ impl fmt::Display for RuntimeError {
             RuntimeError::OutOfFuel => write!(f, "instruction budget exhausted"),
             RuntimeError::StackOverflow { depth } => {
                 write!(f, "call stack overflow at depth {depth}")
+            }
+            RuntimeError::Deadlock => write!(f, "deadlock: all threads blocked"),
+            RuntimeError::InvalidJoin { line } => {
+                write!(f, "join of an invalid thread handle at line {line}")
+            }
+            RuntimeError::UnlockWithoutLock { line } => {
+                write!(f, "unlock of a lock not held by this thread at line {line}")
             }
             RuntimeError::Internal(msg) => write!(f, "internal VM error: {msg}"),
         }
@@ -195,6 +211,9 @@ mod tests {
             RuntimeError::InputExhausted { line: 7 },
             RuntimeError::OutOfFuel,
             RuntimeError::StackOverflow { depth: 10_000 },
+            RuntimeError::Deadlock,
+            RuntimeError::InvalidJoin { line: 8 },
+            RuntimeError::UnlockWithoutLock { line: 9 },
             RuntimeError::Internal("bad".into()),
         ];
         for err in errs {

@@ -34,6 +34,28 @@ use std::fmt::Write as _;
 use crate::bytecode::{ClassId, CompiledProgram, ElemKind, FieldId, FuncId, LoopId, Opcode};
 use crate::heap::{ArrRef, Heap, ObjRef, Value};
 
+/// Identifies a guest thread. Thread 0 is the main thread; spawned
+/// threads get dense ids in spawn order, which the deterministic
+/// scheduler makes reproducible across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ThreadId(pub u32);
+
+impl ThreadId {
+    /// The main thread, where execution starts.
+    pub const MAIN: ThreadId = ThreadId(0);
+
+    /// Returns the id as a usize index (ids are dense).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
 /// A single profiling event, as defined by the paper's §3 event taxonomy:
 /// repetition events (method/loop), cost events (instructions, accesses,
 /// creations, I/O), and heap-mutation events (which double as the shadow
@@ -131,6 +153,50 @@ pub enum Event {
     InputRead,
     /// `print(x)` produced one external value (only when `track_io`).
     OutputWrite,
+    /// A new thread was created by `spawn`. Delivered while the spawning
+    /// thread is still current; the first events *of* the new thread only
+    /// arrive after a [`Event::ThreadSwitch`] to it.
+    ThreadSpawn {
+        /// The freshly created thread.
+        thread: ThreadId,
+        /// The static function the thread runs.
+        func: FuncId,
+    },
+    /// The scheduler switched execution to `thread`. Every subsequent
+    /// event belongs to `thread` until the next switch. A stream starts
+    /// implicitly in [`ThreadId::MAIN`]; single-threaded runs emit no
+    /// thread events at all, so their streams are unchanged.
+    ThreadSwitch {
+        /// The thread now executing.
+        thread: ThreadId,
+    },
+    /// `thread` returned from its entry function and is finished.
+    /// Delivered while the ending thread is still current.
+    ThreadEnd {
+        /// The thread that finished.
+        thread: ThreadId,
+    },
+    /// The current thread acquired the lock on `obj`.
+    LockAcquire {
+        /// The object or array locked (always a reference).
+        obj: Value,
+        /// Whether the thread had to block first. A contended acquire is
+        /// preceded (earlier in the stream, before the scheduler switched
+        /// away) by a [`Event::LockWait`] from the same thread.
+        contended: bool,
+    },
+    /// The current thread released the lock on `obj` (lock depth hit 0).
+    LockRelease {
+        /// The object or array unlocked.
+        obj: Value,
+    },
+    /// The current thread tried to acquire the lock on `obj`, found it
+    /// held by another thread, and is about to block. Attribution charges
+    /// this as contention cost to the *blocked* (current) thread.
+    LockWait {
+        /// The contended object or array.
+        obj: Value,
+    },
     /// One bytecode instruction was dispatched (a deterministic time proxy
     /// for traditional profilers). Not stored in traces.
     Instruction {
@@ -303,6 +369,12 @@ impl Event {
             Event::ArrayAlloc { .. } => "array_alloc",
             Event::InputRead => "input_read",
             Event::OutputWrite => "output_write",
+            Event::ThreadSpawn { .. } => "thread_spawn",
+            Event::ThreadSwitch { .. } => "thread_switch",
+            Event::ThreadEnd { .. } => "thread_end",
+            Event::LockAcquire { .. } => "lock_acquire",
+            Event::LockRelease { .. } => "lock_release",
+            Event::LockWait { .. } => "lock_wait",
             Event::Instruction { .. } => "instruction",
         }
     }
@@ -372,6 +444,20 @@ impl Event {
                 elem_kind_name(elem)
             ),
             Event::InputRead | Event::OutputWrite => self.name().to_string(),
+            Event::ThreadSpawn { thread, func } => {
+                format!("{} {thread} {}", self.name(), program.func(func).name)
+            }
+            Event::ThreadSwitch { thread } | Event::ThreadEnd { thread } => {
+                format!("{} {thread}", self.name())
+            }
+            Event::LockAcquire { obj, contended } => format!(
+                "{} {obj}{}",
+                self.name(),
+                if contended { " (contended)" } else { "" }
+            ),
+            Event::LockRelease { obj } | Event::LockWait { obj } => {
+                format!("{} {obj}", self.name())
+            }
             Event::Instruction { func, op } => {
                 format!("{} {} {}", self.name(), op.name(), program.func(func).name)
             }
@@ -444,6 +530,20 @@ impl Event {
                 let _ = write!(out, ", \"len\": {len}");
             }
             Event::InputRead | Event::OutputWrite => {}
+            Event::ThreadSpawn { thread, func } => {
+                let _ = write!(out, ", \"thread\": {}", thread.0);
+                str_field(&mut out, "method", &program.func(func).name);
+            }
+            Event::ThreadSwitch { thread } | Event::ThreadEnd { thread } => {
+                let _ = write!(out, ", \"thread\": {}", thread.0);
+            }
+            Event::LockAcquire { obj, contended } => {
+                str_field(&mut out, "obj", &obj.to_string());
+                let _ = write!(out, ", \"contended\": {contended}");
+            }
+            Event::LockRelease { obj } | Event::LockWait { obj } => {
+                str_field(&mut out, "obj", &obj.to_string());
+            }
             Event::Instruction { func, op } => {
                 str_field(&mut out, "op", op.name());
                 str_field(&mut out, "method", &program.func(func).name);

@@ -111,6 +111,20 @@ pub enum HStmt {
         /// Source line.
         line: u32,
     },
+    /// `lock obj;` — acquire the reentrant lock on a reference.
+    Lock {
+        /// The locked reference.
+        obj: HExpr,
+        /// Source line.
+        line: u32,
+    },
+    /// `unlock obj;` — release one level of the lock.
+    Unlock {
+        /// The unlocked reference.
+        obj: HExpr,
+        /// Source line.
+        line: u32,
+    },
     /// `try { body } catch (...) { handler }`.
     Try {
         /// Protected statements.
@@ -267,6 +281,24 @@ pub enum HExpr {
         /// Right operand.
         rhs: Box<HExpr>,
         /// Source line (division by zero reporting).
+        line: u32,
+    },
+    /// `spawn Class.m(args)` — start a thread on a static method; the
+    /// expression's value is the new thread's integer handle.
+    Spawn {
+        /// The static method the thread runs.
+        func: FuncId,
+        /// Arguments, evaluated on the spawning thread.
+        args: Vec<HExpr>,
+        /// Source line.
+        line: u32,
+    },
+    /// `join handle` — block until the thread finishes; evaluates to its
+    /// return value.
+    Join {
+        /// The thread-handle expression.
+        handle: Box<HExpr>,
+        /// Source line.
         line: u32,
     },
     /// `readInput()` builtin: consumes one host-supplied input value.

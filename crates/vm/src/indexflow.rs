@@ -166,6 +166,7 @@ impl Walker {
             }
             HStmt::Break | HStmt::Continue => {}
             HStmt::Throw { value, .. } => self.walk_expr(value),
+            HStmt::Lock { obj, .. } | HStmt::Unlock { obj, .. } => self.walk_expr(obj),
             HStmt::Try { body, handler, .. } => {
                 self.walk_stmts(body);
                 self.walk_stmts(handler);
@@ -203,6 +204,12 @@ impl Walker {
                 self.walk_expr(rhs);
             }
             HExpr::Print { arg, .. } => self.walk_expr(arg),
+            HExpr::Spawn { args, .. } => {
+                for a in args {
+                    self.walk_expr(a);
+                }
+            }
+            HExpr::Join { handle, .. } => self.walk_expr(handle),
             HExpr::Int(_)
             | HExpr::Bool(_)
             | HExpr::Null

@@ -15,11 +15,101 @@
 //!   event each, after the write is visible in the heap, carrying a
 //!   `tracked` flag (see [`Event`]).
 
+use std::collections::HashMap;
+
 use crate::bytecode::{CmpKind, CompiledProgram, FuncId, Instr, LoopId, Opcode};
 use crate::error::RuntimeError;
-use crate::event::{Event, EventCx, EventSink};
-use crate::heap::{Heap, Value};
+use crate::event::{Event, EventCx, EventSink, ThreadId};
+use crate::heap::{ArrRef, Heap, ObjRef, Value};
 use crate::hir::CatchKind;
+
+/// Scheduling quantum: the number of *yield points* (taken backward
+/// jumps, call dispatches, and lock operations) a thread executes before
+/// the round-robin scheduler preempts it. Yield points are counted on
+/// the logical (unfused) control-flow structure, so the schedule — and
+/// therefore the entire event stream — is byte-identical with peephole
+/// fusion on or off, and independent of any host parallelism setting.
+const QUANTUM: u64 = 64;
+
+/// Identity of a guest lock: every object and array reference doubles as
+/// a reentrant lock (`lock x; ... unlock x;`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum LockKey {
+    Obj(ObjRef),
+    Arr(ArrRef),
+}
+
+fn lock_key(v: Value, line: u32) -> Result<LockKey, RuntimeError> {
+    match v {
+        Value::Obj(o) => Ok(LockKey::Obj(o)),
+        Value::Arr(a) => Ok(LockKey::Arr(a)),
+        Value::Null => Err(RuntimeError::NullDeref { line }),
+        other => Err(RuntimeError::Internal(format!(
+            "lock on non-reference {other}"
+        ))),
+    }
+}
+
+/// Why a thread's time slice ended.
+#[derive(Debug)]
+enum SliceExit {
+    /// The thread's root frame returned; the value is the thread's result.
+    Done(Value),
+    /// A `spawn` executed: the scheduler must create the new thread.
+    /// The spawning thread already holds the handle on its stack.
+    Spawned {
+        tid: u32,
+        func: FuncId,
+        args: Vec<Value>,
+    },
+    /// A `join` executed; the scheduler pushes the target's result onto
+    /// this thread's stack once (or as soon as) the target is done.
+    Join { target: u32 },
+    /// A `lock` found the lock held by another thread. The `LockWait`
+    /// event was already emitted; the scheduler acquires on wake-up and
+    /// emits the contended `LockAcquire`.
+    LockBlocked { key: LockKey, obj: Value },
+    /// An `unlock` freed a lock another thread is blocked on. The thread
+    /// stays runnable, but the slice ends so the scheduler can hand the
+    /// lock over. Without this exit a spin loop whose yield-point count
+    /// divides the quantum can expire at the same phase of every
+    /// iteration — if that phase holds the lock, the blocked thread is
+    /// never schedulable and the program livelocks.
+    LockHandoff,
+    /// The quantum ran out; the thread stays runnable.
+    Quantum,
+}
+
+/// Why a thread is not currently executing.
+#[derive(Debug, Clone, Copy)]
+enum ThreadStatus {
+    Runnable,
+    /// Waiting to acquire a contended lock.
+    BlockedOnLock {
+        key: LockKey,
+        obj: Value,
+    },
+    /// Waiting for another thread to finish.
+    Joining(u32),
+    /// Finished with this result.
+    Done(Value),
+}
+
+/// One guest thread: its own frame/value/loop stacks plus scheduling
+/// state. The heap, locks, I/O, and counters stay on [`Interp`] — shared
+/// by all threads, as the paper's multithreaded profiling model expects.
+#[derive(Debug)]
+struct ThreadState {
+    id: ThreadId,
+    cur: Frame,
+    frames: Vec<Frame>,
+    values: Vec<Value>,
+    loops: Vec<LoopId>,
+    status: ThreadStatus,
+    /// False until the first slice builds the root frame (so the root
+    /// `MethodEntry` event is delivered on this thread, after the switch).
+    started: bool,
+}
 
 /// The outcome of a completed run.
 #[derive(Debug, Clone)]
@@ -83,6 +173,25 @@ pub struct Interp<'p> {
     fuel: Option<u64>,
     max_frames: usize,
     instructions: u64,
+    dispatches: u64,
+    /// Id the next `spawn` hands out (`Main.main` is thread 0).
+    next_tid: u32,
+    /// The thread whose slice is executing (events implicitly belong to
+    /// it; see the thread-event protocol on [`Event`]).
+    cur_thread: ThreadId,
+    /// True from the first `spawn` on: enables quantum preemption and
+    /// thread events. Single-threaded runs never set it, so their event
+    /// streams are byte-identical with pre-threading builds.
+    threading: bool,
+    /// Held locks: key → (owner thread, reentrancy depth). Never
+    /// iterated, only probed, so `HashMap` order cannot leak into
+    /// scheduling decisions.
+    locks: HashMap<LockKey, (u32, u32)>,
+    /// How many threads are blocked on each lock. Maintained by the
+    /// scheduler (incremented on [`SliceExit::LockBlocked`], decremented
+    /// on wake-up) and probed by `unlock` to decide whether freeing a
+    /// lock must end the slice ([`SliceExit::LockHandoff`]).
+    lock_waiters: HashMap<LockKey, u32>,
 }
 
 impl<'p> Interp<'p> {
@@ -98,6 +207,12 @@ impl<'p> Interp<'p> {
             fuel: None,
             max_frames: 100_000,
             instructions: 0,
+            dispatches: 0,
+            next_tid: 1,
+            cur_thread: ThreadId::MAIN,
+            threading: false,
+            locks: HashMap::new(),
+            lock_waiters: HashMap::new(),
         }
     }
 
@@ -136,29 +251,192 @@ impl<'p> Interp<'p> {
         );
     }
 
-    /// Executes `Main.main` to completion, reporting events to `sink`.
+    /// Executes `Main.main` — and every thread it transitively spawns —
+    /// to completion, reporting events to `sink`.
+    ///
+    /// Threads run under a deterministic cooperative round-robin
+    /// scheduler: each gets a fixed [`QUANTUM`] of yield points, then the
+    /// next runnable thread (in spawn order) takes over. The schedule is
+    /// a pure function of the program and its input, so repeated runs —
+    /// at any host parallelism — produce byte-identical event streams.
+    /// The run ends when *all* threads have finished; the result is
+    /// thread 0's return value.
     ///
     /// # Errors
     ///
     /// Returns a [`RuntimeError`] on uncaught guest exceptions, VM-level
-    /// faults (null dereference, bounds, division by zero, bad casts),
-    /// fuel or stack exhaustion. Sink state after an error is partial;
-    /// discard it.
+    /// faults (null dereference, bounds, division by zero, bad casts,
+    /// invalid joins, unlock without lock), deadlock (no thread can make
+    /// progress), fuel or stack exhaustion. Sink state after an error is
+    /// partial; discard it.
     pub fn run<S: EventSink>(&mut self, sink: &mut S) -> Result<RunResult, RuntimeError> {
         let entry = self.program.entry;
-        let mut frames: Vec<Frame> = Vec::new();
         let mut values: Vec<Value> = Vec::with_capacity(256);
-        let mut loops: Vec<LoopId> = Vec::new();
         let cur = self.make_frame(0, entry, 0, 0, &mut values, sink)?;
+        let mut threads: Vec<ThreadState> = vec![ThreadState {
+            id: ThreadId::MAIN,
+            cur,
+            frames: Vec::new(),
+            values,
+            loops: Vec::new(),
+            status: ThreadStatus::Runnable,
+            started: true,
+        }];
+        let mut current = 0usize;
+        self.cur_thread = ThreadId::MAIN;
 
-        let (return_value, dispatches) =
-            self.execute(cur, &mut frames, &mut values, &mut loops, sink)?;
-        Ok(RunResult {
-            return_value,
-            output: std::mem::take(&mut self.output),
-            instructions: self.instructions,
-            dispatches,
-        })
+        loop {
+            let quantum = if self.threading { Some(QUANTUM) } else { None };
+            let exit = self.run_slice(&mut threads[current], quantum, sink)?;
+            match exit {
+                SliceExit::Done(v) => {
+                    if self.threading {
+                        self.emit(
+                            sink,
+                            Event::ThreadEnd {
+                                thread: threads[current].id,
+                            },
+                        );
+                    }
+                    let ended = threads[current].id.0;
+                    threads[current].status = ThreadStatus::Done(v);
+                    threads[current].values = Vec::new();
+                    threads[current].frames = Vec::new();
+                    for t in threads.iter_mut() {
+                        if matches!(t.status, ThreadStatus::Joining(x) if x == ended) {
+                            t.values.push(v);
+                            t.status = ThreadStatus::Runnable;
+                        }
+                    }
+                }
+                SliceExit::Spawned { tid, func, args } => {
+                    self.threading = true;
+                    debug_assert_eq!(tid as usize, threads.len());
+                    threads.push(ThreadState {
+                        id: ThreadId(tid),
+                        // Placeholder frame; the first slice builds the
+                        // real one (emitting `MethodEntry` on-thread).
+                        cur: Frame {
+                            func,
+                            pc: 0,
+                            base: 0,
+                            floor: 0,
+                            loops_base: 0,
+                            tracked: false,
+                        },
+                        frames: Vec::new(),
+                        values: args,
+                        loops: Vec::new(),
+                        status: ThreadStatus::Runnable,
+                        started: false,
+                    });
+                }
+                SliceExit::Join { target } => match threads[target as usize].status {
+                    // Joining a finished thread yields its value
+                    // immediately (and repeatably).
+                    ThreadStatus::Done(v) => threads[current].values.push(v),
+                    _ => threads[current].status = ThreadStatus::Joining(target),
+                },
+                SliceExit::LockBlocked { key, obj } => {
+                    threads[current].status = ThreadStatus::BlockedOnLock { key, obj };
+                    *self.lock_waiters.entry(key).or_insert(0) += 1;
+                }
+                SliceExit::LockHandoff | SliceExit::Quantum => {}
+            }
+
+            if threads
+                .iter()
+                .all(|t| matches!(t.status, ThreadStatus::Done(_)))
+            {
+                let return_value = match threads[0].status {
+                    ThreadStatus::Done(v) => v,
+                    _ => unreachable!("all threads checked Done above"),
+                };
+                return Ok(RunResult {
+                    return_value,
+                    output: std::mem::take(&mut self.output),
+                    instructions: self.instructions,
+                    dispatches: self.dispatches,
+                });
+            }
+
+            // Round-robin pick, starting after the thread that just ran.
+            // A lock-blocked thread becomes schedulable the moment its
+            // lock is free; the first such thread in rotation order wins,
+            // acquiring the lock on wake-up.
+            let n = threads.len();
+            let mut picked = None;
+            for i in 1..=n {
+                let idx = (current + i) % n;
+                match threads[idx].status {
+                    ThreadStatus::Runnable => {
+                        picked = Some((idx, None));
+                        break;
+                    }
+                    ThreadStatus::BlockedOnLock { key, obj } if !self.locks.contains_key(&key) => {
+                        picked = Some((idx, Some((key, obj))));
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            let Some((idx, wake)) = picked else {
+                return Err(RuntimeError::Deadlock);
+            };
+            if threads[idx].id != self.cur_thread {
+                self.emit(
+                    sink,
+                    Event::ThreadSwitch {
+                        thread: threads[idx].id,
+                    },
+                );
+                self.cur_thread = threads[idx].id;
+            }
+            if let Some((key, obj)) = wake {
+                self.locks.insert(key, (threads[idx].id.0, 1));
+                match self.lock_waiters.get_mut(&key) {
+                    Some(n) if *n > 1 => *n -= 1,
+                    _ => {
+                        self.lock_waiters.remove(&key);
+                    }
+                }
+                threads[idx].status = ThreadStatus::Runnable;
+                self.emit(
+                    sink,
+                    Event::LockAcquire {
+                        obj,
+                        contended: true,
+                    },
+                );
+            }
+            current = idx;
+        }
+    }
+
+    /// Runs one scheduling slice of `t`: builds the root frame on first
+    /// entry, then executes until the quantum runs out or the thread
+    /// blocks or finishes.
+    fn run_slice<S: EventSink>(
+        &mut self,
+        t: &mut ThreadState,
+        quantum: Option<u64>,
+        sink: &mut S,
+    ) -> Result<SliceExit, RuntimeError> {
+        if !t.started {
+            t.started = true;
+            let func = t.cur.func;
+            t.cur = self.make_frame(0, func, 0, 0, &mut t.values, sink)?;
+        }
+        let (exit, cur) = self.execute(
+            t.cur,
+            &mut t.frames,
+            &mut t.values,
+            &mut t.loops,
+            quantum,
+            sink,
+        )?;
+        t.cur = cur;
+        Ok(exit)
     }
 
     /// Builds an activation record for `func`, emitting its method-entry
@@ -228,17 +506,38 @@ impl<'p> Interp<'p> {
         frames: &mut Vec<Frame>,
         values: &mut Vec<Value>,
         loops: &mut Vec<LoopId>,
+        mut quantum: Option<u64>,
         sink: &mut S,
-    ) -> Result<(Value, u64), RuntimeError> {
+    ) -> Result<(SliceExit, Frame), RuntimeError> {
         let program = self.program;
         let mut func = program.func(cur.func);
-        let mut dispatches: u64 = 0;
+        // The counters live in registers for the whole loop and are
+        // flushed to `self` at every slice exit — error paths leave sink
+        // and counter state partial (the `run` contract says to discard
+        // them).
+        let mut dispatches: u64 = self.dispatches;
         let fuel_limit = self.fuel.unwrap_or(u64::MAX);
-        // The logical instruction counter lives in a register for the
-        // whole loop and is flushed to `self.instructions` on successful
-        // completion only — error paths leave sink and counter state
-        // partial (the `run` contract says to discard them).
         let mut instructions = self.instructions;
+
+        // Preemption check, placed at yield points only: taken backward
+        // jumps, call dispatches, and lock operations. These are
+        // properties of the *logical* instruction stream (identical
+        // fused and unfused), so the schedule never depends on peephole
+        // fusion. `quantum` is `None` until the first spawn: a
+        // single-threaded run pays one untaken branch per yield point
+        // and can never be preempted.
+        macro_rules! yield_point {
+            () => {
+                if let Some(q) = quantum.as_mut() {
+                    *q -= 1;
+                    if *q == 0 {
+                        self.instructions = instructions;
+                        self.dispatches = dispatches;
+                        return Ok((SliceExit::Quantum, cur));
+                    }
+                }
+            };
+        }
 
         loop {
             let pc = cur.pc;
@@ -331,6 +630,9 @@ impl<'p> Interp<'p> {
                     };
                     if r == jump_if {
                         cur.pc = t;
+                        if t <= pc {
+                            yield_point!();
+                        }
                     }
                 }
                 Instr::CmpJump(kind, jump_if, t) => {
@@ -353,6 +655,9 @@ impl<'p> Interp<'p> {
                     };
                     if r == jump_if {
                         cur.pc = t;
+                        if t <= pc {
+                            yield_point!();
+                        }
                     }
                 }
                 Instr::IncLocal(slot, k) => {
@@ -383,6 +688,9 @@ impl<'p> Interp<'p> {
                     };
                     values[cur.base + slot as usize] = Value::Int(v.wrapping_add(k as i64));
                     cur.pc = t as usize;
+                    if t as usize <= pc {
+                        yield_point!();
+                    }
                 }
                 Instr::FusedLoadLoadCmpJump(a, b, kind, jump_if, t) => {
                     // Both comparison operands come from locals; the
@@ -419,6 +727,9 @@ impl<'p> Interp<'p> {
                     };
                     if r == jump_if {
                         cur.pc = t as usize;
+                        if t as usize <= pc {
+                            yield_point!();
+                        }
                     }
                 }
                 Instr::FusedLoadLoadGetFieldLen(s1, s2, fid) => {
@@ -626,15 +937,26 @@ impl<'p> Interp<'p> {
                         !eq
                     }));
                 }
-                Instr::Jump(t) => cur.pc = t,
+                Instr::Jump(t) => {
+                    cur.pc = t;
+                    if t <= pc {
+                        yield_point!();
+                    }
+                }
                 Instr::JumpIfFalse(t) => {
                     if !pop_bool(values, cur.floor)? {
                         cur.pc = t;
+                        if t <= pc {
+                            yield_point!();
+                        }
                     }
                 }
                 Instr::JumpIfTrue(t) => {
                     if pop_bool(values, cur.floor)? {
                         cur.pc = t;
+                        if t <= pc {
+                            yield_point!();
+                        }
                     }
                 }
                 Instr::FusedLoadALoad(slot) => {
@@ -809,6 +1131,7 @@ impl<'p> Interp<'p> {
                     // Events (including the interleaved back edge) were
                     // emitted above; all that is left is the transfer.
                     cur.pc = t;
+                    yield_point!();
                 }
                 Instr::GetField(fid) => {
                     let line = func.lines[pc];
@@ -961,6 +1284,7 @@ impl<'p> Interp<'p> {
                     frames.push(cur);
                     cur = callee;
                     func = program.func(cur.func);
+                    yield_point!();
                 }
                 Instr::FusedLoadCallVirtual(slot, m) => {
                     let v = values[cur.base + slot as usize];
@@ -991,6 +1315,7 @@ impl<'p> Interp<'p> {
                     frames.push(cur);
                     cur = callee;
                     func = program.func(cur.func);
+                    yield_point!();
                 }
                 Instr::CallStatic(m) | Instr::CallDirect(m) => {
                     // Arguments are passed straight from the caller's
@@ -1002,6 +1327,7 @@ impl<'p> Interp<'p> {
                     frames.push(cur);
                     cur = callee;
                     func = program.func(cur.func);
+                    yield_point!();
                 }
                 Instr::CallVirtual(m) => {
                     let line = func.lines[pc];
@@ -1030,6 +1356,7 @@ impl<'p> Interp<'p> {
                     frames.push(cur);
                     cur = callee;
                     func = program.func(cur.func);
+                    yield_point!();
                 }
                 Instr::Ret | Instr::RetVal => {
                     let value = if matches!(instr, Instr::RetVal) {
@@ -1050,7 +1377,8 @@ impl<'p> Interp<'p> {
                         }
                         None => {
                             self.instructions = instructions;
-                            return Ok((value, dispatches));
+                            self.dispatches = dispatches;
+                            return Ok((SliceExit::Done(value), cur));
                         }
                     }
                 }
@@ -1094,6 +1422,110 @@ impl<'p> Interp<'p> {
                     self.output.push(v);
                     if program.track_io {
                         self.emit(sink, Event::OutputWrite);
+                    }
+                }
+                Instr::Spawn(m) => {
+                    // The arguments the spawner evaluated become the new
+                    // thread's first locals; the handle is the new
+                    // thread's id. The slice ends so the scheduler can
+                    // register the thread (it runs next in rotation).
+                    let n_args = program.func(m).n_params as usize;
+                    let base = arg_base(values, cur.floor, n_args)?;
+                    let args: Vec<Value> = values.split_off(base);
+                    let tid = self.next_tid;
+                    self.next_tid += 1;
+                    values.push(Value::Int(tid as i64));
+                    self.emit(
+                        sink,
+                        Event::ThreadSpawn {
+                            thread: ThreadId(tid),
+                            func: m,
+                        },
+                    );
+                    self.instructions = instructions;
+                    self.dispatches = dispatches;
+                    return Ok((SliceExit::Spawned { tid, func: m, args }, cur));
+                }
+                Instr::JoinThread => {
+                    let line = func.lines[pc];
+                    let h = pop_int(values, cur.floor)?;
+                    if h < 0 || h >= i64::from(self.next_tid) || h == i64::from(self.cur_thread.0) {
+                        return Err(RuntimeError::InvalidJoin { line });
+                    }
+                    // The pc is already past the join; the scheduler
+                    // pushes the target's result when it is available.
+                    self.instructions = instructions;
+                    self.dispatches = dispatches;
+                    return Ok((SliceExit::Join { target: h as u32 }, cur));
+                }
+                Instr::Lock => {
+                    let line = func.lines[pc];
+                    let v = pop(values, cur.floor)?;
+                    let key = lock_key(v, line)?;
+                    let me = self.cur_thread.0;
+                    match self.locks.get(&key).copied() {
+                        None => {
+                            self.locks.insert(key, (me, 1));
+                            self.emit(
+                                sink,
+                                Event::LockAcquire {
+                                    obj: v,
+                                    contended: false,
+                                },
+                            );
+                            yield_point!();
+                        }
+                        Some((owner, depth)) if owner == me => {
+                            self.locks.insert(key, (me, depth + 1));
+                            self.emit(
+                                sink,
+                                Event::LockAcquire {
+                                    obj: v,
+                                    contended: false,
+                                },
+                            );
+                            yield_point!();
+                        }
+                        Some(_) => {
+                            // Held by another thread: the wait event is
+                            // the profiler's contention-attribution hook
+                            // (cost accrues to *this*, blocked, thread).
+                            // The pc is already past the Lock; the
+                            // scheduler acquires on wake-up and emits the
+                            // contended LockAcquire.
+                            self.emit(sink, Event::LockWait { obj: v });
+                            self.instructions = instructions;
+                            self.dispatches = dispatches;
+                            return Ok((SliceExit::LockBlocked { key, obj: v }, cur));
+                        }
+                    }
+                }
+                Instr::Unlock => {
+                    let line = func.lines[pc];
+                    let v = pop(values, cur.floor)?;
+                    let key = lock_key(v, line)?;
+                    let me = self.cur_thread.0;
+                    match self.locks.get(&key).copied() {
+                        Some((owner, depth)) if owner == me => {
+                            let freed = depth == 1;
+                            if freed {
+                                self.locks.remove(&key);
+                            } else {
+                                self.locks.insert(key, (me, depth - 1));
+                            }
+                            self.emit(sink, Event::LockRelease { obj: v });
+                            if freed && self.lock_waiters.contains_key(&key) {
+                                // Someone is blocked on this lock: end the
+                                // slice so the scheduler can hand it over
+                                // (see `SliceExit::LockHandoff` for why
+                                // waiting for the quantum can livelock).
+                                self.instructions = instructions;
+                                self.dispatches = dispatches;
+                                return Ok((SliceExit::LockHandoff, cur));
+                            }
+                            yield_point!();
+                        }
+                        _ => return Err(RuntimeError::UnlockWithoutLock { line }),
                     }
                 }
             }
@@ -1810,5 +2242,266 @@ mod tests {
         assert_eq!(prof.entries, 1);
         assert_eq!(prof.exits, 1);
         assert_eq!(prof.backs, 3);
+    }
+
+    #[test]
+    fn spawn_join_returns_thread_results() {
+        assert_eq!(
+            ret("class Main { static int main() {
+                    int t1 = spawn work(10);
+                    int t2 = spawn work(32);
+                    return join t1 + join t2;
+                }
+                static int work(int n) {
+                    int s = 0;
+                    for (int i = 0; i < n; i = i + 1) { s = s + 1; }
+                    return s;
+                } }"),
+            42
+        );
+    }
+
+    #[test]
+    fn locked_counter_is_exact() {
+        assert_eq!(
+            ret("class Main { static int main() {
+                    Counter c = new Counter();
+                    int t1 = spawn bump(c, 100);
+                    int t2 = spawn bump(c, 100);
+                    int a = join t1;
+                    int b = join t2;
+                    return c.total + a + b;
+                }
+                static int bump(Counter c, int n) {
+                    for (int i = 0; i < n; i = i + 1) {
+                        lock c;
+                        c.total = c.total + 1;
+                        unlock c;
+                    }
+                    return 0;
+                } }
+                class Counter { int total; }"),
+            200
+        );
+    }
+
+    #[test]
+    fn locks_are_reentrant() {
+        assert_eq!(
+            ret("class Main { static int main() {
+                    int[] a = new int[1];
+                    lock a;
+                    lock a;
+                    a[0] = 7;
+                    unlock a;
+                    unlock a;
+                    return a[0];
+                } }"),
+            7
+        );
+    }
+
+    #[test]
+    fn join_of_invalid_handle_errors() {
+        let e = run_err("class Main { static int main() { return join 5; } }");
+        assert!(matches!(e, RuntimeError::InvalidJoin { .. }), "{e:?}");
+        // A thread joining itself is equally invalid.
+        let e = run_err("class Main { static int main() { return join 0; } }");
+        assert!(matches!(e, RuntimeError::InvalidJoin { .. }), "{e:?}");
+    }
+
+    #[test]
+    fn unlock_without_lock_errors() {
+        let e = run_err(
+            "class Main { static int main() { int[] a = new int[1]; unlock a; return 0; } }",
+        );
+        assert!(matches!(e, RuntimeError::UnlockWithoutLock { .. }), "{e:?}");
+    }
+
+    #[test]
+    fn spin_loop_cannot_starve_a_lock_waiter() {
+        // The waiter polls `f.done` under the lock; the setter needs the
+        // same lock once. While `done` is 0 the inner drain loop runs
+        // zero iterations, making the spin cycle exactly four yield
+        // points — lock, the inner loop-exit stub's backward jump,
+        // unlock, outer back edge — which divides the 64-point quantum.
+        // Without the `LockHandoff` slice exit, quantum expiry then hits
+        // the same phase of the cycle forever, and on the two phases
+        // that hold the lock the setter is never schedulable — an
+        // infinite spin instead of termination. The `pad` pre-spin (one
+        // yield point per iteration) shifts the expiry phase, so the
+        // four paddings cover every phase of the cycle. The fuel bound
+        // turns a regression into a test failure, not a hang.
+        for pad in 0..4 {
+            let src = format!(
+                "class Main {{ static int main() {{
+                    Flag f = new Flag();
+                    int a = spawn waiter(f, {pad});
+                    int b = spawn setter(f);
+                    return join a + join b;
+                }}
+                static int waiter(Flag f, int pad) {{
+                    int i = 0;
+                    while (i < pad) {{ i = i + 1; }}
+                    int seen = 0;
+                    while (seen == 0) {{
+                        lock f;
+                        while (seen < f.done) {{ seen = seen + 1; }}
+                        unlock f;
+                    }}
+                    return seen;
+                }}
+                static int setter(Flag f) {{
+                    lock f;
+                    f.done = 1;
+                    unlock f;
+                    return 1;
+                }} }}
+                class Flag {{ int done; }}"
+            );
+            let p = compile(&src)
+                .expect("compiles")
+                .instrument(&InstrumentOptions::default());
+            let r = Interp::new(&p)
+                .with_fuel(5_000_000)
+                .run(&mut NoopSink)
+                .unwrap_or_else(|e| panic!("pad={pad} must terminate, got {e:?}"));
+            assert_eq!(r.return_value.as_int(), Some(2), "pad={pad}");
+        }
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        // Main holds the lock and blocks joining a thread that needs it.
+        let e = run_err(
+            "class Main { static int main() {
+                int[] x = new int[1];
+                lock x;
+                int t = spawn grab(x);
+                return join t;
+            }
+            static int grab(int[] x) { lock x; unlock x; return 1; } }",
+        );
+        assert!(matches!(e, RuntimeError::Deadlock), "{e:?}");
+    }
+
+    /// Records every event as its debug rendering, for byte-level
+    /// determinism and protocol-shape assertions.
+    #[derive(Default)]
+    struct RecordingSink {
+        events: Vec<String>,
+    }
+
+    impl EventSink for RecordingSink {
+        fn event(&mut self, ev: &Event, _cx: &EventCx<'_>) {
+            if !matches!(ev, Event::Instruction { .. }) {
+                self.events.push(format!("{ev:?}"));
+            }
+        }
+    }
+
+    fn record_events(src: &str) -> (RunResult, Vec<String>) {
+        let p = compile(src)
+            .expect("compiles")
+            .instrument(&InstrumentOptions::default());
+        let mut sink = RecordingSink::default();
+        let r = Interp::new(&p).run(&mut sink).expect("runs");
+        (r, sink.events)
+    }
+
+    const CONTENDED_SRC: &str = "class Main { static int main() {
+            Counter c = new Counter();
+            int t1 = spawn bump(c, 100);
+            int t2 = spawn bump(c, 100);
+            int a = join t1;
+            int b = join t2;
+            return c.total;
+        }
+        static int bump(Counter c, int n) {
+            for (int i = 0; i < n; i = i + 1) {
+                lock c;
+                c.total = c.total + 1;
+                unlock c;
+            }
+            return 0;
+        } }
+        class Counter { int total; }";
+
+    #[test]
+    fn single_threaded_runs_emit_no_thread_events() {
+        let (_, events) = record_events(
+            "class Main { static int main() {
+                int[] a = new int[3];
+                lock a;
+                a[0] = 1;
+                unlock a;
+                return a[0];
+            } }",
+        );
+        assert!(
+            !events
+                .iter()
+                .any(|e| e.starts_with("Thread") || e.contains("ThreadSwitch")),
+            "single-threaded run leaked thread events: {events:?}"
+        );
+        // Lock events still fire (uncontended).
+        assert!(events.iter().any(|e| e.starts_with("LockAcquire")));
+        assert!(events.iter().any(|e| e.starts_with("LockRelease")));
+    }
+
+    #[test]
+    fn thread_event_protocol_is_balanced() {
+        let (r, events) = record_events(CONTENDED_SRC);
+        assert_eq!(r.return_value.as_int(), Some(200));
+        let count = |p: &str| events.iter().filter(|e| e.starts_with(p)).count();
+        assert_eq!(count("ThreadSpawn"), 2);
+        // Main and both workers each end exactly once.
+        assert_eq!(count("ThreadEnd"), 3);
+        assert!(count("ThreadSwitch") >= 2, "workers must get scheduled");
+        // The quantum forces preemption inside the critical section at
+        // some point, so contention is observed.
+        assert!(count("LockWait") >= 1, "expected contention: {events:?}");
+        assert!(
+            events
+                .iter()
+                .any(|e| e.starts_with("LockAcquire") && e.contains("contended: true")),
+            "expected a contended acquire"
+        );
+        // Every wait is eventually satisfied by a contended acquire.
+        assert_eq!(
+            count("LockWait"),
+            events
+                .iter()
+                .filter(|e| e.starts_with("LockAcquire") && e.contains("contended: true"))
+                .count()
+        );
+    }
+
+    #[test]
+    fn threaded_execution_is_deterministic() {
+        let (r1, e1) = record_events(CONTENDED_SRC);
+        let (r2, e2) = record_events(CONTENDED_SRC);
+        assert_eq!(r1.return_value, r2.return_value);
+        assert_eq!(r1.instructions, r2.instructions);
+        assert_eq!(r1.dispatches, r2.dispatches);
+        assert_eq!(e1, e2, "event streams must be byte-identical");
+    }
+
+    #[test]
+    fn threaded_instruction_count_is_fusion_invariant() {
+        // `instructions` counts logical opcodes, and the scheduler's
+        // yield points are fusion-invariant, so the fused and unfused
+        // builds of a threaded program agree exactly.
+        let p = compile(CONTENDED_SRC)
+            .expect("compiles")
+            .instrument(&InstrumentOptions::default());
+        let fused = p.fuse();
+        let mut s1 = RecordingSink::default();
+        let mut s2 = RecordingSink::default();
+        let r1 = Interp::new(&p).run(&mut s1).expect("runs");
+        let r2 = Interp::new(&fused).run(&mut s2).expect("runs");
+        assert_eq!(r1.return_value, r2.return_value);
+        assert_eq!(r1.instructions, r2.instructions);
+        assert_eq!(s1.events, s2.events, "schedule must not depend on fusion");
     }
 }

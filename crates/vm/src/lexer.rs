@@ -32,6 +32,10 @@ pub enum TokenKind {
     Try,
     Catch,
     Instanceof,
+    Spawn,
+    Join,
+    Lock,
+    Unlock,
     // Punctuation and operators.
     LBrace,
     RBrace,
@@ -87,6 +91,10 @@ impl TokenKind {
             "try" => TokenKind::Try,
             "catch" => TokenKind::Catch,
             "instanceof" => TokenKind::Instanceof,
+            "spawn" => TokenKind::Spawn,
+            "join" => TokenKind::Join,
+            "lock" => TokenKind::Lock,
+            "unlock" => TokenKind::Unlock,
             _ => return None,
         })
     }

@@ -119,6 +119,14 @@ fn fold_stmts(stmts: Vec<HStmt>, stats: &mut OptStats) -> Vec<HStmt> {
                 catch_slot,
                 handler: fold_stmts(handler, stats),
             }),
+            HStmt::Lock { obj, line } => out.push(HStmt::Lock {
+                obj: fold_expr(obj, stats),
+                line,
+            }),
+            HStmt::Unlock { obj, line } => out.push(HStmt::Unlock {
+                obj: fold_expr(obj, stats),
+                line,
+            }),
             other @ (HStmt::Break | HStmt::Continue) => out.push(other),
         }
     }
@@ -225,6 +233,15 @@ fn fold_expr(e: HExpr, stats: &mut OptStats) -> HExpr {
         },
         HExpr::Print { arg, line } => HExpr::Print {
             arg: Box::new(fold_expr(*arg, stats)),
+            line,
+        },
+        HExpr::Spawn { func, args, line } => HExpr::Spawn {
+            func,
+            args: args.into_iter().map(|a| fold_expr(a, stats)).collect(),
+            line,
+        },
+        HExpr::Join { handle, line } => HExpr::Join {
+            handle: Box::new(fold_expr(*handle, stats)),
             line,
         },
         leaf => leaf,

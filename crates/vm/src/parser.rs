@@ -387,6 +387,18 @@ impl Parser {
                 self.expect(TokenKind::Semi, "';' after throw")?;
                 Ok(Stmt::Throw { value, span })
             }
+            TokenKind::Lock => {
+                self.bump();
+                let obj = self.expr()?;
+                self.expect(TokenKind::Semi, "';' after lock")?;
+                Ok(Stmt::Lock { obj, span })
+            }
+            TokenKind::Unlock => {
+                self.bump();
+                let obj = self.expr()?;
+                self.expect(TokenKind::Semi, "';' after unlock")?;
+                Ok(Stmt::Unlock { obj, span })
+            }
             TokenKind::Try => {
                 self.bump();
                 let body = self.block()?;
@@ -626,6 +638,31 @@ impl Parser {
                 Ok(Expr::Unary {
                     op: UnOp::Not,
                     expr: Box::new(expr),
+                    span,
+                })
+            }
+            TokenKind::Spawn => {
+                self.bump();
+                let (first, _) = self.ident("spawn target")?;
+                let (class, name) = if self.eat(&TokenKind::Dot) {
+                    let (method, _) = self.ident("spawn target method")?;
+                    (Some(first), method)
+                } else {
+                    (None, first)
+                };
+                let args = self.args()?;
+                Ok(Expr::Spawn {
+                    class,
+                    name,
+                    args,
+                    span,
+                })
+            }
+            TokenKind::Join => {
+                self.bump();
+                let handle = self.unary_expr()?;
+                Ok(Expr::Join {
+                    handle: Box::new(handle),
                     span,
                 })
             }
@@ -1017,6 +1054,53 @@ mod tests {
     #[test]
     fn for_without_init_cond_update() {
         parse_ok("class A { static void f() { for (;;) { break; } } }");
+    }
+
+    #[test]
+    fn parses_spawn_join_lock_unlock() {
+        let p = parse_ok(
+            r#"
+            class A {
+                static int worker(int n) { return n; }
+                static int f(Object o) {
+                    int t = spawn A.worker(3);
+                    int u = spawn worker(4);
+                    lock o;
+                    unlock o;
+                    return join t + join u;
+                }
+            }
+        "#,
+        );
+        let body = &p.classes[0].methods[1].body;
+        assert!(matches!(
+            body.stmts[0],
+            Stmt::VarDecl {
+                init: Some(Expr::Spawn { class: Some(_), .. }),
+                ..
+            }
+        ));
+        assert!(matches!(
+            body.stmts[1],
+            Stmt::VarDecl {
+                init: Some(Expr::Spawn { class: None, .. }),
+                ..
+            }
+        ));
+        assert!(matches!(body.stmts[2], Stmt::Lock { .. }));
+        assert!(matches!(body.stmts[3], Stmt::Unlock { .. }));
+        // `join t + join u` parses as `(join t) + (join u)`.
+        match &body.stmts[4] {
+            Stmt::Return {
+                value: Some(Expr::Binary { op, lhs, rhs, .. }),
+                ..
+            } => {
+                assert_eq!(*op, BinOp::Add);
+                assert!(matches!(**lhs, Expr::Join { .. }));
+                assert!(matches!(**rhs, Expr::Join { .. }));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
     }
 
     #[test]

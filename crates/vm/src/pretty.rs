@@ -158,6 +158,12 @@ fn print_stmt(stmt: &Stmt, level: usize, out: &mut String) {
         Stmt::Throw { value, .. } => {
             let _ = writeln!(out, "throw {};", print_expr(value));
         }
+        Stmt::Lock { obj, .. } => {
+            let _ = writeln!(out, "lock {};", print_expr(obj));
+        }
+        Stmt::Unlock { obj, .. } => {
+            let _ = writeln!(out, "unlock {};", print_expr(obj));
+        }
         Stmt::Try {
             body,
             catch_name,
@@ -253,6 +259,13 @@ pub fn print_expr(expr: &Expr) -> String {
             };
             format!("({}{})", symbol, print_postfix(expr))
         }
+        Expr::Spawn {
+            class, name, args, ..
+        } => match class {
+            Some(c) => format!("(spawn {}.{}({}))", c, name, print_args(args)),
+            None => format!("(spawn {}({}))", name, print_args(args)),
+        },
+        Expr::Join { handle, .. } => format!("(join {})", print_postfix(handle)),
         Expr::Binary { op, lhs, rhs, .. } => {
             let symbol = match op {
                 BinOp::Add => "+",
@@ -404,6 +417,23 @@ mod tests {
                     try { throw xs.length + tri[2][0]; } catch (int e) { return e; }
                     return -1;
                 }
+            }"#,
+        );
+    }
+
+    #[test]
+    fn roundtrips_threads_and_locks() {
+        roundtrip(
+            r#"class Main {
+                static int main() {
+                    int[] a = new int[4];
+                    lock a;
+                    int t = spawn Main.work(a);
+                    int u = spawn work(a);
+                    unlock a;
+                    return join t + join u;
+                }
+                static int work(int[] a) { return a.length; }
             }"#,
         );
     }

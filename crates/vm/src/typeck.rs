@@ -986,6 +986,26 @@ impl<'a> BodyChecker<'a> {
                     line: span.line,
                 });
             }
+            Stmt::Lock { obj, span } => {
+                let (hobj, oty) = self.check_expr(obj)?;
+                if !oty.is_ref() {
+                    return Err(err("lock requires a reference operand", *span));
+                }
+                out.push(HStmt::Lock {
+                    obj: hobj,
+                    line: span.line,
+                });
+            }
+            Stmt::Unlock { obj, span } => {
+                let (hobj, oty) = self.check_expr(obj)?;
+                if !oty.is_ref() {
+                    return Err(err("unlock requires a reference operand", *span));
+                }
+                out.push(HStmt::Unlock {
+                    obj: hobj,
+                    line: span.line,
+                });
+            }
             Stmt::Try {
                 body,
                 catch_name,
@@ -1350,6 +1370,72 @@ impl<'a> BodyChecker<'a> {
                         line: span.line,
                     },
                     Ty::Bool,
+                ))
+            }
+            Expr::Spawn {
+                class,
+                name,
+                args,
+                span,
+            } => {
+                let cid = match class {
+                    Some(cname) => *self
+                        .global
+                        .class_by_name
+                        .get(cname)
+                        .ok_or_else(|| err(format!("unknown class {cname}"), *span))?,
+                    None => self.class,
+                };
+                // Resolve like a static call, walking up the hierarchy.
+                let mut cur = Some(cid);
+                while let Some(c) = cur {
+                    for &mid in &self.global.classes[c.index()].own_methods {
+                        let sig = &self.global.methods[mid.index()];
+                        if sig.name == *name && !sig.is_ctor {
+                            if !sig.is_static {
+                                return Err(err(
+                                    format!("spawn target {name} must be a static method"),
+                                    *span,
+                                ));
+                            }
+                            if sig.ret != Ty::Int {
+                                return Err(err(
+                                    format!("spawn target {name} must return int"),
+                                    *span,
+                                ));
+                            }
+                            let params = sig.params.clone();
+                            let hargs = self.check_args(args, &params, *span)?;
+                            return Ok((
+                                HExpr::Spawn {
+                                    func: mid,
+                                    args: hargs,
+                                    line: span.line,
+                                },
+                                Ty::Int,
+                            ));
+                        }
+                    }
+                    cur = self.global.superclass_id(c);
+                }
+                Err(err(
+                    format!(
+                        "unknown spawn target {}.{}",
+                        self.global.classes[cid.index()].name,
+                        name
+                    ),
+                    *span,
+                ))
+            }
+            Expr::Join { handle, span } => {
+                let (hh, hty) = self.check_expr(handle)?;
+                self.require(&hty, &Ty::Int, *span)?;
+                Ok((
+                    HExpr::Join {
+                        handle: Box::new(hh),
+                        line: span.line,
+                    },
+                    Ty::Int,
                 ))
             }
             Expr::Unary { op, expr, span } => {
@@ -1839,6 +1925,51 @@ mod tests {
         let e = check_src("class A {} class A {} class Main { static int main() { return 0; } }")
             .unwrap_err();
         assert!(e.message.contains("duplicate class"));
+    }
+
+    #[test]
+    fn spawn_join_lock_check() {
+        check_ok(
+            "class Main {
+                static int worker(int n) { return n; }
+                static int main() {
+                    Object o = new Main();
+                    int t = spawn Main.worker(3);
+                    lock o;
+                    unlock o;
+                    return join t;
+                }
+             }",
+        );
+    }
+
+    #[test]
+    fn spawn_target_must_be_static_and_return_int() {
+        let e = check_src(
+            "class Main {
+                int w() { return 1; }
+                static int main() { return spawn Main.w(); }
+             }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("static"));
+        let e = check_src(
+            "class Main {
+                static void w() { }
+                static int main() { return spawn Main.w(); }
+             }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("return int"));
+    }
+
+    #[test]
+    fn join_requires_int_lock_requires_ref() {
+        let e =
+            check_src("class Main { static int main() { return join new Main(); } }").unwrap_err();
+        assert!(e.message.contains("Int"));
+        let e = check_src("class Main { static int main() { lock 3; return 0; } }").unwrap_err();
+        assert!(e.message.contains("reference"));
     }
 
     #[test]

@@ -191,7 +191,8 @@ fn verify_function(program: &CompiledProgram, func_id: FuncId) -> Result<(), Ver
             | Instr::CallVirtual(m)
             | Instr::CallDirect(m)
             | Instr::FusedLoadCallDirect(_, m)
-            | Instr::FusedLoadCallVirtual(_, m) => {
+            | Instr::FusedLoadCallVirtual(_, m)
+            | Instr::Spawn(m) => {
                 if m.index() >= program.functions.len() {
                     return Err(err(Some(i), format!("function {m} out of range")));
                 }
@@ -346,6 +347,9 @@ fn verify_function(program: &CompiledProgram, func_id: FuncId) -> Result<(), Ver
             | Instr::FusedLoadALoad(_)
             | Instr::FusedGetFieldLen(_)
             | Instr::FusedConstAdd(_)
+            | Instr::JoinThread
+            | Instr::Lock
+            | Instr::Unlock
             | Instr::LoadCmpJump(..) => 1,
             Instr::Add
             | Instr::Sub
@@ -366,6 +370,7 @@ fn verify_function(program: &CompiledProgram, func_id: FuncId) -> Result<(), Ver
             Instr::CallStatic(m) | Instr::CallVirtual(m) | Instr::CallDirect(m) => {
                 program.func(m).n_params as usize
             }
+            Instr::Spawn(m) => program.func(m).n_params as usize,
             Instr::FusedLoadCallDirect(_, m) | Instr::FusedLoadCallVirtual(_, m) => {
                 (program.func(m).n_params as usize).saturating_sub(1)
             }
@@ -517,6 +522,20 @@ fn verify_function(program: &CompiledProgram, func_id: FuncId) -> Result<(), Ver
                 if returns_value(program, &instr) {
                     next.stack.push(Kind::Any);
                 }
+            }
+            Instr::Spawn(m) => {
+                let callee = program.func(m);
+                for _ in 0..callee.n_params {
+                    pop(&mut next, Kind::Any)?;
+                }
+                next.stack.push(Kind::Int);
+            }
+            Instr::JoinThread => {
+                pop(&mut next, Kind::Int)?;
+                next.stack.push(Kind::Int);
+            }
+            Instr::Lock | Instr::Unlock => {
+                pop(&mut next, Kind::Ref)?;
             }
             Instr::ProfLoopEntry(_) | Instr::ProfLoopBack(_) | Instr::ProfLoopExit(_) => {}
             Instr::FusedLoadLoad(a, b) => {
@@ -1201,6 +1220,65 @@ mod tests {
             ],
         );
         verify(&p).expect("superinstruction code verifies");
+    }
+
+    #[test]
+    fn threaded_program_verifies() {
+        assert_verifies(
+            r#"class Main {
+                static int main() {
+                    int[] a = new int[8];
+                    lock a;
+                    int t = spawn worker(a, 0);
+                    unlock a;
+                    return join t;
+                }
+                static int worker(int[] a, int lo) {
+                    lock a;
+                    int s = 0;
+                    for (int i = lo; i < a.length; i = i + 1) { s = s + a[i]; }
+                    unlock a;
+                    return s;
+                }
+            }"#,
+        );
+    }
+
+    #[test]
+    fn spawn_function_out_of_range_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { return 1; } }",
+            vec![Instr::Spawn(FuncId(99)), Instr::RetVal],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("out of range"), "{e}");
+    }
+
+    #[test]
+    fn join_on_reference_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { return 1; } }",
+            vec![Instr::ConstNull, Instr::JoinThread, Instr::RetVal],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("expects int"), "{e}");
+        assert!(e.message.contains("found ref"), "{e}");
+    }
+
+    #[test]
+    fn lock_on_int_is_rejected() {
+        let p = with_main_code(
+            "class Main { static int main() { return 1; } }",
+            vec![
+                Instr::ConstInt(3),
+                Instr::Lock,
+                Instr::ConstInt(0),
+                Instr::RetVal,
+            ],
+        );
+        let e = verify(&p).expect_err("must reject");
+        assert!(e.message.contains("expects ref"), "{e}");
+        assert!(e.message.contains("found int"), "{e}");
     }
 
     #[test]

@@ -48,7 +48,7 @@ echo "==> events smoke (record -> dump, text and JSON)"
 ./target/release/algoprof events "$sweep_out/run.aptr" --limit 10 \
     | grep -q "loop_entry"
 ./target/release/algoprof events "$sweep_out/run.aptr" --json --limit 10 \
-    | grep -q '^{"event": "'
+    | grep -Eq '^\{"thread": [0-9]+, "event": "'
 
 echo "==> serve smoke (daemon round-trip, byte parity with one-shot, warm cache hit)"
 ./target/release/algoprof serve --addr 127.0.0.1:0 --workers 2 \
@@ -70,6 +70,32 @@ cmp "$sweep_out/j1.json" "$sweep_out/served.json"
     | grep -Eq "hits [1-9]"
 ./target/release/algoprof submit --addr "$serve_addr" shutdown
 wait "$serve_pid"
+
+echo "==> threaded smoke (per-thread trees, determinism across -j and fusion)"
+./target/release/algoprof sweep examples/parallel_sum.jay \
+    --sizes 8,16,32 -j 1 --quiet --json "$sweep_out/thr1.json" > "$sweep_out/thr1.txt"
+./target/release/algoprof sweep examples/parallel_sum.jay \
+    --sizes 8,16,32 -j 2 --quiet --json "$sweep_out/thr2.json" > "$sweep_out/thr2.txt"
+ALGOPROF_NO_FUSE=1 ./target/release/algoprof sweep examples/parallel_sum.jay \
+    --sizes 8,16,32 -j 1 --quiet --json "$sweep_out/thrnf.json" > "$sweep_out/thrnf.txt"
+cmp "$sweep_out/thr1.json" "$sweep_out/thr2.json"
+cmp "$sweep_out/thr1.txt" "$sweep_out/thr2.txt"
+cmp "$sweep_out/thr1.json" "$sweep_out/thrnf.json"
+grep -Fq '[t1]' "$sweep_out/thr1.txt"
+grep -Fq '[t2]' "$sweep_out/thr1.txt"
+./target/release/algoprof examples/producer_consumer.jay --input 32 > "$sweep_out/pc.txt"
+grep -Fq '=== t1 ===' "$sweep_out/pc.txt"
+grep -Fq '=== merged (all threads) ===' "$sweep_out/pc.txt"
+./target/release/algoprof costfn examples/parallel_sum.jay \
+    | grep -Fq 'Main.sum:loop0@L31  O(n)  cost n'
+./target/release/algoprof record examples/locked_counter.jay \
+    --input 16 -o "$sweep_out/thr.aptr"
+./target/release/algoprof events "$sweep_out/thr.aptr" | grep -q "thread_spawn"
+if ./target/release/algoprof events "$sweep_out/thr.aptr" --thread 1 \
+    | grep -q "^t2 "; then
+    echo "events --thread 1 leaked t2 lines" >&2
+    exit 1
+fi
 
 echo "==> static analysis (lint) over shipped examples, one invocation"
 ./target/release/algoprof lint examples/*.jay > /dev/null

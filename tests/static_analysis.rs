@@ -110,7 +110,9 @@ fn seeded_bugs_fire_with_expected_code_and_span() {
     let bugs = seeded_bugs();
     assert!(bugs.len() >= 8, "corpus must hold at least 8 seeded bugs");
     let codes: std::collections::BTreeSet<_> = bugs.iter().map(|b| b.code).collect();
-    for code in ["AP001", "AP002", "AP003", "AP004", "AP005", "AP006"] {
+    for code in [
+        "AP001", "AP002", "AP003", "AP004", "AP005", "AP006", "AP007",
+    ] {
         assert!(codes.contains(code), "no seeded bug covers {code}");
     }
     for bug in bugs {
